@@ -1,0 +1,1 @@
+bench/ablations.ml: Format Gc List String Unix X3_core X3_storage X3_workload X3_xdb

@@ -1,0 +1,1 @@
+bench/figures.ml: Format Fun Harness List Option Printf String X3_core X3_workload X3_xdb X3_xml

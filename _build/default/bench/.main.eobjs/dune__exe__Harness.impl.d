@@ -1,0 +1,1 @@
+bench/harness.ml: Format Gc List Option Printf String Unix X3_core X3_lattice X3_storage X3_xdb X3_xml

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Arg Cmd Cmdliner Figures Format Harness List Micro Printf Term

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Float Format Hashtbl Instance Int List Measure Printf Staged String Test Time Toolkit X3_pattern X3_storage X3_workload X3_xdb

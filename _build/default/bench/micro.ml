@@ -1,0 +1,192 @@
+(* Bechamel micro-benchmarks for the substrate design choices DESIGN.md
+   calls out: stack-tree structural joins vs the quadratic join, holistic
+   path matching vs navigation, external vs in-memory sorting, buffer-pool
+   behaviour, and codec costs. *)
+
+open Bechamel
+open Toolkit
+
+module Store = X3_xdb.Store
+module Sj = X3_xdb.Structural_join
+module Twig = X3_xdb.Twig_join
+
+let treebank_store trees =
+  let config =
+    { X3_workload.Treebank.default with num_trees = trees; axes = 3 }
+  in
+  Store.of_document (X3_workload.Treebank.generate config)
+
+let join_tests () =
+  let store = treebank_store 500 in
+  let ancestors = Store.nodes_with_tag store "s" in
+  let descendants = Store.nodes_with_tag store "d1" in
+  [
+    Test.make ~name:"structural-join/stack-tree"
+      (Staged.stage (fun () ->
+           Sj.join store ~axis:Sj.Descendant ~ancestors ~descendants
+             (fun _ _ -> ())));
+    Test.make ~name:"structural-join/naive"
+      (Staged.stage (fun () ->
+           ignore (Sj.naive_join store ~axis:Sj.Descendant ~ancestors ~descendants)));
+  ]
+
+let path_tests () =
+  let store = treebank_store 500 in
+  let path =
+    [
+      { Twig.axis = Sj.Descendant; tag = "s" };
+      { Twig.axis = Sj.Child; tag = "w1" };
+      { Twig.axis = Sj.Child; tag = "d1" };
+    ]
+  in
+  [
+    Test.make ~name:"path/pathstack"
+      (Staged.stage (fun () -> Twig.path_solutions store path (fun _ -> ())));
+    Test.make ~name:"path/navigational"
+      (Staged.stage (fun () -> ignore (Twig.naive_path_solutions store path)));
+  ]
+
+let sort_tests () =
+  let rng = X3_workload.Rng.create ~seed:17 in
+  let records =
+    Array.init 20_000 (fun _ ->
+        Printf.sprintf "%08d" (X3_workload.Rng.int rng 1_000_000))
+  in
+  let sort_with_budget budget () =
+    let pool =
+      X3_storage.Buffer_pool.create ~capacity_pages:4096
+        (X3_storage.Disk.in_memory ~page_size:8192 ())
+    in
+    ignore
+      (X3_storage.External_sort.sort_records ~pool ~budget_records:budget
+         ~compare:String.compare (fun emit -> Array.iter emit records))
+  in
+  [
+    Test.make ~name:"sort/in-memory-quicksort"
+      (Staged.stage (sort_with_budget 50_000));
+    Test.make ~name:"sort/external-8-runs"
+      (Staged.stage (sort_with_budget 2_500));
+    Test.make ~name:"sort/external-64-runs"
+      (Staged.stage (sort_with_budget 320));
+  ]
+
+let pool_tests () =
+  let make_pool capacity =
+    let pool =
+      X3_storage.Buffer_pool.create ~capacity_pages:capacity
+        (X3_storage.Disk.in_memory ~page_size:8192 ())
+    in
+    let pages = Array.init 256 (fun _ -> X3_storage.Buffer_pool.allocate pool) in
+    (pool, pages)
+  in
+  let all_hits = make_pool 512 and thrash = make_pool 16 in
+  let touch (pool, pages) () =
+    Array.iter
+      (fun id -> X3_storage.Buffer_pool.with_page pool id (fun _ -> ()))
+      pages
+  in
+  [
+    Test.make ~name:"pool/256-pages-all-resident" (Staged.stage (touch all_hits));
+    Test.make ~name:"pool/256-pages-16-frames" (Staged.stage (touch thrash));
+  ]
+
+let codec_tests () =
+  let row =
+    {
+      X3_pattern.Witness.fact = 123456;
+      cells =
+        Array.init 5 (fun i ->
+            {
+              X3_pattern.Witness.value = Some (Printf.sprintf "value-%d" i);
+              validity = 0b1011;
+              first = i = 0;
+            });
+    }
+  in
+  let encoded = X3_pattern.Witness.encode row in
+  [
+    Test.make ~name:"witness/encode"
+      (Staged.stage (fun () -> ignore (X3_pattern.Witness.encode row)));
+    Test.make ~name:"witness/decode"
+      (Staged.stage (fun () -> ignore (X3_pattern.Witness.decode encoded)));
+  ]
+
+let quicksort_tests () =
+  let rng = X3_workload.Rng.create ~seed:23 in
+  let base = Array.init 10_000 (fun _ -> X3_workload.Rng.int rng 1_000_000) in
+  [
+    Test.make ~name:"quicksort/ours"
+      (Staged.stage (fun () ->
+           let a = Array.copy base in
+           X3_storage.Quicksort.sort ~compare:Int.compare a));
+    Test.make ~name:"quicksort/stdlib-heapsort"
+      (Staged.stage (fun () ->
+           let a = Array.copy base in
+           Array.sort Int.compare a));
+  ]
+
+let eval_tests () =
+  let config =
+    { X3_workload.Treebank.default with num_trees = 300; axes = 3; coverage = false }
+  in
+  let store = Store.of_document (X3_workload.Treebank.generate config) in
+  let axes = X3_workload.Treebank.axes config in
+  let fact_path = X3_workload.Treebank.fact_path in
+  let pool () =
+    X3_storage.Buffer_pool.create ~capacity_pages:4096
+      (X3_storage.Disk.in_memory ~page_size:8192 ())
+  in
+  [
+    Test.make ~name:"mrfi-eval/navigational"
+      (Staged.stage (fun () ->
+           ignore (X3_pattern.Eval.build_table (pool ()) store ~fact_path ~axes)));
+    Test.make ~name:"mrfi-eval/structural-joins"
+      (Staged.stage (fun () ->
+           ignore
+             (X3_pattern.Join_eval.build_table (pool ()) store ~fact_path ~axes)));
+  ]
+
+let all_tests () =
+  join_tests () @ path_tests () @ sort_tests () @ pool_tests ()
+  @ codec_tests () @ quicksort_tests () @ eval_tests ()
+
+let run ppf =
+  let tests = all_tests () in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None
+      ~stabilize:true ()
+  in
+  let raw =
+    Benchmark.all cfg
+      [ Instance.monotonic_clock ]
+      (Test.make_grouped ~name:"micro" tests)
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> t
+          | Some [] | None -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Format.fprintf ppf "@.%s@.Micro-benchmarks (bechamel, monotonic clock)@.%s@."
+    (String.make 100 '-') (String.make 100 '-');
+  List.iter
+    (fun (name, ns) ->
+      let value, unit_ =
+        if Float.is_nan ns then (nan, "ns")
+        else if ns >= 1e9 then (ns /. 1e9, "s ")
+        else if ns >= 1e6 then (ns /. 1e6, "ms")
+        else if ns >= 1e3 then (ns /. 1e3, "us")
+        else (ns, "ns")
+      in
+      Format.fprintf ppf "  %-45s %10.2f %s/run@." name value unit_)
+    rows

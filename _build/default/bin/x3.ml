@@ -1,0 +1,422 @@
+(* The x3 command-line tool.
+
+   Subcommands:
+     x3 cube <query.x3> [--doc file.xml] [--algorithm NAME] ...
+         Parse an X^3 query, run it against an XML document, print the cube.
+     x3 lattice <query.x3>
+         Print the relaxed-cube lattice and the MRFI pattern of a query.
+     x3 analyze <query.x3> --doc file.xml [--dtd file.dtd]
+         Report schema-inferred and observed summarizability properties.
+     x3 gen (treebank|dblp|publications) [knobs] -o out.xml
+         Emit a synthetic workload document.
+     x3 info file.xml
+         Parse and summarise an XML document. *)
+
+module Engine = X3_core.Engine
+module Lattice = X3_lattice.Lattice
+module Properties = X3_lattice.Properties
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("x3: " ^ msg);
+      exit 1
+
+let parse_query path =
+  let source =
+    if path = "-" then In_channel.input_all In_channel.stdin
+    else read_file path
+  in
+  or_die (X3_ql.Compile.parse_and_compile source)
+
+let load_document path =
+  match X3_xml.Parser.parse_file_with_dtd path with
+  | Ok (doc, dtd) -> (doc, dtd)
+  | Error e ->
+      prerr_endline (Format.asprintf "x3: %a" X3_xml.Parser.pp_error e);
+      exit 1
+
+let make_pool () =
+  X3_storage.Buffer_pool.create ~capacity_pages:65536
+    (X3_storage.Disk.in_memory ~page_size:8192 ())
+
+let prepare_from_query query_path doc_override =
+  let { X3_ql.Compile.document; spec } = parse_query query_path in
+  let doc_path = Option.value doc_override ~default:document in
+  let doc, dtd = load_document doc_path in
+  let store = X3_xdb.Store.of_document doc in
+  let prepared = Engine.prepare ~pool:(make_pool ()) ~store spec in
+  (spec, prepared, doc, dtd)
+
+(* --- cube --------------------------------------------------------------- *)
+
+let run_cube query_path doc algorithm_name use_schema max_groups format =
+  let spec, prepared, document, inline_dtd =
+    prepare_from_query query_path doc
+  in
+  let algorithm =
+    match Engine.algorithm_of_string algorithm_name with
+    | Some a -> a
+    | None ->
+        prerr_endline
+          ("x3: unknown algorithm " ^ algorithm_name
+         ^ " (expected NAIVE, COUNTER, BUC, BUCOPT, BUCCUST, TD, TDOPT, \
+            TDOPTALL or TDCUST)");
+        exit 1
+  in
+  let lattice = Engine.lattice prepared in
+  let props =
+    if use_schema then
+      match inline_dtd with
+      | Some dtd ->
+          Some
+            (Properties.infer
+               ~schema:(X3_xml.Schema.of_dtd dtd)
+               ~fact_tag:(Engine.fact_tag spec) lattice)
+      | None ->
+          (* No DTD: observe the instance, the "customised" fallback. *)
+          Some (Properties.observe (Engine.table prepared) lattice)
+    else None
+  in
+  ignore document;
+  let t0 = Unix.gettimeofday () in
+  let result, instr = Engine.run ?props prepared algorithm in
+  let dt = Unix.gettimeofday () -. t0 in
+  (match format with
+  | "table" ->
+      Format.printf "%a@."
+        (X3_core.Cube_result.pp ~max_groups ~func:spec.Engine.func)
+        result;
+      Format.printf "%s: %d cuboids, %d cells, %.3fs — %a@."
+        (Engine.algorithm_to_string algorithm)
+        (Lattice.size lattice)
+        (X3_core.Cube_result.total_cells result)
+        dt X3_core.Instrument.pp instr
+  | "csv" ->
+      print_string (X3_core.Export.csv_string ~func:spec.Engine.func result)
+  | "json" ->
+      print_string (X3_core.Export.json_string ~func:spec.Engine.func result)
+  | other ->
+      prerr_endline
+        ("x3: unknown format " ^ other ^ " (expected table, csv or json)");
+      exit 1)
+
+(* --- lattice ------------------------------------------------------------ *)
+
+let run_lattice query_path dot =
+  let { X3_ql.Compile.spec; _ } = parse_query query_path in
+  let lattice = Lattice.build spec.Engine.axes in
+  let fact_tag = Engine.fact_tag spec in
+  if dot then
+    print_string (X3_lattice.Render.to_dot ~fact_tag lattice)
+  else begin
+    Format.printf "Most relaxed fully instantiated pattern (Fig. 2):@.%a@."
+      X3_pattern.Mrfi.pp
+      (X3_pattern.Mrfi.of_axes ~fact_tag spec.Engine.axes);
+    Format.printf
+      "Cube lattice (%d cuboids), least to most relaxed — each point is a \
+       relaxed tree pattern (Fig. 3):@.%a"
+      (Lattice.size lattice)
+      (X3_lattice.Render.pp_lattice ~fact_tag)
+      lattice
+  end
+
+(* --- analyze ------------------------------------------------------------ *)
+
+let run_analyze query_path doc dtd_path =
+  let spec, prepared, _document, inline_dtd =
+    prepare_from_query query_path doc
+  in
+  let lattice = Engine.lattice prepared in
+  let dtd =
+    match dtd_path with
+    | Some path -> (
+        match X3_xml.Dtd.parse (read_file path) with
+        | Ok dtd -> Some dtd
+        | Error msg ->
+            prerr_endline ("x3: " ^ msg);
+            exit 1)
+    | None -> inline_dtd
+  in
+  (match dtd with
+  | Some dtd ->
+      let schema = X3_xml.Schema.of_dtd dtd in
+      let inferred =
+        Properties.infer ~schema ~fact_tag:(Engine.fact_tag spec) lattice
+      in
+      Format.printf "Schema-inferred properties (§3.7):@.%a@."
+        (Properties.pp_report lattice)
+        inferred
+  | None -> Format.printf "No DTD available; skipping schema inference.@.");
+  Format.printf "%a@." X3_pattern.Table_stats.pp
+    (X3_pattern.Table_stats.compute (Engine.table prepared));
+  let observed = Properties.observe (Engine.table prepared) lattice in
+  Format.printf "Observed properties of this instance:@.%a@."
+    (Properties.pp_report lattice)
+    observed;
+  Format.printf
+    "Summary: disjointness %s, strict disjointness %s, total coverage %s.@."
+    (if Properties.all_disjoint observed then "holds" else "fails")
+    (if Properties.all_strictly_disjoint observed then "holds" else "fails")
+    (if Properties.all_covered observed then "holds" else "fails")
+
+(* --- pivot -------------------------------------------------------------- *)
+
+let run_pivot query_path doc rows cols row_state col_state =
+  let spec, prepared, _document, _dtd = prepare_from_query query_path doc in
+  let axis_index name =
+    let found = ref None in
+    Array.iteri
+      (fun i axis ->
+        if String.equal axis.X3_pattern.Axis.name name then found := Some i)
+      spec.Engine.axes;
+    match !found with
+    | Some i -> i
+    | None ->
+        prerr_endline
+          ("x3: no axis named " ^ name ^ " (expected one of "
+          ^ String.concat ", "
+              (Array.to_list
+                 (Array.map
+                    (fun a -> a.X3_pattern.Axis.name)
+                    spec.Engine.axes))
+          ^ ")");
+        exit 1
+  in
+  let row_axis = axis_index rows and col_axis = axis_index cols in
+  let cube, _ = Engine.run prepared Engine.Counter in
+  match
+    X3_core.Pivot.make ~func:spec.Engine.func ~row_axis ~row_state ~col_axis
+      ~col_state cube
+  with
+  | Error msg ->
+      prerr_endline ("x3: " ^ msg);
+      exit 1
+  | Ok pivot -> Format.printf "%a" X3_core.Pivot.pp pivot
+
+(* --- gen ---------------------------------------------------------------- *)
+
+let run_gen kind out trees axes coverage disjoint dense seed =
+  let doc =
+    match kind with
+    | "treebank" ->
+        X3_workload.Treebank.generate
+          {
+            X3_workload.Treebank.seed;
+            num_trees = trees;
+            axes;
+            coverage;
+            disjoint;
+            density =
+              (if dense then X3_workload.Treebank.Dense
+               else X3_workload.Treebank.Sparse);
+          }
+    | "dblp" ->
+        X3_workload.Dblp.generate { X3_workload.Dblp.seed; num_articles = trees }
+    | "catalog" ->
+        X3_workload.Catalog.generate
+          { X3_workload.Catalog.seed; num_products = trees; price_buckets = 20 }
+    | "publications" -> X3_workload.Publications.document ()
+    | other ->
+        prerr_endline
+          ("x3: unknown generator " ^ other
+         ^ " (expected treebank, dblp, catalog or publications)");
+        exit 1
+  in
+  match out with
+  | None -> print_string (X3_xml.Serialize.to_string ~indent:true doc)
+  | Some path ->
+      X3_xml.Serialize.to_file ~indent:true path doc;
+      Printf.printf "wrote %s\n" path
+
+(* --- info --------------------------------------------------------------- *)
+
+let run_info path =
+  let doc, dtd = load_document path in
+  let store = X3_xdb.Store.of_document doc in
+  Format.printf "%s: %a@." path X3_xdb.Store.pp_summary store;
+  (match dtd with
+  | Some dtd ->
+      Format.printf "internal DTD subset:@.%a" X3_xml.Dtd.pp dtd
+  | None -> ());
+  let tags = X3_xdb.Store.tags store in
+  Format.printf "element tags (%d):@." (List.length tags);
+  List.iter
+    (fun tag ->
+      if String.length tag > 0 && tag.[0] <> '@' && tag.[0] <> '#' then
+        Format.printf "  %-20s x%d@." tag
+          (Array.length (X3_xdb.Store.nodes_with_tag store tag)))
+    tags
+
+(* --- cmdliner wiring ------------------------------------------------------ *)
+
+open Cmdliner
+
+let query_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"QUERY" ~doc:"X^3 query file ('-' for stdin).")
+
+let doc_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "doc" ] ~docv:"FILE"
+        ~doc:"XML document to run against (overrides the query's doc(...)).")
+
+let cube_cmd =
+  let algorithm =
+    Arg.(
+      value & opt string "COUNTER"
+      & info [ "algorithm"; "a" ] ~docv:"NAME"
+          ~doc:
+            "Cube algorithm: NAIVE, COUNTER, BUC, BUCOPT, BUCCUST, TD, \
+             TDOPT, TDOPTALL, TDCUST.")
+  in
+  let use_schema =
+    Arg.(
+      value & flag
+      & info [ "schema" ]
+          ~doc:
+            "Give the customised variants schema knowledge (from the \
+             document's DTD, or observed from the instance).")
+  in
+  let max_groups =
+    Arg.(
+      value & opt int 10
+      & info [ "max-groups" ] ~docv:"N"
+          ~doc:"Groups to print per cuboid.")
+  in
+  let format =
+    Arg.(
+      value & opt string "table"
+      & info [ "format"; "f" ] ~docv:"FMT" ~doc:"Output: table, csv or json.")
+  in
+  Cmd.v
+    (Cmd.info "cube" ~doc:"Run an X^3 query and print the cube")
+    Term.(
+      const run_cube $ query_arg $ doc_arg $ algorithm $ use_schema
+      $ max_groups $ format)
+
+let lattice_cmd =
+  let dot =
+    Arg.(
+      value & flag
+      & info [ "dot" ] ~doc:"Emit the lattice as a Graphviz digraph.")
+  in
+  Cmd.v
+    (Cmd.info "lattice"
+       ~doc:"Print a query's MRFI pattern and relaxed-cube lattice")
+    Term.(const run_lattice $ query_arg $ dot)
+
+let analyze_cmd =
+  let dtd =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dtd" ] ~docv:"FILE" ~doc:"External DTD file.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Report summarizability properties over the lattice")
+    Term.(const run_analyze $ query_arg $ doc_arg $ dtd)
+
+let gen_cmd =
+  let kind =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"KIND" ~doc:"treebank, dblp or publications.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+  in
+  let trees =
+    Arg.(
+      value & opt int 1000
+      & info [ "trees" ] ~docv:"N" ~doc:"Number of facts to generate.")
+  in
+  let axes =
+    Arg.(value & opt int 3 & info [ "axes" ] ~docv:"K" ~doc:"Treebank axes (1-7).")
+  in
+  let coverage =
+    Arg.(
+      value & opt bool true
+      & info [ "coverage" ] ~docv:"BOOL" ~doc:"Total coverage holds.")
+  in
+  let disjoint =
+    Arg.(
+      value & opt bool true
+      & info [ "disjoint" ] ~docv:"BOOL" ~doc:"Disjointness holds.")
+  in
+  let dense =
+    Arg.(value & flag & info [ "dense" ] ~doc:"Dense cube values.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic workload document")
+    Term.(
+      const run_gen $ kind $ out $ trees $ axes $ coverage $ disjoint $ dense
+      $ seed)
+
+let pivot_cmd =
+  let rows =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "rows" ] ~docv:"AXIS" ~doc:"Axis variable for rows, e.g. \\$n.")
+  in
+  let cols =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "cols" ] ~docv:"AXIS" ~doc:"Axis variable for columns.")
+  in
+  let row_state =
+    Arg.(
+      value & opt int 0
+      & info [ "row-state" ] ~docv:"MASK"
+          ~doc:"Structural state mask of the row axis (0 = rigid).")
+  in
+  let col_state =
+    Arg.(
+      value & opt int 0
+      & info [ "col-state" ] ~docv:"MASK"
+          ~doc:"Structural state mask of the column axis.")
+  in
+  Cmd.v
+    (Cmd.info "pivot"
+       ~doc:"Cross-tabulate two axes of a query's cube, with sub-totals")
+    Term.(
+      const run_pivot $ query_arg $ doc_arg $ rows $ cols $ row_state
+      $ col_state)
+
+let info_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"XML document.")
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Parse and summarise an XML document")
+    Term.(const run_info $ path)
+
+let () =
+  let doc = "X^3: a cube operator for XML OLAP (ICDE 2007)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "x3" ~doc)
+          [ cube_cmd; lattice_cmd; analyze_cmd; pivot_cmd; gen_cmd; info_cmd ]))

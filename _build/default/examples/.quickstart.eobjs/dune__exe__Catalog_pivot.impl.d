@@ -1,0 +1,1 @@
+examples/catalog_pivot.ml: Format X3_core X3_pattern X3_ql X3_storage X3_workload X3_xdb

@@ -1,0 +1,1 @@
+examples/dblp_analytics.ml: Array Format Fun List String Unix X3_core X3_lattice X3_storage X3_workload X3_xdb X3_xml

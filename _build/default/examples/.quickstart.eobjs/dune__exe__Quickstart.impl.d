@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format X3_core X3_pattern X3_storage X3_xdb X3_xml

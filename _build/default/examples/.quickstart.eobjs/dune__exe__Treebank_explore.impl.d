@@ -1,0 +1,1 @@
+examples/treebank_explore.ml: Format List Unix X3_core X3_lattice X3_storage X3_workload X3_xdb

@@ -1,0 +1,59 @@
+(* An electronic-catalog session (the paper's §1 motivation): run an X^3
+   query written in the query language — with a where clause — over
+   generated catalog data, then read the cube back as a cross-tab with
+   sub-totals, Gray et al.'s original cube view.
+
+   Run with:  dune exec examples/catalog_pivot.exe *)
+
+module Engine = X3_core.Engine
+
+let query =
+  {|for $p in doc("catalog.xml")//product,
+      $brand in $p/specs/brand,
+      $cat in $p/category,
+      $price in $p/price
+  where $p/price >= 50
+  X^3 $p/@sku by $brand (LND, SP, PC-AD),
+      $cat (LND),
+      $price (LND)
+  return COUNT($p).|}
+
+let () =
+  Format.printf "== The query ==@.%s@.@." query;
+  let { X3_ql.Compile.spec; _ } =
+    match X3_ql.Compile.parse_and_compile query with
+    | Ok c -> c
+    | Error msg -> failwith msg
+  in
+  let doc =
+    X3_workload.Catalog.generate
+      { X3_workload.Catalog.seed = 19; num_products = 3_000; price_buckets = 12 }
+  in
+  let store = X3_xdb.Store.of_document doc in
+  let pool = X3_storage.Buffer_pool.create (X3_storage.Disk.in_memory ()) in
+  let prepared = Engine.prepare ~pool ~store spec in
+  Format.printf "== Witness table after the where clause ==@.%a@."
+    X3_pattern.Table_stats.pp
+    (X3_pattern.Table_stats.compute (Engine.table prepared));
+  let cube, _ = Engine.run prepared Engine.Counter in
+
+  (* Brand x category cross-tab. Brands live in heterogeneous spots, so
+     the interesting choice is the brand axis's relaxation state: *)
+  let show ~title ~row_state =
+    match
+      X3_core.Pivot.make ~func:X3_core.Aggregate.Count ~row_axis:0 ~row_state
+        ~col_axis:1 cube
+    with
+    | Error msg -> failwith msg
+    | Ok pivot ->
+        Format.printf "== %s ==@.%a@." title X3_core.Pivot.pp pivot
+  in
+  show ~title:"brand x category, rigid specs/brand pattern" ~row_state:0;
+  (* state bits: 1 = PC-AD, 2 = SP *)
+  show ~title:"brand x category, SP + PC-AD relaxed (all brands recovered)"
+    ~row_state:3;
+  Format.printf
+    "The rigid cross-tab sees only canonically-placed brands; the relaxed \
+     one recovers vendor-nested and astray brands, while the row totals \
+     (from the brand-only cuboids) and grand total (ALL) come from other \
+     lattice points of the same cube.@."

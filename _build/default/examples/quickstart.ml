@@ -1,0 +1,58 @@
+(* Quickstart: cube a small XML document in a dozen lines.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Axis = X3_pattern.Axis
+module Relax = X3_pattern.Relax
+module Engine = X3_core.Engine
+
+let sales_xml =
+  {|<sales>
+      <sale><region>east</region><product>ant</product><qty>2</qty></sale>
+      <sale><region>east</region><product>bee</product><qty>1</qty></sale>
+      <sale><region>west</region><product>ant</product><qty>5</qty></sale>
+      <sale><region>west</region><qty>3</qty></sale>
+    </sales>|}
+
+let child tag = { Axis.axis = X3_xdb.Structural_join.Child; tag }
+let desc tag = { Axis.axis = X3_xdb.Structural_join.Descendant; tag }
+
+let () =
+  (* 1. Parse and load the document into the native store. *)
+  let doc =
+    match X3_xml.Parser.parse sales_xml with
+    | Ok doc -> doc
+    | Error e -> failwith (Format.asprintf "%a" X3_xml.Parser.pp_error e)
+  in
+  let store = X3_xdb.Store.of_document doc in
+
+  (* 2. Describe the cube: facts are //sale, axes are region and product,
+        both removable (LND) — note the fourth sale has no product, the
+        XML-flavoured wrinkle the X^3 operator is built for. *)
+  let spec =
+    Engine.count_spec ~fact_path:[ desc "sale" ]
+      ~axes:
+        [|
+          Axis.make_exn ~name:"$region" ~steps:[ child "region" ]
+            ~allowed:[ Relax.Lnd ];
+          Axis.make_exn ~name:"$product" ~steps:[ child "product" ]
+            ~allowed:[ Relax.Lnd ];
+        |]
+  in
+
+  (* 3. Evaluate the pattern and compute the cube. *)
+  let pool =
+    X3_storage.Buffer_pool.create
+      (X3_storage.Disk.in_memory ())
+  in
+  let prepared = Engine.prepare ~pool ~store spec in
+  let cube, _stats = Engine.run prepared Engine.Counter in
+
+  (* 4. Read the answers back. *)
+  Format.printf "%a@."
+    (X3_core.Cube_result.pp ~max_groups:10 ~func:X3_core.Aggregate.Count)
+    cube;
+  Format.printf
+    "Note: the (region) group-by counts all 4 sales, but every (region, \
+     product) group misses the product-less sale — the coverage phenomenon \
+     of the paper's Figure 1.@."

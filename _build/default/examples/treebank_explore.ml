@@ -1,0 +1,80 @@
+(* Exploring structural heterogeneity on the Treebank-like workload: how
+   the same cube specification behaves across the paper's four
+   summarizability settings, and what each relaxation step buys.
+
+   Run with:  dune exec examples/treebank_explore.exe *)
+
+module Engine = X3_core.Engine
+module Lattice = X3_lattice.Lattice
+module State = X3_lattice.State
+module Properties = X3_lattice.Properties
+module Treebank = X3_workload.Treebank
+
+let pool () = X3_storage.Buffer_pool.create (X3_storage.Disk.in_memory ())
+
+let () =
+  Format.printf
+    "Setting               disjoint  strictly  covered   facts in group-by \
+     d1 (rigid vs PC-AD vs removed)@.";
+  List.iter
+    (fun (label, coverage, disjoint) ->
+      let config =
+        { Treebank.default with num_trees = 2_000; axes = 2; coverage; disjoint }
+      in
+      let doc = Treebank.generate config in
+      let store = X3_xdb.Store.of_document doc in
+      let prepared =
+        Engine.prepare ~pool:(pool ()) ~store (Treebank.spec config)
+      in
+      let lattice = Engine.lattice prepared in
+      let props = Properties.observe (Engine.table prepared) lattice in
+      let cube, _ = Engine.run prepared Engine.Naive in
+      (* How many facts does the d1 group-by reach at each relaxation
+         level?  Sum the counts over the cuboid's groups. *)
+      let total states =
+        let id = Lattice.id lattice states in
+        List.fold_left
+          (fun acc (_, cell) ->
+            acc + int_of_float (X3_core.Aggregate.value X3_core.Aggregate.Count cell))
+          0
+          (X3_core.Cube_result.cuboid_cells cube id)
+      in
+      let rigid = total [| State.Present 0; State.Removed |] in
+      let pcad = total [| State.Present 1; State.Removed |] in
+      let removed = total [| State.Removed; State.Removed |] in
+      Format.printf "%-22s %-9b %-9b %-9b %6d < %6d <= %6d@." label
+        (Properties.all_disjoint props)
+        (Properties.all_strictly_disjoint props)
+        (Properties.all_covered props)
+        rigid pcad removed)
+    [
+      ("coverage+disjoint", true, true);
+      ("coverage only", true, false);
+      ("disjoint only", false, true);
+      ("neither", false, false);
+    ];
+  Format.printf
+    "@.Reading the last columns: the rigid pattern loses facts to nesting \
+     and omission; PC-AD recovers the nested ones; removing the axis (LND) \
+     recovers them all. (With disjointness broken, group totals exceed the \
+     fact count because facts legitimately sit in several groups.)@.@.";
+
+  (* The same data, sliced by algorithm choice: what §4.6 recommends. *)
+  let config =
+    { Treebank.default with num_trees = 5_000; axes = 4; coverage = false; disjoint = true }
+  in
+  let store = X3_xdb.Store.of_document (Treebank.generate config) in
+  let prepared = Engine.prepare ~pool:(pool ()) ~store (Treebank.spec config) in
+  Format.printf
+    "Timing the §4.6 menu on a sparse 4-axis cube (coverage fails, \
+     disjointness holds):@.";
+  List.iter
+    (fun algorithm ->
+      let t0 = Unix.gettimeofday () in
+      let _, instr = Engine.run prepared algorithm in
+      Format.printf "  %-9s %6.3fs  (sorts=%d, scans=%d, passes=%d)@."
+        (Engine.algorithm_to_string algorithm)
+        (Unix.gettimeofday () -. t0)
+        instr.X3_core.Instrument.sort_ops instr.X3_core.Instrument.table_scans
+        instr.X3_core.Instrument.passes)
+    Engine.[ Counter; Buc; Bucopt; Td; Tdopt ]

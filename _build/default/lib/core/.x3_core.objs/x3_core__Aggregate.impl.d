@@ -1,0 +1,1 @@
+lib/core/aggregate.ml: Float Format String

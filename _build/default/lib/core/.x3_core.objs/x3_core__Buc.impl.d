@@ -1,0 +1,1 @@
+lib/core/buc.ml: Aggregate Array Context Cube_result Group_key Hashtbl Instrument Lazy List String X3_lattice X3_pattern X3_storage

@@ -1,0 +1,1 @@
+lib/core/buc.mli: Context Cube_result X3_lattice

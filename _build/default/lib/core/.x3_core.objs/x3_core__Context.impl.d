@@ -1,0 +1,1 @@
+lib/core/context.ml: Array Instrument List X3_lattice X3_pattern

@@ -1,0 +1,1 @@
+lib/core/context.mli: Instrument X3_lattice X3_pattern

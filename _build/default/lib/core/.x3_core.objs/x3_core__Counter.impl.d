@@ -1,0 +1,1 @@
+lib/core/counter.ml: Aggregate Array Context Cube_result Group_key Hashtbl Instrument List X3_lattice X3_pattern

@@ -1,0 +1,1 @@
+lib/core/cube_result.ml: Aggregate Array Format Group_key Hashtbl List Printf String X3_lattice

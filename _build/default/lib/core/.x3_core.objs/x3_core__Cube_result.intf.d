@@ -1,0 +1,1 @@
+lib/core/cube_result.mli: Aggregate Format X3_lattice

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Aggregate Buc Context Counter Float Hashtbl List Naive String Topdown X3_lattice X3_pattern X3_xdb

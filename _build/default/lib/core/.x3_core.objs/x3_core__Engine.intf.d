@@ -1,0 +1,1 @@
+lib/core/engine.mli: Aggregate Cube_result Instrument X3_lattice X3_pattern X3_storage X3_xdb

@@ -1,0 +1,1 @@
+lib/core/export.ml: Aggregate Array Buffer Char Cube_result Float Group_key List Printf String X3_lattice X3_pattern

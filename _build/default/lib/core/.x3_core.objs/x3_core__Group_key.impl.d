@@ -1,0 +1,1 @@
+lib/core/group_key.ml: Array Buffer Char Format List String X3_lattice X3_pattern

@@ -1,0 +1,1 @@
+lib/core/group_key.mli: Format X3_lattice X3_pattern

@@ -1,0 +1,1 @@
+lib/core/materialized.ml: Aggregate Context Cube_result Group_key Hashtbl Int List Printf Set String X3_lattice X3_pattern

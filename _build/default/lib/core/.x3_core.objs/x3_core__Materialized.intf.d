@@ -1,0 +1,1 @@
+lib/core/materialized.mli: Aggregate Context Cube_result X3_lattice

@@ -1,0 +1,1 @@
+lib/core/naive.ml: Aggregate Array Context Cube_result Group_key Hashtbl List X3_lattice X3_pattern

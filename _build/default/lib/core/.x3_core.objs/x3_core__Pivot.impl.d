@@ -1,0 +1,1 @@
+lib/core/pivot.ml: Aggregate Array Cube_result Float Format Group_key List Option Printf Result String X3_lattice X3_pattern

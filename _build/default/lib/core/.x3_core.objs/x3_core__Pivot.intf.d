@@ -1,0 +1,1 @@
+lib/core/pivot.mli: Aggregate Cube_result Format

@@ -1,0 +1,1 @@
+lib/core/sort_record.ml: Buffer Bytes Char Int32 Int64 String

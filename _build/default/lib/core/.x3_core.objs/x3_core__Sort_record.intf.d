@@ -1,0 +1,1 @@
+lib/core/sort_record.mli:

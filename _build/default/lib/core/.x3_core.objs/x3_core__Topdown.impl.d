@@ -1,0 +1,1 @@
+lib/core/topdown.ml: Aggregate Array Context Cube_result Group_key Instrument List Sort_record String X3_lattice X3_pattern X3_storage

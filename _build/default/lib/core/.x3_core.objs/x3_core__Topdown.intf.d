@@ -1,0 +1,1 @@
+lib/core/topdown.mli: Context Cube_result X3_lattice

@@ -1,0 +1,59 @@
+type func = Count | Sum | Avg | Min | Max
+
+let func_to_string = function
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+  | Avg -> "AVG"
+  | Min -> "MIN"
+  | Max -> "MAX"
+
+let func_of_string s =
+  match String.uppercase_ascii s with
+  | "COUNT" -> Some Count
+  | "SUM" -> Some Sum
+  | "AVG" -> Some Avg
+  | "MIN" -> Some Min
+  | "MAX" -> Some Max
+  | _ -> None
+
+type cell = {
+  mutable n : int;
+  mutable total : float;
+  mutable low : float;
+  mutable high : float;
+}
+
+let create () = { n = 0; total = 0.; low = infinity; high = neg_infinity }
+
+let add cell m =
+  cell.n <- cell.n + 1;
+  cell.total <- cell.total +. m;
+  if m < cell.low then cell.low <- m;
+  if m > cell.high then cell.high <- m
+
+let merge ~into cell =
+  into.n <- into.n + cell.n;
+  into.total <- into.total +. cell.total;
+  if cell.low < into.low then into.low <- cell.low;
+  if cell.high > into.high then into.high <- cell.high
+
+let copy cell = { n = cell.n; total = cell.total; low = cell.low; high = cell.high }
+
+let value func cell =
+  match func with
+  | Count -> float_of_int cell.n
+  | Sum -> cell.total
+  | Avg -> if cell.n = 0 then nan else cell.total /. float_of_int cell.n
+  | Min -> if cell.n = 0 then nan else cell.low
+  | Max -> if cell.n = 0 then nan else cell.high
+
+let equal_value func a b =
+  let va = value func a and vb = value func b in
+  if Float.is_nan va && Float.is_nan vb then true
+  else begin
+    let scale = max 1. (max (Float.abs va) (Float.abs vb)) in
+    Float.abs (va -. vb) <= 1e-9 *. scale
+  end
+
+let pp func ppf cell =
+  Format.fprintf ppf "%s=%g" (func_to_string func) (value func cell)

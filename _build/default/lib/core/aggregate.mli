@@ -1,0 +1,36 @@
+(** Aggregate functions over groups of facts.
+
+    The paper evaluates COUNT and notes other distributive (SUM, MIN, MAX)
+    and algebraic (AVG) operators behave similarly; we implement all five.
+    One mutable cell accumulates enough state to answer any of them, and
+    cells merge associatively, which is what top-down roll-up needs. *)
+
+type func = Count | Sum | Avg | Min | Max
+
+val func_to_string : func -> string
+val func_of_string : string -> func option
+
+type cell = {
+  mutable n : int;  (** number of contributing facts *)
+  mutable total : float;
+  mutable low : float;
+  mutable high : float;
+}
+
+val create : unit -> cell
+val add : cell -> float -> unit
+(** Fold one fact's measure into the cell. *)
+
+val merge : into:cell -> cell -> unit
+(** Associative and commutative; the identity is a fresh cell. *)
+
+val copy : cell -> cell
+
+val value : func -> cell -> float
+(** [value Avg cell] on an empty cell is [nan]; [Min]/[Max] likewise. *)
+
+val equal_value : func -> cell -> cell -> bool
+(** Compare the answers of two cells under [func] with a small relative
+    tolerance for float accumulation order. *)
+
+val pp : func -> Format.formatter -> cell -> unit

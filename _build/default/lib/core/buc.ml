@@ -1,0 +1,162 @@
+module Lattice = X3_lattice.Lattice
+module State = X3_lattice.State
+module Axis = X3_pattern.Axis
+module Witness = X3_pattern.Witness
+module Quicksort = X3_storage.Quicksort
+
+type variant = [ `Plain | `Opt | `Custom of X3_lattice.Properties.t ]
+
+let compute ~variant (ctx : Context.t) =
+  let lattice = ctx.lattice in
+  let axes = Lattice.axes lattice in
+  let k = Array.length axes in
+  let result = Cube_result.create lattice in
+  let instr = ctx.instr in
+  (* The base witness set is read once from the materialised table; the
+     recursion then partitions in memory, as BUC does when the input fits
+     (our scaled inputs do; the I/O cost of the initial read is counted). *)
+  let rows =
+    let acc = ref [] in
+    Context.scan ctx (fun row -> acc := row :: !acc);
+    Array.of_list (List.rev !acc)
+  in
+  let states = Array.make k State.Removed in
+  let cell_value row ai = row.Witness.cells.(ai).Witness.value in
+  (* Only rows holding the fact's first binding on every removed axis
+     represent their fact here (see Context.row_represents); the partition
+     keeps the others because deeper refinements may make those axes
+     present. *)
+  let represents row =
+    let rec go ai =
+      ai >= k
+      || ((match states.(ai) with
+          | State.Removed -> row.Witness.cells.(ai).Witness.first
+          | State.Present _ -> true)
+         && go (ai + 1))
+    in
+    go 0
+  in
+  let aggregate_into cid key rows_lo rows_hi part =
+    (* Three aggregation modes (§3.4):
+       - BUC: representative rows, deduplicated by fact id — always correct;
+       - BUCOPT: raw row counts, assuming strict disjointness globally —
+         cheap, and silently wrong when the assumption fails (a fact's
+         cartesian duplicates all get counted);
+       - BUCCUST: where the property oracle proves the cuboid disjoint,
+         count representative rows without identity tracking; elsewhere run
+         the full BUC aggregation. *)
+    let mode =
+      match variant with
+      | `Plain -> `Dedup
+      | `Opt -> `Raw
+      | `Custom props ->
+          if X3_lattice.Properties.cuboid_disjoint props cid then
+            `Representative
+          else `Dedup
+    in
+    let cell = lazy (Cube_result.cell result ~cuboid:cid ~key) in
+    match mode with
+    | `Raw ->
+        for i = rows_lo to rows_hi do
+          Aggregate.add (Lazy.force cell) (ctx.measure part.(i).Witness.fact)
+        done
+    | `Representative ->
+        for i = rows_lo to rows_hi do
+          if represents part.(i) then
+            Aggregate.add (Lazy.force cell) (ctx.measure part.(i).Witness.fact)
+        done
+    | `Dedup ->
+        let seen = Hashtbl.create 16 in
+        for i = rows_lo to rows_hi do
+          if represents part.(i) then begin
+            let fact = part.(i).Witness.fact in
+            if not (Hashtbl.mem seen fact) then begin
+              Hashtbl.add seen fact ();
+              Aggregate.add (Lazy.force cell) (ctx.measure fact)
+            end
+          end
+        done;
+        instr.Instrument.dedup_tracked <-
+          instr.Instrument.dedup_tracked + Hashtbl.length seen
+  in
+  (* Is the current state vector a cuboid of the lattice?  Any axis left
+     Removed — skipped by the recursion or not yet reached — must actually
+     allow LND; otherwise this restriction is only an intermediate step
+     and must not be emitted. *)
+  let emittable () =
+    let rec go i =
+      i >= k
+      || ((match states.(i) with
+          | State.Removed -> Axis.allows_lnd axes.(i)
+          | State.Present _ -> true)
+         && go (i + 1))
+    in
+    go 0
+  in
+  let rec refine part lo hi next key_parts =
+    (* Empty restrictions produce no groups (a group exists only if some
+       fact is in it), matching the reference semantics. *)
+    if hi >= lo && emittable () then begin
+      let cid = Lattice.id lattice (Array.copy states) in
+      aggregate_into cid (Group_key.encode (List.rev key_parts)) lo hi part
+    end;
+    for ai = next to k - 1 do
+      List.iter
+        (fun mask ->
+          (* Restrict to rows whose axis-[ai] binding is valid at [mask]:
+             count, then fill, to avoid intermediate lists. *)
+          let n = ref 0 in
+          for i = lo to hi do
+            if Witness.qualifies part.(i) ~axis_index:ai ~state:mask then
+              incr n
+          done;
+          let sub =
+            if !n = 0 then [||]
+            else begin
+              let sub = Array.make !n part.(lo) in
+              let j = ref 0 in
+              for i = lo to hi do
+                let row = part.(i) in
+                if Witness.qualifies row ~axis_index:ai ~state:mask then begin
+                  sub.(!j) <- row;
+                  incr j
+                end
+              done;
+              sub
+            end
+          in
+          let n = Array.length sub in
+          if n > 0 then begin
+            (* Partition on the grouping value: quicksort then sweep. *)
+            instr.Instrument.sort_ops <- instr.Instrument.sort_ops + 1;
+            instr.Instrument.rows_sorted <- instr.Instrument.rows_sorted + n;
+            Quicksort.sort
+              ~compare:(fun a b ->
+                match (cell_value a ai, cell_value b ai) with
+                | Some va, Some vb -> String.compare va vb
+                | _ -> assert false (* qualifying rows have values *))
+              sub;
+            states.(ai) <- State.Present mask;
+            let run_start = ref 0 in
+            for i = 1 to n do
+              let boundary =
+                i = n
+                || cell_value sub.(i) ai <> cell_value sub.(!run_start) ai
+              in
+              if boundary then begin
+                let value =
+                  match cell_value sub.(!run_start) ai with
+                  | Some v -> v
+                  | None -> assert false
+                in
+                refine sub !run_start (i - 1) (ai + 1) (value :: key_parts);
+                run_start := i
+              end
+            done;
+            states.(ai) <- State.Removed
+          end)
+        (Axis.states axes.(ai))
+    done
+  in
+  refine rows 0 (Array.length rows - 1) 0 [];
+  result

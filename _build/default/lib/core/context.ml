@@ -1,0 +1,51 @@
+module Witness = X3_pattern.Witness
+module State = X3_lattice.State
+
+type t = {
+  table : Witness.t;
+  lattice : X3_lattice.Lattice.t;
+  measure : int -> float;
+  instr : Instrument.t;
+  counter_budget : int;
+  sort_budget : int;
+}
+
+let create ?(counter_budget = 1_000_000) ?(sort_budget = 200_000) ~table
+    ~lattice ~measure () =
+  {
+    table;
+    lattice;
+    measure;
+    instr = Instrument.create ();
+    counter_budget;
+    sort_budget;
+  }
+
+let scan t f =
+  t.instr.Instrument.table_scans <- t.instr.Instrument.table_scans + 1;
+  Witness.iter
+    (fun row ->
+      t.instr.Instrument.rows_scanned <- t.instr.Instrument.rows_scanned + 1;
+      f row)
+    t.table
+
+let scan_blocks t f =
+  t.instr.Instrument.table_scans <- t.instr.Instrument.table_scans + 1;
+  Witness.iter_fact_blocks
+    (fun block ->
+      t.instr.Instrument.rows_scanned <-
+        t.instr.Instrument.rows_scanned + List.length block;
+      f block)
+    t.table
+
+let row_represents cuboid row =
+  let n = Array.length cuboid in
+  let rec go ai =
+    ai >= n
+    ||
+    match cuboid.(ai) with
+    | State.Removed -> row.Witness.cells.(ai).Witness.first && go (ai + 1)
+    | State.Present m ->
+        Witness.qualifies row ~axis_index:ai ~state:m && go (ai + 1)
+  in
+  go 0

@@ -1,0 +1,39 @@
+(** Shared run context for the cube-computation algorithms. *)
+
+type t = {
+  table : X3_pattern.Witness.t;  (** the materialised witness table *)
+  lattice : X3_lattice.Lattice.t;
+  measure : int -> float;  (** fact id -> measure value (1.0 for COUNT) *)
+  instr : Instrument.t;
+  counter_budget : int;
+      (** max simultaneously-live group counters for COUNTER — the paper's
+          "fits in memory" knob *)
+  sort_budget : int;
+      (** max rows resident in one sort — beyond it sorts go external *)
+}
+
+val create :
+  ?counter_budget:int ->
+  ?sort_budget:int ->
+  table:X3_pattern.Witness.t ->
+  lattice:X3_lattice.Lattice.t ->
+  measure:(int -> float) ->
+  unit ->
+  t
+(** Budgets default to 1_000_000 counters and 200_000 rows. *)
+
+val scan : t -> (X3_pattern.Witness.row -> unit) -> unit
+(** One instrumented pass over the witness table. *)
+
+val scan_blocks : t -> (X3_pattern.Witness.row list -> unit) -> unit
+(** Instrumented pass grouped by fact. *)
+
+val row_represents : X3_lattice.Cuboid.t -> X3_pattern.Witness.row -> bool
+(** Is this row the fact's canonical representative in the cuboid: every
+    present axis holds a binding valid at the cuboid's structural state,
+    and every LND-removed axis holds the fact's {e first} binding. The
+    first-binding condition collapses the cartesian duplicates that
+    repeated bindings on removed axes would otherwise create, so a fact
+    gets exactly one representative per distinct group key — unless a
+    present axis itself repeats, which is precisely the disjointness
+    violation of §3.2. *)

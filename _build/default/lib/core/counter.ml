@@ -1,0 +1,76 @@
+module Lattice = X3_lattice.Lattice
+module Witness = X3_pattern.Witness
+
+let compute (ctx : Context.t) =
+  let result = Cube_result.create ctx.lattice in
+  let instr = ctx.instr in
+  let remaining = ref (Array.to_list (Lattice.by_degree ctx.lattice)) in
+  while !remaining <> [] do
+    instr.Instrument.passes <- instr.Instrument.passes + 1;
+    let active : (int, (string, Aggregate.cell) Hashtbl.t) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    List.iter
+      (fun cid -> Hashtbl.replace active cid (Hashtbl.create 1024))
+      !remaining;
+    let live = ref 0 in
+    let evicted = ref [] in
+    (* Evict the fattest cuboid until we fit (but keep at least one: a
+       single cuboid larger than memory has nowhere to go — the paper hits
+       the 2 GB wall there). *)
+    let enforce_budget () =
+      while !live > ctx.counter_budget && Hashtbl.length active > 1 do
+        let victim = ref (-1) and victim_size = ref (-1) in
+        Hashtbl.iter
+          (fun cid table ->
+            let size = Hashtbl.length table in
+            if size > !victim_size then begin
+              victim := cid;
+              victim_size := size
+            end)
+          active;
+        Hashtbl.remove active !victim;
+        live := !live - !victim_size;
+        evicted := !victim :: !evicted
+      done
+    in
+    let cuboid_of = Lattice.cuboid ctx.lattice in
+    Context.scan_blocks ctx (fun block ->
+        match block with
+        | [] -> ()
+        | first :: _ ->
+            let m = ctx.measure first.Witness.fact in
+            Hashtbl.iter
+              (fun cid counters ->
+                let cuboid = cuboid_of cid in
+                let seen = Hashtbl.create 4 in
+                List.iter
+                  (fun row ->
+                    if Context.row_represents cuboid row then begin
+                      let key = Group_key.of_row cuboid row in
+                      if not (Hashtbl.mem seen key) then begin
+                        Hashtbl.add seen key ();
+                        match Hashtbl.find_opt counters key with
+                        | Some cell -> Aggregate.add cell m
+                        | None ->
+                            let cell = Aggregate.create () in
+                            Aggregate.add cell m;
+                            Hashtbl.add counters key cell;
+                            incr live
+                      end
+                    end)
+                  block)
+              active;
+            if !live > instr.Instrument.peak_counters then
+              instr.Instrument.peak_counters <- !live;
+            enforce_budget ());
+    (* Completed cuboids are final; evicted ones go to the next pass. *)
+    Hashtbl.iter
+      (fun cid counters ->
+        Hashtbl.iter
+          (fun key cell -> Cube_result.set_cell result ~cuboid:cid ~key cell)
+          counters)
+      active;
+    remaining := List.rev !evicted
+  done;
+  result

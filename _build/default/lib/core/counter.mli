@@ -1,0 +1,15 @@
+(** The counter-based algorithm (§3.3).
+
+    One hash counter per (cuboid, group); each fact sub-tree bumps the
+    counters of every distinct key combination it produces — "a
+    combinatorial number of counters being incremented for a single
+    sub-tree". Correct regardless of summarizability.
+
+    Memory behaviour follows §4.6: when the live-counter population would
+    exceed [Context.counter_budget], whole cuboids are evicted (their
+    partial counters discarded) and recomputed in a later pass over the
+    table, so an oversized cube turns into multiple full scans — the
+    paper's 2-pass / 5-pass meltdown at 6–7 axes. The number of passes and
+    the peak counter population are reported in {!Instrument.t}. *)
+
+val compute : Context.t -> Cube_result.t

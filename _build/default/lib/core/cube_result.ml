@@ -1,0 +1,95 @@
+module Lattice = X3_lattice.Lattice
+
+type t = {
+  lattice : Lattice.t;
+  cells : (string, Aggregate.cell) Hashtbl.t array;
+}
+
+let create lattice =
+  {
+    lattice;
+    cells = Array.init (Lattice.size lattice) (fun _ -> Hashtbl.create 64);
+  }
+
+let lattice t = t.lattice
+
+let cell t ~cuboid ~key =
+  let table = t.cells.(cuboid) in
+  match Hashtbl.find_opt table key with
+  | Some c -> c
+  | None ->
+      let c = Aggregate.create () in
+      Hashtbl.add table key c;
+      c
+
+let find t ~cuboid ~key = Hashtbl.find_opt t.cells.(cuboid) key
+let set_cell t ~cuboid ~key c = Hashtbl.replace t.cells.(cuboid) key c
+
+let cuboid_cells t cuboid =
+  Hashtbl.fold (fun key c acc -> (key, c) :: acc) t.cells.(cuboid) []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let cuboid_size t cuboid = Hashtbl.length t.cells.(cuboid)
+
+let total_cells t =
+  Array.fold_left (fun acc table -> acc + Hashtbl.length table) 0 t.cells
+
+let iter f t =
+  Array.iteri
+    (fun cuboid table -> Hashtbl.iter (fun key c -> f ~cuboid ~key c) table)
+    t.cells
+
+let first_difference ~func a b =
+  if Lattice.size a.lattice <> Lattice.size b.lattice then
+    Some (-1, "", "lattices differ in size")
+  else begin
+    let found = ref None in
+    Array.iteri
+      (fun cuboid table ->
+        if !found = None then begin
+          Hashtbl.iter
+            (fun key ca ->
+              if !found = None then
+                match Hashtbl.find_opt b.cells.(cuboid) key with
+                | None ->
+                    found :=
+                      Some (cuboid, key, "group missing from second cube")
+                | Some cb ->
+                    if not (Aggregate.equal_value func ca cb) then
+                      found :=
+                        Some
+                          ( cuboid,
+                            key,
+                            Printf.sprintf "%g <> %g"
+                              (Aggregate.value func ca)
+                              (Aggregate.value func cb) ))
+            table;
+          Hashtbl.iter
+            (fun key _ ->
+              if !found = None && not (Hashtbl.mem table key) then
+                found := Some (cuboid, key, "extra group in second cube"))
+            b.cells.(cuboid)
+        end)
+      a.cells;
+    !found
+  end
+
+let equal ~func a b = first_difference ~func a b = None
+
+let pp ?(max_groups = 20) ~func ppf t =
+  Array.iter
+    (fun cuboid ->
+      let groups = cuboid_cells t cuboid in
+      Format.fprintf ppf "cuboid %d %s: %d group(s)@." cuboid
+        (X3_lattice.Cuboid.to_string
+           (Lattice.axes t.lattice)
+           (Lattice.cuboid t.lattice cuboid))
+        (List.length groups);
+      List.iteri
+        (fun i (key, c) ->
+          if i < max_groups then
+            Format.fprintf ppf "  %a %a@." Group_key.pp key (Aggregate.pp func)
+              c
+          else if i = max_groups then Format.fprintf ppf "  ...@.")
+        groups)
+    (Lattice.by_degree t.lattice)

@@ -1,0 +1,33 @@
+(** A computed cube: one aggregate cell per (cuboid, group). *)
+
+type t
+
+val create : X3_lattice.Lattice.t -> t
+val lattice : t -> X3_lattice.Lattice.t
+
+val cell : t -> cuboid:int -> key:string -> Aggregate.cell
+(** Find-or-create the cell of a group. *)
+
+val find : t -> cuboid:int -> key:string -> Aggregate.cell option
+
+val set_cell : t -> cuboid:int -> key:string -> Aggregate.cell -> unit
+(** Install a cell wholesale (used by roll-up computation). *)
+
+val cuboid_cells : t -> int -> (string * Aggregate.cell) list
+(** Groups of one cuboid, sorted by key for deterministic output. *)
+
+val cuboid_size : t -> int -> int
+val total_cells : t -> int
+(** The paper's "cube result size" — cells summed over all cuboids. *)
+
+val iter : (cuboid:int -> key:string -> Aggregate.cell -> unit) -> t -> unit
+
+val equal : func:Aggregate.func -> t -> t -> bool
+(** Same groups with the same aggregate values in every cuboid. *)
+
+val first_difference :
+  func:Aggregate.func -> t -> t -> (int * string * string) option
+(** A human-readable witness of inequality: cuboid id, key, description. *)
+
+val pp :
+  ?max_groups:int -> func:Aggregate.func -> Format.formatter -> t -> unit

@@ -1,0 +1,180 @@
+module Axis = X3_pattern.Axis
+module Eval = X3_pattern.Eval
+module Witness = X3_pattern.Witness
+module Lattice = X3_lattice.Lattice
+module Store = X3_xdb.Store
+
+type comparison = Eq | Neq | Lt | Le | Gt | Ge
+
+type filter = {
+  filter_path : Axis.step list;
+  op : comparison;
+  operand : string;
+}
+
+type spec = {
+  fact_path : Eval.fact_path;
+  axes : Axis.t array;
+  func : Aggregate.func;
+  measure_path : Axis.step list option;
+  filters : filter list;
+}
+
+let count_spec ~fact_path ~axes =
+  { fact_path; axes; func = Aggregate.Count; measure_path = None; filters = [] }
+
+(* XPath-style comparison: numeric when both sides are numbers. *)
+let compare_values a b =
+  match (float_of_string_opt (String.trim a), float_of_string_opt (String.trim b)) with
+  | Some x, Some y -> Float.compare x y
+  | _ -> String.compare a b
+
+let filter_holds store filter ~fact =
+  (* Existential semantics: some binding of the path satisfies the
+     predicate. The throwaway axis reuses the exact path machinery of the
+     grouping axes (relaxation-free). *)
+  let axis = Axis.make_exn ~name:"$where" ~steps:filter.filter_path ~allowed:[] in
+  List.exists
+    (fun (node, _) ->
+      let c = compare_values (Store.string_value store node) filter.operand in
+      match filter.op with
+      | Eq -> c = 0
+      | Neq -> c <> 0
+      | Lt -> c < 0
+      | Le -> c <= 0
+      | Gt -> c > 0
+      | Ge -> c >= 0)
+    (Eval.axis_bindings store axis ~fact)
+
+let fact_tag spec =
+  match List.rev spec.fact_path with
+  | last :: _ -> last.Axis.tag
+  | [] -> invalid_arg "Engine.fact_tag: empty fact path"
+
+type prepared = {
+  spec : spec;
+  table : Witness.t;
+  lattice : Lattice.t;
+  measure : int -> float;
+}
+
+(* The measure of one fact: the first matching descendant's numeric value.
+   Uses a relaxation-free throwaway axis so the path semantics match the
+   grouping paths exactly. *)
+let measure_fn store spec =
+  match spec.measure_path with
+  | None -> fun _ -> 1.0
+  | Some steps ->
+      let axis = Axis.make_exn ~name:"$measure" ~steps ~allowed:[] in
+      let table : (int, float) Hashtbl.t = Hashtbl.create 1024 in
+      fun fact ->
+        (match Hashtbl.find_opt table fact with
+        | Some v -> v
+        | None ->
+            let v =
+              match Eval.axis_bindings store axis ~fact with
+              | (node, _) :: _ -> (
+                  match
+                    float_of_string_opt
+                      (String.trim (Store.string_value store node))
+                  with
+                  | Some f -> f
+                  | None -> 0.)
+              | [] -> 0.
+            in
+            Hashtbl.replace table fact v;
+            v)
+
+let prepare ~pool ~store spec =
+  let lattice = Lattice.build spec.axes in
+  let keep =
+    match spec.filters with
+    | [] -> None
+    | filters ->
+        Some
+          (fun fact ->
+            List.for_all (fun f -> filter_holds store f ~fact) filters)
+  in
+  let table =
+    Eval.build_table ?keep pool store ~fact_path:spec.fact_path
+      ~axes:spec.axes
+  in
+  { spec; table; lattice; measure = measure_fn store spec }
+
+let spec_of p = p.spec
+let table p = p.table
+let lattice p = p.lattice
+let measure p = p.measure
+
+type algorithm =
+  | Naive
+  | Counter
+  | Buc
+  | Bucopt
+  | Buccust
+  | Td
+  | Tdopt
+  | Tdoptall
+  | Tdcust
+
+let all_algorithms =
+  [ Naive; Counter; Buc; Bucopt; Buccust; Td; Tdopt; Tdoptall; Tdcust ]
+
+let algorithm_to_string = function
+  | Naive -> "NAIVE"
+  | Counter -> "COUNTER"
+  | Buc -> "BUC"
+  | Bucopt -> "BUCOPT"
+  | Buccust -> "BUCCUST"
+  | Td -> "TD"
+  | Tdopt -> "TDOPT"
+  | Tdoptall -> "TDOPTALL"
+  | Tdcust -> "TDCUST"
+
+let algorithm_of_string s =
+  match String.uppercase_ascii s with
+  | "NAIVE" -> Some Naive
+  | "COUNTER" -> Some Counter
+  | "BUC" -> Some Buc
+  | "BUCOPT" -> Some Bucopt
+  | "BUCCUST" -> Some Buccust
+  | "TD" -> Some Td
+  | "TDOPT" -> Some Tdopt
+  | "TDOPTALL" -> Some Tdoptall
+  | "TDCUST" -> Some Tdcust
+  | _ -> None
+
+let correct_under algorithm ~disjoint ~coverage =
+  match algorithm with
+  | Naive | Counter | Buc | Buccust | Td | Tdcust -> true
+  | Bucopt | Tdopt -> disjoint
+  | Tdoptall -> disjoint && coverage
+
+type config = { counter_budget : int; sort_budget : int }
+
+let default_config = { counter_budget = 1_000_000; sort_budget = 200_000 }
+
+let run ?props ?(config = default_config) prepared algorithm =
+  let props =
+    match props with
+    | Some p -> p
+    | None -> X3_lattice.Properties.none prepared.lattice
+  in
+  let ctx =
+    Context.create ~counter_budget:config.counter_budget
+      ~sort_budget:config.sort_budget ~table:prepared.table
+      ~lattice:prepared.lattice ~measure:prepared.measure ()
+  in
+  let result =
+    match algorithm with
+    | Naive -> Naive.compute ctx
+    | Counter -> Counter.compute ctx
+    | Buc -> Buc.compute ~variant:`Plain ctx
+    | Bucopt -> Buc.compute ~variant:`Opt ctx
+    | Buccust -> Buc.compute ~variant:(`Custom props) ctx
+    | Td -> Topdown.compute ~variant:`Plain ctx
+    | Tdopt -> Topdown.compute ~variant:`Opt ctx
+    | Tdoptall -> Topdown.compute ~variant:`OptAll ctx
+    | Tdcust -> Topdown.compute ~variant:(`Custom props) ctx
+  in
+  (result, ctx.Context.instr)

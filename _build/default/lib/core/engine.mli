@@ -1,0 +1,90 @@
+(** End-to-end X³ execution.
+
+    A {!spec} is the programmatic form of an X³ query (the parsed language
+    lives in [x3_ql] and compiles to this). {!prepare} evaluates the most
+    relaxed fully instantiated pattern, materialises the witness table and
+    builds the lattice; {!run} executes one algorithm over the prepared
+    input, returning the cube and the run's instrumentation. *)
+
+type comparison = Eq | Neq | Lt | Le | Gt | Ge
+
+type filter = {
+  filter_path : X3_pattern.Axis.step list;  (** relative to the fact *)
+  op : comparison;
+  operand : string;
+}
+(** A WHERE predicate: the fact qualifies iff {e some} binding of
+    [filter_path] satisfies [op] against [operand] — XPath's existential
+    comparison semantics. Comparison is numeric when both sides parse as
+    numbers, lexicographic otherwise. *)
+
+type spec = {
+  fact_path : X3_pattern.Eval.fact_path;
+  axes : X3_pattern.Axis.t array;
+  func : Aggregate.func;
+  measure_path : X3_pattern.Axis.step list option;
+      (** [None] aggregates the constant 1 per fact (COUNT); [Some path]
+          reads the first matching descendant's numeric string value,
+          defaulting to 0 when absent or non-numeric. *)
+  filters : filter list;  (** conjunction; empty = no WHERE clause *)
+}
+
+val filter_holds :
+  X3_xdb.Store.t -> filter -> fact:X3_xdb.Store.node -> bool
+
+val count_spec :
+  fact_path:X3_pattern.Eval.fact_path -> axes:X3_pattern.Axis.t array -> spec
+(** The paper's COUNT($b) form. *)
+
+val fact_tag : spec -> string
+(** Element tag of the fact nodes (last step of the fact path). *)
+
+type prepared
+
+val prepare :
+  pool:X3_storage.Buffer_pool.t -> store:X3_xdb.Store.t -> spec -> prepared
+(** Pre-evaluates the pattern and materialises the witness table — the
+    paper measures cube computation separately from this step, and so do
+    the benchmarks. *)
+
+val spec_of : prepared -> spec
+val table : prepared -> X3_pattern.Witness.t
+val lattice : prepared -> X3_lattice.Lattice.t
+val measure : prepared -> int -> float
+
+type algorithm =
+  | Naive
+  | Counter
+  | Buc
+  | Bucopt
+  | Buccust
+  | Td
+  | Tdopt
+  | Tdoptall
+  | Tdcust
+
+val all_algorithms : algorithm list
+
+val algorithm_to_string : algorithm -> string
+(** The paper's names: COUNTER, BUC, BUCOPT, BUCCUST, TD, TDOPT, TDOPTALL,
+    TDCUST — and NAIVE for the reference. *)
+
+val algorithm_of_string : string -> algorithm option
+
+val correct_under :
+  algorithm -> disjoint:bool -> coverage:bool -> bool
+(** §3's correctness conditions: BUCOPT and TDOPT need disjointness,
+    TDOPTALL needs both; everything else is unconditionally correct. *)
+
+type config = { counter_budget : int; sort_budget : int }
+
+val default_config : config
+
+val run :
+  ?props:X3_lattice.Properties.t ->
+  ?config:config ->
+  prepared ->
+  algorithm ->
+  Cube_result.t * Instrument.t
+(** [props] feeds the custom variants (BUCCUST/TDCUST); it defaults to "no
+    knowledge", making them degrade to BUC/TD. *)

@@ -1,0 +1,69 @@
+module State = X3_lattice.State
+module Witness = X3_pattern.Witness
+
+(* Components are encoded as [u16 length | bytes]. *)
+
+let encode parts =
+  let buf = Buffer.create 32 in
+  List.iter
+    (fun part ->
+      let n = String.length part in
+      if n > 0xFFFF then invalid_arg "Group_key.encode: component too long";
+      Buffer.add_char buf (Char.chr (n land 0xFF));
+      Buffer.add_char buf (Char.chr ((n lsr 8) land 0xFF));
+      Buffer.add_string buf part)
+    parts;
+  Buffer.contents buf
+
+let decode key =
+  let len = String.length key in
+  let rec go pos acc =
+    if pos = len then List.rev acc
+    else if pos + 2 > len then invalid_arg "Group_key.decode: truncated"
+    else begin
+      let n = Char.code key.[pos] lor (Char.code key.[pos + 1] lsl 8) in
+      if pos + 2 + n > len then invalid_arg "Group_key.decode: truncated";
+      go (pos + 2 + n) (String.sub key (pos + 2) n :: acc)
+    end
+  in
+  go 0 []
+
+let of_row cuboid row =
+  let buf = Buffer.create 32 in
+  Array.iteri
+    (fun ai state ->
+      match state with
+      | State.Removed -> ()
+      | State.Present _ -> (
+          match row.Witness.cells.(ai).Witness.value with
+          | Some v ->
+              let n = String.length v in
+              Buffer.add_char buf (Char.chr (n land 0xFF));
+              Buffer.add_char buf (Char.chr ((n lsr 8) land 0xFF));
+              Buffer.add_string buf v
+          | None ->
+              invalid_arg "Group_key.of_row: row does not qualify"))
+    cuboid;
+  Buffer.contents buf
+
+let project ~from_ ~to_ key =
+  let parts = decode key in
+  let kept = ref [] in
+  let rest = ref parts in
+  Array.iteri
+    (fun ai from_state ->
+      match from_state with
+      | State.Removed -> ()
+      | State.Present _ -> (
+          match !rest with
+          | part :: tail ->
+              rest := tail;
+              (match to_.(ai) with
+              | State.Removed -> ()
+              | State.Present _ -> kept := part :: !kept)
+          | [] -> invalid_arg "Group_key.project: key too short"))
+    from_;
+  encode (List.rev !kept)
+
+let pp ppf key =
+  Format.fprintf ppf "(%s)" (String.concat ", " (decode key))

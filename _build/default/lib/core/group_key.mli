@@ -1,0 +1,24 @@
+(** Group keys.
+
+    A group within a cuboid is identified by the values of the cuboid's
+    present axes, in axis order. Keys are encoded into a single string with
+    length-prefixed components so they can serve as hash-table keys, as
+    sort keys (any total order groups equal keys together, which is all
+    the algorithms need), and as heap-file record fields. *)
+
+val encode : string list -> string
+val decode : string -> string list
+(** Raises [Invalid_argument] on malformed input. *)
+
+val of_row : X3_lattice.Cuboid.t -> X3_pattern.Witness.row -> string
+(** The key of a qualifying row: values of the cuboid's present axes. The
+    row must qualify (present axes must have values). *)
+
+val project :
+  from_:X3_lattice.Cuboid.t -> to_:X3_lattice.Cuboid.t -> string -> string
+(** Re-key a group key from a finer cuboid to a coarser one by dropping the
+    components of axes that the coarser cuboid removes. [to_] must be
+    at least as relaxed as [from_] axis-by-axis. *)
+
+val pp : Format.formatter -> string -> unit
+(** Renders the decoded components, e.g. [(John, p1, 2003)]. *)

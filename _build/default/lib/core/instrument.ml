@@ -1,0 +1,31 @@
+type t = {
+  mutable table_scans : int;
+  mutable rows_scanned : int;
+  mutable sort_ops : int;
+  mutable rows_sorted : int;
+  mutable passes : int;
+  mutable peak_counters : int;
+  mutable rollups : int;
+  mutable base_computations : int;
+  mutable dedup_tracked : int;
+}
+
+let create () =
+  {
+    table_scans = 0;
+    rows_scanned = 0;
+    sort_ops = 0;
+    rows_sorted = 0;
+    passes = 0;
+    peak_counters = 0;
+    rollups = 0;
+    base_computations = 0;
+    dedup_tracked = 0;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<h>scans=%d rows=%d sorts=%d sorted=%d passes=%d peak-counters=%d \
+     rollups=%d base=%d dedup=%d@]"
+    t.table_scans t.rows_scanned t.sort_ops t.rows_sorted t.passes
+    t.peak_counters t.rollups t.base_computations t.dedup_tracked

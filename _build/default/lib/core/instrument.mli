@@ -1,0 +1,22 @@
+(** Per-run algorithm counters.
+
+    Wall-clock comparisons across machines are noisy; these counters pin
+    down {e why} an algorithm is slow in exactly the terms §3 argues in:
+    how often the base table was re-scanned, how much sorting happened, how
+    many counters were live, how many cuboids could be rolled up from finer
+    aggregates versus recomputed from base data. *)
+
+type t = {
+  mutable table_scans : int;  (** full passes over the witness table *)
+  mutable rows_scanned : int;
+  mutable sort_ops : int;  (** sort invocations (in-memory or external) *)
+  mutable rows_sorted : int;
+  mutable passes : int;  (** COUNTER memory passes *)
+  mutable peak_counters : int;  (** max simultaneously-live group counters *)
+  mutable rollups : int;  (** cuboids computed from a finer cuboid's cells *)
+  mutable base_computations : int;  (** cuboids computed from base data *)
+  mutable dedup_tracked : int;  (** fact ids tracked for duplicate removal *)
+}
+
+val create : unit -> t
+val pp : Format.formatter -> t -> unit

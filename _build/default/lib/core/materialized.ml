@@ -1,0 +1,120 @@
+module Lattice = X3_lattice.Lattice
+module Properties = X3_lattice.Properties
+module Cuboid = X3_lattice.Cuboid
+
+module Int_set = Set.Make (Int)
+
+type t = {
+  cuboid_id : int;
+  lattice : Lattice.t;
+  measure : int -> float;
+  groups : (string, Int_set.t ref) Hashtbl.t;
+}
+
+let cuboid_id t = t.cuboid_id
+let group_count t = Hashtbl.length t.groups
+
+let fact_items t ~key =
+  match Hashtbl.find_opt t.groups key with
+  | Some facts -> Int_set.elements !facts
+  | None -> []
+
+let materialize (ctx : Context.t) ~cuboid =
+  let c = Lattice.cuboid ctx.lattice cuboid in
+  let groups = Hashtbl.create 256 in
+  Context.scan ctx (fun row ->
+      if Context.row_represents c row then begin
+        let key = Group_key.of_row c row in
+        let facts =
+          match Hashtbl.find_opt groups key with
+          | Some facts -> facts
+          | None ->
+              let facts = ref Int_set.empty in
+              Hashtbl.add groups key facts;
+              facts
+        in
+        facts := Int_set.add row.X3_pattern.Witness.fact !facts
+      end);
+  { cuboid_id = cuboid; lattice = ctx.lattice; measure = ctx.measure; groups }
+
+let cell_of_facts t facts =
+  let cell = Aggregate.create () in
+  Int_set.iter (fun fact -> Aggregate.add cell (t.measure fact)) facts;
+  cell
+
+let cells t =
+  Hashtbl.fold
+    (fun key facts acc -> (key, cell_of_facts t !facts) :: acc)
+    t.groups []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let rollup_unchecked (ctx : Context.t) t ~coarser =
+  let fine = Lattice.cuboid ctx.lattice t.cuboid_id in
+  let coarse = Lattice.cuboid ctx.lattice coarser in
+  let groups = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun key facts ->
+      let key' = Group_key.project ~from_:fine ~to_:coarse key in
+      match Hashtbl.find_opt groups key' with
+      | Some merged ->
+          (* The fact sets make the merge duplicate-safe: a fact present in
+             two finer groups counts once here. *)
+          merged := Int_set.union !merged !facts
+      | None -> Hashtbl.add groups key' (ref !facts))
+    t.groups;
+  { t with cuboid_id = coarser; groups }
+
+(* A covered path from [finer] to [coarser] in the lattice DAG: every step
+   must be a covered edge. Breadth-first over parents. *)
+let covered_path lattice props ~finer ~coarser =
+  if finer = coarser then Ok ()
+  else begin
+    let visited = Hashtbl.create 16 in
+    let rec search frontier =
+      match frontier with
+      | [] ->
+          Error
+            (Printf.sprintf
+               "no covered lattice path from cuboid %d to cuboid %d — \
+                coverage fails on every route, the intermediate is missing \
+                facts"
+               finer coarser)
+      | node :: rest ->
+          if node = coarser then Ok ()
+          else if Hashtbl.mem visited node then search rest
+          else begin
+            Hashtbl.add visited node ();
+            let next =
+              List.filter
+                (fun parent ->
+                  Properties.edge_covered props ~finer:node ~coarser:parent
+                  && Cuboid.leq
+                       (Lattice.cuboid lattice parent)
+                       (Lattice.cuboid lattice coarser))
+                (Lattice.parents lattice node)
+            in
+            search (rest @ next)
+          end
+    in
+    search [ finer ]
+  end
+
+let rollup (ctx : Context.t) ~props t ~coarser =
+  let fine = Lattice.cuboid ctx.lattice t.cuboid_id in
+  let coarse = Lattice.cuboid ctx.lattice coarser in
+  if not (Cuboid.leq fine coarse) then
+    Error
+      (Printf.sprintf "cuboid %d is not a relaxation of cuboid %d" coarser
+         t.cuboid_id)
+  else begin
+    match covered_path ctx.lattice props ~finer:t.cuboid_id ~coarser with
+    | Error _ as e -> e
+    | Ok () -> Ok (rollup_unchecked ctx t ~coarser)
+  end
+
+let to_result t result =
+  Hashtbl.iter
+    (fun key facts ->
+      Cube_result.set_cell result ~cuboid:t.cuboid_id ~key
+        (cell_of_facts t !facts))
+    t.groups

@@ -1,0 +1,49 @@
+(** Materialised intermediate cube results (§3.6).
+
+    "In many cases, we may be better off to materialize some intermediate
+    cube results. ... The solution is to accompany intermediate results
+    that we will need at a later time with the attributes to be aggregated
+    (keeping track of fact items), just as we had to for top down
+    computation."
+
+    A materialised cuboid keeps, per group, the set of contributing fact
+    ids together with the aggregate cell. Any coarser cuboid reachable from
+    it through {e covered} lattice edges can then be computed from the
+    intermediate alone — the fact sets eliminate duplicates across the
+    merging groups, so non-disjointness costs memory but never correctness.
+    Coverage is the one thing fact sets cannot repair: a fact absent from
+    every group of the intermediate (because the relaxed-away axis was
+    missing) is simply not there to be rolled up; [rollup] therefore
+    refuses edges that are not covered unless explicitly forced. *)
+
+type t
+
+val cuboid_id : t -> int
+val group_count : t -> int
+val fact_items : t -> key:string -> int list
+(** Sorted fact ids of one group ([[]] when the group is absent). *)
+
+val materialize : Context.t -> cuboid:int -> t
+(** One scan of the witness table, collecting groups with fact sets. *)
+
+val cells : t -> (string * Aggregate.cell) list
+(** The group aggregates, sorted by key. *)
+
+val rollup :
+  Context.t ->
+  props:X3_lattice.Properties.t ->
+  t ->
+  coarser:int ->
+  (t, string) result
+(** [rollup ctx ~props intermediate ~coarser] computes a coarser cuboid
+    from the intermediate without touching base data. Every lattice path
+    step from the intermediate's cuboid to [coarser] must be covered
+    according to [props]; otherwise [Error] explains which step fails. *)
+
+val rollup_unchecked : Context.t -> t -> coarser:int -> t
+(** The same computation without the coverage check — what a system that
+    blindly trusts materialised views would do; used by tests to
+    demonstrate the §3.6 failure mode. *)
+
+val to_result : t -> Cube_result.t -> unit
+(** Copy the intermediate's cells into a cube result. *)

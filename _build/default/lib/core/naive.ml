@@ -1,0 +1,31 @@
+module Lattice = X3_lattice.Lattice
+
+let compute (ctx : Context.t) =
+  let result = Cube_result.create ctx.lattice in
+  let cuboids =
+    Array.map (Lattice.cuboid ctx.lattice) (Lattice.by_degree ctx.lattice)
+  in
+  let ids = Lattice.by_degree ctx.lattice in
+  Context.scan_blocks ctx (fun block ->
+      match block with
+      | [] -> ()
+      | first :: _ ->
+          let m = ctx.measure first.X3_pattern.Witness.fact in
+          Array.iteri
+            (fun i cuboid ->
+              (* Distinct keys of this fact within this cuboid. *)
+              let seen = Hashtbl.create 4 in
+              List.iter
+                (fun row ->
+                  if Context.row_represents cuboid row then begin
+                    let key = Group_key.of_row cuboid row in
+                    if not (Hashtbl.mem seen key) then begin
+                      Hashtbl.add seen key ();
+                      Aggregate.add
+                        (Cube_result.cell result ~cuboid:ids.(i) ~key)
+                        m
+                    end
+                  end)
+                block)
+            cuboids);
+  result

@@ -1,0 +1,9 @@
+(** Reference cube computation.
+
+    One pass over the witness table; for every fact block and every cuboid,
+    the distinct qualifying group keys each receive the fact's measure once.
+    Nothing is optimised and nothing is assumed — this is the semantic
+    definition of the X³ cube, against which every other algorithm is
+    tested. *)
+
+val compute : Context.t -> Cube_result.t

@@ -1,0 +1,42 @@
+(** Cross-tabulation views of a cube.
+
+    Gray et al. introduced the cube as "a relational aggregation operator
+    generalizing group-by, cross-tab, and sub-totals"; this module reads
+    the cross-tab back out of a computed X³ cube: pick two axes (at chosen
+    relaxation states), and the renderer lays their cuboid out as a grid,
+    with the sub-total row/column taken from the cuboids where one axis is
+    LND-removed and the grand total from the all-removed cuboid — the
+    classic spreadsheet view, assembled purely from cube cells. *)
+
+type t = {
+  row_labels : string list;
+  col_labels : string list;
+  body : float option array array;  (** [body.(row).(col)], [None] = empty *)
+  row_totals : float option array;
+  col_totals : float option array;
+  grand_total : float option;
+}
+
+val make :
+  func:Aggregate.func ->
+  row_axis:int ->
+  ?row_state:int ->
+  col_axis:int ->
+  ?col_state:int ->
+  Cube_result.t ->
+  (t, string) result
+(** [make ~func ~row_axis ~col_axis cube] builds the cross-tab of the two
+    axes (structural states default to rigid). Requires every other axis
+    to be LND-removable and the needed cuboids to exist in the lattice;
+    [Error] explains what is missing. Labels are sorted. *)
+
+val pp : Format.formatter -> t -> unit
+(** Fixed-width grid with totals, e.g.
+
+    {v
+              2003   2004   2005 |  total
+    John         1      1      1 |      2
+    Jane         1      .      . |      1
+    ------------------------------------
+    total        2      1      1 |      4
+    v} *)

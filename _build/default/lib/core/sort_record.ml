@@ -1,0 +1,28 @@
+let encode ~key ~fact ~measure =
+  let klen = String.length key in
+  if klen > 0xFFFF then invalid_arg "Sort_record.encode: key too long";
+  let buf = Buffer.create (klen + 14) in
+  Buffer.add_char buf (Char.chr ((klen lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (klen land 0xFF));
+  Buffer.add_string buf key;
+  (* Big-endian fact id so byte order matches numeric order within a key. *)
+  let fact_bytes = Bytes.create 4 in
+  Bytes.set_int32_be fact_bytes 0 (Int32.of_int fact);
+  Buffer.add_bytes buf fact_bytes;
+  let measure_bytes = Bytes.create 8 in
+  Bytes.set_int64_le measure_bytes 0 (Int64.bits_of_float measure);
+  Buffer.add_bytes buf measure_bytes;
+  Buffer.contents buf
+
+let decode record =
+  let len = String.length record in
+  if len < 14 then invalid_arg "Sort_record.decode: truncated";
+  let klen = (Char.code record.[0] lsl 8) lor Char.code record.[1] in
+  if len <> klen + 14 then invalid_arg "Sort_record.decode: length mismatch";
+  let key = String.sub record 2 klen in
+  let body = Bytes.of_string record in
+  let fact = Int32.to_int (Bytes.get_int32_be body (2 + klen)) in
+  let measure = Int64.float_of_bits (Bytes.get_int64_le body (2 + klen + 4)) in
+  (key, fact, measure)
+
+let compare = String.compare

@@ -1,0 +1,138 @@
+module Lattice = X3_lattice.Lattice
+module State = X3_lattice.State
+module Properties = X3_lattice.Properties
+module Witness = X3_pattern.Witness
+module External_sort = X3_storage.External_sort
+module Heap_file = X3_storage.Heap_file
+
+type variant = [ `Plain | `Opt | `OptAll | `Custom of X3_lattice.Properties.t ]
+
+(* Qualification without the representative collapse: what a top-down pass
+   over the materialised (cartesian) table sees. *)
+let row_qualifies cuboid row =
+  let n = Array.length cuboid in
+  let rec go ai =
+    ai >= n
+    ||
+    match cuboid.(ai) with
+    | State.Removed -> go (ai + 1)
+    | State.Present m ->
+        Witness.qualifies row ~axis_index:ai ~state:m && go (ai + 1)
+  in
+  go 0
+
+(* Compute one cuboid by sorting its base rows (§3.5). Modes:
+   - [`Dedup] (TD): every qualifying row is sorted together with its fact
+     id and consecutive duplicates are skipped — "the identifier of the
+     data must be retained (to eliminate duplicates)". Correct always.
+   - [`Raw] (TDOPT/TDOPTALL's base step): qualifying rows without ids,
+     counted blindly; assumes strict disjointness.
+   - [`Representative] (TDCUST where the oracle proves the cuboid
+     disjoint): only representative rows, no ids — correct and cheaper. *)
+let compute_from_base (ctx : Context.t) result cid ~mode =
+  let instr = ctx.instr in
+  let cuboid = Lattice.cuboid ctx.lattice cid in
+  let pool = Witness.pool ctx.table in
+  instr.Instrument.base_computations <- instr.Instrument.base_computations + 1;
+  instr.Instrument.sort_ops <- instr.Instrument.sort_ops + 1;
+  let dedup = mode = `Dedup in
+  let keep =
+    match mode with
+    | `Dedup | `Raw -> row_qualifies
+    | `Representative -> Context.row_represents
+  in
+  let fed = ref 0 in
+  let sorted =
+    External_sort.sort_records ~pool ~budget_records:ctx.sort_budget
+      ~compare:Sort_record.compare (fun emit ->
+        Context.scan ctx (fun row ->
+            if keep cuboid row then begin
+              incr fed;
+              let key = Group_key.of_row cuboid row in
+              emit
+                (Sort_record.encode ~key
+                   ~fact:(if dedup then row.Witness.fact else 0)
+                   ~measure:(ctx.measure row.Witness.fact))
+            end))
+  in
+  instr.Instrument.rows_sorted <- instr.Instrument.rows_sorted + !fed;
+  (* One sweep: group boundaries on key change (the run is key-sorted, so
+     the group's cell is carried across records rather than looked up per
+     record); duplicate facts are consecutive within a group. *)
+  let current_key = ref None and current_cell = ref None in
+  let prev_fact = ref (-1) in
+  Heap_file.iter
+    (fun record ->
+      let key, fact, measure = Sort_record.decode record in
+      let same_group =
+        match !current_key with Some k -> String.equal k key | None -> false
+      in
+      if not same_group then begin
+        current_key := Some key;
+        current_cell := Some (Cube_result.cell result ~cuboid:cid ~key)
+      end;
+      let duplicate = dedup && same_group && fact = !prev_fact in
+      if not duplicate then begin
+        match !current_cell with
+        | Some cell -> Aggregate.add cell measure
+        | None -> assert false
+      end;
+      if dedup then
+        instr.Instrument.dedup_tracked <- instr.Instrument.dedup_tracked + 1;
+      prev_fact := fact)
+    sorted
+
+(* Roll a cuboid up from a finer, already computed cuboid's cells.  Only
+   sound when the (finer -> coarser) edge is covered and the finer cuboid
+   is disjoint — the caller is responsible for that judgement. *)
+let rollup (ctx : Context.t) result ~finer ~coarser =
+  let instr = ctx.instr in
+  instr.Instrument.rollups <- instr.Instrument.rollups + 1;
+  let fine = Lattice.cuboid ctx.lattice finer in
+  let coarse = Lattice.cuboid ctx.lattice coarser in
+  List.iter
+    (fun (key, cell) ->
+      let key' = Group_key.project ~from_:fine ~to_:coarse key in
+      Aggregate.merge
+        ~into:(Cube_result.cell result ~cuboid:coarser ~key:key')
+        cell)
+    (Cube_result.cuboid_cells result finer)
+
+let compute ~variant (ctx : Context.t) =
+  let lattice = ctx.lattice in
+  let result = Cube_result.create lattice in
+  let order = Lattice.by_degree lattice in
+  (match variant with
+  | `Plain ->
+      Array.iter (fun cid -> compute_from_base ctx result cid ~mode:`Dedup) order
+  | `Opt ->
+      Array.iter (fun cid -> compute_from_base ctx result cid ~mode:`Raw) order
+  | `OptAll ->
+      (* Finest first from base; everything else from a one-step-finer
+         cuboid, assuming both properties globally. *)
+      Array.iter
+        (fun cid ->
+          match Lattice.children lattice cid with
+          | [] -> compute_from_base ctx result cid ~mode:`Raw
+          | finer :: _ -> rollup ctx result ~finer ~coarser:cid)
+        order
+  | `Custom props ->
+      Array.iter
+        (fun cid ->
+          let viable_child =
+            List.find_opt
+              (fun finer ->
+                Properties.edge_covered props ~finer ~coarser:cid
+                && Properties.cuboid_disjoint props finer)
+              (Lattice.children lattice cid)
+          in
+          match viable_child with
+          | Some finer -> rollup ctx result ~finer ~coarser:cid
+          | None ->
+              let mode =
+                if Properties.cuboid_disjoint props cid then `Representative
+                else `Dedup
+              in
+              compute_from_base ctx result cid ~mode)
+        order);
+  result

@@ -1,0 +1,29 @@
+(** Top-down cube computation (§3.5) — the XML-ised
+    PartitionCube/MemoryCube of Ross & Srivastava.
+
+    Every cuboid computed "from base" sorts its qualifying witness rows by
+    group key (in-memory quicksort within budget, external merge sort
+    beyond — §4's configuration) and aggregates in one sweep of the sorted
+    run. Since sorted order puts a group's rows together, plain TD removes
+    duplicate facts by sorting on (key, fact id) and skipping consecutive
+    repeats — the "we need to keep track of the identities" cost, one sort
+    per cuboid: the exponential number of (external) sorts of §4.1.
+
+    Variants:
+    - [`Plain] (TD): correct always; sorts with fact ids, dedups.
+    - [`Opt] (TDOPT): assumes disjointness globally — no dedup; wrong when
+      disjointness fails.
+    - [`OptAll] (TDOPTALL): assumes disjointness and coverage globally —
+      only the rigid cuboid touches base data; every other cuboid is rolled
+      up from a one-step-finer cuboid's cells, never re-reading the input.
+      Wrong when either property fails.
+    - [`Custom props] (TDCUST, §4.5): rolls a cuboid up from a finer one
+      only across lattice edges whose coverage is proven and whose finer
+      cuboid is provably disjoint; otherwise recomputes from base (with
+      dedup unless the cuboid itself is provably disjoint). Correct
+      always. *)
+
+type variant =
+  [ `Plain | `Opt | `OptAll | `Custom of X3_lattice.Properties.t ]
+
+val compute : variant:variant -> Context.t -> Cube_result.t

@@ -1,0 +1,1 @@
+lib/lattice/cuboid.ml: Array Int List Printf State String X3_pattern

@@ -1,0 +1,1 @@
+lib/lattice/cuboid.mli: State X3_pattern

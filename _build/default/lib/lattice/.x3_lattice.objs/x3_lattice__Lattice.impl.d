@@ -1,0 +1,1 @@
+lib/lattice/lattice.ml: Array Cuboid Format Fun Hashtbl Int List Printf State X3_pattern

@@ -1,0 +1,1 @@
+lib/lattice/properties.ml: Array Cuboid Format Fun Hashtbl Lattice List State X3_pattern X3_xdb X3_xml

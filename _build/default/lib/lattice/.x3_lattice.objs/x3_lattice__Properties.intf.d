@@ -1,0 +1,1 @@
+lib/lattice/properties.mli: Format Lattice X3_pattern X3_xml

@@ -1,0 +1,1 @@
+lib/lattice/render.ml: Array Buffer Format Lattice List Option Printf Properties State String X3_pattern X3_xdb

@@ -1,0 +1,1 @@
+lib/lattice/render.mli: Cuboid Format Lattice Properties State X3_pattern

@@ -1,0 +1,1 @@
+lib/lattice/state.ml: Array Fun Int List X3_pattern

@@ -1,0 +1,1 @@
+lib/lattice/state.mli: X3_pattern

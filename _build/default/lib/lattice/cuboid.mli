@@ -1,0 +1,30 @@
+(** A cuboid: one relaxation state per axis.
+
+    Cuboids are the lattice points of Fig. 3; the rigid cuboid (every axis
+    [Present 0]) is the least relaxed, and the cuboid with every axis
+    maximally relaxed (LND-removed when permitted) is the most relaxed —
+    the single all-facts group when every axis allows LND. *)
+
+type t = State.t array
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val leq : t -> t -> bool
+(** Componentwise: [leq a b] iff [a] is at most as relaxed as [b] on every
+    axis. *)
+
+val degree : t -> X3_pattern.Axis.t array -> int
+(** Total relaxation steps from the rigid cuboid. *)
+
+val rigid : X3_pattern.Axis.t array -> t
+val most_relaxed : X3_pattern.Axis.t array -> t
+
+val successors : t -> X3_pattern.Axis.t array -> t list
+(** One-step more relaxed cuboids (relax exactly one axis one step). *)
+
+val present_axes : t -> int list
+(** Indices of axes that are not LND-removed, ascending. *)
+
+val to_string : X3_pattern.Axis.t array -> t -> string
+(** E.g. ["($n:rigid, $p:{PC-AD}, $y:LND)"]. *)

@@ -1,0 +1,79 @@
+module Axis = X3_pattern.Axis
+
+type t = {
+  axes : Axis.t array;
+  cuboids : Cuboid.t array;
+  ids : (Cuboid.t, int) Hashtbl.t;
+  parents : int list array;
+  children : int list array;
+  by_degree : int array;
+}
+
+let max_size = 1 lsl 20
+
+let build axes =
+  let state_lists = Array.map State.all axes in
+  let size =
+    Array.fold_left (fun acc l -> acc * List.length l) 1 state_lists
+  in
+  if size > max_size then
+    invalid_arg
+      (Printf.sprintf "Lattice.build: %d cuboids exceed the %d limit" size
+         max_size);
+  (* Enumerate the product, first axis slowest. *)
+  let cuboids = Array.make size [||] in
+  let rec fill prefix i base span =
+    if i >= Array.length axes then
+      cuboids.(base) <- Array.of_list (List.rev prefix)
+    else begin
+      let states = state_lists.(i) in
+      let n = List.length states in
+      let child_span = span / n in
+      List.iteri
+        (fun j s ->
+          fill (s :: prefix) (i + 1) (base + (j * child_span)) child_span)
+        states
+    end
+  in
+  fill [] 0 0 size;
+  let ids = Hashtbl.create (2 * size) in
+  Array.iteri (fun i c -> Hashtbl.replace ids c i) cuboids;
+  let parents = Array.make size [] in
+  let children = Array.make size [] in
+  Array.iteri
+    (fun i c ->
+      let succ = Cuboid.successors c axes in
+      let succ_ids = List.map (Hashtbl.find ids) succ in
+      parents.(i) <- succ_ids;
+      List.iter (fun p -> children.(p) <- i :: children.(p)) succ_ids)
+    cuboids;
+  Array.iteri (fun i l -> children.(i) <- List.rev l) children;
+  let by_degree = Array.init size Fun.id in
+  let degree_of i = Cuboid.degree cuboids.(i) axes in
+  Array.sort
+    (fun a b ->
+      let c = Int.compare (degree_of a) (degree_of b) in
+      if c <> 0 then c else Cuboid.compare cuboids.(a) cuboids.(b))
+    by_degree;
+  { axes; cuboids; ids; parents; children; by_degree }
+
+let axes t = t.axes
+let size t = Array.length t.cuboids
+let cuboid t i = t.cuboids.(i)
+let id t c = Hashtbl.find t.ids c
+let rigid_id t = id t (Cuboid.rigid t.axes)
+let most_relaxed_id t = id t (Cuboid.most_relaxed t.axes)
+let parents t i = t.parents.(i)
+let children t i = t.children.(i)
+let degree t i = Cuboid.degree t.cuboids.(i) t.axes
+let by_degree t = Array.copy t.by_degree
+
+let fold f init t =
+  Array.fold_left (fun acc i -> f acc i) init t.by_degree
+
+let pp ppf t =
+  Array.iter
+    (fun i ->
+      Format.fprintf ppf "%3d %d %s@." i (degree t i)
+        (Cuboid.to_string t.axes t.cuboids.(i)))
+    t.by_degree

@@ -1,0 +1,44 @@
+(** The X³ relaxed-cube lattice (§2.3, Fig. 3).
+
+    Nodes are cuboids; a directed edge goes from a cuboid to each one-step
+    relaxation of it. Cuboids are addressed by dense integer ids so that
+    algorithms can keep per-cuboid state in arrays. For Query 1 (axes with
+    relaxations [{LND,SP,PC-AD}], [{LND,PC-AD}], [{LND}]) the lattice has
+    5 × 3 × 2 = 30 cuboids. *)
+
+type t
+
+val build : X3_pattern.Axis.t array -> t
+(** Enumerates the full product lattice. Raises [Invalid_argument] beyond
+    [2^20] cuboids — cube dimensionality in the paper tops out at 7 axes. *)
+
+val axes : t -> X3_pattern.Axis.t array
+val size : t -> int
+
+val cuboid : t -> int -> Cuboid.t
+val id : t -> Cuboid.t -> int
+(** Raises [Not_found] for a cuboid not in the lattice. *)
+
+val rigid_id : t -> int
+(** The least relaxed cuboid (the query's tree pattern itself). *)
+
+val most_relaxed_id : t -> int
+
+val parents : t -> int -> int list
+(** One-step more relaxed cuboids. *)
+
+val children : t -> int -> int list
+(** One-step less relaxed cuboids (the "adjacent less relaxed cuboids" of
+    the coverage property). *)
+
+val degree : t -> int -> int
+
+val by_degree : t -> int array
+(** All cuboid ids ordered from least relaxed (rigid first) to most
+    relaxed — a topological order of the relaxation DAG. Top-down
+    algorithms walk it forwards, bottom-up algorithms backwards. *)
+
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+(** Fold over cuboid ids in [by_degree] order. *)
+
+val pp : Format.formatter -> t -> unit

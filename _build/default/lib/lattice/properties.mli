@@ -1,0 +1,71 @@
+(** Summarizability properties over the lattice (§3.2, §3.7).
+
+    Two per-lattice-point facts drive every optimisation in §3:
+
+    - {e disjointness} of a cuboid: no fact contributes more than one
+      representative witness row (equivalently: no present axis repeats),
+      so a fact sits in exactly one group and group aggregates may count
+      rows instead of tracking fact identities;
+    - {e coverage} of a lattice edge (finer cuboid → one-step more relaxed
+      cuboid): every (fact, group) incidence of the coarser cuboid is
+      already present in the finer one, so the coarser aggregate may be
+      rolled up from the finer aggregate without touching base data.
+
+    [infer] derives both from a schema, conservatively (unknown ⇒ property
+    assumed absent, which only costs performance, never correctness).
+    [observe] measures the ground truth on a witness table — used by tests
+    to validate [infer]'s soundness and by the workload generators to
+    certify their six experimental settings. *)
+
+type t
+
+val infer :
+  schema:X3_xml.Schema.t -> fact_tag:string -> Lattice.t -> t
+(** Schema-driven inference (§3.7): an axis repeats if some step of its
+    (state-relaxed) path is repeatable; a binding can be absent if some
+    step is optional; a structural relaxation step preserves coverage only
+    if the schema proves it adds no matches (e.g. every path to the leaf
+    already goes through its pattern parent). *)
+
+val none : Lattice.t -> t
+(** No schema knowledge: every property absent. *)
+
+val exact : Lattice.t -> disjoint:bool -> covered:bool -> t
+(** Uniform properties asserted a priori — used by workloads whose
+    construction guarantees them. *)
+
+val observe : X3_pattern.Witness.t -> Lattice.t -> t
+(** Ground truth measured on a materialised witness table. *)
+
+val cuboid_disjoint : t -> int -> bool
+(** The paper's notion: no fact occurs in more than one group of the
+    cuboid, i.e. no {e present} axis repeats (repeats on LND-removed axes
+    are collapsed by representative rows). Licenses the customised
+    variants' id-free aggregation and finer-to-coarser roll-up. *)
+
+val cuboid_strictly_disjoint : t -> int -> bool
+(** The stronger condition the blindly-optimised variants (BUCOPT, TDOPT,
+    TDOPTALL) actually assume when they count raw witness rows: no axis of
+    the cube — present {e or} removed — repeats, so the materialised table
+    holds exactly one qualifying row per fact. Implies
+    {!cuboid_disjoint}. *)
+
+val edge_covered : t -> finer:int -> coarser:int -> bool
+(** [finer] must be a lattice child of [coarser]. *)
+
+val all_disjoint : t -> bool
+val all_strictly_disjoint : t -> bool
+val all_covered : t -> bool
+
+val axis_multiplicity :
+  schema:X3_xml.Schema.t ->
+  fact_tag:string ->
+  X3_pattern.Axis.t ->
+  state:int ->
+  X3_xml.Dtd.multiplicity
+(** The per-axis schema fact underlying [infer], exposed for testing and
+    for the schema-advisor example: can a binding at this structural state
+    be absent, and can it repeat, within one fact? *)
+
+val pp_report : Lattice.t -> Format.formatter -> t -> unit
+(** Human-readable per-cuboid and per-edge report. *)

@@ -1,0 +1,104 @@
+module Axis = X3_pattern.Axis
+module Relax = X3_pattern.Relax
+module Sj = X3_xdb.Structural_join
+
+let edge ~pc_ad step =
+  match (if pc_ad then Sj.Descendant else step.Axis.axis) with
+  | Sj.Child -> "./"
+  | Sj.Descendant -> ".//"
+
+(* A chain of steps as nested predicates: [./author[./name]]. *)
+let rec chain ~pc_ad = function
+  | [] -> ""
+  | step :: rest ->
+      let inner = chain ~pc_ad rest in
+      Printf.sprintf "[%s%s%s]" (edge ~pc_ad step) step.Axis.tag inner
+
+let axis_pattern axis ~state =
+  match state with
+  | State.Removed -> None
+  | State.Present mask ->
+      let pc_ad = Axis.mask_applies axis ~mask Relax.Pc_ad in
+      let sp = Axis.mask_applies axis ~mask Relax.Sp in
+      if not sp then Some (chain ~pc_ad axis.Axis.steps)
+      else begin
+        match List.rev axis.Axis.steps with
+        | leaf :: parent :: prefix_rev ->
+            (* SP: the leaf hangs off the grandparent with a descendant
+               edge, next to the remaining chain. *)
+            let prefix = List.rev prefix_rev in
+            let promoted = Printf.sprintf "[.//%s]" leaf.Axis.tag in
+            let rec wrap = function
+              | [] ->
+                  (* Both the parent chain and the promoted leaf anchor at
+                     the grandparent. *)
+                  chain ~pc_ad [ parent ] ^ promoted
+              | step :: rest ->
+                  Printf.sprintf "[%s%s%s]" (edge ~pc_ad step) step.Axis.tag
+                    (wrap rest)
+            in
+            Some (wrap prefix)
+        | _ -> Some (chain ~pc_ad axis.Axis.steps)
+      end
+
+let cuboid_pattern ~fact_tag axes cuboid =
+  let branches =
+    Array.to_list
+      (Array.mapi
+         (fun i state ->
+           Option.value (axis_pattern axes.(i) ~state) ~default:"")
+         cuboid)
+  in
+  fact_tag ^ String.concat "" branches
+
+let dot_escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let to_dot ?props ~fact_tag lattice =
+  let axes = Lattice.axes lattice in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "digraph x3_lattice {\n";
+  Buffer.add_string buf "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  Array.iter
+    (fun id ->
+      let pattern = cuboid_pattern ~fact_tag axes (Lattice.cuboid lattice id) in
+      let peripheries =
+        match props with
+        | Some p when Properties.cuboid_disjoint p id -> ", peripheries=2"
+        | Some _ | None -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%d: %s\"%s];\n" id id
+           (dot_escape pattern) peripheries))
+    (Lattice.by_degree lattice);
+  Array.iter
+    (fun id ->
+      List.iter
+        (fun parent ->
+          let style =
+            match props with
+            | Some p when not (Properties.edge_covered p ~finer:id ~coarser:parent)
+              -> " [style=dashed]"
+            | Some _ -> ""
+            | None -> ""
+          in
+          Buffer.add_string buf (Printf.sprintf "  n%d -> n%d%s;\n" id parent style))
+        (Lattice.parents lattice id))
+    (Lattice.by_degree lattice);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp_lattice ~fact_tag ppf lattice =
+  let axes = Lattice.axes lattice in
+  Array.iter
+    (fun id ->
+      Format.fprintf ppf "%3d  degree %d  %s@." id (Lattice.degree lattice id)
+        (cuboid_pattern ~fact_tag axes (Lattice.cuboid lattice id)))
+    (Lattice.by_degree lattice)

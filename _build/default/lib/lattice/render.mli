@@ -1,0 +1,32 @@
+(** Rendering cuboids as the relaxed tree patterns they stand for.
+
+    Fig. 3's caption: "each sub-lattice [point] is an XML query tree
+    pattern". A cuboid determines one: LND-removed axes disappear, PC-AD
+    turns child into descendant edges, SP re-attaches the leaf under its
+    grandparent. These renderings drive the CLI's lattice view and make
+    property reports legible. *)
+
+val axis_pattern :
+  X3_pattern.Axis.t -> state:State.t -> string option
+(** The axis's branch pattern at a structural state, as an XPath-like
+    string, e.g. [Some "[./author[./name]]"]; [None] when the axis is
+    removed. *)
+
+val cuboid_pattern :
+  fact_tag:string -> X3_pattern.Axis.t array -> Cuboid.t -> string
+(** The full pattern of a cuboid, e.g.
+    [publication[.//author[./name]][.//publisher[./@id]][./year]]. The
+    rigid cuboid of Query 1 renders as Fig. 3(a), the fully relaxed one as
+    Fig. 3(o). *)
+
+val pp_lattice :
+  fact_tag:string -> Format.formatter -> Lattice.t -> unit
+(** Every cuboid of the lattice in [by_degree] order with ids, degrees and
+    patterns — a textual Fig. 3. *)
+
+val to_dot :
+  ?props:Properties.t -> fact_tag:string -> Lattice.t -> string
+(** The lattice as a Graphviz digraph (edges point from less to more
+    relaxed, i.e. downward in Fig. 3). When [props] is given, disjoint
+    cuboids are drawn with doubled borders and uncovered edges dashed —
+    the §3.7 analysis at a glance. *)

@@ -1,0 +1,53 @@
+module Axis = X3_pattern.Axis
+
+type t = Removed | Present of int
+
+let equal a b =
+  match (a, b) with
+  | Removed, Removed -> true
+  | Present m, Present m' -> m = m'
+  | (Removed | Present _), _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Present m, Present m' -> Int.compare m m'
+  | Present _, Removed -> -1
+  | Removed, Present _ -> 1
+  | Removed, Removed -> 0
+
+let leq a b =
+  match (a, b) with
+  | _, Removed -> true
+  | Removed, Present _ -> false
+  | Present m, Present m' -> m land m' = m
+
+let popcount =
+  let rec go acc m = if m = 0 then acc else go (acc + (m land 1)) (m lsr 1) in
+  go 0
+
+let degree state axis =
+  match state with
+  | Present m -> popcount m
+  | Removed -> Array.length axis.Axis.structural + 1
+
+let successors state axis =
+  match state with
+  | Removed -> []
+  | Present m ->
+      let structural =
+        List.filter_map
+          (fun i ->
+            let bit = 1 lsl i in
+            if m land bit = 0 then Some (Present (m lor bit)) else None)
+          (List.init (Array.length axis.Axis.structural) Fun.id)
+      in
+      if Axis.allows_lnd axis then structural @ [ Removed ] else structural
+
+let all axis =
+  let present = List.map (fun m -> Present m) (Axis.states axis) in
+  if Axis.allows_lnd axis then present @ [ Removed ] else present
+
+let to_string axis = function
+  | Removed -> "LND"
+  | Present 0 -> "rigid"
+  | Present m -> Axis.state_to_string axis m

@@ -1,0 +1,29 @@
+(** Per-axis relaxation states.
+
+    An axis is either [Present mask] — matched with the structural
+    relaxations in [mask] applied (see {!X3_pattern.Axis}) — or [Removed],
+    the result of leaf node deletion. [Removed] is the unique most relaxed
+    state; among [Present] states relaxation order is mask inclusion. *)
+
+type t = Removed | Present of int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val leq : t -> t -> bool
+(** [leq a b]: is [a] at most as relaxed as [b]? [Present m ⪯ Present m']
+    iff [m ⊆ m']; everything [⪯ Removed]. *)
+
+val degree : t -> X3_pattern.Axis.t -> int
+(** Number of relaxation steps from the rigid state: [popcount mask], and
+    for [Removed] one more than the axis's structural relaxation count. *)
+
+val successors : t -> X3_pattern.Axis.t -> t list
+(** One-step relaxations of this state on this axis: add one structural
+    relaxation, or apply LND (from any [Present] state) when the axis
+    allows it. *)
+
+val all : X3_pattern.Axis.t -> t list
+(** Every state of the axis, rigid first, [Removed] (if allowed) last. *)
+
+val to_string : X3_pattern.Axis.t -> t -> string

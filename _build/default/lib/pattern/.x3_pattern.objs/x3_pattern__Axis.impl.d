@@ -1,0 +1,1 @@
+lib/pattern/axis.ml: Array Format Fun List Relax String X3_xdb

@@ -1,0 +1,1 @@
+lib/pattern/axis.mli: Format Relax X3_xdb

@@ -1,0 +1,1 @@
+lib/pattern/eval.ml: Array Axis Hashtbl Int List Relax Seq String Witness X3_xdb

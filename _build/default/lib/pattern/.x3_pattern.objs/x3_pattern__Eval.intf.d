@@ -1,0 +1,1 @@
+lib/pattern/eval.mli: Axis Witness X3_storage X3_xdb

@@ -1,0 +1,1 @@
+lib/pattern/join_eval.ml: Array Axis Eval Hashtbl Int List Option Relax Seq Witness X3_xdb

@@ -1,0 +1,1 @@
+lib/pattern/join_eval.mli: Axis Eval Hashtbl Witness X3_storage X3_xdb

@@ -1,0 +1,1 @@
+lib/pattern/mrfi.ml: Array Axis Format List Printf Relax String X3_xdb

@@ -1,0 +1,1 @@
+lib/pattern/mrfi.mli: Axis Format X3_xdb

@@ -1,0 +1,1 @@
+lib/pattern/relax.ml: Format Int String

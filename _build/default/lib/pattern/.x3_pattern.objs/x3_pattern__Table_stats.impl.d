@@ -1,0 +1,1 @@
+lib/pattern/table_stats.ml: Array Axis Format Hashtbl List String Witness

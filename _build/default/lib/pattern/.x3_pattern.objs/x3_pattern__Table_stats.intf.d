@@ -1,0 +1,1 @@
+lib/pattern/table_stats.mli: Format Witness

@@ -1,0 +1,1 @@
+lib/pattern/witness.ml: Array Axis Buffer Char Format List Seq String X3_storage

@@ -1,0 +1,1 @@
+lib/pattern/witness.mli: Axis Format Seq X3_storage

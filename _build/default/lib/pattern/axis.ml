@@ -1,0 +1,76 @@
+type step = { axis : X3_xdb.Structural_join.axis; tag : string }
+
+type t = {
+  name : string;
+  steps : step list;
+  allowed : Relax.kind list;
+  structural : Relax.kind array;
+}
+
+let make ~name ~steps ~allowed =
+  if steps = [] then Error (name ^ ": an axis path cannot be empty")
+  else begin
+    let allowed = List.sort_uniq Relax.compare allowed in
+    let structural =
+      Array.of_list (List.filter Relax.is_structural allowed)
+    in
+    let has_pc_edge =
+      List.exists
+        (fun s -> s.axis = X3_xdb.Structural_join.Child)
+        steps
+    in
+    if
+      Array.exists (Relax.equal Relax.Sp) structural
+      && List.length steps < 2
+    then
+      Error
+        (name
+       ^ ": SP needs a path of length at least 2 (the leaf must have a \
+          grandparent within the axis)")
+    else if
+      Array.exists (Relax.equal Relax.Pc_ad) structural && not has_pc_edge
+    then Error (name ^ ": PC-AD is vacuous, the path has no parent-child edge")
+    else Ok { name; steps; allowed; structural }
+  end
+
+let make_exn ~name ~steps ~allowed =
+  match make ~name ~steps ~allowed with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Axis.make: " ^ msg)
+
+let allows_lnd t = List.exists (Relax.equal Relax.Lnd) t.allowed
+let state_count t = 1 lsl Array.length t.structural
+let states t = List.init (state_count t) Fun.id
+let full_mask t = state_count t - 1
+
+let mask_applies t ~mask kind =
+  let rec find i =
+    if i >= Array.length t.structural then false
+    else if Relax.equal t.structural.(i) kind then mask land (1 lsl i) <> 0
+    else find (i + 1)
+  in
+  find 0
+
+let kinds_of_mask t mask =
+  List.filteri (fun i _ -> mask land (1 lsl i) <> 0)
+    (Array.to_list t.structural)
+
+let state_to_string t mask =
+  let kinds = kinds_of_mask t mask in
+  "{" ^ String.concat "," (List.map Relax.to_string kinds) ^ "}"
+
+let path_to_string t =
+  String.concat ""
+    (List.mapi
+       (fun i s ->
+         let sep =
+           match s.axis with
+           | X3_xdb.Structural_join.Child -> if i = 0 then "" else "/"
+           | X3_xdb.Structural_join.Descendant -> "//"
+         in
+         sep ^ s.tag)
+       t.steps)
+
+let pp ppf t =
+  Format.fprintf ppf "%s in %s (%s)" t.name (path_to_string t)
+    (String.concat ", " (List.map Relax.to_string t.allowed))

@@ -1,0 +1,53 @@
+(** Cube axes.
+
+    An axis is one [$v in $fact/path] binding of the X³ clause: a path
+    relative to the fact node plus the set of relaxations the clause permits
+    for it. Each axis carries a small space of {e structural states} — the
+    subsets of its permitted structural relaxations ([SP], [PC-AD]),
+    represented as bitmasks over {!structural}. [LND] is not a structural
+    state: the lattice layer models it as removing the axis altogether.
+
+    For Query 1's [$n in $b/author/name (LND, SP, PC-AD)] the structural
+    states are [{}], [{SP}], [{PC-AD}] and [{SP, PC-AD}] — masks 0..3. *)
+
+type step = { axis : X3_xdb.Structural_join.axis; tag : string }
+(** Attribute steps use the store's ["@name"] tag convention. *)
+
+type t = private {
+  name : string;  (** variable name, e.g. ["$n"] *)
+  steps : step list;  (** non-empty, relative to the fact node *)
+  allowed : Relax.kind list;  (** deduplicated, sorted *)
+  structural : Relax.kind array;  (** the structural subset of [allowed];
+                                      bit [i] of a state mask means
+                                      [structural.(i)] is applied *)
+}
+
+val make :
+  name:string -> steps:step list -> allowed:Relax.kind list -> (t, string) result
+(** Validates applicability: [SP] needs a path of length at least 2 (the
+    leaf must have a grandparent within the axis), and [PC-AD] needs at
+    least one parent-child edge to generalise. *)
+
+val make_exn : name:string -> steps:step list -> allowed:Relax.kind list -> t
+
+val allows_lnd : t -> bool
+
+val state_count : t -> int
+(** [2 ^ Array.length structural]; at most 4. *)
+
+val states : t -> int list
+(** All structural state masks, ascending — [0] is the rigid pattern. *)
+
+val full_mask : t -> int
+(** The most relaxed structural state. *)
+
+val mask_applies : t -> mask:int -> Relax.kind -> bool
+val kinds_of_mask : t -> int -> Relax.kind list
+
+val state_to_string : t -> int -> string
+(** E.g. ["{SP,PC-AD}"], ["{}"] for the rigid state. *)
+
+val path_to_string : t -> string
+(** E.g. ["author/name"], ["//publisher/@id"]. *)
+
+val pp : Format.formatter -> t -> unit

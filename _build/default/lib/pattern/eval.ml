@@ -1,0 +1,141 @@
+module Store = X3_xdb.Store
+module Sj = X3_xdb.Structural_join
+
+type fact_path = Axis.step list
+
+let facts store path =
+  match path with
+  | [] -> invalid_arg "Eval.facts: empty fact path"
+  | steps ->
+      let twig_path =
+        List.map
+          (fun { Axis.axis; tag } -> { X3_xdb.Twig_join.axis; tag })
+          steps
+      in
+      let seen = Hashtbl.create 256 in
+      let acc = ref [] in
+      X3_xdb.Twig_join.path_solutions store twig_path (fun solution ->
+          let fact = solution.(Array.length solution - 1) in
+          if not (Hashtbl.mem seen fact) then begin
+            Hashtbl.add seen fact ();
+            acc := fact :: !acc
+          end);
+      List.sort Int.compare !acc
+
+(* Children (resp. strict descendants) of [node] with a given tag. *)
+let related store ~relation ~node ~tag =
+  match relation with
+  | Sj.Child ->
+      List.filter
+        (fun c -> String.equal (Store.tag store c) tag)
+        (Store.children store node)
+  | Sj.Descendant -> Store.nodes_with_tag_under store tag ~under:node
+
+let effective_relation ~pc_ad step =
+  if pc_ad then Sj.Descendant else step.Axis.axis
+
+(* Does a chain matching [steps] (with PC edges generalised when [pc_ad])
+   exist from [node], ending at a node satisfying [accept]? *)
+let rec chain_exists store ~pc_ad ~node steps ~accept =
+  match steps with
+  | [] -> accept node
+  | step :: rest ->
+      let relation = effective_relation ~pc_ad step in
+      List.exists
+        (fun next -> chain_exists store ~pc_ad ~node:next rest ~accept)
+        (related store ~relation ~node ~tag:step.Axis.tag)
+
+let matches_at_state store axis ~fact ~binding ~state =
+  let pc_ad = Axis.mask_applies axis ~mask:state Relax.Pc_ad in
+  let sp = Axis.mask_applies axis ~mask:state Relax.Sp in
+  let steps = axis.Axis.steps in
+  if not sp then
+    chain_exists store ~pc_ad ~node:fact steps ~accept:(Int.equal binding)
+  else begin
+    (* SP: the leaf hangs off the grandparent with a descendant edge; the
+       rest of the path — including the leaf's former parent — must still
+       match. For [b/author/name], SP yields [b[./author][.//name]]. *)
+    match List.rev steps with
+    | [] | [ _ ] -> invalid_arg "Eval.matches_at_state: SP on a unary path"
+    | leaf :: parent :: prefix_rev ->
+        let prefix = List.rev prefix_rev in
+        if not (String.equal (Store.tag store binding) leaf.Axis.tag) then
+          false
+        else
+          chain_exists store ~pc_ad ~node:fact prefix
+            ~accept:(fun grandparent ->
+              (* (a) the promoted leaf is a strict descendant of the
+                 grandparent; (b) the former parent still matches there. *)
+              grandparent < binding
+              && Store.subtree_end store binding
+                 <= Store.subtree_end store grandparent
+              && related store
+                   ~relation:(effective_relation ~pc_ad parent)
+                   ~node:grandparent ~tag:parent.Axis.tag
+                 <> [])
+  end
+
+let axis_bindings store axis ~fact =
+  let leaf_tag =
+    match List.rev axis.Axis.steps with
+    | leaf :: _ -> leaf.Axis.tag
+    | [] -> assert false
+  in
+  let candidates = Store.nodes_with_tag_under store leaf_tag ~under:fact in
+  let full = Axis.full_mask axis in
+  List.filter_map
+    (fun binding ->
+      let validity =
+        List.fold_left
+          (fun acc state ->
+            if matches_at_state store axis ~fact ~binding ~state then
+              acc lor (1 lsl state)
+            else acc)
+          0 (Axis.states axis)
+      in
+      if validity land (1 lsl full) <> 0 then Some (binding, validity)
+      else None)
+    candidates
+
+let rows_for_fact store axes ~fact =
+  let per_axis =
+    Array.map
+      (fun axis ->
+        match axis_bindings store axis ~fact with
+        | [] -> [ { Witness.value = None; validity = 0; first = true } ]
+        | bindings ->
+            List.mapi
+              (fun i (node, validity) ->
+                { Witness.value = Some (Store.string_value store node);
+                  validity;
+                  first = i = 0 })
+              bindings)
+      axes
+  in
+  (* Cartesian product, rightmost axis varying fastest. *)
+  let rec product i =
+    if i >= Array.length per_axis then [ [] ]
+    else begin
+      let rest = product (i + 1) in
+      List.concat_map
+        (fun cell -> List.map (fun tail -> cell :: tail) rest)
+        per_axis.(i)
+    end
+  in
+  List.map
+    (fun cells -> { Witness.fact; cells = Array.of_list cells })
+    (product 0)
+
+let build_table ?keep pool store ~fact_path ~axes =
+  let fact_list = facts store fact_path in
+  let fact_list =
+    match keep with
+    | None -> fact_list
+    | Some keep -> List.filter keep fact_list
+  in
+  let rows =
+    List.to_seq fact_list
+    |> Seq.concat_map (fun fact ->
+           List.to_seq (rows_for_fact store axes ~fact))
+  in
+  Witness.materialize pool ~axes rows

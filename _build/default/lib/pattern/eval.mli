@@ -1,0 +1,54 @@
+(** Evaluation of the most relaxed fully instantiated pattern (§3.4).
+
+    For each fact match, every axis is evaluated at its most relaxed
+    structural state with outer-join semantics (Fig. 2's [*] edges): when no
+    binding exists the axis contributes a [None] cell. Each binding is then
+    re-checked at every stricter structural state to fill in its validity
+    bitset, so that every other cuboid's input is reconstructible as a
+    subset of the witness table — the property that makes bottom-up and
+    top-down computation possible at all (§3.4, §3.5). *)
+
+type fact_path = Axis.step list
+(** Absolute path selecting the fact nodes, e.g. [//publication]. The first
+    step's axis is relative to the document root. *)
+
+val facts : X3_xdb.Store.t -> fact_path -> X3_xdb.Store.node list
+(** Distinct fact nodes in document order. *)
+
+val matches_at_state :
+  X3_xdb.Store.t ->
+  Axis.t ->
+  fact:X3_xdb.Store.node ->
+  binding:X3_xdb.Store.node ->
+  state:int ->
+  bool
+(** Does [binding] match the axis pattern under [fact] when exactly the
+    relaxations of structural state [state] are applied? *)
+
+val axis_bindings :
+  X3_xdb.Store.t ->
+  Axis.t ->
+  fact:X3_xdb.Store.node ->
+  (X3_xdb.Store.node * int) list
+(** Bindings at the most relaxed state, each with its validity bitset (bit
+    [s] = matches at state [s]). Document order. *)
+
+val rows_for_fact :
+  X3_xdb.Store.t ->
+  Axis.t array ->
+  fact:X3_xdb.Store.node ->
+  Witness.row list
+(** The cartesian combination of per-axis bindings for one fact ("a
+    combinatorial number ... for a single sub-tree", §3.3), [None]-padded
+    for axes without bindings. Grouping values are the bindings' string
+    values. *)
+
+val build_table :
+  ?keep:(X3_xdb.Store.node -> bool) ->
+  X3_storage.Buffer_pool.t ->
+  X3_xdb.Store.t ->
+  fact_path:fact_path ->
+  axes:Axis.t array ->
+  Witness.t
+(** Evaluate and materialise the witness table for a cube specification.
+    [keep] filters the fact nodes (a compiled WHERE clause). *)

@@ -1,0 +1,169 @@
+module Store = X3_xdb.Store
+module Sj = X3_xdb.Structural_join
+
+(* A match set: (fact, node) pairs, kept as a Hashtbl from node to the
+   facts that reach it, plus a sorted array of the distinct nodes so the
+   set can feed the next structural join as its ancestor list. *)
+type match_set = {
+  nodes : Store.node array;  (** distinct, ascending *)
+  facts_of : (Store.node, Store.node list) Hashtbl.t;
+}
+
+let empty_set = { nodes = [||]; facts_of = Hashtbl.create 1 }
+
+let set_of_pairs pairs =
+  (* [pairs]: (fact, node), possibly with duplicates. *)
+  let facts_of = Hashtbl.create 256 in
+  List.iter
+    (fun (fact, node) ->
+      let known = Option.value (Hashtbl.find_opt facts_of node) ~default:[] in
+      if not (List.mem fact known) then
+        Hashtbl.replace facts_of node (fact :: known))
+    pairs;
+  let nodes = Array.of_seq (Hashtbl.to_seq_keys facts_of) in
+  Array.sort Int.compare nodes;
+  { nodes; facts_of }
+
+let initial_set facts =
+  let facts_of = Hashtbl.create (2 * Array.length facts) in
+  Array.iter (fun fact -> Hashtbl.replace facts_of fact [ fact ]) facts;
+  { nodes = Array.copy facts; facts_of }
+
+(* One chain step: join the current match set's nodes with the step tag's
+   index and propagate fact provenance. *)
+let step_join store set ~relation ~tag =
+  if Array.length set.nodes = 0 then empty_set
+  else begin
+    let descendants = Store.nodes_with_tag store tag in
+    let pairs = ref [] in
+    Sj.join store ~axis:relation ~ancestors:set.nodes ~descendants
+      (fun anc desc ->
+        List.iter
+          (fun fact -> pairs := (fact, desc) :: !pairs)
+          (Hashtbl.find set.facts_of anc));
+    set_of_pairs !pairs
+  end
+
+let effective_relation ~pc_ad step =
+  if pc_ad then Sj.Descendant else step.Axis.axis
+
+let chain_set store ~pc_ad ~start steps =
+  List.fold_left
+    (fun set step ->
+      step_join store set
+        ~relation:(effective_relation ~pc_ad step)
+        ~tag:step.Axis.tag)
+    start steps
+
+(* The (fact, binding) match set of one axis at one structural state. *)
+let state_matches store axis ~facts ~state =
+  let pc_ad = Axis.mask_applies axis ~mask:state Relax.Pc_ad in
+  let sp = Axis.mask_applies axis ~mask:state Relax.Sp in
+  let start = initial_set facts in
+  if not sp then chain_set store ~pc_ad ~start axis.Axis.steps
+  else begin
+    match List.rev axis.Axis.steps with
+    | leaf :: parent :: prefix_rev ->
+        let prefix = List.rev prefix_rev in
+        (* Grandparents reached by the prefix chain... *)
+        let grandparents = chain_set store ~pc_ad ~start prefix in
+        (* ... that still have the pattern parent below them ... *)
+        let with_parent =
+          if Array.length grandparents.nodes = 0 then empty_set
+          else begin
+            let keep =
+              Sj.semijoin_ancestors store
+                ~axis:(effective_relation ~pc_ad parent)
+                ~ancestors:grandparents.nodes
+                ~descendants:(Store.nodes_with_tag store parent.Axis.tag)
+            in
+            let facts_of = Hashtbl.create (2 * Array.length keep) in
+            Array.iter
+              (fun g ->
+                Hashtbl.replace facts_of g
+                  (Hashtbl.find grandparents.facts_of g))
+              keep;
+            { nodes = keep; facts_of }
+          end
+        in
+        (* ... and the promoted leaf anywhere below those grandparents. *)
+        step_join store with_parent ~relation:Sj.Descendant ~tag:leaf.Axis.tag
+    | _ -> chain_set store ~pc_ad ~start axis.Axis.steps
+  end
+
+let axis_bindings_by_fact store axis ~facts =
+  let full = Axis.full_mask axis in
+  (* validity.(fact, binding) assembled across states. *)
+  let validity : (Store.node * Store.node, int) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  List.iter
+    (fun state ->
+      let matches = state_matches store axis ~facts ~state in
+      Array.iter
+        (fun node ->
+          List.iter
+            (fun fact ->
+              let key = (fact, node) in
+              let bits =
+                Option.value (Hashtbl.find_opt validity key) ~default:0
+              in
+              Hashtbl.replace validity key (bits lor (1 lsl state)))
+            (Hashtbl.find matches.facts_of node))
+        matches.nodes)
+    (Axis.states axis);
+  let by_fact : (Store.node, (Store.node * int) list) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  Hashtbl.iter
+    (fun (fact, node) bits ->
+      if bits land (1 lsl full) <> 0 then
+        Hashtbl.replace by_fact fact
+          ((node, bits)
+          :: Option.value (Hashtbl.find_opt by_fact fact) ~default:[]))
+    validity;
+  (* Document order within each fact. *)
+  Hashtbl.filter_map_inplace
+    (fun _ bindings ->
+      Some (List.sort (fun (a, _) (b, _) -> Int.compare a b) bindings))
+    by_fact;
+  by_fact
+
+let build_table pool store ~fact_path ~axes =
+  let fact_list = Eval.facts store fact_path in
+  let facts = Array.of_list fact_list in
+  let per_axis = Array.map (fun axis -> axis_bindings_by_fact store axis ~facts) axes in
+  let rows_for_fact fact =
+    let cells_per_axis =
+      Array.map
+        (fun bindings ->
+          match Hashtbl.find_opt bindings fact with
+          | None | Some [] ->
+              [ { Witness.value = None; validity = 0; first = true } ]
+          | Some bs ->
+              List.mapi
+                (fun i (node, validity) ->
+                  { Witness.value = Some (Store.string_value store node);
+                    validity;
+                    first = i = 0 })
+                bs)
+        per_axis
+    in
+    let rec product i =
+      if i >= Array.length cells_per_axis then [ [] ]
+      else begin
+        let rest = product (i + 1) in
+        List.concat_map
+          (fun cell -> List.map (fun tail -> cell :: tail) rest)
+          cells_per_axis.(i)
+      end
+    in
+    List.map
+      (fun cells -> { Witness.fact; cells = Array.of_list cells })
+      (product 0)
+  in
+  let rows =
+    List.to_seq fact_list
+    |> Seq.concat_map (fun fact -> List.to_seq (rows_for_fact fact))
+  in
+  Witness.materialize pool ~axes rows

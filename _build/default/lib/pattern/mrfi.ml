@@ -1,0 +1,67 @@
+module Sj = X3_xdb.Structural_join
+
+type node = {
+  tag : string;
+  edge : Sj.axis;
+  outer : bool;
+  children : node list;
+}
+
+let chain_of_steps ~pc_ad ~outer steps =
+  let rec build = function
+    | [] -> []
+    | step :: rest ->
+        let edge = if pc_ad then Sj.Descendant else step.Axis.axis in
+        [ { tag = step.Axis.tag; edge; outer; children = build rest } ]
+  in
+  build steps
+
+let branches_of_axis axis =
+  let pc_ad =
+    Array.exists (Relax.equal Relax.Pc_ad) axis.Axis.structural
+  in
+  let sp = Array.exists (Relax.equal Relax.Sp) axis.Axis.structural in
+  if not sp then chain_of_steps ~pc_ad ~outer:true axis.Axis.steps
+  else begin
+    match List.rev axis.Axis.steps with
+    | leaf :: parent :: prefix_rev ->
+        let prefix = List.rev prefix_rev in
+        (* The promoted leaf and the remaining chain both hang off the
+           leaf's grandparent. *)
+        let promoted =
+          { tag = leaf.Axis.tag; edge = Sj.Descendant; outer = true;
+            children = [] }
+        in
+        let parent_chain =
+          chain_of_steps ~pc_ad ~outer:true (prefix @ [ parent ])
+        in
+        parent_chain @ [ promoted ]
+    | _ -> chain_of_steps ~pc_ad ~outer:true axis.Axis.steps
+  end
+
+let of_axes ~fact_tag axes =
+  {
+    tag = fact_tag;
+    edge = Sj.Descendant;
+    outer = false;
+    children = Array.to_list axes |> List.concat_map branches_of_axis;
+  }
+
+let rec to_string node =
+  let edge_str = function Sj.Child -> "./" | Sj.Descendant -> ".//" in
+  let child_str c =
+    Printf.sprintf "[%s%s]%s" (edge_str c.edge) (to_string c)
+      (if c.outer then "*" else "")
+  in
+  node.tag ^ String.concat "" (List.map child_str node.children)
+
+let pp ppf root =
+  let rec go indent node =
+    Format.fprintf ppf "%s%s%s%s@." indent
+      (match node.edge with Sj.Child -> "/" | Sj.Descendant -> "//")
+      node.tag
+      (if node.outer then " *" else "");
+    List.iter (go (indent ^ "  ")) node.children
+  in
+  Format.fprintf ppf "%s@." root.tag;
+  List.iter (go "  ") root.children

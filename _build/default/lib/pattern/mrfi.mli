@@ -1,0 +1,28 @@
+(** The most relaxed fully instantiated tree pattern (Fig. 2).
+
+    Applying every permitted non-LND relaxation to every axis and marking
+    each axis branch as outer (left outer join, the figure's [*]) yields a
+    single pattern whose match set contains every other cuboid's matches as
+    subsets — the anchor of both the bottom-up and the top-down algorithms.
+
+    {!Eval} implements the matching semantics directly; this module builds
+    the pattern as a displayable tree so that specifications, the CLI and
+    the documentation can show exactly what is being matched. *)
+
+type node = {
+  tag : string;
+  edge : X3_xdb.Structural_join.axis;  (** edge from the parent *)
+  outer : bool;  (** outer-join edge, printed as [*] *)
+  children : node list;
+}
+
+val of_axes : fact_tag:string -> Axis.t array -> node
+(** The MRFI pattern for a cube over the fact element [fact_tag] with the
+    given axes. *)
+
+val to_string : node -> string
+(** An XPath-like rendering, e.g.
+    [publication[.//author]*[.//name]*[.//publisher/@id]*[./year]*]. *)
+
+val pp : Format.formatter -> node -> unit
+(** A two-dimensional tree rendering, one node per line. *)

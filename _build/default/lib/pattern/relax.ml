@@ -1,0 +1,20 @@
+type kind = Lnd | Pc_ad | Sp
+
+let equal a b =
+  match (a, b) with
+  | Lnd, Lnd | Pc_ad, Pc_ad | Sp, Sp -> true
+  | (Lnd | Pc_ad | Sp), _ -> false
+
+let rank = function Lnd -> 0 | Pc_ad -> 1 | Sp -> 2
+let compare a b = Int.compare (rank a) (rank b)
+let to_string = function Lnd -> "LND" | Pc_ad -> "PC-AD" | Sp -> "SP"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "LND" -> Some Lnd
+  | "PC-AD" | "PC_AD" | "PCAD" -> Some Pc_ad
+  | "SP" -> Some Sp
+  | _ -> None
+
+let pp ppf k = Format.pp_print_string ppf (to_string k)
+let is_structural = function Pc_ad | Sp -> true | Lnd -> false

@@ -1,0 +1,23 @@
+(** The three grouping-tree-pattern relaxations of §2.2. *)
+
+type kind =
+  | Lnd  (** leaf node deletion: remove the axis, the relational roll-up *)
+  | Pc_ad  (** generalise every parent-child edge on the axis path to
+               ancestor-descendant *)
+  | Sp  (** sub-tree promotion: re-attach the axis leaf under its
+            grandparent with a descendant edge *)
+
+val equal : kind -> kind -> bool
+val compare : kind -> kind -> int
+
+val to_string : kind -> string
+(** The paper's spellings: ["LND"], ["PC-AD"], ["SP"]. *)
+
+val of_string : string -> kind option
+(** Case-insensitive; also accepts ["PC_AD"] and ["PCAD"]. *)
+
+val pp : Format.formatter -> kind -> unit
+
+val is_structural : kind -> bool
+(** [Pc_ad] and [Sp] change the pattern's shape; [Lnd] removes the axis
+    and is handled by the lattice, not by matching. *)

@@ -1,0 +1,89 @@
+type axis_stats = {
+  axis_name : string;
+  facts_bound : int;
+  facts_unbound : int;
+  facts_multi : int;
+  max_bindings : int;
+  state_matches : int array;
+}
+
+type t = {
+  rows : int;
+  facts : int;
+  max_rows_per_fact : int;
+  axes : axis_stats array;
+}
+
+let compute table =
+  let axes = Witness.axes table in
+  let k = Array.length axes in
+  let bound = Array.make k 0 in
+  let unbound = Array.make k 0 in
+  let multi = Array.make k 0 in
+  let max_bindings = Array.make k 0 in
+  let state_matches = Array.map (fun a -> Array.make (Axis.state_count a) 0) axes in
+  let rows = ref 0 and facts = ref 0 and max_rows = ref 0 in
+  Witness.iter_fact_blocks
+    (fun block ->
+      incr facts;
+      let n = List.length block in
+      rows := !rows + n;
+      if n > !max_rows then max_rows := n;
+      for ai = 0 to k - 1 do
+        (* Distinct bindings of axis [ai] within this fact: the cartesian
+           layout means the distinct (value, validity, first) cells. *)
+        let distinct = Hashtbl.create 4 in
+        let has_value = ref false in
+        let union_validity = ref 0 in
+        List.iter
+          (fun row ->
+            let cell = row.Witness.cells.(ai) in
+            match cell.Witness.value with
+            | None -> ()
+            | Some v ->
+                has_value := true;
+                union_validity := !union_validity lor cell.Witness.validity;
+                Hashtbl.replace distinct (v, cell.Witness.validity, cell.Witness.first) ())
+          block;
+        if !has_value then begin
+          bound.(ai) <- bound.(ai) + 1;
+          let b = Hashtbl.length distinct in
+          if b > 1 then multi.(ai) <- multi.(ai) + 1;
+          if b > max_bindings.(ai) then max_bindings.(ai) <- b;
+          Array.iteri
+            (fun s count ->
+              if !union_validity land (1 lsl s) <> 0 then
+                state_matches.(ai).(s) <- count + 1)
+            state_matches.(ai)
+        end
+        else unbound.(ai) <- unbound.(ai) + 1
+      done)
+    table;
+  {
+    rows = !rows;
+    facts = !facts;
+    max_rows_per_fact = !max_rows;
+    axes =
+      Array.init k (fun ai ->
+          {
+            axis_name = axes.(ai).Axis.name;
+            facts_bound = bound.(ai);
+            facts_unbound = unbound.(ai);
+            facts_multi = multi.(ai);
+            max_bindings = max_bindings.(ai);
+            state_matches = state_matches.(ai);
+          });
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "witness table: %d rows for %d facts (max %d rows per fact)@." t.rows
+    t.facts t.max_rows_per_fact;
+  Array.iter
+    (fun a ->
+      Format.fprintf ppf
+        "  %-10s bound=%d unbound=%d multi=%d max-bindings=%d states=[%s]@."
+        a.axis_name a.facts_bound a.facts_unbound a.facts_multi a.max_bindings
+        (String.concat "; "
+           (Array.to_list (Array.map string_of_int a.state_matches))))
+    t.axes

@@ -1,0 +1,140 @@
+type cell = { value : string option; validity : int; first : bool }
+type row = { fact : int; cells : cell array }
+
+let qualifies row ~axis_index ~state =
+  let cell = row.cells.(axis_index) in
+  match cell.value with
+  | None -> false
+  | Some _ -> cell.validity land (1 lsl state) <> 0
+
+(* --- codec ------------------------------------------------------------ *)
+(* Layout: fact (4 bytes LE) | cell count (1) | cells.
+   Cell: validity (1 byte, bit 7 = first-binding flag) |
+         0xFF for None, else u16 length + bytes. *)
+
+let encode row =
+  let buf = Buffer.create 32 in
+  let add_u8 v = Buffer.add_char buf (Char.chr (v land 0xFF)) in
+  let add_u16 v =
+    add_u8 (v land 0xFF);
+    add_u8 ((v lsr 8) land 0xFF)
+  in
+  let add_u32 v =
+    add_u16 (v land 0xFFFF);
+    add_u16 ((v lsr 16) land 0xFFFF)
+  in
+  add_u32 row.fact;
+  if Array.length row.cells > 255 then
+    invalid_arg "Witness.encode: more than 255 axes";
+  add_u8 (Array.length row.cells);
+  Array.iter
+    (fun cell ->
+      if cell.validity > 0x7F then
+        invalid_arg "Witness.encode: validity out of range";
+      add_u8 (cell.validity lor if cell.first then 0x80 else 0);
+      match cell.value with
+      | None -> add_u8 0xFF
+      | Some v ->
+          if String.length v > 0xFFFE then
+            invalid_arg "Witness.encode: value too long";
+          add_u8 0x00;
+          add_u16 (String.length v);
+          Buffer.add_string buf v)
+    row.cells;
+  Buffer.contents buf
+
+let decode record =
+  let pos = ref 0 in
+  let len = String.length record in
+  let u8 () =
+    if !pos >= len then invalid_arg "Witness.decode: truncated record";
+    let v = Char.code record.[!pos] in
+    incr pos;
+    v
+  in
+  let u16 () =
+    let lo = u8 () in
+    let hi = u8 () in
+    lo lor (hi lsl 8)
+  in
+  let u32 () =
+    let lo = u16 () in
+    let hi = u16 () in
+    lo lor (hi lsl 16)
+  in
+  let fact = u32 () in
+  let ncells = u8 () in
+  let cells =
+    Array.init ncells (fun _ ->
+        let tag = u8 () in
+        let validity = tag land 0x7F and first = tag land 0x80 <> 0 in
+        let marker = u8 () in
+        if marker = 0xFF then { value = None; validity; first }
+        else begin
+          let n = u16 () in
+          if !pos + n > len then invalid_arg "Witness.decode: truncated value";
+          let v = String.sub record !pos n in
+          pos := !pos + n;
+          { value = Some v; validity; first }
+        end)
+  in
+  if !pos <> len then invalid_arg "Witness.decode: trailing bytes";
+  { fact; cells }
+
+(* --- tables ------------------------------------------------------------ *)
+
+type t = {
+  axes : Axis.t array;
+  heap : X3_storage.Heap_file.t;
+  mutable facts : int;
+}
+
+let materialize pool ~axes rows =
+  let heap = X3_storage.Heap_file.create pool in
+  let facts = ref 0 in
+  let last_fact = ref (-1) in
+  Seq.iter
+    (fun row ->
+      if row.fact <> !last_fact then begin
+        incr facts;
+        last_fact := row.fact
+      end;
+      X3_storage.Heap_file.append heap (encode row))
+    rows;
+  { axes; heap; facts = !facts }
+
+let axes t = t.axes
+let row_count t = X3_storage.Heap_file.record_count t.heap
+let fact_count t = t.facts
+let page_count t = X3_storage.Heap_file.page_count t.heap
+let pool t = X3_storage.Heap_file.pool t.heap
+let iter f t = X3_storage.Heap_file.iter (fun r -> f (decode r)) t.heap
+
+let iter_fact_blocks f t =
+  let block = ref [] in
+  let current = ref (-1) in
+  iter
+    (fun row ->
+      if row.fact <> !current && !block <> [] then begin
+        f (List.rev !block);
+        block := []
+      end;
+      current := row.fact;
+      block := row :: !block)
+    t;
+  if !block <> [] then f (List.rev !block)
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun r -> acc := r :: !acc) t;
+  List.rev !acc
+
+let pp_row ppf row =
+  Format.fprintf ppf "@[<h>fact=%d" row.fact;
+  Array.iter
+    (fun cell ->
+      match cell.value with
+      | None -> Format.fprintf ppf " ⊥"
+      | Some v -> Format.fprintf ppf " %S/%x" v cell.validity)
+    row.cells;
+  Format.fprintf ppf "@]"

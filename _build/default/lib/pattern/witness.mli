@@ -1,0 +1,69 @@
+(** Witness tables: the materialised input of every cube algorithm.
+
+    §4 of the paper: "we pre-evaluated the query tree pattern, and
+    materialized the results into a file. The file was then read in and the
+    cubing was performed." A witness table is that file: one row per match
+    of the most relaxed fully instantiated pattern, carrying the fact id,
+    and per axis the grouping value together with a {e validity bitset}
+    recording at which structural states of that axis the binding matches
+    (bit [s] set means the binding is a legal match when exactly the
+    relaxations in state [s] are applied).
+
+    A row with a [None] cell has no binding for that axis even in the most
+    relaxed state — the fact participates only in cuboids where the axis is
+    LND-removed (this is exactly how incomplete coverage enters the data).
+
+    Rows of the same fact are contiguous, which the counter-based algorithm
+    relies on to form per-fact combination blocks. *)
+
+type cell = {
+  value : string option;
+  validity : int;
+  first : bool;
+      (** is this the fact's first binding of the axis (document order)?
+          [None] cells are trivially [first]. A row {e represents} a fact
+          in a cuboid iff every present axis is valid at the cuboid's state
+          and every LND-removed axis holds a first binding — the canonical
+          representative that keeps the cartesian blow-up of repeated
+          bindings on removed axes from double-counting a fact. *)
+}
+
+type row = { fact : int; cells : cell array }
+
+val qualifies : row -> axis_index:int -> state:int -> bool
+(** Does this row participate in a cuboid whose [axis_index]-th axis is at
+    structural state [state]? ([Removed] axes always qualify and are not
+    asked — see {!cell.first} for how removed axes are collapsed.) *)
+
+(** {1 Binary codec} — rows are stored as heap-file records. *)
+
+val encode : row -> string
+val decode : string -> row
+(** Raises [Invalid_argument] on malformed records. *)
+
+(** {1 Tables} *)
+
+type t
+(** A witness table materialised into a heap file. *)
+
+val materialize :
+  X3_storage.Buffer_pool.t -> axes:Axis.t array -> row Seq.t -> t
+
+val axes : t -> Axis.t array
+val row_count : t -> int
+val fact_count : t -> int
+(** Number of distinct facts (rows of one fact are contiguous). *)
+
+val page_count : t -> int
+val pool : t -> X3_storage.Buffer_pool.t
+
+val iter : (row -> unit) -> t -> unit
+(** One sequential scan through the buffer pool. *)
+
+val iter_fact_blocks : (row list -> unit) -> t -> unit
+(** Scan grouped by fact: the callback receives the consecutive rows of one
+    fact at a time. *)
+
+val to_list : t -> row list
+
+val pp_row : Format.formatter -> row -> unit

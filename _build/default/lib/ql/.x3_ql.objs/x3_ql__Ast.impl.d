@@ -1,0 +1,1 @@
+lib/ql/ast.ml: Format List String X3_pattern

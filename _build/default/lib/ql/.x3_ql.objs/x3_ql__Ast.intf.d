@@ -1,0 +1,1 @@
+lib/ql/ast.mli: Format X3_pattern

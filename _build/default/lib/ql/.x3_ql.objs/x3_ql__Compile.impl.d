@@ -1,0 +1,1 @@
+lib/ql/compile.ml: Array Ast List Parser Printf Result String X3_core X3_pattern X3_xdb

@@ -1,0 +1,1 @@
+lib/ql/compile.mli: Ast X3_core

@@ -1,0 +1,1 @@
+lib/ql/lexer.mli:

@@ -1,0 +1,1 @@
+lib/ql/parser.ml: Ast Lexer List Printf X3_pattern

@@ -1,0 +1,1 @@
+lib/ql/parser.mli: Ast

@@ -1,0 +1,116 @@
+type axis = Child | Descendant
+type step = { axis : axis; test : string }
+
+type source = Doc of string * step list | Var of string * step list
+
+type binding = { var : string; source : source }
+
+type axis_spec = {
+  axis_var : string;
+  relaxations : X3_pattern.Relax.kind list;
+}
+
+type comparison = Eq | Neq | Lt | Le | Gt | Ge
+
+type condition = {
+  cond_var : string;
+  cond_path : step list;
+  op : comparison;
+  operand : string;
+}
+
+type aggregate = { func : string; arg_var : string; arg_path : step list }
+
+type t = {
+  bindings : binding list;
+  where : condition list;
+  cube_id : string * step list;
+  by : axis_spec list;
+  aggregate : aggregate;
+}
+
+let comparison_to_string = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+
+let pp_steps ppf steps =
+  List.iter
+    (fun { axis; test } ->
+      Format.fprintf ppf "%s%s"
+        (match axis with Child -> "/" | Descendant -> "//")
+        test)
+    steps
+
+let pp_source ppf = function
+  | Doc (file, steps) -> Format.fprintf ppf "doc(%S)%a" file pp_steps steps
+  | Var (v, steps) -> Format.fprintf ppf "%s%a" v pp_steps steps
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>for ";
+  List.iteri
+    (fun i { var; source } ->
+      if i > 0 then Format.fprintf ppf ",@;<1 4>";
+      Format.fprintf ppf "%s in %a" var pp_source source)
+    t.bindings;
+  if t.where <> [] then begin
+    Format.fprintf ppf "@,where ";
+    List.iteri
+      (fun i { cond_var; cond_path; op; operand } ->
+        if i > 0 then Format.fprintf ppf " and ";
+        Format.fprintf ppf "%s%a %s %S" cond_var pp_steps cond_path
+          (comparison_to_string op) operand)
+      t.where
+  end;
+  let id_var, id_path = t.cube_id in
+  Format.fprintf ppf "@,X^3 %s%a by " id_var pp_steps id_path;
+  List.iteri
+    (fun i { axis_var; relaxations } ->
+      if i > 0 then Format.fprintf ppf ",@;<1 4>";
+      Format.fprintf ppf "%s" axis_var;
+      if relaxations <> [] then
+        Format.fprintf ppf " (%s)"
+          (String.concat ", "
+             (List.map X3_pattern.Relax.to_string relaxations)))
+    t.by;
+  Format.fprintf ppf "@,return %s(%s%a).@]" t.aggregate.func
+    t.aggregate.arg_var pp_steps t.aggregate.arg_path
+
+let equal_steps a b =
+  List.length a = List.length b
+  && List.for_all2 (fun x y -> x.axis = y.axis && String.equal x.test y.test) a b
+
+let equal_source a b =
+  match (a, b) with
+  | Doc (f, s), Doc (f', s') -> String.equal f f' && equal_steps s s'
+  | Var (v, s), Var (v', s') -> String.equal v v' && equal_steps s s'
+  | (Doc _ | Var _), _ -> false
+
+let equal_condition a b =
+  String.equal a.cond_var b.cond_var
+  && equal_steps a.cond_path b.cond_path
+  && a.op = b.op
+  && String.equal a.operand b.operand
+
+let equal a b =
+  List.length a.where = List.length b.where
+  && List.for_all2 equal_condition a.where b.where
+  && List.length a.bindings = List.length b.bindings
+  && List.for_all2
+       (fun x y -> String.equal x.var y.var && equal_source x.source y.source)
+       a.bindings b.bindings
+  && String.equal (fst a.cube_id) (fst b.cube_id)
+  && equal_steps (snd a.cube_id) (snd b.cube_id)
+  && List.length a.by = List.length b.by
+  && List.for_all2
+       (fun x y ->
+         String.equal x.axis_var y.axis_var
+         && x.relaxations = y.relaxations)
+       a.by b.by
+  && String.equal a.aggregate.func b.aggregate.func
+  && String.equal a.aggregate.arg_var b.aggregate.arg_var
+  && equal_steps a.aggregate.arg_path b.aggregate.arg_path

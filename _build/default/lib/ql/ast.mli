@@ -1,0 +1,57 @@
+(** Abstract syntax of the X³ query language (§2.3, Query 1):
+
+    {v
+    for $b in doc("book.xml")//publication,
+        $n in $b/author/name,
+        $p in $b//publisher/@id,
+        $y in $b/year
+    X^3 $b/@id by $n (LND, SP, PC-AD),
+               $p (LND, PC-AD),
+               $y (LND)
+    return COUNT($b).
+    v} *)
+
+type axis = Child | Descendant
+
+type step = { axis : axis; test : string }
+(** [test] is an element name, ["@name"] for attributes. *)
+
+type source =
+  | Doc of string * step list  (** [doc("file.xml")//publication] *)
+  | Var of string * step list  (** [$b/author/name] *)
+
+type binding = { var : string; source : source }
+
+type axis_spec = {
+  axis_var : string;
+  relaxations : X3_pattern.Relax.kind list;
+}
+
+type comparison = Eq | Neq | Lt | Le | Gt | Ge
+
+type condition = {
+  cond_var : string;  (** must be the fact variable *)
+  cond_path : step list;
+  op : comparison;
+  operand : string;  (** a quoted string or a numeric literal *)
+}
+(** One [where] conjunct, e.g. [$b/year >= "2003"]. *)
+
+type aggregate = {
+  func : string;  (** COUNT, SUM, AVG, MIN, MAX *)
+  arg_var : string;
+  arg_path : step list;  (** empty for COUNT($b) *)
+}
+
+type t = {
+  bindings : binding list;  (** first binding is the fact variable *)
+  where : condition list;  (** conjunction; empty when absent *)
+  cube_id : string * step list;  (** the [$b/@id] after [X^3] *)
+  by : axis_spec list;
+  aggregate : aggregate;
+}
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-prints in the concrete syntax; reparses to an equal AST. *)
+
+val equal : t -> t -> bool

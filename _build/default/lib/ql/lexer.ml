@@ -1,0 +1,209 @@
+type comparison = Eq | Neq | Lt | Le | Gt | Ge
+
+type token =
+  | For
+  | In
+  | X3
+  | By
+  | Return
+  | Doc
+  | Where
+  | And
+  | Var of string
+  | Ident of string
+  | Str of string
+  | Number of string
+  | Op of comparison
+  | Slash
+  | Dslash
+  | At
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Eof
+
+type error = { position : int; message : string }
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let is_ident_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' -> true
+  | _ -> false
+
+(* '-' belongs to identifiers so that PC-AD is a single token; '.' is kept
+   out so the query's trailing full stop lexes separately. *)
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '-'
+
+exception Fail of int * string
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then src.[!pos + k] else '\000' in
+  let tokens = ref [] in
+  let push t = tokens := t :: !tokens in
+  try
+    while !pos < n do
+      let c = src.[!pos] in
+      if is_space c then incr pos
+      else if c = '(' && peek 1 = ':' then begin
+        (* XQuery-style comment: (: ... :) *)
+        let rec skip p =
+          if p + 1 >= n then raise (Fail (!pos, "unterminated comment"))
+          else if src.[p] = ':' && src.[p + 1] = ')' then p + 2
+          else skip (p + 1)
+        in
+        pos := skip (!pos + 2)
+      end
+      else if c = '/' then
+        if peek 1 = '/' then begin
+          push Dslash;
+          pos := !pos + 2
+        end
+        else begin
+          push Slash;
+          incr pos
+        end
+      else if c = '@' then begin
+        push At;
+        incr pos
+      end
+      else if c = '(' then begin
+        push Lparen;
+        incr pos
+      end
+      else if c = ')' then begin
+        push Rparen;
+        incr pos
+      end
+      else if c = ',' then begin
+        push Comma;
+        incr pos
+      end
+      else if c = '.' && not (peek 1 >= '0' && peek 1 <= '9') then begin
+        push Dot;
+        incr pos
+      end
+      else if (c >= '0' && c <= '9') || c = '.' then begin
+        let start = !pos in
+        let seen_dot = ref false in
+        while
+          !pos < n
+          && ((src.[!pos] >= '0' && src.[!pos] <= '9')
+             || (src.[!pos] = '.' && not !seen_dot))
+        do
+          if src.[!pos] = '.' then seen_dot := true;
+          incr pos
+        done;
+        push (Number (String.sub src start (!pos - start)))
+      end
+      else if c = '=' then begin
+        push (Op Eq);
+        incr pos
+      end
+      else if c = '!' && peek 1 = '=' then begin
+        push (Op Neq);
+        pos := !pos + 2
+      end
+      else if c = '<' then
+        if peek 1 = '=' then begin
+          push (Op Le);
+          pos := !pos + 2
+        end
+        else begin
+          push (Op Lt);
+          incr pos
+        end
+      else if c = '>' then
+        if peek 1 = '=' then begin
+          push (Op Ge);
+          pos := !pos + 2
+        end
+        else begin
+          push (Op Gt);
+          incr pos
+        end
+      else if c = '"' then begin
+        let start = !pos + 1 in
+        match String.index_from_opt src start '"' with
+        | Some stop ->
+            push (Str (String.sub src start (stop - start)));
+            pos := stop + 1
+        | None -> raise (Fail (!pos, "unterminated string literal"))
+      end
+      else if c = '$' then begin
+        incr pos;
+        let start = !pos in
+        while !pos < n && is_ident_char src.[!pos] do
+          incr pos
+        done;
+        if !pos = start then raise (Fail (start, "empty variable name"));
+        push (Var ("$" ^ String.sub src start (!pos - start)))
+      end
+      else if is_ident_start c then begin
+        let start = !pos in
+        while !pos < n && is_ident_char src.[!pos] do
+          incr pos
+        done;
+        let word = String.sub src start (!pos - start) in
+        (* X^3 — the caret continues the keyword. *)
+        let word =
+          if
+            (String.equal word "X" || String.equal word "x")
+            && peek 0 = '^'
+            && peek 1 = '3'
+          then begin
+            pos := !pos + 2;
+            "X^3"
+          end
+          else word
+        in
+        match String.lowercase_ascii word with
+        | "for" -> push For
+        | "in" -> push In
+        | "x^3" | "x3" -> push X3
+        | "by" -> push By
+        | "return" -> push Return
+        | "doc" -> push Doc
+        | "where" -> push Where
+        | "and" -> push And
+        | _ -> push (Ident word)
+      end
+      else raise (Fail (!pos, Printf.sprintf "unexpected character %C" c))
+    done;
+    push Eof;
+    Ok (List.rev !tokens)
+  with Fail (position, message) -> Error { position; message }
+
+let comparison_to_string = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let token_to_string = function
+  | For -> "for"
+  | In -> "in"
+  | X3 -> "X^3"
+  | By -> "by"
+  | Return -> "return"
+  | Where -> "where"
+  | And -> "and"
+  | Number s -> s
+  | Op op -> comparison_to_string op
+  | Doc -> "doc"
+  | Var v -> v
+  | Ident s -> s
+  | Str s -> Printf.sprintf "%S" s
+  | Slash -> "/"
+  | Dslash -> "//"
+  | At -> "@"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Comma -> ","
+  | Dot -> "."
+  | Eof -> "<eof>"

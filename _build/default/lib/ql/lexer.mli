@@ -1,0 +1,33 @@
+(** Tokeniser for the X³ query language. *)
+
+type comparison = Eq | Neq | Lt | Le | Gt | Ge
+
+type token =
+  | For
+  | In
+  | X3  (** the [X^3] keyword (also accepted spelled [X3]) *)
+  | By
+  | Return
+  | Doc
+  | Where
+  | And
+  | Var of string  (** [$name] *)
+  | Ident of string
+  | Str of string  (** double-quoted literal *)
+  | Number of string  (** numeric literal, kept verbatim *)
+  | Op of comparison  (** [=], [!=], [<], [<=], [>], [>=] *)
+  | Slash
+  | Dslash  (** [//] *)
+  | At
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Eof
+
+type error = { position : int; message : string }
+
+val tokenize : string -> (token list, error) result
+(** Keywords are case-insensitive; [PC-AD] lexes as a single identifier. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,6 @@
+(** Recursive-descent parser for the X³ query language. *)
+
+val parse : string -> (Ast.t, string) result
+(** Parses a full query. Error messages name the offending token. *)
+
+val parse_exn : string -> Ast.t

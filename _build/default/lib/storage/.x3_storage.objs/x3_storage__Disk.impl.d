@@ -1,0 +1,1 @@
+lib/storage/disk.ml: Array Bytes Int64 Printf Stats Sys Unix

@@ -1,0 +1,1 @@
+lib/storage/external_sort.ml: Array Buffer_pool Heap_file List Min_heap Quicksort Seq

@@ -1,0 +1,1 @@
+lib/storage/external_sort.mli: Buffer_pool Heap_file

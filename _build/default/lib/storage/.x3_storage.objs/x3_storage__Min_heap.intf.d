@@ -1,0 +1,1 @@
+lib/storage/min_heap.mli:

@@ -1,0 +1,125 @@
+type frame = {
+  buf : bytes;
+  mutable page : int;  (** -1 when the frame is free *)
+  mutable dirty : bool;
+  mutable referenced : bool;  (** clock second-chance bit *)
+}
+
+type t = {
+  disk : Disk.t;
+  capacity : int;
+  frames : frame array;  (** grown lazily up to [capacity] *)
+  mutable used : int;  (** frames currently initialised *)
+  table : (int, int) Hashtbl.t;  (** page id -> frame index *)
+  mutable hand : int;  (** clock hand over [frames] *)
+  stats : Stats.t;
+}
+
+let create ?(capacity_pages = 65536) disk =
+  if capacity_pages < 1 then invalid_arg "Buffer_pool.create: empty pool";
+  {
+    disk;
+    capacity = capacity_pages;
+    frames =
+      Array.init capacity_pages (fun _ ->
+          { buf = Bytes.empty; page = -1; dirty = false; referenced = false });
+    used = 0;
+    table = Hashtbl.create (min 4096 (2 * capacity_pages));
+    hand = 0;
+    stats = Stats.create ();
+  }
+
+let disk t = t.disk
+let capacity t = t.capacity
+let stats t = t.stats
+let resident_pages t = Hashtbl.length t.table
+
+let write_back t frame =
+  if frame.dirty then begin
+    Disk.write t.disk frame.page frame.buf;
+    frame.dirty <- false
+  end
+
+(* Pick a victim frame: first use an uninitialised frame, then run the
+   clock, skipping recently-referenced frames once. *)
+let victim t =
+  if t.used < t.capacity then begin
+    let idx = t.used in
+    t.used <- t.used + 1;
+    let frame =
+      {
+        buf = Bytes.make (Disk.page_size t.disk) '\000';
+        page = -1;
+        dirty = false;
+        referenced = false;
+      }
+    in
+    t.frames.(idx) <- frame;
+    idx
+  end
+  else begin
+    let rec spin () =
+      let idx = t.hand in
+      t.hand <- (t.hand + 1) mod t.capacity;
+      let frame = t.frames.(idx) in
+      if frame.referenced then begin
+        frame.referenced <- false;
+        spin ()
+      end
+      else idx
+    in
+    let idx = spin () in
+    let frame = t.frames.(idx) in
+    if frame.page >= 0 then begin
+      write_back t frame;
+      Hashtbl.remove t.table frame.page;
+      t.stats.evictions <- t.stats.evictions + 1
+    end;
+    idx
+  end
+
+let frame_of t id ~load =
+  match Hashtbl.find_opt t.table id with
+  | Some idx ->
+      t.stats.pool_hits <- t.stats.pool_hits + 1;
+      let frame = t.frames.(idx) in
+      frame.referenced <- true;
+      frame
+  | None ->
+      t.stats.pool_misses <- t.stats.pool_misses + 1;
+      let idx = victim t in
+      let frame = t.frames.(idx) in
+      frame.page <- id;
+      frame.dirty <- false;
+      frame.referenced <- true;
+      if load then Disk.read_into t.disk id frame.buf
+      else Bytes.fill frame.buf 0 (Bytes.length frame.buf) '\000';
+      Hashtbl.replace t.table id idx;
+      frame
+
+let allocate t =
+  let id = Disk.allocate t.disk in
+  let frame = frame_of t id ~load:false in
+  frame.dirty <- true;
+  id
+
+let with_page t id f = f (frame_of t id ~load:true).buf
+
+let with_page_mut t id f =
+  let frame = frame_of t id ~load:true in
+  frame.dirty <- true;
+  f frame.buf
+
+let flush t =
+  Hashtbl.iter (fun _ idx -> write_back t t.frames.(idx)) t.table
+
+let drop_cache t =
+  flush t;
+  Hashtbl.reset t.table;
+  for i = 0 to t.used - 1 do
+    let frame = t.frames.(i) in
+    frame.page <- -1;
+    frame.dirty <- false;
+    frame.referenced <- false
+  done;
+  t.hand <- 0

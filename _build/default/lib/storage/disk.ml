@@ -1,0 +1,122 @@
+let default_page_size = 8192
+
+type backend =
+  | Memory of bytes array ref
+  | File of { fd : Unix.file_descr; path : string }
+
+type t = {
+  page_size : int;
+  mutable pages : int;
+  backend : backend;
+  stats : Stats.t;
+  mutable closed : bool;
+}
+
+let in_memory ?(page_size = default_page_size) () =
+  {
+    page_size;
+    pages = 0;
+    backend = Memory (ref [||]);
+    stats = Stats.create ();
+    closed = false;
+  }
+
+let on_file ?(page_size = default_page_size) path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; O_CREAT; O_TRUNC ] 0o600 in
+  {
+    page_size;
+    pages = 0;
+    backend = File { fd; path };
+    stats = Stats.create ();
+    closed = false;
+  }
+
+let page_size t = t.page_size
+let page_count t = t.pages
+let stats t = t.stats
+
+let check_open t = if t.closed then invalid_arg "Disk: already closed"
+
+let check_id t id =
+  if id < 0 || id >= t.pages then
+    invalid_arg (Printf.sprintf "Disk: page %d out of range [0, %d)" id t.pages)
+
+let allocate t =
+  check_open t;
+  let id = t.pages in
+  t.pages <- t.pages + 1;
+  t.stats.pages_allocated <- t.stats.pages_allocated + 1;
+  (match t.backend with
+  | Memory store ->
+      let old = !store in
+      if id >= Array.length old then begin
+        let grown =
+          Array.make (max 64 (2 * Array.length old)) Bytes.empty
+        in
+        Array.blit old 0 grown 0 (Array.length old);
+        store := grown
+      end;
+      !store.(id) <- Bytes.make t.page_size '\000'
+  | File { fd; _ } ->
+      (* Extend the file so positioned reads of fresh pages succeed. *)
+      ignore (Unix.LargeFile.lseek fd
+                (Int64.of_int ((id + 1) * t.page_size - 1))
+                Unix.SEEK_SET);
+      ignore (Unix.write fd (Bytes.make 1 '\000') 0 1));
+  id
+
+let really_read fd buf len =
+  let rec go off =
+    if off < len then begin
+      let n = Unix.read fd buf off (len - off) in
+      if n = 0 then Bytes.fill buf off (len - off) '\000' else go (off + n)
+    end
+  in
+  go 0
+
+let really_write fd buf len =
+  let rec go off =
+    if off < len then begin
+      let n = Unix.write fd buf off (len - off) in
+      go (off + n)
+    end
+  in
+  go 0
+
+let read_into t id buf =
+  check_open t;
+  check_id t id;
+  if Bytes.length buf <> t.page_size then
+    invalid_arg "Disk.read_into: buffer size mismatch";
+  t.stats.page_reads <- t.stats.page_reads + 1;
+  match t.backend with
+  | Memory store -> Bytes.blit !store.(id) 0 buf 0 t.page_size
+  | File { fd; _ } ->
+      ignore
+        (Unix.LargeFile.lseek fd (Int64.of_int (id * t.page_size))
+           Unix.SEEK_SET);
+      really_read fd buf t.page_size
+
+let write t id buf =
+  check_open t;
+  check_id t id;
+  if Bytes.length buf <> t.page_size then
+    invalid_arg "Disk.write: buffer size mismatch";
+  t.stats.page_writes <- t.stats.page_writes + 1;
+  match t.backend with
+  | Memory store -> Bytes.blit buf 0 !store.(id) 0 t.page_size
+  | File { fd; _ } ->
+      ignore
+        (Unix.LargeFile.lseek fd (Int64.of_int (id * t.page_size))
+           Unix.SEEK_SET);
+      really_write fd buf t.page_size
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    match t.backend with
+    | Memory store -> store := [||]
+    | File { fd; path } ->
+        Unix.close fd;
+        (try Sys.remove path with Sys_error _ -> ())
+  end

@@ -1,0 +1,36 @@
+(** The disk layer: a flat, growable array of fixed-size pages.
+
+    Two backends share one interface. [in_memory] keeps pages in an OCaml
+    array — deterministic, fast, the default for tests. [on_file] keeps them
+    in a real file accessed with [pread]/[pwrite]-style positioned I/O —
+    used when a workload must exceed memory, and to make external-sort
+    spills real. Either way, {!Stats.t} counts page transfers; every access
+    is expected to go through {!Buffer_pool}, which is what turns the paper's
+    512 MB / 8 KB page configuration into a knob. *)
+
+type t
+
+val default_page_size : int
+(** 8192 bytes, the paper's TIMBER configuration. *)
+
+val in_memory : ?page_size:int -> unit -> t
+
+val on_file : ?page_size:int -> string -> t
+(** [on_file path] creates or truncates [path]. The file is removed on
+    {!close} (spill files are temporaries). *)
+
+val page_size : t -> int
+val page_count : t -> int
+
+val allocate : t -> int
+(** Allocate a zeroed page and return its id. *)
+
+val read_into : t -> int -> bytes -> unit
+(** [read_into t id buf] fills [buf] (of length [page_size t]) with page
+    [id]. Raises [Invalid_argument] on bad ids or buffer sizes. *)
+
+val write : t -> int -> bytes -> unit
+(** [write t id buf] stores [buf] as page [id]. *)
+
+val stats : t -> Stats.t
+val close : t -> unit

@@ -1,0 +1,13 @@
+(** A binary min-heap, used for N-way run merging in {!External_sort}. *)
+
+type 'a t
+
+val create : compare:('a -> 'a -> int) -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum. *)
+
+val peek : 'a t -> 'a option

@@ -1,0 +1,26 @@
+(** Substrate counters.
+
+    The paper reports cold-cache wall-clock times that bundle I/O and CPU
+    work; on different hardware the absolute seconds are meaningless, so
+    every storage component also counts the events that drove those times.
+    Benchmarks report both. *)
+
+type t = {
+  mutable page_reads : int;  (** pages fetched from the disk layer *)
+  mutable page_writes : int;  (** pages written back to the disk layer *)
+  mutable pages_allocated : int;
+  mutable pool_hits : int;  (** buffer-pool lookups served from memory *)
+  mutable pool_misses : int;
+  mutable evictions : int;
+  mutable sort_runs : int;  (** sorted runs spilled by external sorts *)
+  mutable merge_passes : int;
+  mutable records_sorted : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val add : t -> t -> unit
+(** [add acc x] accumulates [x] into [acc]. *)
+
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workload/catalog.ml: List Printf Rng X3_core X3_pattern X3_xdb X3_xml

@@ -1,0 +1,1 @@
+lib/workload/dblp.ml: List Printf Rng X3_core X3_pattern X3_xdb X3_xml

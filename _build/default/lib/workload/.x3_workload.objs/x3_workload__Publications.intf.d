@@ -1,0 +1,1 @@
+lib/workload/publications.mli: X3_core X3_pattern X3_xml

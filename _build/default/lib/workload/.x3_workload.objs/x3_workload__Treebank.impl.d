@@ -1,0 +1,1 @@
+lib/workload/treebank.ml: Array Char List Printf Rng String X3_core X3_pattern X3_xdb X3_xml

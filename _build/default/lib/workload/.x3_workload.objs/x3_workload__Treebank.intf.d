@@ -1,0 +1,1 @@
+lib/workload/treebank.mli: X3_core X3_pattern X3_xml

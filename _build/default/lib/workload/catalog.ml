@@ -1,0 +1,70 @@
+module Tree = X3_xml.Tree
+module Axis = X3_pattern.Axis
+module Relax = X3_pattern.Relax
+module Sj = X3_xdb.Structural_join
+
+type config = { seed : int; num_products : int; price_buckets : int }
+
+let default = { seed = 19; num_products = 5_000; price_buckets = 20 }
+
+let brands = [| "Acme"; "Globex"; "Initech"; "Umbrella"; "Soylent"; "Tyrell" |]
+let categories = [| "audio"; "video"; "compute"; "storage"; "network" |]
+
+let brand_node rng = Tree.elem "brand" [ Tree.text (Rng.choice rng brands) ]
+
+let product config rng i =
+  let category =
+    Tree.elem "category" [ Tree.text (Rng.choice rng categories) ]
+  in
+  let price =
+    Tree.elem "price"
+      [ Tree.text (string_of_int (10 * (1 + Rng.int rng config.price_buckets))) ]
+  in
+  (* The heterogeneity: where does the brand live?
+     - 30%: canonical  specs/brand
+     - 30%: specs present, brand one level deeper (specs/vendor/brand)
+     - 25%: specs present, brand beside it          (PC-AD cannot help;
+            SP promotes it to the product level and recovers it)
+     - 15%: no specs at all (nothing to promote: the SP pattern keeps the
+            specs requirement, so these stay out until LND) *)
+  let roll = Rng.float rng in
+  let spec_children =
+    if roll < 0.30 then
+      [ Tree.elem "specs" [ brand_node rng; Tree.elem "weight" [ Tree.text "1kg" ] ] ]
+    else if roll < 0.60 then
+      [ Tree.elem "specs" [ Tree.elem "vendor" [ brand_node rng ] ] ]
+    else if roll < 0.85 then
+      [ Tree.elem "specs" [ Tree.elem "weight" [ Tree.text "2kg" ] ];
+        Tree.elem "madeBy" [ brand_node rng ] ]
+    else [ Tree.elem "note" [ Tree.text "refurbished" ] ]
+  in
+  Tree.elem "product"
+    ~attrs:[ ("sku", Printf.sprintf "SKU-%05d" i) ]
+    ((category :: spec_children) @ [ price ])
+
+let generate config =
+  if config.num_products < 1 then
+    invalid_arg "Catalog: num_products must be >= 1";
+  let rng = Rng.create ~seed:config.seed in
+  let products = List.init config.num_products (fun i -> product config rng i) in
+  match Tree.elem "catalog" products with
+  | Tree.Element root -> Tree.document root
+  | Tree.Text _ | Tree.Comment _ | Tree.Pi _ -> assert false
+
+let step axis tag = { Axis.axis; tag }
+
+let axes () =
+  [|
+    Axis.make_exn ~name:"$brand"
+      ~steps:[ step Sj.Child "specs"; step Sj.Child "brand" ]
+      ~allowed:[ Relax.Lnd; Relax.Sp; Relax.Pc_ad ];
+    Axis.make_exn ~name:"$cat"
+      ~steps:[ step Sj.Child "category" ]
+      ~allowed:[ Relax.Lnd ];
+    Axis.make_exn ~name:"$price"
+      ~steps:[ step Sj.Child "price" ]
+      ~allowed:[ Relax.Lnd ];
+  |]
+
+let fact_path : X3_pattern.Eval.fact_path = [ step Sj.Descendant "product" ]
+let spec () = X3_core.Engine.count_spec ~fact_path ~axes:(axes ())

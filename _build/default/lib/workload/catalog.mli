@@ -1,0 +1,27 @@
+(** A synthetic electronic-catalog workload.
+
+    The paper's motivation (§1) names "warehouses of information based on
+    electronic catalogs" as a natural home for heterogeneous XML. This
+    generator produces product entries whose specification blocks are
+    wrapped inconsistently — sometimes [specs/spec], sometimes a vendor
+    block, sometimes inline — which makes the SP (sub-tree promotion)
+    relaxation essential: the rigid pattern [product/specs/brand] misses
+    most of the data, and only [SP] recovers brands parked outside their
+    [specs] block while keeping the [specs] requirement.
+
+    Axes: [$brand in $p/specs/brand (LND, SP, PC-AD)],
+    [$cat in $p/category (LND)], [$price in $p/price (LND)]. *)
+
+type config = {
+  seed : int;
+  num_products : int;
+  price_buckets : int;  (** distinct price points, for cube density *)
+}
+
+val default : config
+(** [{seed = 19; num_products = 5_000; price_buckets = 20}] *)
+
+val generate : config -> X3_xml.Tree.document
+val axes : unit -> X3_pattern.Axis.t array
+val fact_path : X3_pattern.Eval.fact_path
+val spec : unit -> X3_core.Engine.spec

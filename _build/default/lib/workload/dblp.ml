@@ -1,0 +1,98 @@
+module Tree = X3_xml.Tree
+module Axis = X3_pattern.Axis
+module Relax = X3_pattern.Relax
+module Sj = X3_xdb.Structural_join
+
+type config = { seed : int; num_articles : int }
+
+let default = { seed = 7; num_articles = 20_000 }
+
+let months =
+  [|
+    "January"; "February"; "March"; "April"; "May"; "June"; "July";
+    "August"; "September"; "October"; "November"; "December";
+  |]
+
+let journal_count = 120
+let author_pool = 3_000
+
+let journal rng = Printf.sprintf "J. Syst. %d" (Rng.zipf_rank rng ~n:journal_count)
+let author rng = Printf.sprintf "Author %04d" (Rng.zipf_rank rng ~n:author_pool)
+
+let article rng i =
+  let authors =
+    (* repeatable and possibly missing: 0 w.p. .05, 1 w.p. .45, else 2-4 *)
+    let n =
+      let u = Rng.float rng in
+      if u < 0.05 then 0
+      else if u < 0.5 then 1
+      else if u < 0.8 then 2
+      else if u < 0.95 then 3
+      else 4
+    in
+    List.init n (fun _ -> Tree.elem "author" [ Tree.text (author rng) ])
+  in
+  let title =
+    Tree.elem "title"
+      [ Tree.text (Printf.sprintf "On the Theory of Topic %d" (Rng.int rng 10_000)) ]
+  in
+  let month =
+    if Rng.bool rng ~p:0.4 then []
+    else [ Tree.elem "month" [ Tree.text (Rng.choice rng months) ] ]
+  in
+  let year =
+    Tree.elem "year" [ Tree.text (string_of_int (1970 + Rng.int rng 36)) ]
+  in
+  let jrnl = Tree.elem "journal" [ Tree.text (journal rng) ] in
+  Tree.elem "article"
+    ~attrs:[ ("key", Printf.sprintf "journals/x/%d" i) ]
+    (authors @ [ title ] @ month @ [ year; jrnl ])
+
+let generate config =
+  if config.num_articles < 1 then invalid_arg "Dblp: num_articles must be >= 1";
+  let rng = Rng.create ~seed:config.seed in
+  let articles = List.init config.num_articles (fun i -> article rng i) in
+  match Tree.elem "dblp" articles with
+  | Tree.Element root -> Tree.document root
+  | Tree.Text _ | Tree.Comment _ | Tree.Pi _ -> assert false
+
+let axis name tag =
+  Axis.make_exn ~name
+    ~steps:[ { Axis.axis = Sj.Child; tag } ]
+    ~allowed:[ Relax.Lnd ]
+
+let axes () =
+  [|
+    axis "$author" "author";
+    axis "$month" "month";
+    axis "$year" "year";
+    axis "$journal" "journal";
+  |]
+
+let fact_path : X3_pattern.Eval.fact_path =
+  [ { Axis.axis = Sj.Descendant; tag = "article" } ]
+
+let spec () = X3_core.Engine.count_spec ~fact_path ~axes:(axes ())
+
+let dtd () =
+  let open X3_xml.Dtd in
+  {
+    declared_root = Some "dblp";
+    elements =
+      [
+        ("dblp", Children (Star (Name "article")));
+        ( "article",
+          Children
+            (Seq
+               [
+                 Star (Name "author"); Name "title"; Opt (Name "month");
+                 Name "year"; Name "journal";
+               ]) );
+        ("author", Mixed []);
+        ("title", Mixed []);
+        ("month", Mixed []);
+        ("year", Mixed []);
+        ("journal", Mixed []);
+      ];
+    attlists = [ { owner = "article"; attr = "key"; default = Required } ];
+  }

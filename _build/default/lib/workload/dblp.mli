@@ -1,0 +1,26 @@
+(** A synthetic DBLP-like workload (§4.5).
+
+    Follows the DBLP DTD fragment the paper relies on: per article,
+    [author] is repeatable and possibly missing, [month] possibly missing,
+    [year] and [journal] mandatory and unique. The representative query
+    cubes articles by /author, /month, /year and /journal (all with LND
+    only), yielding a dense, low-dimensional cube in which the customised
+    algorithms can exploit per-lattice-point properties: every cuboid not
+    involving [$author] is disjoint, and edges removing [$year] or
+    [$journal] are covered. *)
+
+type config = {
+  seed : int;
+  num_articles : int;  (** the paper uses 220 000 input trees *)
+}
+
+val default : config
+(** [{seed = 7; num_articles = 20_000}] *)
+
+val generate : config -> X3_xml.Tree.document
+val axes : unit -> X3_pattern.Axis.t array
+val fact_path : X3_pattern.Eval.fact_path
+val spec : unit -> X3_core.Engine.spec
+
+val dtd : unit -> X3_xml.Dtd.t
+(** The DBLP DTD fragment, as published. *)

@@ -1,0 +1,80 @@
+module Axis = X3_pattern.Axis
+module Relax = X3_pattern.Relax
+module Sj = X3_xdb.Structural_join
+
+let source =
+  {|<database>
+  <publication id="1">
+    <author id="a1"><name>John</name></author>
+    <author id="a2"><name>Jane</name></author>
+    <publisher id="p1"/>
+    <year>2003</year>
+  </publication>
+  <publication id="2">
+    <author id="a1"><name>John</name></author>
+    <publisher id="p2"/>
+    <year>2004</year>
+    <year>2005</year>
+  </publication>
+  <publication id="3">
+    <authors><author id="a3"><name>Bob</name></author></authors>
+    <year>2003</year>
+  </publication>
+  <publication id="4">
+    <author id="a4"><name>Ann</name></author>
+    <pubData><publisher id="p1"/><year>2005</year></pubData>
+  </publication>
+</database>|}
+
+let document () =
+  match X3_xml.Parser.parse source with
+  | Ok doc -> doc
+  | Error e ->
+      failwith (Format.asprintf "Publications.document: %a" X3_xml.Parser.pp_error e)
+
+let query1 =
+  {|for $b in doc("book.xml")//publication,
+    $n in $b/author/name,
+    $p in $b//publisher/@id,
+    $y in $b/year
+X^3 $b/@id by $n (LND, SP, PC-AD),
+    $p (LND, PC-AD),
+    $y (LND)
+return COUNT($b).|}
+
+let step axis tag = { Axis.axis; tag }
+
+let axes () =
+  [|
+    Axis.make_exn ~name:"$n"
+      ~steps:[ step Sj.Child "author"; step Sj.Child "name" ]
+      ~allowed:[ Relax.Lnd; Relax.Sp; Relax.Pc_ad ];
+    Axis.make_exn ~name:"$p"
+      ~steps:[ step Sj.Descendant "publisher"; step Sj.Child "@id" ]
+      ~allowed:[ Relax.Lnd; Relax.Pc_ad ];
+    Axis.make_exn ~name:"$y"
+      ~steps:[ step Sj.Child "year" ]
+      ~allowed:[ Relax.Lnd ];
+  |]
+
+let fact_path : X3_pattern.Eval.fact_path = [ step Sj.Descendant "publication" ]
+
+let spec () = X3_core.Engine.count_spec ~fact_path ~axes:(axes ())
+
+let dtd_source =
+  {|<!ELEMENT database (publication*)>
+<!ELEMENT publication (author*, authors?, publisher?, year*, pubData?)>
+<!ELEMENT author (name)>
+<!ELEMENT authors (author+)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT publisher EMPTY>
+<!ELEMENT pubData (publisher, year)>
+<!ELEMENT year (#PCDATA)>
+<!ATTLIST publication id CDATA #REQUIRED>
+<!ATTLIST author id CDATA #REQUIRED>
+<!ATTLIST publisher id CDATA #REQUIRED>|}
+
+let dtd () =
+  match X3_xml.Dtd.parse ~declared_root:"database" dtd_source with
+  | Ok dtd -> dtd
+  | Error msg -> failwith ("Publications.dtd: " ^ msg)

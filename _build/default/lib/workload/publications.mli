@@ -1,0 +1,23 @@
+(** The paper's running example: Figure 1's publication database and
+    Query 1, as ready-made values for examples, tests and the CLI. *)
+
+val document : unit -> X3_xml.Tree.document
+(** Figure 1's four publications, heterogeneity included: repeated
+    authors, repeated years, an [authors] wrapper, a missing publisher and
+    a [pubData] wrapper. *)
+
+val source : string
+(** The same document as XML text. *)
+
+val query1 : string
+(** Query 1 exactly as printed in §2.3 (aimed at ["book.xml"]). *)
+
+val axes : unit -> X3_pattern.Axis.t array
+(** The compiled axes of Query 1: [$n (LND, SP, PC-AD)],
+    [$p (LND, PC-AD)], [$y (LND)]. *)
+
+val fact_path : X3_pattern.Eval.fact_path
+val spec : unit -> X3_core.Engine.spec
+
+val dtd : unit -> X3_xml.Dtd.t
+(** A DTD consistent with Figure 1, for schema-inference demos. *)

@@ -1,0 +1,42 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let create ~seed = { state = mix (Int64.of_int seed) }
+
+let split t = { state = mix (next t) }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 61 bits so the value fits OCaml's native int on 64-bit. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next t) 3) in
+  r mod bound
+
+let float t =
+  let r = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  r /. 9007199254740992. (* 2^53 *)
+
+let bool t ~p = float t < p
+
+let choice t a =
+  if Array.length a = 0 then invalid_arg "Rng.choice: empty array";
+  a.(int t (Array.length a))
+
+(* Inverse-CDF sampling of Zipf(1) via the harmonic approximation:
+   P(rank <= k) ≈ H(k+1)/H(n); we invert with exp. Close enough for
+   workload skew, and very fast. *)
+let zipf_rank t ~n =
+  if n <= 0 then invalid_arg "Rng.zipf_rank: n must be positive";
+  let h = log (float_of_int n +. 1.) in
+  let u = float t in
+  let k = int_of_float (exp (u *. h)) - 1 in
+  if k < 0 then 0 else if k >= n then n - 1 else k

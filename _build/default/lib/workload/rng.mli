@@ -1,0 +1,26 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Workload generation must be reproducible across runs and machines —
+    benchmark rows are only comparable if everyone generates the same
+    data — so we do not touch [Stdlib.Random]. *)
+
+type t
+
+val create : seed:int -> t
+val split : t -> t
+(** An independent stream, derived deterministically. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> p:float -> bool
+(** Bernoulli trial. *)
+
+val choice : t -> 'a array -> 'a
+
+val zipf_rank : t -> n:int -> int
+(** A rank in [\[0, n)] with an approximately Zipf(1) distribution — small
+    ranks are much more likely. Used for realistic skew in values. *)

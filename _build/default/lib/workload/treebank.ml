@@ -1,0 +1,180 @@
+module Tree = X3_xml.Tree
+module Axis = X3_pattern.Axis
+module Relax = X3_pattern.Relax
+module Sj = X3_xdb.Structural_join
+
+type density = Sparse | Dense
+
+type config = {
+  seed : int;
+  num_trees : int;
+  axes : int;
+  coverage : bool;
+  disjoint : bool;
+  density : density;
+}
+
+let default =
+  {
+    seed = 42;
+    num_trees = 1000;
+    axes = 3;
+    coverage = true;
+    disjoint = true;
+    density = Sparse;
+  }
+
+let max_axes = 7
+let p_missing = 0.15
+let p_nest = 0.15
+let p_repeat = 0.25
+
+(* Only the first two axes carry structural relaxations; see the
+   interface. *)
+let structural_axis j = j <= 2
+
+let check config =
+  if config.axes < 1 || config.axes > max_axes then
+    invalid_arg
+      (Printf.sprintf "Treebank: axes must be in [1, %d]" max_axes);
+  if config.num_trees < 1 then invalid_arg "Treebank: num_trees must be >= 1"
+
+let dim_tag j = Printf.sprintf "d%d" j
+let wrap_tag j = Printf.sprintf "w%d" j
+
+let value config rng =
+  match config.density with
+  | Dense ->
+      (* "grouping only the first character of the marked-up text". *)
+      String.make 1 (Char.chr (Char.code 'a' + Rng.int rng 8))
+  | Sparse ->
+      let domain = max 50 (config.num_trees / 2) in
+      Printf.sprintf "v%d" (Rng.int rng domain)
+
+(* Recursive filler phrases: depth and heterogeneity without cube impact. *)
+let filler_tags = [| "np"; "vp"; "pp" |]
+
+let rec filler rng depth =
+  let tag = Rng.choice rng filler_tags in
+  if depth = 0 || Rng.bool rng ~p:0.4 then
+    Tree.elem tag [ Tree.text (Printf.sprintf "t%d" (Rng.int rng 1000)) ]
+  else
+    Tree.elem tag
+      (List.init
+         (1 + Rng.int rng 2)
+         (fun _ -> filler rng (depth - 1)))
+
+let axis_subtree config rng j =
+  if (not config.coverage) && Rng.bool rng ~p:p_missing then None
+  else begin
+    let repeats =
+      if (not config.disjoint) && Rng.bool rng ~p:p_repeat then
+        2 + Rng.int rng 2
+      else 1
+    in
+    let dims =
+      List.init repeats (fun _ ->
+          Tree.elem (dim_tag j) [ Tree.text (value config rng) ])
+    in
+    let nested =
+      (not config.coverage) && structural_axis j && Rng.bool rng ~p:p_nest
+    in
+    let children = if nested then [ Tree.elem "nx" dims ] else dims in
+    Some (Tree.elem (wrap_tag j) children)
+  end
+
+let fact config rng i =
+  let dims =
+    List.filter_map
+      (fun j -> axis_subtree config rng j)
+      (List.init config.axes (fun j -> j + 1))
+  in
+  let fillers = List.init (Rng.int rng 3) (fun _ -> filler rng 3) in
+  Tree.elem "s" ~attrs:[ ("id", string_of_int i) ] (dims @ fillers)
+
+let generate config =
+  check config;
+  let rng = Rng.create ~seed:config.seed in
+  let facts = List.init config.num_trees (fun i -> fact config rng i) in
+  match Tree.elem "bank" facts with
+  | Tree.Element root -> Tree.document root
+  | Tree.Text _ | Tree.Comment _ | Tree.Pi _ -> assert false
+
+let axes config =
+  check config;
+  Array.init config.axes (fun idx ->
+      let j = idx + 1 in
+      let allowed =
+        if structural_axis j then [ Relax.Lnd; Relax.Pc_ad ]
+        else [ Relax.Lnd ]
+      in
+      Axis.make_exn
+        ~name:(Printf.sprintf "$d%d" j)
+        ~steps:
+          [
+            { Axis.axis = Sj.Child; tag = wrap_tag j };
+            { Axis.axis = Sj.Child; tag = dim_tag j };
+          ]
+        ~allowed)
+
+let fact_path : X3_pattern.Eval.fact_path =
+  [ { Axis.axis = Sj.Descendant; tag = "s" } ]
+
+let spec config =
+  X3_core.Engine.count_spec ~fact_path ~axes:(axes config)
+
+let dtd config =
+  check config;
+  let open X3_xml.Dtd in
+  let wrap_particle j =
+    let dim = Name (dim_tag j) in
+    let base =
+      if (not config.coverage) && structural_axis j then
+        Choice [ dim; Name "nx" ]
+      else dim
+    in
+    if config.disjoint then base else Plus base
+  in
+  let s_content =
+    let dims =
+      List.init config.axes (fun idx ->
+          let j = idx + 1 in
+          let w = Name (wrap_tag j) in
+          if config.coverage then w else Opt w)
+    in
+    let fill = Star (Choice [ Name "np"; Name "vp"; Name "pp" ]) in
+    Children (Seq (dims @ [ fill ]))
+  in
+  let dim_elements =
+    List.init config.axes (fun idx ->
+        let j = idx + 1 in
+        [ (wrap_tag j, Children (wrap_particle j)); (dim_tag j, Mixed []) ])
+    |> List.concat
+  in
+  let nx_content =
+    let dims =
+      List.filteri (fun idx _ -> structural_axis (idx + 1))
+        (List.init config.axes (fun idx -> Name (dim_tag (idx + 1))))
+    in
+    match dims with
+    | [] -> Mixed []
+    | [ only ] -> Children (if config.disjoint then only else Plus only)
+    | several ->
+        let c = Choice several in
+        Children (if config.disjoint then c else Plus c)
+  in
+  let filler_elements =
+    [
+      ("np", Mixed [ "np"; "vp"; "pp" ]);
+      ("vp", Mixed [ "np"; "vp"; "pp" ]);
+      ("pp", Mixed [ "np"; "vp"; "pp" ]);
+    ]
+  in
+  {
+    declared_root = Some "bank";
+    elements =
+      (("bank", Children (Star (Name "s"))) :: ("s", s_content)
+       :: dim_elements)
+      @ (("nx", nx_content) :: filler_elements);
+    attlists = [ { owner = "s"; attr = "id"; default = Required } ];
+  }

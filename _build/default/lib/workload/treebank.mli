@@ -1,0 +1,59 @@
+(** A synthetic Treebank-like workload.
+
+    The paper's Treebank experiments (§4.1–4.4) do not depend on the
+    linguistic content of the data: queries are engineered so that the
+    matching input trees exhibit a chosen combination of {e total coverage}
+    and {e disjointness}, and a chosen cube {e density}. This generator
+    produces deep, heterogeneous, recursive "sentence" trees with exactly
+    those knobs:
+
+    - each input tree is an [<s>] fact with up to [axes] marked-up
+      dimensions [d1..dk], each wrapped in its [w1..wk] phrase element;
+    - [coverage = false] makes a dimension occasionally missing and
+      occasionally nested one level deeper (so the rigid pattern misses it
+      but the PC-AD relaxation catches it — both of Fig. 1's phenomena);
+    - [disjoint = false] makes dimensions occasionally repeat with distinct
+      values;
+    - [density = Dense] draws grouping values from a tiny domain (the
+      paper groups "only the first character of the marked-up text"),
+      [Sparse] from a domain proportional to the tree count;
+    - random recursive filler phrases give the trees Treebank's depth and
+      tag heterogeneity without affecting the cube.
+
+    The generator certifies its own settings: tests call
+    {!X3_lattice.Properties.observe} on generated data and check the
+    requested properties actually hold or fail. *)
+
+type density = Sparse | Dense
+
+type config = {
+  seed : int;
+  num_trees : int;
+  axes : int;  (** 2..7 in the paper's sweeps *)
+  coverage : bool;
+  disjoint : bool;
+  density : density;
+}
+
+val default : config
+(** [{seed = 42; num_trees = 1000; axes = 3; coverage = true;
+      disjoint = true; density = Sparse}] *)
+
+val generate : config -> X3_xml.Tree.document
+(** One document whose root holds [num_trees] [<s>] facts. *)
+
+val axes : config -> X3_pattern.Axis.t array
+(** The cube axes for the generated data: [$dj in $s/wj/dj]. The first two
+    axes permit [LND, PC-AD] (structural heterogeneity is injected only
+    there), the rest [LND] — this keeps lattice growth with the axis count
+    at the paper's relational-cube rate plus a constant factor. *)
+
+val fact_path : X3_pattern.Eval.fact_path
+
+val spec : config -> X3_core.Engine.spec
+(** COUNT($s) cubed by all [axes config]. *)
+
+val dtd : config -> X3_xml.Dtd.t
+(** A DTD consistent with the generator's parameters, for §3.7-style
+    inference: dimensions are declared optional/repeatable exactly when
+    the configuration can produce them so. *)

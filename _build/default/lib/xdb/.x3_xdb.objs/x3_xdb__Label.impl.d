@@ -1,0 +1,1 @@
+lib/xdb/label.ml: Format Int

@@ -1,0 +1,1 @@
+lib/xdb/store.ml: Array Buffer Bytes Char Format Fun Hashtbl Int32 Label List Printf Seq String X3_storage X3_xml

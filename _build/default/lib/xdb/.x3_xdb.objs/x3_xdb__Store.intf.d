@@ -1,0 +1,1 @@
+lib/xdb/store.mli: Format Label X3_storage X3_xml

@@ -1,0 +1,1 @@
+lib/xdb/structural_join.ml: Array Hashtbl Int List Store

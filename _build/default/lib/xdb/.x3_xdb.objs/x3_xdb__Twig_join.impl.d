@@ -1,0 +1,1 @@
+lib/xdb/twig_join.ml: Array Hashtbl List Option Seq Store String Structural_join

@@ -1,0 +1,1 @@
+lib/xdb/twig_join.mli: Store Structural_join

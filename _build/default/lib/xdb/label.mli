@@ -1,0 +1,19 @@
+(** Interval node labels, TIMBER-style.
+
+    Each node carries [(start, fin, level)]: [start] is its pre-order rank,
+    [fin] the largest rank in its subtree, [level] its depth. Structural
+    relationships reduce to integer comparisons, which is what makes
+    merge-based structural joins possible. *)
+
+type t = { start : int; fin : int; level : int }
+
+val is_ancestor : t -> t -> bool
+(** [is_ancestor a d]: is [a] a proper ancestor of [d]? *)
+
+val is_parent : t -> t -> bool
+val is_descendant_or_self : t -> t -> bool
+
+val compare_start : t -> t -> int
+(** Document order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,346 @@
+module Tree = X3_xml.Tree
+
+type node = int
+type kind = Element | Attribute | Text
+
+type t = {
+  kinds : kind array;
+  tag_ids : int array;
+  fins : int array;  (** subtree end per node; start is the id itself *)
+  levels : int array;
+  parents : int array;  (** -1 for the root *)
+  texts : string array;  (** raw text for Text/Attribute nodes, "" else *)
+  tag_names : string array;  (** tag id -> name *)
+  tag_table : (string, int) Hashtbl.t;
+  index : node array array;  (** tag id -> nodes in document order *)
+}
+
+(* Loading: one counting pass to size the arrays, one labelling pass.  The
+   synthetic forest root keeps multi-document loads uniform. *)
+
+let count_nodes root_elements =
+  let rec count_node acc = function
+    | Tree.Element e ->
+        let acc = acc + 1 + List.length e.Tree.attributes in
+        List.fold_left count_node acc e.Tree.children
+    | Tree.Text _ -> acc + 1
+    | Tree.Comment _ | Tree.Pi _ -> acc
+  in
+  List.fold_left
+    (fun acc e -> count_node acc (Tree.Element e))
+    0 root_elements
+
+let load ~forest root_elements =
+  let extra_root = if forest then 1 else 0 in
+  let n = count_nodes root_elements + extra_root in
+  let kinds = Array.make n Element in
+  let tag_ids = Array.make n 0 in
+  let fins = Array.make n 0 in
+  let levels = Array.make n 0 in
+  let parents = Array.make n (-1) in
+  let texts = Array.make n "" in
+  let tag_table = Hashtbl.create 64 in
+  let tag_names = ref [] in
+  let tag_count = ref 0 in
+  let intern name =
+    match Hashtbl.find_opt tag_table name with
+    | Some id -> id
+    | None ->
+        let id = !tag_count in
+        incr tag_count;
+        Hashtbl.add tag_table name id;
+        tag_names := name :: !tag_names;
+        id
+  in
+  let next = ref 0 in
+  let fresh () =
+    let id = !next in
+    incr next;
+    id
+  in
+  let rec load_element parent level e =
+    let id = fresh () in
+    kinds.(id) <- Element;
+    tag_ids.(id) <- intern e.Tree.name;
+    levels.(id) <- level;
+    parents.(id) <- parent;
+    List.iter
+      (fun { Tree.attr_name; attr_value } ->
+        let aid = fresh () in
+        kinds.(aid) <- Attribute;
+        tag_ids.(aid) <- intern ("@" ^ attr_name);
+        levels.(aid) <- level + 1;
+        parents.(aid) <- id;
+        texts.(aid) <- attr_value;
+        fins.(aid) <- aid)
+      e.Tree.attributes;
+    List.iter (load_child id (level + 1)) e.Tree.children;
+    fins.(id) <- !next - 1
+  and load_child parent level = function
+    | Tree.Element e -> load_element parent level e
+    | Tree.Text s ->
+        let id = fresh () in
+        kinds.(id) <- Text;
+        tag_ids.(id) <- intern "#text";
+        levels.(id) <- level;
+        parents.(id) <- parent;
+        texts.(id) <- s;
+        fins.(id) <- id
+    | Tree.Comment _ | Tree.Pi _ -> ()
+  in
+  if forest then begin
+    let id = fresh () in
+    kinds.(id) <- Element;
+    tag_ids.(id) <- intern "#forest";
+    levels.(id) <- 0;
+    parents.(id) <- -1;
+    List.iter (load_element id 1) root_elements;
+    fins.(id) <- !next - 1
+  end
+  else begin
+    match root_elements with
+    | [ e ] -> load_element (-1) 0 e
+    | _ -> assert false
+  end;
+  assert (!next = n);
+  let tag_names = Array.of_list (List.rev !tag_names) in
+  (* Build the tag index: nodes are already in document order. *)
+  let buckets = Array.make (Array.length tag_names) 0 in
+  Array.iter (fun tid -> buckets.(tid) <- buckets.(tid) + 1) tag_ids;
+  let index = Array.map (fun count -> Array.make count 0) buckets in
+  let cursors = Array.make (Array.length tag_names) 0 in
+  Array.iteri
+    (fun id tid ->
+      index.(tid).(cursors.(tid)) <- id;
+      cursors.(tid) <- cursors.(tid) + 1)
+    tag_ids;
+  { kinds; tag_ids; fins; levels; parents; texts; tag_names; tag_table; index }
+
+let of_document doc = load ~forest:false [ doc.Tree.root ]
+let of_documents docs = load ~forest:true (List.map (fun d -> d.Tree.root) docs)
+
+let node_count t = Array.length t.kinds
+let root _t = 0
+let document_order t = Array.init (node_count t) Fun.id
+
+let check t id =
+  if id < 0 || id >= node_count t then
+    invalid_arg (Printf.sprintf "Store: node %d out of range" id)
+
+let kind t id =
+  check t id;
+  t.kinds.(id)
+
+let tag_id t id =
+  check t id;
+  t.tag_ids.(id)
+
+let tag t id = t.tag_names.(tag_id t id)
+
+let label t id =
+  check t id;
+  { Label.start = id; fin = t.fins.(id); level = t.levels.(id) }
+
+let level t id =
+  check t id;
+  t.levels.(id)
+
+let subtree_end t id =
+  check t id;
+  t.fins.(id)
+
+let parent t id =
+  check t id;
+  let p = t.parents.(id) in
+  if p < 0 then None else Some p
+
+let iter_children t id f =
+  check t id;
+  let fin = t.fins.(id) in
+  let child = ref (id + 1) in
+  while !child <= fin do
+    f !child;
+    child := t.fins.(!child) + 1
+  done
+
+let children t id =
+  let acc = ref [] in
+  iter_children t id (fun c -> acc := c :: !acc);
+  List.rev !acc
+
+let text t id =
+  check t id;
+  t.texts.(id)
+
+let string_value t id =
+  check t id;
+  match t.kinds.(id) with
+  | Attribute | Text -> t.texts.(id)
+  | Element ->
+      let buf = Buffer.create 16 in
+      for v = id + 1 to t.fins.(id) do
+        match t.kinds.(v) with
+        | Text -> Buffer.add_string buf t.texts.(v)
+        | Element | Attribute -> ()
+      done;
+      Buffer.contents buf
+
+let is_ancestor t ~anc ~desc =
+  check t anc;
+  check t desc;
+  anc < desc && t.fins.(desc) <= t.fins.(anc)
+
+let is_parent t ~parent:p ~child =
+  check t child;
+  t.parents.(child) = p
+
+let tag_of_id t tid = t.tag_names.(tid)
+let id_of_tag t name = Hashtbl.find_opt t.tag_table name
+let tags t = Array.to_list t.tag_names
+
+let nodes_with_tag t name =
+  match id_of_tag t name with Some tid -> t.index.(tid) | None -> [||]
+
+let nodes_with_tag_under t name ~under =
+  check t under;
+  match id_of_tag t name with
+  | None -> []
+  | Some tid ->
+      let index = t.index.(tid) in
+      let fin = t.fins.(under) in
+      (* First index whose node id exceeds [under]. *)
+      let rec lower lo hi =
+        if lo >= hi then lo
+        else begin
+          let mid = (lo + hi) / 2 in
+          if index.(mid) <= under then lower (mid + 1) hi else lower lo mid
+        end
+      in
+      let start = lower 0 (Array.length index) in
+      let rec collect i acc =
+        if i >= Array.length index || index.(i) > fin then List.rev acc
+        else collect (i + 1) (index.(i) :: acc)
+      in
+      collect start []
+
+(* --- persistence -------------------------------------------------------- *)
+(* Record stream: a header ["X3STORE1" | node count | tag count], one
+   record per tag name, then one record per node
+   [kind | tag id | fin | level | parent | text]. All integers u32 LE. *)
+
+let magic = "X3STORE1"
+
+let put_u32 buf v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int v);
+  Buffer.add_bytes buf b
+
+let get_u32 s pos =
+  if pos + 4 > String.length s then invalid_arg "Store.load: truncated record";
+  Int32.to_int (String.get_int32_le s pos)
+
+let kind_code = function Element -> 0 | Attribute -> 1 | Text -> 2
+
+let kind_of_code = function
+  | 0 -> Element
+  | 1 -> Attribute
+  | 2 -> Text
+  | c -> invalid_arg (Printf.sprintf "Store.load: bad kind %d" c)
+
+let save pool t =
+  let heap = X3_storage.Heap_file.create pool in
+  let buf = Buffer.create 64 in
+  let emit () =
+    X3_storage.Heap_file.append heap (Buffer.contents buf);
+    Buffer.clear buf
+  in
+  Buffer.add_string buf magic;
+  put_u32 buf (node_count t);
+  put_u32 buf (Array.length t.tag_names);
+  emit ();
+  Array.iter
+    (fun name ->
+      Buffer.add_string buf name;
+      emit ())
+    t.tag_names;
+  for id = 0 to node_count t - 1 do
+    Buffer.add_char buf (Char.chr (kind_code t.kinds.(id)));
+    put_u32 buf t.tag_ids.(id);
+    put_u32 buf t.fins.(id);
+    put_u32 buf t.levels.(id);
+    put_u32 buf (t.parents.(id) + 1) (* -1 parent stored as 0 *);
+    Buffer.add_string buf t.texts.(id);
+    emit ()
+  done;
+  heap
+
+let load heap =
+  let records = X3_storage.Heap_file.to_seq heap in
+  match records () with
+  | Seq.Nil -> invalid_arg "Store.load: empty file"
+  | Seq.Cons (header, rest) ->
+      let mlen = String.length magic in
+      if
+        String.length header <> mlen + 8
+        || not (String.equal (String.sub header 0 mlen) magic)
+      then invalid_arg "Store.load: not a saved store";
+      let n = get_u32 header mlen in
+      let ntags = get_u32 header (mlen + 4) in
+      let tag_names = Array.make ntags "" in
+      let rest = ref rest in
+      let next () =
+        match !rest () with
+        | Seq.Nil -> invalid_arg "Store.load: truncated file"
+        | Seq.Cons (r, tail) ->
+            rest := tail;
+            r
+      in
+      for i = 0 to ntags - 1 do
+        tag_names.(i) <- next ()
+      done;
+      let kinds = Array.make n Element in
+      let tag_ids = Array.make n 0 in
+      let fins = Array.make n 0 in
+      let levels = Array.make n 0 in
+      let parents = Array.make n (-1) in
+      let texts = Array.make n "" in
+      for id = 0 to n - 1 do
+        let r = next () in
+        if String.length r < 17 then invalid_arg "Store.load: short record";
+        kinds.(id) <- kind_of_code (Char.code r.[0]);
+        tag_ids.(id) <- get_u32 r 1;
+        if tag_ids.(id) < 0 || tag_ids.(id) >= ntags then
+          invalid_arg "Store.load: tag id out of range";
+        fins.(id) <- get_u32 r 5;
+        levels.(id) <- get_u32 r 9;
+        parents.(id) <- get_u32 r 13 - 1;
+        texts.(id) <- String.sub r 17 (String.length r - 17)
+      done;
+      (match !rest () with
+      | Seq.Nil -> ()
+      | Seq.Cons _ -> invalid_arg "Store.load: trailing records");
+      let tag_table = Hashtbl.create (2 * ntags) in
+      Array.iteri (fun i name -> Hashtbl.replace tag_table name i) tag_names;
+      let buckets = Array.make ntags 0 in
+      Array.iter (fun tid -> buckets.(tid) <- buckets.(tid) + 1) tag_ids;
+      let index = Array.map (fun count -> Array.make count 0) buckets in
+      let cursors = Array.make ntags 0 in
+      Array.iteri
+        (fun id tid ->
+          index.(tid).(cursors.(tid)) <- id;
+          cursors.(tid) <- cursors.(tid) + 1)
+        tag_ids;
+      { kinds; tag_ids; fins; levels; parents; texts; tag_names; tag_table; index }
+
+let pp_summary ppf t =
+  let elements = ref 0 and attributes = ref 0 and texts = ref 0 in
+  Array.iter
+    (function
+      | Element -> incr elements
+      | Attribute -> incr attributes
+      | Text -> incr texts)
+    t.kinds;
+  Format.fprintf ppf
+    "@[<h>nodes=%d elements=%d attributes=%d texts=%d tags=%d max-level=%d@]"
+    (node_count t) !elements !attributes !texts (Array.length t.tag_names)
+    (Array.fold_left max 0 t.levels)

@@ -1,0 +1,79 @@
+(** The flattened node store: a {!X3_xml.Tree.document} loaded into parallel
+    arrays with interval labels, the way a native XML database keeps it.
+
+    Node ids are pre-order ranks, so the descendants of node [v] are exactly
+    the ids in [(v, subtree_end v]] — subtree scans are contiguous.
+    Attributes become child nodes tagged ["@name"] (TIMBER's convention, and
+    what lets Query 1 group on [publisher/@id]); text nodes are tagged
+    ["#text"]. *)
+
+type t
+type node = int
+
+(** {1 Loading} *)
+
+val of_document : X3_xml.Tree.document -> t
+val of_documents : X3_xml.Tree.document list -> t
+(** Loads a forest under a synthetic ["#forest"] root — how we load many
+    generated input trees as one database. *)
+
+(** {1 Global accessors} *)
+
+val node_count : t -> int
+val root : t -> node
+val document_order : t -> node array
+(** All nodes, which is simply [0 .. node_count-1]. *)
+
+(** {1 Per-node accessors} *)
+
+type kind = Element | Attribute | Text
+
+val kind : t -> node -> kind
+val tag : t -> node -> string
+val tag_id : t -> node -> int
+val label : t -> node -> Label.t
+val level : t -> node -> int
+val subtree_end : t -> node -> node
+val parent : t -> node -> node option
+val iter_children : t -> node -> (node -> unit) -> unit
+val children : t -> node -> node list
+
+val text : t -> node -> string
+(** The raw character data of a [Text] node or the value of an
+    [Attribute]; [""] for elements. *)
+
+val string_value : t -> node -> string
+(** XPath string value: for elements, concatenated descendant text (not
+    attribute values); for attributes and text nodes, their own text. *)
+
+val is_ancestor : t -> anc:node -> desc:node -> bool
+val is_parent : t -> parent:node -> child:node -> bool
+
+(** {1 Tag dictionary and index} *)
+
+val tag_of_id : t -> int -> string
+val id_of_tag : t -> string -> int option
+val tags : t -> string list
+
+val nodes_with_tag : t -> string -> node array
+(** All nodes with the given tag, ascending (= document order). Shares the
+    index array: callers must not mutate it. *)
+
+val nodes_with_tag_under : t -> string -> under:node -> node list
+(** The nodes with the given tag strictly inside the subtree of [under],
+    ascending — a binary search on the tag index, so the cost is
+    [O(log n + answers)]. *)
+
+val pp_summary : Format.formatter -> t -> unit
+
+(** {1 Persistence}
+
+    A loaded store can be saved into a heap file of node records and
+    restored without re-parsing the XML — the "data loaded into the
+    database" state whose size the paper reports for TIMBER. The tag
+    dictionary travels in the same file. *)
+
+val save : X3_storage.Buffer_pool.t -> t -> X3_storage.Heap_file.t
+
+val load : X3_storage.Heap_file.t -> t
+(** Raises [Invalid_argument] on records that are not a saved store. *)

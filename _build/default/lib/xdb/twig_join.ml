@@ -1,0 +1,250 @@
+type step = { axis : Structural_join.axis; tag : string }
+type path = step list
+
+(* --- PathStack ------------------------------------------------------- *)
+
+type stack_entry = { node : Store.node; ptr : int }
+(* [ptr]: index of the top of the previous step's stack at push time.
+   Entries [0 .. ptr] of that stack all contain this node. *)
+
+type stack = { mutable entries : stack_entry array; mutable size : int }
+
+let stack_create () = { entries = [||]; size = 0 }
+
+let stack_push s e =
+  if s.size = Array.length s.entries then begin
+    let grown = Array.make (max 8 (2 * s.size)) e in
+    Array.blit s.entries 0 grown 0 s.size;
+    s.entries <- grown
+  end;
+  s.entries.(s.size) <- e;
+  s.size <- s.size + 1
+
+let path_solutions store path emit =
+  match path with
+  | [] -> invalid_arg "Twig_join.path_solutions: empty path"
+  | steps ->
+      let steps = Array.of_list steps in
+      let k = Array.length steps in
+      let streams =
+        Array.map (fun s -> Store.nodes_with_tag store s.tag) steps
+      in
+      (* A Child first step means "child of the store root". *)
+      let streams =
+        Array.mapi
+          (fun i nodes ->
+            if i = 0 && steps.(0).axis = Structural_join.Child then
+              Array.of_seq
+                (Seq.filter
+                   (fun n -> Store.level store n = 1)
+                   (Array.to_seq nodes))
+            else nodes)
+          streams
+      in
+      let cursors = Array.make k 0 in
+      let stacks = Array.init k (fun _ -> stack_create ()) in
+      let exhausted i = cursors.(i) >= Array.length streams.(i) in
+      let next_start i = streams.(i).(cursors.(i)) in
+      let fin v = Store.subtree_end store v in
+      let pop_ended cutoff =
+        Array.iter
+          (fun s ->
+            while s.size > 0 && fin s.entries.(s.size - 1).node < cutoff do
+              s.size <- s.size - 1
+            done)
+          stacks
+      in
+      (* Expand every root-to-leaf combination ending at [entry] for step
+         [i], applying parent-child level checks lazily. *)
+      let solution = Array.make k 0 in
+      let rec expand i entry =
+        solution.(i) <- entry.node;
+        if i = 0 then emit (Array.copy solution)
+        else begin
+          let below = stacks.(i - 1) in
+          for j = 0 to entry.ptr do
+            let candidate = below.entries.(j) in
+            (* Stack cleaning guarantees containment, except that a node
+               feeding two steps (same start) is not its own ancestor. *)
+            let ok =
+              candidate.node < entry.node
+              &&
+              match steps.(i).axis with
+              | Structural_join.Descendant -> true
+              | Structural_join.Child ->
+                  Store.level store candidate.node + 1
+                  = Store.level store entry.node
+            in
+            if ok then expand (i - 1) candidate
+          done
+        end
+      in
+      let all_exhausted () =
+        let rec go i = i >= k || (exhausted i && go (i + 1)) in
+        go 0
+      in
+      while not (all_exhausted ()) do
+        (* The stream whose head has the minimal pre-order rank acts next. *)
+        let qmin = ref (-1) in
+        for i = 0 to k - 1 do
+          if
+            (not (exhausted i))
+            && (!qmin < 0 || next_start i < next_start !qmin)
+          then qmin := i
+        done;
+        let i = !qmin in
+        let v = next_start i in
+        pop_ended v;
+        if i = 0 then begin
+          if k = 1 then expand 0 { node = v; ptr = -1 }
+          else stack_push stacks.(0) { node = v; ptr = -1 }
+        end
+        else if stacks.(i - 1).size > 0 then begin
+          let entry = { node = v; ptr = stacks.(i - 1).size - 1 } in
+          if i = k - 1 then expand (k - 1) entry else stack_push stacks.(i) entry
+        end;
+        cursors.(i) <- cursors.(i) + 1
+      done
+
+let count_path_solutions store path =
+  let n = ref 0 in
+  path_solutions store path (fun _ -> incr n);
+  !n
+
+(* --- Twigs ----------------------------------------------------------- *)
+
+type twig = { node : step; branches : twig list }
+
+let twig_steps twig =
+  let rec go acc t = List.fold_left go (t.node :: acc) t.branches in
+  List.rev (go [] twig)
+
+(* Pre-order positions and the root-to-leaf decomposition. *)
+type numbered = { npos : int; nstep : step; nbranches : numbered list }
+
+let decompose twig =
+  let next = ref 0 in
+  let rec number t =
+    let npos = !next in
+    incr next;
+    { npos; nstep = t.node; nbranches = List.map number t.branches }
+  in
+  let numbered = number twig in
+  let paths = ref [] in
+  let rec walk prefix n =
+    let prefix = (n.npos, n.nstep) :: prefix in
+    if n.nbranches = [] then paths := List.rev prefix :: !paths
+    else List.iter (walk prefix) n.nbranches
+  in
+  walk [] numbered;
+  (!next, List.rev !paths)
+
+let twig_solutions store twig emit =
+  let size, paths = decompose twig in
+  match paths with
+  | [] -> ()
+  | _ ->
+      (* Evaluate each root-to-leaf path holistically, then merge-join the
+         per-path solution sets on the positions they share with the
+         already-merged prefix. *)
+      let partials = ref [] (* full assignments, -1 = unset *) in
+      let covered = Hashtbl.create 8 in
+      List.iteri
+        (fun path_index path ->
+          let positions = List.map fst path in
+          let steps = List.map snd path in
+          let solutions = ref [] in
+          path_solutions store steps (fun s -> solutions := s :: !solutions);
+          if path_index = 0 then begin
+            partials :=
+              List.rev_map
+                (fun s ->
+                  let a = Array.make size (-1) in
+                  List.iteri (fun i pos -> a.(pos) <- s.(i)) positions;
+                  a)
+                !solutions
+          end
+          else begin
+            let overlap =
+              List.filteri
+                (fun _ pos -> Hashtbl.mem covered pos)
+                positions
+            in
+            let fresh =
+              List.filter (fun pos -> not (Hashtbl.mem covered pos)) positions
+            in
+            (* Index this path's solutions by their overlap-node tuple. *)
+            let by_key : (int list, int array list) Hashtbl.t =
+              Hashtbl.create 64
+            in
+            let index_of_pos =
+              let tbl = Hashtbl.create 8 in
+              List.iteri (fun i pos -> Hashtbl.replace tbl pos i) positions;
+              tbl
+            in
+            List.iter
+              (fun s ->
+                let key =
+                  List.map (fun pos -> s.(Hashtbl.find index_of_pos pos)) overlap
+                in
+                Hashtbl.replace by_key key
+                  (s :: Option.value (Hashtbl.find_opt by_key key) ~default:[]))
+              !solutions;
+            partials :=
+              List.concat_map
+                (fun partial ->
+                  let key = List.map (fun pos -> partial.(pos)) overlap in
+                  match Hashtbl.find_opt by_key key with
+                  | None -> []
+                  | Some matches ->
+                      List.map
+                        (fun s ->
+                          let extended = Array.copy partial in
+                          List.iter
+                            (fun pos ->
+                              extended.(pos) <-
+                                s.(Hashtbl.find index_of_pos pos))
+                            fresh;
+                          extended)
+                        matches)
+                !partials
+          end;
+          List.iter (fun pos -> Hashtbl.replace covered pos ()) positions)
+        paths;
+      List.iter emit (List.rev !partials)
+
+(* --- Navigational reference ------------------------------------------ *)
+
+let naive_path_solutions store path =
+  let acc = ref [] in
+  let rec extend prefix node rest =
+    match rest with
+    | [] -> acc := Array.of_list (List.rev (node :: prefix)) :: !acc
+    | step :: tail ->
+        let candidates =
+          match step.axis with
+          | Structural_join.Child -> Store.children store node
+          | Structural_join.Descendant ->
+              let fin = Store.subtree_end store node in
+              List.init (fin - node) (fun i -> node + 1 + i)
+        in
+        List.iter
+          (fun c ->
+            if String.equal (Store.tag store c) step.tag then
+              extend (node :: prefix) c tail)
+          candidates
+  in
+  (match path with
+  | [] -> invalid_arg "Twig_join.naive_path_solutions: empty path"
+  | first :: rest ->
+      let roots =
+        match first.axis with
+        | Structural_join.Child -> Store.children store (Store.root store)
+        | Structural_join.Descendant ->
+            Array.to_list (Store.document_order store)
+      in
+      List.iter
+        (fun n ->
+          if String.equal (Store.tag store n) first.tag then extend [] n rest)
+        roots);
+  List.rev !acc

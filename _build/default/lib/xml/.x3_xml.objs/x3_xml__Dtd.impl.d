@@ -1,0 +1,1 @@
+lib/xml/dtd.ml: Format List Printf Str_search String

@@ -1,0 +1,1 @@
+lib/xml/parser.ml: Buffer Char Dtd Escape Filename Format Fun List Option Printf Result Str_search String Sys Tree

@@ -1,0 +1,1 @@
+lib/xml/schema.ml: Dtd Format Hashtbl List Map Option Set String Tree

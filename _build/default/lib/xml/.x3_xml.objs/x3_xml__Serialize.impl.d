@@ -1,0 +1,1 @@
+lib/xml/serialize.ml: Buffer Escape Format Fun List Option String Tree

@@ -1,0 +1,1 @@
+lib/xml/str_search.mli:

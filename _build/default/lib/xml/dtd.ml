@@ -1,0 +1,384 @@
+type particle =
+  | Name of string
+  | Seq of particle list
+  | Choice of particle list
+  | Opt of particle
+  | Star of particle
+  | Plus of particle
+
+type content_model =
+  | Empty
+  | Any
+  | Mixed of string list
+  | Children of particle
+
+type attribute_default =
+  | Required
+  | Implied
+  | Fixed of string
+  | Default of string
+
+type attribute_decl = {
+  owner : string;
+  attr : string;
+  default : attribute_default;
+}
+
+type t = {
+  declared_root : string option;
+  elements : (string * content_model) list;
+  attlists : attribute_decl list;
+}
+
+let empty = { declared_root = None; elements = []; attlists = [] }
+
+exception Syntax of string
+
+(* A tiny cursor over the subset text.  DTD syntax is simple enough that a
+   hand-rolled scanner is clearer than a generated one. *)
+module Cursor = struct
+  type t = { src : string; mutable pos : int }
+
+  let make src = { src; pos = 0 }
+  let eof c = c.pos >= String.length c.src
+  let peek c = if eof c then '\000' else c.src.[c.pos]
+  let advance c = c.pos <- c.pos + 1
+
+  let error c msg =
+    let line = ref 1 in
+    for i = 0 to min c.pos (String.length c.src) - 1 do
+      if c.src.[i] = '\n' then incr line
+    done;
+    raise (Syntax (Printf.sprintf "DTD line %d: %s" !line msg))
+
+  let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+  let skip_space c =
+    while (not (eof c)) && is_space (peek c) do
+      advance c
+    done
+
+  let looking_at c prefix =
+    let n = String.length prefix in
+    c.pos + n <= String.length c.src && String.sub c.src c.pos n = prefix
+
+  let expect_string c prefix =
+    if looking_at c prefix then c.pos <- c.pos + String.length prefix
+    else error c (Printf.sprintf "expected %S" prefix)
+
+  let is_name_start = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+    | _ -> false
+
+  let is_name_char ch =
+    is_name_start ch || (ch >= '0' && ch <= '9') || ch = '-' || ch = '.'
+
+  let name c =
+    if not (is_name_start (peek c)) then error c "expected a name";
+    let start = c.pos in
+    while (not (eof c)) && is_name_char (peek c) do
+      advance c
+    done;
+    String.sub c.src start (c.pos - start)
+
+  (* Skips to the character following the next occurrence of [stop]. *)
+  let skip_until c stop =
+    match String.index_from_opt c.src c.pos stop with
+    | Some i -> c.pos <- i + 1
+    | None -> error c (Printf.sprintf "unterminated construct, expected %c" stop)
+
+  let quoted c =
+    let quote = peek c in
+    if quote <> '"' && quote <> '\'' then error c "expected a quoted literal";
+    advance c;
+    let start = c.pos in
+    (match String.index_from_opt c.src c.pos quote with
+    | Some i -> c.pos <- i + 1
+    | None -> error c "unterminated literal");
+    String.sub c.src start (c.pos - start - 1)
+end
+
+(* Content model grammar:
+     model    ::= EMPTY | ANY | mixed | particle
+     mixed    ::= '(' '#PCDATA' ('|' name)* ')' '*'?
+     particle ::= '(' cp (',' cp)* ')' suffix?  |  '(' cp ('|' cp)* ')' suffix?
+     cp       ::= (name | particle) suffix?
+     suffix   ::= '?' | '*' | '+'                                            *)
+let rec parse_particle c =
+  Cursor.skip_space c;
+  let base =
+    if Cursor.peek c = '(' then begin
+      Cursor.advance c;
+      Cursor.skip_space c;
+      let first = parse_particle c in
+      Cursor.skip_space c;
+      let rec collect sep acc =
+        Cursor.skip_space c;
+        if Cursor.peek c = sep then begin
+          Cursor.advance c;
+          let p = parse_particle c in
+          collect sep (p :: acc)
+        end
+        else begin
+          Cursor.skip_space c;
+          if Cursor.peek c <> ')' then
+            Cursor.error c "expected ',', '|' or ')' in content model";
+          Cursor.advance c;
+          List.rev acc
+        end
+      in
+      match Cursor.peek c with
+      | ',' -> Seq (collect ',' [ first ])
+      | '|' -> Choice (collect '|' [ first ])
+      | ')' ->
+          Cursor.advance c;
+          first
+      | _ -> Cursor.error c "expected ',', '|' or ')' in content model"
+    end
+    else Name (Cursor.name c)
+  in
+  match Cursor.peek c with
+  | '?' ->
+      Cursor.advance c;
+      Opt base
+  | '*' ->
+      Cursor.advance c;
+      Star base
+  | '+' ->
+      Cursor.advance c;
+      Plus base
+  | _ -> base
+
+let parse_mixed c =
+  (* Cursor is just past "(#PCDATA" (whitespace allowed before #PCDATA). *)
+  let rec names acc =
+    Cursor.skip_space c;
+    match Cursor.peek c with
+    | '|' ->
+        Cursor.advance c;
+        Cursor.skip_space c;
+        let n = Cursor.name c in
+        names (n :: acc)
+    | ')' ->
+        Cursor.advance c;
+        if Cursor.peek c = '*' then Cursor.advance c;
+        List.rev acc
+    | _ -> Cursor.error c "expected '|' or ')' in mixed content"
+  in
+  Mixed (names [])
+
+let parse_content_model c =
+  Cursor.skip_space c;
+  if Cursor.looking_at c "EMPTY" then begin
+    Cursor.expect_string c "EMPTY";
+    Empty
+  end
+  else if Cursor.looking_at c "ANY" then begin
+    Cursor.expect_string c "ANY";
+    Any
+  end
+  else begin
+    (* Distinguish mixed content from element content: both start with '('. *)
+    let save = c.Cursor.pos in
+    if Cursor.peek c = '(' then begin
+      Cursor.advance c;
+      Cursor.skip_space c;
+      if Cursor.looking_at c "#PCDATA" then begin
+        Cursor.expect_string c "#PCDATA";
+        parse_mixed c
+      end
+      else begin
+        c.Cursor.pos <- save;
+        Children (parse_particle c)
+      end
+    end
+    else Cursor.error c "expected a content model"
+  end
+
+let parse_attlist c =
+  Cursor.skip_space c;
+  let owner = Cursor.name c in
+  let rec defs acc =
+    Cursor.skip_space c;
+    if Cursor.peek c = '>' then begin
+      Cursor.advance c;
+      List.rev acc
+    end
+    else begin
+      let attr = Cursor.name c in
+      Cursor.skip_space c;
+      (* Attribute type: a name (CDATA, ID, NMTOKEN, ...) or an enumeration.
+         We do not interpret the type; only defaults matter downstream. *)
+      (if Cursor.peek c = '(' then Cursor.skip_until c ')'
+       else ignore (Cursor.name c));
+      Cursor.skip_space c;
+      (* NOTATION (..) form *)
+      if Cursor.peek c = '(' then Cursor.skip_until c ')';
+      Cursor.skip_space c;
+      let default =
+        if Cursor.looking_at c "#REQUIRED" then begin
+          Cursor.expect_string c "#REQUIRED";
+          Required
+        end
+        else if Cursor.looking_at c "#IMPLIED" then begin
+          Cursor.expect_string c "#IMPLIED";
+          Implied
+        end
+        else if Cursor.looking_at c "#FIXED" then begin
+          Cursor.expect_string c "#FIXED";
+          Cursor.skip_space c;
+          Fixed (Cursor.quoted c)
+        end
+        else Default (Cursor.quoted c)
+      in
+      defs ({ owner; attr; default } :: acc)
+    end
+  in
+  defs []
+
+let parse ?declared_root subset =
+  let c = Cursor.make subset in
+  let elements = ref [] and attlists = ref [] in
+  try
+    let rec loop () =
+      Cursor.skip_space c;
+      if Cursor.eof c then ()
+      else if Cursor.looking_at c "<!--" then begin
+        (match Str_search.find c.Cursor.src ~start:c.Cursor.pos "-->" with
+        | Some i -> c.Cursor.pos <- i + 3
+        | None -> Cursor.error c "unterminated comment");
+        loop ()
+      end
+      else if Cursor.looking_at c "<!ELEMENT" then begin
+        Cursor.expect_string c "<!ELEMENT";
+        Cursor.skip_space c;
+        let name = Cursor.name c in
+        let model = parse_content_model c in
+        Cursor.skip_space c;
+        Cursor.expect_string c ">";
+        elements := (name, model) :: !elements;
+        loop ()
+      end
+      else if Cursor.looking_at c "<!ATTLIST" then begin
+        Cursor.expect_string c "<!ATTLIST";
+        attlists := List.rev_append (parse_attlist c) !attlists;
+        loop ()
+      end
+      else if Cursor.looking_at c "<!ENTITY" || Cursor.looking_at c "<!NOTATION"
+      then begin
+        (* Entities and notations do not constrain tree structure. *)
+        Cursor.skip_until c '>';
+        loop ()
+      end
+      else if Cursor.looking_at c "<?" then begin
+        Cursor.skip_until c '>';
+        loop ()
+      end
+      else if Cursor.peek c = '%' then begin
+        (* Parameter entity reference: %name; — skipped, see interface. *)
+        Cursor.skip_until c ';';
+        loop ()
+      end
+      else Cursor.error c "unexpected content in DTD subset"
+    in
+    loop ();
+    Ok
+      {
+        declared_root;
+        elements = List.rev !elements;
+        attlists = List.rev !attlists;
+      }
+  with Syntax msg -> Error msg
+
+let content_model t name = List.assoc_opt name t.elements
+
+type multiplicity = { may_be_absent : bool; may_repeat : bool }
+
+(* Occurrence bounds of [child] in one expansion of a particle:
+   min ∈ {0, 1} (1 meaning "at least once"), max ∈ {0, 1, 2} (2 = many). *)
+let rec occurrences child = function
+  | Name n -> if String.equal n child then (1, 1) else (0, 0)
+  | Seq ps ->
+      List.fold_left
+        (fun (mn, mx) p ->
+          let mn', mx' = occurrences child p in
+          (min 1 (mn + mn'), min 2 (mx + mx')))
+        (0, 0) ps
+  | Choice ps ->
+      List.fold_left
+        (fun (mn, mx) p ->
+          let mn', mx' = occurrences child p in
+          (min mn mn', max mx mx'))
+        (1, 0) ps
+  | Opt p ->
+      let _, mx = occurrences child p in
+      (0, mx)
+  | Star p ->
+      let _, mx = occurrences child p in
+      (0, if mx > 0 then 2 else 0)
+  | Plus p ->
+      let mn, mx = occurrences child p in
+      (mn, if mx > 0 then 2 else 0)
+
+let child_multiplicity t ~parent ~child =
+  match content_model t parent with
+  | None | Some Any -> { may_be_absent = true; may_repeat = true }
+  | Some Empty -> { may_be_absent = true; may_repeat = false }
+  | Some (Mixed names) ->
+      if List.mem child names then { may_be_absent = true; may_repeat = true }
+      else { may_be_absent = true; may_repeat = false }
+  | Some (Children p) ->
+      let mn, mx = occurrences child p in
+      { may_be_absent = mn = 0; may_repeat = mx > 1 }
+
+let rec particle_names acc = function
+  | Name n -> if List.mem n acc then acc else n :: acc
+  | Seq ps | Choice ps -> List.fold_left particle_names acc ps
+  | Opt p | Star p | Plus p -> particle_names acc p
+
+let declared_children t parent =
+  match content_model t parent with
+  | None | Some Empty -> []
+  | Some Any -> List.map fst t.elements
+  | Some (Mixed names) ->
+      List.fold_left
+        (fun acc n -> if List.mem n acc then acc else n :: acc)
+        [] names
+      |> List.rev
+  | Some (Children p) -> List.rev (particle_names [] p)
+
+let rec pp_particle ppf = function
+  | Name n -> Format.pp_print_string ppf n
+  | Seq ps ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_particle)
+        ps
+  | Choice ps ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+           pp_particle)
+        ps
+  | Opt p -> Format.fprintf ppf "%a?" pp_particle p
+  | Star p -> Format.fprintf ppf "%a*" pp_particle p
+  | Plus p -> Format.fprintf ppf "%a+" pp_particle p
+
+let pp_model ppf = function
+  | Empty -> Format.pp_print_string ppf "EMPTY"
+  | Any -> Format.pp_print_string ppf "ANY"
+  | Mixed [] -> Format.pp_print_string ppf "(#PCDATA)"
+  | Mixed names ->
+      Format.fprintf ppf "(#PCDATA | %a)*"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+           Format.pp_print_string)
+        names
+  | Children p -> pp_particle ppf p
+
+let pp ppf t =
+  List.iter
+    (fun (name, model) ->
+      Format.fprintf ppf "<!ELEMENT %s %a>@." name pp_model model)
+    t.elements

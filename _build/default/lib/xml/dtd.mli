@@ -1,0 +1,75 @@
+(** Document type definitions.
+
+    The paper's §3.7 infers cube-lattice properties (disjointness, total
+    coverage) from schema knowledge: whether a sub-element is optional or
+    repeatable, and whether every path between two element types passes
+    through a third. DTDs carry exactly that information in element content
+    models, so we parse [<!ELEMENT>] and [<!ATTLIST>] declarations and expose
+    per-(parent, child) multiplicities. Entity declarations and parameter
+    entities are recognised and skipped; they do not affect structure. *)
+
+type particle =
+  | Name of string
+  | Seq of particle list
+  | Choice of particle list
+  | Opt of particle  (** [p?] *)
+  | Star of particle  (** [p*] *)
+  | Plus of particle  (** [p+] *)
+
+type content_model =
+  | Empty
+  | Any
+  | Mixed of string list  (** [(#PCDATA | a | b)*]; the list may be empty *)
+  | Children of particle
+
+type attribute_default =
+  | Required
+  | Implied
+  | Fixed of string
+  | Default of string
+
+type attribute_decl = {
+  owner : string;  (** element the attribute belongs to *)
+  attr : string;
+  default : attribute_default;
+}
+
+type t = {
+  declared_root : string option;
+      (** root element name from [<!DOCTYPE root ...>], when known *)
+  elements : (string * content_model) list;  (** in declaration order *)
+  attlists : attribute_decl list;
+}
+
+val empty : t
+
+val parse : ?declared_root:string -> string -> (t, string) result
+(** [parse subset] parses the text of a DTD internal subset (the part
+    between [\[] and [\]] of a DOCTYPE declaration) or of a standalone DTD
+    file. Returns [Error msg] on malformed declarations. *)
+
+val content_model : t -> string -> content_model option
+(** Declared content model of an element type, if declared. *)
+
+(** {1 Multiplicity analysis}
+
+    [child_multiplicity] abstracts a content model into, for one child name,
+    how many times it can/must occur directly under the parent. This is the
+    schema fact the lattice property inference consumes. *)
+
+type multiplicity = {
+  may_be_absent : bool;  (** minimum direct occurrences is 0 *)
+  may_repeat : bool;  (** maximum direct occurrences exceeds 1 *)
+}
+
+val child_multiplicity : t -> parent:string -> child:string -> multiplicity
+(** Multiplicity of [child] directly under [parent] according to the DTD.
+    Undeclared parents (or [ANY] content) conservatively yield
+    [{may_be_absent = true; may_repeat = true}]. *)
+
+val declared_children : t -> string -> string list
+(** Every element name mentioned in [parent]'s content model (deduplicated,
+    declaration order). Empty for [EMPTY]/undeclared; for [ANY], every
+    declared element. *)
+
+val pp : Format.formatter -> t -> unit

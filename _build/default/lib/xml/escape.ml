@@ -1,0 +1,63 @@
+let add_escaped buf ~in_attribute s =
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' when not in_attribute -> Buffer.add_string buf "&gt;"
+      | '"' when in_attribute -> Buffer.add_string buf "&quot;"
+      | '\n' when in_attribute -> Buffer.add_string buf "&#10;"
+      | '\t' when in_attribute -> Buffer.add_string buf "&#9;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape ~in_attribute s =
+  let needs_escaping =
+    String.exists
+      (fun c ->
+        match c with
+        | '&' | '<' -> true
+        | '>' -> not in_attribute
+        | '"' | '\n' | '\t' -> in_attribute
+        | _ -> false)
+      s
+  in
+  if not needs_escaping then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    add_escaped buf ~in_attribute s;
+    Buffer.contents buf
+  end
+
+let escape_text s = escape ~in_attribute:false s
+let escape_attribute s = escape ~in_attribute:true s
+
+let resolve_entity = function
+  | "lt" -> Some "<"
+  | "gt" -> Some ">"
+  | "amp" -> Some "&"
+  | "apos" -> Some "'"
+  | "quot" -> Some "\""
+  | _ -> None
+
+let utf8_of_code_point u =
+  if u < 0 || u > 0x10FFFF || (u >= 0xD800 && u <= 0xDFFF) then
+    invalid_arg (Printf.sprintf "utf8_of_code_point: U+%04X" u);
+  let buf = Buffer.create 4 in
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else if u < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (u lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end;
+  Buffer.contents buf

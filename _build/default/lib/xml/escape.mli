@@ -1,0 +1,22 @@
+(** XML character escaping.
+
+    Shared between the serializer (escaping) and the parser (entity and
+    character-reference resolution). Only the five predefined XML entities
+    are supported, plus decimal and hexadecimal character references; X³
+    never needs user-defined general entities. *)
+
+val escape_text : string -> string
+(** Escape [&], [<] and [>] for use in element content. *)
+
+val escape_attribute : string -> string
+(** Escape ampersands, angle brackets, double quotes and whitespace control
+    characters for use in a double-quoted attribute value. *)
+
+val resolve_entity : string -> string option
+(** [resolve_entity "lt"] is [Some "<"], etc. for the five predefined
+    entities ([lt], [gt], [amp], [apos], [quot]); [None] otherwise. *)
+
+val utf8_of_code_point : int -> string
+(** UTF-8 encoding of a Unicode scalar value, for character references.
+    Raises [Invalid_argument] on values outside the Unicode range or on
+    surrogates. *)

@@ -1,0 +1,33 @@
+(** A non-validating XML 1.0 parser.
+
+    Hand-written recursive descent over an in-memory string. Supports
+    elements, attributes (single- or double-quoted), character data, CDATA
+    sections, comments, processing instructions, the XML declaration, the
+    five predefined entities, decimal/hexadecimal character references, and
+    DOCTYPE declarations with an internal subset (handed to {!Dtd.parse}).
+
+    Not supported (documented limitations, irrelevant to the X³ workloads):
+    external DTD subsets are recorded but not fetched; user-defined general
+    entities raise an error; namespaces are not interpreted (prefixed names
+    are kept verbatim). *)
+
+type error = { line : int; column : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> (Tree.document, error) result
+(** Parse a complete document. *)
+
+val parse_with_dtd : string -> (Tree.document * Dtd.t option, error) result
+(** Like {!parse}, also returning the parsed internal DTD subset when the
+    document carries one. *)
+
+val parse_fragment : string -> (Tree.node list, error) result
+(** Parse mixed content without requiring a single root element — handy in
+    tests and for building documents from snippets. *)
+
+val parse_file : string -> (Tree.document, error) result
+(** [parse_file path] reads and parses [path]. I/O errors are reported as a
+    parse error at line 0. *)
+
+val parse_file_with_dtd : string -> (Tree.document * Dtd.t option, error) result

@@ -1,0 +1,280 @@
+module String_map = Map.Make (String)
+module String_set = Set.Make (String)
+
+type edges = Dtd.multiplicity String_map.t
+
+type t = {
+  graph : edges String_map.t;  (** parent -> child -> multiplicity *)
+  closed : bool;
+      (** true when the fact base is exhaustive: pairs absent from [graph]
+          definitely cannot occur. DTD- and instance-derived schemas are
+          closed; an open schema would answer conservatively. *)
+}
+
+let conservative = { Dtd.may_be_absent = true; may_repeat = true }
+
+let of_dtd dtd =
+  let graph =
+    List.fold_left
+      (fun acc (parent, _model) ->
+        let edges =
+          List.fold_left
+            (fun edges child ->
+              String_map.add child
+                (Dtd.child_multiplicity dtd ~parent ~child)
+                edges)
+            String_map.empty
+            (Dtd.declared_children dtd parent)
+        in
+        String_map.add parent edges acc)
+      String_map.empty dtd.Dtd.elements
+  in
+  (* Attributes join the graph as "@name" children: XML forbids repeated
+     attributes, and #REQUIRED/#FIXED ones cannot be absent. *)
+  let graph =
+    List.fold_left
+      (fun acc { Dtd.owner; attr; default } ->
+        let may_be_absent =
+          match default with
+          | Dtd.Required | Dtd.Fixed _ -> false
+          | Dtd.Implied | Dtd.Default _ -> true
+        in
+        let edges =
+          Option.value (String_map.find_opt owner acc)
+            ~default:String_map.empty
+        in
+        String_map.add owner
+          (String_map.add ("@" ^ attr)
+             { Dtd.may_be_absent; may_repeat = false }
+             edges)
+          acc)
+      graph dtd.Dtd.attlists
+  in
+  { graph; closed = true }
+
+(* Instance-derived facts: walk every element, count each child name, and
+   merge per-(parent, child): absent anywhere => optional, >=2 anywhere =>
+   repeatable. A child name never co-occurring with a parent instance is
+   simply not an edge. *)
+let of_documents docs =
+  let counts : (string, (string, int ref) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let parents_seen : (string, int ref) Hashtbl.t = Hashtbl.create 64 in
+  (* For optionality we need, per (parent, child), the number of parent
+     instances that do have the child, plus whether any has >= 2. *)
+  let with_child : (string * string, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let repeated : (string * string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let bump tbl key =
+    match Hashtbl.find_opt tbl key with
+    | Some r -> incr r
+    | None -> Hashtbl.add tbl key (ref 1)
+  in
+  let visit_element e =
+    bump parents_seen e.Tree.name;
+    let local = Hashtbl.create 8 in
+    List.iter
+      (fun child ->
+        match Tree.element_of_node child with
+        | Some ce -> bump local ce.Tree.name
+        | None -> ())
+      e.Tree.children;
+    List.iter
+      (fun { Tree.attr_name; _ } -> bump local ("@" ^ attr_name))
+      e.Tree.attributes;
+    Hashtbl.iter
+      (fun child n ->
+        bump with_child (e.Tree.name, child);
+        if !n >= 2 then Hashtbl.replace repeated (e.Tree.name, child) ();
+        let per_parent =
+          match Hashtbl.find_opt counts e.Tree.name with
+          | Some tbl -> tbl
+          | None ->
+              let tbl = Hashtbl.create 8 in
+              Hashtbl.add counts e.Tree.name tbl;
+              tbl
+        in
+        if not (Hashtbl.mem per_parent child) then
+          Hashtbl.add per_parent child (ref 0))
+      local
+  in
+  let rec walk = function
+    | Tree.Element e ->
+        visit_element e;
+        List.iter walk e.Tree.children
+    | Tree.Text _ | Tree.Comment _ | Tree.Pi _ -> ()
+  in
+  List.iter (fun doc -> walk (Tree.Element doc.Tree.root)) docs;
+  let graph =
+    Hashtbl.fold
+      (fun parent per_parent acc ->
+        let total_parents =
+          match Hashtbl.find_opt parents_seen parent with
+          | Some r -> !r
+          | None -> 0
+        in
+        let edges =
+          Hashtbl.fold
+            (fun child _ edges ->
+              let have =
+                match Hashtbl.find_opt with_child (parent, child) with
+                | Some r -> !r
+                | None -> 0
+              in
+              let multiplicity =
+                {
+                  Dtd.may_be_absent = have < total_parents;
+                  may_repeat = Hashtbl.mem repeated (parent, child);
+                }
+              in
+              String_map.add child multiplicity edges)
+            per_parent String_map.empty
+        in
+        String_map.add parent edges acc)
+      counts String_map.empty
+  in
+  (* Elements that appeared but have no element children still need a node
+     in the graph so [element_names] and reachability see them. *)
+  let graph =
+    Hashtbl.fold
+      (fun name _ acc ->
+        if String_map.mem name acc then acc
+        else String_map.add name String_map.empty acc)
+      parents_seen graph
+  in
+  { graph; closed = true }
+
+let of_document doc = of_documents [ doc ]
+
+let element_names t =
+  let names =
+    String_map.fold
+      (fun parent edges acc ->
+        let acc = String_set.add parent acc in
+        String_map.fold (fun child _ acc -> String_set.add child acc) edges acc)
+      t.graph String_set.empty
+  in
+  String_set.elements names
+
+let edges_of t parent =
+  Option.value (String_map.find_opt parent t.graph) ~default:String_map.empty
+
+let has_edge t ~parent ~child =
+  match String_map.find_opt parent t.graph with
+  | Some edges -> String_map.mem child edges
+  | None -> not t.closed
+
+let child_multiplicity t ~parent ~child =
+  match String_map.find_opt parent t.graph with
+  | Some edges -> (
+      match String_map.find_opt child edges with
+      | Some m -> m
+      | None ->
+          if t.closed then { Dtd.may_be_absent = true; may_repeat = false }
+          else conservative)
+  | None ->
+      if t.closed then { Dtd.may_be_absent = true; may_repeat = false }
+      else conservative
+
+let children t parent =
+  String_map.fold (fun child _ acc -> child :: acc) (edges_of t parent) []
+  |> List.sort String.compare
+
+let reachable t ~from_ ~target =
+  let rec search visited frontier =
+    match frontier with
+    | [] -> false
+    | node :: rest ->
+        if String_set.mem node visited then search visited rest
+        else begin
+          let kids = edges_of t node in
+          if String_map.mem target kids then true
+          else
+            search (String_set.add node visited)
+              (String_map.fold (fun child _ acc -> child :: acc) kids rest)
+        end
+  in
+  search String_set.empty [ from_ ]
+
+(* Occurrence bounds of [target] strictly inside an [ancestor] subtree.
+   Computed by a DFS over the element graph with memoisation; nodes on the
+   current DFS path (recursive types) resolve to "absent-or-many" when the
+   target is reachable through them, which errs on the safe side for both
+   coverage (may be absent) and disjointness (may repeat). *)
+let descendant_multiplicity t ~ancestor ~target =
+  let memo : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
+  let in_progress : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  (* Bounds are (min in {0,1}, max in {0,1,2}) with 2 = "many". *)
+  let add (mn1, mx1) (mn2, mx2) = (min 1 (mn1 + mn2), min 2 (mx1 + mx2)) in
+  let scale m (mn, mx) =
+    let mn = if m.Dtd.may_be_absent then 0 else mn in
+    let mx = if m.Dtd.may_repeat && mx > 0 then 2 else mx in
+    (mn, mx)
+  in
+  let rec inside node =
+    match Hashtbl.find_opt memo node with
+    | Some bounds -> bounds
+    | None ->
+        if Hashtbl.mem in_progress node then
+          if String.equal node target || reachable t ~from_:node ~target then
+            (0, 2)
+          else (0, 0)
+        else begin
+          Hashtbl.add in_progress node ();
+          let bounds =
+            String_map.fold
+              (fun child m acc ->
+                let self =
+                  if String.equal child target then (1, 1) else (0, 0)
+                in
+                add acc (scale m (add self (inside child))))
+              (edges_of t node) (0, 0)
+          in
+          Hashtbl.remove in_progress node;
+          Hashtbl.replace memo node bounds;
+          bounds
+        end
+  in
+  if (not t.closed) && not (String_map.mem ancestor t.graph) then conservative
+  else begin
+    let mn, mx = inside ancestor in
+    { Dtd.may_be_absent = mn = 0; may_repeat = mx > 1 }
+  end
+
+let always_via t ~from_ ~target ~via =
+  if String.equal from_ via || String.equal target via then false
+  else begin
+    (* Reachability from [from_] to [target] in the graph with [via]
+       removed; if impossible, every path passes through [via]. *)
+    let rec search visited frontier =
+      match frontier with
+      | [] -> true
+      | node :: rest ->
+          if String_set.mem node visited || String.equal node via then
+            search visited rest
+          else begin
+            let kids = edges_of t node in
+            if String_map.mem target kids then false
+            else
+              search (String_set.add node visited)
+                (String_map.fold
+                   (fun child _ acc ->
+                     if String.equal child via then acc else child :: acc)
+                   kids rest)
+          end
+    in
+    search String_set.empty [ from_ ]
+  end
+
+let pp ppf t =
+  String_map.iter
+    (fun parent edges ->
+      Format.fprintf ppf "@[<h>%s ->" parent;
+      String_map.iter
+        (fun child m ->
+          Format.fprintf ppf " %s%s%s" child
+            (if m.Dtd.may_be_absent then "?" else "")
+            (if m.Dtd.may_repeat then "*" else ""))
+        edges;
+      Format.fprintf ppf "@]@.")
+    t.graph

@@ -1,0 +1,56 @@
+(** Structural schema facts.
+
+    The §3.7 lattice-property inference needs three kinds of facts about the
+    element-type graph: whether a child is optional under a parent (coverage
+    can fail), whether it is repeatable (disjointness can fail), and whether
+    every downward path between two types passes through a third (an SP
+    relaxation does not change coverage). This module derives those facts
+    either from a parsed {!Dtd.t} or — when the data ships without a schema,
+    as Treebank effectively does — from a document instance. *)
+
+type t
+
+val of_dtd : Dtd.t -> t
+(** Facts straight from content models. Element types with no declaration
+    (or [ANY] content) are treated conservatively: everything optional and
+    repeatable. Declared attributes appear in the graph as ["@name"]
+    children (never repeatable; absent unless [#REQUIRED]/[#FIXED]),
+    matching the store's attribute-node convention. *)
+
+val of_document : Tree.document -> t
+(** Facts observed in one instance: [child] is optional under [parent] if
+    some [parent] element lacks it, repeatable if some [parent] element has
+    at least two. Sound for that instance only — exactly the "customised
+    optimisation" information the paper's DBLP experiment exploits. *)
+
+val of_documents : Tree.document list -> t
+(** Pooled observation over several instances. *)
+
+val element_names : t -> string list
+(** Every element type known to the schema, sorted. *)
+
+val has_edge : t -> parent:string -> child:string -> bool
+(** Can [child] appear directly under [parent]? *)
+
+val child_multiplicity : t -> parent:string -> child:string -> Dtd.multiplicity
+
+val children : t -> string -> string list
+(** Possible direct children of an element type, sorted. *)
+
+val reachable : t -> from_:string -> target:string -> bool
+(** Is there a downward path of length at least 1 from [from_] to
+    [target]? *)
+
+val descendant_multiplicity :
+  t -> ancestor:string -> target:string -> Dtd.multiplicity
+(** Occurrence bounds of [target] elements strictly inside one [ancestor]
+    subtree. Recursive schemas (cycles in the element graph) are resolved
+    conservatively towards [{may_be_absent = true; may_repeat = true}]. *)
+
+val always_via : t -> from_:string -> target:string -> via:string -> bool
+(** Does every downward path from [from_] to [target] pass through [via]?
+    Vacuously true when [target] is unreachable. This justifies treating
+    [from_//via/target] and [from_//target] as having the same coverage
+    (paper §3.7, last example). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,107 @@
+(* Emission is buffer-based; the channel and formatter entry points reuse the
+   same code through a small sink record. *)
+
+type sink = { put : string -> unit }
+
+let emit_attrs sink attrs =
+  List.iter
+    (fun { Tree.attr_name; attr_value } ->
+      sink.put " ";
+      sink.put attr_name;
+      sink.put "=\"";
+      sink.put (Escape.escape_attribute attr_value);
+      sink.put "\"")
+    attrs
+
+(* A subtree is "atomic" when indentation inside it would change its text
+   content: any text child forces single-line emission. *)
+let has_text_child e =
+  List.exists
+    (function Tree.Text _ -> true | Element _ | Comment _ | Pi _ -> false)
+    e.Tree.children
+
+let rec emit_node sink ~indent ~level node =
+  match node with
+  | Tree.Text s -> sink.put (Escape.escape_text s)
+  | Tree.Comment s ->
+      sink.put "<!--";
+      sink.put s;
+      sink.put "-->"
+  | Tree.Pi (target, body) ->
+      sink.put "<?";
+      sink.put target;
+      if String.length body > 0 then begin
+        sink.put " ";
+        sink.put body
+      end;
+      sink.put "?>"
+  | Tree.Element e ->
+      sink.put "<";
+      sink.put e.name;
+      emit_attrs sink e.attributes;
+      if e.children = [] then sink.put "/>"
+      else begin
+        sink.put ">";
+        let inline = (not indent) || has_text_child e in
+        List.iter
+          (fun child ->
+            if not inline then begin
+              sink.put "\n";
+              for _ = 0 to level do
+                sink.put "  "
+              done
+            end;
+            emit_node sink ~indent:(indent && not inline) ~level:(level + 1)
+              child)
+          e.children;
+        if not inline then begin
+          sink.put "\n";
+          for _ = 1 to level do
+            sink.put "  "
+          done
+        end;
+        sink.put "</";
+        sink.put e.name;
+        sink.put ">"
+      end
+
+let emit_document sink ~indent ~declaration doc =
+  if declaration then begin
+    let version = Option.value doc.Tree.version ~default:"1.0" in
+    sink.put "<?xml version=\"";
+    sink.put version;
+    sink.put "\"";
+    (match doc.Tree.encoding with
+    | Some enc ->
+        sink.put " encoding=\"";
+        sink.put enc;
+        sink.put "\""
+    | None -> ());
+    sink.put "?>\n"
+  end;
+  emit_node sink ~indent ~level:0 (Tree.Element doc.Tree.root);
+  if indent then sink.put "\n"
+
+let to_string ?(indent = false) ?(declaration = true) doc =
+  let buf = Buffer.create 1024 in
+  emit_document { put = Buffer.add_string buf } ~indent ~declaration doc;
+  Buffer.contents buf
+
+let node_to_string ?(indent = false) node =
+  let buf = Buffer.create 256 in
+  emit_node { put = Buffer.add_string buf } ~indent ~level:0 node;
+  Buffer.contents buf
+
+let pp_node ppf node =
+  emit_node
+    { put = Format.pp_print_string ppf }
+    ~indent:false ~level:0 node
+
+let to_channel ?(indent = false) oc doc =
+  emit_document { put = output_string oc } ~indent ~declaration:true doc
+
+let to_file ?indent path doc =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> to_channel ?indent oc doc)

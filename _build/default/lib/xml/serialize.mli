@@ -1,0 +1,23 @@
+(** XML output.
+
+    Round-trips with {!Parser}: [Parser.parse (Serialize.to_string doc)]
+    reproduces the document up to insignificant whitespace (and exactly when
+    [~indent:false]). *)
+
+val to_string : ?indent:bool -> ?declaration:bool -> Tree.document -> string
+(** [to_string doc] serializes a document. [indent] (default [false]) pretty
+    prints with two-space indentation, adding whitespace only where no text
+    content would be disturbed; [declaration] (default [true]) emits the
+    [<?xml ...?>] header. *)
+
+val node_to_string : ?indent:bool -> Tree.node -> string
+(** Serialize a single subtree. *)
+
+val pp_node : Format.formatter -> Tree.node -> unit
+(** Compact (non-indented) node serialization onto a formatter. *)
+
+val to_channel : ?indent:bool -> out_channel -> Tree.document -> unit
+(** Stream a document to a channel without building the whole string. *)
+
+val to_file : ?indent:bool -> string -> Tree.document -> unit
+(** [to_file path doc] writes [doc] to [path]. *)

@@ -1,0 +1,17 @@
+let find haystack ~start needle =
+  let hlen = String.length haystack and nlen = String.length needle in
+  if nlen = 0 then if start <= hlen then Some start else None
+  else begin
+    let limit = hlen - nlen in
+    let rec scan i =
+      if i > limit then None
+      else if String.sub haystack i nlen = needle then Some i
+      else
+        match String.index_from_opt haystack (i + 1) needle.[0] with
+        | Some j -> scan j
+        | None -> None
+    in
+    match String.index_from_opt haystack start needle.[0] with
+    | Some i -> scan i
+    | None -> None
+  end

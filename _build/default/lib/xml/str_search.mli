@@ -1,0 +1,6 @@
+(** Plain substring search, shared by the XML and DTD scanners. *)
+
+val find : string -> start:int -> string -> int option
+(** [find haystack ~start needle] is the index of the first occurrence of
+    [needle] in [haystack] at or after [start], or [None]. An empty needle
+    matches at [start]. *)

@@ -1,0 +1,131 @@
+type attribute = { attr_name : string; attr_value : string }
+
+type node =
+  | Element of element
+  | Text of string
+  | Comment of string
+  | Pi of string * string
+
+and element = {
+  name : string;
+  attributes : attribute list;
+  children : node list;
+}
+
+type document = {
+  version : string option;
+  encoding : string option;
+  doctype : string option;
+  root : element;
+}
+
+let elem ?(attrs = []) name children =
+  let attributes =
+    List.map (fun (attr_name, attr_value) -> { attr_name; attr_value }) attrs
+  in
+  Element { name; attributes; children }
+
+let text s = Text s
+
+let document root = { version = None; encoding = None; doctype = None; root }
+
+let element_of_node = function
+  | Element e -> Some e
+  | Text _ | Comment _ | Pi _ -> None
+
+let attribute e name =
+  let rec find = function
+    | [] -> None
+    | { attr_name; attr_value } :: rest ->
+        if String.equal attr_name name then Some attr_value else find rest
+  in
+  find e.attributes
+
+let child_elements e = List.filter_map element_of_node e.children
+
+let children_named e name =
+  List.filter (fun c -> String.equal c.name name) (child_elements e)
+
+let string_value e =
+  let buf = Buffer.create 32 in
+  let rec go = function
+    | Text s -> Buffer.add_string buf s
+    | Element e -> List.iter go e.children
+    | Comment _ | Pi _ -> ()
+  in
+  go (Element e);
+  Buffer.contents buf
+
+let rec iter f n =
+  f n;
+  match n with
+  | Element e -> List.iter (iter f) e.children
+  | Text _ | Comment _ | Pi _ -> ()
+
+let rec fold f acc n =
+  let acc = f acc n in
+  match n with
+  | Element e -> List.fold_left (fold f) acc e.children
+  | Text _ | Comment _ | Pi _ -> acc
+
+let node_count n = fold (fun acc _ -> acc + 1) 0 n
+
+let element_count n =
+  fold
+    (fun acc n ->
+      match n with Element _ -> acc + 1 | Text _ | Comment _ | Pi _ -> acc)
+    0 n
+
+let rec depth = function
+  | Text _ | Comment _ | Pi _ -> 1
+  | Element e ->
+      1 + List.fold_left (fun acc c -> max acc (depth c)) 0 e.children
+
+(* Structural equality that ignores comments and PIs: they never affect
+   grouping or aggregation, and the parser may or may not keep them. *)
+let rec equal_node a b =
+  match (a, b) with
+  | Text s, Text t -> String.equal s t
+  | Element ea, Element eb ->
+      String.equal ea.name eb.name
+      && List.length ea.attributes = List.length eb.attributes
+      && List.for_all2
+           (fun x y ->
+             String.equal x.attr_name y.attr_name
+             && String.equal x.attr_value y.attr_value)
+           ea.attributes eb.attributes
+      && equal_children ea.children eb.children
+  | Comment _, Comment _ | Pi _, Pi _ -> true
+  | (Element _ | Text _ | Comment _ | Pi _), _ -> false
+
+and equal_children xs ys =
+  (* Normalise: drop comments/PIs and empty texts, coalesce adjacent texts —
+     a parser necessarily coalesces character data, so equality must too. *)
+  let rec normalise = function
+    | [] -> []
+    | (Comment _ | Pi _) :: rest -> normalise rest
+    | Text "" :: rest -> normalise rest
+    | Text a :: rest -> (
+        match normalise rest with
+        | Text b :: tail -> Text (a ^ b) :: tail
+        | tail -> Text a :: tail)
+    | (Element _ as e) :: rest -> e :: normalise rest
+  in
+  let xs = normalise xs and ys = normalise ys in
+  List.length xs = List.length ys && List.for_all2 equal_node xs ys
+
+let rec pp_node ppf = function
+  | Text s -> Format.fprintf ppf "%S" s
+  | Comment s -> Format.fprintf ppf "<!--%s-->" s
+  | Pi (t, b) -> Format.fprintf ppf "<?%s %s?>" t b
+  | Element e ->
+      Format.fprintf ppf "@[<hv 2><%s%a>%a</%s>@]" e.name
+        (fun ppf attrs ->
+          List.iter
+            (fun { attr_name; attr_value } ->
+              Format.fprintf ppf " %s=%S" attr_name attr_value)
+            attrs)
+        e.attributes
+        (fun ppf children ->
+          List.iter (fun c -> Format.fprintf ppf "@,%a" pp_node c) children)
+        e.children e.name

@@ -1,0 +1,84 @@
+(** In-memory XML document trees.
+
+    This is the document model every other layer builds on: the parser
+    produces it, the serializer consumes it, and {!X3_xdb.Store} flattens it
+    into labelled node arrays. It is deliberately simple — elements,
+    attributes, text, comments and processing instructions — because the X³
+    operator only ever inspects element structure, attributes and text
+    values. *)
+
+type attribute = { attr_name : string; attr_value : string }
+
+type node =
+  | Element of element
+  | Text of string
+  | Comment of string
+  | Pi of string * string  (** target, body *)
+
+and element = {
+  name : string;
+  attributes : attribute list;
+  children : node list;
+}
+
+type document = {
+  version : string option;  (** from the XML declaration, if any *)
+  encoding : string option;
+  doctype : string option;  (** root name declared by [<!DOCTYPE ...>] *)
+  root : element;
+}
+
+(** {1 Construction} *)
+
+val elem : ?attrs:(string * string) list -> string -> node list -> node
+(** [elem name children] builds an element node. *)
+
+val text : string -> node
+(** [text s] builds a text node. *)
+
+val document : element -> document
+(** [document root] wraps a root element with an empty prolog. *)
+
+(** {1 Accessors} *)
+
+val element_of_node : node -> element option
+(** [element_of_node n] is [Some e] when [n] is an element. *)
+
+val attribute : element -> string -> string option
+(** [attribute e name] is the value of attribute [name] on [e], if any. *)
+
+val children_named : element -> string -> element list
+(** [children_named e name] lists the child elements of [e] called [name]. *)
+
+val child_elements : element -> element list
+(** All child elements of [e], in document order. *)
+
+val string_value : element -> string
+(** [string_value e] concatenates every descendant text node of [e] in
+    document order — the XPath string value of an element. *)
+
+(** {1 Traversal and statistics} *)
+
+val iter : (node -> unit) -> node -> unit
+(** Pre-order traversal of a subtree. *)
+
+val fold : ('a -> node -> 'a) -> 'a -> node -> 'a
+(** Pre-order fold over a subtree. *)
+
+val node_count : node -> int
+(** Number of nodes (elements, texts, comments, PIs) in a subtree. *)
+
+val element_count : node -> int
+(** Number of element nodes in a subtree. *)
+
+val depth : node -> int
+(** Height of the subtree: a leaf has depth 1. *)
+
+val equal_node : node -> node -> bool
+(** Structural equality up to parsing-invisible differences: comments and
+    processing instructions are ignored, empty text nodes dropped, adjacent
+    text nodes coalesced. *)
+
+val pp_node : Format.formatter -> node -> unit
+(** Debug printer (compact, not a faithful serializer — see
+    {!Serialize}). *)

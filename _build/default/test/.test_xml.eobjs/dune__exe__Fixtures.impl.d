@@ -1,0 +1,1 @@
+test/fixtures.ml: Alcotest Axis Dtd Eval Parser Relax Store X3_pattern X3_storage X3_xdb X3_xml

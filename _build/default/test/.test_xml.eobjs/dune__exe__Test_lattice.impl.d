@@ -1,0 +1,1 @@
+test/test_lattice.ml: Alcotest Array Axis Cuboid Eval Fixtures Lattice List Option Properties Relax Render State String X3_lattice X3_pattern X3_xdb X3_xml

@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest Array Axis Eval Fixtures Hashtbl Join_eval List Mrfi Option Printf QCheck2 QCheck_alcotest Relax Witness X3_pattern X3_xdb X3_xml

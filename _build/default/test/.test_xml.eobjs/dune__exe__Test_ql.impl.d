@@ -1,0 +1,1 @@
+test/test_ql.ml: Alcotest Array Ast Compile Format Lexer List Parser Printf String X3_core X3_lattice X3_pattern X3_ql X3_storage X3_workload X3_xdb X3_xml

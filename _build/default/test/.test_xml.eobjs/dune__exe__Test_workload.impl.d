@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Catalog Dblp Lattice List Printf Properties Publications Rng State Treebank X3_core X3_lattice X3_pattern X3_ql X3_storage X3_workload X3_xdb X3_xml

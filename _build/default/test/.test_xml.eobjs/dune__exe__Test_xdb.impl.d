@@ -1,0 +1,1 @@
+test/test_xdb.ml: Alcotest Array Label List Option Parser Printf QCheck2 QCheck_alcotest Store Structural_join Tree Twig_join X3_storage X3_xdb X3_xml

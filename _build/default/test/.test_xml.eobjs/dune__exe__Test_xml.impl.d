@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Dtd Filename List Parser Printf QCheck2 QCheck_alcotest Schema Serialize String Sys Tree Unix X3_xml

@@ -1,0 +1,965 @@
+open X3_core
+open X3_pattern
+open Fixtures
+
+(* --- aggregates ---------------------------------------------------------- *)
+
+let test_aggregate_values () =
+  let cell = Aggregate.create () in
+  List.iter (Aggregate.add cell) [ 3.; 1.; 4.; 1.; 5. ];
+  Alcotest.(check (float 1e-9)) "count" 5. (Aggregate.value Aggregate.Count cell);
+  Alcotest.(check (float 1e-9)) "sum" 14. (Aggregate.value Aggregate.Sum cell);
+  Alcotest.(check (float 1e-9)) "avg" 2.8 (Aggregate.value Aggregate.Avg cell);
+  Alcotest.(check (float 1e-9)) "min" 1. (Aggregate.value Aggregate.Min cell);
+  Alcotest.(check (float 1e-9)) "max" 5. (Aggregate.value Aggregate.Max cell)
+
+let test_aggregate_merge () =
+  let a = Aggregate.create () and b = Aggregate.create () in
+  List.iter (Aggregate.add a) [ 1.; 2. ];
+  List.iter (Aggregate.add b) [ 10. ];
+  Aggregate.merge ~into:a b;
+  Alcotest.(check (float 1e-9)) "count" 3. (Aggregate.value Aggregate.Count a);
+  Alcotest.(check (float 1e-9)) "max" 10. (Aggregate.value Aggregate.Max a)
+
+let test_aggregate_empty () =
+  let cell = Aggregate.create () in
+  Alcotest.(check (float 1e-9)) "count 0" 0.
+    (Aggregate.value Aggregate.Count cell);
+  Alcotest.(check bool) "avg nan" true
+    (Float.is_nan (Aggregate.value Aggregate.Avg cell))
+
+let prop_merge_associative =
+  QCheck2.Test.make ~name:"merge order irrelevant for count/sum" ~count:200
+    QCheck2.Gen.(pair (list (float_bound_inclusive 100.)) (list (float_bound_inclusive 100.)))
+    (fun (xs, ys) ->
+      let one = Aggregate.create () in
+      List.iter (Aggregate.add one) (xs @ ys);
+      let a = Aggregate.create () and b = Aggregate.create () in
+      List.iter (Aggregate.add a) xs;
+      List.iter (Aggregate.add b) ys;
+      Aggregate.merge ~into:a b;
+      Aggregate.equal_value Aggregate.Count one a
+      && Aggregate.equal_value Aggregate.Sum one a)
+
+(* --- group keys ---------------------------------------------------------- *)
+
+let test_key_roundtrip () =
+  let parts = [ "John"; ""; "20,03"; "x\x00y" ] in
+  Alcotest.(check (list string)) "roundtrip" parts
+    (Group_key.decode (Group_key.encode parts))
+
+let test_key_injective () =
+  Alcotest.(check bool) "no separator confusion" false
+    (String.equal
+       (Group_key.encode [ "ab"; "c" ])
+       (Group_key.encode [ "a"; "bc" ]))
+
+let prop_key_roundtrip =
+  QCheck2.Test.make ~name:"group key roundtrip" ~count:300
+    QCheck2.Gen.(list (string_size ~gen:char (int_bound 40)))
+    (fun parts -> Group_key.decode (Group_key.encode parts) = parts)
+
+(* --- sort records --------------------------------------------------------- *)
+
+let test_sort_record_roundtrip () =
+  let key = Group_key.encode [ "a"; "b" ] in
+  let k, f, m = Sort_record.decode (Sort_record.encode ~key ~fact:42 ~measure:2.5) in
+  Alcotest.(check string) "key" key k;
+  Alcotest.(check int) "fact" 42 f;
+  Alcotest.(check (float 0.)) "measure" 2.5 m
+
+let test_sort_record_groups_adjacent () =
+  let records =
+    [
+      Sort_record.encode ~key:(Group_key.encode [ "b" ]) ~fact:1 ~measure:1.;
+      Sort_record.encode ~key:(Group_key.encode [ "a" ]) ~fact:2 ~measure:1.;
+      Sort_record.encode ~key:(Group_key.encode [ "b" ]) ~fact:0 ~measure:1.;
+      Sort_record.encode ~key:(Group_key.encode [ "a" ]) ~fact:9 ~measure:1.;
+    ]
+  in
+  let sorted = List.sort Sort_record.compare records in
+  let keys = List.map (fun r -> let k, _, _ = Sort_record.decode r in k) sorted in
+  Alcotest.(check (list string)) "equal keys adjacent"
+    [
+      Group_key.encode [ "a" ]; Group_key.encode [ "a" ];
+      Group_key.encode [ "b" ]; Group_key.encode [ "b" ];
+    ]
+    keys;
+  let facts = List.map (fun r -> let _, f, _ = Sort_record.decode r in f) sorted in
+  Alcotest.(check (list int)) "facts sorted within key" [ 2; 9; 0; 1 ] facts
+
+(* --- the running example ------------------------------------------------- *)
+
+let prepared () =
+  let spec = Engine.count_spec ~fact_path ~axes:(query1_axes ()) in
+  Engine.prepare ~pool:(small_pool ()) ~store:(figure1_store ()) spec
+
+let lattice_of p = Engine.lattice p
+
+let count result ~cuboid ~key_parts =
+  match
+    Cube_result.find result ~cuboid ~key:(Group_key.encode key_parts)
+  with
+  | Some cell -> int_of_float (Aggregate.value Aggregate.Count cell)
+  | None -> 0
+
+(* Locate a cuboid by per-axis states. *)
+let cuboid_id p states =
+  X3_lattice.Lattice.id (lattice_of p) (Array.of_list states)
+
+let removed = X3_lattice.State.Removed
+let present m = X3_lattice.State.Present m
+
+let test_naive_group_by_year () =
+  let p = prepared () in
+  let result, _ = Engine.run p Engine.Naive in
+  let by_year = cuboid_id p [ removed; removed; present 0 ] in
+  (* pub 3 counts even though it has no publisher (coverage example). *)
+  Alcotest.(check int) "2003" 2 (count result ~cuboid:by_year ~key_parts:[ "2003" ]);
+  Alcotest.(check int) "2004" 1 (count result ~cuboid:by_year ~key_parts:[ "2004" ]);
+  Alcotest.(check int) "2005" 1 (count result ~cuboid:by_year ~key_parts:[ "2005" ])
+
+let test_naive_publisher_year_disjointness () =
+  let p = prepared () in
+  let result, _ = Engine.run p Engine.Naive in
+  let c = cuboid_id p [ removed; present 0; present 0 ] in
+  (* Group (p1, 2003) counts publication 1 once despite two authors. *)
+  Alcotest.(check int) "(p1, 2003)" 1
+    (count result ~cuboid:c ~key_parts:[ "p1"; "2003" ]);
+  Alcotest.(check int) "(p2, 2004)" 1
+    (count result ~cuboid:c ~key_parts:[ "p2"; "2004" ]);
+  Alcotest.(check int) "(p2, 2005)" 1
+    (count result ~cuboid:c ~key_parts:[ "p2"; "2005" ])
+
+let test_naive_all_group () =
+  let p = prepared () in
+  let result, _ = Engine.run p Engine.Naive in
+  let top = X3_lattice.Lattice.most_relaxed_id (lattice_of p) in
+  Alcotest.(check int) "all four pubs" 4
+    (count result ~cuboid:top ~key_parts:[])
+
+let test_naive_author_relaxation_widens () =
+  let p = prepared () in
+  let result, _ = Engine.run p Engine.Naive in
+  let rigid_n = cuboid_id p [ present 0; removed; removed ] in
+  let pc_n = cuboid_id p [ present 1; removed; removed ] in
+  (* Rigid: Bob's nested author is missed; PC-AD finds it. *)
+  Alcotest.(check int) "rigid misses Bob" 0
+    (count result ~cuboid:rigid_n ~key_parts:[ "Bob" ]);
+  Alcotest.(check int) "pc-ad finds Bob" 1
+    (count result ~cuboid:pc_n ~key_parts:[ "Bob" ]);
+  Alcotest.(check int) "John in two pubs" 2
+    (count result ~cuboid:rigid_n ~key_parts:[ "John" ])
+
+let test_naive_rigid_cuboid () =
+  let p = prepared () in
+  let result, _ = Engine.run p Engine.Naive in
+  let rigid = X3_lattice.Lattice.rigid_id (lattice_of p) in
+  Alcotest.(check int) "4 rigid groups" 4
+    (Cube_result.cuboid_size result rigid);
+  Alcotest.(check int) "(John,p1,2003)" 1
+    (count result ~cuboid:rigid ~key_parts:[ "John"; "p1"; "2003" ])
+
+(* --- algorithm agreement -------------------------------------------------- *)
+
+let correct_algorithms =
+  Engine.[ Counter; Buc; Buccust; Td; Tdcust ]
+
+let test_correct_algorithms_agree () =
+  let p = prepared () in
+  let reference, _ = Engine.run p Engine.Naive in
+  let props =
+    X3_lattice.Properties.observe (Engine.table p) (lattice_of p)
+  in
+  List.iter
+    (fun algorithm ->
+      let result, _ = Engine.run ~props p algorithm in
+      match
+        Cube_result.first_difference ~func:Aggregate.Count reference result
+      with
+      | None -> ()
+      | Some (cuboid, key, what) ->
+          Alcotest.failf "%s differs at cuboid %d %s: %s"
+            (Engine.algorithm_to_string algorithm)
+            cuboid
+            (Format.asprintf "%a" Group_key.pp key)
+            what)
+    correct_algorithms
+
+let test_optimised_algorithms_wrong_on_figure1 () =
+  (* Figure 1 violates both properties, so the optimised variants must
+     produce different (wrong) cubes — exactly §4.3's observation. *)
+  let p = prepared () in
+  let reference, _ = Engine.run p Engine.Naive in
+  List.iter
+    (fun algorithm ->
+      let result, _ = Engine.run p algorithm in
+      Alcotest.(check bool)
+        (Engine.algorithm_to_string algorithm ^ " computes a different cube")
+        false
+        (Cube_result.equal ~func:Aggregate.Count reference result))
+    Engine.[ Bucopt; Tdopt; Tdoptall ]
+
+let test_all_algorithms_agree_on_clean_data () =
+  let doc =
+    parse_ok
+      {|<db>
+         <r><a>1</a><b>x</b></r>
+         <r><a>2</a><b>x</b></r>
+         <r><a>1</a><b>y</b></r>
+         <r><a>3</a><b>z</b></r>
+       </db>|}
+  in
+  let store = X3_xdb.Store.of_document doc in
+  let axes =
+    [|
+      X3_pattern.Axis.make_exn ~name:"$a" ~steps:[ step c "a" ]
+        ~allowed:[ Relax.Lnd ];
+      X3_pattern.Axis.make_exn ~name:"$b" ~steps:[ step c "b" ]
+        ~allowed:[ Relax.Lnd ];
+    |]
+  in
+  let spec = Engine.count_spec ~fact_path:[ step d "r" ] ~axes in
+  let p = Engine.prepare ~pool:(small_pool ()) ~store spec in
+  let props = X3_lattice.Properties.observe (Engine.table p) (lattice_of p) in
+  Alcotest.(check bool) "clean data: all disjoint" true
+    (X3_lattice.Properties.all_disjoint props);
+  let reference, _ = Engine.run p Engine.Naive in
+  List.iter
+    (fun algorithm ->
+      let result, _ = Engine.run ~props p algorithm in
+      Alcotest.(check bool)
+        (Engine.algorithm_to_string algorithm ^ " agrees")
+        true
+        (Cube_result.equal ~func:Aggregate.Count reference result))
+    Engine.all_algorithms
+
+let test_counter_multipass () =
+  let p = prepared () in
+  let config = { Engine.counter_budget = 3; sort_budget = 1000 } in
+  let result, instr = Engine.run ~config p Engine.Counter in
+  let reference, _ = Engine.run p Engine.Naive in
+  Alcotest.(check bool) "still correct" true
+    (Cube_result.equal ~func:Aggregate.Count reference result);
+  Alcotest.(check bool) "needed multiple passes" true
+    (instr.Instrument.passes > 1)
+
+let test_td_external_sort () =
+  let p = prepared () in
+  let config = { Engine.counter_budget = 1_000_000; sort_budget = 2 } in
+  let result, _ = Engine.run ~config p Engine.Td in
+  let reference, _ = Engine.run p Engine.Naive in
+  Alcotest.(check bool) "external sorting stays correct" true
+    (Cube_result.equal ~func:Aggregate.Count reference result)
+
+let test_instrumentation_sanity () =
+  let p = prepared () in
+  let _, instr_naive = Engine.run p Engine.Naive in
+  Alcotest.(check int) "naive scans once" 1 instr_naive.Instrument.table_scans;
+  let _, instr_td = Engine.run p Engine.Td in
+  Alcotest.(check int) "td scans per cuboid" 30 instr_td.Instrument.table_scans;
+  Alcotest.(check int) "td sorts per cuboid" 30 instr_td.Instrument.sort_ops;
+  let _, instr_tdoptall = Engine.run p Engine.Tdoptall in
+  Alcotest.(check int) "tdoptall touches base once" 1
+    instr_tdoptall.Instrument.base_computations;
+  Alcotest.(check int) "tdoptall rolls up the rest" 29
+    instr_tdoptall.Instrument.rollups
+
+(* --- measures beyond COUNT ------------------------------------------------ *)
+
+let test_sum_measure () =
+  let doc =
+    parse_ok
+      {|<db>
+         <r><a>x</a><price>10</price></r>
+         <r><a>x</a><price>5</price></r>
+         <r><a>y</a><price>2.5</price></r>
+       </db>|}
+  in
+  let store = X3_xdb.Store.of_document doc in
+  let axes =
+    [|
+      X3_pattern.Axis.make_exn ~name:"$a" ~steps:[ step c "a" ]
+        ~allowed:[ Relax.Lnd ];
+    |]
+  in
+  let spec =
+    {
+      Engine.fact_path = [ step d "r" ];
+      axes;
+      func = Aggregate.Sum;
+      measure_path = Some [ step c "price" ];
+      filters = [];
+    }
+  in
+  let p = Engine.prepare ~pool:(small_pool ()) ~store spec in
+  let result, _ = Engine.run p Engine.Naive in
+  let l = lattice_of p in
+  let by_a = X3_lattice.Lattice.rigid_id l in
+  let sum key_parts =
+    match
+      Cube_result.find result ~cuboid:by_a ~key:(Group_key.encode key_parts)
+    with
+    | Some cell -> Aggregate.value Aggregate.Sum cell
+    | None -> nan
+  in
+  Alcotest.(check (float 1e-9)) "sum x" 15. (sum [ "x" ]);
+  Alcotest.(check (float 1e-9)) "sum y" 2.5 (sum [ "y" ]);
+  let top = X3_lattice.Lattice.most_relaxed_id l in
+  match Cube_result.find result ~cuboid:top ~key:(Group_key.encode []) with
+  | Some cell ->
+      Alcotest.(check (float 1e-9)) "sum all" 17.5
+        (Aggregate.value Aggregate.Sum cell)
+  | None -> Alcotest.fail "missing ALL group"
+
+(* --- other aggregate functions across all algorithms ----------------------- *)
+
+let clean_numeric_prepared () =
+  let doc =
+    parse_ok
+      {|<db>
+         <r><a>x</a><v>10</v></r>
+         <r><a>x</a><v>4</v></r>
+         <r><a>y</a><v>7</v></r>
+         <r><a>y</a><v>1</v></r>
+         <r><a>z</a><v>5</v></r>
+       </db>|}
+  in
+  let store = X3_xdb.Store.of_document doc in
+  let axes =
+    [|
+      X3_pattern.Axis.make_exn ~name:"$a" ~steps:[ step c "a" ]
+        ~allowed:[ Relax.Lnd ];
+    |]
+  in
+  fun func ->
+    let spec =
+      {
+        Engine.fact_path = [ step d "r" ];
+        axes;
+        func;
+        measure_path = Some [ step c "v" ];
+        filters = [];
+      }
+    in
+    Engine.prepare ~pool:(small_pool ()) ~store spec
+
+let test_all_aggregates_all_algorithms () =
+  let prepare = clean_numeric_prepared () in
+  List.iter
+    (fun func ->
+      let p = prepare func in
+      let props =
+        X3_lattice.Properties.observe (Engine.table p) (Engine.lattice p)
+      in
+      let reference, _ = Engine.run p Engine.Naive in
+      List.iter
+        (fun algorithm ->
+          let result, _ = Engine.run ~props p algorithm in
+          Alcotest.(check bool)
+            (Aggregate.func_to_string func ^ " via "
+            ^ Engine.algorithm_to_string algorithm)
+            true
+            (Cube_result.equal ~func reference result))
+        Engine.all_algorithms)
+    Aggregate.[ Count; Sum; Avg; Min; Max ]
+
+let test_aggregate_expected_values () =
+  let prepare = clean_numeric_prepared () in
+  let p = prepare Aggregate.Avg in
+  let result, _ = Engine.run p Engine.Naive in
+  let rigid = X3_lattice.Lattice.rigid_id (Engine.lattice p) in
+  let value func key =
+    match
+      Cube_result.find result ~cuboid:rigid ~key:(Group_key.encode [ key ])
+    with
+    | Some cell -> Aggregate.value func cell
+    | None -> nan
+  in
+  Alcotest.(check (float 1e-9)) "avg x" 7. (value Aggregate.Avg "x");
+  Alcotest.(check (float 1e-9)) "sum y" 8. (value Aggregate.Sum "y");
+  Alcotest.(check (float 1e-9)) "min y" 1. (value Aggregate.Min "y");
+  Alcotest.(check (float 1e-9)) "max x" 10. (value Aggregate.Max "x")
+
+(* --- axes that cannot be removed ------------------------------------------- *)
+
+let test_non_lnd_axis () =
+  (* $a has no LND: every cuboid groups on it; the lattice halves. *)
+  let doc = parse_ok "<db><r><a>1</a><b>x</b></r><r><a>2</a><b>x</b></r></db>" in
+  let store = X3_xdb.Store.of_document doc in
+  let axes =
+    [|
+      X3_pattern.Axis.make_exn ~name:"$a" ~steps:[ step c "a" ] ~allowed:[];
+      X3_pattern.Axis.make_exn ~name:"$b" ~steps:[ step c "b" ]
+        ~allowed:[ Relax.Lnd ];
+    |]
+  in
+  let spec = Engine.count_spec ~fact_path:[ step d "r" ] ~axes in
+  let p = Engine.prepare ~pool:(small_pool ()) ~store spec in
+  Alcotest.(check int) "lattice size 2" 2
+    (X3_lattice.Lattice.size (Engine.lattice p));
+  let reference, _ = Engine.run p Engine.Naive in
+  let props = X3_lattice.Properties.observe (Engine.table p) (Engine.lattice p) in
+  List.iter
+    (fun algorithm ->
+      let result, _ = Engine.run ~props p algorithm in
+      Alcotest.(check bool)
+        (Engine.algorithm_to_string algorithm ^ " agrees")
+        true
+        (Cube_result.equal ~func:Aggregate.Count reference result))
+    Engine.all_algorithms
+
+(* --- correct_under table ---------------------------------------------------- *)
+
+let test_correct_under () =
+  let check algorithm ~disjoint ~coverage expected =
+    Alcotest.(check bool)
+      (Engine.algorithm_to_string algorithm)
+      expected
+      (Engine.correct_under algorithm ~disjoint ~coverage)
+  in
+  List.iter
+    (fun a -> check a ~disjoint:false ~coverage:false true)
+    Engine.[ Naive; Counter; Buc; Buccust; Td; Tdcust ];
+  check Engine.Bucopt ~disjoint:false ~coverage:true false;
+  check Engine.Bucopt ~disjoint:true ~coverage:false true;
+  check Engine.Tdopt ~disjoint:false ~coverage:true false;
+  check Engine.Tdoptall ~disjoint:true ~coverage:false false;
+  check Engine.Tdoptall ~disjoint:true ~coverage:true true
+
+let test_counter_budget_one () =
+  (* One counter at a time: maximal eviction pressure, still correct. *)
+  let p = prepared () in
+  let reference, _ = Engine.run p Engine.Naive in
+  let config = { Engine.counter_budget = 1; sort_budget = 1000 } in
+  let result, instr = Engine.run ~config p Engine.Counter in
+  Alcotest.(check bool) "correct under extreme pressure" true
+    (Cube_result.equal ~func:Aggregate.Count reference result);
+  Alcotest.(check bool) "many passes" true (instr.Instrument.passes >= 10)
+
+(* --- group key projection ---------------------------------------------------- *)
+
+let test_key_projection () =
+  let from_ = [| present 0; present 1; present 0 |] in
+  let to_all_removed = [| removed; removed; removed |] in
+  let to_middle = [| removed; present 1; removed |] in
+  let key = Group_key.encode [ "a"; "b"; "c" ] in
+  Alcotest.(check string) "project to ALL" (Group_key.encode [])
+    (Group_key.project ~from_ ~to_:to_all_removed key);
+  Alcotest.(check string) "project to middle" (Group_key.encode [ "b" ])
+    (Group_key.project ~from_ ~to_:to_middle key)
+
+(* --- external sorting through a real file ------------------------------------ *)
+
+let test_td_with_file_backed_disk () =
+  let path = Filename.temp_file "x3sort" ".pages" in
+  let pool =
+    X3_storage.Buffer_pool.create ~capacity_pages:16
+      (X3_storage.Disk.on_file ~page_size:1024 path)
+  in
+  let store = figure1_store () in
+  let spec = Engine.count_spec ~fact_path ~axes:(query1_axes ()) in
+  let p = Engine.prepare ~pool ~store spec in
+  let config = { Engine.counter_budget = 1_000_000; sort_budget = 2 } in
+  let result, _ = Engine.run ~config p Engine.Td in
+  let reference, _ = Engine.run p Engine.Naive in
+  Alcotest.(check bool) "file-backed external sorts stay correct" true
+    (Cube_result.equal ~func:Aggregate.Count reference result);
+  X3_storage.Disk.close (X3_storage.Buffer_pool.disk pool);
+  Alcotest.(check bool) "spill file cleaned up" false (Sys.file_exists path)
+
+(* --- materialized intermediates (§3.6) ------------------------------------ *)
+
+let context_of p =
+  X3_core.Context.create ~table:(Engine.table p) ~lattice:(Engine.lattice p)
+    ~measure:(Engine.measure p) ()
+
+let test_materialize_matches_naive () =
+  let p = prepared () in
+  let ctx = context_of p in
+  let reference, _ = Engine.run p Engine.Naive in
+  let cuboid = X3_lattice.Lattice.rigid_id (lattice_of p) in
+  let intermediate = Materialized.materialize ctx ~cuboid in
+  List.iter
+    (fun (key, cell) ->
+      match Cube_result.find reference ~cuboid ~key with
+      | Some expected ->
+          Alcotest.(check bool) "cell agrees" true
+            (Aggregate.equal_value Aggregate.Count expected cell)
+      | None -> Alcotest.fail "group not in reference")
+    (Materialized.cells intermediate);
+  Alcotest.(check int) "group count" 4
+    (Materialized.group_count intermediate)
+
+let test_materialized_fact_items () =
+  let p = prepared () in
+  let ctx = context_of p in
+  (* Cuboid (n removed, p rigid, y rigid): group (p1, 2003) holds exactly
+     publication 1, despite its two authors. *)
+  let cuboid = cuboid_id p [ removed; present 0; present 0 ] in
+  let intermediate = Materialized.materialize ctx ~cuboid in
+  Alcotest.(check int) "one fact in (p1, 2003)" 1
+    (List.length
+       (Materialized.fact_items intermediate
+          ~key:(Group_key.encode [ "p1"; "2003" ])))
+
+let test_materialized_rollup_dedups () =
+  (* Roll (n:{PC-AD}, p:removed, y:rigid) up to group-by year: fact sets
+     keep publication 1 (two authors) counted once, and PC-AD covers Bob,
+     so the roll-up is exact. *)
+  let p = prepared () in
+  let ctx = context_of p in
+  let props =
+    X3_lattice.Properties.observe (Engine.table p) (lattice_of p)
+  in
+  let finer = cuboid_id p [ present 1; removed; present 0 ] in
+  let coarser = cuboid_id p [ removed; removed; present 0 ] in
+  let intermediate = Materialized.materialize ctx ~cuboid:finer in
+  match Materialized.rollup ctx ~props intermediate ~coarser with
+  | Error msg -> Alcotest.failf "rollup refused: %s" msg
+  | Ok rolled ->
+      let reference, _ = Engine.run p Engine.Naive in
+      List.iter
+        (fun (key, cell) ->
+          match Cube_result.find reference ~cuboid:coarser ~key with
+          | Some expected ->
+              Alcotest.(check bool)
+                (Format.asprintf "group %a" Group_key.pp key)
+                true
+                (Aggregate.equal_value Aggregate.Count expected cell)
+          | None -> Alcotest.fail "extra group after rollup")
+        (Materialized.cells rolled)
+
+let test_materialized_rollup_refuses_uncovered () =
+  (* From the rigid-$n intermediate, group-by year misses publication 3
+     (nested author): every path is uncovered, so rollup must refuse —
+     §3.6's "incompleteness of coverage directly affects the computation
+     from these intermediate results". *)
+  let p = prepared () in
+  let ctx = context_of p in
+  let props =
+    X3_lattice.Properties.observe (Engine.table p) (lattice_of p)
+  in
+  let finer = cuboid_id p [ present 0; removed; present 0 ] in
+  let coarser = cuboid_id p [ removed; removed; present 0 ] in
+  let intermediate = Materialized.materialize ctx ~cuboid:finer in
+  (match Materialized.rollup ctx ~props intermediate ~coarser with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "uncovered rollup must be refused");
+  (* The unchecked version demonstrates the failure: 2003 loses Bob. *)
+  let rolled = Materialized.rollup_unchecked ctx intermediate ~coarser in
+  let count_2003 cells =
+    List.assoc_opt (Group_key.encode [ "2003" ]) cells
+    |> Option.map (Aggregate.value Aggregate.Count)
+  in
+  Alcotest.(check (option (float 1e-9))) "2003 undercounted" (Some 1.)
+    (count_2003 (Materialized.cells rolled))
+
+let test_materialized_rollup_rejects_non_relaxation () =
+  let p = prepared () in
+  let ctx = context_of p in
+  let props = X3_lattice.Properties.none (lattice_of p) in
+  let a = cuboid_id p [ present 0; removed; removed ] in
+  let b = cuboid_id p [ removed; present 0; removed ] in
+  let intermediate = Materialized.materialize ctx ~cuboid:a in
+  match Materialized.rollup ctx ~props intermediate ~coarser:b with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "incomparable cuboids must be rejected"
+
+(* --- export ---------------------------------------------------------------- *)
+
+let test_export_csv () =
+  let p = prepared () in
+  let result, _ = Engine.run p Engine.Naive in
+  let csv = Export.csv_string ~func:Aggregate.Count result in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check string) "header" "cuboid,degree,$n,$p,$y,COUNT"
+    (List.hd lines);
+  (* One data line per cell. *)
+  Alcotest.(check int) "line count"
+    (Cube_result.total_cells result)
+    (List.length (List.tl lines));
+  Alcotest.(check bool) "ALL marker present" true
+    (List.exists (fun l -> String.length l > 0 &&
+        List.exists (String.equal "(ALL)") (String.split_on_char ',' l))
+       lines)
+
+let test_export_csv_quoting () =
+  let doc =
+    parse_ok {|<db><r><a>x,y "z"</a></r></db>|}
+  in
+  let store = X3_xdb.Store.of_document doc in
+  let axes =
+    [|
+      X3_pattern.Axis.make_exn ~name:"$a" ~steps:[ step c "a" ]
+        ~allowed:[ Relax.Lnd ];
+    |]
+  in
+  let spec = Engine.count_spec ~fact_path:[ step d "r" ] ~axes in
+  let p = Engine.prepare ~pool:(small_pool ()) ~store spec in
+  let result, _ = Engine.run p Engine.Naive in
+  let csv = Export.csv_string ~func:Aggregate.Count result in
+  Alcotest.(check bool) "field quoted" true
+    (let contains s sub =
+       let n = String.length sub and h = String.length s in
+       let rec go i = i + n <= h && (String.sub s i n = sub || go (i + 1)) in
+       go 0
+     in
+     contains csv {|"x,y ""z"""|})
+
+let test_export_json_shape () =
+  let p = prepared () in
+  let result, _ = Engine.run p Engine.Naive in
+  let json = Export.json_string ~func:Aggregate.Count result in
+  let count c = String.fold_left (fun acc ch -> if ch = c then acc + 1 else acc) 0 json in
+  Alcotest.(check int) "balanced brackets" (count '[') (count ']');
+  Alcotest.(check int) "balanced braces" (count '{') (count '}');
+  Alcotest.(check bool) "mentions all cuboids" true
+    (count '{' > X3_lattice.Lattice.size (lattice_of p))
+
+(* --- pivot (cross-tab) ------------------------------------------------------- *)
+
+let test_pivot_figure1 () =
+  let p = prepared () in
+  let result, _ = Engine.run p Engine.Naive in
+  (* Rows: $n at PC-AD (so Bob appears); columns: $y rigid. *)
+  match
+    Pivot.make ~func:Aggregate.Count ~row_axis:0 ~row_state:1 ~col_axis:2
+      result
+  with
+  | Error msg -> Alcotest.failf "pivot failed: %s" msg
+  | Ok pivot ->
+      Alcotest.(check (list string)) "rows" [ "Ann"; "Bob"; "Jane"; "John" ]
+        pivot.Pivot.row_labels;
+      Alcotest.(check (list string)) "cols" [ "2003"; "2004"; "2005" ]
+        pivot.Pivot.col_labels;
+      (* John x 2004 = publication 2. *)
+      let r = 3 and c = 1 in
+      Alcotest.(check (option (float 1e-9))) "John 2004" (Some 1.)
+        pivot.Pivot.body.(r).(c);
+      (* Ann has no year binding: empty body row, but a row total of 1. *)
+      Alcotest.(check bool) "Ann row empty" true
+        (Array.for_all (fun v -> v = None) pivot.Pivot.body.(0));
+      Alcotest.(check (option (float 1e-9))) "Ann total" (Some 1.)
+        pivot.Pivot.row_totals.(0);
+      Alcotest.(check (option (float 1e-9))) "grand total" (Some 4.)
+        pivot.Pivot.grand_total;
+      (* Rendering sanity. *)
+      let rendered = Format.asprintf "%a" Pivot.pp pivot in
+      Alcotest.(check bool) "mentions total" true
+        (String.length rendered > 0)
+
+let test_pivot_rejects_same_axis () =
+  let p = prepared () in
+  let result, _ = Engine.run p Engine.Naive in
+  match Pivot.make ~func:Aggregate.Count ~row_axis:1 ~col_axis:1 result with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "same axis twice must be rejected"
+
+let test_pivot_marginals_consistent () =
+  (* Column totals are the marginal cuboid, not the sum of the body — with
+     coverage failures they can exceed it; on clean data they agree. *)
+  let doc =
+    parse_ok
+      {|<db>
+         <r><a>x</a><b>1</b></r>
+         <r><a>x</a><b>2</b></r>
+         <r><a>y</a><b>1</b></r>
+       </db>|}
+  in
+  let store = X3_xdb.Store.of_document doc in
+  let axes =
+    [|
+      X3_pattern.Axis.make_exn ~name:"$a" ~steps:[ step c "a" ]
+        ~allowed:[ Relax.Lnd ];
+      X3_pattern.Axis.make_exn ~name:"$b" ~steps:[ step c "b" ]
+        ~allowed:[ Relax.Lnd ];
+    |]
+  in
+  let spec = Engine.count_spec ~fact_path:[ step d "r" ] ~axes in
+  let p = Engine.prepare ~pool:(small_pool ()) ~store spec in
+  let result, _ = Engine.run p Engine.Naive in
+  match Pivot.make ~func:Aggregate.Count ~row_axis:0 ~col_axis:1 result with
+  | Error msg -> Alcotest.failf "pivot: %s" msg
+  | Ok pivot ->
+      let sum_opt arr =
+        Array.fold_left
+          (fun acc v -> acc +. Option.value v ~default:0.)
+          0. arr
+      in
+      Alcotest.(check (float 1e-9)) "row totals sum to grand" 3.
+        (sum_opt pivot.Pivot.row_totals);
+      Alcotest.(check (float 1e-9)) "col totals sum to grand" 3.
+        (sum_opt pivot.Pivot.col_totals)
+
+(* --- randomized cross-checking -------------------------------------------- *)
+
+(* Random shallow documents over a small vocabulary with repeats and
+   missing children, cubed on two axes: every always-correct algorithm must
+   match NAIVE, and property-respecting optimised variants must match when
+   the observed properties license them. *)
+let gen_random_case =
+  let open QCheck2.Gen in
+  let value = oneofl [ "u"; "v"; "w" ] in
+  let child tag = map (fun v -> X3_xml.Tree.elem tag [ X3_xml.Tree.text v ]) value in
+  let wrapped tag =
+    map
+      (fun v ->
+        X3_xml.Tree.elem "wrap" [ X3_xml.Tree.elem tag [ X3_xml.Tree.text v ] ])
+      value
+  in
+  let fact =
+    map2
+      (fun xs ys -> X3_xml.Tree.elem "r" (xs @ ys))
+      (list_size (int_bound 3) (oneof [ child "a"; wrapped "a" ]))
+      (list_size (int_bound 3) (child "b"))
+  in
+  map
+    (fun facts ->
+      match X3_xml.Tree.elem "db" facts with
+      | X3_xml.Tree.Element e -> X3_xml.Tree.document e
+      | _ -> assert false)
+    (list_size (int_range 1 12) fact)
+
+let random_axes () =
+  [|
+    X3_pattern.Axis.make_exn ~name:"$a" ~steps:[ step c "a" ]
+      ~allowed:[ Relax.Lnd; Relax.Pc_ad ];
+    X3_pattern.Axis.make_exn ~name:"$b" ~steps:[ step c "b" ]
+      ~allowed:[ Relax.Lnd ];
+  |]
+
+let prop_algorithms_agree =
+  QCheck2.Test.make ~name:"correct algorithms = naive on random data"
+    ~count:60 gen_random_case (fun doc ->
+      let store = X3_xdb.Store.of_document doc in
+      let spec = Engine.count_spec ~fact_path:[ step d "r" ] ~axes:(random_axes ()) in
+      let p = Engine.prepare ~pool:(small_pool ()) ~store spec in
+      let props = X3_lattice.Properties.observe (Engine.table p) (Engine.lattice p) in
+      let reference, _ = Engine.run p Engine.Naive in
+      List.for_all
+        (fun algorithm ->
+          let result, _ = Engine.run ~props p algorithm in
+          Cube_result.equal ~func:Aggregate.Count reference result)
+        correct_algorithms)
+
+let prop_optimised_correct_when_licensed =
+  QCheck2.Test.make
+    ~name:"optimised variants correct when observed properties license them"
+    ~count:60 gen_random_case (fun doc ->
+      let store = X3_xdb.Store.of_document doc in
+      let spec = Engine.count_spec ~fact_path:[ step d "r" ] ~axes:(random_axes ()) in
+      let p = Engine.prepare ~pool:(small_pool ()) ~store spec in
+      let props = X3_lattice.Properties.observe (Engine.table p) (Engine.lattice p) in
+      let reference, _ = Engine.run p Engine.Naive in
+      let check algorithm licensed =
+        (not licensed)
+        ||
+        let result, _ = Engine.run ~props p algorithm in
+        Cube_result.equal ~func:Aggregate.Count reference result
+      in
+      let d = X3_lattice.Properties.all_strictly_disjoint props in
+      let cov = X3_lattice.Properties.all_covered props in
+      check Engine.Bucopt d && check Engine.Tdopt d
+      && check Engine.Tdoptall (d && cov))
+
+(* Random documents exercising the SP relaxation: leaves live under their
+   pattern parent, under a deeper wrapper, under a sibling, or directly
+   under the fact — every placement interacts differently with the
+   {}, {PC-AD}, {SP} and {SP, PC-AD} states. *)
+let gen_sp_case =
+  let open QCheck2.Gen in
+  let value = oneofl [ "u"; "v" ] in
+  let leaf = map (fun v -> X3_xml.Tree.elem "leaf" [ X3_xml.Tree.text v ]) value in
+  let placement =
+    oneof
+      [
+        (* under the pattern parent *)
+        map (fun l -> X3_xml.Tree.elem "p" [ l ]) leaf;
+        (* under the parent but one level deeper: PC-AD territory *)
+        map (fun l -> X3_xml.Tree.elem "p" [ X3_xml.Tree.elem "mid" [ l ] ]) leaf;
+        (* parent present, leaf astray under a sibling: SP territory *)
+        map2
+          (fun l filler ->
+            X3_xml.Tree.elem "grp"
+              [ X3_xml.Tree.elem "p" [ X3_xml.Tree.text filler ];
+                X3_xml.Tree.elem "q" [ l ] ])
+          leaf value;
+        (* no parent at all: nothing should match, any state *)
+        map (fun v -> X3_xml.Tree.elem "q" [ X3_xml.Tree.text v ]) value;
+      ]
+  in
+  let fact = list_size (int_bound 2) placement in
+  map
+    (fun facts ->
+      match
+        X3_xml.Tree.elem "db"
+          (List.map (fun children -> X3_xml.Tree.elem "r" children) facts)
+      with
+      | X3_xml.Tree.Element e -> X3_xml.Tree.document e
+      | _ -> assert false)
+    (list_size (int_range 1 10) fact)
+
+let sp_axes () =
+  [|
+    X3_pattern.Axis.make_exn ~name:"$l"
+      ~steps:[ step c "p"; step c "leaf" ]
+      ~allowed:[ Relax.Lnd; Relax.Sp; Relax.Pc_ad ];
+  |]
+
+let prop_sp_algorithms_agree =
+  QCheck2.Test.make ~name:"correct algorithms agree under SP relaxations"
+    ~count:60 gen_sp_case (fun doc ->
+      let store = X3_xdb.Store.of_document doc in
+      let spec = Engine.count_spec ~fact_path:[ step d "r" ] ~axes:(sp_axes ()) in
+      let p = Engine.prepare ~pool:(small_pool ()) ~store spec in
+      let props = X3_lattice.Properties.observe (Engine.table p) (Engine.lattice p) in
+      let reference, _ = Engine.run p Engine.Naive in
+      List.for_all
+        (fun algorithm ->
+          let result, _ = Engine.run ~props p algorithm in
+          Cube_result.equal ~func:Aggregate.Count reference result)
+        correct_algorithms)
+
+let prop_sp_monotone_match_sets =
+  QCheck2.Test.make
+    ~name:"relaxation only widens cuboid totals (SP lattice)" ~count:60
+    gen_sp_case (fun doc ->
+      let store = X3_xdb.Store.of_document doc in
+      let spec = Engine.count_spec ~fact_path:[ step d "r" ] ~axes:(sp_axes ()) in
+      let p = Engine.prepare ~pool:(small_pool ()) ~store spec in
+      let lattice = Engine.lattice p in
+      let result, _ = Engine.run p Engine.Naive in
+      (* The set of facts reached by a cuboid grows along lattice edges
+         within the Present states (coverage may fail, never the reverse:
+         a stricter pattern cannot reach more facts). *)
+      let total id =
+        List.fold_left
+          (fun acc (_, cell) ->
+            acc + int_of_float (Aggregate.value Aggregate.Count cell))
+          0
+          (Cube_result.cuboid_cells result id)
+      in
+      Array.for_all
+        (fun id ->
+          List.for_all
+            (fun parent ->
+              let fine = X3_lattice.Lattice.cuboid lattice id in
+              let coarse = X3_lattice.Lattice.cuboid lattice parent in
+              (* Only compare edges that keep the axis present: removal
+                 collapses groups and totals may shrink with dedup. *)
+              match (fine.(0), coarse.(0)) with
+              | X3_lattice.State.Present _, X3_lattice.State.Present _ ->
+                  total id <= total parent
+              | _ -> true)
+            (X3_lattice.Lattice.parents lattice id))
+        (X3_lattice.Lattice.by_degree lattice))
+
+let prop_counter_budget_independent =
+  QCheck2.Test.make ~name:"counter result independent of memory budget"
+    ~count:40
+    QCheck2.Gen.(pair gen_random_case (int_range 1 50))
+    (fun (doc, budget) ->
+      let store = X3_xdb.Store.of_document doc in
+      let spec = Engine.count_spec ~fact_path:[ step d "r" ] ~axes:(random_axes ()) in
+      let p = Engine.prepare ~pool:(small_pool ()) ~store spec in
+      let reference, _ = Engine.run p Engine.Naive in
+      let config = { Engine.counter_budget = budget; sort_budget = 1000 } in
+      let result, _ = Engine.run ~config p Engine.Counter in
+      Cube_result.equal ~func:Aggregate.Count reference result)
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "x3_core"
+    [
+      ( "aggregate",
+        [
+          Alcotest.test_case "values" `Quick test_aggregate_values;
+          Alcotest.test_case "merge" `Quick test_aggregate_merge;
+          Alcotest.test_case "empty" `Quick test_aggregate_empty;
+        ] );
+      ( "group key",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_key_roundtrip;
+          Alcotest.test_case "injective" `Quick test_key_injective;
+        ] );
+      ( "sort record",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_sort_record_roundtrip;
+          Alcotest.test_case "grouping order" `Quick
+            test_sort_record_groups_adjacent;
+        ] );
+      ( "figure 1 semantics",
+        [
+          Alcotest.test_case "group by year" `Quick test_naive_group_by_year;
+          Alcotest.test_case "publisher-year disjointness" `Quick
+            test_naive_publisher_year_disjointness;
+          Alcotest.test_case "ALL group" `Quick test_naive_all_group;
+          Alcotest.test_case "relaxation widens groups" `Quick
+            test_naive_author_relaxation_widens;
+          Alcotest.test_case "rigid cuboid" `Quick test_naive_rigid_cuboid;
+        ] );
+      ( "algorithms",
+        [
+          Alcotest.test_case "correct family agrees" `Quick
+            test_correct_algorithms_agree;
+          Alcotest.test_case "optimised wrong on figure 1" `Quick
+            test_optimised_algorithms_wrong_on_figure1;
+          Alcotest.test_case "all agree on clean data" `Quick
+            test_all_algorithms_agree_on_clean_data;
+          Alcotest.test_case "counter multipass" `Quick test_counter_multipass;
+          Alcotest.test_case "td external sort" `Quick test_td_external_sort;
+          Alcotest.test_case "instrumentation" `Quick
+            test_instrumentation_sanity;
+          Alcotest.test_case "sum measure" `Quick test_sum_measure;
+        ] );
+      ( "extended coverage",
+        [
+          Alcotest.test_case "all aggregates x all algorithms" `Quick
+            test_all_aggregates_all_algorithms;
+          Alcotest.test_case "aggregate values" `Quick
+            test_aggregate_expected_values;
+          Alcotest.test_case "non-LND axis" `Quick test_non_lnd_axis;
+          Alcotest.test_case "correct_under table" `Quick test_correct_under;
+          Alcotest.test_case "counter budget 1" `Quick test_counter_budget_one;
+          Alcotest.test_case "key projection" `Quick test_key_projection;
+          Alcotest.test_case "file-backed external sorts" `Quick
+            test_td_with_file_backed_disk;
+        ] );
+      ( "materialized (§3.6)",
+        [
+          Alcotest.test_case "matches naive" `Quick
+            test_materialize_matches_naive;
+          Alcotest.test_case "fact items" `Quick test_materialized_fact_items;
+          Alcotest.test_case "rollup dedups via fact sets" `Quick
+            test_materialized_rollup_dedups;
+          Alcotest.test_case "rollup refuses uncovered" `Quick
+            test_materialized_rollup_refuses_uncovered;
+          Alcotest.test_case "rollup rejects non-relaxation" `Quick
+            test_materialized_rollup_rejects_non_relaxation;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "csv" `Quick test_export_csv;
+          Alcotest.test_case "csv quoting" `Quick test_export_csv_quoting;
+          Alcotest.test_case "json shape" `Quick test_export_json_shape;
+        ] );
+      ( "pivot",
+        [
+          Alcotest.test_case "figure 1 cross-tab" `Quick test_pivot_figure1;
+          Alcotest.test_case "rejects same axis" `Quick
+            test_pivot_rejects_same_axis;
+          Alcotest.test_case "marginals" `Quick test_pivot_marginals_consistent;
+        ] );
+      ( "randomised",
+        qcheck
+          [
+            prop_merge_associative;
+            prop_key_roundtrip;
+            prop_algorithms_agree;
+            prop_optimised_correct_when_licensed;
+            prop_counter_budget_independent;
+            prop_sp_algorithms_agree;
+            prop_sp_monotone_match_sets;
+          ] );
+    ]

@@ -1,0 +1,400 @@
+open X3_lattice
+open X3_pattern
+open Fixtures
+
+let lattice () = Lattice.build (query1_axes ())
+
+(* --- states ------------------------------------------------------------- *)
+
+let test_state_order () =
+  Alcotest.(check bool) "rigid <= pc" true
+    (State.leq (State.Present 0) (State.Present 1));
+  Alcotest.(check bool) "pc <= pc+sp" true
+    (State.leq (State.Present 1) (State.Present 3));
+  Alcotest.(check bool) "pc not <= sp" false
+    (State.leq (State.Present 1) (State.Present 2));
+  Alcotest.(check bool) "anything <= removed" true
+    (State.leq (State.Present 3) State.Removed);
+  Alcotest.(check bool) "removed not <= present" false
+    (State.leq State.Removed (State.Present 3))
+
+let test_state_successors () =
+  let n = axis_n () in
+  let succ = State.successors (State.Present 0) n in
+  (* Add PC-AD, add SP, or apply LND. *)
+  Alcotest.(check int) "three one-step relaxations" 3 (List.length succ);
+  Alcotest.(check bool) "removed is terminal" true
+    (State.successors State.Removed n = [])
+
+let test_state_all () =
+  Alcotest.(check int) "5 states for $n" 5 (List.length (State.all (axis_n ())));
+  Alcotest.(check int) "3 states for $p" 3 (List.length (State.all (axis_p ())));
+  Alcotest.(check int) "2 states for $y" 2 (List.length (State.all (axis_y ())))
+
+(* --- cuboids ------------------------------------------------------------ *)
+
+let test_cuboid_rigid_and_most_relaxed () =
+  let axes = query1_axes () in
+  let rigid = Cuboid.rigid axes in
+  Alcotest.(check int) "rigid degree" 0 (Cuboid.degree rigid axes);
+  let top = Cuboid.most_relaxed axes in
+  Alcotest.(check bool) "rigid <= most relaxed" true (Cuboid.leq rigid top);
+  Alcotest.(check (list int)) "no present axes" [] (Cuboid.present_axes top)
+
+let test_cuboid_successor_count () =
+  let axes = query1_axes () in
+  let rigid = Cuboid.rigid axes in
+  (* One step per axis relaxation toggle: 3 ($n) + 2 ($p) + 1 ($y) —
+     Fig. 3's (b)-(g). *)
+  Alcotest.(check int) "six one-step relaxations" 6
+    (List.length (Cuboid.successors rigid axes))
+
+(* --- lattice ------------------------------------------------------------ *)
+
+let test_lattice_size () =
+  (* 5 x 3 x 2 states. *)
+  Alcotest.(check int) "30 cuboids" 30 (Lattice.size (lattice ()))
+
+let test_lattice_extremes () =
+  let l = lattice () in
+  Alcotest.(check int) "rigid degree 0" 0 (Lattice.degree l (Lattice.rigid_id l));
+  Alcotest.(check (list int)) "rigid has no children" []
+    (Lattice.children l (Lattice.rigid_id l));
+  Alcotest.(check (list int)) "most relaxed has no parents" []
+    (Lattice.parents l (Lattice.most_relaxed_id l))
+
+let test_lattice_by_degree_topological () =
+  let l = lattice () in
+  let position = Array.make (Lattice.size l) 0 in
+  Array.iteri (fun pos id -> position.(id) <- pos) (Lattice.by_degree l);
+  (* Every edge goes from an earlier (finer) to a later (coarser) id. *)
+  Array.iter
+    (fun id ->
+      List.iter
+        (fun parent ->
+          Alcotest.(check bool) "child before parent" true
+            (position.(id) < position.(parent)))
+        (Lattice.parents l id))
+    (Lattice.by_degree l)
+
+let test_lattice_edges_are_one_step () =
+  let l = lattice () in
+  Array.iter
+    (fun id ->
+      List.iter
+        (fun parent ->
+          Alcotest.(check bool) "parent strictly more relaxed" true
+            (Cuboid.leq (Lattice.cuboid l id) (Lattice.cuboid l parent)
+            && not (Cuboid.equal (Lattice.cuboid l id) (Lattice.cuboid l parent))))
+        (Lattice.parents l id))
+    (Lattice.by_degree l)
+
+let test_lattice_id_roundtrip () =
+  let l = lattice () in
+  Array.iter
+    (fun id -> Alcotest.(check int) "id roundtrip" id (Lattice.id l (Lattice.cuboid l id)))
+    (Lattice.by_degree l)
+
+let test_lattice_no_lnd_axis () =
+  (* An axis without LND can never be removed: lattice has no Removed state
+     for it. *)
+  let axes =
+    [|
+      Axis.make_exn ~name:"$a" ~steps:[ step c "a" ] ~allowed:[ Relax.Lnd ];
+      Axis.make_exn ~name:"$b"
+        ~steps:[ step c "b"; step c "c" ]
+        ~allowed:[ Relax.Pc_ad ];
+    |]
+  in
+  let l = Lattice.build axes in
+  Alcotest.(check int) "2 x 2 cuboids" 4 (Lattice.size l);
+  Array.iter
+    (fun id ->
+      match (Lattice.cuboid l id).(1) with
+      | State.Removed -> Alcotest.fail "axis without LND was removed"
+      | State.Present _ -> ())
+    (Lattice.by_degree l)
+
+(* --- rendering (Fig. 3) --------------------------------------------------- *)
+
+let test_render_rigid_is_fig3a () =
+  let l = lattice () in
+  Alcotest.(check string) "Fig. 3(a)"
+    "publication[./author[./name]][.//publisher[./@id]][./year]"
+    (Render.cuboid_pattern ~fact_tag:"publication" (Lattice.axes l)
+       (Lattice.cuboid l (Lattice.rigid_id l)))
+
+let test_render_most_relaxed_is_fig3o () =
+  let l = lattice () in
+  Alcotest.(check string) "Fig. 3(o): the bare fact" "publication"
+    (Render.cuboid_pattern ~fact_tag:"publication" (Lattice.axes l)
+       (Lattice.cuboid l (Lattice.most_relaxed_id l)))
+
+let test_render_axis_states () =
+  let n = axis_n () in
+  let render mask =
+    Option.get (Render.axis_pattern n ~state:(State.Present mask))
+  in
+  Alcotest.(check string) "rigid" "[./author[./name]]" (render 0);
+  Alcotest.(check string) "pc-ad" "[.//author[.//name]]" (render 1);
+  Alcotest.(check string) "sp" "[./author][.//name]" (render 2);
+  Alcotest.(check string) "sp + pc-ad" "[.//author][.//name]" (render 3);
+  Alcotest.(check (option string)) "removed" None
+    (Render.axis_pattern n ~state:State.Removed)
+
+let test_render_all_distinct () =
+  (* Every cuboid renders to a distinct pattern. *)
+  let l = lattice () in
+  let patterns =
+    Array.to_list
+      (Array.map
+         (fun id ->
+           Render.cuboid_pattern ~fact_tag:"publication" (Lattice.axes l)
+             (Lattice.cuboid l id))
+         (Lattice.by_degree l))
+  in
+  Alcotest.(check int) "30 distinct patterns" 30
+    (List.length (List.sort_uniq String.compare patterns))
+
+let test_render_dot () =
+  let l = lattice () in
+  let dot = Render.to_dot ~fact_tag:"publication" l in
+  let count needle =
+    let n = String.length needle in
+    let rec go i acc =
+      if i + n > String.length dot then acc
+      else if String.sub dot i n = needle then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "30 nodes" 30 (count "label=");
+  (* Edge count: sum over cuboids of their parent counts. *)
+  let edges =
+    Array.fold_left
+      (fun acc id -> acc + List.length (Lattice.parents l id))
+      0 (Lattice.by_degree l)
+  in
+  Alcotest.(check int) "all edges drawn" edges (count " -> ");
+  (* With properties, some decoration appears. *)
+  let props =
+    Properties.observe (Fixtures.query1_table ()) l
+  in
+  let decorated = Render.to_dot ~props ~fact_tag:"publication" l in
+  Alcotest.(check bool) "dashed uncovered edges" true
+    (count " -> " > 0 && String.length decorated > String.length dot)
+
+(* --- properties: schema inference --------------------------------------- *)
+
+let schema () = X3_xml.Schema.of_dtd (figure1_dtd ())
+
+let test_axis_multiplicity_inference () =
+  let s = schema () in
+  (* $n rigid: author repeats and name is reachable only through it. *)
+  let m =
+    Properties.axis_multiplicity ~schema:s ~fact_tag:"publication" (axis_n ())
+      ~state:0
+  in
+  Alcotest.(check bool) "author/name can repeat" true m.X3_xml.Dtd.may_repeat;
+  Alcotest.(check bool) "author/name can be absent" true
+    m.X3_xml.Dtd.may_be_absent;
+  (* $p rigid: publisher optional, @id required and unique. *)
+  let mp =
+    Properties.axis_multiplicity ~schema:s ~fact_tag:"publication" (axis_p ())
+      ~state:0
+  in
+  Alcotest.(check bool) "publisher absent possible" true
+    mp.X3_xml.Dtd.may_be_absent;
+  Alcotest.(check bool) "publisher repeats (direct + pubData)" true
+    mp.X3_xml.Dtd.may_repeat
+
+let test_infer_no_disjointness_with_n_present () =
+  let s = schema () in
+  let l = lattice () in
+  let props = Properties.infer ~schema:s ~fact_tag:"publication" l in
+  Array.iter
+    (fun id ->
+      let c = Lattice.cuboid l id in
+      match c.(0) with
+      | State.Present _ ->
+          Alcotest.(check bool)
+            ("cuboid with $n present is not disjoint: "
+            ^ Cuboid.to_string (Lattice.axes l) c)
+            false
+            (Properties.cuboid_disjoint props id)
+      | State.Removed -> ())
+    (Lattice.by_degree l)
+
+let test_infer_unique_axes_disjoint () =
+  (* A schema where every axis is mandatory and unique => disjoint. *)
+  let dtd_src =
+    {|<!ELEMENT db (r*)> <!ELEMENT r (a, b)>
+      <!ELEMENT a (#PCDATA)> <!ELEMENT b (#PCDATA)>|}
+  in
+  let dtd =
+    match X3_xml.Dtd.parse dtd_src with Ok d -> d | Error e -> Alcotest.fail e
+  in
+  let s = X3_xml.Schema.of_dtd dtd in
+  let axes =
+    [|
+      Axis.make_exn ~name:"$a" ~steps:[ step c "a" ] ~allowed:[ Relax.Lnd ];
+      Axis.make_exn ~name:"$b" ~steps:[ step c "b" ] ~allowed:[ Relax.Lnd ];
+    |]
+  in
+  let l = Lattice.build axes in
+  let props = Properties.infer ~schema:s ~fact_tag:"r" l in
+  Alcotest.(check bool) "all disjoint" true (Properties.all_disjoint props);
+  Alcotest.(check bool) "all covered" true (Properties.all_covered props)
+
+let test_infer_optional_breaks_coverage () =
+  let dtd_src =
+    {|<!ELEMENT db (r*)> <!ELEMENT r (a?, b)>
+      <!ELEMENT a (#PCDATA)> <!ELEMENT b (#PCDATA)>|}
+  in
+  let dtd =
+    match X3_xml.Dtd.parse dtd_src with Ok d -> d | Error e -> Alcotest.fail e
+  in
+  let s = X3_xml.Schema.of_dtd dtd in
+  let axes =
+    [|
+      Axis.make_exn ~name:"$a" ~steps:[ step c "a" ] ~allowed:[ Relax.Lnd ];
+      Axis.make_exn ~name:"$b" ~steps:[ step c "b" ] ~allowed:[ Relax.Lnd ];
+    |]
+  in
+  let l = Lattice.build axes in
+  let props = Properties.infer ~schema:s ~fact_tag:"r" l in
+  Alcotest.(check bool) "still disjoint" true (Properties.all_disjoint props);
+  Alcotest.(check bool) "not all covered" false (Properties.all_covered props);
+  (* The uncovered edges are exactly those removing $a. *)
+  Array.iter
+    (fun id ->
+      List.iter
+        (fun parent ->
+          let c = Lattice.cuboid l id and p = Lattice.cuboid l parent in
+          let removes_a =
+            c.(0) <> State.Removed && p.(0) = State.Removed
+          in
+          Alcotest.(check bool) "coverage fails iff $a removed"
+            (not removes_a)
+            (Properties.edge_covered props ~finer:id ~coarser:parent))
+        (Lattice.parents l id))
+    (Lattice.by_degree l)
+
+(* --- properties: empirical observation ---------------------------------- *)
+
+let test_observe_figure1 () =
+  let table = query1_table () in
+  let l = lattice () in
+  let props = Properties.observe table l in
+  (* pub1's two authors break disjointness wherever rows can double up. *)
+  Alcotest.(check bool) "not all disjoint" false (Properties.all_disjoint props);
+  (* pub3 without publisher breaks coverage on edges removing $p. *)
+  Alcotest.(check bool) "not all covered" false (Properties.all_covered props);
+  (* The rigid cuboid is disjoint: every fact has at most one rigid row per
+     key?  pub1 has two rigid rows (John, Jane) — so even rigid is NOT
+     disjoint. *)
+  Alcotest.(check bool) "rigid not disjoint" false
+    (Properties.cuboid_disjoint props (Lattice.rigid_id l))
+
+let test_observe_clean_data () =
+  let doc =
+    parse_ok
+      {|<db>
+         <r><a>1</a><b>x</b></r>
+         <r><a>2</a><b>y</b></r>
+         <r><a>1</a><b>y</b></r>
+       </db>|}
+  in
+  let store = X3_xdb.Store.of_document doc in
+  let axes =
+    [|
+      Axis.make_exn ~name:"$a" ~steps:[ step c "a" ] ~allowed:[ Relax.Lnd ];
+      Axis.make_exn ~name:"$b" ~steps:[ step c "b" ] ~allowed:[ Relax.Lnd ];
+    |]
+  in
+  let l = Lattice.build axes in
+  let table =
+    Eval.build_table (small_pool ()) store ~fact_path:[ step d "r" ] ~axes
+  in
+  let props = Properties.observe table l in
+  Alcotest.(check bool) "all disjoint" true (Properties.all_disjoint props);
+  Alcotest.(check bool) "all covered" true (Properties.all_covered props)
+
+let test_infer_sound_wrt_observe () =
+  (* Everything the schema proves must hold in data that conforms to it. *)
+  let table = query1_table () in
+  let l = lattice () in
+  let inferred =
+    Properties.infer ~schema:(schema ()) ~fact_tag:"publication" l
+  in
+  let observed = Properties.observe table l in
+  Array.iter
+    (fun id ->
+      if Properties.cuboid_disjoint inferred id then
+        Alcotest.(check bool)
+          ("inferred disjointness holds for cuboid " ^ string_of_int id)
+          true
+          (Properties.cuboid_disjoint observed id);
+      List.iter
+        (fun parent ->
+          if Properties.edge_covered inferred ~finer:id ~coarser:parent then
+            Alcotest.(check bool) "inferred coverage holds" true
+              (Properties.edge_covered observed ~finer:id ~coarser:parent))
+        (Lattice.parents l id))
+    (Lattice.by_degree l)
+
+let () =
+  Alcotest.run "x3_lattice"
+    [
+      ( "state",
+        [
+          Alcotest.test_case "order" `Quick test_state_order;
+          Alcotest.test_case "successors" `Quick test_state_successors;
+          Alcotest.test_case "all states" `Quick test_state_all;
+        ] );
+      ( "cuboid",
+        [
+          Alcotest.test_case "extremes" `Quick test_cuboid_rigid_and_most_relaxed;
+          Alcotest.test_case "one-step successors" `Quick
+            test_cuboid_successor_count;
+        ] );
+      ( "lattice",
+        [
+          Alcotest.test_case "size (Query 1 = 30)" `Quick test_lattice_size;
+          Alcotest.test_case "extremes" `Quick test_lattice_extremes;
+          Alcotest.test_case "topological order" `Quick
+            test_lattice_by_degree_topological;
+          Alcotest.test_case "edges are one-step" `Quick
+            test_lattice_edges_are_one_step;
+          Alcotest.test_case "id roundtrip" `Quick test_lattice_id_roundtrip;
+          Alcotest.test_case "axis without LND" `Quick test_lattice_no_lnd_axis;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "rigid = Fig. 3(a)" `Quick
+            test_render_rigid_is_fig3a;
+          Alcotest.test_case "most relaxed = Fig. 3(o)" `Quick
+            test_render_most_relaxed_is_fig3o;
+          Alcotest.test_case "axis states" `Quick test_render_axis_states;
+          Alcotest.test_case "all distinct" `Quick test_render_all_distinct;
+          Alcotest.test_case "dot export" `Quick test_render_dot;
+        ] );
+      ( "inference",
+        [
+          Alcotest.test_case "axis multiplicity" `Quick
+            test_axis_multiplicity_inference;
+          Alcotest.test_case "$n present => not disjoint" `Quick
+            test_infer_no_disjointness_with_n_present;
+          Alcotest.test_case "unique axes => both hold" `Quick
+            test_infer_unique_axes_disjoint;
+          Alcotest.test_case "optional breaks coverage" `Quick
+            test_infer_optional_breaks_coverage;
+        ] );
+      ( "observation",
+        [
+          Alcotest.test_case "figure 1" `Quick test_observe_figure1;
+          Alcotest.test_case "clean data" `Quick test_observe_clean_data;
+          Alcotest.test_case "inference sound wrt observation" `Quick
+            test_infer_sound_wrt_observe;
+        ] );
+    ]

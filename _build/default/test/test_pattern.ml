@@ -1,0 +1,391 @@
+open X3_pattern
+open Fixtures
+
+(* --- relax ------------------------------------------------------------- *)
+
+let test_relax_strings () =
+  List.iter
+    (fun kind ->
+      Alcotest.(check (option string))
+        "roundtrip"
+        (Some (Relax.to_string kind))
+        (Option.map Relax.to_string (Relax.of_string (Relax.to_string kind))))
+    [ Relax.Lnd; Relax.Pc_ad; Relax.Sp ];
+  Alcotest.(check bool) "pc_ad alt spelling" true
+    (Relax.of_string "pc_ad" = Some Relax.Pc_ad);
+  Alcotest.(check bool) "unknown" true (Relax.of_string "XX" = None)
+
+(* --- axis -------------------------------------------------------------- *)
+
+let test_axis_states () =
+  let n = axis_n () in
+  Alcotest.(check int) "4 structural states" 4 (Axis.state_count n);
+  Alcotest.(check bool) "allows lnd" true (Axis.allows_lnd n);
+  Alcotest.(check int) "full mask" 3 (Axis.full_mask n);
+  let y = axis_y () in
+  Alcotest.(check int) "1 state" 1 (Axis.state_count y);
+  Alcotest.(check int) "rigid only" 0 (Axis.full_mask y)
+
+let test_axis_sp_needs_grandparent () =
+  match
+    Axis.make ~name:"$y" ~steps:[ step c "year" ] ~allowed:[ Relax.Sp ]
+  with
+  | Ok _ -> Alcotest.fail "SP on a unary path must be rejected"
+  | Error _ -> ()
+
+let test_axis_pcad_needs_child_edge () =
+  match
+    Axis.make ~name:"$x" ~steps:[ step d "x" ] ~allowed:[ Relax.Pc_ad ]
+  with
+  | Ok _ -> Alcotest.fail "PC-AD on an all-descendant path must be rejected"
+  | Error _ -> ()
+
+let test_axis_path_string () =
+  Alcotest.(check string) "path" "author/name" (Axis.path_to_string (axis_n ()));
+  Alcotest.(check string) "desc path" "//publisher/@id"
+    (Axis.path_to_string (axis_p ()))
+
+(* --- evaluation semantics ---------------------------------------------- *)
+
+let store = figure1_store ()
+
+let pubs () = X3_xdb.Store.nodes_with_tag store "publication"
+
+let bindings_values axis fact =
+  List.map
+    (fun (node, validity) -> (X3_xdb.Store.string_value store node, validity))
+    (Eval.axis_bindings store axis ~fact)
+
+(* State masks for $n: bit 0 = PC-AD, bit 1 = SP
+   (structural relaxations sorted as [Pc_ad; Sp]). *)
+let state_rigid = 0
+let state_pc = 1
+let state_sp = 2
+let state_pc_sp = 3
+
+let validity_of_states states =
+  List.fold_left (fun acc s -> acc lor (1 lsl s)) 0 states
+
+let test_eval_pub1_authors () =
+  let pub1 = (pubs ()).(0) in
+  let bs = bindings_values (axis_n ()) pub1 in
+  Alcotest.(check int) "two bindings" 2 (List.length bs);
+  List.iter
+    (fun (v, validity) ->
+      Alcotest.(check bool) "name" true (v = "John" || v = "Jane");
+      Alcotest.(check int) "valid at all states"
+        (validity_of_states [ state_rigid; state_pc; state_sp; state_pc_sp ])
+        validity)
+    bs
+
+let test_eval_pub3_nested_author () =
+  (* Bob's name sits under authors/author: only PC-AD reaches it. *)
+  let pub3 = (pubs ()).(2) in
+  match bindings_values (axis_n ()) pub3 with
+  | [ ("Bob", validity) ] ->
+      Alcotest.(check int) "valid only with PC-AD"
+        (validity_of_states [ state_pc; state_pc_sp ])
+        validity
+  | other ->
+      Alcotest.failf "unexpected bindings: %d" (List.length other)
+
+let test_eval_pub3_no_publisher () =
+  let pub3 = (pubs ()).(2) in
+  Alcotest.(check int) "no publisher binding" 0
+    (List.length (bindings_values (axis_p ()) pub3))
+
+let test_eval_pub4_publisher_through_pubdata () =
+  (* //publisher/@id tolerates the pubData wrapper even in the rigid
+     state — the first edge is already descendant. *)
+  let pub4 = (pubs ()).(3) in
+  match bindings_values (axis_p ()) pub4 with
+  | [ ("p1", validity) ] ->
+      Alcotest.(check int) "valid at both $p states"
+        (validity_of_states [ 0; 1 ])
+        validity
+  | other -> Alcotest.failf "unexpected bindings: %d" (List.length other)
+
+let test_eval_pub4_year_not_child () =
+  let pub4 = (pubs ()).(3) in
+  Alcotest.(check int) "year not a child of pub4" 0
+    (List.length (bindings_values (axis_y ()) pub4))
+
+let test_eval_pub2_two_years () =
+  let pub2 = (pubs ()).(1) in
+  Alcotest.(check (list string)) "two years" [ "2004"; "2005" ]
+    (List.map fst (bindings_values (axis_y ()) pub2))
+
+let test_validity_monotone () =
+  (* If a binding is valid at state s and s ⊆ s', it is valid at s'. *)
+  Array.iter
+    (fun fact ->
+      List.iter
+        (fun axis ->
+          List.iter
+            (fun (_, validity) ->
+              List.iter
+                (fun s ->
+                  List.iter
+                    (fun s' ->
+                      if
+                        s land s' = s
+                        && validity land (1 lsl s) <> 0
+                        && validity land (1 lsl s') = 0
+                      then
+                        Alcotest.failf "monotonicity violated: %d -> %d" s s')
+                    (Axis.states axis))
+                (Axis.states axis))
+            (Eval.axis_bindings store axis ~fact))
+        [ axis_n (); axis_p (); axis_y () ])
+    (pubs ())
+
+let test_facts () =
+  let facts = Eval.facts store fact_path in
+  Alcotest.(check int) "four publications" 4 (List.length facts)
+
+let test_rows_for_fact_cartesian () =
+  let pub2 = (pubs ()).(1) in
+  let rows = Eval.rows_for_fact store (query1_axes ()) ~fact:pub2 in
+  (* 1 author x 1 publisher x 2 years. *)
+  Alcotest.(check int) "cartesian rows" 2 (List.length rows)
+
+let test_rows_none_padding () =
+  let pub3 = (pubs ()).(2) in
+  let rows = Eval.rows_for_fact store (query1_axes ()) ~fact:pub3 in
+  Alcotest.(check int) "one row" 1 (List.length rows);
+  let row = List.hd rows in
+  Alcotest.(check bool) "publisher cell is None" true
+    (row.Witness.cells.(1).Witness.value = None)
+
+(* --- witness table ------------------------------------------------------ *)
+
+let test_table_shape () =
+  let table = query1_table () in
+  (* pub1: 2 rows, pub2: 2, pub3: 1, pub4: 1. *)
+  Alcotest.(check int) "rows" 6 (Witness.row_count table);
+  Alcotest.(check int) "facts" 4 (Witness.fact_count table)
+
+let test_fact_blocks () =
+  let table = query1_table () in
+  let blocks = ref [] in
+  Witness.iter_fact_blocks (fun b -> blocks := List.length b :: !blocks) table;
+  Alcotest.(check (list int)) "block sizes" [ 2; 2; 1; 1 ] (List.rev !blocks)
+
+let test_codec_roundtrip () =
+  let row =
+    {
+      Witness.fact = 12345;
+      cells =
+        [|
+          { Witness.value = Some "John"; validity = 0b1111; first = true };
+          { Witness.value = None; validity = 0; first = true };
+          { Witness.value = Some ""; validity = 1; first = false };
+        |];
+    }
+  in
+  let decoded = Witness.decode (Witness.encode row) in
+  Alcotest.(check int) "fact" row.Witness.fact decoded.Witness.fact;
+  Alcotest.(check int) "cells" 3 (Array.length decoded.Witness.cells);
+  Array.iteri
+    (fun i cell ->
+      let orig = row.Witness.cells.(i) in
+      Alcotest.(check bool) "value" true (cell.Witness.value = orig.Witness.value);
+      Alcotest.(check bool) "first" orig.Witness.first cell.Witness.first;
+      Alcotest.(check int) "validity" orig.Witness.validity cell.Witness.validity)
+    decoded.Witness.cells
+
+let test_codec_rejects_garbage () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Witness.decode "zz");
+       false
+     with Invalid_argument _ -> true)
+
+let gen_row =
+  let open QCheck2.Gen in
+  let cell =
+    map3
+      (fun value validity first -> { Witness.value; validity; first })
+      (option (string_size ~gen:printable (int_bound 30)))
+      (int_bound 15) bool
+  in
+  map2
+    (fun fact cells -> { Witness.fact; cells = Array.of_list cells })
+    (int_bound 1_000_000)
+    (list_size (int_range 1 8) cell)
+
+let prop_codec_roundtrip =
+  QCheck2.Test.make ~name:"witness codec roundtrip" ~count:500 gen_row
+    (fun row ->
+      let decoded = Witness.decode (Witness.encode row) in
+      decoded.Witness.fact = row.Witness.fact
+      && Array.length decoded.Witness.cells = Array.length row.Witness.cells
+      && Array.for_all2
+           (fun a b ->
+             a.Witness.value = b.Witness.value
+             && a.Witness.validity = b.Witness.validity
+             && a.Witness.first = b.Witness.first)
+           decoded.Witness.cells row.Witness.cells)
+
+(* --- join-based evaluation ----------------------------------------------- *)
+
+let test_join_eval_matches_nav_on_figure1 () =
+  let facts = Array.of_list (Eval.facts store fact_path) in
+  List.iter
+    (fun axis ->
+      let by_fact = Join_eval.axis_bindings_by_fact store axis ~facts in
+      Array.iter
+        (fun fact ->
+          let nav = Eval.axis_bindings store axis ~fact in
+          let join =
+            Option.value (Hashtbl.find_opt by_fact fact) ~default:[]
+          in
+          Alcotest.(check (list (pair int int)))
+            (Printf.sprintf "%s bindings of fact %d" axis.Axis.name fact)
+            nav join)
+        facts)
+    [ axis_n (); axis_p (); axis_y () ]
+
+let test_join_eval_table_equals_nav_table () =
+  let nav = query1_table () in
+  let join =
+    Join_eval.build_table (small_pool ()) (figure1_store ()) ~fact_path
+      ~axes:(query1_axes ())
+  in
+  Alcotest.(check int) "row count" (Witness.row_count nav)
+    (Witness.row_count join);
+  let rows t =
+    List.map
+      (fun row ->
+        ( row.Witness.fact,
+          Array.to_list
+            (Array.map
+               (fun c -> (c.Witness.value, c.Witness.validity, c.Witness.first))
+               row.Witness.cells) ))
+      (Witness.to_list t)
+  in
+  Alcotest.(check bool) "identical rows" true (rows nav = rows join)
+
+let gen_join_eval_doc =
+  let module Tree = X3_xml.Tree in
+  let open QCheck2.Gen in
+  let value = oneofl [ "1"; "2" ] in
+  let leaf tag = map (fun v -> Tree.elem tag [ Tree.text v ]) value in
+  let nested =
+    oneof
+      [
+        map (fun l -> Tree.elem "p" [ l ]) (leaf "q");
+        map (fun l -> Tree.elem "p" [ Tree.elem "mid" [ l ] ]) (leaf "q");
+        map (fun l -> Tree.elem "other" [ l ]) (leaf "q");
+        leaf "q";
+      ]
+  in
+  let fact = list_size (int_bound 3) nested in
+  map
+    (fun facts ->
+      match
+        Tree.elem "db" (List.map (fun cs -> Tree.elem "r" cs) facts)
+      with
+      | Tree.Element e -> Tree.document e
+      | _ -> assert false)
+    (list_size (int_range 1 8) fact)
+
+let prop_join_eval_equals_nav =
+  QCheck2.Test.make ~name:"join-based eval = navigational eval" ~count:100
+    gen_join_eval_doc (fun doc ->
+      let store = X3_xdb.Store.of_document doc in
+      let axes =
+        [|
+          Axis.make_exn ~name:"$q"
+            ~steps:[ step c "p"; step c "q" ]
+            ~allowed:[ Relax.Lnd; Relax.Sp; Relax.Pc_ad ];
+        |]
+      in
+      let fact_path = [ step d "r" ] in
+      let nav = Eval.build_table (small_pool ()) store ~fact_path ~axes in
+      let join = Join_eval.build_table (small_pool ()) store ~fact_path ~axes in
+      let rows t =
+        List.map
+          (fun row ->
+            ( row.Witness.fact,
+              Array.to_list
+                (Array.map
+                   (fun c -> (c.Witness.value, c.Witness.validity))
+                   row.Witness.cells) ))
+          (Witness.to_list t)
+      in
+      rows nav = rows join)
+
+(* --- mrfi --------------------------------------------------------------- *)
+
+let test_mrfi_query1 () =
+  let mrfi = Mrfi.of_axes ~fact_tag:"publication" (query1_axes ()) in
+  let str = Mrfi.to_string mrfi in
+  (* $n with SP: author branch + promoted name branch; $p chain; $y chain. *)
+  Alcotest.(check string) "rendered pattern"
+    "publication[.//author]*[.//name]*[.//publisher[.//@id]*]*[./year]*" str
+
+let test_mrfi_no_relaxations () =
+  let axis =
+    Axis.make_exn ~name:"$a" ~steps:[ step c "a"; step c "b" ] ~allowed:[]
+  in
+  let mrfi = Mrfi.of_axes ~fact_tag:"f" [| axis |] in
+  Alcotest.(check string) "rigid chain kept" "f[./a[./b]*]*"
+    (Mrfi.to_string mrfi)
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "x3_pattern"
+    [
+      ( "relax",
+        [ Alcotest.test_case "names" `Quick test_relax_strings ] );
+      ( "axis",
+        [
+          Alcotest.test_case "states" `Quick test_axis_states;
+          Alcotest.test_case "sp applicability" `Quick
+            test_axis_sp_needs_grandparent;
+          Alcotest.test_case "pc-ad applicability" `Quick
+            test_axis_pcad_needs_child_edge;
+          Alcotest.test_case "path string" `Quick test_axis_path_string;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "pub1 authors" `Quick test_eval_pub1_authors;
+          Alcotest.test_case "pub3 nested author" `Quick
+            test_eval_pub3_nested_author;
+          Alcotest.test_case "pub3 no publisher" `Quick
+            test_eval_pub3_no_publisher;
+          Alcotest.test_case "pub4 publisher via pubData" `Quick
+            test_eval_pub4_publisher_through_pubdata;
+          Alcotest.test_case "pub4 year not child" `Quick
+            test_eval_pub4_year_not_child;
+          Alcotest.test_case "pub2 two years" `Quick test_eval_pub2_two_years;
+          Alcotest.test_case "validity monotone" `Quick test_validity_monotone;
+          Alcotest.test_case "facts" `Quick test_facts;
+          Alcotest.test_case "cartesian rows" `Quick
+            test_rows_for_fact_cartesian;
+          Alcotest.test_case "none padding" `Quick test_rows_none_padding;
+        ] );
+      ( "witness",
+        [
+          Alcotest.test_case "table shape" `Quick test_table_shape;
+          Alcotest.test_case "fact blocks" `Quick test_fact_blocks;
+          Alcotest.test_case "codec roundtrip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "codec rejects garbage" `Quick
+            test_codec_rejects_garbage;
+        ] );
+      ( "join eval",
+        [
+          Alcotest.test_case "matches navigational on figure 1" `Quick
+            test_join_eval_matches_nav_on_figure1;
+          Alcotest.test_case "tables identical" `Quick
+            test_join_eval_table_equals_nav_table;
+        ] );
+      ( "mrfi",
+        [
+          Alcotest.test_case "query 1" `Quick test_mrfi_query1;
+          Alcotest.test_case "no relaxations" `Quick test_mrfi_no_relaxations;
+        ] );
+      ( "properties",
+        qcheck [ prop_codec_roundtrip; prop_join_eval_equals_nav ] );
+    ]

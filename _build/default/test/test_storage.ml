@@ -1,0 +1,357 @@
+open X3_storage
+
+let small_pool ?(capacity_pages = 4) ?(page_size = 128) () =
+  Buffer_pool.create ~capacity_pages (Disk.in_memory ~page_size ())
+
+(* --- disk ------------------------------------------------------------- *)
+
+let test_disk_roundtrip () =
+  let disk = Disk.in_memory ~page_size:64 () in
+  let a = Disk.allocate disk and b = Disk.allocate disk in
+  let buf = Bytes.make 64 'x' in
+  Disk.write disk a buf;
+  let out = Bytes.make 64 '\000' in
+  Disk.read_into disk a out;
+  Alcotest.(check bytes) "page a" buf out;
+  Disk.read_into disk b out;
+  Alcotest.(check bytes) "page b zeroed" (Bytes.make 64 '\000') out;
+  Alcotest.(check int) "reads counted" 2 (Disk.stats disk).Stats.page_reads
+
+let test_disk_on_file () =
+  let path = Filename.temp_file "x3disk" ".pages" in
+  let disk = Disk.on_file ~page_size:64 path in
+  let ids = List.init 10 (fun _ -> Disk.allocate disk) in
+  List.iteri
+    (fun i id -> Disk.write disk id (Bytes.make 64 (Char.chr (65 + i))))
+    ids;
+  let out = Bytes.make 64 '\000' in
+  List.iteri
+    (fun i id ->
+      Disk.read_into disk id out;
+      Alcotest.(check char) "round trip" (Char.chr (65 + i)) (Bytes.get out 7))
+    ids;
+  Disk.close disk;
+  Alcotest.(check bool) "temp file removed" false (Sys.file_exists path)
+
+let test_disk_bad_id () =
+  let disk = Disk.in_memory ~page_size:64 () in
+  Alcotest.check_raises "out of range" (Invalid_argument "Disk: page 0 out of range [0, 0)")
+    (fun () -> Disk.read_into disk 0 (Bytes.make 64 ' '))
+
+(* --- buffer pool ------------------------------------------------------ *)
+
+let test_pool_hit_miss () =
+  let pool = small_pool () in
+  let id = Buffer_pool.allocate pool in
+  Buffer_pool.with_page_mut pool id (fun b -> Bytes.set b 0 'z');
+  Buffer_pool.with_page pool id (fun b ->
+      Alcotest.(check char) "read back" 'z' (Bytes.get b 0));
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check int) "one miss (allocate)" 1 s.Stats.pool_misses;
+  Alcotest.(check int) "hits afterwards" 2 s.Stats.pool_hits
+
+let test_pool_eviction_and_writeback () =
+  let pool = small_pool ~capacity_pages:2 () in
+  let ids = List.init 5 (fun _ -> Buffer_pool.allocate pool) in
+  List.iteri
+    (fun i id ->
+      Buffer_pool.with_page_mut pool id (fun b -> Bytes.set b 0 (Char.chr (97 + i))))
+    ids;
+  (* Only 2 frames: earlier pages were evicted and written back. *)
+  Alcotest.(check bool) "evictions happened" true
+    ((Buffer_pool.stats pool).Stats.evictions > 0);
+  List.iteri
+    (fun i id ->
+      Buffer_pool.with_page pool id (fun b ->
+          Alcotest.(check char) "value preserved across eviction"
+            (Char.chr (97 + i)) (Bytes.get b 0)))
+    ids
+
+let test_pool_drop_cache () =
+  let pool = small_pool () in
+  let id = Buffer_pool.allocate pool in
+  Buffer_pool.with_page_mut pool id (fun b -> Bytes.set b 0 'q');
+  Buffer_pool.drop_cache pool;
+  Alcotest.(check int) "nothing resident" 0 (Buffer_pool.resident_pages pool);
+  Buffer_pool.with_page pool id (fun b ->
+      Alcotest.(check char) "flushed before drop" 'q' (Bytes.get b 0))
+
+let test_pool_more_pages_than_capacity () =
+  let pool = small_pool ~capacity_pages:3 ~page_size:64 () in
+  let n = 50 in
+  let ids = Array.init n (fun _ -> Buffer_pool.allocate pool) in
+  Array.iteri
+    (fun i id ->
+      Buffer_pool.with_page_mut pool id (fun b -> Bytes.set b 1 (Char.chr (i mod 256))))
+    ids;
+  Array.iteri
+    (fun i id ->
+      Buffer_pool.with_page pool id (fun b ->
+          Alcotest.(check char) "content" (Char.chr (i mod 256)) (Bytes.get b 1)))
+    ids;
+  Alcotest.(check bool) "capacity respected" true
+    (Buffer_pool.resident_pages pool <= 3)
+
+(* --- heap file -------------------------------------------------------- *)
+
+let test_heap_roundtrip () =
+  let pool = small_pool ~page_size:64 () in
+  let h = Heap_file.create pool in
+  let records = List.init 100 (fun i -> Printf.sprintf "record-%03d" i) in
+  List.iter (Heap_file.append h) records;
+  Alcotest.(check int) "count" 100 (Heap_file.record_count h);
+  Alcotest.(check bool) "spans pages" true (Heap_file.page_count h > 1);
+  Alcotest.(check (list string)) "order preserved" records
+    (List.rev (Heap_file.fold (fun acc r -> r :: acc) [] h))
+
+let test_heap_empty () =
+  let pool = small_pool () in
+  let h = Heap_file.create pool in
+  Alcotest.(check int) "empty count" 0 (Heap_file.record_count h);
+  Alcotest.(check (list string)) "empty iter" []
+    (Heap_file.fold (fun acc r -> r :: acc) [] h)
+
+let test_heap_record_too_large () =
+  let pool = small_pool ~page_size:64 () in
+  let h = Heap_file.create pool in
+  Alcotest.(check bool) "raises" true
+    (try
+       Heap_file.append h (String.make 100 'x');
+       false
+     with Invalid_argument _ -> true)
+
+let test_heap_varied_sizes () =
+  let pool = small_pool ~page_size:128 () in
+  let h = Heap_file.create pool in
+  let records =
+    List.init 200 (fun i -> String.make (1 + (i * 7 mod 100)) (Char.chr (33 + (i mod 90))))
+  in
+  List.iter (Heap_file.append h) records;
+  Alcotest.(check (list string)) "roundtrip" records
+    (List.of_seq (Heap_file.to_seq h))
+
+let test_heap_empty_record () =
+  let pool = small_pool () in
+  let h = Heap_file.create pool in
+  Heap_file.append h "";
+  Heap_file.append h "x";
+  Heap_file.append h "";
+  Alcotest.(check (list string)) "empties survive" [ ""; "x"; "" ]
+    (List.of_seq (Heap_file.to_seq h))
+
+(* --- quicksort -------------------------------------------------------- *)
+
+let test_quicksort_basic () =
+  let a = [| 5; 3; 9; 1; 7; 2; 8; 4; 6; 0 |] in
+  Quicksort.sort ~compare:Int.compare a;
+  Alcotest.(check (array int)) "sorted" (Array.init 10 Fun.id) a
+
+let test_quicksort_sub () =
+  let a = [| 9; 8; 3; 1; 2; 0 |] in
+  Quicksort.sort_sub ~compare:Int.compare a ~pos:2 ~len:3;
+  Alcotest.(check (array int)) "slice sorted" [| 9; 8; 1; 2; 3; 0 |] a
+
+(* --- min heap --------------------------------------------------------- *)
+
+let test_min_heap () =
+  let h = Min_heap.create ~compare:Int.compare in
+  List.iter (Min_heap.push h) [ 5; 1; 4; 1; 5; 9; 2; 6 ];
+  let rec drain acc =
+    match Min_heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  Alcotest.(check (list int)) "drains sorted" [ 1; 1; 2; 4; 5; 5; 6; 9 ]
+    (drain [])
+
+(* --- external sort ---------------------------------------------------- *)
+
+let run_sort ~budget records =
+  let pool = small_pool ~capacity_pages:8 ~page_size:256 () in
+  let out =
+    External_sort.sort_records ~pool ~budget_records:budget
+      ~compare:String.compare (fun emit -> List.iter emit records)
+  in
+  (List.of_seq (Heap_file.to_seq out), Buffer_pool.stats pool)
+
+let test_sort_in_memory () =
+  let records = [ "pear"; "apple"; "fig"; "banana" ] in
+  let sorted, stats = run_sort ~budget:100 records in
+  Alcotest.(check (list string)) "sorted"
+    [ "apple"; "banana"; "fig"; "pear" ]
+    sorted;
+  Alcotest.(check int) "no spilled runs" 0 stats.Stats.sort_runs
+
+let test_sort_external () =
+  let records = List.init 500 (fun i -> Printf.sprintf "%04d" ((i * 7919) mod 500)) in
+  let expected = List.sort String.compare records in
+  let sorted, stats = run_sort ~budget:50 records in
+  Alcotest.(check (list string)) "sorted" expected sorted;
+  Alcotest.(check bool) "spilled runs" true (stats.Stats.sort_runs >= 10);
+  Alcotest.(check bool) "merge pass" true (stats.Stats.merge_passes >= 1)
+
+let test_sort_multi_pass_merge () =
+  let records = List.init 300 (fun i -> Printf.sprintf "%03d" (299 - i)) in
+  let pool = small_pool ~capacity_pages:8 ~page_size:256 () in
+  let out =
+    External_sort.sort_records ~pool ~budget_records:10 ~fanout:2
+      ~compare:String.compare (fun emit -> List.iter emit records)
+  in
+  Alcotest.(check (list string)) "sorted"
+    (List.init 300 (fun i -> Printf.sprintf "%03d" i))
+    (List.of_seq (Heap_file.to_seq out));
+  Alcotest.(check bool) "several merge passes" true
+    ((Buffer_pool.stats pool).Stats.merge_passes > 1)
+
+let test_sort_empty () =
+  let sorted, _ = run_sort ~budget:10 [] in
+  Alcotest.(check (list string)) "empty" [] sorted
+
+(* --- properties ------------------------------------------------------- *)
+
+let gen_records =
+  QCheck2.Gen.(list_size (int_bound 400) (string_size ~gen:printable (int_range 0 20)))
+
+let prop_external_sort_sorts =
+  QCheck2.Test.make ~name:"external sort = List.sort" ~count:100
+    QCheck2.Gen.(pair gen_records (int_range 1 64))
+    (fun (records, budget) ->
+      let sorted, _ = run_sort ~budget records in
+      sorted = List.sort String.compare records)
+
+let prop_quicksort_sorts =
+  QCheck2.Test.make ~name:"quicksort = List.sort" ~count:300
+    QCheck2.Gen.(list (int_bound 1000))
+    (fun l ->
+      let a = Array.of_list l in
+      Quicksort.sort ~compare:Int.compare a;
+      Array.to_list a = List.sort Int.compare l)
+
+let prop_heap_file_roundtrip =
+  QCheck2.Test.make ~name:"heap file preserves records" ~count:100 gen_records
+    (fun records ->
+      let pool = small_pool ~capacity_pages:4 ~page_size:128 () in
+      let h = Heap_file.create pool in
+      List.iter (Heap_file.append h) records;
+      List.of_seq (Heap_file.to_seq h) = records)
+
+(* Model-based pool check: a random sequence of allocations, writes and
+   reads against a tiny pool must behave like a plain map from page to
+   bytes, no matter how eviction interleaves. *)
+let prop_pool_matches_model =
+  let open QCheck2 in
+  let op_gen =
+    Gen.(
+      oneof
+        [
+          return `Alloc;
+          map2 (fun p v -> `Write (p, v)) (int_bound 30) (int_bound 255);
+          map (fun p -> `Read p) (int_bound 30);
+          return `Drop;
+        ])
+  in
+  Test.make ~name:"buffer pool = map model" ~count:150
+    Gen.(pair (int_range 1 4) (list_size (int_bound 80) op_gen))
+    (fun (capacity, ops) ->
+      let pool =
+        Buffer_pool.create ~capacity_pages:capacity
+          (Disk.in_memory ~page_size:32 ())
+      in
+      let model : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      let pages = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | `Alloc ->
+              let id = Buffer_pool.allocate pool in
+              pages := id :: !pages;
+              Hashtbl.replace model id 0
+          | `Write (p, v) -> (
+              match List.nth_opt !pages (p mod max 1 (List.length !pages)) with
+              | Some id when !pages <> [] ->
+                  Buffer_pool.with_page_mut pool id (fun b ->
+                      Bytes.set b 0 (Char.chr v));
+                  Hashtbl.replace model id v
+              | _ -> ())
+          | `Read p -> (
+              match List.nth_opt !pages (p mod max 1 (List.length !pages)) with
+              | Some id when !pages <> [] ->
+                  let got =
+                    Buffer_pool.with_page pool id (fun b ->
+                        Char.code (Bytes.get b 0))
+                  in
+                  if got <> Hashtbl.find model id then ok := false
+              | _ -> ())
+          | `Drop -> Buffer_pool.drop_cache pool)
+        ops;
+      (* Final full read-back. *)
+      List.iter
+        (fun id ->
+          let got =
+            Buffer_pool.with_page pool id (fun b -> Char.code (Bytes.get b 0))
+          in
+          if got <> Hashtbl.find model id then ok := false)
+        !pages;
+      !ok)
+
+let prop_min_heap_sorts =
+  QCheck2.Test.make ~name:"min heap drains sorted" ~count:200
+    QCheck2.Gen.(list (int_bound 1000))
+    (fun l ->
+      let h = Min_heap.create ~compare:Int.compare in
+      List.iter (Min_heap.push h) l;
+      let rec drain acc =
+        match Min_heap.pop h with
+        | None -> List.rev acc
+        | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort Int.compare l)
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "x3_storage"
+    [
+      ( "disk",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_disk_roundtrip;
+          Alcotest.test_case "on file" `Quick test_disk_on_file;
+          Alcotest.test_case "bad id" `Quick test_disk_bad_id;
+        ] );
+      ( "buffer pool",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_pool_hit_miss;
+          Alcotest.test_case "eviction + writeback" `Quick
+            test_pool_eviction_and_writeback;
+          Alcotest.test_case "drop cache" `Quick test_pool_drop_cache;
+          Alcotest.test_case "overcommit" `Quick
+            test_pool_more_pages_than_capacity;
+        ] );
+      ( "heap file",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_heap_roundtrip;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "record too large" `Quick
+            test_heap_record_too_large;
+          Alcotest.test_case "varied sizes" `Quick test_heap_varied_sizes;
+          Alcotest.test_case "empty records" `Quick test_heap_empty_record;
+        ] );
+      ( "sorting",
+        [
+          Alcotest.test_case "quicksort basic" `Quick test_quicksort_basic;
+          Alcotest.test_case "quicksort sub" `Quick test_quicksort_sub;
+          Alcotest.test_case "min heap" `Quick test_min_heap;
+          Alcotest.test_case "in-memory sort" `Quick test_sort_in_memory;
+          Alcotest.test_case "external sort" `Quick test_sort_external;
+          Alcotest.test_case "multi-pass merge" `Quick
+            test_sort_multi_pass_merge;
+          Alcotest.test_case "empty input" `Quick test_sort_empty;
+        ] );
+      ( "properties",
+        qcheck
+          [
+            prop_external_sort_sorts;
+            prop_quicksort_sorts;
+            prop_heap_file_roundtrip;
+            prop_min_heap_sorts;
+            prop_pool_matches_model;
+          ] );
+    ]

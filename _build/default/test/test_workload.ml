@@ -1,0 +1,437 @@
+open X3_workload
+open X3_lattice
+
+let small_pool () =
+  X3_storage.Buffer_pool.create ~capacity_pages:256
+    (X3_storage.Disk.in_memory ~page_size:4096 ())
+
+(* --- rng ----------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:123 and b = Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+  Alcotest.(check bool) "different streams" false (xs = ys)
+
+let test_rng_ranges () =
+  let rng = Rng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 7 in
+    Alcotest.(check bool) "int in range" true (x >= 0 && x < 7);
+    let f = Rng.float rng in
+    Alcotest.(check bool) "float in range" true (f >= 0. && f < 1.);
+    let z = Rng.zipf_rank rng ~n:50 in
+    Alcotest.(check bool) "zipf in range" true (z >= 0 && z < 50)
+  done
+
+let test_rng_zipf_skew () =
+  let rng = Rng.create ~seed:11 in
+  let low = ref 0 in
+  let trials = 5000 in
+  for _ = 1 to trials do
+    if Rng.zipf_rank rng ~n:1000 < 10 then incr low
+  done;
+  (* Zipf(1): P(rank < 10) ≈ H(10)/H(1000) ≈ 0.35; uniform would be 1%. *)
+  Alcotest.(check bool) "skewed towards small ranks" true
+    (float_of_int !low /. float_of_int trials > 0.15)
+
+(* --- treebank generator --------------------------------------------------- *)
+
+let tb_config ~coverage ~disjoint =
+  { Treebank.default with num_trees = 300; axes = 3; coverage; disjoint; seed = 99 }
+
+let observed config =
+  let doc = Treebank.generate config in
+  let store = X3_xdb.Store.of_document doc in
+  let axes = Treebank.axes config in
+  let lattice = Lattice.build axes in
+  let table =
+    X3_pattern.Eval.build_table (small_pool ()) store
+      ~fact_path:Treebank.fact_path ~axes
+  in
+  (lattice, Properties.observe table lattice, table)
+
+let test_treebank_counts () =
+  let config = tb_config ~coverage:true ~disjoint:true in
+  let doc = Treebank.generate config in
+  let store = X3_xdb.Store.of_document doc in
+  Alcotest.(check int) "300 facts" 300
+    (Array.length (X3_xdb.Store.nodes_with_tag store "s"))
+
+let test_treebank_deterministic () =
+  let config = tb_config ~coverage:false ~disjoint:false in
+  let a = Treebank.generate config and b = Treebank.generate config in
+  Alcotest.(check bool) "same document" true
+    (X3_xml.Tree.equal_node
+       (X3_xml.Tree.Element a.X3_xml.Tree.root)
+       (X3_xml.Tree.Element b.X3_xml.Tree.root))
+
+(* The generator's core contract: the requested summarizability setting
+   actually holds (or fails) in the generated data. *)
+let test_treebank_setting_cov_disj () =
+  let _, props, _ = observed (tb_config ~coverage:true ~disjoint:true) in
+  Alcotest.(check bool) "disjoint" true (Properties.all_disjoint props);
+  Alcotest.(check bool) "covered" true (Properties.all_covered props)
+
+let test_treebank_setting_nocov_disj () =
+  let _, props, _ = observed (tb_config ~coverage:false ~disjoint:true) in
+  Alcotest.(check bool) "disjoint" true (Properties.all_disjoint props);
+  Alcotest.(check bool) "not covered" false (Properties.all_covered props)
+
+let test_treebank_setting_nocov_nodisj () =
+  let _, props, _ = observed (tb_config ~coverage:false ~disjoint:false) in
+  Alcotest.(check bool) "not disjoint" false (Properties.all_disjoint props);
+  Alcotest.(check bool) "not covered" false (Properties.all_covered props)
+
+let test_treebank_setting_cov_nodisj () =
+  let _, props, _ = observed (tb_config ~coverage:true ~disjoint:false) in
+  Alcotest.(check bool) "not disjoint" false (Properties.all_disjoint props);
+  Alcotest.(check bool) "covered" true (Properties.all_covered props)
+
+let test_treebank_dtd_inference_sound () =
+  (* Whatever the DTD proves must hold in generated data. *)
+  List.iter
+    (fun (coverage, disjoint) ->
+      let config = tb_config ~coverage ~disjoint in
+      let lattice, observed_props, _ = observed config in
+      let schema = X3_xml.Schema.of_dtd (Treebank.dtd config) in
+      let inferred = Properties.infer ~schema ~fact_tag:"s" lattice in
+      Array.iter
+        (fun id ->
+          if Properties.cuboid_disjoint inferred id then
+            Alcotest.(check bool) "inferred disjointness holds" true
+              (Properties.cuboid_disjoint observed_props id);
+          List.iter
+            (fun parent ->
+              if Properties.edge_covered inferred ~finer:id ~coarser:parent
+              then
+                Alcotest.(check bool) "inferred coverage holds" true
+                  (Properties.edge_covered observed_props ~finer:id
+                     ~coarser:parent))
+            (Lattice.parents lattice id))
+        (Lattice.by_degree lattice))
+    [ (true, true); (true, false); (false, true); (false, false) ]
+
+let test_treebank_dtd_inference_complete_when_clean () =
+  (* On the fully-clean setting the DTD proves everything. *)
+  let config = tb_config ~coverage:true ~disjoint:true in
+  let lattice = Lattice.build (Treebank.axes config) in
+  let schema = X3_xml.Schema.of_dtd (Treebank.dtd config) in
+  let inferred = Properties.infer ~schema ~fact_tag:"s" lattice in
+  Alcotest.(check bool) "all disjoint inferred" true
+    (Properties.all_disjoint inferred);
+  Alcotest.(check bool) "all covered inferred" true
+    (Properties.all_covered inferred)
+
+let test_treebank_density () =
+  let sparse = tb_config ~coverage:true ~disjoint:true in
+  let dense = { sparse with density = Treebank.Dense } in
+  let count_cells config =
+    let doc = Treebank.generate config in
+    let store = X3_xdb.Store.of_document doc in
+    let prepared =
+      X3_core.Engine.prepare ~pool:(small_pool ()) ~store
+        (Treebank.spec config)
+    in
+    let result, _ = X3_core.Engine.run prepared X3_core.Engine.Naive in
+    X3_core.Cube_result.total_cells result
+  in
+  let sparse_cells = count_cells sparse and dense_cells = count_cells dense in
+  Alcotest.(check bool)
+    (Printf.sprintf "dense cube much smaller (%d < %d)" dense_cells
+       sparse_cells)
+    true
+    (dense_cells * 2 < sparse_cells)
+
+let test_treebank_depth_heterogeneity () =
+  let doc = Treebank.generate (tb_config ~coverage:false ~disjoint:false) in
+  let depth = X3_xml.Tree.depth (X3_xml.Tree.Element doc.X3_xml.Tree.root) in
+  Alcotest.(check bool) "deep trees" true (depth >= 6)
+
+let test_treebank_validates_axes_bound () =
+  Alcotest.(check bool) "rejects 8 axes" true
+    (try
+       ignore (Treebank.generate { Treebank.default with axes = 8 });
+       false
+     with Invalid_argument _ -> true)
+
+(* --- dblp generator -------------------------------------------------------- *)
+
+let dblp_config = { Dblp.seed = 3; num_articles = 400 }
+
+let test_dblp_shape () =
+  let doc = Dblp.generate dblp_config in
+  let store = X3_xdb.Store.of_document doc in
+  Alcotest.(check int) "articles" 400
+    (Array.length (X3_xdb.Store.nodes_with_tag store "article"));
+  (* year and journal are mandatory and unique. *)
+  Alcotest.(check int) "years" 400
+    (Array.length (X3_xdb.Store.nodes_with_tag store "year"));
+  Alcotest.(check int) "journals" 400
+    (Array.length (X3_xdb.Store.nodes_with_tag store "journal"));
+  Alcotest.(check bool) "authors repeat or go missing" true
+    (Array.length (X3_xdb.Store.nodes_with_tag store "author") <> 400)
+
+let test_dblp_properties () =
+  let doc = Dblp.generate dblp_config in
+  let store = X3_xdb.Store.of_document doc in
+  let axes = Dblp.axes () in
+  let lattice = Lattice.build axes in
+  let table =
+    X3_pattern.Eval.build_table (small_pool ()) store ~fact_path:Dblp.fact_path
+      ~axes
+  in
+  let props = Properties.observe table lattice in
+  (* author repeats => cuboids with $author present are not disjoint;
+     cuboids without $author are. *)
+  Array.iter
+    (fun id ->
+      let c = Lattice.cuboid lattice id in
+      let author_present = c.(0) <> State.Removed in
+      if author_present then
+        Alcotest.(check bool) "author present => not disjoint" false
+          (Properties.cuboid_disjoint props id)
+      else
+        Alcotest.(check bool) "author absent => disjoint" true
+          (Properties.cuboid_disjoint props id))
+    (Lattice.by_degree lattice)
+
+let test_dblp_dtd_matches_paper () =
+  let schema = X3_xml.Schema.of_dtd (Dblp.dtd ()) in
+  let m = X3_xml.Schema.child_multiplicity schema ~parent:"article" ~child:"author" in
+  Alcotest.(check bool) "author repeatable" true m.X3_xml.Dtd.may_repeat;
+  Alcotest.(check bool) "author possibly missing" true m.X3_xml.Dtd.may_be_absent;
+  let y = X3_xml.Schema.child_multiplicity schema ~parent:"article" ~child:"year" in
+  Alcotest.(check bool) "year mandatory" false y.X3_xml.Dtd.may_be_absent;
+  Alcotest.(check bool) "year unique" false y.X3_xml.Dtd.may_repeat;
+  let mo = X3_xml.Schema.child_multiplicity schema ~parent:"article" ~child:"month" in
+  Alcotest.(check bool) "month possibly missing" true mo.X3_xml.Dtd.may_be_absent
+
+let test_dblp_custom_beats_nothing_correctness () =
+  (* BUCCUST/TDCUST with the DBLP DTD stay correct (the paper's point in
+     §4.5: optimisation without incorrect results). *)
+  let doc = Dblp.generate { dblp_config with num_articles = 200 } in
+  let store = X3_xdb.Store.of_document doc in
+  let prepared =
+    X3_core.Engine.prepare ~pool:(small_pool ()) ~store (Dblp.spec ())
+  in
+  let lattice = X3_core.Engine.lattice prepared in
+  let schema = X3_xml.Schema.of_dtd (Dblp.dtd ()) in
+  let props = Properties.infer ~schema ~fact_tag:"article" lattice in
+  let reference, _ = X3_core.Engine.run prepared X3_core.Engine.Naive in
+  List.iter
+    (fun algorithm ->
+      let result, _ = X3_core.Engine.run ~props prepared algorithm in
+      Alcotest.(check bool)
+        (X3_core.Engine.algorithm_to_string algorithm ^ " correct with DTD props")
+        true
+        (X3_core.Cube_result.equal ~func:X3_core.Aggregate.Count reference
+           result))
+    X3_core.Engine.[ Buccust; Tdcust ];
+  (* And the custom variants do exploit the schema: TDCUST rolls up at
+     least one cuboid. *)
+  let _, instr = X3_core.Engine.run ~props prepared X3_core.Engine.Tdcust in
+  Alcotest.(check bool) "tdcust rolled up something" true
+    (instr.X3_core.Instrument.rollups > 0)
+
+let test_treebank_lattice_sizes () =
+  (* The benchmark sweeps rely on this growth rate: the two structural
+     axes contribute 3 states each, the rest 2. *)
+  List.iter
+    (fun (axes, expected) ->
+      let config = { Treebank.default with axes } in
+      let lattice = Lattice.build (Treebank.axes config) in
+      Alcotest.(check int)
+        (Printf.sprintf "%d axes" axes)
+        expected (Lattice.size lattice))
+    [ (1, 3); (2, 9); (3, 18); (4, 36); (7, 288) ]
+
+let test_treebank_single_axis () =
+  let config =
+    { Treebank.default with num_trees = 50; axes = 1; coverage = false }
+  in
+  let doc = Treebank.generate config in
+  let store = X3_xdb.Store.of_document doc in
+  let p = X3_core.Engine.prepare ~pool:(small_pool ()) ~store (Treebank.spec config) in
+  let reference, _ = X3_core.Engine.run p X3_core.Engine.Naive in
+  let result, _ = X3_core.Engine.run p X3_core.Engine.Buc in
+  Alcotest.(check bool) "single-axis cube agrees" true
+    (X3_core.Cube_result.equal ~func:X3_core.Aggregate.Count reference result)
+
+let test_dblp_deterministic () =
+  let a = Dblp.generate { Dblp.seed = 3; num_articles = 50 } in
+  let b = Dblp.generate { Dblp.seed = 3; num_articles = 50 } in
+  Alcotest.(check bool) "same document" true
+    (X3_xml.Tree.equal_node
+       (X3_xml.Tree.Element a.X3_xml.Tree.root)
+       (X3_xml.Tree.Element b.X3_xml.Tree.root));
+  let c = Dblp.generate { Dblp.seed = 4; num_articles = 50 } in
+  Alcotest.(check bool) "different seed differs" false
+    (X3_xml.Tree.equal_node
+       (X3_xml.Tree.Element a.X3_xml.Tree.root)
+       (X3_xml.Tree.Element c.X3_xml.Tree.root))
+
+(* --- catalog generator ------------------------------------------------------ *)
+
+let catalog_config = { Catalog.seed = 5; num_products = 600; price_buckets = 10 }
+
+let catalog_prepared () =
+  let doc = Catalog.generate catalog_config in
+  let store = X3_xdb.Store.of_document doc in
+  X3_core.Engine.prepare ~pool:(small_pool ()) ~store (Catalog.spec ())
+
+let test_catalog_shape () =
+  let doc = Catalog.generate catalog_config in
+  let store = X3_xdb.Store.of_document doc in
+  Alcotest.(check int) "products" 600
+    (Array.length (X3_xdb.Store.nodes_with_tag store "product"));
+  (* Some products lack a brand entirely (~15%). *)
+  Alcotest.(check bool) "brands fewer than products" true
+    (Array.length (X3_xdb.Store.nodes_with_tag store "brand") < 600)
+
+let test_catalog_relaxations_recover_brands () =
+  let p = catalog_prepared () in
+  let lattice = X3_core.Engine.lattice p in
+  let result, _ = X3_core.Engine.run p X3_core.Engine.Naive in
+  (* Facts reached by the $brand group-by at each relaxation state. *)
+  let total mask =
+    let id =
+      Lattice.id lattice [| State.Present mask; State.Removed; State.Removed |]
+    in
+    List.fold_left
+      (fun acc (_, cell) ->
+        acc
+        + int_of_float
+            (X3_core.Aggregate.value X3_core.Aggregate.Count cell))
+      0
+      (X3_core.Cube_result.cuboid_cells result id)
+  in
+  let rigid = total 0 in
+  (* state order: bit 0 = PC-AD, bit 1 = SP *)
+  let pc = total 1 in
+  let sp = total 2 in
+  let both = total 3 in
+  (* ~30% rigid; PC-AD adds the vendor-nested ~30%; SP adds the astray
+     ~25%; the specs-less ~15% stay out of every present state. *)
+  Alcotest.(check bool) (Printf.sprintf "rigid %d < pc %d" rigid pc) true (rigid < pc);
+  Alcotest.(check bool) (Printf.sprintf "rigid %d < sp %d" rigid sp) true (rigid < sp);
+  Alcotest.(check bool) (Printf.sprintf "pc %d < both %d" pc both) true (pc < both);
+  Alcotest.(check bool) (Printf.sprintf "both %d < 600" both) true (both < 600)
+
+let test_catalog_algorithms_agree () =
+  let p = catalog_prepared () in
+  let props =
+    Properties.observe (X3_core.Engine.table p) (X3_core.Engine.lattice p)
+  in
+  let reference, _ = X3_core.Engine.run p X3_core.Engine.Naive in
+  List.iter
+    (fun algorithm ->
+      let result, _ = X3_core.Engine.run ~props p algorithm in
+      Alcotest.(check bool)
+        (X3_core.Engine.algorithm_to_string algorithm)
+        true
+        (X3_core.Cube_result.equal ~func:X3_core.Aggregate.Count reference
+           result))
+    X3_core.Engine.[ Counter; Buc; Buccust; Td; Tdcust ]
+
+(* --- table stats -------------------------------------------------------------- *)
+
+let test_table_stats_figure1 () =
+  let store =
+    X3_xdb.Store.of_document (Publications.document ())
+  in
+  let table =
+    X3_pattern.Eval.build_table (small_pool ()) store
+      ~fact_path:Publications.fact_path ~axes:(Publications.axes ())
+  in
+  let stats = X3_pattern.Table_stats.compute table in
+  Alcotest.(check int) "rows" 6 stats.X3_pattern.Table_stats.rows;
+  Alcotest.(check int) "facts" 4 stats.X3_pattern.Table_stats.facts;
+  let n = stats.X3_pattern.Table_stats.axes.(0) in
+  Alcotest.(check int) "$n bound everywhere" 4 n.X3_pattern.Table_stats.facts_bound;
+  Alcotest.(check int) "$n multi (pub 1)" 1 n.X3_pattern.Table_stats.facts_multi;
+  (* Rigid state misses Bob: 3 of 4. *)
+  Alcotest.(check int) "$n rigid matches" 3
+    n.X3_pattern.Table_stats.state_matches.(0);
+  let pub = stats.X3_pattern.Table_stats.axes.(1) in
+  Alcotest.(check int) "$p unbound (pub 3)" 1
+    pub.X3_pattern.Table_stats.facts_unbound
+
+(* --- publications fixture -------------------------------------------------- *)
+
+let test_publications_parses () =
+  let doc = Publications.document () in
+  Alcotest.(check string) "root" "database" doc.X3_xml.Tree.root.X3_xml.Tree.name
+
+let test_publications_query1_compiles () =
+  match X3_ql.Compile.parse_and_compile Publications.query1 with
+  | Ok { X3_ql.Compile.document; _ } ->
+      Alcotest.(check string) "doc name" "book.xml" document
+  | Error msg -> Alcotest.failf "query1 does not compile: %s" msg
+
+let () =
+  Alcotest.run "x3_workload"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "ranges" `Quick test_rng_ranges;
+          Alcotest.test_case "zipf skew" `Quick test_rng_zipf_skew;
+        ] );
+      ( "treebank",
+        [
+          Alcotest.test_case "counts" `Quick test_treebank_counts;
+          Alcotest.test_case "deterministic" `Quick test_treebank_deterministic;
+          Alcotest.test_case "setting: cov+disj" `Quick
+            test_treebank_setting_cov_disj;
+          Alcotest.test_case "setting: !cov+disj" `Quick
+            test_treebank_setting_nocov_disj;
+          Alcotest.test_case "setting: !cov+!disj" `Quick
+            test_treebank_setting_nocov_nodisj;
+          Alcotest.test_case "setting: cov+!disj" `Quick
+            test_treebank_setting_cov_nodisj;
+          Alcotest.test_case "dtd inference sound" `Slow
+            test_treebank_dtd_inference_sound;
+          Alcotest.test_case "dtd inference complete when clean" `Quick
+            test_treebank_dtd_inference_complete_when_clean;
+          Alcotest.test_case "density knob" `Quick test_treebank_density;
+          Alcotest.test_case "depth" `Quick test_treebank_depth_heterogeneity;
+          Alcotest.test_case "axes bound" `Quick
+            test_treebank_validates_axes_bound;
+          Alcotest.test_case "lattice sizes" `Quick test_treebank_lattice_sizes;
+          Alcotest.test_case "single axis" `Quick test_treebank_single_axis;
+        ] );
+      ( "dblp",
+        [
+          Alcotest.test_case "shape" `Quick test_dblp_shape;
+          Alcotest.test_case "deterministic" `Quick test_dblp_deterministic;
+          Alcotest.test_case "properties" `Quick test_dblp_properties;
+          Alcotest.test_case "dtd matches paper" `Quick
+            test_dblp_dtd_matches_paper;
+          Alcotest.test_case "custom variants correct" `Quick
+            test_dblp_custom_beats_nothing_correctness;
+        ] );
+      ( "catalog",
+        [
+          Alcotest.test_case "shape" `Quick test_catalog_shape;
+          Alcotest.test_case "relaxations recover brands" `Quick
+            test_catalog_relaxations_recover_brands;
+          Alcotest.test_case "algorithms agree" `Quick
+            test_catalog_algorithms_agree;
+        ] );
+      ( "table stats",
+        [ Alcotest.test_case "figure 1" `Quick test_table_stats_figure1 ] );
+      ( "publications",
+        [
+          Alcotest.test_case "parses" `Quick test_publications_parses;
+          Alcotest.test_case "query 1 compiles" `Quick
+            test_publications_query1_compiles;
+        ] );
+    ]

@@ -1,0 +1,490 @@
+open X3_xml
+open X3_xdb
+
+let parse_ok src =
+  match Parser.parse src with
+  | Ok doc -> doc
+  | Error e -> Alcotest.failf "parse failed: %a" Parser.pp_error e
+
+(* Figure 1's publication database, slightly abridged. *)
+let figure1 =
+  parse_ok
+    {|<database>
+       <publication id="1">
+         <author id="a1"><name>John</name></author>
+         <author id="a2"><name>Jane</name></author>
+         <publisher id="p1"/>
+         <year>2003</year>
+       </publication>
+       <publication id="2">
+         <author id="a1"><name>John</name></author>
+         <publisher id="p2"/>
+         <year>2004</year>
+         <year>2005</year>
+       </publication>
+       <publication id="3">
+         <authors><author id="a3"><name>Bob</name></author></authors>
+         <year>2003</year>
+       </publication>
+       <publication id="4">
+         <author id="a4"><name>Ann</name></author>
+         <pubData><publisher id="p1"/><year>2005</year></pubData>
+       </publication>
+     </database>|}
+
+let store = Store.of_document figure1
+
+(* --- store ------------------------------------------------------------ *)
+
+let test_store_counts () =
+  let pubs = Store.nodes_with_tag store "publication" in
+  Alcotest.(check int) "publications" 4 (Array.length pubs);
+  Alcotest.(check int) "authors" 5
+    (Array.length (Store.nodes_with_tag store "author"));
+  Alcotest.(check int) "id attributes" 12
+    (Array.length (Store.nodes_with_tag store "@id"))
+
+let test_store_labels_nest () =
+  let pubs = Store.nodes_with_tag store "publication" in
+  Array.iter
+    (fun pub ->
+      let l = Store.label store pub in
+      Alcotest.(check bool) "interval sane" true (l.Label.start <= l.Label.fin);
+      Alcotest.(check int) "pub level" 1 l.Label.level)
+    pubs
+
+let test_store_parent_child () =
+  let names = Store.nodes_with_tag store "name" in
+  Array.iter
+    (fun n ->
+      match Store.parent store n with
+      | Some p -> Alcotest.(check string) "name under author" "author" (Store.tag store p)
+      | None -> Alcotest.fail "name has no parent")
+    names
+
+let test_store_string_value () =
+  let names = Store.nodes_with_tag store "name" in
+  let values = Array.to_list (Array.map (Store.string_value store) names) in
+  Alcotest.(check (list string)) "names in document order"
+    [ "John"; "Jane"; "John"; "Bob"; "Ann" ]
+    values
+
+let test_store_attributes () =
+  let ids = Store.nodes_with_tag store "@id" in
+  Alcotest.(check string) "first id value" "1" (Store.string_value store ids.(0));
+  Alcotest.(check (option string)) "attr parent is publication"
+    (Some "publication")
+    (Option.map (Store.tag store) (Store.parent store ids.(0)))
+
+let test_store_children_contiguous () =
+  let root = Store.root store in
+  (* children includes the whitespace text nodes of the pretty-printed
+     source; filter to elements. *)
+  let kids =
+    List.filter
+      (fun k -> Store.kind store k = Store.Element)
+      (Store.children store root)
+  in
+  Alcotest.(check int) "root has 4 element children" 4 (List.length kids);
+  List.iter
+    (fun k ->
+      Alcotest.(check string) "child tag" "publication" (Store.tag store k))
+    kids
+
+let test_store_is_ancestor () =
+  let pubs = Store.nodes_with_tag store "publication" in
+  let names = Store.nodes_with_tag store "name" in
+  Alcotest.(check bool) "pub1 anc of first name" true
+    (Store.is_ancestor store ~anc:pubs.(0) ~desc:names.(0));
+  Alcotest.(check bool) "pub2 not anc of first name" false
+    (Store.is_ancestor store ~anc:pubs.(1) ~desc:names.(0))
+
+let test_store_forest () =
+  let d1 = parse_ok "<a><b/></a>" and d2 = parse_ok "<a><c/></a>" in
+  let s = Store.of_documents [ d1; d2 ] in
+  Alcotest.(check string) "forest root" "#forest" (Store.tag s (Store.root s));
+  Alcotest.(check int) "two documents" 2
+    (Array.length (Store.nodes_with_tag s "a"))
+
+(* --- structural joins ------------------------------------------------- *)
+
+let sorted_pairs l = List.sort compare l
+
+let check_join_against_naive ~axis ~anc_tag ~desc_tag st =
+  let ancestors = Store.nodes_with_tag st anc_tag in
+  let descendants = Store.nodes_with_tag st desc_tag in
+  let fast = Structural_join.join_pairs st ~axis ~ancestors ~descendants in
+  let slow = Structural_join.naive_join st ~axis ~ancestors ~descendants in
+  Alcotest.(check (list (pair int int)))
+    (Printf.sprintf "%s-%s" anc_tag desc_tag)
+    (sorted_pairs slow) (sorted_pairs fast)
+
+let test_join_ad () =
+  check_join_against_naive ~axis:Structural_join.Descendant
+    ~anc_tag:"publication" ~desc_tag:"name" store;
+  check_join_against_naive ~axis:Structural_join.Descendant
+    ~anc_tag:"publication" ~desc_tag:"author" store
+
+let test_join_pc () =
+  check_join_against_naive ~axis:Structural_join.Child ~anc_tag:"publication"
+    ~desc_tag:"author" store;
+  check_join_against_naive ~axis:Structural_join.Child ~anc_tag:"publication"
+    ~desc_tag:"publisher" store
+
+let test_join_pc_vs_ad_counts () =
+  let pubs = Store.nodes_with_tag store "publication" in
+  let authors = Store.nodes_with_tag store "author" in
+  let pc =
+    Structural_join.join_pairs store ~axis:Structural_join.Child
+      ~ancestors:pubs ~descendants:authors
+  in
+  let ad =
+    Structural_join.join_pairs store ~axis:Structural_join.Descendant
+      ~ancestors:pubs ~descendants:authors
+  in
+  (* Pub 3's author sits under <authors>, so PC misses it. *)
+  Alcotest.(check int) "pc pairs" 4 (List.length pc);
+  Alcotest.(check int) "ad pairs" 5 (List.length ad)
+
+let test_semijoins () =
+  let pubs = Store.nodes_with_tag store "publication" in
+  let publishers = Store.nodes_with_tag store "publisher" in
+  let with_publisher =
+    Structural_join.semijoin_ancestors store ~axis:Structural_join.Child
+      ~ancestors:pubs ~descendants:publishers
+  in
+  (* Pubs 1, 2 have a publisher child; pub 4's is nested under pubData. *)
+  Alcotest.(check int) "pubs with publisher child" 2
+    (Array.length with_publisher);
+  let desc =
+    Structural_join.semijoin_descendants store ~axis:Structural_join.Descendant
+      ~ancestors:pubs ~descendants:publishers
+  in
+  Alcotest.(check int) "publishers under pubs" 3 (Array.length desc)
+
+(* --- path and twig joins ---------------------------------------------- *)
+
+let d = Structural_join.Descendant
+let c = Structural_join.Child
+
+let test_pathstack_simple () =
+  let path = [ { Twig_join.axis = d; tag = "publication" }; { axis = c; tag = "year" } ] in
+  let count = Twig_join.count_path_solutions store path in
+  (* pub1: 1 year, pub2: 2 years, pub3: 1 year, pub4: none (nested). *)
+  Alcotest.(check int) "pub/year matches" 4 count
+
+let test_pathstack_descendant () =
+  let path = [ { Twig_join.axis = d; tag = "publication" }; { axis = d; tag = "year" } ] in
+  Alcotest.(check int) "pub//year matches" 5
+    (Twig_join.count_path_solutions store path)
+
+let test_pathstack_three_steps () =
+  let path =
+    [
+      { Twig_join.axis = d; tag = "publication" };
+      { axis = c; tag = "author" };
+      { axis = c; tag = "name" };
+    ]
+  in
+  Alcotest.(check int) "pub/author/name" 4
+    (Twig_join.count_path_solutions store path)
+
+let test_pathstack_vs_naive () =
+  let paths =
+    [
+      [ { Twig_join.axis = d; tag = "publication" }; { axis = d; tag = "name" } ];
+      [ { Twig_join.axis = d; tag = "author" }; { axis = c; tag = "name" } ];
+      [ { Twig_join.axis = c; tag = "database" }; { axis = d; tag = "publisher" } ];
+      [
+        { Twig_join.axis = d; tag = "publication" };
+        { axis = d; tag = "author" };
+        { axis = d; tag = "name" };
+      ];
+    ]
+  in
+  List.iter
+    (fun path ->
+      let fast = ref [] in
+      Twig_join.path_solutions store path (fun s -> fast := Array.to_list s :: !fast);
+      let slow = List.map Array.to_list (Twig_join.naive_path_solutions store path) in
+      Alcotest.(check (list (list int)))
+        "pathstack = naive" (List.sort compare slow)
+        (List.sort compare !fast))
+    paths
+
+let test_twig_solutions () =
+  (* publication[./author/name][./year] *)
+  let twig =
+    {
+      Twig_join.node = { axis = d; tag = "publication" };
+      branches =
+        [
+          {
+            Twig_join.node = { axis = c; tag = "author" };
+            branches =
+              [ { Twig_join.node = { axis = c; tag = "name" }; branches = [] } ];
+          };
+          { Twig_join.node = { axis = c; tag = "year" }; branches = [] };
+        ];
+    }
+  in
+  let solutions = ref [] in
+  Twig_join.twig_solutions store twig (fun s -> solutions := s :: !solutions);
+  (* pub1: 2 authors x 1 year = 2; pub2: 1 author x 2 years = 2;
+     pub3: author nested (PC fails); pub4: no year child. *)
+  Alcotest.(check int) "twig matches" 4 (List.length !solutions);
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "solution width" 4 (Array.length s);
+      Alcotest.(check string) "first is publication" "publication"
+        (Store.tag store s.(0)))
+    !solutions
+
+let test_twig_single_node () =
+  let twig = { Twig_join.node = { axis = d; tag = "year" }; branches = [] } in
+  let n = ref 0 in
+  Twig_join.twig_solutions store twig (fun _ -> incr n);
+  Alcotest.(check int) "years anywhere" 5 !n
+
+let test_twig_three_branches () =
+  (* publication[.//name][.//publisher][./year] — a three-way twig. *)
+  let twig =
+    {
+      Twig_join.node = { axis = d; tag = "publication" };
+      branches =
+        [
+          { Twig_join.node = { axis = d; tag = "name" }; branches = [] };
+          { Twig_join.node = { axis = d; tag = "publisher" }; branches = [] };
+          { Twig_join.node = { axis = c; tag = "year" }; branches = [] };
+        ];
+    }
+  in
+  let solutions = ref [] in
+  Twig_join.twig_solutions store twig (fun s -> solutions := s :: !solutions);
+  (* pub1: 2 names x 1 publisher x 1 year = 2; pub2: 1 x 1 x 2 = 2;
+     pub3: no publisher; pub4: publisher but year not a child. *)
+  Alcotest.(check int) "three-branch solutions" 4 (List.length !solutions);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "name under pub" true
+        (Store.is_ancestor store ~anc:s.(0) ~desc:s.(1));
+      Alcotest.(check bool) "publisher under pub" true
+        (Store.is_ancestor store ~anc:s.(0) ~desc:s.(2));
+      Alcotest.(check bool) "year child of pub" true
+        (Store.is_parent store ~parent:s.(0) ~child:s.(3)))
+    !solutions
+
+let test_twig_nested_branch () =
+  (* publication[./author[./name]][./publisher] — branch below a branch. *)
+  let twig =
+    {
+      Twig_join.node = { axis = d; tag = "publication" };
+      branches =
+        [
+          {
+            Twig_join.node = { axis = c; tag = "author" };
+            branches =
+              [ { Twig_join.node = { axis = c; tag = "name" }; branches = [] } ];
+          };
+          { Twig_join.node = { axis = c; tag = "publisher" }; branches = [] };
+        ];
+    }
+  in
+  let n = ref 0 in
+  Twig_join.twig_solutions store twig (fun _ -> incr n);
+  (* pub1: 2 author-name pairs x 1 publisher; pub2: 1 x 1; pub3 (no direct
+     author, no publisher): 0; pub4: author/name but publisher nested. *)
+  Alcotest.(check int) "nested twig solutions" 3 !n
+
+let test_twig_steps_preorder () =
+  let twig =
+    {
+      Twig_join.node = { axis = d; tag = "a" };
+      branches =
+        [
+          {
+            Twig_join.node = { axis = c; tag = "b" };
+            branches =
+              [ { Twig_join.node = { axis = c; tag = "c" }; branches = [] } ];
+          };
+          { Twig_join.node = { axis = c; tag = "e" }; branches = [] };
+        ];
+    }
+  in
+  Alcotest.(check (list string)) "pre-order tags" [ "a"; "b"; "c"; "e" ]
+    (List.map (fun (s : Twig_join.step) -> s.tag) (Twig_join.twig_steps twig))
+
+(* --- persistence -------------------------------------------------------- *)
+
+let save_pool () =
+  X3_storage.Buffer_pool.create ~capacity_pages:128
+    (X3_storage.Disk.in_memory ~page_size:512 ())
+
+let test_store_save_load_roundtrip () =
+  let pool = save_pool () in
+  let heap = Store.save pool store in
+  let loaded = Store.load heap in
+  Alcotest.(check int) "node count" (Store.node_count store)
+    (Store.node_count loaded);
+  Alcotest.(check (list string)) "tags" (Store.tags store) (Store.tags loaded);
+  Array.iter
+    (fun v ->
+      Alcotest.(check string) "tag" (Store.tag store v) (Store.tag loaded v);
+      Alcotest.(check bool) "label" true
+        (Store.label store v = Store.label loaded v);
+      Alcotest.(check string) "string value" (Store.string_value store v)
+        (Store.string_value loaded v);
+      Alcotest.(check (option int)) "parent" (Store.parent store v)
+        (Store.parent loaded v))
+    (Store.document_order store);
+  (* The tag index must be rebuilt identically: joins agree. *)
+  let pairs st =
+    Structural_join.join_pairs st ~axis:Structural_join.Descendant
+      ~ancestors:(Store.nodes_with_tag st "publication")
+      ~descendants:(Store.nodes_with_tag st "name")
+  in
+  Alcotest.(check (list (pair int int))) "joins agree" (pairs store)
+    (pairs loaded)
+
+let test_store_load_rejects_garbage () =
+  let pool = save_pool () in
+  let heap = X3_storage.Heap_file.create pool in
+  X3_storage.Heap_file.append heap "not a store";
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Store.load heap);
+       false
+     with Invalid_argument _ -> true)
+
+let test_store_load_rejects_truncation () =
+  let pool = save_pool () in
+  let heap = Store.save pool store in
+  (* Re-emit all but the last record into a fresh heap. *)
+  let truncated = X3_storage.Heap_file.create pool in
+  let total = X3_storage.Heap_file.record_count heap in
+  let i = ref 0 in
+  X3_storage.Heap_file.iter
+    (fun r ->
+      if !i < total - 1 then X3_storage.Heap_file.append truncated r;
+      incr i)
+    heap;
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Store.load truncated);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- property tests over random trees --------------------------------- *)
+
+let gen_store =
+  let open QCheck2.Gen in
+  let tag = oneofl [ "a"; "b"; "c" ] in
+  let tree =
+    sized @@ fix (fun self n ->
+        if n <= 0 then map (fun t -> Tree.elem t []) tag
+        else
+          map2
+            (fun t children -> Tree.elem t children)
+            tag
+            (list_size (int_bound 4) (self (n / 2))))
+  in
+  map
+    (fun t ->
+      match t with
+      | Tree.Element e -> Store.of_document (Tree.document e)
+      | _ -> assert false)
+    tree
+
+let prop_join_matches_naive =
+  QCheck2.Test.make ~name:"structural join = naive join" ~count:200
+    QCheck2.Gen.(triple gen_store (oneofl [ "a"; "b"; "c" ]) (oneofl [ "a"; "b"; "c" ]))
+    (fun (st, anc_tag, desc_tag) ->
+      List.for_all
+        (fun axis ->
+          let ancestors = Store.nodes_with_tag st anc_tag in
+          let descendants = Store.nodes_with_tag st desc_tag in
+          sorted_pairs
+            (Structural_join.join_pairs st ~axis ~ancestors ~descendants)
+          = sorted_pairs
+              (Structural_join.naive_join st ~axis ~ancestors ~descendants))
+        [ Structural_join.Child; Structural_join.Descendant ])
+
+let prop_pathstack_matches_naive =
+  QCheck2.Test.make ~name:"pathstack = naive path eval" ~count:200
+    QCheck2.Gen.(
+      triple gen_store
+        (oneofl [ "a"; "b"; "c" ])
+        (pair (oneofl [ "a"; "b"; "c" ]) (oneofl [ `C; `D ])))
+    (fun (st, t1, (t2, ax)) ->
+      let axis = match ax with `C -> c | `D -> d in
+      let path = [ { Twig_join.axis = d; tag = t1 }; { axis; tag = t2 } ] in
+      let fast = ref [] in
+      Twig_join.path_solutions st path (fun s -> fast := Array.to_list s :: !fast);
+      let slow = List.map Array.to_list (Twig_join.naive_path_solutions st path) in
+      List.sort compare !fast = List.sort compare slow)
+
+let prop_labels_consistent =
+  QCheck2.Test.make ~name:"labels agree with parents" ~count:200 gen_store
+    (fun st ->
+      let ok = ref true in
+      Array.iter
+        (fun v ->
+          match Store.parent st v with
+          | None -> ()
+          | Some p ->
+              let lp = Store.label st p and lv = Store.label st v in
+              if not (Label.is_parent lp lv) then ok := false)
+        (Store.document_order st);
+      !ok)
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "x3_xdb"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "counts" `Quick test_store_counts;
+          Alcotest.test_case "labels nest" `Quick test_store_labels_nest;
+          Alcotest.test_case "parent/child" `Quick test_store_parent_child;
+          Alcotest.test_case "string value" `Quick test_store_string_value;
+          Alcotest.test_case "attributes" `Quick test_store_attributes;
+          Alcotest.test_case "children" `Quick test_store_children_contiguous;
+          Alcotest.test_case "is_ancestor" `Quick test_store_is_ancestor;
+          Alcotest.test_case "forest" `Quick test_store_forest;
+        ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "save/load roundtrip" `Quick
+            test_store_save_load_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_store_load_rejects_garbage;
+          Alcotest.test_case "rejects truncation" `Quick
+            test_store_load_rejects_truncation;
+        ] );
+      ( "structural join",
+        [
+          Alcotest.test_case "ancestor-descendant" `Quick test_join_ad;
+          Alcotest.test_case "parent-child" `Quick test_join_pc;
+          Alcotest.test_case "pc vs ad counts" `Quick test_join_pc_vs_ad_counts;
+          Alcotest.test_case "semijoins" `Quick test_semijoins;
+        ] );
+      ( "twig join",
+        [
+          Alcotest.test_case "pathstack simple" `Quick test_pathstack_simple;
+          Alcotest.test_case "pathstack descendant" `Quick
+            test_pathstack_descendant;
+          Alcotest.test_case "pathstack three steps" `Quick
+            test_pathstack_three_steps;
+          Alcotest.test_case "pathstack vs naive" `Quick test_pathstack_vs_naive;
+          Alcotest.test_case "twig solutions" `Quick test_twig_solutions;
+          Alcotest.test_case "twig single node" `Quick test_twig_single_node;
+          Alcotest.test_case "twig three branches" `Quick
+            test_twig_three_branches;
+          Alcotest.test_case "twig nested branch" `Quick test_twig_nested_branch;
+          Alcotest.test_case "twig steps preorder" `Quick
+            test_twig_steps_preorder;
+        ] );
+      ( "properties",
+        qcheck
+          [ prop_join_matches_naive; prop_pathstack_matches_naive; prop_labels_consistent ] );
+    ]
