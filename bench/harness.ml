@@ -12,6 +12,7 @@ module Stats = X3_storage.Stats
 type outcome = {
   algorithm : Engine.algorithm;
   seconds : float;
+  minor_words : float;  (** minor-heap words allocated during the run *)
   cells : int;
   correct : bool;
   instr : Instrument.t;
@@ -69,9 +70,11 @@ let run_algorithm ~store ~spec ~config ~schema algorithm =
   let disk_before =
     Stats.copy (X3_storage.Disk.stats (X3_storage.Buffer_pool.disk pool))
   in
+  let minor_before = Gc.minor_words () in
   let (result, instr), seconds =
     time (fun () -> Engine.run ~props ~config prepared algorithm)
   in
+  let minor_words = Gc.minor_words () -. minor_before in
   let io = Stats.create () in
   Stats.add io (X3_storage.Buffer_pool.stats pool);
   Stats.add io (X3_storage.Disk.stats (X3_storage.Buffer_pool.disk pool));
@@ -82,26 +85,27 @@ let run_algorithm ~store ~spec ~config ~schema algorithm =
   io.Stats.page_writes <- io.Stats.page_writes - disk_before.Stats.page_writes;
   io.Stats.sort_runs <- io.Stats.sort_runs - disk_before.Stats.sort_runs;
   io.Stats.merge_passes <- io.Stats.merge_passes - disk_before.Stats.merge_passes;
-  (result, seconds, instr, io)
+  (result, seconds, minor_words, instr, io)
 
 let algorithm_name = Engine.algorithm_to_string
 
 let run_point ~store ~spec ~config ~schema ~algorithms ~skip =
   (* NAIVE provides the reference cube for correctness checking. *)
-  let reference, _, _, _ =
+  let reference, _, _, _, _ =
     run_algorithm ~store ~spec ~config ~schema Engine.Naive
   in
   List.filter_map
     (fun algorithm ->
       if List.mem algorithm skip then None
       else begin
-        let result, seconds, instr, io =
+        let result, seconds, minor_words, instr, io =
           run_algorithm ~store ~spec ~config ~schema algorithm
         in
         Some
           {
             algorithm;
             seconds;
+            minor_words;
             cells = Cube_result.total_cells result;
             correct = Cube_result.equal ~func:X3_core.Aggregate.Count reference result;
             instr;
@@ -119,7 +123,7 @@ let print_point_rows ppf ~x outcomes =
     (fun o ->
       Format.fprintf ppf
         "  %3d  %-9s %9.3fs  %9d cells  %s  passes=%d sorts=%d scans=%d \
-         sorted=%d dedup=%d rollups=%d reads=%d@."
+         sorted=%d dedup=%d rollups=%d keys=%d dict=%d reads=%d minorMw=%.1f@."
         x
         (algorithm_name o.algorithm)
         o.seconds o.cells
@@ -127,7 +131,9 @@ let print_point_rows ppf ~x outcomes =
         o.instr.Instrument.passes o.instr.Instrument.sort_ops
         o.instr.Instrument.table_scans o.instr.Instrument.rows_sorted
         o.instr.Instrument.dedup_tracked o.instr.Instrument.rollups
-        o.io.Stats.page_reads)
+        o.instr.Instrument.keys_built o.instr.Instrument.dict_size
+        o.io.Stats.page_reads
+        (o.minor_words /. 1e6))
     outcomes
 
 let print_matrix ppf figure =

@@ -1,0 +1,96 @@
+(* The PR smoke benchmark: a tiny treebank workload through every
+   unconditionally-correct algorithm family (COUNTER, BUC/BUCCUST,
+   TD/TDCUST) checked cell-for-cell against NAIVE, plus the string-key vs
+   packed-key grouping micro-comparison.  Writes the results as JSON
+   (BENCH_PR1.json by default, or argv.(1)).  Exits non-zero if any
+   algorithm disagrees with NAIVE, so `dune runtest` can gate on it. *)
+
+module Engine = X3_core.Engine
+module Instrument = X3_core.Instrument
+module Treebank = X3_workload.Treebank
+
+let trees = 200
+let axes = 3
+
+let () =
+  let out_path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_PR1.json"
+  in
+  let config = { Treebank.default with num_trees = trees; axes } in
+  let store = X3_xdb.Store.of_document (Treebank.generate config) in
+  let spec = Treebank.spec config in
+  let schema = Some (X3_xml.Schema.of_dtd (Treebank.dtd config)) in
+  let run_config =
+    { Engine.counter_budget = 40 * trees; sort_budget = 500 }
+  in
+  let algorithms = Engine.[ Counter; Buc; Buccust; Td; Tdcust ] in
+  let outcomes =
+    Harness.run_point ~store ~spec ~config:run_config ~schema ~algorithms
+      ~skip:[]
+  in
+  let all_correct = List.for_all (fun o -> o.Harness.correct) outcomes in
+  List.iter
+    (fun o ->
+      Printf.printf "  %-9s %8.4fs  %7d cells  keys=%d dict=%d  %s\n"
+        (Engine.algorithm_to_string o.Harness.algorithm)
+        o.Harness.seconds o.Harness.cells
+        o.Harness.instr.Instrument.keys_built
+        o.Harness.instr.Instrument.dict_size
+        (if o.Harness.correct then "ok" else "WRONG"))
+    outcomes;
+  let kc = Micro.key_comparison () in
+  let speedup = kc.Micro.legacy_seconds /. kc.Micro.packed_seconds in
+  Printf.printf
+    "  group-key comparison over %d rows (%d groups):\n\
+    \    legacy string+Hashtbl  %8.4f ms/pass  %10.0f minor words\n\
+    \    packed int+Tbl         %8.4f ms/pass  %10.0f minor words\n\
+    \    speedup %.2fx\n"
+    kc.Micro.kc_rows kc.Micro.kc_groups
+    (kc.Micro.legacy_seconds *. 1e3)
+    kc.Micro.legacy_minor_words
+    (kc.Micro.packed_seconds *. 1e3)
+    kc.Micro.packed_minor_words speedup;
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    "  \"bench\": \"PR1: dictionary-encoded witness table, packed integer \
+     group keys\",\n";
+  Printf.bprintf buf
+    "  \"smoke\": {\n    \"workload\": \"treebank trees=%d axes=%d\",\n\
+    \    \"reference\": \"NAIVE\",\n    \"algorithms\": [\n"
+    trees axes;
+  List.iteri
+    (fun i o ->
+      Printf.bprintf buf
+        "      { \"name\": %S, \"seconds\": %.6f, \"cells\": %d, \
+         \"correct\": %b, \"keys_built\": %d, \"dict_size\": %d, \
+         \"minor_words\": %.0f }%s\n"
+        (Engine.algorithm_to_string o.Harness.algorithm)
+        o.Harness.seconds o.Harness.cells o.Harness.correct
+        o.Harness.instr.Instrument.keys_built
+        o.Harness.instr.Instrument.dict_size o.Harness.minor_words
+        (if i = List.length outcomes - 1 then "" else ","))
+    outcomes;
+  Buffer.add_string buf "    ]\n  },\n";
+  Printf.bprintf buf
+    "  \"key_comparison\": {\n\
+    \    \"rows\": %d,\n\
+    \    \"groups\": %d,\n\
+    \    \"legacy_string_hashtbl\": { \"seconds_per_pass\": %.6f, \
+     \"minor_words_per_pass\": %.0f },\n\
+    \    \"packed_int_tbl\": { \"seconds_per_pass\": %.6f, \
+     \"minor_words_per_pass\": %.0f },\n\
+    \    \"speedup\": %.2f\n\
+    \  }\n"
+    kc.Micro.kc_rows kc.Micro.kc_groups kc.Micro.legacy_seconds
+    kc.Micro.legacy_minor_words kc.Micro.packed_seconds
+    kc.Micro.packed_minor_words speedup;
+  Buffer.add_string buf "}\n";
+  let oc = open_out out_path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "  wrote %s\n" out_path;
+  if not all_correct then begin
+    prerr_endline "smoke: some algorithm disagrees with NAIVE";
+    exit 1
+  end

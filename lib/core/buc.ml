@@ -10,7 +10,7 @@ let compute ~variant (ctx : Context.t) =
   let lattice = ctx.lattice in
   let axes = Lattice.axes lattice in
   let k = Array.length axes in
-  let result = Cube_result.create lattice in
+  let result = Cube_result.create ~table:ctx.table lattice in
   let instr = ctx.instr in
   (* The base witness set is read once from the materialised table; the
      recursion then partitions in memory, as BUC does when the input fits
@@ -21,7 +21,9 @@ let compute ~variant (ctx : Context.t) =
     Array.of_list (List.rev !acc)
   in
   let states = Array.make k State.Removed in
-  let cell_value row ai = row.Witness.cells.(ai).Witness.value in
+  (* The current partition's dictionary id per present axis. *)
+  let ids = Array.make k 0 in
+  let cell_id row ai = row.Witness.cells.(ai).Witness.id in
   (* Only rows holding the fact's first binding on every removed axis
      represent their fact here (see Context.row_represents); the partition
      keeps the others because deeper refinements may make those axes
@@ -93,12 +95,14 @@ let compute ~variant (ctx : Context.t) =
     in
     go 0
   in
-  let rec refine part lo hi next key_parts =
+  let rec refine part lo hi next =
     (* Empty restrictions produce no groups (a group exists only if some
        fact is in it), matching the reference semantics. *)
     if hi >= lo && emittable () then begin
       let cid = Lattice.id lattice (Array.copy states) in
-      aggregate_into cid (Group_key.encode (List.rev key_parts)) lo hi part
+      instr.Instrument.keys_built <- instr.Instrument.keys_built + 1;
+      aggregate_into cid (Group_key.of_axis_ids ctx.layout states ids) lo hi
+        part
     end;
     for ai = next to k - 1 do
       List.iter
@@ -127,29 +131,22 @@ let compute ~variant (ctx : Context.t) =
           in
           let n = Array.length sub in
           if n > 0 then begin
-            (* Partition on the grouping value: quicksort then sweep. *)
+            (* Partition on the grouping id: quicksort then sweep.
+               Dictionary ids compare as plain ints — no string walks. *)
             instr.Instrument.sort_ops <- instr.Instrument.sort_ops + 1;
             instr.Instrument.rows_sorted <- instr.Instrument.rows_sorted + n;
             Quicksort.sort
-              ~compare:(fun a b ->
-                match (cell_value a ai, cell_value b ai) with
-                | Some va, Some vb -> String.compare va vb
-                | _ -> assert false (* qualifying rows have values *))
+              ~compare:(fun a b -> Int.compare (cell_id a ai) (cell_id b ai))
               sub;
             states.(ai) <- State.Present mask;
             let run_start = ref 0 in
             for i = 1 to n do
               let boundary =
-                i = n
-                || cell_value sub.(i) ai <> cell_value sub.(!run_start) ai
+                i = n || cell_id sub.(i) ai <> cell_id sub.(!run_start) ai
               in
               if boundary then begin
-                let value =
-                  match cell_value sub.(!run_start) ai with
-                  | Some v -> v
-                  | None -> assert false
-                in
-                refine sub !run_start (i - 1) (ai + 1) (value :: key_parts);
+                ids.(ai) <- cell_id sub.(!run_start) ai;
+                refine sub !run_start (i - 1) (ai + 1);
                 run_start := i
               end
             done;
@@ -158,5 +155,5 @@ let compute ~variant (ctx : Context.t) =
         (Axis.states axes.(ai))
     done
   in
-  refine rows 0 (Array.length rows - 1) 0 [];
+  refine rows 0 (Array.length rows - 1) 0;
   result

@@ -4,6 +4,7 @@ module State = X3_lattice.State
 type t = {
   table : Witness.t;
   lattice : X3_lattice.Lattice.t;
+  layout : Group_key.layout;
   measure : int -> float;
   instr : Instrument.t;
   counter_budget : int;
@@ -12,11 +13,14 @@ type t = {
 
 let create ?(counter_budget = 1_000_000) ?(sort_budget = 200_000) ~table
     ~lattice ~measure () =
+  let instr = Instrument.create () in
+  instr.Instrument.dict_size <- Witness.total_dict_size table;
   {
     table;
     lattice;
+    layout = Group_key.layout_of_table table;
     measure;
-    instr = Instrument.create ();
+    instr;
     counter_budget;
     sort_budget;
   }

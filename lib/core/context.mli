@@ -3,6 +3,7 @@
 type t = {
   table : X3_pattern.Witness.t;  (** the materialised witness table *)
   lattice : X3_lattice.Lattice.t;
+  layout : Group_key.layout;  (** packed-key layout of the table's dicts *)
   measure : int -> float;  (** fact id -> measure value (1.0 for COUNT) *)
   instr : Instrument.t;
   counter_budget : int;

@@ -2,16 +2,18 @@ module Lattice = X3_lattice.Lattice
 module Witness = X3_pattern.Witness
 
 let compute (ctx : Context.t) =
-  let result = Cube_result.create ctx.lattice in
+  let result = Cube_result.create ~table:ctx.table ctx.lattice in
   let instr = ctx.instr in
+  let scratch = Group_key.make_scratch ctx.layout in
+  let seen = Group_key.Seen.create () in
   let remaining = ref (Array.to_list (Lattice.by_degree ctx.lattice)) in
   while !remaining <> [] do
     instr.Instrument.passes <- instr.Instrument.passes + 1;
-    let active : (int, (string, Aggregate.cell) Hashtbl.t) Hashtbl.t =
+    let active : (int, Aggregate.cell Group_key.Tbl.t) Hashtbl.t =
       Hashtbl.create 64
     in
     List.iter
-      (fun cid -> Hashtbl.replace active cid (Hashtbl.create 1024))
+      (fun cid -> Hashtbl.replace active cid (Group_key.Tbl.create 1024))
       !remaining;
     let live = ref 0 in
     let evicted = ref [] in
@@ -22,8 +24,8 @@ let compute (ctx : Context.t) =
       while !live > ctx.counter_budget && Hashtbl.length active > 1 do
         let victim = ref (-1) and victim_size = ref (-1) in
         Hashtbl.iter
-          (fun cid table ->
-            let size = Hashtbl.length table in
+          (fun cid tbl ->
+            let size = Group_key.Tbl.length tbl in
             if size > !victim_size then begin
               victim := cid;
               victim_size := size
@@ -43,20 +45,21 @@ let compute (ctx : Context.t) =
             Hashtbl.iter
               (fun cid counters ->
                 let cuboid = cuboid_of cid in
-                let seen = Hashtbl.create 4 in
+                Group_key.Seen.reset seen;
                 List.iter
                   (fun row ->
                     if Context.row_represents cuboid row then begin
-                      let key = Group_key.of_row cuboid row in
-                      if not (Hashtbl.mem seen key) then begin
-                        Hashtbl.add seen key ();
-                        match Hashtbl.find_opt counters key with
-                        | Some cell -> Aggregate.add cell m
-                        | None ->
-                            let cell = Aggregate.create () in
-                            Aggregate.add cell m;
-                            Hashtbl.add counters key cell;
-                            incr live
+                      Group_key.load scratch cuboid row;
+                      instr.Instrument.keys_built <-
+                        instr.Instrument.keys_built + 1;
+                      if Group_key.Seen.add seen scratch then begin
+                        let cell =
+                          Group_key.Tbl.find_or_add counters scratch
+                            ~default:(fun () ->
+                              incr live;
+                              Aggregate.create ())
+                        in
+                        Aggregate.add cell m
                       end
                     end)
                   block)
@@ -67,7 +70,7 @@ let compute (ctx : Context.t) =
     (* Completed cuboids are final; evicted ones go to the next pass. *)
     Hashtbl.iter
       (fun cid counters ->
-        Hashtbl.iter
+        Group_key.Tbl.iter
           (fun key cell -> Cube_result.set_cell result ~cuboid:cid ~key cell)
           counters)
       active;

@@ -1,33 +1,63 @@
-(** A computed cube: one aggregate cell per (cuboid, group). *)
+(** A computed cube: one aggregate cell per (cuboid, group).
+
+    Cells live under coded integer keys ({!Group_key.t}) — the algorithms
+    never touch strings. The string-keyed half of this interface is the
+    {e decode-on-export} boundary: it translates through the witness
+    table's dictionaries so export, pivot and tests keep exchanging
+    length-prefixed value lists ({!Group_key.encode}). *)
 
 type t
 
-val create : X3_lattice.Lattice.t -> t
-val lattice : t -> X3_lattice.Lattice.t
+val create : table:X3_pattern.Witness.t -> X3_lattice.Lattice.t -> t
+(** The table supplies the dictionaries (and so the key layout) that the
+    cube's coded keys are relative to. *)
 
-val cell : t -> cuboid:int -> key:string -> Aggregate.cell
+val lattice : t -> X3_lattice.Lattice.t
+val table : t -> X3_pattern.Witness.t
+val layout : t -> Group_key.layout
+
+(** {1 Coded access — the algorithms' hot path} *)
+
+val cell : t -> cuboid:int -> key:Group_key.t -> Aggregate.cell
 (** Find-or-create the cell of a group. *)
 
-val find : t -> cuboid:int -> key:string -> Aggregate.cell option
+val cell_scratch : t -> cuboid:int -> Group_key.scratch -> Aggregate.cell
+(** Find-or-create keyed by a scratch: allocation-free when the group
+    already exists. *)
 
-val set_cell : t -> cuboid:int -> key:string -> Aggregate.cell -> unit
+val find_coded : t -> cuboid:int -> key:Group_key.t -> Aggregate.cell option
+
+val set_cell : t -> cuboid:int -> key:Group_key.t -> Aggregate.cell -> unit
 (** Install a cell wholesale (used by roll-up computation). *)
 
-val cuboid_cells : t -> int -> (string * Aggregate.cell) list
-(** Groups of one cuboid, sorted by key for deterministic output. *)
+val iter_cuboid : t -> int -> (Group_key.t -> Aggregate.cell -> unit) -> unit
 
 val cuboid_size : t -> int -> int
+
 val total_cells : t -> int
 (** The paper's "cube result size" — cells summed over all cuboids. *)
+
+(** {1 String access — the decode-on-export boundary} *)
+
+val find : t -> cuboid:int -> key:string -> Aggregate.cell option
+(** [key] is a legacy encoded value list. [None] when some value never
+    occurs on its axis, or the group does not exist. *)
+
+val cuboid_cells : t -> int -> (string * Aggregate.cell) list
+(** Groups of one cuboid as legacy encoded keys, sorted by encoded key for
+    deterministic output (the historical order). *)
 
 val iter : (cuboid:int -> key:string -> Aggregate.cell -> unit) -> t -> unit
 
 val equal : func:Aggregate.func -> t -> t -> bool
-(** Same groups with the same aggregate values in every cuboid. *)
+(** Same groups with the same aggregate values in every cuboid. Keys are
+    compared by decoded value, so the cubes may come from separately
+    materialised tables. *)
 
 val first_difference :
   func:Aggregate.func -> t -> t -> (int * string * string) option
-(** A human-readable witness of inequality: cuboid id, key, description. *)
+(** A human-readable witness of inequality: cuboid id, legacy key,
+    description. *)
 
 val pp :
   ?max_groups:int -> func:Aggregate.func -> Format.formatter -> t -> unit

@@ -8,6 +8,8 @@ type t = {
   mutable rollups : int;
   mutable base_computations : int;
   mutable dedup_tracked : int;
+  mutable keys_built : int;
+  mutable dict_size : int;
 }
 
 let create () =
@@ -21,11 +23,14 @@ let create () =
     rollups = 0;
     base_computations = 0;
     dedup_tracked = 0;
+    keys_built = 0;
+    dict_size = 0;
   }
 
 let pp ppf t =
   Format.fprintf ppf
     "@[<h>scans=%d rows=%d sorts=%d sorted=%d passes=%d peak-counters=%d \
-     rollups=%d base=%d dedup=%d@]"
+     rollups=%d base=%d dedup=%d keys=%d dict=%d@]"
     t.table_scans t.rows_scanned t.sort_ops t.rows_sorted t.passes
-    t.peak_counters t.rollups t.base_computations t.dedup_tracked
+    t.peak_counters t.rollups t.base_computations t.dedup_tracked t.keys_built
+    t.dict_size

@@ -16,6 +16,8 @@ type t = {
   mutable rollups : int;  (** cuboids computed from a finer cuboid's cells *)
   mutable base_computations : int;  (** cuboids computed from base data *)
   mutable dedup_tracked : int;  (** fact ids tracked for duplicate removal *)
+  mutable keys_built : int;  (** group keys assembled from rows *)
+  mutable dict_size : int;  (** distinct dictionary values across axes *)
 }
 
 val create : unit -> t

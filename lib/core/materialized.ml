@@ -1,66 +1,87 @@
 module Lattice = X3_lattice.Lattice
 module Properties = X3_lattice.Properties
 module Cuboid = X3_lattice.Cuboid
+module Witness = X3_pattern.Witness
 
 module Int_set = Set.Make (Int)
 
+(* Groups are kept under coded keys relative to the source table's
+   dictionaries; the string-keyed accessors decode at the boundary, like
+   Cube_result. *)
 type t = {
   cuboid_id : int;
   lattice : Lattice.t;
+  layout : Group_key.layout;
+  dicts : Witness.Dict.t array;
   measure : int -> float;
-  groups : (string, Int_set.t ref) Hashtbl.t;
+  groups : Int_set.t ref Group_key.Tbl.t;
 }
 
 let cuboid_id t = t.cuboid_id
-let group_count t = Hashtbl.length t.groups
+let group_count t = Group_key.Tbl.length t.groups
+
+let states t = Lattice.cuboid t.lattice t.cuboid_id
 
 let fact_items t ~key =
-  match Hashtbl.find_opt t.groups key with
-  | Some facts -> Int_set.elements !facts
+  match
+    Group_key.of_parts t.layout ~dicts:t.dicts (states t) (Group_key.decode key)
+  with
   | None -> []
+  | Some coded -> (
+      match Group_key.Tbl.find_opt t.groups coded with
+      | Some facts -> Int_set.elements !facts
+      | None -> [])
 
 let materialize (ctx : Context.t) ~cuboid =
   let c = Lattice.cuboid ctx.lattice cuboid in
-  let groups = Hashtbl.create 256 in
+  let groups = Group_key.Tbl.create 256 in
+  let scratch = Group_key.make_scratch ctx.layout in
   Context.scan ctx (fun row ->
       if Context.row_represents c row then begin
-        let key = Group_key.of_row c row in
+        Group_key.load scratch c row;
+        ctx.instr.Instrument.keys_built <-
+          ctx.instr.Instrument.keys_built + 1;
         let facts =
-          match Hashtbl.find_opt groups key with
-          | Some facts -> facts
-          | None ->
-              let facts = ref Int_set.empty in
-              Hashtbl.add groups key facts;
-              facts
+          Group_key.Tbl.find_or_add groups scratch ~default:(fun () ->
+              ref Int_set.empty)
         in
-        facts := Int_set.add row.X3_pattern.Witness.fact !facts
+        facts := Int_set.add row.Witness.fact !facts
       end);
-  { cuboid_id = cuboid; lattice = ctx.lattice; measure = ctx.measure; groups }
+  {
+    cuboid_id = cuboid;
+    lattice = ctx.lattice;
+    layout = ctx.layout;
+    dicts = Witness.dicts ctx.table;
+    measure = ctx.measure;
+    groups;
+  }
 
 let cell_of_facts t facts =
   let cell = Aggregate.create () in
   Int_set.iter (fun fact -> Aggregate.add cell (t.measure fact)) facts;
   cell
 
+let legacy_key t key =
+  Group_key.encode (Group_key.to_parts t.layout ~dicts:t.dicts (states t) key)
+
 let cells t =
-  Hashtbl.fold
-    (fun key facts acc -> (key, cell_of_facts t !facts) :: acc)
+  Group_key.Tbl.fold
+    (fun key facts acc -> (legacy_key t key, cell_of_facts t !facts) :: acc)
     t.groups []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let rollup_unchecked (ctx : Context.t) t ~coarser =
-  let fine = Lattice.cuboid ctx.lattice t.cuboid_id in
   let coarse = Lattice.cuboid ctx.lattice coarser in
-  let groups = Hashtbl.create 256 in
-  Hashtbl.iter
+  let groups = Group_key.Tbl.create 256 in
+  Group_key.Tbl.iter
     (fun key facts ->
-      let key' = Group_key.project ~from_:fine ~to_:coarse key in
-      match Hashtbl.find_opt groups key' with
+      let key' = Group_key.project t.layout ~to_:coarse key in
+      match Group_key.Tbl.find_opt groups key' with
       | Some merged ->
           (* The fact sets make the merge duplicate-safe: a fact present in
              two finer groups counts once here. *)
           merged := Int_set.union !merged !facts
-      | None -> Hashtbl.add groups key' (ref !facts))
+      | None -> Group_key.Tbl.replace groups key' (ref !facts))
     t.groups;
   { t with cuboid_id = coarser; groups }
 
@@ -113,8 +134,18 @@ let rollup (ctx : Context.t) ~props t ~coarser =
   end
 
 let to_result t result =
-  Hashtbl.iter
+  let cuboid = states t in
+  let layout = Cube_result.layout result in
+  let dicts = Witness.dicts (Cube_result.table result) in
+  Group_key.Tbl.iter
     (fun key facts ->
-      Cube_result.set_cell result ~cuboid:t.cuboid_id ~key
-        (cell_of_facts t !facts))
+      let parts = Group_key.to_parts t.layout ~dicts:t.dicts cuboid key in
+      match Group_key.of_parts layout ~dicts cuboid parts with
+      | Some key' ->
+          Cube_result.set_cell result ~cuboid:t.cuboid_id ~key:key'
+            (cell_of_facts t !facts)
+      | None ->
+          invalid_arg
+            "Materialized.to_result: group value unknown to the result's \
+             table")
     t.groups

@@ -1,11 +1,12 @@
 module Lattice = X3_lattice.Lattice
 
 let compute (ctx : Context.t) =
-  let result = Cube_result.create ctx.lattice in
-  let cuboids =
-    Array.map (Lattice.cuboid ctx.lattice) (Lattice.by_degree ctx.lattice)
-  in
+  let result = Cube_result.create ~table:ctx.table ctx.lattice in
+  let instr = ctx.instr in
   let ids = Lattice.by_degree ctx.lattice in
+  let cuboids = Array.map (Lattice.cuboid ctx.lattice) ids in
+  let scratch = Group_key.make_scratch ctx.layout in
+  let seen = Group_key.Seen.create () in
   Context.scan_blocks ctx (fun block ->
       match block with
       | [] -> ()
@@ -14,17 +15,18 @@ let compute (ctx : Context.t) =
           Array.iteri
             (fun i cuboid ->
               (* Distinct keys of this fact within this cuboid. *)
-              let seen = Hashtbl.create 4 in
+              Group_key.Seen.reset seen;
               List.iter
                 (fun row ->
                   if Context.row_represents cuboid row then begin
-                    let key = Group_key.of_row cuboid row in
-                    if not (Hashtbl.mem seen key) then begin
-                      Hashtbl.add seen key ();
+                    Group_key.load scratch cuboid row;
+                    instr.Instrument.keys_built <-
+                      instr.Instrument.keys_built + 1;
+                    if Group_key.Seen.add seen scratch then
                       Aggregate.add
-                        (Cube_result.cell result ~cuboid:ids.(i) ~key)
+                        (Cube_result.cell_scratch result ~cuboid:ids.(i)
+                           scratch)
                         m
-                    end
                   end)
                 block)
             cuboids);

@@ -41,6 +41,7 @@ let compute_from_base (ctx : Context.t) result cid ~mode =
     | `Dedup | `Raw -> row_qualifies
     | `Representative -> Context.row_represents
   in
+  let scratch = Group_key.make_scratch ctx.layout in
   let fed = ref 0 in
   let sorted =
     External_sort.sort_records ~pool ~budget_records:ctx.sort_budget
@@ -48,7 +49,12 @@ let compute_from_base (ctx : Context.t) result cid ~mode =
         Context.scan ctx (fun row ->
             if keep cuboid row then begin
               incr fed;
-              let key = Group_key.of_row cuboid row in
+              (* Sort on the order-preserving byte form of the coded key:
+                 String.compare groups equal keys just as well, and the
+                 record stays a flat string for the external sorter. *)
+              Group_key.load scratch cuboid row;
+              instr.Instrument.keys_built <- instr.Instrument.keys_built + 1;
+              let key = Group_key.to_sortable (Group_key.freeze scratch) in
               emit
                 (Sort_record.encode ~key
                    ~fact:(if dedup then row.Witness.fact else 0)
@@ -59,6 +65,7 @@ let compute_from_base (ctx : Context.t) result cid ~mode =
   (* One sweep: group boundaries on key change (the run is key-sorted, so
      the group's cell is carried across records rather than looked up per
      record); duplicate facts are consecutive within a group. *)
+  let layout = Cube_result.layout result in
   let current_key = ref None and current_cell = ref None in
   let prev_fact = ref (-1) in
   Heap_file.iter
@@ -69,7 +76,10 @@ let compute_from_base (ctx : Context.t) result cid ~mode =
       in
       if not same_group then begin
         current_key := Some key;
-        current_cell := Some (Cube_result.cell result ~cuboid:cid ~key)
+        current_cell :=
+          Some
+            (Cube_result.cell result ~cuboid:cid
+               ~key:(Group_key.of_sortable layout key))
       end;
       let duplicate = dedup && same_group && fact = !prev_fact in
       if not duplicate then begin
@@ -88,19 +98,16 @@ let compute_from_base (ctx : Context.t) result cid ~mode =
 let rollup (ctx : Context.t) result ~finer ~coarser =
   let instr = ctx.instr in
   instr.Instrument.rollups <- instr.Instrument.rollups + 1;
-  let fine = Lattice.cuboid ctx.lattice finer in
   let coarse = Lattice.cuboid ctx.lattice coarser in
-  List.iter
-    (fun (key, cell) ->
-      let key' = Group_key.project ~from_:fine ~to_:coarse key in
+  Cube_result.iter_cuboid result finer (fun key cell ->
+      let key' = Group_key.project ctx.layout ~to_:coarse key in
       Aggregate.merge
         ~into:(Cube_result.cell result ~cuboid:coarser ~key:key')
         cell)
-    (Cube_result.cuboid_cells result finer)
 
 let compute ~variant (ctx : Context.t) =
   let lattice = ctx.lattice in
-  let result = Cube_result.create lattice in
+  let result = Cube_result.create ~table:ctx.table lattice in
   let order = Lattice.by_degree lattice in
   (match variant with
   | `Plain ->

@@ -246,16 +246,17 @@ let infer ~schema ~fact_tag lattice =
 
 (* --- empirical observation --------------------------------------------- *)
 
+(* Group identity as dictionary ids — string-free, ids are per-axis. *)
 let key_of_row cuboid row =
   let parts = ref [] in
   Array.iteri
     (fun ai state ->
       match state with
       | State.Removed -> ()
-      | State.Present _ -> (
-          match row.Witness.cells.(ai).Witness.value with
-          | Some v -> parts := v :: !parts
-          | None -> assert false))
+      | State.Present _ ->
+          let id = row.Witness.cells.(ai).Witness.id in
+          assert (id >= 0);
+          parts := id :: !parts)
     cuboid;
   List.rev !parts
 

@@ -102,11 +102,11 @@ let rows_for_fact store axes ~fact =
     Array.map
       (fun axis ->
         match axis_bindings store axis ~fact with
-        | [] -> [ { Witness.value = None; validity = 0; first = true } ]
+        | [] -> [ { Witness.Staged.value = None; validity = 0; first = true } ]
         | bindings ->
             List.mapi
               (fun i (node, validity) ->
-                { Witness.value = Some (Store.string_value store node);
+                { Witness.Staged.value = Some (Store.string_value store node);
                   validity;
                   first = i = 0 })
               bindings)
@@ -123,7 +123,7 @@ let rows_for_fact store axes ~fact =
     end
   in
   List.map
-    (fun cells -> { Witness.fact; cells = Array.of_list cells })
+    (fun cells -> { Witness.Staged.fact; cells = Array.of_list cells })
     (product 0)
 
 let build_table ?keep pool store ~fact_path ~axes =

@@ -37,7 +37,7 @@ val rows_for_fact :
   X3_xdb.Store.t ->
   Axis.t array ->
   fact:X3_xdb.Store.node ->
-  Witness.row list
+  Witness.Staged.row list
 (** The cartesian combination of per-axis bindings for one fact ("a
     combinatorial number ... for a single sub-tree", §3.3), [None]-padded
     for axes without bindings. Grouping values are the bindings' string

@@ -139,11 +139,11 @@ let build_table pool store ~fact_path ~axes =
         (fun bindings ->
           match Hashtbl.find_opt bindings fact with
           | None | Some [] ->
-              [ { Witness.value = None; validity = 0; first = true } ]
+              [ { Witness.Staged.value = None; validity = 0; first = true } ]
           | Some bs ->
               List.mapi
                 (fun i (node, validity) ->
-                  { Witness.value = Some (Store.string_value store node);
+                  { Witness.Staged.value = Some (Store.string_value store node);
                     validity;
                     first = i = 0 })
                 bs)
@@ -159,7 +159,7 @@ let build_table pool store ~fact_path ~axes =
       end
     in
     List.map
-      (fun cells -> { Witness.fact; cells = Array.of_list cells })
+      (fun cells -> { Witness.Staged.fact; cells = Array.of_list cells })
       (product 0)
   in
   let rows =

@@ -38,12 +38,13 @@ let compute table =
         List.iter
           (fun row ->
             let cell = row.Witness.cells.(ai) in
-            match cell.Witness.value with
-            | None -> ()
-            | Some v ->
-                has_value := true;
-                union_validity := !union_validity lor cell.Witness.validity;
-                Hashtbl.replace distinct (v, cell.Witness.validity, cell.Witness.first) ())
+            if cell.Witness.id >= 0 then begin
+              has_value := true;
+              union_validity := !union_validity lor cell.Witness.validity;
+              Hashtbl.replace distinct
+                (cell.Witness.id, cell.Witness.validity, cell.Witness.first)
+                ()
+            end)
           block;
         if !has_value then begin
           bound.(ai) <- bound.(ai) + 1;

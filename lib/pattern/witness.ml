@@ -1,19 +1,81 @@
-type cell = { value : string option; validity : int; first : bool }
+(* The materialised witness table, dictionary-encoded: every distinct
+   dimension string is interned once into a per-axis dictionary and witness
+   cells carry dense integer ids. The cube algorithms group on those ids
+   (see X3_core.Group_key); strings are only rebuilt at the export
+   boundary. *)
+
+(* --- per-axis value dictionary ---------------------------------------- *)
+
+module Dict = struct
+  type t = {
+    mutable values : string array;  (** id -> string, dense *)
+    mutable count : int;
+    index : (string, int) Hashtbl.t;  (** string -> id *)
+  }
+
+  let create () =
+    { values = Array.make 16 ""; count = 0; index = Hashtbl.create 64 }
+
+  let size t = t.count
+
+  let intern t s =
+    match Hashtbl.find_opt t.index s with
+    | Some id -> id
+    | None ->
+        let id = t.count in
+        if id = Array.length t.values then begin
+          let bigger = Array.make (2 * id) "" in
+          Array.blit t.values 0 bigger 0 id;
+          t.values <- bigger
+        end;
+        t.values.(id) <- s;
+        t.count <- id + 1;
+        Hashtbl.add t.index s id;
+        id
+
+  let find t s = Hashtbl.find_opt t.index s
+
+  let value t id =
+    if id < 0 || id >= t.count then
+      invalid_arg (Printf.sprintf "Dict.value: id %d out of range" id);
+    t.values.(id)
+
+  let iter f t =
+    for id = 0 to t.count - 1 do
+      f id t.values.(id)
+    done
+end
+
+(* --- coded cells -------------------------------------------------------- *)
+
+(* [id] is the per-axis dictionary id of the bound value, or [null_id] when
+   the axis has no binding for the fact (the outer-join null of the
+   cartesian witness layout). *)
+type cell = { id : int; validity : int; first : bool }
 type row = { fact : int; cells : cell array }
+
+let null_id = -1
 
 let qualifies row ~axis_index ~state =
   let cell = row.cells.(axis_index) in
-  match cell.value with
-  | None -> false
-  | Some _ -> cell.validity land (1 lsl state) <> 0
+  cell.id >= 0 && cell.validity land (1 lsl state) <> 0
 
-(* --- codec ------------------------------------------------------------ *)
+(* Rows as produced by the pattern evaluators, before interning: values are
+   still strings. [materialize] converts them to coded rows. *)
+module Staged = struct
+  type cell = { value : string option; validity : int; first : bool }
+  type row = { fact : int; cells : cell array }
+end
+
+(* --- row codec ---------------------------------------------------------- *)
 (* Layout: fact (4 bytes LE) | cell count (1) | cells.
    Cell: validity (1 byte, bit 7 = first-binding flag) |
-         0xFF for None, else u16 length + bytes. *)
+         LEB128 varint of (id + 1), so 0 encodes the null cell.
+   Values live in the dictionary pages, not in the rows: a row costs a
+   handful of bytes regardless of how long its dimension strings are. *)
 
 let encode row =
-  let buf = Buffer.create 32 in
+  let buf = Buffer.create 16 in
   let add_u8 v = Buffer.add_char buf (Char.chr (v land 0xFF)) in
   let add_u16 v =
     add_u8 (v land 0xFF);
@@ -23,6 +85,14 @@ let encode row =
     add_u16 (v land 0xFFFF);
     add_u16 ((v lsr 16) land 0xFFFF)
   in
+  let add_varint v =
+    let v = ref v in
+    while !v >= 0x80 do
+      add_u8 (0x80 lor (!v land 0x7F));
+      v := !v lsr 7
+    done;
+    add_u8 !v
+  in
   add_u32 row.fact;
   if Array.length row.cells > 255 then
     invalid_arg "Witness.encode: more than 255 axes";
@@ -31,15 +101,9 @@ let encode row =
     (fun cell ->
       if cell.validity > 0x7F then
         invalid_arg "Witness.encode: validity out of range";
+      if cell.id < null_id then invalid_arg "Witness.encode: negative id";
       add_u8 (cell.validity lor if cell.first then 0x80 else 0);
-      match cell.value with
-      | None -> add_u8 0xFF
-      | Some v ->
-          if String.length v > 0xFFFE then
-            invalid_arg "Witness.encode: value too long";
-          add_u8 0x00;
-          add_u16 (String.length v);
-          Buffer.add_string buf v)
+      add_varint (cell.id + 1))
     row.cells;
   Buffer.contents buf
 
@@ -62,51 +126,185 @@ let decode record =
     let hi = u16 () in
     lo lor (hi lsl 16)
   in
+  let varint () =
+    let rec go shift acc =
+      let b = u8 () in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 <> 0 then go (shift + 7) acc else acc
+    in
+    go 0 0
+  in
   let fact = u32 () in
   let ncells = u8 () in
   let cells =
     Array.init ncells (fun _ ->
         let tag = u8 () in
         let validity = tag land 0x7F and first = tag land 0x80 <> 0 in
-        let marker = u8 () in
-        if marker = 0xFF then { value = None; validity; first }
-        else begin
-          let n = u16 () in
-          if !pos + n > len then invalid_arg "Witness.decode: truncated value";
-          let v = String.sub record !pos n in
-          pos := !pos + n;
-          { value = Some v; validity; first }
-        end)
+        let id = varint () - 1 in
+        { id; validity; first })
   in
   if !pos <> len then invalid_arg "Witness.decode: trailing bytes";
   { fact; cells }
+
+(* --- dictionary codec --------------------------------------------------- *)
+(* Dictionary pages are stored in a side heap file, one or more records per
+   value so that values of any length survive the page-capacity limit:
+   axis (u16) | id (u32) | total length (u32) | chunk offset (u32) | bytes.
+   Lengths are 32-bit — dictionary values are not subject to the 64 KiB
+   ceiling the old inline-string witness codec imposed. *)
+
+let dict_chunk_header = 14
+
+let encode_dict_chunk ~axis ~id ~total ~offset chunk =
+  let buf = Buffer.create (dict_chunk_header + String.length chunk) in
+  let add_u8 v = Buffer.add_char buf (Char.chr (v land 0xFF)) in
+  let add_u16 v =
+    add_u8 (v land 0xFF);
+    add_u8 ((v lsr 8) land 0xFF)
+  in
+  let add_u32 v =
+    add_u16 (v land 0xFFFF);
+    add_u16 ((v lsr 16) land 0xFFFF)
+  in
+  add_u16 axis;
+  add_u32 id;
+  add_u32 total;
+  add_u32 offset;
+  Buffer.add_string buf chunk;
+  Buffer.contents buf
+
+let decode_dict_chunk record =
+  if String.length record < dict_chunk_header then
+    invalid_arg "Witness.decode_dict_chunk: truncated";
+  let u8 pos = Char.code record.[pos] in
+  let u16 pos = u8 pos lor (u8 (pos + 1) lsl 8) in
+  let u32 pos = u16 pos lor (u16 (pos + 2) lsl 16) in
+  let axis = u16 0 in
+  let id = u32 2 in
+  let total = u32 6 in
+  let offset = u32 10 in
+  let chunk =
+    String.sub record dict_chunk_header
+      (String.length record - dict_chunk_header)
+  in
+  (axis, id, total, offset, chunk)
 
 (* --- tables ------------------------------------------------------------ *)
 
 type t = {
   axes : Axis.t array;
+  dicts : Dict.t array;
   heap : X3_storage.Heap_file.t;
+  dict_heap : X3_storage.Heap_file.t;  (** the on-disk dictionary pages *)
   mutable facts : int;
 }
 
+let write_dicts dict_heap dicts =
+  let capacity =
+    X3_storage.Heap_file.capacity_bytes dict_heap - dict_chunk_header
+  in
+  Array.iteri
+    (fun axis dict ->
+      Dict.iter
+        (fun id value ->
+          let total = String.length value in
+          if total = 0 then
+            X3_storage.Heap_file.append dict_heap
+              (encode_dict_chunk ~axis ~id ~total ~offset:0 "")
+          else begin
+            let offset = ref 0 in
+            while !offset < total do
+              let n = min capacity (total - !offset) in
+              X3_storage.Heap_file.append dict_heap
+                (encode_dict_chunk ~axis ~id ~total ~offset:!offset
+                   (String.sub value !offset n));
+              offset := !offset + n
+            done
+          end)
+        dict)
+    dicts
+
+(* Rebuild the dictionaries from their on-disk pages; chunks of one value
+   arrive in offset order because [write_dicts] emits them that way. *)
+let load_dicts t =
+  let k = Array.length t.axes in
+  let partial : (int * int, Buffer.t) Hashtbl.t = Hashtbl.create 256 in
+  let sizes = Array.make k 0 in
+  X3_storage.Heap_file.iter
+    (fun record ->
+      let axis, id, total, _offset, chunk = decode_dict_chunk record in
+      if axis >= k then invalid_arg "Witness.load_dicts: axis out of range";
+      let buf =
+        match Hashtbl.find_opt partial (axis, id) with
+        | Some buf -> buf
+        | None ->
+            let buf = Buffer.create (max 16 total) in
+            Hashtbl.add partial (axis, id) buf;
+            buf
+      in
+      Buffer.add_string buf chunk;
+      if id + 1 > sizes.(axis) then sizes.(axis) <- id + 1)
+    t.dict_heap;
+  Array.init k (fun axis ->
+      let dict = Dict.create () in
+      for id = 0 to sizes.(axis) - 1 do
+        match Hashtbl.find_opt partial (axis, id) with
+        | None -> invalid_arg "Witness.load_dicts: missing id"
+        | Some buf ->
+            let got = Dict.intern dict (Buffer.contents buf) in
+            if got <> id then invalid_arg "Witness.load_dicts: id collision"
+      done;
+      dict)
+
 let materialize pool ~axes rows =
   let heap = X3_storage.Heap_file.create pool in
+  let dict_heap = X3_storage.Heap_file.create pool in
+  let dicts = Array.map (fun _ -> Dict.create ()) axes in
   let facts = ref 0 in
   let last_fact = ref (-1) in
   Seq.iter
-    (fun row ->
-      if row.fact <> !last_fact then begin
+    (fun (row : Staged.row) ->
+      if row.Staged.fact <> !last_fact then begin
         incr facts;
-        last_fact := row.fact
+        last_fact := row.Staged.fact
       end;
-      X3_storage.Heap_file.append heap (encode row))
+      let cells =
+        Array.mapi
+          (fun ai (cell : Staged.cell) ->
+            let id =
+              match cell.Staged.value with
+              | None -> null_id
+              | Some v -> Dict.intern dicts.(ai) v
+            in
+            {
+              id;
+              validity = cell.Staged.validity;
+              first = cell.Staged.first;
+            })
+          row.Staged.cells
+      in
+      X3_storage.Heap_file.append heap (encode { fact = row.Staged.fact; cells }))
     rows;
-  { axes; heap; facts = !facts }
+  write_dicts dict_heap dicts;
+  { axes; dicts; heap; dict_heap; facts = !facts }
 
 let axes t = t.axes
+let dicts t = t.dicts
+let dict t ai = t.dicts.(ai)
+let dict_sizes t = Array.map Dict.size t.dicts
+
+let total_dict_size t =
+  Array.fold_left (fun acc d -> acc + Dict.size d) 0 t.dicts
+
+let value t ~axis_index id = Dict.value t.dicts.(axis_index) id
+
+let cell_value t ~axis_index cell =
+  if cell.id < 0 then None else Some (Dict.value t.dicts.(axis_index) cell.id)
+
 let row_count t = X3_storage.Heap_file.record_count t.heap
 let fact_count t = t.facts
 let page_count t = X3_storage.Heap_file.page_count t.heap
+let dict_page_count t = X3_storage.Heap_file.page_count t.dict_heap
 let pool t = X3_storage.Heap_file.pool t.heap
 let iter f t = X3_storage.Heap_file.iter (fun r -> f (decode r)) t.heap
 
@@ -133,8 +331,7 @@ let pp_row ppf row =
   Format.fprintf ppf "@[<h>fact=%d" row.fact;
   Array.iter
     (fun cell ->
-      match cell.value with
-      | None -> Format.fprintf ppf " ⊥"
-      | Some v -> Format.fprintf ppf " %S/%x" v cell.validity)
+      if cell.id < 0 then Format.fprintf ppf " ⊥"
+      else Format.fprintf ppf " #%d/%x" cell.id cell.validity)
     row.cells;
   Format.fprintf ppf "@]"

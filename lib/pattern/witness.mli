@@ -9,19 +9,48 @@
     (bit [s] set means the binding is a legal match when exactly the
     relaxations in state [s] are applied).
 
-    A row with a [None] cell has no binding for that axis even in the most
-    relaxed state — the fact participates only in cuboids where the axis is
-    LND-removed (this is exactly how incomplete coverage enters the data).
+    Dimension values are {e dictionary-encoded}: each axis owns an intern
+    table assigning dense integer ids to the distinct strings bound on it,
+    and witness cells store those ids. Rows therefore cost a handful of
+    bytes each regardless of string length, and the cube algorithms can
+    group on packed integers (see [X3_core.Group_key]); strings are only
+    rebuilt at the export boundary.
+
+    A row whose cell has [id = null_id] has no binding for that axis even
+    in the most relaxed state — the fact participates only in cuboids where
+    the axis is LND-removed (this is exactly how incomplete coverage enters
+    the data).
 
     Rows of the same fact are contiguous, which the counter-based algorithm
     relies on to form per-fact combination blocks. *)
 
+(** {1 Per-axis value dictionaries} *)
+
+module Dict : sig
+  type t
+
+  val create : unit -> t
+  val size : t -> int
+
+  val intern : t -> string -> int
+  (** Id of [s], assigning the next dense id on first sight. *)
+
+  val find : t -> string -> int option
+  val value : t -> int -> string
+  (** Raises [Invalid_argument] when the id is out of range. *)
+
+  val iter : (int -> string -> unit) -> t -> unit
+  (** In ascending id order. *)
+end
+
+(** {1 Coded rows} *)
+
 type cell = {
-  value : string option;
+  id : int;  (** per-axis dictionary id, or {!null_id} when unbound *)
   validity : int;
   first : bool;
       (** is this the fact's first binding of the axis (document order)?
-          [None] cells are trivially [first]. A row {e represents} a fact
+          Null cells are trivially [first]. A row {e represents} a fact
           in a cuboid iff every present axis is valid at the cuboid's state
           and every LND-removed axis holds a first binding — the canonical
           representative that keeps the cartesian blow-up of repeated
@@ -30,31 +59,67 @@ type cell = {
 
 type row = { fact : int; cells : cell array }
 
+val null_id : int
+(** The id of an unbound cell; always negative. *)
+
 val qualifies : row -> axis_index:int -> state:int -> bool
 (** Does this row participate in a cuboid whose [axis_index]-th axis is at
     structural state [state]? ([Removed] axes always qualify and are not
     asked — see {!cell.first} for how removed axes are collapsed.) *)
 
-(** {1 Binary codec} — rows are stored as heap-file records. *)
+(** Rows as produced by the pattern evaluators, before interning: cells
+    still carry the bound strings. {!materialize} interns them. *)
+module Staged : sig
+  type cell = { value : string option; validity : int; first : bool }
+  type row = { fact : int; cells : cell array }
+end
+
+(** {1 Binary codecs} — rows and dictionary pages are heap-file records. *)
 
 val encode : row -> string
 val decode : string -> row
 (** Raises [Invalid_argument] on malformed records. *)
 
+val encode_dict_chunk :
+  axis:int -> id:int -> total:int -> offset:int -> string -> string
+
+val decode_dict_chunk : string -> int * int * int * int * string
+(** [axis, id, total, offset, chunk]. Values longer than a page are split
+    across chunks; [total] is the full value length and [offset] the
+    chunk's position in it. *)
+
 (** {1 Tables} *)
 
 type t
-(** A witness table materialised into a heap file. *)
+(** A witness table materialised into a heap file, plus its dictionary
+    pages in a side heap file. *)
 
 val materialize :
-  X3_storage.Buffer_pool.t -> axes:Axis.t array -> row Seq.t -> t
+  X3_storage.Buffer_pool.t -> axes:Axis.t array -> Staged.row Seq.t -> t
+(** Intern every staged row and append the coded rows; the dictionaries are
+    flushed to their heap pages once all rows are in. *)
 
 val axes : t -> Axis.t array
+val dicts : t -> Dict.t array
+val dict : t -> int -> Dict.t
+val dict_sizes : t -> int array
+val total_dict_size : t -> int
+(** Sum of distinct values across all axes. *)
+
+val value : t -> axis_index:int -> int -> string
+val cell_value : t -> axis_index:int -> cell -> string option
+(** Decode a cell back to its bound string ([None] for null cells). *)
+
+val load_dicts : t -> Dict.t array
+(** Rebuild the dictionaries from the on-disk dictionary pages (rather than
+    the in-memory intern tables) — exercises the chunked codec. *)
+
 val row_count : t -> int
 val fact_count : t -> int
 (** Number of distinct facts (rows of one fact are contiguous). *)
 
 val page_count : t -> int
+val dict_page_count : t -> int
 val pool : t -> X3_storage.Buffer_pool.t
 
 val iter : (row -> unit) -> t -> unit
@@ -65,5 +130,4 @@ val iter_fact_blocks : (row list -> unit) -> t -> unit
     fact at a time. *)
 
 val to_list : t -> row list
-
 val pp_row : Format.formatter -> row -> unit

@@ -21,6 +21,9 @@ let set_u16 buf off v =
 
 let capacity pool = Disk.page_size (Buffer_pool.disk pool) - header_bytes
 
+(* Largest record that fits one page of this file's pool. *)
+let capacity_bytes t = capacity t.pool - record_header_bytes
+
 let append t record =
   let len = String.length record in
   if len + record_header_bytes > capacity t.pool then

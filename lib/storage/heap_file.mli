@@ -29,3 +29,6 @@ val to_seq : t -> string Seq.t
 val record_count : t -> int
 val page_count : t -> int
 val pool : t -> Buffer_pool.t
+
+val capacity_bytes : t -> int
+(** Largest record payload that fits on one (empty) page of this file. *)

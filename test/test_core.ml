@@ -445,9 +445,188 @@ let test_key_projection () =
   let to_middle = [| removed; present 1; removed |] in
   let key = Group_key.encode [ "a"; "b"; "c" ] in
   Alcotest.(check string) "project to ALL" (Group_key.encode [])
-    (Group_key.project ~from_ ~to_:to_all_removed key);
+    (Group_key.project_strings ~from_ ~to_:to_all_removed key);
   Alcotest.(check string) "project to middle" (Group_key.encode [ "b" ])
-    (Group_key.project ~from_ ~to_:to_middle key)
+    (Group_key.project_strings ~from_ ~to_:to_middle key)
+
+(* --- packed integer keys ------------------------------------------------- *)
+
+(* Random axis dictionary sizes (some 2^30-sized to force the wide
+   fallback), one id per axis, and a random present/removed cuboid. *)
+let gen_packed_case =
+  let open QCheck2.Gen in
+  let* sizes =
+    list_size (int_range 1 6)
+      (oneofl [ 1; 2; 3; 7; 100; 65_536; 1 lsl 30 ])
+  in
+  let* ids = flatten_l (List.map (fun n -> int_bound (n - 1)) sizes) in
+  let* present = flatten_l (List.map (fun _ -> bool) sizes) in
+  return (Array.of_list sizes, Array.of_list ids, Array.of_list present)
+
+let cuboid_of_bools bools =
+  Array.map (fun p -> if p then present 0 else removed) bools
+
+let prop_packed_key_roundtrip =
+  QCheck2.Test.make ~name:"packed key roundtrip (incl. wide fallback)"
+    ~count:300 gen_packed_case (fun (sizes, ids, bools) ->
+      let layout = Group_key.layout_of_sizes sizes in
+      let cuboid = cuboid_of_bools bools in
+      let key = Group_key.of_axis_ids layout cuboid ids in
+      let ids_survive =
+        Array.for_all Fun.id
+          (Array.mapi
+             (fun ai p -> (not p) || Group_key.id_at layout key ~axis:ai = ids.(ai))
+             bools)
+      in
+      let representation_matches =
+        match key with
+        | Group_key.Packed _ -> layout.Group_key.packed_fits
+        | Group_key.Wide _ -> not layout.Group_key.packed_fits
+      in
+      let sortable_roundtrips =
+        Group_key.equal key
+          (Group_key.of_sortable layout (Group_key.to_sortable key))
+      in
+      (* The allocation-free scratch path builds the same key from a row. *)
+      let row =
+        {
+          Witness.fact = 0;
+          cells =
+            Array.map
+              (fun id -> { Witness.id; validity = 1; first = true })
+              ids;
+        }
+      in
+      let scratch = Group_key.make_scratch layout in
+      Group_key.load scratch cuboid row;
+      ids_survive && representation_matches && sortable_roundtrips
+      && Group_key.equal key (Group_key.freeze scratch))
+
+let prop_packed_key_project =
+  QCheck2.Test.make ~name:"packed key projection drops removed axes"
+    ~count:300
+    QCheck2.Gen.(
+      pair gen_packed_case
+        (list_size (int_range 1 6) bool))
+    (fun ((sizes, ids, bools), keep) ->
+      let layout = Group_key.layout_of_sizes sizes in
+      let cuboid = cuboid_of_bools bools in
+      let keep = Array.of_list keep in
+      let coarser =
+        Array.mapi
+          (fun ai p ->
+            if p && ai < Array.length keep && keep.(ai) then present 0
+            else removed)
+          bools
+      in
+      let key = Group_key.of_axis_ids layout cuboid ids in
+      Group_key.equal
+        (Group_key.project layout ~to_:coarser key)
+        (Group_key.of_axis_ids layout coarser ids))
+
+let test_long_value_rejected_not_corrupted () =
+  (* The legacy row->key path wrote u16 component lengths without the
+     bounds check [encode] has, silently truncating lengths ≥ 64 KiB into
+     corrupt keys. The string codec now always raises; long values flow
+     through the dictionary layer, which has no such ceiling. *)
+  let big = String.make 0x10000 'b' in
+  (try
+     ignore (Group_key.encode [ big ]);
+     Alcotest.fail "encode must reject 64 KiB components"
+   with Invalid_argument _ -> ());
+  let doc =
+    parse_ok
+      (Printf.sprintf "<db><r><a>%s</a></r><r><a>%s</a></r></db>" big big)
+  in
+  let store = X3_xdb.Store.of_document doc in
+  let axes =
+    [|
+      X3_pattern.Axis.make_exn ~name:"$a" ~steps:[ step c "a" ]
+        ~allowed:[ Relax.Lnd ];
+    |]
+  in
+  let spec = Engine.count_spec ~fact_path:[ step d "r" ] ~axes in
+  let p = Engine.prepare ~pool:(small_pool ()) ~store spec in
+  let result, _ = Engine.run p Engine.Naive in
+  let rigid = X3_lattice.Lattice.rigid_id (Engine.lattice p) in
+  Alcotest.(check int) "one huge-valued group" 1
+    (Cube_result.cuboid_size result rigid);
+  let total = ref 0. in
+  Cube_result.iter_cuboid result rigid (fun _ cell ->
+      total := !total +. Aggregate.value Aggregate.Count cell);
+  Alcotest.(check (float 1e-9)) "both facts counted" 2. !total
+
+(* --- coded path vs legacy string grouping --------------------------------- *)
+
+(* Reference cube computed the way the engine grouped before dictionary
+   encoding: string keys assembled from decoded cell values, plain
+   Hashtbl. Every algorithm's decode-on-export output must be
+   bit-identical. *)
+let legacy_reference_cells p =
+  let table = Engine.table p in
+  let lattice = Engine.lattice p in
+  let measure = Engine.measure p in
+  let key_parts cuboid row =
+    let parts = ref [] in
+    Array.iteri
+      (fun ai state ->
+        match state with
+        | X3_lattice.State.Removed -> ()
+        | X3_lattice.State.Present _ -> (
+            match
+              Witness.cell_value table ~axis_index:ai row.Witness.cells.(ai)
+            with
+            | Some v -> parts := v :: !parts
+            | None -> assert false))
+      cuboid;
+    List.rev !parts
+  in
+  Array.map
+    (fun cid ->
+      let cuboid = X3_lattice.Lattice.cuboid lattice cid in
+      let groups : (string, float) Hashtbl.t = Hashtbl.create 64 in
+      Witness.iter_fact_blocks
+        (fun block ->
+          let seen = Hashtbl.create 4 in
+          List.iter
+            (fun row ->
+              if X3_core.Context.row_represents cuboid row then begin
+                let key = Group_key.encode (key_parts cuboid row) in
+                if not (Hashtbl.mem seen key) then begin
+                  Hashtbl.add seen key ();
+                  Hashtbl.replace groups key
+                    (Option.value (Hashtbl.find_opt groups key) ~default:0.
+                    +. measure row.Witness.fact)
+                end
+              end)
+            block)
+        table;
+      Hashtbl.fold (fun key v acc -> (key, v) :: acc) groups []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+    (X3_lattice.Lattice.by_degree lattice)
+
+let test_coded_path_matches_legacy_grouping () =
+  let p = prepared () in
+  let expected = legacy_reference_cells p in
+  let props = X3_lattice.Properties.observe (Engine.table p) (lattice_of p) in
+  List.iter
+    (fun algorithm ->
+      let result, _ = Engine.run ~props p algorithm in
+      Array.iteri
+        (fun i cid ->
+          let got =
+            List.map
+              (fun (key, cell) ->
+                (key, Aggregate.value Aggregate.Count cell))
+              (Cube_result.cuboid_cells result cid)
+          in
+          Alcotest.(check (list (pair string (float 1e-9))))
+            (Printf.sprintf "%s cuboid %d"
+               (Engine.algorithm_to_string algorithm)
+               cid)
+            expected.(i) got)
+        (X3_lattice.Lattice.by_degree (lattice_of p)))
+    (Engine.Naive :: correct_algorithms)
 
 (* --- external sorting through a real file ------------------------------------ *)
 
@@ -923,6 +1102,10 @@ let () =
           Alcotest.test_case "correct_under table" `Quick test_correct_under;
           Alcotest.test_case "counter budget 1" `Quick test_counter_budget_one;
           Alcotest.test_case "key projection" `Quick test_key_projection;
+          Alcotest.test_case "long values rejected, not corrupted" `Quick
+            test_long_value_rejected_not_corrupted;
+          Alcotest.test_case "coded path = legacy string grouping" `Quick
+            test_coded_path_matches_legacy_grouping;
           Alcotest.test_case "file-backed external sorts" `Quick
             test_td_with_file_backed_disk;
         ] );
@@ -956,6 +1139,8 @@ let () =
           [
             prop_merge_associative;
             prop_key_roundtrip;
+            prop_packed_key_roundtrip;
+            prop_packed_key_project;
             prop_algorithms_agree;
             prop_optimised_correct_when_licensed;
             prop_counter_budget_independent;

@@ -155,7 +155,7 @@ let test_rows_none_padding () =
   Alcotest.(check int) "one row" 1 (List.length rows);
   let row = List.hd rows in
   Alcotest.(check bool) "publisher cell is None" true
-    (row.Witness.cells.(1).Witness.value = None)
+    (row.Witness.Staged.cells.(1).Witness.Staged.value = None)
 
 (* --- witness table ------------------------------------------------------ *)
 
@@ -177,9 +177,9 @@ let test_codec_roundtrip () =
       Witness.fact = 12345;
       cells =
         [|
-          { Witness.value = Some "John"; validity = 0b1111; first = true };
-          { Witness.value = None; validity = 0; first = true };
-          { Witness.value = Some ""; validity = 1; first = false };
+          { Witness.id = 7; validity = 0b1111; first = true };
+          { Witness.id = Witness.null_id; validity = 0; first = true };
+          { Witness.id = 0; validity = 1; first = false };
         |];
     }
   in
@@ -189,7 +189,7 @@ let test_codec_roundtrip () =
   Array.iteri
     (fun i cell ->
       let orig = row.Witness.cells.(i) in
-      Alcotest.(check bool) "value" true (cell.Witness.value = orig.Witness.value);
+      Alcotest.(check int) "id" orig.Witness.id cell.Witness.id;
       Alcotest.(check bool) "first" orig.Witness.first cell.Witness.first;
       Alcotest.(check int) "validity" orig.Witness.validity cell.Witness.validity)
     decoded.Witness.cells
@@ -205,8 +205,8 @@ let gen_row =
   let open QCheck2.Gen in
   let cell =
     map3
-      (fun value validity first -> { Witness.value; validity; first })
-      (option (string_size ~gen:printable (int_bound 30)))
+      (fun id validity first -> { Witness.id; validity; first })
+      (map (fun n -> n - 1) (int_bound 1_000_000))
       (int_bound 15) bool
   in
   map2
@@ -222,10 +222,53 @@ let prop_codec_roundtrip =
       && Array.length decoded.Witness.cells = Array.length row.Witness.cells
       && Array.for_all2
            (fun a b ->
-             a.Witness.value = b.Witness.value
+             a.Witness.id = b.Witness.id
              && a.Witness.validity = b.Witness.validity
              && a.Witness.first = b.Witness.first)
            decoded.Witness.cells row.Witness.cells)
+
+(* --- dictionary pages ---------------------------------------------------- *)
+
+let test_dict_pages_roundtrip () =
+  let table = query1_table () in
+  let loaded = Witness.load_dicts table in
+  Array.iteri
+    (fun ai loaded_dict ->
+      let orig = Witness.dict table ai in
+      Alcotest.(check int)
+        "size"
+        (Witness.Dict.size orig)
+        (Witness.Dict.size loaded_dict);
+      Witness.Dict.iter
+        (fun id v ->
+          Alcotest.(check string) "value" v (Witness.Dict.value loaded_dict id))
+        orig)
+    loaded
+
+let test_dict_huge_value () =
+  (* Dimension values beyond the old 64 KiB inline-string ceiling survive
+     materialisation: the dictionary codec chunks them across pages. *)
+  let big =
+    String.init 70_000 (fun i -> Char.chr (Char.code 'a' + (i mod 26)))
+  in
+  let axes = [| axis_y () |] in
+  let staged =
+    List.to_seq
+      [
+        {
+          Witness.Staged.fact = 0;
+          cells =
+            [| { Witness.Staged.value = Some big; validity = 1; first = true } |];
+        };
+      ]
+  in
+  let table = Witness.materialize (small_pool ()) ~axes staged in
+  let row = List.hd (Witness.to_list table) in
+  Alcotest.(check bool) "decodes in memory" true
+    (Witness.cell_value table ~axis_index:0 row.Witness.cells.(0) = Some big);
+  let loaded = Witness.load_dicts table in
+  Alcotest.(check bool) "survives the page codec" true
+    (Witness.Dict.value loaded.(0) 0 = big)
 
 (* --- join-based evaluation ----------------------------------------------- *)
 
@@ -255,12 +298,17 @@ let test_join_eval_table_equals_nav_table () =
   Alcotest.(check int) "row count" (Witness.row_count nav)
     (Witness.row_count join);
   let rows t =
+    (* Decode through the dictionaries: the two tables may intern values
+       in different orders. *)
     List.map
       (fun row ->
         ( row.Witness.fact,
           Array.to_list
-            (Array.map
-               (fun c -> (c.Witness.value, c.Witness.validity, c.Witness.first))
+            (Array.mapi
+               (fun ai c ->
+                 ( Witness.cell_value t ~axis_index:ai c,
+                   c.Witness.validity,
+                   c.Witness.first ))
                row.Witness.cells) ))
       (Witness.to_list t)
   in
@@ -309,8 +357,9 @@ let prop_join_eval_equals_nav =
           (fun row ->
             ( row.Witness.fact,
               Array.to_list
-                (Array.map
-                   (fun c -> (c.Witness.value, c.Witness.validity))
+                (Array.mapi
+                   (fun ai c ->
+                     (Witness.cell_value t ~axis_index:ai c, c.Witness.validity))
                    row.Witness.cells) ))
           (Witness.to_list t)
       in
@@ -373,6 +422,9 @@ let () =
           Alcotest.test_case "codec roundtrip" `Quick test_codec_roundtrip;
           Alcotest.test_case "codec rejects garbage" `Quick
             test_codec_rejects_garbage;
+          Alcotest.test_case "dict pages roundtrip" `Quick
+            test_dict_pages_roundtrip;
+          Alcotest.test_case "dict huge value" `Quick test_dict_huge_value;
         ] );
       ( "join eval",
         [
