@@ -1,20 +1,75 @@
 (* The PR smoke benchmark: a tiny treebank workload through every
    unconditionally-correct algorithm family (COUNTER, BUC/BUCCUST,
-   TD/TDCUST) checked cell-for-cell against NAIVE, plus the string-key vs
-   packed-key grouping micro-comparison.  Writes the results as JSON
-   (BENCH_PR1.json by default, or argv.(1)).  Exits non-zero if any
-   algorithm disagrees with NAIVE, so `dune runtest` can gate on it. *)
+   TD/TDCUST) checked cell-for-cell against NAIVE, the string-key vs
+   packed-key grouping micro-comparison, and a worker-count scaling sweep
+   over the domain-parallel engine.  Writes the results as JSON
+   (BENCH_PR2.json by default, or argv.(1)).  Exits non-zero if any
+   algorithm disagrees with NAIVE, if any parallel run's cube is not
+   byte-identical to the sequential one, if any run leaks disk pages, or —
+   on hardware with at least 4 cores — if 4 workers fail to reach a 2x
+   NAIVE speedup, so `dune runtest` gates on all of it. *)
 
 module Engine = X3_core.Engine
 module Instrument = X3_core.Instrument
+module Export = X3_core.Export
+module Aggregate = X3_core.Aggregate
+module Parallel = X3_core.Parallel
+module Buffer_pool = X3_storage.Buffer_pool
+module Disk = X3_storage.Disk
 module Treebank = X3_workload.Treebank
 
 let trees = 200
 let axes = 3
 
+(* The scaling sweep uses a larger input so per-run times are dominated by
+   cube work rather than fixed costs. *)
+let sweep_trees = 400
+let sweep_workers = [ 1; 2; 4 ]
+let sweep_algorithms = Engine.[ Naive; Counter; Buc; Td ]
+
+type parallel_run = {
+  pr_algorithm : Engine.algorithm;
+  pr_workers : int;
+  pr_seconds : float;
+  pr_identical : bool;  (** export byte-identical to sequential NAIVE *)
+  pr_leaked_pages : int;  (** net live-page growth across the run *)
+}
+
+let parallel_sweep ~store ~spec ~config =
+  let pool =
+    Buffer_pool.create ~capacity_pages:65536
+      (Disk.in_memory ~page_size:8192 ())
+  in
+  let prepared = Engine.prepare ~pool ~store spec in
+  let disk = Buffer_pool.disk pool in
+  let reference =
+    Export.csv_string ~func:Aggregate.Count
+      (fst (Engine.run ~config prepared Engine.Naive))
+  in
+  List.concat_map
+    (fun algorithm ->
+      List.map
+        (fun workers ->
+          let live_before = Disk.live_page_count disk in
+          Gc.full_major ();
+          let t0 = Unix.gettimeofday () in
+          let result, _ = Engine.run ~config ~workers prepared algorithm in
+          let pr_seconds = Unix.gettimeofday () -. t0 in
+          {
+            pr_algorithm = algorithm;
+            pr_workers = workers;
+            pr_seconds;
+            pr_identical =
+              String.equal reference
+                (Export.csv_string ~func:Aggregate.Count result);
+            pr_leaked_pages = Disk.live_page_count disk - live_before;
+          })
+        sweep_workers)
+    sweep_algorithms
+
 let () =
   let out_path =
-    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_PR1.json"
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_PR2.json"
   in
   let config = { Treebank.default with num_trees = trees; axes } in
   let store = X3_xdb.Store.of_document (Treebank.generate config) in
@@ -50,11 +105,47 @@ let () =
     kc.Micro.legacy_minor_words
     (kc.Micro.packed_seconds *. 1e3)
     kc.Micro.packed_minor_words speedup;
-  let buf = Buffer.create 2048 in
+  (* --- worker scaling sweep ------------------------------------------- *)
+  let cores = Parallel.recommended () in
+  let sweep_config = { Treebank.default with num_trees = sweep_trees; axes } in
+  let sweep_store =
+    X3_xdb.Store.of_document (Treebank.generate sweep_config)
+  in
+  let runs =
+    parallel_sweep ~store:sweep_store ~spec:(Treebank.spec sweep_config)
+      ~config:{ Engine.counter_budget = 40 * sweep_trees; sort_budget = 500 }
+  in
+  let seconds_of algorithm workers =
+    match
+      List.find_opt
+        (fun r -> r.pr_algorithm = algorithm && r.pr_workers = workers)
+        runs
+    with
+    | Some r -> r.pr_seconds
+    | None -> nan
+  in
+  let naive_speedup_4w =
+    seconds_of Engine.Naive 1 /. seconds_of Engine.Naive 4
+  in
+  Printf.printf "  worker scaling (treebank trees=%d axes=%d, %d cores):\n"
+    sweep_trees axes cores;
+  List.iter
+    (fun r ->
+      Printf.printf "    %-9s workers=%d  %8.4fs  %s%s\n"
+        (Engine.algorithm_to_string r.pr_algorithm)
+        r.pr_workers r.pr_seconds
+        (if r.pr_identical then "identical" else "DIVERGED")
+        (if r.pr_leaked_pages = 0 then ""
+         else Printf.sprintf "  LEAKED %d pages" r.pr_leaked_pages))
+    runs;
+  Printf.printf "    NAIVE speedup at 4 workers: %.2fx\n" naive_speedup_4w;
+  let all_identical = List.for_all (fun r -> r.pr_identical) runs in
+  let no_leaks = List.for_all (fun r -> r.pr_leaked_pages = 0) runs in
+  (* --- JSON ------------------------------------------------------------ *)
+  let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
-    "  \"bench\": \"PR1: dictionary-encoded witness table, packed integer \
-     group keys\",\n";
+    "  \"bench\": \"PR2: domain-parallel cube engine over packed keys\",\n";
   Printf.bprintf buf
     "  \"smoke\": {\n    \"workload\": \"treebank trees=%d axes=%d\",\n\
     \    \"reference\": \"NAIVE\",\n    \"algorithms\": [\n"
@@ -81,16 +172,52 @@ let () =
     \    \"packed_int_tbl\": { \"seconds_per_pass\": %.6f, \
      \"minor_words_per_pass\": %.0f },\n\
     \    \"speedup\": %.2f\n\
-    \  }\n"
+    \  },\n"
     kc.Micro.kc_rows kc.Micro.kc_groups kc.Micro.legacy_seconds
     kc.Micro.legacy_minor_words kc.Micro.packed_seconds
     kc.Micro.packed_minor_words speedup;
+  Printf.bprintf buf
+    "  \"parallel\": {\n    \"workload\": \"treebank trees=%d axes=%d\",\n\
+    \    \"cores\": %d,\n    \"reference\": \"sequential NAIVE export\",\n\
+    \    \"runs\": [\n"
+    sweep_trees axes cores;
+  List.iteri
+    (fun i r ->
+      Printf.bprintf buf
+        "      { \"name\": %S, \"workers\": %d, \"seconds\": %.6f, \
+         \"identical\": %b, \"leaked_pages\": %d }%s\n"
+        (Engine.algorithm_to_string r.pr_algorithm)
+        r.pr_workers r.pr_seconds r.pr_identical r.pr_leaked_pages
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  Printf.bprintf buf
+    "    ],\n    \"naive_speedup_4_workers\": %.2f\n  }\n"
+    naive_speedup_4w;
   Buffer.add_string buf "}\n";
   let oc = open_out out_path in
   output_string oc (Buffer.contents buf);
   close_out oc;
   Printf.printf "  wrote %s\n" out_path;
+  let fail = ref false in
   if not all_correct then begin
     prerr_endline "smoke: some algorithm disagrees with NAIVE";
-    exit 1
-  end
+    fail := true
+  end;
+  if not all_identical then begin
+    prerr_endline "smoke: a parallel run diverged from the sequential cube";
+    fail := true
+  end;
+  if not no_leaks then begin
+    prerr_endline "smoke: a run leaked disk pages";
+    fail := true
+  end;
+  (* The speedup gate only makes a claim the hardware can support: on a
+     box with fewer than 4 cores, 4 domains cannot run concurrently and
+     the sweep degenerates to a determinism/overhead check. *)
+  if cores >= 4 && not (naive_speedup_4w >= 2.0) then begin
+    Printf.eprintf
+      "smoke: NAIVE speedup at 4 workers is %.2fx (< 2x) on %d cores\n"
+      naive_speedup_4w cores;
+    fail := true
+  end;
+  if !fail then exit 1

@@ -56,7 +56,8 @@ let prepare_from_query query_path doc_override =
 
 (* --- cube --------------------------------------------------------------- *)
 
-let run_cube query_path doc algorithm_name use_schema max_groups format =
+let run_cube query_path doc algorithm_name use_schema workers max_groups
+    format =
   let spec, prepared, document, inline_dtd =
     prepare_from_query query_path doc
   in
@@ -86,7 +87,7 @@ let run_cube query_path doc algorithm_name use_schema max_groups format =
   in
   ignore document;
   let t0 = Unix.gettimeofday () in
-  let result, instr = Engine.run ?props prepared algorithm in
+  let result, instr = Engine.run ?props ~workers prepared algorithm in
   let dt = Unix.gettimeofday () -. t0 in
   (match format with
   | "table" ->
@@ -288,6 +289,15 @@ let cube_cmd =
             "Give the customised variants schema knowledge (from the \
              document's DTD, or observed from the instance).")
   in
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "workers"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the cube computation (default 1 = \
+             sequential; 0 = one per hardware core). Results are \
+             deterministic for a fixed worker count.")
+  in
   let max_groups =
     Arg.(
       value & opt int 10
@@ -303,7 +313,7 @@ let cube_cmd =
     (Cmd.info "cube" ~doc:"Run an X^3 query and print the cube")
     Term.(
       const run_cube $ query_arg $ doc_arg $ algorithm $ use_schema
-      $ max_groups $ format)
+      $ workers $ max_groups $ format)
 
 let lattice_cmd =
   let dot =

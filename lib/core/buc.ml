@@ -6,39 +6,37 @@ module Quicksort = X3_storage.Quicksort
 
 type variant = [ `Plain | `Opt | `Custom of X3_lattice.Properties.t ]
 
+(* The recursion's per-worker state: the current restriction (states/ids)
+   is mutated in place down the recursion, so every worker needs its own
+   copy, along with private counters and a domain-safe measure function. *)
+type env = {
+  states : State.t array;
+  ids : int array;  (* current partition's dictionary id per present axis *)
+  instr : Instrument.t;
+  measure : int -> float;
+}
+
 let compute ~variant (ctx : Context.t) =
   let lattice = ctx.lattice in
   let axes = Lattice.axes lattice in
   let k = Array.length axes in
   let result = Cube_result.create ~table:ctx.table lattice in
-  let instr = ctx.instr in
-  (* The base witness set is read once from the materialised table; the
-     recursion then partitions in memory, as BUC does when the input fits
-     (our scaled inputs do; the I/O cost of the initial read is counted). *)
-  let rows =
-    let acc = ref [] in
-    Context.scan ctx (fun row -> acc := row :: !acc);
-    Array.of_list (List.rev !acc)
-  in
-  let states = Array.make k State.Removed in
-  (* The current partition's dictionary id per present axis. *)
-  let ids = Array.make k 0 in
   let cell_id row ai = row.Witness.cells.(ai).Witness.id in
   (* Only rows holding the fact's first binding on every removed axis
      represent their fact here (see Context.row_represents); the partition
      keeps the others because deeper refinements may make those axes
      present. *)
-  let represents row =
+  let represents env row =
     let rec go ai =
       ai >= k
-      || ((match states.(ai) with
+      || ((match env.states.(ai) with
           | State.Removed -> row.Witness.cells.(ai).Witness.first
           | State.Present _ -> true)
          && go (ai + 1))
     in
     go 0
   in
-  let aggregate_into cid key rows_lo rows_hi part =
+  let aggregate_into env cid key rows_lo rows_hi part =
     (* Three aggregation modes (§3.4):
        - BUC: representative rows, deduplicated by fact id — always correct;
        - BUCOPT: raw row counts, assuming strict disjointness globally —
@@ -60,100 +58,148 @@ let compute ~variant (ctx : Context.t) =
     match mode with
     | `Raw ->
         for i = rows_lo to rows_hi do
-          Aggregate.add (Lazy.force cell) (ctx.measure part.(i).Witness.fact)
+          Aggregate.add (Lazy.force cell) (env.measure part.(i).Witness.fact)
         done
     | `Representative ->
         for i = rows_lo to rows_hi do
-          if represents part.(i) then
-            Aggregate.add (Lazy.force cell) (ctx.measure part.(i).Witness.fact)
+          if represents env part.(i) then
+            Aggregate.add (Lazy.force cell) (env.measure part.(i).Witness.fact)
         done
     | `Dedup ->
         let seen = Hashtbl.create 16 in
         for i = rows_lo to rows_hi do
-          if represents part.(i) then begin
+          if represents env part.(i) then begin
             let fact = part.(i).Witness.fact in
             if not (Hashtbl.mem seen fact) then begin
               Hashtbl.add seen fact ();
-              Aggregate.add (Lazy.force cell) (ctx.measure fact)
+              Aggregate.add (Lazy.force cell) (env.measure fact)
             end
           end
         done;
-        instr.Instrument.dedup_tracked <-
-          instr.Instrument.dedup_tracked + Hashtbl.length seen
+        env.instr.Instrument.dedup_tracked <-
+          env.instr.Instrument.dedup_tracked + Hashtbl.length seen
   in
   (* Is the current state vector a cuboid of the lattice?  Any axis left
      Removed — skipped by the recursion or not yet reached — must actually
      allow LND; otherwise this restriction is only an intermediate step
      and must not be emitted. *)
-  let emittable () =
+  let emittable env =
     let rec go i =
       i >= k
-      || ((match states.(i) with
+      || ((match env.states.(i) with
           | State.Removed -> Axis.allows_lnd axes.(i)
           | State.Present _ -> true)
          && go (i + 1))
     in
     go 0
   in
-  let rec refine part lo hi next =
+  let rec refine env part lo hi next =
     (* Empty restrictions produce no groups (a group exists only if some
        fact is in it), matching the reference semantics. *)
-    if hi >= lo && emittable () then begin
-      let cid = Lattice.id lattice (Array.copy states) in
-      instr.Instrument.keys_built <- instr.Instrument.keys_built + 1;
-      aggregate_into cid (Group_key.of_axis_ids ctx.layout states ids) lo hi
-        part
+    if hi >= lo && emittable env then begin
+      let cid = Lattice.id lattice (Array.copy env.states) in
+      env.instr.Instrument.keys_built <- env.instr.Instrument.keys_built + 1;
+      aggregate_into env cid
+        (Group_key.of_axis_ids ctx.layout env.states env.ids)
+        lo hi part
     end;
     for ai = next to k - 1 do
-      List.iter
-        (fun mask ->
-          (* Restrict to rows whose axis-[ai] binding is valid at [mask]:
-             count, then fill, to avoid intermediate lists. *)
-          let n = ref 0 in
-          for i = lo to hi do
-            if Witness.qualifies part.(i) ~axis_index:ai ~state:mask then
-              incr n
-          done;
-          let sub =
-            if !n = 0 then [||]
-            else begin
-              let sub = Array.make !n part.(lo) in
-              let j = ref 0 in
-              for i = lo to hi do
-                let row = part.(i) in
-                if Witness.qualifies row ~axis_index:ai ~state:mask then begin
-                  sub.(!j) <- row;
-                  incr j
-                end
-              done;
-              sub
-            end
-          in
-          let n = Array.length sub in
-          if n > 0 then begin
-            (* Partition on the grouping id: quicksort then sweep.
-               Dictionary ids compare as plain ints — no string walks. *)
-            instr.Instrument.sort_ops <- instr.Instrument.sort_ops + 1;
-            instr.Instrument.rows_sorted <- instr.Instrument.rows_sorted + n;
-            Quicksort.sort
-              ~compare:(fun a b -> Int.compare (cell_id a ai) (cell_id b ai))
-              sub;
-            states.(ai) <- State.Present mask;
-            let run_start = ref 0 in
-            for i = 1 to n do
-              let boundary =
-                i = n || cell_id sub.(i) ai <> cell_id sub.(!run_start) ai
-              in
-              if boundary then begin
-                ids.(ai) <- cell_id sub.(!run_start) ai;
-                refine sub !run_start (i - 1) (ai + 1);
-                run_start := i
-              end
-            done;
-            states.(ai) <- State.Removed
-          end)
-        (Axis.states axes.(ai))
+      List.iter (fun mask -> branch env part lo hi ai mask) (Axis.states axes.(ai))
     done
+  and branch env part lo hi ai mask =
+    (* Restrict to rows whose axis-[ai] binding is valid at [mask]:
+       count, then fill, to avoid intermediate lists. *)
+    let n = ref 0 in
+    for i = lo to hi do
+      if Witness.qualifies part.(i) ~axis_index:ai ~state:mask then incr n
+    done;
+    let sub =
+      if !n = 0 then [||]
+      else begin
+        let sub = Array.make !n part.(lo) in
+        let j = ref 0 in
+        for i = lo to hi do
+          let row = part.(i) in
+          if Witness.qualifies row ~axis_index:ai ~state:mask then begin
+            sub.(!j) <- row;
+            incr j
+          end
+        done;
+        sub
+      end
+    in
+    let n = Array.length sub in
+    if n > 0 then begin
+      (* Partition on the grouping id: quicksort then sweep.
+         Dictionary ids compare as plain ints — no string walks. *)
+      env.instr.Instrument.sort_ops <- env.instr.Instrument.sort_ops + 1;
+      env.instr.Instrument.rows_sorted <- env.instr.Instrument.rows_sorted + n;
+      Quicksort.sort
+        ~compare:(fun a b -> Int.compare (cell_id a ai) (cell_id b ai))
+        sub;
+      env.states.(ai) <- State.Present mask;
+      let run_start = ref 0 in
+      for i = 1 to n do
+        let boundary =
+          i = n || cell_id sub.(i) ai <> cell_id sub.(!run_start) ai
+        in
+        if boundary then begin
+          env.ids.(ai) <- cell_id sub.(!run_start) ai;
+          refine env sub !run_start (i - 1) (ai + 1);
+          run_start := i
+        end
+      done;
+      env.states.(ai) <- State.Removed
+    end
   in
-  refine rows 0 (Array.length rows - 1) 0;
+  let fresh_env ~instr ~measure =
+    {
+      states = Array.make k State.Removed;
+      ids = Array.make k 0;
+      instr;
+      measure;
+    }
+  in
+  if Context.workers ctx <= 1 then begin
+    (* The base witness set is read once from the materialised table; the
+       recursion then partitions in memory, as BUC does when the input fits
+       (our scaled inputs do; the I/O cost of the initial read is counted). *)
+    let rows =
+      let acc = ref [] in
+      Context.scan ctx (fun row -> acc := row :: !acc);
+      Array.of_list (List.rev !acc)
+    in
+    let env = fresh_env ~instr:ctx.instr ~measure:ctx.measure in
+    refine env rows 0 (Array.length rows - 1) 0
+  end
+  else begin
+    (* Parallel BUC splits at the recursion's first level. Branch (ai, mask)
+       emits exactly the cuboids whose first present axis is [ai] with state
+       [mask] (axes below [ai] stay Removed inside the branch), so distinct
+       tasks write to disjoint cuboids — and Cube_result preallocates one
+       table per cuboid, so workers aggregate straight into the shared
+       result with no partial-merge step. Within a branch the partitioning,
+       sort and recursion are byte-for-byte the sequential ones. *)
+    let rows = Context.snapshot_rows ctx in
+    let measure = Context.frozen_measure ctx rows in
+    let n = Array.length rows in
+    (* The apex (everything Removed) belongs to no branch; [next = k] emits
+       just it, on the calling domain. *)
+    refine (fresh_env ~instr:ctx.instr ~measure) rows 0 (n - 1) k;
+    let tasks =
+      Array.of_list
+        (List.concat_map
+           (fun ai ->
+             List.map (fun mask -> (ai, mask)) (Axis.states axes.(ai)))
+           (List.init k Fun.id))
+    in
+    let states =
+      Parallel.run ~workers:ctx.workers ~tasks:(Array.length tasks)
+        ~init:(fun _ -> fresh_env ~instr:(Instrument.create ()) ~measure)
+        ~body:(fun env t ->
+          let ai, mask = tasks.(t) in
+          branch env rows 0 (n - 1) ai mask)
+    in
+    Array.iter (fun env -> Instrument.merge ~into:ctx.instr env.instr) states
+  end;
   result

@@ -9,10 +9,11 @@ type t = {
   instr : Instrument.t;
   counter_budget : int;
   sort_budget : int;
+  workers : int;
 }
 
-let create ?(counter_budget = 1_000_000) ?(sort_budget = 200_000) ~table
-    ~lattice ~measure () =
+let create ?(counter_budget = 1_000_000) ?(sort_budget = 200_000)
+    ?(workers = 1) ~table ~lattice ~measure () =
   let instr = Instrument.create () in
   instr.Instrument.dict_size <- Witness.total_dict_size table;
   {
@@ -23,7 +24,10 @@ let create ?(counter_budget = 1_000_000) ?(sort_budget = 200_000) ~table
     instr;
     counter_budget;
     sort_budget;
+    workers = Parallel.resolve workers;
   }
+
+let workers t = t.workers
 
 let scan t f =
   t.instr.Instrument.table_scans <- t.instr.Instrument.table_scans + 1;
@@ -41,6 +45,50 @@ let scan_blocks t f =
         t.instr.Instrument.rows_scanned + List.length block;
       f block)
     t.table
+
+(* --- snapshots for the parallel paths ----------------------------------- *)
+(* Workers must not share the buffer pool (its frame table and clock hand
+   are unsynchronised), so the parallel algorithms take one instrumented
+   sequential pass that materialises the rows in memory, then fan the
+   snapshot out. Rows and their cells are immutable after materialisation,
+   so sharing them across domains is safe. *)
+
+type block = { block_measure : float; block_rows : Witness.row list }
+
+let snapshot_blocks t =
+  let acc = ref [] in
+  scan_blocks t (fun rows ->
+      match rows with
+      | [] -> ()
+      | first :: _ ->
+          acc :=
+            {
+              block_measure = t.measure first.Witness.fact;
+              block_rows = rows;
+            }
+            :: !acc);
+  Array.of_list (List.rev !acc)
+
+let snapshot_rows t =
+  let acc = ref [] in
+  scan t (fun row -> acc := row :: !acc);
+  Array.of_list (List.rev !acc)
+
+let frozen_measure t rows =
+  (* [t.measure] may memoise into a private Hashtbl (Engine.measure_fn), so
+     it must not be called from two domains. Force it for every fact here,
+     sequentially; the resulting table is then only read. *)
+  let memo : (int, float) Hashtbl.t = Hashtbl.create 1024 in
+  Array.iter
+    (fun row ->
+      let fact = row.Witness.fact in
+      if not (Hashtbl.mem memo fact) then
+        Hashtbl.replace memo fact (t.measure fact))
+    rows;
+  fun fact ->
+    match Hashtbl.find_opt memo fact with
+    | Some v -> v
+    | None -> t.measure fact
 
 let row_represents cuboid row =
   let n = Array.length cuboid in

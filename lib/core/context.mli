@@ -11,23 +11,57 @@ type t = {
           "fits in memory" knob *)
   sort_budget : int;
       (** max rows resident in one sort — beyond it sorts go external *)
+  workers : int;
+      (** resolved domain count the algorithms may use; 1 = sequential *)
 }
 
 val create :
   ?counter_budget:int ->
   ?sort_budget:int ->
+  ?workers:int ->
   table:X3_pattern.Witness.t ->
   lattice:X3_lattice.Lattice.t ->
   measure:(int -> float) ->
   unit ->
   t
-(** Budgets default to 1_000_000 counters and 200_000 rows. *)
+(** Budgets default to 1_000_000 counters and 200_000 rows. [workers]
+    defaults to 1 (today's sequential path); {!Parallel.auto_workers} (0)
+    resolves to [Domain.recommended_domain_count]. *)
+
+val workers : t -> int
+(** The resolved worker count (always >= 1). *)
 
 val scan : t -> (X3_pattern.Witness.row -> unit) -> unit
 (** One instrumented pass over the witness table. *)
 
 val scan_blocks : t -> (X3_pattern.Witness.row list -> unit) -> unit
 (** Instrumented pass grouped by fact. *)
+
+(** {1 Snapshots — the parallel algorithms' input}
+
+    The buffer pool underneath the witness table is unsynchronised, so
+    domain-parallel algorithms take one instrumented sequential pass that
+    materialises the rows in memory and then partition the snapshot across
+    workers. Rows are immutable after materialisation; sharing them across
+    domains is safe. *)
+
+type block = {
+  block_measure : float;  (** the fact's measure, pre-forced sequentially *)
+  block_rows : X3_pattern.Witness.row list;
+}
+
+val snapshot_blocks : t -> block array
+(** Every fact block, in table order, with its measure pre-computed (the
+    measure function may memoise and must not run concurrently). Counts as
+    one table scan. *)
+
+val snapshot_rows : t -> X3_pattern.Witness.row array
+(** Every row, in table order. Counts as one table scan. *)
+
+val frozen_measure : t -> X3_pattern.Witness.row array -> int -> float
+(** A domain-safe measure function: forces [measure] sequentially for every
+    fact appearing in the rows, then serves lookups from the read-only
+    memo. *)
 
 val row_represents : X3_lattice.Cuboid.t -> X3_pattern.Witness.row -> bool
 (** Is this row the fact's canonical representative in the cuboid: every

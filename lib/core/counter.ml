@@ -1,7 +1,7 @@
 module Lattice = X3_lattice.Lattice
 module Witness = X3_pattern.Witness
 
-let compute (ctx : Context.t) =
+let compute_sequential (ctx : Context.t) =
   let result = Cube_result.create ~table:ctx.table ctx.lattice in
   let instr = ctx.instr in
   let scratch = Group_key.make_scratch ctx.layout in
@@ -77,3 +77,157 @@ let compute (ctx : Context.t) =
     remaining := List.rev !evicted
   done;
   result
+
+(* Parallel COUNTER: each worker aggregates its block slice into private
+   per-cuboid counter tables under a private budget slice
+   (counter_budget / workers), evicting worker-locally. Eviction timing
+   never changes cell values — an evicted cuboid's partials are discarded
+   everywhere and the cuboid is recomputed from scratch next pass — so a
+   cuboid completes this pass iff NO worker evicted it, and the completed
+   partials merge in worker order exactly as NAIVE's do. *)
+
+type worker = {
+  scratch : Group_key.scratch;
+  seen : Group_key.Seen.t;
+  instr : Instrument.t;
+  active : (int, Aggregate.cell Group_key.Tbl.t) Hashtbl.t;
+  mutable live : int;
+  mutable peak : int;
+  mutable evicted : int list;
+}
+
+let compute_parallel (ctx : Context.t) =
+  let result = Cube_result.create ~table:ctx.table ctx.lattice in
+  let instr = ctx.instr in
+  let blocks = Context.snapshot_blocks ctx in
+  let total_rows =
+    Array.fold_left
+      (fun acc b -> acc + List.length b.Context.block_rows)
+      0 blocks
+  in
+  let budget = max 1 (ctx.counter_budget / ctx.workers) in
+  let cuboid_of = Lattice.cuboid ctx.lattice in
+  let remaining = ref (Array.to_list (Lattice.by_degree ctx.lattice)) in
+  let first_pass = ref true in
+  while !remaining <> [] do
+    instr.Instrument.passes <- instr.Instrument.passes + 1;
+    (* The snapshot already counted the first traversal as a scan; later
+       passes re-walk the snapshot, which stands in for the re-scan the
+       sequential algorithm performs. *)
+    if not !first_pass then begin
+      instr.Instrument.table_scans <- instr.Instrument.table_scans + 1;
+      instr.Instrument.rows_scanned <-
+        instr.Instrument.rows_scanned + total_rows
+    end;
+    first_pass := false;
+    let cids = Array.of_list !remaining in
+    let states =
+      Parallel.run ~workers:ctx.workers ~tasks:(Array.length blocks)
+        ~init:(fun _ ->
+          let active = Hashtbl.create 64 in
+          Array.iter
+            (fun cid -> Hashtbl.replace active cid (Group_key.Tbl.create 256))
+            cids;
+          {
+            scratch = Group_key.make_scratch ctx.layout;
+            seen = Group_key.Seen.create ();
+            instr = Instrument.create ();
+            active;
+            live = 0;
+            peak = 0;
+            evicted = [];
+          })
+        ~body:(fun w b ->
+          let { Context.block_measure = m; block_rows } = blocks.(b) in
+          Array.iter
+            (fun cid ->
+              match Hashtbl.find_opt w.active cid with
+              | None -> ()
+              | Some counters ->
+                  let cuboid = cuboid_of cid in
+                  Group_key.Seen.reset w.seen;
+                  List.iter
+                    (fun row ->
+                      if Context.row_represents cuboid row then begin
+                        Group_key.load w.scratch cuboid row;
+                        w.instr.Instrument.keys_built <-
+                          w.instr.Instrument.keys_built + 1;
+                        if Group_key.Seen.add w.seen w.scratch then
+                          Aggregate.add
+                            (Group_key.Tbl.find_or_add counters w.scratch
+                               ~default:(fun () ->
+                                 w.live <- w.live + 1;
+                                 Aggregate.create ()))
+                            m
+                      end)
+                    block_rows)
+            cids;
+          if w.live > w.peak then w.peak <- w.live;
+          (* Worker-local budget enforcement: evict the locally fattest
+             cuboid (ties to the earliest in pass order — deterministic)
+             until the slice fits. The pass's first cuboid is protected on
+             every worker: workers see different slices and could otherwise
+             each evict a different cuboid, leaving no pass with a
+             completion — protecting a common cuboid guarantees progress
+             just as the sequential keep-at-least-one rule does. *)
+          while w.live > budget && Hashtbl.length w.active > 1 do
+            let victim = ref (-1) and victim_size = ref (-1) in
+            Array.iteri
+              (fun i cid ->
+                match (if i = 0 then None else Hashtbl.find_opt w.active cid) with
+                | None -> ()
+                | Some tbl ->
+                    let size = Group_key.Tbl.length tbl in
+                    if size > !victim_size then begin
+                      victim := cid;
+                      victim_size := size
+                    end)
+              cids;
+            Hashtbl.remove w.active !victim;
+            w.live <- w.live - !victim_size;
+            w.evicted <- !victim :: w.evicted
+          done)
+    in
+    (* A cuboid completed iff no worker evicted it; merge those partials in
+       worker order. Evicted cuboids restart from scratch next pass. *)
+    let evicted_any = Hashtbl.create 16 in
+    Array.iter
+      (fun w ->
+        List.iter (fun cid -> Hashtbl.replace evicted_any cid ()) w.evicted)
+      states;
+    let pass_peak = ref 0 in
+    Array.iter
+      (fun w ->
+        pass_peak := !pass_peak + w.peak;
+        Instrument.merge ~into:instr w.instr)
+      states;
+    (* Concurrent workers' peaks coexist, so the pass's simultaneous-counter
+       bound is their sum; the run's peak is the max over passes. *)
+    if !pass_peak > instr.Instrument.peak_counters then
+      instr.Instrument.peak_counters <- !pass_peak;
+    Array.iter
+      (fun cid ->
+        if not (Hashtbl.mem evicted_any cid) then
+          Array.iter
+            (fun w ->
+              match Hashtbl.find_opt w.active cid with
+              | None -> ()
+              | Some counters ->
+                  Group_key.Tbl.iter
+                    (fun key cell ->
+                      Aggregate.merge
+                        ~into:(Cube_result.cell result ~cuboid:cid ~key)
+                        cell)
+                    counters)
+            states)
+      cids;
+    remaining :=
+      List.filter
+        (fun cid -> Hashtbl.mem evicted_any cid)
+        (Array.to_list cids)
+  done;
+  result
+
+let compute (ctx : Context.t) =
+  if Context.workers ctx <= 1 then compute_sequential ctx
+  else compute_parallel ctx

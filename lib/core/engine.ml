@@ -154,7 +154,7 @@ type config = { counter_budget : int; sort_budget : int }
 
 let default_config = { counter_budget = 1_000_000; sort_budget = 200_000 }
 
-let run ?props ?(config = default_config) prepared algorithm =
+let run ?props ?(config = default_config) ?(workers = 1) prepared algorithm =
   let props =
     match props with
     | Some p -> p
@@ -162,7 +162,7 @@ let run ?props ?(config = default_config) prepared algorithm =
   in
   let ctx =
     Context.create ~counter_budget:config.counter_budget
-      ~sort_budget:config.sort_budget ~table:prepared.table
+      ~sort_budget:config.sort_budget ~workers ~table:prepared.table
       ~lattice:prepared.lattice ~measure:prepared.measure ()
   in
   let result =

@@ -83,8 +83,15 @@ val default_config : config
 val run :
   ?props:X3_lattice.Properties.t ->
   ?config:config ->
+  ?workers:int ->
   prepared ->
   algorithm ->
   Cube_result.t * Instrument.t
 (** [props] feeds the custom variants (BUCCUST/TDCUST); it defaults to "no
-    knowledge", making them degrade to BUC/TD. *)
+    knowledge", making them degrade to BUC/TD. [workers] (default 1 —
+    sequential; {!Parallel.auto_workers} = hardware count) runs the
+    algorithm domain-parallel over a partition/merge plan: results are
+    deterministic for a fixed worker count, and identical to the
+    sequential run for COUNT (exact integer accumulation; float SUM/AVG
+    can differ in the last bits of the addition order across worker
+    counts). *)

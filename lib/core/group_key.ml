@@ -428,19 +428,46 @@ end
 
 (* --- generation-stamped membership set ---------------------------------- *)
 (* Per-fact-block deduplication: [reset] is a generation bump, so clearing
-   between the thousands of tiny blocks costs nothing. *)
+   between the thousands of tiny blocks costs nothing. Stamped entries are
+   only a cache (after a bump every entry is stale), so the table must not
+   be allowed to accumulate every distinct key a long scan ever saw:
+   [reset] rebuilds it small once stale entries dominate the widest
+   generation observed. *)
 
 module Seen = struct
-  type t = { tbl : int ref Tbl.t; mutable gen : int }
+  type t = {
+    mutable tbl : int ref Tbl.t;
+    mutable gen : int;
+    mutable live : int;  (** distinct keys added this generation *)
+    mutable high_water : int;  (** widest generation since last compaction *)
+  }
 
-  let create () = { tbl = Tbl.create 16; gen = 1 }
-  let reset t = t.gen <- t.gen + 1
+  let compaction_slack = 8
+
+  let create () = { tbl = Tbl.create 16; gen = 1; live = 0; high_water = 0 }
+
+  let table_size t = Tbl.length t.tbl
+
+  let reset t =
+    if t.live > t.high_water then t.high_water <- t.live;
+    if Tbl.length t.tbl > compaction_slack * max 16 t.high_water then begin
+      (* Stale entries dominate: drop the cache rather than let the dedup
+         set grow with total distinct keys ever seen. The high-water mark
+         restarts so one early wide block cannot pin a large table
+         forever. *)
+      t.tbl <- Tbl.create 16;
+      t.high_water <- t.live;
+      t.gen <- 0
+    end;
+    t.live <- 0;
+    t.gen <- t.gen + 1
 
   let add t scratch =
     let stamp = Tbl.find_or_add t.tbl scratch ~default:(fun () -> ref 0) in
     if !stamp = t.gen then false
     else begin
       stamp := t.gen;
+      t.live <- t.live + 1;
       true
     end
 end

@@ -146,7 +146,11 @@ end
 (** {1 Generation-stamped membership set}
 
     Per-fact-block deduplication: {!Seen.reset} is a generation bump, so
-    clearing between thousands of tiny blocks costs nothing. *)
+    clearing between thousands of tiny blocks costs nothing. Entries from
+    past generations are a reuse cache, not members; {!Seen.reset} compacts
+    the table once stale entries dominate, so the set's footprint tracks
+    the widest single generation rather than every distinct key a long
+    scan ever produced. *)
 
 module Seen : sig
   type t
@@ -157,4 +161,8 @@ module Seen : sig
   val add : t -> scratch -> bool
   (** [true] iff the scratch's key was not yet a member this generation;
       always marks it. *)
+
+  val table_size : t -> int
+  (** Entries currently cached (all generations) — what compaction
+      bounds. *)
 end

@@ -27,6 +27,21 @@ let create () =
     dict_size = 0;
   }
 
+let merge ~into t =
+  into.table_scans <- into.table_scans + t.table_scans;
+  into.rows_scanned <- into.rows_scanned + t.rows_scanned;
+  into.sort_ops <- into.sort_ops + t.sort_ops;
+  into.rows_sorted <- into.rows_sorted + t.rows_sorted;
+  into.passes <- into.passes + t.passes;
+  (* Workers run concurrently, so their peaks coexist: the session peak is
+     the sum of per-worker peaks (an upper bound on the true instant). *)
+  into.peak_counters <- into.peak_counters + t.peak_counters;
+  into.rollups <- into.rollups + t.rollups;
+  into.base_computations <- into.base_computations + t.base_computations;
+  into.dedup_tracked <- into.dedup_tracked + t.dedup_tracked;
+  into.keys_built <- into.keys_built + t.keys_built;
+  into.dict_size <- max into.dict_size t.dict_size
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<h>scans=%d rows=%d sorts=%d sorted=%d passes=%d peak-counters=%d \

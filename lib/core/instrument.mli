@@ -21,4 +21,11 @@ type t = {
 }
 
 val create : unit -> t
+
+val merge : into:t -> t -> unit
+(** Fold one worker's counters into the session counters: everything sums
+    except [dict_size] (a property of the table, merged by [max]).
+    [peak_counters] also sums — concurrent workers' peaks coexist, so the
+    sum is the session's simultaneous-counter bound. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,6 +1,6 @@
 module Lattice = X3_lattice.Lattice
 
-let compute (ctx : Context.t) =
+let compute_sequential (ctx : Context.t) =
   let result = Cube_result.create ~table:ctx.table ctx.lattice in
   let instr = ctx.instr in
   let ids = Lattice.by_degree ctx.lattice in
@@ -31,3 +31,70 @@ let compute (ctx : Context.t) =
                 block)
             cuboids);
   result
+
+(* The parallel plan (partition/merge): fact blocks are the task unit —
+   per-block dedup means no group-key state crosses a block boundary, so
+   any contiguous split of the block sequence aggregates independently.
+   Each worker owns a private scratch/Seen/Instrument and one partial
+   table per cuboid; partials merge into the result in worker order, so a
+   cell's accumulation order is a pure function of (workers, blocks). *)
+
+type worker = {
+  scratch : Group_key.scratch;
+  seen : Group_key.Seen.t;
+  instr : Instrument.t;
+  partials : Aggregate.cell Group_key.Tbl.t array;  (* one per cuboid *)
+}
+
+let compute_parallel (ctx : Context.t) =
+  let result = Cube_result.create ~table:ctx.table ctx.lattice in
+  let ids = Lattice.by_degree ctx.lattice in
+  let cuboids = Array.map (Lattice.cuboid ctx.lattice) ids in
+  let blocks = Context.snapshot_blocks ctx in
+  let states =
+    Parallel.run ~workers:ctx.workers ~tasks:(Array.length blocks)
+      ~init:(fun _ ->
+        {
+          scratch = Group_key.make_scratch ctx.layout;
+          seen = Group_key.Seen.create ();
+          instr = Instrument.create ();
+          partials = Array.map (fun _ -> Group_key.Tbl.create 256) ids;
+        })
+      ~body:(fun w b ->
+        let { Context.block_measure = m; block_rows } = blocks.(b) in
+        Array.iteri
+          (fun i cuboid ->
+            Group_key.Seen.reset w.seen;
+            List.iter
+              (fun row ->
+                if Context.row_represents cuboid row then begin
+                  Group_key.load w.scratch cuboid row;
+                  w.instr.Instrument.keys_built <-
+                    w.instr.Instrument.keys_built + 1;
+                  if Group_key.Seen.add w.seen w.scratch then
+                    Aggregate.add
+                      (Group_key.Tbl.find_or_add w.partials.(i) w.scratch
+                         ~default:Aggregate.create)
+                      m
+                end)
+              block_rows)
+          cuboids)
+  in
+  Array.iter
+    (fun w ->
+      Instrument.merge ~into:ctx.instr w.instr;
+      Array.iteri
+        (fun i partial ->
+          Group_key.Tbl.iter
+            (fun key cell ->
+              Aggregate.merge
+                ~into:(Cube_result.cell result ~cuboid:ids.(i) ~key)
+                cell)
+            partial)
+        w.partials)
+    states;
+  result
+
+let compute (ctx : Context.t) =
+  if Context.workers ctx <= 1 then compute_sequential ctx
+  else compute_parallel ctx

@@ -1,0 +1,69 @@
+(* Domain-based worker pool for the cube algorithms.
+
+   The unit of parallelism is deliberately coarse and static: [run]
+   partitions task indices into contiguous per-worker ranges rather than
+   work-stealing from a shared queue. Static ranges keep every run
+   deterministic — worker [w] always processes the same tasks in the same
+   order, so per-worker partial aggregates merge in a fixed order and the
+   exported cube is byte-identical to the sequential one (see the
+   determinism cross-check in the tests). Fact blocks and first-level BUC
+   partitions are numerous and similarly sized, so the load-balance cost of
+   static ranges is small. *)
+
+let auto_workers = 0
+
+let recommended () = Domain.recommended_domain_count ()
+
+let resolve workers = if workers <= 0 then recommended () else workers
+
+let chunk ~workers ~tasks w =
+  (w * tasks / workers, ((w + 1) * tasks / workers) - 1)
+
+let run ~workers ~tasks ~init ~body =
+  if tasks < 0 then invalid_arg "Parallel.run: negative task count";
+  let workers = max 1 (min workers tasks) in
+  if workers <= 1 then begin
+    let state = init 0 in
+    for i = 0 to tasks - 1 do
+      body state i
+    done;
+    [| state |]
+  end
+  else begin
+    let work w () =
+      let state = init w in
+      let lo, hi = chunk ~workers ~tasks w in
+      for i = lo to hi do
+        body state i
+      done;
+      state
+    in
+    let domains =
+      Array.init (workers - 1) (fun w -> Domain.spawn (work (w + 1)))
+    in
+    (* The calling domain is worker 0; join the helpers even if it raises,
+       so no domain outlives the call. *)
+    let first = try Ok (work 0 ()) with e -> Error e in
+    let rest =
+      Array.map (fun d -> try Ok (Domain.join d) with e -> Error e) domains
+    in
+    let states =
+      Array.init workers (fun w ->
+          match if w = 0 then first else rest.(w - 1) with
+          | Ok s -> s
+          | Error e -> raise e)
+    in
+    states
+  end
+
+let map ~workers ~tasks f =
+  let results =
+    run ~workers ~tasks
+      ~init:(fun _ -> ref [])
+      ~body:(fun acc i -> acc := (i, f i) :: !acc)
+  in
+  let out = Array.make tasks None in
+  Array.iter
+    (fun acc -> List.iter (fun (i, v) -> out.(i) <- Some v) !acc)
+    results;
+  Array.map (function Some v -> v | None -> assert false) out

@@ -1,0 +1,44 @@
+(** Deterministic domain-parallel execution for the cube algorithms.
+
+    The parallel plan is the classic partition/merge of Gray et al.'s
+    relational cube work: partition the input into per-worker slices, give
+    each worker private scratch state, aggregate each slice independently,
+    then merge the partials in worker order. {!run} supplies the
+    partitioning and lifecycle; the algorithms supply the per-worker state
+    and the merge.
+
+    Task indices are split into {e contiguous static ranges} (worker [w] of
+    [n] gets [\[w*tasks/n, (w+1)*tasks/n)]), not stolen dynamically: the
+    task→worker mapping — and therefore every merge order — is a pure
+    function of [(workers, tasks)], which is what makes parallel runs
+    byte-identical to sequential ones. *)
+
+val auto_workers : int
+(** The conventional "pick for me" worker count (0): {!resolve} maps it to
+    {!recommended}. *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count] — the hardware's useful parallelism. *)
+
+val resolve : int -> int
+(** [resolve w] is [w] for positive [w], {!recommended} for
+    {!auto_workers} (or any non-positive value). *)
+
+val run :
+  workers:int ->
+  tasks:int ->
+  init:(int -> 's) ->
+  body:('s -> int -> unit) ->
+  's array
+(** [run ~workers ~tasks ~init ~body] executes [body state i] for every task
+    index [0 <= i < tasks], each worker running its contiguous range in
+    ascending order against its own [init w] state, and returns the states
+    in worker order for merging. At most [min workers tasks] domains run;
+    with one effective worker everything happens inline on the calling
+    domain (no spawn), so [workers = 1] is exactly the sequential path.
+    An exception from any worker is re-raised after all domains are
+    joined. *)
+
+val map : workers:int -> tasks:int -> (int -> 'a) -> 'a array
+(** [map ~workers ~tasks f] is [Array.init tasks f] with the calls spread
+    across workers. [f] must be safe to call concurrently. *)

@@ -2,8 +2,11 @@ module Lattice = X3_lattice.Lattice
 module State = X3_lattice.State
 module Properties = X3_lattice.Properties
 module Witness = X3_pattern.Witness
+module Buffer_pool = X3_storage.Buffer_pool
+module Disk = X3_storage.Disk
 module External_sort = X3_storage.External_sort
 module Heap_file = X3_storage.Heap_file
+module Stats = X3_storage.Stats
 
 type variant = [ `Plain | `Opt | `OptAll | `Custom of X3_lattice.Properties.t ]
 
@@ -28,11 +31,17 @@ let row_qualifies cuboid row =
    - [`Raw] (TDOPT/TDOPTALL's base step): qualifying rows without ids,
      counted blindly; assumes strict disjointness.
    - [`Representative] (TDCUST where the oracle proves the cuboid
-     disjoint): only representative rows, no ids — correct and cheaper. *)
-let compute_from_base (ctx : Context.t) result cid ~mode =
-  let instr = ctx.instr in
+     disjoint): only representative rows, no ids — correct and cheaper.
+
+   The caller chooses where the sort spills ([pool]) and which counters and
+   measure it uses, so the same code serves the sequential path (the
+   table's pool, the context's instrumentation) and the parallel one (a
+   worker-private pool and counters). The sorted run is freed once swept —
+   it is a temporary, and leaving it allocated leaked its pages once per
+   cuboid per run. *)
+let compute_from_base (ctx : Context.t) ~instr ~pool ~measure ~iter_rows
+    result cid ~mode =
   let cuboid = Lattice.cuboid ctx.lattice cid in
-  let pool = Witness.pool ctx.table in
   instr.Instrument.base_computations <- instr.Instrument.base_computations + 1;
   instr.Instrument.sort_ops <- instr.Instrument.sort_ops + 1;
   let dedup = mode = `Dedup in
@@ -46,7 +55,7 @@ let compute_from_base (ctx : Context.t) result cid ~mode =
   let sorted =
     External_sort.sort_records ~pool ~budget_records:ctx.sort_budget
       ~compare:Sort_record.compare (fun emit ->
-        Context.scan ctx (fun row ->
+        iter_rows (fun row ->
             if keep cuboid row then begin
               incr fed;
               (* Sort on the order-preserving byte form of the coded key:
@@ -58,7 +67,7 @@ let compute_from_base (ctx : Context.t) result cid ~mode =
               emit
                 (Sort_record.encode ~key
                    ~fact:(if dedup then row.Witness.fact else 0)
-                   ~measure:(ctx.measure row.Witness.fact))
+                   ~measure:(measure row.Witness.fact))
             end))
   in
   instr.Instrument.rows_sorted <- instr.Instrument.rows_sorted + !fed;
@@ -90,7 +99,8 @@ let compute_from_base (ctx : Context.t) result cid ~mode =
       if dedup then
         instr.Instrument.dedup_tracked <- instr.Instrument.dedup_tracked + 1;
       prev_fact := fact)
-    sorted
+    sorted;
+  Heap_file.free sorted
 
 (* Roll a cuboid up from a finer, already computed cuboid's cells.  Only
    sound when the (finer -> coarser) edge is covered and the finer cuboid
@@ -105,41 +115,108 @@ let rollup (ctx : Context.t) result ~finer ~coarser =
         ~into:(Cube_result.cell result ~cuboid:coarser ~key:key')
         cell)
 
+type worker = { instr : Instrument.t; pool : Buffer_pool.t }
+
 let compute ~variant (ctx : Context.t) =
   let lattice = ctx.lattice in
   let result = Cube_result.create ~table:ctx.table lattice in
   let order = Lattice.by_degree lattice in
-  (match variant with
-  | `Plain ->
-      Array.iter (fun cid -> compute_from_base ctx result cid ~mode:`Dedup) order
-  | `Opt ->
-      Array.iter (fun cid -> compute_from_base ctx result cid ~mode:`Raw) order
-  | `OptAll ->
-      (* Finest first from base; everything else from a one-step-finer
-         cuboid, assuming both properties globally. *)
-      Array.iter
-        (fun cid ->
-          match Lattice.children lattice cid with
-          | [] -> compute_from_base ctx result cid ~mode:`Raw
-          | finer :: _ -> rollup ctx result ~finer ~coarser:cid)
-        order
-  | `Custom props ->
-      Array.iter
-        (fun cid ->
-          let viable_child =
-            List.find_opt
-              (fun finer ->
-                Properties.edge_covered props ~finer ~coarser:cid
-                && Properties.cuboid_disjoint props finer)
-              (Lattice.children lattice cid)
-          in
-          match viable_child with
-          | Some finer -> rollup ctx result ~finer ~coarser:cid
-          | None ->
-              let mode =
-                if Properties.cuboid_disjoint props cid then `Representative
-                else `Dedup
-              in
-              compute_from_base ctx result cid ~mode)
-        order);
+  (* Every cuboid's provenance is a pure function of variant, lattice and
+     properties — decided up front so the parallel path can fan the base
+     computations out and replay the roll-ups afterwards. *)
+  let plan cid =
+    match variant with
+    | `Plain -> `Base `Dedup
+    | `Opt -> `Base `Raw
+    | `OptAll -> (
+        (* Finest first from base; everything else from a one-step-finer
+           cuboid, assuming both properties globally. *)
+        match Lattice.children lattice cid with
+        | [] -> `Base `Raw
+        | finer :: _ -> `Rollup finer)
+    | `Custom props -> (
+        let viable_child =
+          List.find_opt
+            (fun finer ->
+              Properties.edge_covered props ~finer ~coarser:cid
+              && Properties.cuboid_disjoint props finer)
+            (Lattice.children lattice cid)
+        in
+        match viable_child with
+        | Some finer -> `Rollup finer
+        | None ->
+            let mode =
+              if Properties.cuboid_disjoint props cid then `Representative
+              else `Dedup
+            in
+            `Base mode)
+  in
+  let plans = Array.map plan order in
+  if Context.workers ctx <= 1 then
+    Array.iteri
+      (fun i cid ->
+        match plans.(i) with
+        | `Base mode ->
+            compute_from_base ctx ~instr:ctx.instr
+              ~pool:(Witness.pool ctx.table) ~measure:ctx.measure
+              ~iter_rows:(Context.scan ctx) result cid ~mode
+        | `Rollup finer -> rollup ctx result ~finer ~coarser:cid)
+      order
+  else begin
+    (* Base computations write to disjoint cuboids (one task = one cuboid),
+       so workers aggregate into the shared result directly; each worker
+       spills its external sorts into a private in-memory scratch pool —
+       the shared buffer pool is unsynchronised. Roll-ups run afterwards on
+       the calling domain in coarsening order, exactly as the sequential
+       sweep interleaves them, since a roll-up may read a cuboid that
+       another roll-up produced. *)
+    let rows = Context.snapshot_rows ctx in
+    let measure = Context.frozen_measure ctx rows in
+    let iter_rows instr f =
+      instr.Instrument.table_scans <- instr.Instrument.table_scans + 1;
+      instr.Instrument.rows_scanned <-
+        instr.Instrument.rows_scanned + Array.length rows;
+      Array.iter f rows
+    in
+    let base =
+      Array.of_list
+        (List.filteri
+           (fun i _ -> match plans.(i) with `Base _ -> true | _ -> false)
+           (Array.to_list order))
+    in
+    let base_modes =
+      Array.of_list
+        (List.filter_map
+           (function `Base mode -> Some mode | `Rollup _ -> None)
+           (Array.to_list plans))
+    in
+    let states =
+      Parallel.run ~workers:ctx.workers ~tasks:(Array.length base)
+        ~init:(fun _ ->
+          {
+            instr = Instrument.create ();
+            pool = Buffer_pool.create (Disk.in_memory ());
+          })
+        ~body:(fun w t ->
+          compute_from_base ctx ~instr:w.instr ~pool:w.pool ~measure
+            ~iter_rows:(iter_rows w.instr) result base.(t)
+            ~mode:base_modes.(t))
+    in
+    Array.iter
+      (fun w ->
+        Instrument.merge ~into:ctx.instr w.instr;
+        (* Fold the scratch pools' spill traffic into the shared pool's
+           counters so a parallel run reports its I/O like a sequential
+           one. *)
+        Stats.add
+          (Buffer_pool.stats (Witness.pool ctx.table))
+          (Buffer_pool.stats w.pool))
+      states;
+    Array.iteri
+      (fun i cid ->
+        match plans.(i) with
+        | `Base _ -> ()
+        | `Rollup finer -> rollup ctx result ~finer ~coarser:cid)
+      order
+  end;
   result

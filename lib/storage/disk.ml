@@ -6,7 +6,9 @@ type backend =
 
 type t = {
   page_size : int;
-  mutable pages : int;
+  mutable pages : int;  (** address-space high-water mark *)
+  mutable free_list : int list;  (** freed ids, reused LIFO by [allocate] *)
+  freed : (int, unit) Hashtbl.t;  (** members of [free_list] *)
   backend : backend;
   stats : Stats.t;
   mutable closed : bool;
@@ -16,6 +18,8 @@ let in_memory ?(page_size = default_page_size) () =
   {
     page_size;
     pages = 0;
+    free_list = [];
+    freed = Hashtbl.create 16;
     backend = Memory (ref [||]);
     stats = Stats.create ();
     closed = false;
@@ -26,6 +30,8 @@ let on_file ?(page_size = default_page_size) path =
   {
     page_size;
     pages = 0;
+    free_list = [];
+    freed = Hashtbl.create 16;
     backend = File { fd; path };
     stats = Stats.create ();
     closed = false;
@@ -33,52 +39,97 @@ let on_file ?(page_size = default_page_size) path =
 
 let page_size t = t.page_size
 let page_count t = t.pages
+let live_page_count t = t.pages - List.length t.free_list
 let stats t = t.stats
 
 let check_open t = if t.closed then invalid_arg "Disk: already closed"
 
 let check_id t id =
   if id < 0 || id >= t.pages then
-    invalid_arg (Printf.sprintf "Disk: page %d out of range [0, %d)" id t.pages)
-
-let allocate t =
-  check_open t;
-  let id = t.pages in
-  t.pages <- t.pages + 1;
-  t.stats.pages_allocated <- t.stats.pages_allocated + 1;
-  (match t.backend with
-  | Memory store ->
-      let old = !store in
-      if id >= Array.length old then begin
-        let grown =
-          Array.make (max 64 (2 * Array.length old)) Bytes.empty
-        in
-        Array.blit old 0 grown 0 (Array.length old);
-        store := grown
-      end;
-      !store.(id) <- Bytes.make t.page_size '\000'
-  | File { fd; _ } ->
-      (* Extend the file so positioned reads of fresh pages succeed. *)
-      ignore (Unix.LargeFile.lseek fd
-                (Int64.of_int ((id + 1) * t.page_size - 1))
-                Unix.SEEK_SET);
-      ignore (Unix.write fd (Bytes.make 1 '\000') 0 1));
-  id
-
-let really_read fd buf len =
-  let rec go off =
-    if off < len then begin
-      let n = Unix.read fd buf off (len - off) in
-      if n = 0 then Bytes.fill buf off (len - off) '\000' else go (off + n)
-    end
-  in
-  go 0
+    invalid_arg (Printf.sprintf "Disk: page %d out of range [0, %d)" id t.pages);
+  if Hashtbl.mem t.freed id then
+    invalid_arg (Printf.sprintf "Disk: page %d is freed" id)
 
 let really_write fd buf len =
   let rec go off =
     if off < len then begin
       let n = Unix.write fd buf off (len - off) in
       go (off + n)
+    end
+  in
+  go 0
+
+let seek_page fd t id =
+  ignore
+    (Unix.LargeFile.lseek fd (Int64.of_int (id * t.page_size)) Unix.SEEK_SET)
+
+let zero_page t id =
+  match t.backend with
+  | Memory store -> !store.(id) <- Bytes.make t.page_size '\000'
+  | File { fd; _ } ->
+      seek_page fd t id;
+      really_write fd (Bytes.make t.page_size '\000') t.page_size
+
+let allocate t =
+  check_open t;
+  t.stats.pages_allocated <- t.stats.pages_allocated + 1;
+  match t.free_list with
+  | id :: rest ->
+      (* Reuse a freed page; re-zero it so the "allocate returns a zeroed
+         page" contract survives recycling. *)
+      t.free_list <- rest;
+      Hashtbl.remove t.freed id;
+      zero_page t id;
+      id
+  | [] ->
+      let id = t.pages in
+      t.pages <- t.pages + 1;
+      (match t.backend with
+      | Memory store ->
+          let old = !store in
+          if id >= Array.length old then begin
+            let grown =
+              Array.make (max 64 (2 * Array.length old)) Bytes.empty
+            in
+            Array.blit old 0 grown 0 (Array.length old);
+            store := grown
+          end;
+          !store.(id) <- Bytes.make t.page_size '\000'
+      | File { fd; _ } ->
+          (* Extend the file so positioned reads of fresh pages succeed. *)
+          ignore (Unix.LargeFile.lseek fd
+                    (Int64.of_int ((id + 1) * t.page_size - 1))
+                    Unix.SEEK_SET);
+          ignore (Unix.write fd (Bytes.make 1 '\000') 0 1));
+      id
+
+let free t id =
+  check_open t;
+  check_id t id;
+  (* Release the backing store eagerly on the memory backend so a freed
+     page's bytes are reclaimable (and use-after-free is detectable). *)
+  (match t.backend with
+  | Memory store -> !store.(id) <- Bytes.empty
+  | File _ -> ());
+  t.free_list <- id :: t.free_list;
+  Hashtbl.replace t.freed id ();
+  t.stats.pages_freed <- t.stats.pages_freed + 1
+
+(* [allocate] materialises every page up to the end of its id's extent, so a
+   short read of any valid page means the backing file was truncated or
+   corrupted — zero-filling would silently return a blank page where real
+   data should be. *)
+let really_read fd ~page buf len =
+  let rec go off =
+    if off < len then begin
+      let n = Unix.read fd buf off (len - off) in
+      if n = 0 then
+        failwith
+          (Printf.sprintf
+             "Disk: short read of page %d (%d of %d bytes) — backing file \
+              truncated?"
+             page off len)
+      else go (off + n)
     end
   in
   go 0
@@ -92,10 +143,8 @@ let read_into t id buf =
   match t.backend with
   | Memory store -> Bytes.blit !store.(id) 0 buf 0 t.page_size
   | File { fd; _ } ->
-      ignore
-        (Unix.LargeFile.lseek fd (Int64.of_int (id * t.page_size))
-           Unix.SEEK_SET);
-      really_read fd buf t.page_size
+      seek_page fd t id;
+      really_read fd ~page:id buf t.page_size
 
 let write t id buf =
   check_open t;
@@ -106,10 +155,15 @@ let write t id buf =
   match t.backend with
   | Memory store -> Bytes.blit buf 0 !store.(id) 0 t.page_size
   | File { fd; _ } ->
-      ignore
-        (Unix.LargeFile.lseek fd (Int64.of_int (id * t.page_size))
-           Unix.SEEK_SET);
+      seek_page fd t id;
       really_write fd buf t.page_size
+
+let sync t =
+  check_open t;
+  t.stats.syncs <- t.stats.syncs + 1;
+  match t.backend with
+  | Memory _ -> ()
+  | File { fd; _ } -> Unix.fsync fd
 
 let close t =
   if not t.closed then begin

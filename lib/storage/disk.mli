@@ -6,7 +6,11 @@
     used when a workload must exceed memory, and to make external-sort
     spills real. Either way, {!Stats.t} counts page transfers; every access
     is expected to go through {!Buffer_pool}, which is what turns the paper's
-    512 MB / 8 KB page configuration into a knob. *)
+    512 MB / 8 KB page configuration into a knob.
+
+    Freed pages ({!free}) go on a free list that {!allocate} reuses LIFO, so
+    temporary structures (external-sort runs, spilled cuboids) do not grow
+    the disk for the life of the process. Accessing a freed page raises. *)
 
 type t
 
@@ -20,17 +24,38 @@ val on_file : ?page_size:int -> string -> t
     {!close} (spill files are temporaries). *)
 
 val page_size : t -> int
+
 val page_count : t -> int
+(** High-water page count: every id ever allocated, including freed ones. *)
+
+val live_page_count : t -> int
+(** Currently allocated pages — {!page_count} minus the free list. This is
+    the number external-sort leak tests gate on. *)
 
 val allocate : t -> int
-(** Allocate a zeroed page and return its id. *)
+(** Allocate a zeroed page and return its id — a recycled free-list page
+    (re-zeroed) when one exists, a fresh id otherwise. *)
+
+val free : t -> int -> unit
+(** Return a page to the free list. Raises [Invalid_argument] on bad ids or
+    double frees. Callers holding pages in a {!Buffer_pool} must free
+    through [Buffer_pool.free_page] so the resident frame is invalidated
+    first. *)
 
 val read_into : t -> int -> bytes -> unit
 (** [read_into t id buf] fills [buf] (of length [page_size t]) with page
-    [id]. Raises [Invalid_argument] on bad ids or buffer sizes. *)
+    [id]. Raises [Invalid_argument] on bad/freed ids or buffer sizes, and
+    [Failure] when the file backend returns a short read — every allocated
+    page is materialised to full length, so a short read means the backing
+    file was truncated and zero-filling would silently fabricate a blank
+    page. *)
 
 val write : t -> int -> bytes -> unit
 (** [write t id buf] stores [buf] as page [id]. *)
+
+val sync : t -> unit
+(** Durability barrier: [fsync] on the file backend, a no-op on the memory
+    backend. Counted in {!Stats.t}[.syncs] either way. *)
 
 val stats : t -> Stats.t
 val close : t -> unit

@@ -39,6 +39,9 @@ let merge_runs ~pool ~compare runs =
         drain ()
   in
   drain ();
+  (* The input runs are fully consumed intermediates: return their pages to
+     the free list, or every merge pass permanently grows the disk. *)
+  List.iter Heap_file.free runs;
   out
 
 let rec merge_all ~pool ~compare ~fanout runs =

@@ -3,10 +3,11 @@
     budget.
 
     An external sort quicksorts budget-sized runs, spills each run to a heap
-    file, then merges runs [fanout] at a time until one remains. Runs, merge
-    passes and record counts are accumulated into the pool's {!Stats.t} —
-    the top-down cube algorithms' "exponential number of external sorts"
-    shows up there. *)
+    file, then merges runs [fanout] at a time until one remains; each merge
+    frees its input runs ({!Heap_file.free}), so only the final output holds
+    pages when the sort returns. Runs, merge passes and record counts are
+    accumulated into the pool's {!Stats.t} — the top-down cube algorithms'
+    "exponential number of external sorts" shows up there. *)
 
 val default_fanout : int
 (** 64-way merge. *)

@@ -56,6 +56,12 @@ let append t record =
   end;
   t.records <- t.records + 1
 
+let free t =
+  List.iter (Buffer_pool.free_page t.pool) t.pages;
+  t.pages <- [];
+  t.page_order <- None;
+  t.records <- 0
+
 let forward_pages t =
   match t.page_order with
   | Some order -> order

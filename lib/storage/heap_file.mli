@@ -17,6 +17,11 @@ val append : t -> string -> unit
 (** Add one record at the end. Raises [Invalid_argument] if the record
     cannot fit on an empty page. *)
 
+val free : t -> unit
+(** Return every page to the pool's disk free list, leaving the file empty.
+    Temporary files (external-sort runs, spilled intermediates) must be
+    freed when consumed or the disk grows for the life of the pool. *)
+
 val iter : (string -> unit) -> t -> unit
 (** Scan every record in insertion order, touching pages through the
     pool. *)

@@ -8,10 +8,12 @@
 type t = {
   mutable page_reads : int;  (** pages fetched from the disk layer *)
   mutable page_writes : int;  (** pages written back to the disk layer *)
-  mutable pages_allocated : int;
+  mutable pages_allocated : int;  (** counts free-list reuse too *)
+  mutable pages_freed : int;  (** pages returned to the disk free list *)
   mutable pool_hits : int;  (** buffer-pool lookups served from memory *)
   mutable pool_misses : int;
   mutable evictions : int;
+  mutable syncs : int;  (** durability barriers requested ({!Disk.sync}) *)
   mutable sort_runs : int;  (** sorted runs spilled by external sorts *)
   mutable merge_passes : int;
   mutable records_sorted : int;

@@ -1047,6 +1047,105 @@ let prop_counter_budget_independent =
       let result, _ = Engine.run ~config p Engine.Counter in
       Cube_result.equal ~func:Aggregate.Count reference result)
 
+(* --- domain-parallel execution -------------------------------------------- *)
+
+let parallel_algorithms = Engine.[ Naive; Counter; Buc; Buccust; Td; Tdcust ]
+
+let test_parallel_determinism () =
+  let p = prepared () in
+  let reference =
+    Export.csv_string ~func:Aggregate.Count (fst (Engine.run p Engine.Naive))
+  in
+  List.iter
+    (fun algorithm ->
+      List.iter
+        (fun workers ->
+          let result, _ = Engine.run ~workers p algorithm in
+          Alcotest.(check string)
+            (Printf.sprintf "%s at %d workers = sequential NAIVE"
+               (Engine.algorithm_to_string algorithm)
+               workers)
+            reference
+            (Export.csv_string ~func:Aggregate.Count result))
+        [ 1; 2; 4 ])
+    parallel_algorithms
+
+let test_parallel_counter_tiny_budget () =
+  (* A budget that forces several passes, split across workers: eviction
+     happens worker-locally, yet the merged cube must not change. *)
+  let p = prepared () in
+  let reference =
+    Export.csv_string ~func:Aggregate.Count (fst (Engine.run p Engine.Naive))
+  in
+  let config = { Engine.counter_budget = 3; sort_budget = 1000 } in
+  List.iter
+    (fun workers ->
+      let result, instr = Engine.run ~config ~workers p Engine.Counter in
+      Alcotest.(check bool) "several passes" true (instr.Instrument.passes > 1);
+      Alcotest.(check string)
+        (Printf.sprintf "counter at %d workers, budget 3" workers)
+        reference
+        (Export.csv_string ~func:Aggregate.Count result))
+    [ 2; 4 ]
+
+let test_parallel_resolve () =
+  Alcotest.(check bool) "auto resolves to hardware count >= 1" true
+    (Parallel.resolve Parallel.auto_workers >= 1);
+  Alcotest.(check int) "positive counts pass through" 3 (Parallel.resolve 3)
+
+let prop_parallel_matches_sequential =
+  QCheck2.Test.make ~name:"parallel runs byte-identical to sequential"
+    ~count:25
+    QCheck2.Gen.(pair gen_random_case (int_range 2 5))
+    (fun (doc, workers) ->
+      let store = X3_xdb.Store.of_document doc in
+      let spec =
+        Engine.count_spec ~fact_path:[ step d "r" ] ~axes:(random_axes ())
+      in
+      let p = Engine.prepare ~pool:(small_pool ()) ~store spec in
+      List.for_all
+        (fun algorithm ->
+          let seq =
+            Export.csv_string ~func:Aggregate.Count
+              (fst (Engine.run p algorithm))
+          in
+          let par =
+            Export.csv_string ~func:Aggregate.Count
+              (fst (Engine.run ~workers p algorithm))
+          in
+          String.equal seq par)
+        parallel_algorithms)
+
+(* --- Seen compaction ------------------------------------------------------- *)
+
+let test_seen_compaction () =
+  let layout = Group_key.layout_of_sizes [| 65536 |] in
+  let scratch = Group_key.make_scratch layout in
+  let cuboid = [| X3_lattice.State.Present 0 |] in
+  let seen = Group_key.Seen.create () in
+  let row v =
+    { Witness.fact = v; cells = [| { Witness.id = v; validity = 1; first = true } |] }
+  in
+  (* Thousands of tiny generations with mostly-fresh keys: the cache must
+     track the widest single generation, not the union of every key the
+     scan ever produced. *)
+  for g = 0 to 2_000 do
+    Group_key.Seen.reset seen;
+    for i = 0 to 4 do
+      Group_key.load scratch cuboid (row ((g * 5) + i mod 60_000));
+      ignore (Group_key.Seen.add seen scratch)
+    done
+  done;
+  Alcotest.(check bool) "table stays bounded" true
+    (Group_key.Seen.table_size seen <= 256);
+  (* Dedup semantics survive compaction. *)
+  Group_key.Seen.reset seen;
+  Group_key.load scratch cuboid (row 1);
+  Alcotest.(check bool) "fresh key reported fresh" true
+    (Group_key.Seen.add seen scratch);
+  Alcotest.(check bool) "repeat key reported seen" false
+    (Group_key.Seen.add seen scratch)
+
 let () =
   let qcheck = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "x3_core"
@@ -1061,6 +1160,7 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_key_roundtrip;
           Alcotest.test_case "injective" `Quick test_key_injective;
+          Alcotest.test_case "seen compaction" `Quick test_seen_compaction;
         ] );
       ( "sort record",
         [
@@ -1134,6 +1234,14 @@ let () =
             test_pivot_rejects_same_axis;
           Alcotest.test_case "marginals" `Quick test_pivot_marginals_consistent;
         ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "1/2/4 workers = sequential" `Quick
+            test_parallel_determinism;
+          Alcotest.test_case "counter under worker-split budget" `Quick
+            test_parallel_counter_tiny_budget;
+          Alcotest.test_case "worker resolution" `Quick test_parallel_resolve;
+        ] );
       ( "randomised",
         qcheck
           [
@@ -1144,6 +1252,7 @@ let () =
             prop_algorithms_agree;
             prop_optimised_correct_when_licensed;
             prop_counter_budget_independent;
+            prop_parallel_matches_sequential;
             prop_sp_algorithms_agree;
             prop_sp_monotone_match_sets;
           ] );

@@ -38,6 +38,75 @@ let test_disk_bad_id () =
   Alcotest.check_raises "out of range" (Invalid_argument "Disk: page 0 out of range [0, 0)")
     (fun () -> Disk.read_into disk 0 (Bytes.make 64 ' '))
 
+(* --- free list, durability, short reads ------------------------------- *)
+
+let test_disk_free_reuse () =
+  let disk = Disk.in_memory ~page_size:64 () in
+  let a = Disk.allocate disk in
+  let _b = Disk.allocate disk in
+  Disk.write disk a (Bytes.make 64 'a');
+  Alcotest.(check int) "two live" 2 (Disk.live_page_count disk);
+  Disk.free disk a;
+  Alcotest.(check int) "one live" 1 (Disk.live_page_count disk);
+  Alcotest.(check int) "free counted" 1 (Disk.stats disk).Stats.pages_freed;
+  Alcotest.(check bool) "read of freed page raises" true
+    (try
+       Disk.read_into disk a (Bytes.make 64 ' ');
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "double free raises" true
+    (try
+       Disk.free disk a;
+       false
+     with Invalid_argument _ -> true);
+  let c = Disk.allocate disk in
+  Alcotest.(check int) "freed id recycled" a c;
+  let out = Bytes.make 64 'x' in
+  Disk.read_into disk c out;
+  Alcotest.(check bytes) "recycled page re-zeroed" (Bytes.make 64 '\000') out;
+  Alcotest.(check int) "address space did not grow" 2 (Disk.page_count disk)
+
+let test_disk_free_reuse_on_file () =
+  let path = Filename.temp_file "x3disk" ".pages" in
+  let disk = Disk.on_file ~page_size:64 path in
+  let a = Disk.allocate disk in
+  Disk.write disk a (Bytes.make 64 'a');
+  Disk.free disk a;
+  let c = Disk.allocate disk in
+  Alcotest.(check int) "freed id recycled" a c;
+  let out = Bytes.make 64 'x' in
+  Disk.read_into disk c out;
+  Alcotest.(check bytes) "recycled page re-zeroed on disk"
+    (Bytes.make 64 '\000') out;
+  Disk.close disk
+
+let test_disk_short_read () =
+  let path = Filename.temp_file "x3disk" ".pages" in
+  let disk = Disk.on_file ~page_size:64 path in
+  let a = Disk.allocate disk in
+  let b = Disk.allocate disk in
+  Disk.write disk a (Bytes.make 64 'a');
+  Disk.write disk b (Bytes.make 64 'b');
+  (* Chop the file mid-way through page b: reading it must raise, not
+     silently zero-fill the missing tail. *)
+  Unix.truncate path 96;
+  let out = Bytes.make 64 ' ' in
+  Disk.read_into disk a out;
+  Alcotest.(check char) "intact page still reads" 'a' (Bytes.get out 0);
+  Alcotest.(check bool) "truncated page raises" true
+    (try
+       Disk.read_into disk b out;
+       false
+     with Failure _ -> true);
+  Disk.close disk
+
+let test_disk_sync_counted () =
+  let disk = Disk.in_memory ~page_size:64 () in
+  Disk.sync disk;
+  Disk.sync disk;
+  Alcotest.(check int) "syncs counted on memory backend" 2
+    (Disk.stats disk).Stats.syncs
+
 (* --- buffer pool ------------------------------------------------------ *)
 
 let test_pool_hit_miss () =
@@ -92,6 +161,32 @@ let test_pool_more_pages_than_capacity () =
   Alcotest.(check bool) "capacity respected" true
     (Buffer_pool.resident_pages pool <= 3)
 
+let test_pool_flush_syncs () =
+  let path = Filename.temp_file "x3disk" ".pages" in
+  let disk = Disk.on_file ~page_size:64 path in
+  let pool = Buffer_pool.create ~capacity_pages:4 disk in
+  let id = Buffer_pool.allocate pool in
+  Buffer_pool.with_page_mut pool id (fun b -> Bytes.set b 0 'z');
+  Alcotest.(check int) "no durability barrier before flush" 0
+    (Disk.stats disk).Stats.syncs;
+  Buffer_pool.flush pool;
+  Alcotest.(check int) "flush ends in a sync" 1 (Disk.stats disk).Stats.syncs;
+  Disk.close disk
+
+let test_pool_free_page () =
+  let pool = small_pool ~capacity_pages:2 ~page_size:64 () in
+  let disk = Buffer_pool.disk pool in
+  let a = Buffer_pool.allocate pool in
+  (* Dirty the resident frame, then free: the dead frame must not be
+     written back over whatever recycles the page. *)
+  Buffer_pool.with_page_mut pool a (fun b -> Bytes.set b 0 'a');
+  Buffer_pool.free_page pool a;
+  Alcotest.(check int) "nothing live" 0 (Disk.live_page_count disk);
+  let b = Buffer_pool.allocate pool in
+  Alcotest.(check int) "page recycled" a b;
+  Buffer_pool.with_page pool b (fun buf ->
+      Alcotest.(check char) "recycled page is zeroed" '\000' (Bytes.get buf 0))
+
 (* --- heap file -------------------------------------------------------- *)
 
 let test_heap_roundtrip () =
@@ -138,6 +233,22 @@ let test_heap_empty_record () =
   Heap_file.append h "";
   Alcotest.(check (list string)) "empties survive" [ ""; "x"; "" ]
     (List.of_seq (Heap_file.to_seq h))
+
+let test_heap_free () =
+  let pool = small_pool ~capacity_pages:4 ~page_size:64 () in
+  let disk = Buffer_pool.disk pool in
+  let h = Heap_file.create pool in
+  List.iter (Heap_file.append h)
+    (List.init 50 (fun i -> Printf.sprintf "r%04d" i));
+  Alcotest.(check bool) "pages held" true (Disk.live_page_count disk > 0);
+  Heap_file.free h;
+  Alcotest.(check int) "all pages returned" 0 (Disk.live_page_count disk);
+  Alcotest.(check int) "file empty" 0 (Heap_file.record_count h);
+  (* The freed file is reusable. *)
+  Heap_file.append h "again";
+  Alcotest.(check (list string)) "reusable after free" [ "again" ]
+    (List.of_seq (Heap_file.to_seq h));
+  Heap_file.free h
 
 (* --- quicksort -------------------------------------------------------- *)
 
@@ -204,6 +315,27 @@ let test_sort_multi_pass_merge () =
 let test_sort_empty () =
   let sorted, _ = run_sort ~budget:10 [] in
   Alcotest.(check (list string)) "empty" [] sorted
+
+let test_sort_frees_runs () =
+  (* Budget 10 over 300 records with fanout 2 forces ~30 runs and several
+     merge passes; every intermediate run must be back on the free list
+     when the sort returns, leaving only the output file live. *)
+  let pool = small_pool ~capacity_pages:8 ~page_size:256 () in
+  let disk = Buffer_pool.disk pool in
+  let out =
+    External_sort.sort_records ~pool ~budget_records:10 ~fanout:2
+      ~compare:String.compare (fun emit ->
+        List.iter emit
+          (List.init 300 (fun i -> Printf.sprintf "%03d" (299 - i))))
+  in
+  Alcotest.(check bool) "intermediate runs were freed" true
+    ((Buffer_pool.stats pool).Stats.sort_runs > 0
+    && (Disk.stats disk).Stats.pages_freed > 0);
+  Alcotest.(check int) "only the output holds pages"
+    (Heap_file.page_count out)
+    (Disk.live_page_count disk);
+  Heap_file.free out;
+  Alcotest.(check int) "baseline restored" 0 (Disk.live_page_count disk)
 
 (* --- properties ------------------------------------------------------- *)
 
@@ -293,6 +425,27 @@ let prop_pool_matches_model =
         !pages;
       !ok)
 
+(* Leak property: whatever the budget, a (possibly multi-pass, fanout 2)
+   external sort must hand back every page except the output's; freeing
+   the output returns the disk to its baseline. *)
+let prop_external_sort_no_leak =
+  QCheck2.Test.make ~name:"external sort leaks no pages" ~count:60
+    QCheck2.Gen.(pair gen_records (int_range 1 16))
+    (fun (records, budget) ->
+      let pool = small_pool ~capacity_pages:8 ~page_size:256 () in
+      let disk = Buffer_pool.disk pool in
+      let out =
+        External_sort.sort_records ~pool ~budget_records:budget ~fanout:2
+          ~compare:String.compare (fun emit -> List.iter emit records)
+      in
+      let sorted = List.of_seq (Heap_file.to_seq out) in
+      let out_pages = Heap_file.page_count out in
+      let live = Disk.live_page_count disk in
+      Heap_file.free out;
+      sorted = List.sort String.compare records
+      && live = out_pages
+      && Disk.live_page_count disk = 0)
+
 let prop_min_heap_sorts =
   QCheck2.Test.make ~name:"min heap drains sorted" ~count:200
     QCheck2.Gen.(list (int_bound 1000))
@@ -315,6 +468,11 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_disk_roundtrip;
           Alcotest.test_case "on file" `Quick test_disk_on_file;
           Alcotest.test_case "bad id" `Quick test_disk_bad_id;
+          Alcotest.test_case "free + reuse" `Quick test_disk_free_reuse;
+          Alcotest.test_case "free + reuse on file" `Quick
+            test_disk_free_reuse_on_file;
+          Alcotest.test_case "short read raises" `Quick test_disk_short_read;
+          Alcotest.test_case "sync counted" `Quick test_disk_sync_counted;
         ] );
       ( "buffer pool",
         [
@@ -324,6 +482,8 @@ let () =
           Alcotest.test_case "drop cache" `Quick test_pool_drop_cache;
           Alcotest.test_case "overcommit" `Quick
             test_pool_more_pages_than_capacity;
+          Alcotest.test_case "flush syncs" `Quick test_pool_flush_syncs;
+          Alcotest.test_case "free page" `Quick test_pool_free_page;
         ] );
       ( "heap file",
         [
@@ -333,6 +493,7 @@ let () =
             test_heap_record_too_large;
           Alcotest.test_case "varied sizes" `Quick test_heap_varied_sizes;
           Alcotest.test_case "empty records" `Quick test_heap_empty_record;
+          Alcotest.test_case "free returns pages" `Quick test_heap_free;
         ] );
       ( "sorting",
         [
@@ -344,11 +505,13 @@ let () =
           Alcotest.test_case "multi-pass merge" `Quick
             test_sort_multi_pass_merge;
           Alcotest.test_case "empty input" `Quick test_sort_empty;
+          Alcotest.test_case "frees its runs" `Quick test_sort_frees_runs;
         ] );
       ( "properties",
         qcheck
           [
             prop_external_sort_sorts;
+            prop_external_sort_no_leak;
             prop_quicksort_sorts;
             prop_heap_file_roundtrip;
             prop_min_heap_sorts;
