@@ -1,11 +1,13 @@
 (* The PR smoke benchmark: a tiny treebank workload through every
    unconditionally-correct algorithm family (COUNTER, BUC/BUCCUST,
    TD/TDCUST) checked cell-for-cell against NAIVE, the string-key vs
-   packed-key grouping micro-comparison, and a worker-count scaling sweep
-   over the domain-parallel engine.  Writes the results as JSON
-   (BENCH_PR2.json by default, or argv.(1)).  Exits non-zero if any
-   algorithm disagrees with NAIVE, if any parallel run's cube is not
-   byte-identical to the sequential one, if any run leaks disk pages, or —
+   packed-key grouping micro-comparison, a worker-count scaling sweep
+   over the domain-parallel engine, and the V0-vs-V1 page checksum
+   overhead comparison.  Writes the results as JSON (BENCH_PR2.json and
+   BENCH_PR3.json by default, or argv.(1)/argv.(2)).  Exits non-zero if
+   any algorithm disagrees with NAIVE, if any parallel run's cube is not
+   byte-identical to the sequential one, if any run leaks disk pages, if
+   checksummed pages slow the grouping workload by more than 15%, or —
    on hardware with at least 4 cores — if 4 workers fail to reach a 2x
    NAIVE speedup, so `dune runtest` gates on all of it. *)
 
@@ -67,9 +69,63 @@ let parallel_sweep ~store ~spec ~config =
         sweep_workers)
     sweep_algorithms
 
+(* --- checksum overhead (PR 3) ------------------------------------------- *)
+
+(* Raw page traffic: write then read back a page set several times larger
+   than the pool, so every access is real disk I/O, under V0 (headerless)
+   and V1 (CRC-32 + LSN header) formats. *)
+let page_io_rate ~format =
+  let n_pages = 2048 and page_size = 1024 in
+  let disk = Disk.in_memory ~page_size ~format () in
+  let pool = Buffer_pool.create ~capacity_pages:32 disk in
+  let payload = Bytes.make page_size 'x' in
+  let t0 = Unix.gettimeofday () in
+  let ids = Array.init n_pages (fun _ -> Buffer_pool.allocate pool) in
+  Array.iter
+    (fun id ->
+      Buffer_pool.with_page_mut pool id (fun b ->
+          Bytes.blit payload 0 b 0 page_size))
+    ids;
+  Buffer_pool.flush pool;
+  Buffer_pool.drop_cache pool;
+  let acc = ref 0 in
+  Array.iter
+    (fun id ->
+      Buffer_pool.with_page pool id (fun b ->
+          acc := !acc + Char.code (Bytes.get b 0)))
+    ids;
+  let dt = Unix.gettimeofday () -. t0 in
+  Sys.opaque_identity !acc |> ignore;
+  Disk.close disk;
+  float_of_int (2 * n_pages) /. dt
+
+(* The grouping workload (materialise + COUNTER) end to end on each page
+   format; the checksum cost must stay amortised against the cube work.
+   Best of several samples to keep scheduler noise out of the gate. *)
+let grouping_seconds ~store ~spec ~config ~format =
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to 5 do
+      let pool =
+        Buffer_pool.create ~capacity_pages:256
+          (Disk.in_memory ~page_size:1024 ~format ())
+      in
+      let prepared = Engine.prepare ~pool ~store spec in
+      ignore (Engine.run ~config prepared Engine.Counter)
+    done;
+    let dt = (Unix.gettimeofday () -. t0) /. 5. in
+    if dt < !best then best := dt
+  done;
+  !best
+
 let () =
   let out_path =
     if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_PR2.json"
+  in
+  let out_path3 =
+    if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_PR3.json"
   in
   let config = { Treebank.default with num_trees = trees; axes } in
   let store = X3_xdb.Store.of_document (Treebank.generate config) in
@@ -141,6 +197,19 @@ let () =
   Printf.printf "    NAIVE speedup at 4 workers: %.2fx\n" naive_speedup_4w;
   let all_identical = List.for_all (fun r -> r.pr_identical) runs in
   let no_leaks = List.for_all (fun r -> r.pr_leaked_pages = 0) runs in
+  (* --- checksum overhead ------------------------------------------------ *)
+  let v0_rate = page_io_rate ~format:Disk.V0 in
+  let v1_rate = page_io_rate ~format:Disk.V1 in
+  let io_overhead = (v0_rate /. v1_rate) -. 1.0 in
+  let v0_group = grouping_seconds ~store ~spec ~config:run_config ~format:Disk.V0 in
+  let v1_group = grouping_seconds ~store ~spec ~config:run_config ~format:Disk.V1 in
+  let group_overhead = (v1_group /. v0_group) -. 1.0 in
+  Printf.printf
+    "  checksum overhead (V1 CRC-32+LSN pages vs V0 raw):\n\
+    \    raw page I/O        V0 %10.0f pages/s   V1 %10.0f pages/s  (%+.1f%%)\n\
+    \    grouping workload   V0 %8.4fs   V1 %8.4fs  (%+.1f%%, gate 15%%)\n"
+    v0_rate v1_rate (100. *. io_overhead) v0_group v1_group
+    (100. *. group_overhead);
   (* --- JSON ------------------------------------------------------------ *)
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
@@ -198,6 +267,25 @@ let () =
   output_string oc (Buffer.contents buf);
   close_out oc;
   Printf.printf "  wrote %s\n" out_path;
+  let buf3 = Buffer.create 1024 in
+  Buffer.add_string buf3 "{\n";
+  Buffer.add_string buf3
+    "  \"bench\": \"PR3: checksummed crash-safe storage\",\n";
+  Printf.bprintf buf3
+    "  \"checksum_overhead\": {\n\
+    \    \"page_io\": { \"v0_pages_per_sec\": %.0f, \"v1_pages_per_sec\": \
+     %.0f, \"overhead\": %.4f },\n\
+    \    \"grouping\": { \"workload\": \"treebank trees=%d axes=%d \
+     prepare+COUNTER\",\n\
+    \      \"v0_seconds\": %.6f, \"v1_seconds\": %.6f, \"overhead\": %.4f, \
+     \"gate\": 0.15 }\n\
+    \  }\n"
+    v0_rate v1_rate io_overhead trees axes v0_group v1_group group_overhead;
+  Buffer.add_string buf3 "}\n";
+  let oc3 = open_out out_path3 in
+  output_string oc3 (Buffer.contents buf3);
+  close_out oc3;
+  Printf.printf "  wrote %s\n" out_path3;
   let fail = ref false in
   if not all_correct then begin
     prerr_endline "smoke: some algorithm disagrees with NAIVE";
@@ -209,6 +297,12 @@ let () =
   end;
   if not no_leaks then begin
     prerr_endline "smoke: a run leaked disk pages";
+    fail := true
+  end;
+  if group_overhead > 0.15 then begin
+    Printf.eprintf
+      "smoke: V1 checksum overhead on the grouping workload is %.1f%% (> 15%%)\n"
+      (100. *. group_overhead);
     fail := true
   end;
   (* The speedup gate only makes a claim the hardware can support: on a

@@ -56,8 +56,15 @@ let prepare_from_query query_path doc_override =
 
 (* --- cube --------------------------------------------------------------- *)
 
-let run_cube query_path doc algorithm_name use_schema workers max_groups
-    format =
+(* Exit codes: 0 clean, 1 usage or other error, 2 corrupt input pages,
+   3 fault-aborted (I/O errors survived the retry budget), 4 partial
+   result (deadline or cancellation). *)
+let exit_corrupt = 2
+let exit_fault = 3
+let exit_partial = 4
+
+let run_cube query_path doc algorithm_name use_schema workers deadline
+    retries max_groups format =
   let spec, prepared, document, inline_dtd =
     prepare_from_query query_path doc
   in
@@ -87,26 +94,47 @@ let run_cube query_path doc algorithm_name use_schema workers max_groups
   in
   ignore document;
   let t0 = Unix.gettimeofday () in
-  let result, instr = Engine.run ?props ~workers prepared algorithm in
+  let outcome =
+    Engine.run_safe ?props ~workers ?deadline ~retries prepared algorithm
+  in
   let dt = Unix.gettimeofday () -. t0 in
-  (match format with
-  | "table" ->
-      Format.printf "%a@."
-        (X3_core.Cube_result.pp ~max_groups ~func:spec.Engine.func)
-        result;
-      Format.printf "%s: %d cuboids, %d cells, %.3fs — %a@."
-        (Engine.algorithm_to_string algorithm)
-        (Lattice.size lattice)
-        (X3_core.Cube_result.total_cells result)
-        dt X3_core.Instrument.pp instr
-  | "csv" ->
-      print_string (X3_core.Export.csv_string ~func:spec.Engine.func result)
-  | "json" ->
-      print_string (X3_core.Export.json_string ~func:spec.Engine.func result)
-  | other ->
+  let print_result result instr =
+    match format with
+    | "table" ->
+        Format.printf "%a@."
+          (X3_core.Cube_result.pp ~max_groups ~func:spec.Engine.func)
+          result;
+        Format.printf "%s: %d cuboids, %d cells, %.3fs — %a@."
+          (Engine.algorithm_to_string algorithm)
+          (Lattice.size lattice)
+          (X3_core.Cube_result.total_cells result)
+          dt X3_core.Instrument.pp instr
+    | "csv" ->
+        print_string (X3_core.Export.csv_string ~func:spec.Engine.func result)
+    | "json" ->
+        print_string (X3_core.Export.json_string ~func:spec.Engine.func result)
+    | other ->
+        prerr_endline
+          ("x3: unknown format " ^ other ^ " (expected table, csv or json)");
+        exit 1
+  in
+  match outcome with
+  | Engine.Complete (result, instr) -> print_result result instr
+  | Engine.Partial (reason, result, instr) ->
+      print_result result instr;
       prerr_endline
-        ("x3: unknown format " ^ other ^ " (expected table, csv or json)");
-      exit 1)
+        (match reason with
+        | X3_core.Context.Deadline_exceeded ->
+            "x3: deadline exceeded — the cube above is partial"
+        | X3_core.Context.Cancelled ->
+            "x3: cancelled — the cube above is partial");
+      exit exit_partial
+  | Engine.Failed (Engine.Corrupt msg) ->
+      prerr_endline ("x3: corrupt input: " ^ msg);
+      exit exit_corrupt
+  | Engine.Failed (Engine.Io_fault msg) ->
+      prerr_endline ("x3: aborted by I/O faults: " ^ msg);
+      exit exit_fault
 
 (* --- lattice ------------------------------------------------------------ *)
 
@@ -298,6 +326,23 @@ let cube_cmd =
              sequential; 0 = one per hardware core). Results are \
              deterministic for a fixed worker count.")
   in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget for the cube computation. On overrun the \
+             partial cube is printed and the exit code is 4.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retries (with exponential backoff) after a transient I/O \
+             fault before aborting with exit code 3.")
+  in
   let max_groups =
     Arg.(
       value & opt int 10
@@ -313,7 +358,7 @@ let cube_cmd =
     (Cmd.info "cube" ~doc:"Run an X^3 query and print the cube")
     Term.(
       const run_cube $ query_arg $ doc_arg $ algorithm $ use_schema
-      $ workers $ max_groups $ format)
+      $ workers $ deadline $ retries $ max_groups $ format)
 
 let lattice_cmd =
   let dot =

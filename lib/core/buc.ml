@@ -94,6 +94,10 @@ let compute ~variant (ctx : Context.t) =
     go 0
   in
   let rec refine env part lo hi next =
+    (* Stop check at partition boundaries — but only on the domain that
+       owns the shared context (workers carry a private [instr]); a stop
+       abandons the recursion with already-emitted cells intact. *)
+    if env.instr == ctx.instr then Context.check ctx;
     (* Empty restrictions produce no groups (a group exists only if some
        fact is in it), matching the reference semantics. *)
     if hi >= lo && emittable env then begin
@@ -164,15 +168,18 @@ let compute ~variant (ctx : Context.t) =
     (* The base witness set is read once from the materialised table; the
        recursion then partitions in memory, as BUC does when the input fits
        (our scaled inputs do; the I/O cost of the initial read is counted). *)
-    let rows =
-      let acc = ref [] in
-      Context.scan ctx (fun row -> acc := row :: !acc);
-      Array.of_list (List.rev !acc)
-    in
-    let env = fresh_env ~instr:ctx.instr ~measure:ctx.measure in
-    refine env rows 0 (Array.length rows - 1) 0
+    try
+      let rows =
+        let acc = ref [] in
+        Context.scan ctx (fun row -> acc := row :: !acc);
+        Array.of_list (List.rev !acc)
+      in
+      let env = fresh_env ~instr:ctx.instr ~measure:ctx.measure in
+      refine env rows 0 (Array.length rows - 1) 0
+    with Context.Stop _ -> ()
   end
   else begin
+    try
     (* Parallel BUC splits at the recursion's first level. Branch (ai, mask)
        emits exactly the cuboids whose first present axis is [ai] with state
        [mask] (axes below [ai] stay Removed inside the branch), so distinct
@@ -200,6 +207,7 @@ let compute ~variant (ctx : Context.t) =
           let ai, mask = tasks.(t) in
           branch env rows 0 (n - 1) ai mask)
     in
-    Array.iter (fun env -> Instrument.merge ~into:ctx.instr env.instr) states
+      Array.iter (fun env -> Instrument.merge ~into:ctx.instr env.instr) states
+    with Context.Stop _ -> ()
   end;
   result

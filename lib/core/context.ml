@@ -1,6 +1,21 @@
 module Witness = X3_pattern.Witness
 module State = X3_lattice.State
 
+type stop_reason = Cancelled | Deadline_exceeded
+
+exception Stop of stop_reason
+
+(* Cooperative stop state. [cancel_flag] is atomic so another domain (or a
+   signal handler) can request cancellation; everything else is only
+   touched from the domain running the algorithm. *)
+type control = {
+  mutable deadline : float option;  (** absolute [Unix.gettimeofday] time *)
+  mutable cancel_hook : (unit -> bool) option;
+  cancel_flag : bool Atomic.t;
+  mutable stopped : stop_reason option;
+  mutable tick : int;
+}
+
 type t = {
   table : Witness.t;
   lattice : X3_lattice.Lattice.t;
@@ -10,6 +25,7 @@ type t = {
   counter_budget : int;
   sort_budget : int;
   workers : int;
+  control : control;
 }
 
 let create ?(counter_budget = 1_000_000) ?(sort_budget = 200_000)
@@ -25,14 +41,52 @@ let create ?(counter_budget = 1_000_000) ?(sort_budget = 200_000)
     counter_budget;
     sort_budget;
     workers = Parallel.resolve workers;
+    control =
+      {
+        deadline = None;
+        cancel_hook = None;
+        cancel_flag = Atomic.make false;
+        stopped = None;
+        tick = 0;
+      };
   }
 
 let workers t = t.workers
+
+let set_deadline_at t time = t.control.deadline <- Some time
+let set_deadline t ~seconds = set_deadline_at t (Unix.gettimeofday () +. seconds)
+let set_cancel_hook t hook = t.control.cancel_hook <- Some hook
+let cancel t = Atomic.set t.control.cancel_flag true
+let stopped t = t.control.stopped
+
+let stop t reason =
+  t.control.stopped <- Some reason;
+  raise (Stop reason)
+
+let check t =
+  let c = t.control in
+  if Atomic.get c.cancel_flag then stop t Cancelled;
+  (match c.cancel_hook with
+  | Some hook when hook () ->
+      Atomic.set c.cancel_flag true;
+      stop t Cancelled
+  | _ -> ());
+  match c.deadline with
+  | Some d when Unix.gettimeofday () > d -> stop t Deadline_exceeded
+  | _ -> ()
+
+(* The per-row form: amortise the hook/clock cost over 64 rows so hot scan
+   loops stay hot. *)
+let checkpoint t =
+  let c = t.control in
+  c.tick <- c.tick + 1;
+  if c.tick land 63 = 0 then check t
 
 let scan t f =
   t.instr.Instrument.table_scans <- t.instr.Instrument.table_scans + 1;
   Witness.iter
     (fun row ->
+      checkpoint t;
       t.instr.Instrument.rows_scanned <- t.instr.Instrument.rows_scanned + 1;
       f row)
     t.table
@@ -41,6 +95,9 @@ let scan_blocks t f =
   t.instr.Instrument.table_scans <- t.instr.Instrument.table_scans + 1;
   Witness.iter_fact_blocks
     (fun block ->
+      (* Fact blocks are coarse enough for the unamortised check — and it
+         keeps stops deterministic on small tables. *)
+      check t;
       t.instr.Instrument.rows_scanned <-
         t.instr.Instrument.rows_scanned + List.length block;
       f block)

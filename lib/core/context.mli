@@ -1,5 +1,14 @@
 (** Shared run context for the cube-computation algorithms. *)
 
+type stop_reason = Cancelled | Deadline_exceeded
+
+exception Stop of stop_reason
+(** Raised by {!check}/{!checkpoint} once a stop is requested. The
+    algorithms catch it at their outermost loop and return whatever cells
+    they have — {!stopped} tells the engine the result is partial. *)
+
+type control
+
 type t = {
   table : X3_pattern.Witness.t;  (** the materialised witness table *)
   lattice : X3_lattice.Lattice.t;
@@ -13,6 +22,7 @@ type t = {
       (** max rows resident in one sort — beyond it sorts go external *)
   workers : int;
       (** resolved domain count the algorithms may use; 1 = sequential *)
+  control : control;  (** cooperative stop state — see {!check} *)
 }
 
 val create :
@@ -30,6 +40,38 @@ val create :
 
 val workers : t -> int
 (** The resolved worker count (always >= 1). *)
+
+(** {1 Cancellation and deadlines}
+
+    Stops are cooperative: the algorithms call {!check} (or the amortised
+    {!checkpoint}) at block, cuboid and pass boundaries, and a pending
+    cancellation or an expired deadline raises {!Stop} there — never in
+    the middle of updating a cell, so the partially filled result stays
+    internally consistent. *)
+
+val set_deadline : t -> seconds:float -> unit
+(** Stop the run [seconds] from now. *)
+
+val set_deadline_at : t -> float -> unit
+(** Stop the run at an absolute [Unix.gettimeofday] time — what a
+    retrying caller uses so the budget spans all attempts. *)
+
+val set_cancel_hook : t -> (unit -> bool) -> unit
+(** A poll the checks consult; returning [true] cancels the run. *)
+
+val cancel : t -> unit
+(** Request cancellation (domain-safe; takes effect at the next check). *)
+
+val stopped : t -> stop_reason option
+(** Why the run stopped early, if it did — the engine turns [Some] into a
+    [Partial] outcome. *)
+
+val check : t -> unit
+(** Raise {!Stop} if a stop is pending; record the reason for {!stopped}. *)
+
+val checkpoint : t -> unit
+(** {!check}, amortised: only every 64th call consults the hook and the
+    clock — cheap enough for per-row scan loops. *)
 
 val scan : t -> (X3_pattern.Witness.row -> unit) -> unit
 (** One instrumented pass over the witness table. *)

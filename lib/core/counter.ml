@@ -7,7 +7,11 @@ let compute_sequential (ctx : Context.t) =
   let scratch = Group_key.make_scratch ctx.layout in
   let seen = Group_key.Seen.create () in
   let remaining = ref (Array.to_list (Lattice.by_degree ctx.lattice)) in
-  while !remaining <> [] do
+  (* A stop lands between passes or between blocks: cuboids from completed
+     passes stand, the interrupted pass's counters are discarded. *)
+  (try
+     while !remaining <> [] do
+       Context.check ctx;
     instr.Instrument.passes <- instr.Instrument.passes + 1;
     let active : (int, Aggregate.cell Group_key.Tbl.t) Hashtbl.t =
       Hashtbl.create 64
@@ -75,7 +79,8 @@ let compute_sequential (ctx : Context.t) =
           counters)
       active;
     remaining := List.rev !evicted
-  done;
+     done
+   with Context.Stop _ -> ());
   result
 
 (* Parallel COUNTER: each worker aggregates its block slice into private
@@ -99,6 +104,7 @@ type worker = {
 let compute_parallel (ctx : Context.t) =
   let result = Cube_result.create ~table:ctx.table ctx.lattice in
   let instr = ctx.instr in
+  try
   let blocks = Context.snapshot_blocks ctx in
   let total_rows =
     Array.fold_left
@@ -110,6 +116,7 @@ let compute_parallel (ctx : Context.t) =
   let remaining = ref (Array.to_list (Lattice.by_degree ctx.lattice)) in
   let first_pass = ref true in
   while !remaining <> [] do
+    Context.check ctx;
     instr.Instrument.passes <- instr.Instrument.passes + 1;
     (* The snapshot already counted the first traversal as a scan; later
        passes re-walk the snapshot, which stands in for the re-scan the
@@ -227,6 +234,7 @@ let compute_parallel (ctx : Context.t) =
         (Array.to_list cids)
   done;
   result
+  with Context.Stop _ -> result
 
 let compute (ctx : Context.t) =
   if Context.workers ctx <= 1 then compute_sequential ctx

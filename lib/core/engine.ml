@@ -154,27 +154,94 @@ type config = { counter_budget : int; sort_budget : int }
 
 let default_config = { counter_budget = 1_000_000; sort_budget = 200_000 }
 
-let run ?props ?(config = default_config) ?(workers = 1) prepared algorithm =
+let make_context ?(config = default_config) ?(workers = 1) prepared =
+  Context.create ~counter_budget:config.counter_budget
+    ~sort_budget:config.sort_budget ~workers ~table:prepared.table
+    ~lattice:prepared.lattice ~measure:prepared.measure ()
+
+let dispatch ?props prepared ctx algorithm =
   let props =
     match props with
     | Some p -> p
     | None -> X3_lattice.Properties.none prepared.lattice
   in
-  let ctx =
-    Context.create ~counter_budget:config.counter_budget
-      ~sort_budget:config.sort_budget ~workers ~table:prepared.table
-      ~lattice:prepared.lattice ~measure:prepared.measure ()
-  in
-  let result =
-    match algorithm with
-    | Naive -> Naive.compute ctx
-    | Counter -> Counter.compute ctx
-    | Buc -> Buc.compute ~variant:`Plain ctx
-    | Bucopt -> Buc.compute ~variant:`Opt ctx
-    | Buccust -> Buc.compute ~variant:(`Custom props) ctx
-    | Td -> Topdown.compute ~variant:`Plain ctx
-    | Tdopt -> Topdown.compute ~variant:`Opt ctx
-    | Tdoptall -> Topdown.compute ~variant:`OptAll ctx
-    | Tdcust -> Topdown.compute ~variant:(`Custom props) ctx
-  in
+  match algorithm with
+  | Naive -> Naive.compute ctx
+  | Counter -> Counter.compute ctx
+  | Buc -> Buc.compute ~variant:`Plain ctx
+  | Bucopt -> Buc.compute ~variant:`Opt ctx
+  | Buccust -> Buc.compute ~variant:(`Custom props) ctx
+  | Td -> Topdown.compute ~variant:`Plain ctx
+  | Tdopt -> Topdown.compute ~variant:`Opt ctx
+  | Tdoptall -> Topdown.compute ~variant:`OptAll ctx
+  | Tdcust -> Topdown.compute ~variant:(`Custom props) ctx
+
+let run ?props ?config ?workers prepared algorithm =
+  let ctx = make_context ?config ?workers prepared in
+  let result = dispatch ?props prepared ctx algorithm in
   (result, ctx.Context.instr)
+
+(* --- graceful degradation ----------------------------------------------- *)
+
+module Fault = X3_storage.Fault
+module Disk = X3_storage.Disk
+
+type error =
+  | Corrupt of string  (** the input pages failed verification *)
+  | Io_fault of string  (** an I/O fault exhausted the retry budget *)
+
+type outcome =
+  | Complete of Cube_result.t * Instrument.t
+  | Partial of Context.stop_reason * Cube_result.t * Instrument.t
+  | Failed of error
+
+(* Which exceptions a retry can plausibly absorb: transient I/O errors.
+   Corruption is not one of them — the bytes on media are wrong and will
+   be wrong again — and neither is a crashed disk, where every subsequent
+   operation fails by construction. *)
+let classify = function
+  | Disk.Corruption { page; reason } ->
+      Some (`Fatal (Corrupt (Printf.sprintf "page %d: %s" page reason)))
+  | Fault.Crashed -> Some (`Fatal (Io_fault "disk crashed mid-run"))
+  | Fault.Injected { cls = _; page } ->
+      Some (`Transient (Printf.sprintf "injected I/O error on page %d" page))
+  | Disk.Short_read { page; got; want } ->
+      Some
+        (`Transient
+          (Printf.sprintf "short read on page %d (%d of %d bytes)" page got
+             want))
+  | Sys_error msg -> Some (`Transient msg)
+  | _ -> None
+
+let run_safe ?props ?config ?workers ?deadline ?cancel ?(retries = 2)
+    ?(backoff = 0.01) prepared algorithm =
+  if retries < 0 then invalid_arg "Engine.run_safe: negative retries";
+  (* One absolute deadline across all attempts — retrying must not extend
+     the caller's budget. *)
+  let deadline_at = Option.map (fun s -> Unix.gettimeofday () +. s) deadline in
+  let rec attempt n =
+    let ctx = make_context ?config ?workers prepared in
+    Option.iter (Context.set_deadline_at ctx) deadline_at;
+    Option.iter (Context.set_cancel_hook ctx) cancel;
+    match dispatch ?props prepared ctx algorithm with
+    | result -> (
+        match Context.stopped ctx with
+        | Some reason -> Partial (reason, result, ctx.Context.instr)
+        | None -> Complete (result, ctx.Context.instr))
+    | exception e -> (
+        match classify e with
+        | None -> raise e
+        | Some (`Fatal err) -> Failed err
+        | Some (`Transient msg) ->
+            let out_of_time =
+              match deadline_at with
+              | Some d -> Unix.gettimeofday () >= d
+              | None -> false
+            in
+            if n >= retries || out_of_time then Failed (Io_fault msg)
+            else begin
+              Unix.sleepf (backoff *. Float.of_int (1 lsl n));
+              attempt (n + 1)
+            end)
+  in
+  attempt 0

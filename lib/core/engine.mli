@@ -95,3 +95,43 @@ val run :
     sequential run for COUNT (exact integer accumulation; float SUM/AVG
     can differ in the last bits of the addition order across worker
     counts). *)
+
+(** {1 Graceful degradation}
+
+    {!run_safe} is {!run} with a failure model: typed outcomes instead of
+    storage exceptions, a deadline/cancellation hook the algorithms poll
+    at block boundaries, and bounded retry with exponential backoff for
+    transient I/O faults. *)
+
+type error =
+  | Corrupt of string
+      (** the input pages failed checksum/format verification — retrying
+          cannot help *)
+  | Io_fault of string
+      (** an I/O fault (injected or real) survived the retry budget, or
+          the disk crashed mid-run *)
+
+type outcome =
+  | Complete of Cube_result.t * Instrument.t
+  | Partial of Context.stop_reason * Cube_result.t * Instrument.t
+      (** the run was cancelled or overran its deadline; the result holds
+          every cell completed before the stop *)
+  | Failed of error
+
+val run_safe :
+  ?props:X3_lattice.Properties.t ->
+  ?config:config ->
+  ?workers:int ->
+  ?deadline:float ->
+  ?cancel:(unit -> bool) ->
+  ?retries:int ->
+  ?backoff:float ->
+  prepared ->
+  algorithm ->
+  outcome
+(** [deadline] is seconds of wall clock for the whole call, spanning every
+    retry attempt. [cancel] is polled at check points; returning [true]
+    stops the run. [retries] (default 2) bounds re-runs after a transient
+    fault, sleeping [backoff * 2^attempt] seconds (default 0.01) between
+    attempts. Exceptions that are neither storage faults nor corruption
+    (bugs, [Out_of_memory], ...) still raise. *)

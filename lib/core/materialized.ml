@@ -133,6 +133,116 @@ let rollup (ctx : Context.t) ~props t ~coarser =
     | Ok () -> Ok (rollup_unchecked ctx t ~coarser)
   end
 
+(* --- snapshot persistence ---------------------------------------------- *)
+(* The portable form of a view is its legacy string keys plus fact-id sets:
+   coded keys are relative to one table's dictionaries, so persisting them
+   would tie the snapshot to dictionary iteration order. Load re-interns
+   through [Group_key.of_parts] against the context it is loaded into. *)
+
+let add_u32 buf v =
+  for shift = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * shift)) land 0xFF))
+  done
+
+let read_u32 record pos =
+  let u8 p = Char.code record.[p] in
+  u8 pos lor (u8 (pos + 1) lsl 8) lor (u8 (pos + 2) lsl 16)
+  lor (u8 (pos + 3) lsl 24)
+
+let save t store =
+  let header = Buffer.create 9 in
+  Buffer.add_char header 'M';
+  add_u32 header t.cuboid_id;
+  add_u32 header (Group_key.Tbl.length t.groups);
+  let records =
+    Group_key.Tbl.fold
+      (fun key facts acc ->
+        let buf = Buffer.create 64 in
+        Buffer.add_char buf 'G';
+        let legacy = legacy_key t key in
+        add_u32 buf (String.length legacy);
+        Buffer.add_string buf legacy;
+        add_u32 buf (Int_set.cardinal !facts);
+        Int_set.iter (fun fact -> add_u32 buf fact) !facts;
+        Buffer.contents buf :: acc)
+      t.groups []
+  in
+  X3_storage.Snapshot_store.commit store (Buffer.contents header :: records)
+
+let parse_group record =
+  let len = String.length record in
+  if len < 9 || record.[0] <> 'G' then Error "view snapshot: bad group record"
+  else
+    let keylen = read_u32 record 1 in
+    if 5 + keylen + 4 > len then Error "view snapshot: truncated key"
+    else
+      let key = String.sub record 5 keylen in
+      let nfacts = read_u32 record (5 + keylen) in
+      if 9 + keylen + (4 * nfacts) <> len then
+        Error "view snapshot: truncated fact list"
+      else begin
+        let facts = ref Int_set.empty in
+        for i = 0 to nfacts - 1 do
+          facts := Int_set.add (read_u32 record (9 + keylen + (4 * i))) !facts
+        done;
+        Ok (key, !facts)
+      end
+
+let load (ctx : Context.t) store =
+  match X3_storage.Snapshot_store.read store with
+  | [] -> Error "view snapshot: empty store"
+  | header :: rest ->
+      if String.length header <> 9 || header.[0] <> 'M' then
+        Error "view snapshot: bad header record"
+      else begin
+        let cuboid_id = read_u32 header 1 in
+        let expected = read_u32 header 5 in
+        if cuboid_id >= Lattice.size ctx.lattice then
+          Error
+            (Printf.sprintf
+               "view snapshot: cuboid %d not in this lattice (size %d)"
+               cuboid_id (Lattice.size ctx.lattice))
+        else begin
+          let cuboid = Lattice.cuboid ctx.lattice cuboid_id in
+          let dicts = Witness.dicts ctx.table in
+          let groups = Group_key.Tbl.create (max 16 expected) in
+          let rec go = function
+            | [] ->
+                if Group_key.Tbl.length groups <> expected then
+                  Error "view snapshot: group count mismatch"
+                else
+                  Ok
+                    {
+                      cuboid_id;
+                      lattice = ctx.lattice;
+                      layout = ctx.layout;
+                      dicts;
+                      measure = ctx.measure;
+                      groups;
+                    }
+            | record :: rest -> (
+                match parse_group record with
+                | Error _ as e -> e
+                | Ok (key, facts) -> (
+                    match
+                      Group_key.of_parts ctx.layout ~dicts cuboid
+                        (Group_key.decode key)
+                    with
+                    | exception Invalid_argument msg -> Error msg
+                    | None ->
+                        Error
+                          (Printf.sprintf
+                             "view snapshot: group %S names values unknown \
+                              to this witness table"
+                             key)
+                    | Some coded ->
+                        Group_key.Tbl.replace groups coded (ref facts);
+                        go rest))
+          in
+          go rest
+        end
+      end
+
 let to_result t result =
   let cuboid = states t in
   let layout = Cube_result.layout result in

@@ -47,3 +47,15 @@ val rollup_unchecked : Context.t -> t -> coarser:int -> t
 
 val to_result : t -> Cube_result.t -> unit
 (** Copy the intermediate's cells into a cube result. *)
+
+(** {1 Crash-safe persistence} *)
+
+val save : t -> X3_storage.Snapshot_store.t -> unit
+(** Atomically commit the view (group keys + fact sets) to [store] —
+    portable string keys, so the snapshot is independent of the source
+    table's dictionary order. *)
+
+val load : Context.t -> X3_storage.Snapshot_store.t -> (t, string) result
+(** Rebuild a view from the store's committed snapshot against [ctx]'s
+    table; [Error] when a record is malformed or names values the table
+    does not contain. *)

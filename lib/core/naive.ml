@@ -7,7 +7,10 @@ let compute_sequential (ctx : Context.t) =
   let cuboids = Array.map (Lattice.cuboid ctx.lattice) ids in
   let scratch = Group_key.make_scratch ctx.layout in
   let seen = Group_key.Seen.create () in
-  Context.scan_blocks ctx (fun block ->
+  (* A requested stop surfaces here, between blocks: completed blocks'
+     cells stand, and the engine reports the result partial. *)
+  try
+    Context.scan_blocks ctx (fun block ->
       match block with
       | [] -> ()
       | first :: _ ->
@@ -30,7 +33,8 @@ let compute_sequential (ctx : Context.t) =
                   end)
                 block)
             cuboids);
-  result
+    result
+  with Context.Stop _ -> result
 
 (* The parallel plan (partition/merge): fact blocks are the task unit —
    per-block dedup means no group-key state crosses a block boundary, so
@@ -50,9 +54,10 @@ let compute_parallel (ctx : Context.t) =
   let result = Cube_result.create ~table:ctx.table ctx.lattice in
   let ids = Lattice.by_degree ctx.lattice in
   let cuboids = Array.map (Lattice.cuboid ctx.lattice) ids in
-  let blocks = Context.snapshot_blocks ctx in
-  let states =
-    Parallel.run ~workers:ctx.workers ~tasks:(Array.length blocks)
+  try
+    let blocks = Context.snapshot_blocks ctx in
+    let states =
+      Parallel.run ~workers:ctx.workers ~tasks:(Array.length blocks)
       ~init:(fun _ ->
         {
           scratch = Group_key.make_scratch ctx.layout;
@@ -92,8 +97,9 @@ let compute_parallel (ctx : Context.t) =
                 cell)
             partial)
         w.partials)
-    states;
-  result
+      states;
+    result
+  with Context.Stop _ -> result
 
 let compute (ctx : Context.t) =
   if Context.workers ctx <= 1 then compute_sequential ctx

@@ -152,17 +152,24 @@ let compute ~variant (ctx : Context.t) =
             `Base mode)
   in
   let plans = Array.map plan order in
-  if Context.workers ctx <= 1 then
-    Array.iteri
-      (fun i cid ->
-        match plans.(i) with
-        | `Base mode ->
-            compute_from_base ctx ~instr:ctx.instr
-              ~pool:(Witness.pool ctx.table) ~measure:ctx.measure
-              ~iter_rows:(Context.scan ctx) result cid ~mode
-        | `Rollup finer -> rollup ctx result ~finer ~coarser:cid)
-      order
+  if Context.workers ctx <= 1 then begin
+    (* Stop checks sit between cuboids (and inside the scans feeding each
+       sort): a stopped run keeps every fully computed cuboid. *)
+    try
+      Array.iteri
+        (fun i cid ->
+          Context.check ctx;
+          match plans.(i) with
+          | `Base mode ->
+              compute_from_base ctx ~instr:ctx.instr
+                ~pool:(Witness.pool ctx.table) ~measure:ctx.measure
+                ~iter_rows:(Context.scan ctx) result cid ~mode
+          | `Rollup finer -> rollup ctx result ~finer ~coarser:cid)
+        order
+    with Context.Stop _ -> ()
+  end
   else begin
+    try
     (* Base computations write to disjoint cuboids (one task = one cuboid),
        so workers aggregate into the shared result directly; each worker
        spills its external sorts into a private in-memory scratch pool —
@@ -170,6 +177,7 @@ let compute ~variant (ctx : Context.t) =
        the calling domain in coarsening order, exactly as the sequential
        sweep interleaves them, since a roll-up may read a cuboid that
        another roll-up produced. *)
+    Context.check ctx;
     let rows = Context.snapshot_rows ctx in
     let measure = Context.frozen_measure ctx rows in
     let iter_rows instr f =
@@ -212,11 +220,14 @@ let compute ~variant (ctx : Context.t) =
           (Buffer_pool.stats (Witness.pool ctx.table))
           (Buffer_pool.stats w.pool))
       states;
-    Array.iteri
-      (fun i cid ->
-        match plans.(i) with
-        | `Base _ -> ()
-        | `Rollup finer -> rollup ctx result ~finer ~coarser:cid)
-      order
+      Array.iteri
+        (fun i cid ->
+          match plans.(i) with
+          | `Base _ -> ()
+          | `Rollup finer ->
+              Context.check ctx;
+              rollup ctx result ~finer ~coarser:cid)
+        order
+    with Context.Stop _ -> ()
   end;
   result

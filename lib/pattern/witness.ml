@@ -226,8 +226,7 @@ let write_dicts dict_heap dicts =
 
 (* Rebuild the dictionaries from their on-disk pages; chunks of one value
    arrive in offset order because [write_dicts] emits them that way. *)
-let load_dicts t =
-  let k = Array.length t.axes in
+let dicts_of_heap k dict_heap =
   let partial : (int * int, Buffer.t) Hashtbl.t = Hashtbl.create 256 in
   let sizes = Array.make k 0 in
   X3_storage.Heap_file.iter
@@ -244,7 +243,7 @@ let load_dicts t =
       in
       Buffer.add_string buf chunk;
       if id + 1 > sizes.(axis) then sizes.(axis) <- id + 1)
-    t.dict_heap;
+    dict_heap;
   Array.init k (fun axis ->
       let dict = Dict.create () in
       for id = 0 to sizes.(axis) - 1 do
@@ -255,6 +254,8 @@ let load_dicts t =
             if got <> id then invalid_arg "Witness.load_dicts: id collision"
       done;
       dict)
+
+let load_dicts t = dicts_of_heap (Array.length t.axes) t.dict_heap
 
 let materialize pool ~axes rows =
   let heap = X3_storage.Heap_file.create pool in
@@ -326,6 +327,96 @@ let to_list t =
   let acc = ref [] in
   iter (fun r -> acc := r :: !acc) t;
   List.rev !acc
+
+(* --- snapshot persistence ---------------------------------------------- *)
+(* A witness table as one atomic snapshot: a header record, then the heap
+   records verbatim ('R' rows, 'D' dictionary chunks) — the row and dict
+   codecs above already make each record self-contained, so save/load is a
+   tagged pass-through and the snapshot store supplies atomicity and
+   checksums. *)
+
+let snapshot_header k ~facts ~rows =
+  let buf = Buffer.create 12 in
+  Buffer.add_char buf 'H';
+  Buffer.add_char buf (Char.chr (k land 0xFF));
+  let add_u32 v =
+    for shift = 0 to 3 do
+      Buffer.add_char buf (Char.chr ((v lsr (8 * shift)) land 0xFF))
+    done
+  in
+  add_u32 facts;
+  add_u32 rows;
+  Buffer.contents buf
+
+let parse_snapshot_header record =
+  if String.length record <> 10 || record.[0] <> 'H' then
+    Error "witness snapshot: bad header record"
+  else
+    let u8 pos = Char.code record.[pos] in
+    let u32 pos =
+      u8 pos lor (u8 (pos + 1) lsl 8) lor (u8 (pos + 2) lsl 16)
+      lor (u8 (pos + 3) lsl 24)
+    in
+    Ok (u8 1, u32 2, u32 6)
+
+let save t store =
+  let records = ref [] in
+  X3_storage.Heap_file.iter (fun r -> records := ("R" ^ r) :: !records) t.heap;
+  X3_storage.Heap_file.iter
+    (fun r -> records := ("D" ^ r) :: !records)
+    t.dict_heap;
+  let header =
+    snapshot_header (Array.length t.axes) ~facts:t.facts
+      ~rows:(X3_storage.Heap_file.record_count t.heap)
+  in
+  X3_storage.Snapshot_store.commit store (header :: List.rev !records)
+
+let load store pool ~axes =
+  match X3_storage.Snapshot_store.read store with
+  | [] -> Error "witness snapshot: empty store"
+  | header :: rest -> (
+      match parse_snapshot_header header with
+      | Error _ as e -> e
+      | Ok (k, facts, rows) ->
+          if k <> Array.length axes then
+            Error
+              (Printf.sprintf
+                 "witness snapshot: %d axes on disk, %d expected" k
+                 (Array.length axes))
+          else begin
+            let heap = X3_storage.Heap_file.create pool in
+            let dict_heap = X3_storage.Heap_file.create pool in
+            match
+              List.iter
+                (fun record ->
+                  if String.length record < 1 then
+                    invalid_arg "witness snapshot: empty record";
+                  let body = String.sub record 1 (String.length record - 1) in
+                  match record.[0] with
+                  | 'R' ->
+                      (* Decode to validate before trusting the record. *)
+                      ignore (decode body);
+                      X3_storage.Heap_file.append heap body
+                  | 'D' ->
+                      ignore (decode_dict_chunk body);
+                      X3_storage.Heap_file.append dict_heap body
+                  | c ->
+                      invalid_arg
+                        (Printf.sprintf "witness snapshot: unknown tag %C" c))
+                rest
+            with
+            | exception Invalid_argument msg -> Error msg
+            | () ->
+                if X3_storage.Heap_file.record_count heap <> rows then
+                  Error "witness snapshot: row count mismatch"
+                else
+                  let t =
+                    { axes; dicts = [||]; heap; dict_heap; facts }
+                  in
+                  (match dicts_of_heap k dict_heap with
+                  | exception Invalid_argument msg -> Error msg
+                  | dicts -> Ok { t with dicts })
+          end)
 
 let pp_row ppf row =
   Format.fprintf ppf "@[<h>fact=%d" row.fact;

@@ -131,3 +131,23 @@ val iter_fact_blocks : (row list -> unit) -> t -> unit
 
 val to_list : t -> row list
 val pp_row : Format.formatter -> row -> unit
+
+(** {1 Crash-safe persistence}
+
+    A witness table can be committed into a {!X3_storage.Snapshot_store}
+    as one atomic snapshot (header, rows, dictionary chunks). Combined
+    with [Snapshot_store.recover] this gives the table a restart story:
+    after a crash the store yields either the previous or the newly saved
+    table, never a torn mix. *)
+
+val save : t -> X3_storage.Snapshot_store.t -> unit
+(** Atomically commit the table (rows + dictionaries) to [store]. *)
+
+val load :
+  X3_storage.Snapshot_store.t ->
+  X3_storage.Buffer_pool.t ->
+  axes:Axis.t array ->
+  (t, string) result
+(** Rebuild a table from the store's committed snapshot into fresh heap
+    files on [pool]. Every record is re-validated through the row and
+    dictionary codecs; [Error] reports the first malformed one. *)

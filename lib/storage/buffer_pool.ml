@@ -3,6 +3,7 @@ type frame = {
   mutable page : int;  (** -1 when the frame is free *)
   mutable dirty : bool;
   mutable referenced : bool;  (** clock second-chance bit *)
+  mutable pins : int;  (** live [with_page]/[with_page_mut] windows *)
 }
 
 type t = {
@@ -22,7 +23,13 @@ let create ?(capacity_pages = 65536) disk =
     capacity = capacity_pages;
     frames =
       Array.init capacity_pages (fun _ ->
-          { buf = Bytes.empty; page = -1; dirty = false; referenced = false });
+          {
+            buf = Bytes.empty;
+            page = -1;
+            dirty = false;
+            referenced = false;
+            pins = 0;
+          });
     used = 0;
     table = Hashtbl.create (min 4096 (2 * capacity_pages));
     hand = 0;
@@ -41,7 +48,10 @@ let write_back t frame =
   end
 
 (* Pick a victim frame: first use an uninitialised frame, then run the
-   clock, skipping recently-referenced frames once. *)
+   clock, skipping recently-referenced frames once and pinned frames
+   always — a frame inside a [with_page_mut] window must never be stolen,
+   or its checksum-stamped write-back would race the caller's mutation and
+   the recycled frame would alias two pages. *)
 let victim t =
   if t.used < t.capacity then begin
     let idx = t.used in
@@ -52,23 +62,32 @@ let victim t =
         page = -1;
         dirty = false;
         referenced = false;
+        pins = 0;
       }
     in
     t.frames.(idx) <- frame;
     idx
   end
   else begin
-    let rec spin () =
-      let idx = t.hand in
-      t.hand <- (t.hand + 1) mod t.capacity;
-      let frame = t.frames.(idx) in
-      if frame.referenced then begin
-        frame.referenced <- false;
-        spin ()
+    let rec spin remaining =
+      if remaining = 0 then
+        failwith
+          "Buffer_pool: every frame is pinned — a page-access callback \
+           touched more distinct pages than the pool has frames"
+      else begin
+        let idx = t.hand in
+        t.hand <- (t.hand + 1) mod t.capacity;
+        let frame = t.frames.(idx) in
+        if frame.pins > 0 then spin (remaining - 1)
+        else if frame.referenced then begin
+          frame.referenced <- false;
+          spin (remaining - 1)
+        end
+        else idx
       end
-      else idx
     in
-    let idx = spin () in
+    (* Two sweeps: one to clear second-chance bits, one to pick. *)
+    let idx = spin (2 * t.capacity) in
     let frame = t.frames.(idx) in
     if frame.page >= 0 then begin
       write_back t frame;
@@ -92,8 +111,13 @@ let frame_of t id ~load =
       frame.page <- id;
       frame.dirty <- false;
       frame.referenced <- true;
-      if load then Disk.read_into t.disk id frame.buf
-      else Bytes.fill frame.buf 0 (Bytes.length frame.buf) '\000';
+      (try
+         if load then Disk.read_into t.disk id frame.buf
+         else Bytes.fill frame.buf 0 (Bytes.length frame.buf) '\000'
+       with e ->
+         (* A failed load must not leave a garbage frame resident. *)
+         frame.page <- -1;
+         raise e);
       Hashtbl.replace t.table id idx;
       frame
 
@@ -103,12 +127,25 @@ let allocate t =
   frame.dirty <- true;
   id
 
-let with_page t id f = f (frame_of t id ~load:true).buf
+let with_frame frame f =
+  frame.pins <- frame.pins + 1;
+  Fun.protect ~finally:(fun () -> frame.pins <- frame.pins - 1)
+    (fun () -> f frame.buf)
+
+let with_page t id f = with_frame (frame_of t id ~load:true) f
 
 let with_page_mut t id f =
   let frame = frame_of t id ~load:true in
   frame.dirty <- true;
-  f frame.buf
+  with_frame frame f
+
+let with_page_overwrite t id f =
+  let frame = frame_of t id ~load:false in
+  (* A resident frame keeps its bytes; zero it so the overwrite starts from
+     the same blank state either way. *)
+  Bytes.fill frame.buf 0 (Bytes.length frame.buf) '\000';
+  frame.dirty <- true;
+  with_frame frame f
 
 let free_page t id =
   (match Hashtbl.find_opt t.table id with
@@ -129,13 +166,19 @@ let flush t =
      cache on the file backend. *)
   Disk.sync t.disk
 
-let drop_cache t =
-  flush t;
+let forget_frames t =
   Hashtbl.reset t.table;
   for i = 0 to t.used - 1 do
     let frame = t.frames.(i) in
     frame.page <- -1;
     frame.dirty <- false;
-    frame.referenced <- false
+    frame.referenced <- false;
+    frame.pins <- 0
   done;
   t.hand <- 0
+
+let drop_cache t =
+  flush t;
+  forget_frames t
+
+let invalidate t = forget_frames t

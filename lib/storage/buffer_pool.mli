@@ -22,11 +22,22 @@ val allocate : t -> int
 
 val with_page : t -> int -> (bytes -> 'a) -> 'a
 (** [with_page t id f] runs [f] on the in-pool frame of page [id], reading
-    it in if absent. The frame must not escape [f] (eviction reuses it). *)
+    it in if absent. The frame is {e pinned} for the duration of [f]:
+    eviction (triggered by other page accesses inside [f]) skips it, so
+    the buffer [f] sees cannot be stolen, written back mid-mutation, or
+    recycled for another page. The frame must still not escape [f]. A
+    callback that pins more distinct pages than the pool has frames
+    raises [Failure]. *)
 
 val with_page_mut : t -> int -> (bytes -> 'a) -> 'a
 (** Like {!with_page} and marks the page dirty, so eviction writes it
-    back. *)
+    back (checksummed, on a V1 disk) once the window closes. *)
+
+val with_page_overwrite : t -> int -> (bytes -> 'a) -> 'a
+(** Like {!with_page_mut} but hands [f] a zeroed buffer {e without}
+    reading the page first — for whole-page overwrites, and the only safe
+    way to rewrite a page that may currently be torn (loading it would
+    raise [Disk.Corruption]). *)
 
 val free_page : t -> int -> unit
 (** Drop the page's resident frame (without write-back — the contents are
@@ -39,6 +50,11 @@ val flush : t -> unit
 val drop_cache : t -> unit
 (** Flush, then forget every frame — the paper's "cold cache" reset between
     measured runs. *)
+
+val invalidate : t -> unit
+(** Forget every frame {e without} write-back — the pool's volatile state
+    is gone, the disk image stands as last written. This is what a crash
+    does to a buffer pool; recovery paths call it before re-reading. *)
 
 val stats : t -> Stats.t
 (** Pool-level counters (hits/misses/evictions). Disk transfer counts live

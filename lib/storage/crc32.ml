@@ -1,0 +1,29 @@
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320), table-driven.
+   Used by the versioned page format to detect torn writes and bit rot —
+   the checksum must be cheap enough to run on every page transfer, and a
+   256-entry table keeps the inner loop to one xor + one lookup per byte. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Crc32.update: range out of bounds";
+  let table = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.get buf i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let digest buf ~pos ~len = update 0 buf ~pos ~len
+
+let string s =
+  let b = Bytes.unsafe_of_string s in
+  digest b ~pos:0 ~len:(Bytes.length b)

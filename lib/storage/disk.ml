@@ -1,46 +1,111 @@
 let default_page_size = 8192
 
+(* --- versioned page format --------------------------------------------- *)
+(* V1 pages carry a 16-byte physical header in front of the payload:
+
+     offset  size  field
+     0       4     magic "X3PG"
+     4       2     format version (1)
+     6       2     flags (zero, reserved)
+     8       4     LSN — the disk's write counter when the page was written
+     12      4     CRC-32 over magic..lsn and the payload
+
+   The header is invisible to callers: [page_size] is the payload size and
+   [read_into]/[write] translate. A page whose header is all zeroes has
+   never been written (fresh allocations, re-zeroed recycled pages) and
+   reads as an all-zero payload; anything else must carry a valid magic,
+   version and checksum or [read_into] raises {!Corruption} instead of
+   decoding a torn or rotten page into garbage. V0 is the seed's headerless
+   format, kept for legacy fixtures and as the checksum-overhead baseline. *)
+
+type format = V0 | V1
+
+let header_bytes = 16
+let magic = "X3PG"
+let version = 1
+
+exception Corruption of { page : int; reason : string }
+exception Short_read of { page : int; got : int; want : int }
+
+type event = Read of int | Write of int | Sync | Allocate
+type verdict = Proceed | Torn of int
+
+let () =
+  Printexc.register_printer (function
+    | Corruption { page; reason } ->
+        Some (Printf.sprintf "Disk.Corruption(page %d: %s)" page reason)
+    | Short_read { page; got; want } ->
+        Some
+          (Printf.sprintf "Disk.Short_read(page %d: %d of %d bytes)" page got
+             want)
+    | _ -> None)
+
 type backend =
   | Memory of bytes array ref
-  | File of { fd : Unix.file_descr; path : string }
+  | File of { fd : Unix.file_descr; path : string; temp : bool }
 
 type t = {
-  page_size : int;
+  page_size : int;  (** payload bytes callers see *)
+  physical : int;  (** on-media page size: payload + header on V1 *)
+  format : format;
+  mutable lsn : int;  (** monotonic write counter, stamped into V1 headers *)
   mutable pages : int;  (** address-space high-water mark *)
   mutable free_list : int list;  (** freed ids, reused LIFO by [allocate] *)
   freed : (int, unit) Hashtbl.t;  (** members of [free_list] *)
   backend : backend;
   stats : Stats.t;
   mutable closed : bool;
+  mutable injector : (event -> verdict) option;
+  scratch : bytes;  (** staging buffer for one physical page *)
 }
 
-let in_memory ?(page_size = default_page_size) () =
+let physical_of format page_size =
+  match format with V0 -> page_size | V1 -> page_size + header_bytes
+
+let make ?(page_size = default_page_size) ?(format = V1) ~pages backend =
+  let physical = physical_of format page_size in
   {
     page_size;
-    pages = 0;
+    physical;
+    format;
+    lsn = 0;
+    pages;
     free_list = [];
     freed = Hashtbl.create 16;
-    backend = Memory (ref [||]);
+    backend;
     stats = Stats.create ();
     closed = false;
+    injector = None;
+    scratch = Bytes.make physical '\000';
   }
 
-let on_file ?(page_size = default_page_size) path =
+let in_memory ?page_size ?format () =
+  make ?page_size ?format ~pages:0 (Memory (ref [||]))
+
+let on_file ?page_size ?format ?(temp = true) path =
   let fd = Unix.openfile path [ Unix.O_RDWR; O_CREAT; O_TRUNC ] 0o600 in
-  {
-    page_size;
-    pages = 0;
-    free_list = [];
-    freed = Hashtbl.create 16;
-    backend = File { fd; path };
-    stats = Stats.create ();
-    closed = false;
-  }
+  make ?page_size ?format ~pages:0 (File { fd; path; temp })
+
+let reopen ?(page_size = default_page_size) ?(format = V1) path =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o600 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  let physical = physical_of format page_size in
+  (* Round up: a file truncated mid-page still addresses its torn last
+     page, whose read then raises [Short_read] rather than vanishing. *)
+  let pages = (size + physical - 1) / physical in
+  make ~page_size ~format ~pages (File { fd; path; temp = false })
 
 let page_size t = t.page_size
+let physical_page_size t = t.physical
+let format t = t.format
 let page_count t = t.pages
 let live_page_count t = t.pages - List.length t.free_list
+let is_free t id = id < 0 || id >= t.pages || Hashtbl.mem t.freed id
 let stats t = t.stats
+let set_injector t injector = t.injector <- injector
+
+let fire t event =
+  match t.injector with None -> Proceed | Some f -> f event
 
 let check_open t = if t.closed then invalid_arg "Disk: already closed"
 
@@ -61,22 +126,24 @@ let really_write fd buf len =
 
 let seek_page fd t id =
   ignore
-    (Unix.LargeFile.lseek fd (Int64.of_int (id * t.page_size)) Unix.SEEK_SET)
+    (Unix.LargeFile.lseek fd (Int64.of_int (id * t.physical)) Unix.SEEK_SET)
 
 let zero_page t id =
   match t.backend with
-  | Memory store -> !store.(id) <- Bytes.make t.page_size '\000'
+  | Memory store -> !store.(id) <- Bytes.make t.physical '\000'
   | File { fd; _ } ->
       seek_page fd t id;
-      really_write fd (Bytes.make t.page_size '\000') t.page_size
+      really_write fd (Bytes.make t.physical '\000') t.physical
 
 let allocate t =
   check_open t;
+  (match fire t Allocate with Proceed | Torn _ -> ());
   t.stats.pages_allocated <- t.stats.pages_allocated + 1;
   match t.free_list with
   | id :: rest ->
       (* Reuse a freed page; re-zero it so the "allocate returns a zeroed
-         page" contract survives recycling. *)
+         page" contract survives recycling (an all-zero header also marks
+         the page unwritten for the V1 reader). *)
       t.free_list <- rest;
       Hashtbl.remove t.freed id;
       zero_page t id;
@@ -94,11 +161,11 @@ let allocate t =
             Array.blit old 0 grown 0 (Array.length old);
             store := grown
           end;
-          !store.(id) <- Bytes.make t.page_size '\000'
+          !store.(id) <- Bytes.make t.physical '\000'
       | File { fd; _ } ->
           (* Extend the file so positioned reads of fresh pages succeed. *)
           ignore (Unix.LargeFile.lseek fd
-                    (Int64.of_int ((id + 1) * t.page_size - 1))
+                    (Int64.of_int (((id + 1) * t.physical) - 1))
                     Unix.SEEK_SET);
           ignore (Unix.write fd (Bytes.make 1 '\000') 0 1));
       id
@@ -123,43 +190,158 @@ let really_read fd ~page buf len =
   let rec go off =
     if off < len then begin
       let n = Unix.read fd buf off (len - off) in
-      if n = 0 then
-        failwith
-          (Printf.sprintf
-             "Disk: short read of page %d (%d of %d bytes) — backing file \
-              truncated?"
-             page off len)
+      if n = 0 then raise (Short_read { page; got = off; want = len })
       else go (off + n)
     end
   in
   go 0
+
+(* --- V1 header codec --------------------------------------------------- *)
+
+let get_u32 buf off =
+  Char.code (Bytes.get buf off)
+  lor (Char.code (Bytes.get buf (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get buf (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get buf (off + 3)) lsl 24)
+
+let set_u32 buf off v =
+  Bytes.set buf off (Char.chr (v land 0xFF));
+  Bytes.set buf (off + 1) (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set buf (off + 2) (Char.chr ((v lsr 16) land 0xFF));
+  Bytes.set buf (off + 3) (Char.chr ((v lsr 24) land 0xFF))
+
+let get_u16 buf off =
+  Char.code (Bytes.get buf off) lor (Char.code (Bytes.get buf (off + 1)) lsl 8)
+
+let set_u16 buf off v =
+  Bytes.set buf off (Char.chr (v land 0xFF));
+  Bytes.set buf (off + 1) (Char.chr ((v lsr 8) land 0xFF))
+
+(* The page checksum covers magic, version, flags and LSN (bytes 0-11) plus
+   the payload — everything but the CRC field itself. *)
+let page_crc t =
+  Crc32.update
+    (Crc32.digest t.scratch ~pos:0 ~len:12)
+    t.scratch ~pos:header_bytes
+    ~len:(t.physical - header_bytes)
+
+let header_is_zero t =
+  let rec go i = i >= header_bytes || (Bytes.get t.scratch i = '\000' && go (i + 1)) in
+  go 0
+
+let encode_header t =
+  t.lsn <- t.lsn + 1;
+  Bytes.blit_string magic 0 t.scratch 0 4;
+  set_u16 t.scratch 4 version;
+  set_u16 t.scratch 6 0;
+  set_u32 t.scratch 8 (t.lsn land 0xFFFFFFFF);
+  set_u32 t.scratch 12 0;
+  set_u32 t.scratch 12 (page_crc t)
+
+let decode_header t ~page buf =
+  if header_is_zero t then
+    (* Never written: the payload is the zero page [allocate] promised. *)
+    Bytes.fill buf 0 t.page_size '\000'
+  else begin
+    if Bytes.sub_string t.scratch 0 4 <> magic then
+      raise
+        (Corruption { page; reason = "bad magic — not a versioned page" });
+    let v = get_u16 t.scratch 4 in
+    if v <> version then
+      raise
+        (Corruption
+           { page; reason = Printf.sprintf "unknown page version %d" v });
+    let stored = get_u32 t.scratch 12 in
+    set_u32 t.scratch 12 0;
+    let computed = page_crc t in
+    set_u32 t.scratch 12 stored;
+    if stored <> computed then
+      raise
+        (Corruption
+           {
+             page;
+             reason =
+               Printf.sprintf
+                 "checksum mismatch (stored %08x, computed %08x) — torn \
+                  write or bit rot"
+                 stored computed;
+           });
+    Bytes.blit t.scratch header_bytes buf 0 t.page_size
+  end
+
+let read_physical t id =
+  match t.backend with
+  | Memory store -> Bytes.blit !store.(id) 0 t.scratch 0 t.physical
+  | File { fd; _ } ->
+      seek_page fd t id;
+      really_read fd ~page:id t.scratch t.physical
+
+let write_physical t id len =
+  match t.backend with
+  | Memory store -> Bytes.blit t.scratch 0 !store.(id) 0 len
+  | File { fd; _ } ->
+      seek_page fd t id;
+      really_write fd t.scratch len
 
 let read_into t id buf =
   check_open t;
   check_id t id;
   if Bytes.length buf <> t.page_size then
     invalid_arg "Disk.read_into: buffer size mismatch";
+  (match fire t (Read id) with Proceed | Torn _ -> ());
   t.stats.page_reads <- t.stats.page_reads + 1;
-  match t.backend with
-  | Memory store -> Bytes.blit !store.(id) 0 buf 0 t.page_size
-  | File { fd; _ } ->
-      seek_page fd t id;
-      really_read fd ~page:id buf t.page_size
+  match t.format with
+  | V0 -> (
+      match t.backend with
+      | Memory store -> Bytes.blit !store.(id) 0 buf 0 t.page_size
+      | File { fd; _ } ->
+          seek_page fd t id;
+          really_read fd ~page:id buf t.page_size)
+  | V1 ->
+      read_physical t id;
+      decode_header t ~page:id buf
 
 let write t id buf =
   check_open t;
   check_id t id;
   if Bytes.length buf <> t.page_size then
     invalid_arg "Disk.write: buffer size mismatch";
+  let verdict = fire t (Write id) in
   t.stats.page_writes <- t.stats.page_writes + 1;
-  match t.backend with
-  | Memory store -> Bytes.blit buf 0 !store.(id) 0 t.page_size
-  | File { fd; _ } ->
-      seek_page fd t id;
-      really_write fd buf t.page_size
+  match t.format with
+  | V0 -> (
+      let len =
+        match verdict with
+        | Proceed -> t.page_size
+        | Torn n -> max 0 (min n t.page_size)
+      in
+      match t.backend with
+      | Memory store -> Bytes.blit buf 0 !store.(id) 0 len
+      | File { fd; _ } ->
+          seek_page fd t id;
+          really_write fd (Bytes.sub buf 0 len) len)
+  | V1 ->
+      Bytes.blit buf 0 t.scratch header_bytes t.page_size;
+      encode_header t;
+      let len =
+        match verdict with
+        | Proceed -> t.physical
+        | Torn n -> max 0 (min n t.physical)
+      in
+      write_physical t id len
+
+let page_lsn t id =
+  check_open t;
+  check_id t id;
+  match t.format with
+  | V0 -> 0
+  | V1 ->
+      read_physical t id;
+      if header_is_zero t then 0 else get_u32 t.scratch 8
 
 let sync t =
   check_open t;
+  (match fire t Sync with Proceed | Torn _ -> ());
   t.stats.syncs <- t.stats.syncs + 1;
   match t.backend with
   | Memory _ -> ()
@@ -170,7 +352,7 @@ let close t =
     t.closed <- true;
     match t.backend with
     | Memory store -> store := [||]
-    | File { fd; path } ->
+    | File { fd; path; temp } ->
         Unix.close fd;
-        (try Sys.remove path with Sys_error _ -> ())
+        if temp then try Sys.remove path with Sys_error _ -> ()
   end

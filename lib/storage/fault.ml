@@ -1,0 +1,155 @@
+(* Deterministic fault injection over a Disk backend.
+
+   A plan is a set of rules consulted on every disk event (via
+   Disk.set_injector): fail the Nth read/write/sync/allocate, return short
+   reads, inject seeded pseudo-random transient errors, or "crash" — after
+   the Nth write every subsequent operation raises and the pre-crash media
+   image is what recovery sees. Plans carry their own op counters, so a
+   fresh plan replays identically: fault schedules are part of a test's
+   inputs, not its environment. *)
+
+type error_class = Read_error | Write_error | Sync_error | Enospc | Short_read
+
+exception Injected of { cls : error_class; page : int }
+exception Crashed
+
+let () =
+  Printexc.register_printer (function
+    | Injected { cls; page } ->
+        let name =
+          match cls with
+          | Read_error -> "read"
+          | Write_error -> "write"
+          | Sync_error -> "sync"
+          | Enospc -> "enospc"
+          | Short_read -> "short-read"
+        in
+        Some (Printf.sprintf "Fault.Injected(%s, page %d)" name page)
+    | Crashed -> Some "Fault.Crashed"
+    | _ -> None)
+
+type rule =
+  | Fail_nth of { cls : error_class; n : int }
+  | Crash_after_writes of { n : int; torn : bool }
+  | Seeded of { classes : error_class list; rate : float; mutable state : int64 }
+
+type t = {
+  rules : rule list;
+  mutable reads : int;
+  mutable writes : int;
+  mutable syncs : int;
+  mutable allocs : int;
+  mutable crashed : bool;
+  mutable injected : int;
+}
+
+let of_rules rules =
+  { rules; reads = 0; writes = 0; syncs = 0; allocs = 0;
+    crashed = false; injected = 0 }
+
+let fail_nth cls n =
+  if n < 1 then invalid_arg "Fault.fail_nth: n must be >= 1";
+  of_rules [ Fail_nth { cls; n } ]
+
+let fail_nth_read n = fail_nth Read_error n
+let fail_nth_write n = fail_nth Write_error n
+let fail_nth_sync n = fail_nth Sync_error n
+let enospc_on_allocate n = fail_nth Enospc n
+let short_read_nth n = fail_nth Short_read n
+
+let crash_after_writes ?(torn = false) n =
+  if n < 0 then invalid_arg "Fault.crash_after_writes: n must be >= 0";
+  of_rules [ Crash_after_writes { n; torn } ]
+
+let seeded ~seed ~rate classes =
+  if rate < 0. || rate > 1. then invalid_arg "Fault.seeded: rate in [0,1]";
+  of_rules [ Seeded { classes; rate; state = Int64.of_int (seed lxor 0x9E3779B9) } ]
+
+let combine plans = of_rules (List.concat_map (fun p -> p.rules) plans)
+
+let crashed t = t.crashed
+let injected_faults t = t.injected
+let writes_seen t = t.writes
+
+(* splitmix64: one 64-bit draw per matching event, fully determined by the
+   seed and the event sequence. *)
+let draw st =
+  let z = Int64.add st.contents 0x9E3779B97F4A7C15L in
+  st := z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.
+
+let class_matches cls (event : Disk.event) =
+  match (cls, event) with
+  | (Read_error | Short_read), Disk.Read _ -> true
+  | Write_error, Disk.Write _ -> true
+  | Sync_error, Disk.Sync -> true
+  | Enospc, Disk.Allocate -> true
+  | _ -> false
+
+let page_of = function
+  | Disk.Read p | Disk.Write p -> p
+  | Disk.Sync | Disk.Allocate -> -1
+
+let inject t disk cls ~page =
+  t.injected <- t.injected + 1;
+  match cls with
+  | Short_read ->
+      raise
+        (Disk.Short_read
+           { page; got = 0; want = Disk.physical_page_size disk })
+  | cls -> raise (Injected { cls; page })
+
+let handle t disk event =
+  if t.crashed then raise Crashed;
+  let count =
+    match event with
+    | Disk.Read _ ->
+        t.reads <- t.reads + 1;
+        t.reads
+    | Disk.Write _ ->
+        t.writes <- t.writes + 1;
+        t.writes
+    | Disk.Sync ->
+        t.syncs <- t.syncs + 1;
+        t.syncs
+    | Disk.Allocate ->
+        t.allocs <- t.allocs + 1;
+        t.allocs
+  in
+  let verdict = ref Disk.Proceed in
+  List.iter
+    (fun rule ->
+      match rule with
+      | Fail_nth { cls; n } ->
+          if class_matches cls event && count = n then
+            inject t disk cls ~page:(page_of event)
+      | Crash_after_writes { n; torn } -> (
+          match event with
+          | Disk.Write _ when t.writes = n + 1 ->
+              (* The crashing write: dropped entirely, or torn mid-page —
+                 either way nothing after it reaches the media. *)
+              t.crashed <- true;
+              if torn then
+                verdict := Disk.Torn (Disk.physical_page_size disk / 2)
+              else raise Crashed
+          | _ -> ())
+      | Seeded s ->
+          List.iter
+            (fun cls ->
+              if class_matches cls event then begin
+                let st = ref s.state in
+                let x = draw st in
+                s.state <- !st;
+                if x < s.rate then inject t disk cls ~page:(page_of event)
+              end)
+            s.classes)
+    t.rules;
+  !verdict
+
+let install t disk = Disk.set_injector disk (Some (handle t disk))
+let clear disk = Disk.set_injector disk None

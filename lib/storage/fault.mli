@@ -1,0 +1,73 @@
+(** Deterministic, seedable fault injection over a {!Disk} backend.
+
+    A plan wraps any disk (memory or file) through {!Disk.set_injector} and
+    decides, per operation, whether to let it proceed, fail it, tear it, or
+    declare the process crashed. Plans carry their own operation counters,
+    so the same plan over the same workload injects the same faults —
+    a fault schedule is an input, not an environment.
+
+    The crash model: {!crash_after_writes}[ n] lets the first [n] writes
+    through, drops (or half-applies, with [~torn:true]) the next one, and
+    makes every subsequent operation raise {!Crashed}. The media image at
+    that point is exactly what a recovery path reopening the store sees;
+    {!clear} removes the injector, playing the part of the restart. *)
+
+type error_class = Read_error | Write_error | Sync_error | Enospc | Short_read
+
+exception Injected of { cls : error_class; page : int }
+(** A transient injected I/O error ([page] is [-1] for sync/allocate).
+    [Short_read]-class faults raise {!Disk.Short_read} instead, matching
+    what a really-truncated file produces. *)
+
+exception Crashed
+(** Raised by every operation after the crash point fires. *)
+
+type t
+
+(** {1 Schedules} *)
+
+val fail_nth_read : int -> t
+(** The [n]th read (1-based, counted by this plan) raises {!Injected};
+    reads before and after proceed — a transient error a retry absorbs. *)
+
+val fail_nth_write : int -> t
+val fail_nth_sync : int -> t
+
+val enospc_on_allocate : int -> t
+(** The [n]th allocation fails — out of space. *)
+
+val short_read_nth : int -> t
+(** The [n]th read raises {!Disk.Short_read}, as a truncated file would. *)
+
+val crash_after_writes : ?torn:bool -> int -> t
+(** Let [n] writes through; the next write is dropped ([torn:false], the
+    default) or half-written ([torn:true] — the torn page fails checksum
+    verification on the next read), and every operation after it raises
+    {!Crashed}. [n = 0] crashes on the very first write. *)
+
+val seeded : seed:int -> rate:float -> error_class list -> t
+(** Pseudo-random transient faults: every operation matching one of the
+    classes draws from a splitmix64 stream seeded by [seed] and fails with
+    probability [rate]. Deterministic given seed and operation sequence. *)
+
+val combine : t list -> t
+(** One plan applying all the given plans' rules, with fresh counters. *)
+
+(** {1 Wiring} *)
+
+val install : t -> Disk.t -> unit
+(** Start injecting: every disk operation consults the plan. *)
+
+val clear : Disk.t -> unit
+(** Remove any injector — the "restart" before recovery. *)
+
+(** {1 Observation} *)
+
+val crashed : t -> bool
+(** Did the crash point fire? *)
+
+val injected_faults : t -> int
+(** Transient faults injected so far (crash aborts not included). *)
+
+val writes_seen : t -> int
+(** Writes observed by this plan — what a crash sweep enumerates over. *)

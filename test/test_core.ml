@@ -312,6 +312,83 @@ let test_sum_measure () =
         (Aggregate.value Aggregate.Sum cell)
   | None -> Alcotest.fail "missing ALL group"
 
+(* --- WHERE-clause semantics (Engine.filter_holds) ------------------------- *)
+
+let test_filter_holds_edge_cases () =
+  let doc =
+    parse_ok
+      {|<db>
+         <r><v>9</v></r>
+         <r><v>2</v></r>
+         <r><v>abc</v></r>
+         <r><v></v></r>
+         <r></r>
+         <r><v>2</v><v>50</v></r>
+       </db>|}
+  in
+  let store = X3_xdb.Store.of_document doc in
+  let facts = Array.of_list (Eval.facts store [ step d "r" ]) in
+  let holds i op operand =
+    Engine.filter_holds store
+      { Engine.filter_path = [ step c "v" ]; op; operand }
+      ~fact:facts.(i)
+  in
+  (* Both sides numeric: compare as numbers ("9" < "10" despite "9" > "10"
+     lexicographically, and "2" > "10" lexicographically but not really). *)
+  Alcotest.(check bool) "9 < 10 numerically" true (holds 0 Engine.Lt "10");
+  Alcotest.(check bool) "2 < 10 numerically" true (holds 1 Engine.Lt "10");
+  Alcotest.(check bool) "2 not > 10" false (holds 1 Engine.Gt "10");
+  (* Either side non-numeric: lexicographic. *)
+  Alcotest.(check bool) "abc > 10 lexicographically" true
+    (holds 2 Engine.Gt "10");
+  Alcotest.(check bool) "abc not <= 10" false (holds 2 Engine.Le "10");
+  (* Empty strings are not numbers; they compare lexicographically. *)
+  Alcotest.(check bool) "empty = empty" true (holds 3 Engine.Eq "");
+  Alcotest.(check bool) "empty < 0" true (holds 3 Engine.Lt "0");
+  Alcotest.(check bool) "empty <> x" true (holds 3 Engine.Neq "x");
+  (* No binding at all: existential semantics make every predicate false —
+     including Neq, which is not "not Eq" over an empty binding set. *)
+  Alcotest.(check bool) "missing binding fails Eq" false (holds 4 Engine.Eq "9");
+  Alcotest.(check bool) "missing binding fails Neq" false
+    (holds 4 Engine.Neq "9");
+  Alcotest.(check bool) "missing binding fails Lt" false (holds 4 Engine.Lt "9");
+  (* Multiple bindings: some binding suffices, for every operator. *)
+  Alcotest.(check bool) "one of {2,50} = 50" true (holds 5 Engine.Eq "50");
+  Alcotest.(check bool) "one of {2,50} < 5" true (holds 5 Engine.Lt "5");
+  Alcotest.(check bool) "one of {2,50} > 40" true (holds 5 Engine.Gt "40");
+  Alcotest.(check bool) "none of {2,50} = 7" false (holds 5 Engine.Eq "7");
+  Alcotest.(check bool) "some of {2,50} <> 50" true (holds 5 Engine.Neq "50")
+
+let test_filter_prunes_facts () =
+  let doc =
+    parse_ok
+      {|<db>
+         <r><a>x</a><v>10</v></r>
+         <r><a>x</a><v>3</v></r>
+         <r><a>y</a></r>
+       </db>|}
+  in
+  let store = X3_xdb.Store.of_document doc in
+  let axes =
+    [|
+      X3_pattern.Axis.make_exn ~name:"$a" ~steps:[ step c "a" ]
+        ~allowed:[ Relax.Lnd ];
+    |]
+  in
+  let spec =
+    {
+      Engine.fact_path = [ step d "r" ];
+      axes;
+      func = Aggregate.Count;
+      measure_path = None;
+      filters =
+        [ { Engine.filter_path = [ step c "v" ]; op = Engine.Ge; operand = "5" } ];
+    }
+  in
+  let p = Engine.prepare ~pool:(small_pool ()) ~store spec in
+  Alcotest.(check int) "only the v>=5 fact survives the WHERE clause" 1
+    (Witness.fact_count (Engine.table p))
+
 (* --- other aggregate functions across all algorithms ----------------------- *)
 
 let clean_numeric_prepared () =
@@ -1191,6 +1268,13 @@ let () =
           Alcotest.test_case "instrumentation" `Quick
             test_instrumentation_sanity;
           Alcotest.test_case "sum measure" `Quick test_sum_measure;
+        ] );
+      ( "where filters",
+        [
+          Alcotest.test_case "filter_holds edge cases" `Quick
+            test_filter_holds_edge_cases;
+          Alcotest.test_case "filters prune facts at prepare" `Quick
+            test_filter_prunes_facts;
         ] );
       ( "extended coverage",
         [

@@ -97,7 +97,7 @@ let test_disk_short_read () =
     (try
        Disk.read_into disk b out;
        false
-     with Failure _ -> true);
+     with Disk.Short_read _ -> true);
   Disk.close disk
 
 let test_disk_sync_counted () =
@@ -106,6 +106,89 @@ let test_disk_sync_counted () =
   Disk.sync disk;
   Alcotest.(check int) "syncs counted on memory backend" 2
     (Disk.stats disk).Stats.syncs
+
+(* --- versioned pages, corruption, reopen ------------------------------- *)
+
+let test_disk_v0_legacy_format () =
+  let disk = Disk.in_memory ~page_size:64 ~format:Disk.V0 () in
+  Alcotest.(check int) "no header" 64 (Disk.physical_page_size disk);
+  let a = Disk.allocate disk in
+  Disk.write disk a (Bytes.make 64 'v');
+  let out = Bytes.make 64 ' ' in
+  Disk.read_into disk a out;
+  Alcotest.(check bytes) "roundtrip" (Bytes.make 64 'v') out;
+  Alcotest.(check int) "no lsn on v0" 0 (Disk.page_lsn disk a)
+
+let test_disk_v0_file_reader () =
+  (* A raw headerless page file (the seed format) must read back
+     byte-for-byte under a V0 reopen. *)
+  let path = Filename.temp_file "x3disk" ".pages" in
+  let oc = open_out_bin path in
+  output_string oc (String.make 64 'x');
+  output_string oc (String.make 64 'y');
+  close_out oc;
+  let disk = Disk.reopen ~page_size:64 ~format:Disk.V0 path in
+  Alcotest.(check int) "two raw pages" 2 (Disk.page_count disk);
+  let out = Bytes.make 64 ' ' in
+  Disk.read_into disk 1 out;
+  Alcotest.(check bytes) "headerless payload" (Bytes.make 64 'y') out;
+  Disk.close disk;
+  Sys.remove path
+
+let test_disk_v1_lsn_stamped () =
+  let disk = Disk.in_memory ~page_size:64 () in
+  Alcotest.(check int) "v1 header" (64 + Disk.header_bytes)
+    (Disk.physical_page_size disk);
+  let a = Disk.allocate disk in
+  Alcotest.(check int) "unwritten page has no lsn" 0 (Disk.page_lsn disk a);
+  Disk.write disk a (Bytes.make 64 'a');
+  let l1 = Disk.page_lsn disk a in
+  Disk.write disk a (Bytes.make 64 'b');
+  let l2 = Disk.page_lsn disk a in
+  Alcotest.(check bool) "lsn advances across writes" true (l2 > l1 && l1 > 0)
+
+let test_disk_corruption_detected () =
+  let path = Filename.temp_file "x3disk" ".pages" in
+  let disk = Disk.on_file ~page_size:64 ~temp:false path in
+  let a = Disk.allocate disk in
+  Disk.write disk a (Bytes.make 64 'a');
+  Disk.sync disk;
+  Disk.close disk;
+  (* Flip one payload byte behind the checksum's back. *)
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  ignore (Unix.lseek fd (Disk.header_bytes + 5) Unix.SEEK_SET);
+  ignore (Unix.write_substring fd "X" 0 1);
+  Unix.close fd;
+  let disk = Disk.reopen ~page_size:64 path in
+  Alcotest.(check bool) "bit rot detected" true
+    (try
+       Disk.read_into disk a (Bytes.make 64 ' ');
+       false
+     with Disk.Corruption _ -> true);
+  Disk.close disk;
+  Sys.remove path
+
+let test_disk_reopen_persists () =
+  let path = Filename.temp_file "x3disk" ".pages" in
+  let disk = Disk.on_file ~page_size:64 ~temp:false path in
+  let ids = List.init 5 (fun _ -> Disk.allocate disk) in
+  List.iteri
+    (fun i id -> Disk.write disk id (Bytes.make 64 (Char.chr (97 + i))))
+    ids;
+  Disk.sync disk;
+  Disk.close disk;
+  Alcotest.(check bool) "kept on close" true (Sys.file_exists path);
+  let disk = Disk.reopen ~page_size:64 path in
+  Alcotest.(check int) "page count from file size" 5 (Disk.page_count disk);
+  let out = Bytes.make 64 ' ' in
+  List.iteri
+    (fun i id ->
+      Disk.read_into disk id out;
+      Alcotest.(check char) "payload survived reopen" (Char.chr (97 + i))
+        (Bytes.get out 9))
+    ids;
+  Disk.close disk;
+  Sys.remove path
 
 (* --- buffer pool ------------------------------------------------------ *)
 
@@ -186,6 +269,63 @@ let test_pool_free_page () =
   Alcotest.(check int) "page recycled" a b;
   Buffer_pool.with_page pool b (fun buf ->
       Alcotest.(check char) "recycled page is zeroed" '\000' (Bytes.get buf 0))
+
+(* Satellite regression: a frame pinned by a [with_page_mut] window must
+   never be stolen by eviction traffic inside the window, whatever the
+   pressure — a stolen frame would be written back mid-mutation with a
+   stale checksum and recycled to alias another page. *)
+let test_pool_pinned_not_evicted () =
+  let pool = small_pool ~capacity_pages:2 ~page_size:64 () in
+  let ids = Array.init 8 (fun _ -> Buffer_pool.allocate pool) in
+  Array.iteri
+    (fun i id ->
+      Buffer_pool.with_page_mut pool id (fun b ->
+          Bytes.set b 0 (Char.chr (65 + i))))
+    ids;
+  Buffer_pool.with_page_mut pool ids.(0) (fun b0 ->
+      Bytes.set b0 1 'P';
+      (* Hammer every other page through the one unpinned frame. *)
+      for _ = 1 to 3 do
+        Array.iter
+          (fun id ->
+            Buffer_pool.with_page pool id (fun b -> ignore (Bytes.get b 0)))
+          (Array.sub ids 1 7)
+      done;
+      Alcotest.(check char) "pinned frame kept its page" 'A' (Bytes.get b0 0));
+  Buffer_pool.drop_cache pool;
+  Buffer_pool.with_page pool ids.(0) (fun b ->
+      Alcotest.(check char) "in-window mutation survived" 'P' (Bytes.get b 1));
+  (* Pinning more distinct pages than frames must fail loudly, not alias. *)
+  Alcotest.(check bool) "overpinning raises" true
+    (try
+       Buffer_pool.with_page pool ids.(1) (fun _ ->
+           Buffer_pool.with_page pool ids.(2) (fun _ ->
+               Buffer_pool.with_page pool ids.(3) (fun _ -> ());
+               false))
+     with Failure _ -> true)
+
+let test_pool_overwrite_torn_page () =
+  (* A torn page fails verification on load; [with_page_overwrite] must be
+     able to rewrite it without reading it first. *)
+  let disk = Disk.in_memory ~page_size:64 () in
+  let pool = Buffer_pool.create ~capacity_pages:2 disk in
+  let a = Buffer_pool.allocate pool in
+  Buffer_pool.with_page_mut pool a (fun b -> Bytes.fill b 0 64 'a');
+  Buffer_pool.flush pool;
+  let plan = Fault.crash_after_writes ~torn:true 0 in
+  Fault.install plan disk;
+  Buffer_pool.with_page_mut pool a (fun b -> Bytes.fill b 0 64 'b');
+  (try Buffer_pool.flush pool with Fault.Crashed -> ());
+  Fault.clear disk;
+  Buffer_pool.invalidate pool;
+  Alcotest.(check bool) "torn page detected" true
+    (try Buffer_pool.with_page pool a (fun _ -> false)
+     with Disk.Corruption _ -> true);
+  Buffer_pool.with_page_overwrite pool a (fun b -> Bytes.fill b 0 64 'c');
+  Buffer_pool.flush pool;
+  Buffer_pool.drop_cache pool;
+  Buffer_pool.with_page pool a (fun b ->
+      Alcotest.(check char) "rewritten cleanly" 'c' (Bytes.get b 0))
 
 (* --- heap file -------------------------------------------------------- *)
 
@@ -473,6 +613,13 @@ let () =
             test_disk_free_reuse_on_file;
           Alcotest.test_case "short read raises" `Quick test_disk_short_read;
           Alcotest.test_case "sync counted" `Quick test_disk_sync_counted;
+          Alcotest.test_case "v0 legacy format" `Quick
+            test_disk_v0_legacy_format;
+          Alcotest.test_case "v0 file reader" `Quick test_disk_v0_file_reader;
+          Alcotest.test_case "v1 lsn stamped" `Quick test_disk_v1_lsn_stamped;
+          Alcotest.test_case "corruption detected" `Quick
+            test_disk_corruption_detected;
+          Alcotest.test_case "reopen persists" `Quick test_disk_reopen_persists;
         ] );
       ( "buffer pool",
         [
@@ -484,6 +631,10 @@ let () =
             test_pool_more_pages_than_capacity;
           Alcotest.test_case "flush syncs" `Quick test_pool_flush_syncs;
           Alcotest.test_case "free page" `Quick test_pool_free_page;
+          Alcotest.test_case "pinned frames survive eviction" `Quick
+            test_pool_pinned_not_evicted;
+          Alcotest.test_case "overwrite torn page" `Quick
+            test_pool_overwrite_torn_page;
         ] );
       ( "heap file",
         [
