@@ -3,11 +3,16 @@
    TD/TDCUST) checked cell-for-cell against NAIVE, the string-key vs
    packed-key grouping micro-comparison, a worker-count scaling sweep
    over the domain-parallel engine, and the V0-vs-V1 page checksum
-   overhead comparison.  Writes the results as JSON (BENCH_PR2.json and
-   BENCH_PR3.json by default, or argv.(1)/argv.(2)).  Exits non-zero if
+   overhead comparison, and the PR 4 resource-governor overhead
+   comparison (governed vs ungoverned grouping with a non-binding
+   budget, plus per-run `Gc.quick_stat` peak-heap records).  Writes the
+   results as JSON (BENCH_PR2.json, BENCH_PR3.json and BENCH_PR4.json by
+   default, or argv.(1)/argv.(2)/argv.(3)).  Exits non-zero if
    any algorithm disagrees with NAIVE, if any parallel run's cube is not
    byte-identical to the sequential one, if any run leaks disk pages, if
-   checksummed pages slow the grouping workload by more than 15%, or —
+   checksummed pages slow the grouping workload by more than 15%, if
+   the governed path slows grouping by more than 20% when the budget is
+   not binding, or —
    on hardware with at least 4 cores — if 4 workers fail to reach a 2x
    NAIVE speedup, so `dune runtest` gates on all of it. *)
 
@@ -35,6 +40,10 @@ type parallel_run = {
   pr_seconds : float;
   pr_identical : bool;  (** export byte-identical to sequential NAIVE *)
   pr_leaked_pages : int;  (** net live-page growth across the run *)
+  pr_top_heap_words : int;
+      (** [Gc.quick_stat] peak heap observed after the run. On OCaml 5
+          this is the calling domain's view of the high-water mark, so
+          it is only approximately monotone across a parallel sweep. *)
 }
 
 let parallel_sweep ~store ~spec ~config =
@@ -65,6 +74,7 @@ let parallel_sweep ~store ~spec ~config =
               String.equal reference
                 (Export.csv_string ~func:Aggregate.Count result);
             pr_leaked_pages = Disk.live_page_count disk - live_before;
+            pr_top_heap_words = (Gc.quick_stat ()).Gc.top_heap_words;
           })
         sweep_workers)
     sweep_algorithms
@@ -120,12 +130,41 @@ let grouping_seconds ~store ~spec ~config ~format =
   done;
   !best
 
+(* --- governor overhead (PR 4) ------------------------------------------- *)
+
+(* The same grouping workload (prepare + COUNTER), once through the plain
+   engine and once through run_safe under a byte budget far above the
+   workload's peak.  With the budget not binding, every reservation is a
+   couple of atomic operations — the governed path must stay within 20%
+   of the ungoverned one.  Best of several samples, like the checksum
+   gate. *)
+let grouping_seconds_run ~store ~spec ~run =
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to 5 do
+      let pool =
+        Buffer_pool.create ~capacity_pages:256
+          (Disk.in_memory ~page_size:1024 ())
+      in
+      let prepared = Engine.prepare ~pool ~store spec in
+      run prepared
+    done;
+    let dt = (Unix.gettimeofday () -. t0) /. 5. in
+    if dt < !best then best := dt
+  done;
+  !best
+
 let () =
   let out_path =
     if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_PR2.json"
   in
   let out_path3 =
     if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_PR3.json"
+  in
+  let out_path4 =
+    if Array.length Sys.argv > 3 then Sys.argv.(3) else "BENCH_PR4.json"
   in
   let config = { Treebank.default with num_trees = trees; axes } in
   let store = X3_xdb.Store.of_document (Treebank.generate config) in
@@ -210,6 +249,35 @@ let () =
     \    grouping workload   V0 %8.4fs   V1 %8.4fs  (%+.1f%%, gate 15%%)\n"
     v0_rate v1_rate (100. *. io_overhead) v0_group v1_group
     (100. *. group_overhead);
+  (* --- governor overhead ----------------------------------------------- *)
+  let governor_budget = 1 lsl 30 in
+  let ungoverned_group =
+    grouping_seconds_run ~store ~spec ~run:(fun prepared ->
+        ignore (Engine.run ~config:run_config prepared Engine.Counter))
+  in
+  let governed_group =
+    grouping_seconds_run ~store ~spec ~run:(fun prepared ->
+        match
+          Engine.run_safe ~config:run_config ~max_bytes:governor_budget
+            prepared Engine.Counter
+        with
+        | Engine.Complete _ -> ()
+        | _ ->
+            prerr_endline
+              "smoke: governed grouping run did not complete under a \
+               non-binding budget";
+            exit 1)
+  in
+  let governed_overhead = (governed_group /. ungoverned_group) -. 1.0 in
+  let top_heap_after_grouping = (Gc.quick_stat ()).Gc.top_heap_words in
+  Printf.printf
+    "  governor overhead (byte-budgeted run_safe vs plain run):\n\
+    \    grouping workload   plain %8.4fs   governed %8.4fs  (%+.1f%%, gate \
+     20%%)\n\
+    \    peak heap observed  %d words\n"
+    ungoverned_group governed_group
+    (100. *. governed_overhead)
+    top_heap_after_grouping;
   (* --- JSON ------------------------------------------------------------ *)
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
@@ -286,6 +354,43 @@ let () =
   output_string oc3 (Buffer.contents buf3);
   close_out oc3;
   Printf.printf "  wrote %s\n" out_path3;
+  let buf4 = Buffer.create 2048 in
+  Buffer.add_string buf4 "{\n";
+  Buffer.add_string buf4
+    "  \"bench\": \"PR4: resource governor, admission control and hostile \
+     input hardening\",\n";
+  Printf.bprintf buf4
+    "  \"governed_overhead\": {\n\
+    \    \"workload\": \"treebank trees=%d axes=%d prepare+COUNTER\",\n\
+    \    \"max_bytes\": %d,\n\
+    \    \"ungoverned_seconds\": %.6f,\n\
+    \    \"governed_seconds\": %.6f,\n\
+    \    \"overhead\": %.4f,\n\
+    \    \"gate\": 0.20\n\
+    \  },\n"
+    trees axes governor_budget ungoverned_group governed_group
+    governed_overhead;
+  Printf.bprintf buf4
+    "  \"peak_heap\": {\n\
+    \    \"unit\": \"words\",\n\
+    \    \"note\": \"Gc.quick_stat top_heap_words observed after each run \
+     (the calling domain's heap high-water mark at that point)\",\n\
+    \    \"after_grouping\": %d,\n\
+    \    \"parallel_runs\": [\n"
+    top_heap_after_grouping;
+  List.iteri
+    (fun i r ->
+      Printf.bprintf buf4
+        "      { \"name\": %S, \"workers\": %d, \"top_heap_words\": %d }%s\n"
+        (Engine.algorithm_to_string r.pr_algorithm)
+        r.pr_workers r.pr_top_heap_words
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  Buffer.add_string buf4 "    ]\n  }\n}\n";
+  let oc4 = open_out out_path4 in
+  output_string oc4 (Buffer.contents buf4);
+  close_out oc4;
+  Printf.printf "  wrote %s\n" out_path4;
   let fail = ref false in
   if not all_correct then begin
     prerr_endline "smoke: some algorithm disagrees with NAIVE";
@@ -303,6 +408,13 @@ let () =
     Printf.eprintf
       "smoke: V1 checksum overhead on the grouping workload is %.1f%% (> 15%%)\n"
       (100. *. group_overhead);
+    fail := true
+  end;
+  if governed_overhead > 0.20 then begin
+    Printf.eprintf
+      "smoke: governor overhead on the grouping workload is %.1f%% (> 20%%) \
+       with a non-binding budget\n"
+      (100. *. governed_overhead);
     fail := true
   end;
   (* The speedup gate only makes a claim the hardware can support: on a

@@ -35,7 +35,29 @@ let parse_query path =
   in
   or_die (X3_ql.Compile.parse_and_compile source)
 
-let load_document path =
+(* Exit codes: 0 clean, 1 usage or other error, 2 corrupt input pages,
+   3 fault-aborted (I/O errors survived the retry budget), 4 partial
+   result (deadline or cancellation), 5 resource-governed (byte budget
+   exhausted, input over --max-input-bytes, or shed by admission
+   control). *)
+let exit_corrupt = 2
+let exit_fault = 3
+let exit_partial = 4
+let exit_over_budget = 5
+
+let load_document ?max_input_bytes path =
+  (match max_input_bytes with
+  | Some cap -> (
+      match (Unix.stat path).Unix.st_size with
+      | size when size > cap ->
+          Printf.eprintf
+            "x3: %s is %d bytes, over the --max-input-bytes cap of %d — \
+             refusing to load it\n"
+            path size cap;
+          exit exit_over_budget
+      | _ -> ()
+      | exception Unix.Unix_error _ -> () (* let the parser report it *))
+  | None -> ());
   match X3_xml.Parser.parse_file_with_dtd path with
   | Ok (doc, dtd) -> (doc, dtd)
   | Error e ->
@@ -46,27 +68,20 @@ let make_pool () =
   X3_storage.Buffer_pool.create ~capacity_pages:65536
     (X3_storage.Disk.in_memory ~page_size:8192 ())
 
-let prepare_from_query query_path doc_override =
+let prepare_from_query ?max_input_bytes query_path doc_override =
   let { X3_ql.Compile.document; spec } = parse_query query_path in
   let doc_path = Option.value doc_override ~default:document in
-  let doc, dtd = load_document doc_path in
+  let doc, dtd = load_document ?max_input_bytes doc_path in
   let store = X3_xdb.Store.of_document doc in
   let prepared = Engine.prepare ~pool:(make_pool ()) ~store spec in
   (spec, prepared, doc, dtd)
 
 (* --- cube --------------------------------------------------------------- *)
 
-(* Exit codes: 0 clean, 1 usage or other error, 2 corrupt input pages,
-   3 fault-aborted (I/O errors survived the retry budget), 4 partial
-   result (deadline or cancellation). *)
-let exit_corrupt = 2
-let exit_fault = 3
-let exit_partial = 4
-
 let run_cube query_path doc algorithm_name use_schema workers deadline
-    retries max_groups format =
+    retries max_bytes max_concurrent max_input_bytes max_groups format =
   let spec, prepared, document, inline_dtd =
-    prepare_from_query query_path doc
+    prepare_from_query ?max_input_bytes query_path doc
   in
   let algorithm =
     match Engine.algorithm_of_string algorithm_name with
@@ -93,9 +108,19 @@ let run_cube query_path doc algorithm_name use_schema workers deadline
     else None
   in
   ignore document;
+  (* A single CLI query is its own admission population: --max-concurrent 0
+     sheds it outright, anything else admits it — the flag exists so the
+     same contract holds when the binary fronts a query queue. *)
+  let admission =
+    Option.map
+      (fun n ->
+        X3_core.Governor.Admission.create ~max_in_flight:n ~max_waiting:0 ())
+      max_concurrent
+  in
   let t0 = Unix.gettimeofday () in
   let outcome =
-    Engine.run_safe ?props ~workers ?deadline ~retries prepared algorithm
+    Engine.run_safe ?props ~workers ?deadline ~retries ?max_bytes ?admission
+      ~admission_timeout:0. prepared algorithm
   in
   let dt = Unix.gettimeofday () -. t0 in
   let print_result result instr =
@@ -122,19 +147,29 @@ let run_cube query_path doc algorithm_name use_schema workers deadline
   | Engine.Complete (result, instr) -> print_result result instr
   | Engine.Partial (reason, result, instr) ->
       print_result result instr;
-      prerr_endline
-        (match reason with
-        | X3_core.Context.Deadline_exceeded ->
-            "x3: deadline exceeded — the cube above is partial"
-        | X3_core.Context.Cancelled ->
-            "x3: cancelled — the cube above is partial");
-      exit exit_partial
+      (match reason with
+      | X3_core.Context.Deadline_exceeded ->
+          prerr_endline "x3: deadline exceeded — the cube above is partial";
+          exit exit_partial
+      | X3_core.Context.Cancelled ->
+          prerr_endline "x3: cancelled — the cube above is partial";
+          exit exit_partial
+      | X3_core.Context.Over_budget ->
+          prerr_endline
+            "x3: byte budget exhausted past the spill floor — the cube \
+             above is partial";
+          exit exit_over_budget)
   | Engine.Failed (Engine.Corrupt msg) ->
       prerr_endline ("x3: corrupt input: " ^ msg);
       exit exit_corrupt
   | Engine.Failed (Engine.Io_fault msg) ->
       prerr_endline ("x3: aborted by I/O faults: " ^ msg);
       exit exit_fault
+  | Engine.Rejected rejection ->
+      prerr_endline
+        (Format.asprintf "x3: query rejected: %a"
+           X3_core.Governor.Admission.pp_rejection rejection);
+      exit exit_over_budget
 
 (* --- lattice ------------------------------------------------------------ *)
 
@@ -343,6 +378,36 @@ let cube_cmd =
             "Retries (with exponential backoff) after a transient I/O \
              fault before aborting with exit code 3.")
   in
+  let max_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Byte budget for the cube computation. Memory pressure first \
+             forces the spill paths (counter eviction, external sort); a \
+             budget below their floors prints the partial cube and exits \
+             with code 5.")
+  in
+  let max_concurrent =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-concurrent" ] ~docv:"N"
+          ~doc:
+            "Admission-control cap on in-flight cube queries; queries \
+             beyond it are rejected with exit code 5 instead of grinding \
+             ($(b,0) sheds every query — the off switch).")
+  in
+  let max_input_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-input-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Refuse to load an XML document larger than this (exit code \
+             5).")
+  in
   let max_groups =
     Arg.(
       value & opt int 10
@@ -354,11 +419,31 @@ let cube_cmd =
       value & opt string "table"
       & info [ "format"; "f" ] ~docv:"FMT" ~doc:"Output: table, csv or json.")
   in
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `P "The cube subcommand's exit codes:";
+      `I ("0", "success — the full cube was printed.");
+      `I ("1", "usage error, unreadable query, or malformed XML input.");
+      `I ("2", "corrupt input pages (checksum/format verification failed).");
+      `I ("3", "I/O faults survived the retry budget.");
+      `I
+        ( "4",
+          "partial result: the deadline expired or the run was cancelled; \
+           the partial cube is printed before exiting." );
+      `I
+        ( "5",
+          "resource-governed: the byte budget was exhausted past the spill \
+           floors (a partial cube is printed), the document exceeded \
+           --max-input-bytes, or admission control rejected the query." );
+    ]
+  in
   Cmd.v
-    (Cmd.info "cube" ~doc:"Run an X^3 query and print the cube")
+    (Cmd.info "cube" ~doc:"Run an X^3 query and print the cube" ~man)
     Term.(
       const run_cube $ query_arg $ doc_arg $ algorithm $ use_schema
-      $ workers $ deadline $ retries $ max_groups $ format)
+      $ workers $ deadline $ retries $ max_bytes $ max_concurrent
+      $ max_input_bytes $ max_groups $ format)
 
 let lattice_cmd =
   let dot =

@@ -93,11 +93,29 @@ let compute ~variant (ctx : Context.t) =
     in
     go 0
   in
+  (* Byte accounting runs only on the domain owning the shared context —
+     workers' recursion is unaccounted (their branches are bounded by the
+     snapshot the calling domain already booked). Result cells are booked
+     at refine boundaries; partition sub-arrays transiently per branch. *)
+  let governed = not (Governor.is_unbounded (Context.account ctx)) in
+  let booked_cells = ref 0 in
+  let book_result () =
+    if governed then begin
+      let cells = Cube_result.total_cells result in
+      if cells > !booked_cells then begin
+        Context.reserve ctx ((cells - !booked_cells) * Governor.counter_cost);
+        booked_cells := cells
+      end
+    end
+  in
   let rec refine env part lo hi next =
     (* Stop check at partition boundaries — but only on the domain that
        owns the shared context (workers carry a private [instr]); a stop
        abandons the recursion with already-emitted cells intact. *)
-    if env.instr == ctx.instr then Context.check ctx;
+    if env.instr == ctx.instr then begin
+      Context.check ctx;
+      book_result ()
+    end;
     (* Empty restrictions produce no groups (a group exists only if some
        fact is in it), matching the reference semantics. *)
     if hi >= lo && emittable env then begin
@@ -134,6 +152,15 @@ let compute ~variant (ctx : Context.t) =
     in
     let n = Array.length sub in
     if n > 0 then begin
+      (* The sub-array is live for the whole branch (and under it, the
+         deeper sub-arrays of the recursion): book its pointer words,
+         releasing on the way back up. *)
+      let sub_bytes =
+        if governed && env.instr == ctx.instr then 8 * (n + 2) else 0
+      in
+      Context.reserve ctx sub_bytes;
+      Fun.protect ~finally:(fun () -> Context.release ctx sub_bytes)
+      @@ fun () ->
       (* Partition on the grouping id: quicksort then sweep.
          Dictionary ids compare as plain ints — no string walks. *)
       env.instr.Instrument.sort_ops <- env.instr.Instrument.sort_ops + 1;
@@ -170,8 +197,15 @@ let compute ~variant (ctx : Context.t) =
        (our scaled inputs do; the I/O cost of the initial read is counted). *)
     try
       let rows =
+        (* The base set is resident for the whole recursion — book it row
+           by row as it materialises, exactly like the parallel snapshot. *)
+        let per_row =
+          if governed then Witness.approx_row_bytes ctx.table else 0
+        in
         let acc = ref [] in
-        Context.scan ctx (fun row -> acc := row :: !acc);
+        Context.scan ctx (fun row ->
+            Context.reserve ctx per_row;
+            acc := row :: !acc);
         Array.of_list (List.rev !acc)
       in
       let env = fresh_env ~instr:ctx.instr ~measure:ctx.measure in
@@ -207,7 +241,8 @@ let compute ~variant (ctx : Context.t) =
           let ai, mask = tasks.(t) in
           branch env rows 0 (n - 1) ai mask)
     in
-      Array.iter (fun env -> Instrument.merge ~into:ctx.instr env.instr) states
+      Array.iter (fun env -> Instrument.merge ~into:ctx.instr env.instr) states;
+      book_result ()
     with Context.Stop _ -> ()
   end;
   result

@@ -1,18 +1,21 @@
 module Witness = X3_pattern.Witness
 module State = X3_lattice.State
 
-type stop_reason = Cancelled | Deadline_exceeded
+type stop_reason = Cancelled | Deadline_exceeded | Over_budget
 
 exception Stop of stop_reason
 
 (* Cooperative stop state. [cancel_flag] is atomic so another domain (or a
-   signal handler) can request cancellation; everything else is only
-   touched from the domain running the algorithm. *)
+   signal handler) can request cancellation; [pending] lets construction
+   record a stop (e.g. the witness table alone exceeding the byte budget)
+   that the first check surfaces; everything else is only touched from the
+   domain running the algorithm. *)
 type control = {
   mutable deadline : float option;  (** absolute [Unix.gettimeofday] time *)
   mutable cancel_hook : (unit -> bool) option;
   cancel_flag : bool Atomic.t;
   mutable stopped : stop_reason option;
+  mutable pending : stop_reason option;
   mutable tick : int;
 }
 
@@ -25,13 +28,22 @@ type t = {
   counter_budget : int;
   sort_budget : int;
   workers : int;
+  account : Governor.account;
   control : control;
 }
 
 let create ?(counter_budget = 1_000_000) ?(sort_budget = 200_000)
-    ?(workers = 1) ~table ~lattice ~measure () =
+    ?(workers = 1) ?(account = Governor.unbounded) ~table ~lattice ~measure
+    () =
   let instr = Instrument.create () in
   instr.Instrument.dict_size <- Witness.total_dict_size table;
+  (* The witness table is the query's floor: it is resident (through the
+     buffer pool and the decoded rows the scans produce) for the whole
+     run. A budget that cannot even hold it stops at the first check. *)
+  let pending =
+    if Governor.reserve account (Witness.approx_bytes table) then None
+    else Some Over_budget
+  in
   {
     table;
     lattice;
@@ -41,12 +53,14 @@ let create ?(counter_budget = 1_000_000) ?(sort_budget = 200_000)
     counter_budget;
     sort_budget;
     workers = Parallel.resolve workers;
+    account;
     control =
       {
         deadline = None;
         cancel_hook = None;
         cancel_flag = Atomic.make false;
         stopped = None;
+        pending;
         tick = 0;
       };
   }
@@ -63,8 +77,21 @@ let stop t reason =
   t.control.stopped <- Some reason;
   raise (Stop reason)
 
+(* --- byte accounting ----------------------------------------------------- *)
+
+let account t = t.account
+let budget_remaining t = Governor.remaining t.account
+let try_reserve t n = Governor.reserve t.account n
+let release t n = Governor.release t.account n
+let reserve t n = if not (Governor.reserve t.account n) then stop t Over_budget
+
 let check t =
   let c = t.control in
+  (match c.pending with
+  | Some reason ->
+      c.pending <- None;
+      stop t reason
+  | None -> ());
   if Atomic.get c.cancel_flag then stop t Cancelled;
   (match c.cancel_hook with
   | Some hook when hook () ->
@@ -113,11 +140,15 @@ let scan_blocks t f =
 type block = { block_measure : float; block_rows : Witness.row list }
 
 let snapshot_blocks t =
+  let per_row = Governor.row_cost ~axes:(Array.length (Witness.axes t.table)) in
   let acc = ref [] in
   scan_blocks t (fun rows ->
       match rows with
       | [] -> ()
       | first :: _ ->
+          (* The snapshot keeps every decoded row live until the query ends;
+             book it so governed parallel runs see the real footprint. *)
+          reserve t (per_row * List.length rows);
           acc :=
             {
               block_measure = t.measure first.Witness.fact;
@@ -127,8 +158,11 @@ let snapshot_blocks t =
   Array.of_list (List.rev !acc)
 
 let snapshot_rows t =
+  let per_row = Governor.row_cost ~axes:(Array.length (Witness.axes t.table)) in
   let acc = ref [] in
-  scan t (fun row -> acc := row :: !acc);
+  scan t (fun row ->
+      reserve t per_row;
+      acc := row :: !acc);
   Array.of_list (List.rev !acc)
 
 let frozen_measure t rows =

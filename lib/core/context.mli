@@ -1,6 +1,6 @@
 (** Shared run context for the cube-computation algorithms. *)
 
-type stop_reason = Cancelled | Deadline_exceeded
+type stop_reason = Cancelled | Deadline_exceeded | Over_budget
 
 exception Stop of stop_reason
 (** Raised by {!check}/{!checkpoint} once a stop is requested. The
@@ -22,6 +22,7 @@ type t = {
       (** max rows resident in one sort — beyond it sorts go external *)
   workers : int;
       (** resolved domain count the algorithms may use; 1 = sequential *)
+  account : Governor.account;  (** byte-budget account — see {!reserve} *)
   control : control;  (** cooperative stop state — see {!check} *)
 }
 
@@ -29,6 +30,7 @@ val create :
   ?counter_budget:int ->
   ?sort_budget:int ->
   ?workers:int ->
+  ?account:Governor.account ->
   table:X3_pattern.Witness.t ->
   lattice:X3_lattice.Lattice.t ->
   measure:(int -> float) ->
@@ -36,7 +38,10 @@ val create :
   t
 (** Budgets default to 1_000_000 counters and 200_000 rows. [workers]
     defaults to 1 (today's sequential path); {!Parallel.auto_workers} (0)
-    resolves to [Domain.recommended_domain_count]. *)
+    resolves to [Domain.recommended_domain_count]. [account] defaults to
+    {!Governor.unbounded}; a governed account immediately books the
+    witness table's resident footprint ({!X3_pattern.Witness.approx_bytes})
+    — if even that fails, the first {!check} stops with [Over_budget]. *)
 
 val workers : t -> int
 (** The resolved worker count (always >= 1). *)
@@ -69,9 +74,38 @@ val stopped : t -> stop_reason option
 val check : t -> unit
 (** Raise {!Stop} if a stop is pending; record the reason for {!stopped}. *)
 
+val stop : t -> stop_reason -> 'a
+(** Stop the run now: record the reason and raise {!Stop} — how the
+    spill paths report hitting their floor ([Over_budget]). *)
+
 val checkpoint : t -> unit
 (** {!check}, amortised: only every 64th call consults the hook and the
     clock — cheap enough for per-row scan loops. *)
+
+(** {1 Byte accounting}
+
+    Thin veneer over the context's {!Governor.account}. Algorithms reserve
+    bytes for the structures they are about to grow (group tables, sort
+    buffers, row snapshots) at the same boundaries where they {!check};
+    a refused reservation means the spill paths have already been squeezed
+    to their floors, so the run stops with [Over_budget]. *)
+
+val account : t -> Governor.account
+
+val reserve : t -> int -> unit
+(** Book [n] bytes or raise {!Stop}[ Over_budget] (recording it for
+    {!stopped}). *)
+
+val try_reserve : t -> int -> bool
+(** Book [n] bytes; [false] (with nothing booked) when the budget is
+    exhausted — for callers that can spill instead of stopping. *)
+
+val release : t -> int -> unit
+(** Return [n] bytes to the account. *)
+
+val budget_remaining : t -> int
+(** Bytes still reservable — [max_int] when ungoverned. The spill paths
+    derive their effective in-memory budgets from this. *)
 
 val scan : t -> (X3_pattern.Witness.row -> unit) -> unit
 (** One instrumented pass over the witness table. *)

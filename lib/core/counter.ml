@@ -7,6 +7,27 @@ let compute_sequential (ctx : Context.t) =
   let scratch = Group_key.make_scratch ctx.layout in
   let seen = Group_key.Seen.create () in
   let remaining = ref (Array.to_list (Lattice.by_degree ctx.lattice)) in
+  (* Byte accounting: [paid] is how many counters' worth of bytes the
+     account currently holds for this algorithm — the cells transferred
+     into the result so far plus the pass's live counters. Completed
+     counters ARE the result cells, so their reservation simply transfers
+     rather than being released. *)
+  let result_cells = ref 0 in
+  let paid = ref 0 in
+  let pay target =
+    target <= !paid
+    || Context.try_reserve ctx ((target - !paid) * Governor.counter_cost)
+       && begin
+            paid := target;
+            true
+          end
+  in
+  let settle target =
+    if target < !paid then begin
+      Context.release ctx ((!paid - target) * Governor.counter_cost);
+      paid := target
+    end
+  in
   (* A stop lands between passes or between blocks: cuboids from completed
      passes stand, the interrupted pass's counters are discarded. *)
   (try
@@ -21,24 +42,35 @@ let compute_sequential (ctx : Context.t) =
       !remaining;
     let live = ref 0 in
     let evicted = ref [] in
+    let evict_one () =
+      let victim = ref (-1) and victim_size = ref (-1) in
+      Hashtbl.iter
+        (fun cid tbl ->
+          let size = Group_key.Tbl.length tbl in
+          if size > !victim_size then begin
+            victim := cid;
+            victim_size := size
+          end)
+        active;
+      Hashtbl.remove active !victim;
+      live := !live - !victim_size;
+      evicted := !victim :: !evicted
+    in
     (* Evict the fattest cuboid until we fit (but keep at least one: a
        single cuboid larger than memory has nowhere to go — the paper hits
-       the 2 GB wall there). *)
+       the 2 GB wall there). The record budget is the paper's knob; the
+       byte budget squeezes the same spill path harder, and only a single
+       cuboid that still cannot be paid for is the floor: stop. *)
     let enforce_budget () =
       while !live > ctx.counter_budget && Hashtbl.length active > 1 do
-        let victim = ref (-1) and victim_size = ref (-1) in
-        Hashtbl.iter
-          (fun cid tbl ->
-            let size = Group_key.Tbl.length tbl in
-            if size > !victim_size then begin
-              victim := cid;
-              victim_size := size
-            end)
-          active;
-        Hashtbl.remove active !victim;
-        live := !live - !victim_size;
-        evicted := !victim :: !evicted
-      done
+        evict_one ()
+      done;
+      while (not (pay (!result_cells + !live))) && Hashtbl.length active > 1 do
+        evict_one ()
+      done;
+      if not (pay (!result_cells + !live)) then
+        Context.stop ctx Context.Over_budget;
+      settle (!result_cells + !live)
     in
     let cuboid_of = Lattice.cuboid ctx.lattice in
     Context.scan_blocks ctx (fun block ->
@@ -71,13 +103,16 @@ let compute_sequential (ctx : Context.t) =
             if !live > instr.Instrument.peak_counters then
               instr.Instrument.peak_counters <- !live;
             enforce_budget ());
-    (* Completed cuboids are final; evicted ones go to the next pass. *)
+    (* Completed cuboids are final; evicted ones go to the next pass. The
+       completed counters become result cells, keeping their reservation. *)
     Hashtbl.iter
       (fun cid counters ->
         Group_key.Tbl.iter
           (fun key cell -> Cube_result.set_cell result ~cuboid:cid ~key cell)
           counters)
       active;
+    result_cells := !result_cells + !live;
+    settle !result_cells;
     remaining := List.rev !evicted
      done
    with Context.Stop _ -> ());
@@ -112,11 +147,30 @@ let compute_parallel (ctx : Context.t) =
       0 blocks
   in
   let budget = max 1 (ctx.counter_budget / ctx.workers) in
+  (* Byte accounting mirrors the sequential path: [paid] covers result
+     cells plus whatever the merge is holding. Worker eviction additionally
+     honours a per-pass byte-derived cap, computed once on this domain
+     before fan-out so eviction timing is deterministic. *)
+  let result_cells = ref 0 in
+  let paid = ref 0 in
+  let pay target =
+    target <= !paid
+    || Context.try_reserve ctx ((target - !paid) * Governor.counter_cost)
+       && begin
+            paid := target;
+            true
+          end
+  in
   let cuboid_of = Lattice.cuboid ctx.lattice in
   let remaining = ref (Array.to_list (Lattice.by_degree ctx.lattice)) in
   let first_pass = ref true in
   while !remaining <> [] do
     Context.check ctx;
+    let pass_budget =
+      let rem = Context.budget_remaining ctx in
+      if rem = max_int then budget
+      else min budget (rem / Governor.counter_cost / ctx.workers)
+    in
     instr.Instrument.passes <- instr.Instrument.passes + 1;
     (* The snapshot already counted the first traversal as a scan; later
        passes re-walk the snapshot, which stands in for the re-scan the
@@ -177,7 +231,7 @@ let compute_parallel (ctx : Context.t) =
              each evict a different cuboid, leaving no pass with a
              completion — protecting a common cuboid guarantees progress
              just as the sequential keep-at-least-one rule does. *)
-          while w.live > budget && Hashtbl.length w.active > 1 do
+          while w.live > pass_budget && Hashtbl.length w.active > 1 do
             let victim = ref (-1) and victim_size = ref (-1) in
             Array.iteri
               (fun i cid ->
@@ -212,21 +266,44 @@ let compute_parallel (ctx : Context.t) =
        bound is their sum; the run's peak is the max over passes. *)
     if !pass_peak > instr.Instrument.peak_counters then
       instr.Instrument.peak_counters <- !pass_peak;
+    (* Pay for each completed cuboid (upper bound: summed worker partials,
+       before cross-worker key dedup) before merging it. A cuboid we cannot
+       pay for is re-evicted to the next pass — except the pass's first
+       completion, which is the progress guarantee: if even it does not
+       fit, the spill path is at its floor and the run is over budget. *)
+    let merged_any = ref false in
     Array.iter
       (fun cid ->
-        if not (Hashtbl.mem evicted_any cid) then
-          Array.iter
-            (fun w ->
-              match Hashtbl.find_opt w.active cid with
-              | None -> ()
-              | Some counters ->
-                  Group_key.Tbl.iter
-                    (fun key cell ->
-                      Aggregate.merge
-                        ~into:(Cube_result.cell result ~cuboid:cid ~key)
-                        cell)
-                    counters)
-            states)
+        if not (Hashtbl.mem evicted_any cid) then begin
+          let cells =
+            Array.fold_left
+              (fun acc w ->
+                match Hashtbl.find_opt w.active cid with
+                | None -> acc
+                | Some counters -> acc + Group_key.Tbl.length counters)
+              0 states
+          in
+          if not (pay (!result_cells + cells)) then begin
+            if not !merged_any then Context.stop ctx Context.Over_budget;
+            Hashtbl.replace evicted_any cid ()
+          end
+          else begin
+            result_cells := !result_cells + cells;
+            merged_any := true;
+            Array.iter
+              (fun w ->
+                match Hashtbl.find_opt w.active cid with
+                | None -> ()
+                | Some counters ->
+                    Group_key.Tbl.iter
+                      (fun key cell ->
+                        Aggregate.merge
+                          ~into:(Cube_result.cell result ~cuboid:cid ~key)
+                          cell)
+                      counters)
+              states
+          end
+        end)
       cids;
     remaining :=
       List.filter

@@ -154,9 +154,9 @@ type config = { counter_budget : int; sort_budget : int }
 
 let default_config = { counter_budget = 1_000_000; sort_budget = 200_000 }
 
-let make_context ?(config = default_config) ?(workers = 1) prepared =
+let make_context ?(config = default_config) ?(workers = 1) ?account prepared =
   Context.create ~counter_budget:config.counter_budget
-    ~sort_budget:config.sort_budget ~workers ~table:prepared.table
+    ~sort_budget:config.sort_budget ~workers ?account ~table:prepared.table
     ~lattice:prepared.lattice ~measure:prepared.measure ()
 
 let dispatch ?props prepared ctx algorithm =
@@ -194,6 +194,8 @@ type outcome =
   | Complete of Cube_result.t * Instrument.t
   | Partial of Context.stop_reason * Cube_result.t * Instrument.t
   | Failed of error
+  | Rejected of Governor.Admission.rejection
+      (** shed at the admission door — the query never started *)
 
 (* Which exceptions a retry can plausibly absorb: transient I/O errors.
    Corruption is not one of them — the bytes on media are wrong and will
@@ -214,21 +216,35 @@ let classify = function
   | _ -> None
 
 let run_safe ?props ?config ?workers ?deadline ?cancel ?(retries = 2)
-    ?(backoff = 0.01) prepared algorithm =
+    ?(backoff = 0.01) ?governor ?max_bytes ?admission ?admission_timeout
+    prepared algorithm =
   if retries < 0 then invalid_arg "Engine.run_safe: negative retries";
   (* One absolute deadline across all attempts — retrying must not extend
      the caller's budget. *)
   let deadline_at = Option.map (fun s -> Unix.gettimeofday () +. s) deadline in
+  let governed = governor <> None || max_bytes <> None in
   let rec attempt n =
-    let ctx = make_context ?config ?workers prepared in
+    (* Fresh account per attempt: a failed attempt's reservations must not
+       starve its own retry. *)
+    let account =
+      if governed then Some (Governor.open_account ?max_bytes governor)
+      else None
+    in
+    let finish outcome =
+      Option.iter Governor.close account;
+      outcome
+    in
+    let ctx = make_context ?config ?workers ?account prepared in
     Option.iter (Context.set_deadline_at ctx) deadline_at;
     Option.iter (Context.set_cancel_hook ctx) cancel;
     match dispatch ?props prepared ctx algorithm with
-    | result -> (
-        match Context.stopped ctx with
-        | Some reason -> Partial (reason, result, ctx.Context.instr)
-        | None -> Complete (result, ctx.Context.instr))
+    | result ->
+        finish
+          (match Context.stopped ctx with
+          | Some reason -> Partial (reason, result, ctx.Context.instr)
+          | None -> Complete (result, ctx.Context.instr))
     | exception e -> (
+        Option.iter Governor.close account;
         match classify e with
         | None -> raise e
         | Some (`Fatal err) -> Failed err
@@ -244,4 +260,12 @@ let run_safe ?props ?config ?workers ?deadline ?cancel ?(retries = 2)
               attempt (n + 1)
             end)
   in
-  attempt 0
+  match admission with
+  | None -> attempt 0
+  | Some door -> (
+      match Governor.Admission.admit ?max_wait:admission_timeout door with
+      | Error rejection -> Rejected rejection
+      | Ok () ->
+          Fun.protect
+            ~finally:(fun () -> Governor.Admission.release door)
+            (fun () -> attempt 0))

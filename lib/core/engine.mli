@@ -114,9 +114,12 @@ type error =
 type outcome =
   | Complete of Cube_result.t * Instrument.t
   | Partial of Context.stop_reason * Cube_result.t * Instrument.t
-      (** the run was cancelled or overran its deadline; the result holds
-          every cell completed before the stop *)
+      (** the run was cancelled, overran its deadline, or exhausted its
+          byte budget past the spill floors; the result holds every cell
+          completed before the stop *)
   | Failed of error
+  | Rejected of Governor.Admission.rejection
+      (** shed at the admission door — the query never started *)
 
 val run_safe :
   ?props:X3_lattice.Properties.t ->
@@ -126,6 +129,10 @@ val run_safe :
   ?cancel:(unit -> bool) ->
   ?retries:int ->
   ?backoff:float ->
+  ?governor:Governor.t ->
+  ?max_bytes:int ->
+  ?admission:Governor.Admission.t ->
+  ?admission_timeout:float ->
   prepared ->
   algorithm ->
   outcome
@@ -134,4 +141,18 @@ val run_safe :
     stops the run. [retries] (default 2) bounds re-runs after a transient
     fault, sleeping [backoff * 2^attempt] seconds (default 0.01) between
     attempts. Exceptions that are neither storage faults nor corruption
-    (bugs, [Out_of_memory], ...) still raise. *)
+    (bugs, [Out_of_memory], ...) still raise.
+
+    [governor]/[max_bytes] put the run under a byte budget: a fresh
+    {!Governor.account} (capped at [max_bytes], drawing on [governor]'s
+    shared pool when given) is opened per attempt and closed — releasing
+    everything — when the attempt ends, so retries and concurrent queries
+    see an honest pool. Over-budget pressure first squeezes the spill
+    paths (counter eviction, external-sort buffers) and only past their
+    floors yields [Partial (Over_budget, ...)].
+
+    [admission] gates the whole call through the shared admission door:
+    the query waits up to [admission_timeout] seconds (default: forever)
+    for an in-flight slot while the wait queue has room, and otherwise
+    returns [Rejected] without running. The slot is held across all retry
+    attempts and always released. *)

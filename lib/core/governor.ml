@@ -1,0 +1,240 @@
+(* Byte-budgeted execution and admission control.
+
+   The pool and the accounts are plain atomics so worker domains can
+   reserve concurrently; admission is a mutex-protected counter pair with
+   poll-based waiting (stdlib Condition has no timed wait, and the waits
+   here are long relative to a millisecond poll). *)
+
+(* --- cost model --------------------------------------------------------- *)
+
+(* One live counter: a Group_key.Tbl slot (two array entries), a boxed key
+   (Packed int or small Wide array) and an Aggregate.cell (4 mutable
+   fields + header). Measured with Obj.reachable_words this lands between
+   70 and 110 bytes depending on key width; 96 is the documented middle. *)
+let counter_cost = 96
+
+(* One sort-buffer record: the encoded record string (key + fact + measure,
+   typically 20-40 bytes + string header) plus its buffer slot. *)
+let sort_record_cost = 96
+
+let sort_floor_records = 64
+
+(* One decoded row: the row record (2 fields), the cell array and one
+   3-field cell record per axis, in 8-byte words. *)
+let row_cost ~axes = 8 * (4 + axes + (4 * axes))
+
+(* --- the global pool ---------------------------------------------------- *)
+
+type t = {
+  g_limit : int;
+  g_used : int Atomic.t;
+  g_peak : int Atomic.t;
+  g_shed : int Atomic.t;
+}
+
+let create ?(max_bytes = max_int) () =
+  if max_bytes < 0 then invalid_arg "Governor.create: negative budget";
+  {
+    g_limit = max_bytes;
+    g_used = Atomic.make 0;
+    g_peak = Atomic.make 0;
+    g_shed = Atomic.make 0;
+  }
+
+let limit t = t.g_limit
+let used t = Atomic.get t.g_used
+let peak t = Atomic.get t.g_peak
+let shed t = Atomic.get t.g_shed
+
+let rec bump_peak peak candidate =
+  let current = Atomic.get peak in
+  if candidate > current then
+    if not (Atomic.compare_and_set peak current candidate) then
+      bump_peak peak candidate
+
+(* CAS loop: book [n] bytes iff the pool stays within its limit. *)
+let rec pool_reserve t n =
+  let current = Atomic.get t.g_used in
+  if current > t.g_limit - n then begin
+    Atomic.incr t.g_shed;
+    false
+  end
+  else if Atomic.compare_and_set t.g_used current (current + n) then begin
+    bump_peak t.g_peak (current + n);
+    true
+  end
+  else pool_reserve t n
+
+let pool_release t n = ignore (Atomic.fetch_and_add t.g_used (-n))
+
+(* --- per-query accounts ------------------------------------------------- *)
+
+type account = {
+  pool : t option;
+  a_limit : int;
+  a_used : int Atomic.t;
+  a_peak : int Atomic.t;
+  a_closed : bool Atomic.t;
+}
+
+let make_account pool a_limit =
+  {
+    pool;
+    a_limit;
+    a_used = Atomic.make 0;
+    a_peak = Atomic.make 0;
+    a_closed = Atomic.make false;
+  }
+
+let unbounded = make_account None max_int
+
+let open_account ?(max_bytes = max_int) pool =
+  if max_bytes < 0 then invalid_arg "Governor.open_account: negative budget";
+  make_account pool max_bytes
+
+let is_unbounded a = a.pool = None && a.a_limit = max_int
+
+let rec local_reserve a n =
+  let current = Atomic.get a.a_used in
+  if current > a.a_limit - n then false
+  else if Atomic.compare_and_set a.a_used current (current + n) then begin
+    bump_peak a.a_peak (current + n);
+    true
+  end
+  else local_reserve a n
+
+let reserve a n =
+  if n <= 0 || is_unbounded a then true
+  else if not (local_reserve a n) then false
+  else
+    match a.pool with
+    | None -> true
+    | Some pool ->
+        if pool_reserve pool n then true
+        else begin
+          (* Roll the local booking back so the account stays balanced. *)
+          ignore (Atomic.fetch_and_add a.a_used (-n));
+          false
+        end
+
+let release a n =
+  if n > 0 && not (is_unbounded a) then begin
+    ignore (Atomic.fetch_and_add a.a_used (-n));
+    Option.iter (fun pool -> pool_release pool n) a.pool
+  end
+
+let account_used a = Atomic.get a.a_used
+let account_peak a = Atomic.get a.a_peak
+
+let remaining a =
+  if is_unbounded a then max_int
+  else begin
+    let local = a.a_limit - Atomic.get a.a_used in
+    let pool =
+      match a.pool with
+      | None -> max_int
+      | Some p -> p.g_limit - Atomic.get p.g_used
+    in
+    max 0 (min local pool)
+  end
+
+let close a =
+  if not (is_unbounded a) && Atomic.compare_and_set a.a_closed false true then begin
+    let left = Atomic.exchange a.a_used 0 in
+    if left > 0 then Option.iter (fun pool -> pool_release pool left) a.pool
+  end
+
+(* --- admission control --------------------------------------------------- *)
+
+module Admission = struct
+  type t = {
+    max_in_flight : int;
+    max_waiting : int;
+    lock : Mutex.t;
+    mutable in_flight : int;
+    mutable waiting : int;
+    mutable admitted_total : int;
+    mutable rejected_total : int;
+  }
+
+  let create ?(max_in_flight = 4) ?(max_waiting = 16) () =
+    if max_in_flight < 0 || max_waiting < 0 then
+      invalid_arg "Admission.create: negative capacity";
+    {
+      max_in_flight;
+      max_waiting;
+      lock = Mutex.create ();
+      in_flight = 0;
+      waiting = 0;
+      admitted_total = 0;
+      rejected_total = 0;
+    }
+
+  type rejection =
+    | Saturated of { in_flight : int; waiting : int }
+    | Timed_out of { waited : float }
+
+  let pp_rejection ppf = function
+    | Saturated { in_flight; waiting } ->
+        Format.fprintf ppf
+          "saturated (%d queries in flight, %d already waiting)" in_flight
+          waiting
+    | Timed_out { waited } ->
+        Format.fprintf ppf "no slot freed within %.3fs" waited
+
+  let locked t f =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+  (* The poll interval bounds how stale a waiter's view can be; a freed
+     slot is picked up within ~1 ms, far below any realistic cube run. *)
+  let poll_interval = 0.001
+
+  let admit ?max_wait t =
+    let started = Unix.gettimeofday () in
+    let deadline = Option.map (fun w -> started +. w) max_wait in
+    let rec loop ~registered =
+      let decision =
+        locked t (fun () ->
+            if t.in_flight < t.max_in_flight then begin
+              t.in_flight <- t.in_flight + 1;
+              t.admitted_total <- t.admitted_total + 1;
+              if registered then t.waiting <- t.waiting - 1;
+              `Admitted
+            end
+            else if (not registered) && t.waiting >= t.max_waiting then begin
+              t.rejected_total <- t.rejected_total + 1;
+              `Rejected
+                (Saturated { in_flight = t.in_flight; waiting = t.waiting })
+            end
+            else begin
+              if not registered then t.waiting <- t.waiting + 1;
+              match deadline with
+              | Some d when Unix.gettimeofday () >= d ->
+                  t.waiting <- t.waiting - 1;
+                  t.rejected_total <- t.rejected_total + 1;
+                  `Rejected
+                    (Timed_out { waited = Unix.gettimeofday () -. started })
+              | _ -> `Wait
+            end)
+      in
+      match decision with
+      | `Admitted -> Ok ()
+      | `Rejected r -> Error r
+      | `Wait ->
+          Unix.sleepf poll_interval;
+          loop ~registered:true
+    in
+    loop ~registered:false
+
+  let release t =
+    locked t (fun () ->
+        if t.in_flight <= 0 then
+          invalid_arg "Admission.release: nothing in flight";
+        t.in_flight <- t.in_flight - 1)
+
+  let in_flight t = locked t (fun () -> t.in_flight)
+  let waiting t = locked t (fun () -> t.waiting)
+  let admitted_total t = locked t (fun () -> t.admitted_total)
+  let rejected_total t = locked t (fun () -> t.rejected_total)
+end

@@ -7,6 +7,20 @@ let compute_sequential (ctx : Context.t) =
   let cuboids = Array.map (Lattice.cuboid ctx.lattice) ids in
   let scratch = Group_key.make_scratch ctx.layout in
   let seen = Group_key.Seen.create () in
+  (* NAIVE has no spill path: its only growing structure is the result
+     itself, booked at block boundaries. A refused booking is immediately
+     the floor: stop, keeping the blocks aggregated so far. *)
+  let governed = not (Governor.is_unbounded (Context.account ctx)) in
+  let booked = ref 0 in
+  let book_result () =
+    if governed then begin
+      let cells = Cube_result.total_cells result in
+      if cells > !booked then begin
+        Context.reserve ctx ((cells - !booked) * Governor.counter_cost);
+        booked := cells
+      end
+    end
+  in
   (* A requested stop surfaces here, between blocks: completed blocks'
      cells stand, and the engine reports the result partial. *)
   try
@@ -32,7 +46,8 @@ let compute_sequential (ctx : Context.t) =
                         m
                   end)
                 block)
-            cuboids);
+            cuboids;
+          book_result ());
     result
   with Context.Stop _ -> result
 
@@ -85,19 +100,32 @@ let compute_parallel (ctx : Context.t) =
               block_rows)
           cuboids)
   in
-  Array.iter
-    (fun w ->
-      Instrument.merge ~into:ctx.instr w.instr;
-      Array.iteri
-        (fun i partial ->
+  Array.iter (fun w -> Instrument.merge ~into:ctx.instr w.instr) states;
+  (* Merge cuboid by cuboid, booking each one's cells (upper bound: the
+     summed worker partials, before cross-worker dedup) first — a refused
+     booking stops the merge at a cuboid boundary, so the partial result
+     holds only complete cuboids. *)
+  let governed = not (Governor.is_unbounded (Context.account ctx)) in
+  Array.iteri
+    (fun i cid ->
+      if governed then begin
+        let cells =
+          Array.fold_left
+            (fun acc w -> acc + Group_key.Tbl.length w.partials.(i))
+            0 states
+        in
+        Context.reserve ctx (cells * Governor.counter_cost)
+      end;
+      Array.iter
+        (fun w ->
           Group_key.Tbl.iter
             (fun key cell ->
               Aggregate.merge
-                ~into:(Cube_result.cell result ~cuboid:ids.(i) ~key)
+                ~into:(Cube_result.cell result ~cuboid:cid ~key)
                 cell)
-            partial)
-        w.partials)
-      states;
+            w.partials.(i))
+        states)
+    ids;
     result
   with Context.Stop _ -> result
 

@@ -40,7 +40,7 @@ let row_qualifies cuboid row =
    it is a temporary, and leaving it allocated leaked its pages once per
    cuboid per run. *)
 let compute_from_base (ctx : Context.t) ~instr ~pool ~measure ~iter_rows
-    result cid ~mode =
+    ~budget_records result cid ~mode =
   let cuboid = Lattice.cuboid ctx.lattice cid in
   instr.Instrument.base_computations <- instr.Instrument.base_computations + 1;
   instr.Instrument.sort_ops <- instr.Instrument.sort_ops + 1;
@@ -53,7 +53,7 @@ let compute_from_base (ctx : Context.t) ~instr ~pool ~measure ~iter_rows
   let scratch = Group_key.make_scratch ctx.layout in
   let fed = ref 0 in
   let sorted =
-    External_sort.sort_records ~pool ~budget_records:ctx.sort_budget
+    External_sort.sort_records ~pool ~budget_records
       ~compare:Sort_record.compare (fun emit ->
         iter_rows (fun row ->
             if keep cuboid row then begin
@@ -117,6 +117,23 @@ let rollup (ctx : Context.t) result ~finer ~coarser =
 
 type worker = { instr : Instrument.t; pool : Buffer_pool.t }
 
+(* The byte-governed in-memory sort budget: the configured record budget,
+   shrunk to what the account can still afford across [lanes] concurrent
+   sorts. Below the sort floor an external sort cannot make progress —
+   that is the spill path's floor, so the run stops over budget. Returns
+   the record budget together with the bytes to reserve for it (0 when
+   ungoverned). *)
+let sort_allowance (ctx : Context.t) ~lanes =
+  let rem = Context.budget_remaining ctx in
+  if rem = max_int then (ctx.sort_budget, 0)
+  else begin
+    let affordable = rem / Governor.sort_record_cost / lanes in
+    let records = min ctx.sort_budget affordable in
+    if records < Governor.sort_floor_records then
+      Context.stop ctx Context.Over_budget;
+    (records, records * Governor.sort_record_cost * lanes)
+  end
+
 let compute ~variant (ctx : Context.t) =
   let lattice = ctx.lattice in
   let result = Cube_result.create ~table:ctx.table lattice in
@@ -152,6 +169,16 @@ let compute ~variant (ctx : Context.t) =
             `Base mode)
   in
   let plans = Array.map plan order in
+  (* Result cells are booked as they accumulate, at cuboid boundaries: a
+     refused booking stops the run with the completed cuboids standing. *)
+  let booked_cells = ref 0 in
+  let book_result () =
+    let cells = Cube_result.total_cells result in
+    if cells > !booked_cells then begin
+      Context.reserve ctx ((cells - !booked_cells) * Governor.counter_cost);
+      booked_cells := cells
+    end
+  in
   if Context.workers ctx <= 1 then begin
     (* Stop checks sit between cuboids (and inside the scans feeding each
        sort): a stopped run keeps every fully computed cuboid. *)
@@ -159,12 +186,19 @@ let compute ~variant (ctx : Context.t) =
       Array.iteri
         (fun i cid ->
           Context.check ctx;
-          match plans.(i) with
+          (match plans.(i) with
           | `Base mode ->
-              compute_from_base ctx ~instr:ctx.instr
-                ~pool:(Witness.pool ctx.table) ~measure:ctx.measure
-                ~iter_rows:(Context.scan ctx) result cid ~mode
-          | `Rollup finer -> rollup ctx result ~finer ~coarser:cid)
+              let budget_records, sort_bytes = sort_allowance ctx ~lanes:1 in
+              Context.reserve ctx sort_bytes;
+              Fun.protect
+                ~finally:(fun () -> Context.release ctx sort_bytes)
+                (fun () ->
+                  compute_from_base ctx ~instr:ctx.instr
+                    ~pool:(Witness.pool ctx.table) ~measure:ctx.measure
+                    ~iter_rows:(Context.scan ctx) ~budget_records result cid
+                    ~mode)
+          | `Rollup finer -> rollup ctx result ~finer ~coarser:cid);
+          book_result ())
         order
     with Context.Stop _ -> ()
   end
@@ -198,17 +232,28 @@ let compute ~variant (ctx : Context.t) =
            (function `Base mode -> Some mode | `Rollup _ -> None)
            (Array.to_list plans))
     in
+    (* One byte-derived sort budget for every worker lane, computed and
+       reserved here on the calling domain before fan-out: workers never
+       touch the account, so spill thresholds are deterministic for a
+       fixed budget regardless of worker interleaving. *)
+    let budget_records, sort_bytes =
+      sort_allowance ctx ~lanes:ctx.workers
+    in
+    Context.reserve ctx sort_bytes;
     let states =
-      Parallel.run ~workers:ctx.workers ~tasks:(Array.length base)
-        ~init:(fun _ ->
-          {
-            instr = Instrument.create ();
-            pool = Buffer_pool.create (Disk.in_memory ());
-          })
-        ~body:(fun w t ->
-          compute_from_base ctx ~instr:w.instr ~pool:w.pool ~measure
-            ~iter_rows:(iter_rows w.instr) result base.(t)
-            ~mode:base_modes.(t))
+      Fun.protect
+        ~finally:(fun () -> Context.release ctx sort_bytes)
+        (fun () ->
+          Parallel.run ~workers:ctx.workers ~tasks:(Array.length base)
+            ~init:(fun _ ->
+              {
+                instr = Instrument.create ();
+                pool = Buffer_pool.create (Disk.in_memory ());
+              })
+            ~body:(fun w t ->
+              compute_from_base ctx ~instr:w.instr ~pool:w.pool ~measure
+                ~iter_rows:(iter_rows w.instr) ~budget_records result
+                base.(t) ~mode:base_modes.(t)))
     in
     Array.iter
       (fun w ->
@@ -220,13 +265,15 @@ let compute ~variant (ctx : Context.t) =
           (Buffer_pool.stats (Witness.pool ctx.table))
           (Buffer_pool.stats w.pool))
       states;
+      book_result ();
       Array.iteri
         (fun i cid ->
           match plans.(i) with
           | `Base _ -> ()
           | `Rollup finer ->
               Context.check ctx;
-              rollup ctx result ~finer ~coarser:cid)
+              rollup ctx result ~finer ~coarser:cid;
+              book_result ())
         order
     with Context.Stop _ -> ()
   end;

@@ -11,15 +11,35 @@ type t = {
 
 let max_size = 1 lsl 20
 
+(* Overflow-safe product of per-axis state counts: each axis multiplies
+   the cuboid count by up to 5, so 30 axes already overflow a naive
+   product on 32-bit-ish arithmetic and wrap to nonsense. [None] means
+   "over [max_size]" — the caller never learns a wrapped number. *)
+let cardinality axes =
+  let over = ref false in
+  let acc = ref 1 in
+  Array.iter
+    (fun axis ->
+      let n = List.length (State.all axis) in
+      if n > 0 then begin
+        if !acc > max_size / n then over := true;
+        if not !over then acc := !acc * n
+      end)
+    axes;
+  if !over then None else Some !acc
+
 let build axes =
   let state_lists = Array.map State.all axes in
   let size =
-    Array.fold_left (fun acc l -> acc * List.length l) 1 state_lists
+    match cardinality axes with
+    | Some size -> size
+    | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Lattice.build: the relaxation lattice of these %d axes \
+              exceeds the %d-cuboid limit"
+             (Array.length axes) max_size)
   in
-  if size > max_size then
-    invalid_arg
-      (Printf.sprintf "Lattice.build: %d cuboids exceed the %d limit" size
-         max_size);
   (* Enumerate the product, first axis slowest. *)
   let cuboids = Array.make size [||] in
   let rec fill prefix i base span =
@@ -56,6 +76,11 @@ let build axes =
       if c <> 0 then c else Cuboid.compare cuboids.(a) cuboids.(b))
     by_degree;
   { axes; cuboids; ids; parents; children; by_degree }
+
+let build_checked axes =
+  match cardinality axes with
+  | Some _ -> Ok (build axes)
+  | None -> Error (`Too_large (Array.length axes, max_size))
 
 let axes t = t.axes
 let size t = Array.length t.cuboids

@@ -8,9 +8,26 @@
 
 type t
 
+val max_size : int
+(** The hard cuboid-count cap, [2^20]. The per-axis relaxation sets make
+    the lattice a product — without a cap, a hostile query with a few
+    dozen axes is an exponential hang (and a naive size product silently
+    overflows). *)
+
+val cardinality : X3_pattern.Axis.t array -> int option
+(** Overflow-safe cuboid count of these axes' lattice; [None] when it
+    would exceed {!max_size}. *)
+
 val build : X3_pattern.Axis.t array -> t
 (** Enumerates the full product lattice. Raises [Invalid_argument] beyond
-    [2^20] cuboids — cube dimensionality in the paper tops out at 7 axes. *)
+    {!max_size} cuboids — cube dimensionality in the paper tops out at 7
+    axes. *)
+
+val build_checked :
+  X3_pattern.Axis.t array ->
+  (t, [ `Too_large of int * int ]) result
+(** {!build} with the cap as a typed error: [`Too_large (axes, max_size)]
+    instead of an exception — the front door for untrusted queries. *)
 
 val axes : t -> X3_pattern.Axis.t array
 val size : t -> int

@@ -307,6 +307,35 @@ let fact_count t = t.facts
 let page_count t = X3_storage.Heap_file.page_count t.heap
 let dict_page_count t = X3_storage.Heap_file.page_count t.dict_heap
 let pool t = X3_storage.Heap_file.pool t.heap
+
+(* --- resident-footprint estimate --------------------------------------- *)
+(* One decoded row: the row record (fact + cells pointer), the cell array
+   and a 3-field cell record per axis, in 8-byte words. Kept in sync with
+   X3_core.Governor.row_cost (pattern cannot depend on core). *)
+let approx_row_bytes t =
+  let axes = Array.length t.axes in
+  8 * (4 + axes + (4 * axes))
+
+let approx_bytes t =
+  (* The table's unavoidable resident floor: the buffer-pool frames its
+     pages occupy (capped by the pool) plus the in-memory intern tables
+     (values array slot + string + hashtable entry, ~48 bytes overhead per
+     distinct value). Decoded rows are booked by whoever materialises
+     them. *)
+  let pool = pool t in
+  let page_bytes = X3_storage.Disk.page_size (X3_storage.Buffer_pool.disk pool) in
+  let frames =
+    min (page_count t + dict_page_count t) (X3_storage.Buffer_pool.capacity pool)
+  in
+  let dict_bytes =
+    Array.fold_left
+      (fun acc d ->
+        let strings = ref 0 in
+        Dict.iter (fun _ v -> strings := !strings + String.length v) d;
+        acc + !strings + (48 * Dict.size d))
+      0 t.dicts
+  in
+  (frames * page_bytes) + dict_bytes
 let iter f t = X3_storage.Heap_file.iter (fun r -> f (decode r)) t.heap
 
 let iter_fact_blocks f t =

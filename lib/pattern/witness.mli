@@ -122,6 +122,15 @@ val page_count : t -> int
 val dict_page_count : t -> int
 val pool : t -> X3_storage.Buffer_pool.t
 
+val approx_row_bytes : t -> int
+(** Estimated bytes of one decoded row resident in memory. *)
+
+val approx_bytes : t -> int
+(** Estimated resident floor of the table: the buffer-pool frames its
+    pages occupy plus the in-memory value dictionaries. The byte-budget
+    governor reserves this at query start — a budget that cannot hold the
+    input cannot run the query. *)
+
 val iter : (row -> unit) -> t -> unit
 (** One sequential scan through the buffer pool. *)
 

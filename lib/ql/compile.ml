@@ -72,6 +72,20 @@ let compile ast =
       (Ok []) ast.Ast.by
   in
   let axes = Array.of_list (List.rev axes) in
+  (* The relaxation lattice is a product over the by-axes, and nothing in
+     the grammar bounds how many a query names: check the cardinality here
+     (overflow-safe) so a hostile query gets a typed error instead of an
+     exponential build. *)
+  let* () =
+    match X3_lattice.Lattice.cardinality axes with
+    | Some _ -> Ok ()
+    | None ->
+        Error
+          (Printf.sprintf
+             "the relaxation lattice of these %d axes exceeds the %d-cuboid \
+              cap"
+             (Array.length axes) X3_lattice.Lattice.max_size)
+  in
   let* func =
     match X3_core.Aggregate.func_of_string ast.Ast.aggregate.Ast.func with
     | Some f -> Ok f

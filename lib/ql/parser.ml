@@ -190,7 +190,17 @@ let query c =
   expect c Eof;
   { Ast.bindings; where; cube_id = (id_var, id_path); by; aggregate = agg }
 
-let parse src =
+(* Hostile-input cap: the lexer materialises every token up front, so an
+   unbounded query string is unbounded memory before a single production
+   runs. Far above any legitimate query (Query 1 is ~200 bytes). *)
+let default_max_bytes = 1 lsl 16
+
+let parse ?(max_bytes = default_max_bytes) src =
+  if String.length src > max_bytes then
+    Error
+      (Printf.sprintf "query is %d bytes, over the %d-byte limit"
+         (String.length src) max_bytes)
+  else
   match tokenize src with
   | Error { position; message } ->
       Error (Printf.sprintf "lexical error at offset %d: %s" position message)

@@ -3,12 +3,44 @@ type error = { line : int; column : int; message : string }
 let pp_error ppf e =
   Format.fprintf ppf "XML parse error at %d:%d: %s" e.line e.column e.message
 
+(* Hostile-input limits. [element] recurses through [content], so an
+   unbounded document depth is an unbounded native stack — a crafted
+   100k-deep document would kill the process with Stack_overflow before
+   any typed error could be produced. The limits turn every such resource
+   exhaustion into an ordinary parse error. *)
+type limits = {
+  max_depth : int;
+  max_nodes : int;
+  max_attr_len : int;
+  max_text_len : int;
+}
+
+let default_limits =
+  {
+    max_depth = 10_000;
+    max_nodes = 50_000_000;
+    max_attr_len = 1_000_000;
+    max_text_len = 50_000_000;
+  }
+
 exception Fail of int * string
 (* position, message — positions are turned into line/column on exit *)
 
-type state = { src : string; mutable pos : int }
+type state = {
+  src : string;
+  mutable pos : int;
+  limits : limits;
+  mutable depth : int;
+  mutable nodes : int;
+}
 
 let fail st msg = raise (Fail (st.pos, msg))
+
+let count_node st =
+  st.nodes <- st.nodes + 1;
+  if st.nodes > st.limits.max_nodes then
+    fail st
+      (Printf.sprintf "document exceeds the %d-node limit" st.limits.max_nodes)
 let eof st = st.pos >= String.length st.src
 let peek st = if eof st then '\000' else st.src.[st.pos]
 
@@ -90,7 +122,11 @@ let attribute_value st =
   advance st;
   let buf = Buffer.create 16 in
   let rec loop () =
-    if eof st then fail st "unterminated attribute value"
+    if Buffer.length buf > st.limits.max_attr_len then
+      fail st
+        (Printf.sprintf "attribute value exceeds the %d-byte limit"
+           st.limits.max_attr_len)
+    else if eof st then fail st "unterminated attribute value"
     else if peek st = quote then advance st
     else if peek st = '&' then begin
       Buffer.add_string buf (reference st);
@@ -134,6 +170,10 @@ let cdata st =
   expect st "<![CDATA[";
   match Str_search.find st.src ~start:st.pos "]]>" with
   | Some i ->
+      if i - st.pos > st.limits.max_text_len then
+        fail st
+          (Printf.sprintf "CDATA section exceeds the %d-byte limit"
+             st.limits.max_text_len);
       let body = String.sub st.src st.pos (i - st.pos) in
       st.pos <- i + 3;
       Tree.Text body
@@ -154,7 +194,11 @@ let processing_instruction st =
 let char_data st =
   let buf = Buffer.create 32 in
   let rec loop () =
-    if eof st || peek st = '<' then ()
+    if Buffer.length buf > st.limits.max_text_len then
+      fail st
+        (Printf.sprintf "text node exceeds the %d-byte limit"
+           st.limits.max_text_len)
+    else if eof st || peek st = '<' then ()
     else if peek st = '&' then begin
       Buffer.add_string buf (reference st);
       loop ()
@@ -170,11 +214,18 @@ let char_data st =
 
 let rec element st =
   expect st "<";
+  st.depth <- st.depth + 1;
+  if st.depth > st.limits.max_depth then
+    fail st
+      (Printf.sprintf "document exceeds the %d-level nesting limit"
+         st.limits.max_depth);
+  count_node st;
   let tag = name st in
   let attrs = attributes st in
   skip_space st;
   if looking_at st "/>" then begin
     expect st "/>";
+    st.depth <- st.depth - 1;
     { Tree.name = tag; attributes = attrs; children = [] }
   end
   else begin
@@ -187,6 +238,7 @@ let rec element st =
         (Printf.sprintf "mismatched closing tag </%s> for <%s>" closing tag);
     skip_space st;
     expect st ">";
+    st.depth <- st.depth - 1;
     { Tree.name = tag; attributes = attrs; children }
   end
 
@@ -194,9 +246,16 @@ and content st =
   let rec loop acc =
     if eof st then List.rev acc
     else if looking_at st "</" then List.rev acc
-    else if looking_at st "<!--" then loop (comment st :: acc)
-    else if looking_at st "<![CDATA[" then loop (cdata st :: acc)
+    else if looking_at st "<!--" then begin
+      count_node st;
+      loop (comment st :: acc)
+    end
+    else if looking_at st "<![CDATA[" then begin
+      count_node st;
+      loop (cdata st :: acc)
+    end
     else if looking_at st "<?" then begin
+      count_node st;
       let target, body = processing_instruction st in
       loop (Tree.Pi (target, body) :: acc)
     end
@@ -204,7 +263,10 @@ and content st =
     else begin
       let data = char_data st in
       if String.length data = 0 then List.rev acc
-      else loop (Tree.Text data :: acc)
+      else begin
+        count_node st;
+        loop (Tree.Text data :: acc)
+      end
     end
   in
   loop []
@@ -313,8 +375,8 @@ let position_of_offset src pos =
   done;
   (!line, !column)
 
-let run src f =
-  let st = { src; pos = 0 } in
+let run ?(limits = default_limits) src f =
+  let st = { src; pos = 0; limits; depth = 0; nodes = 0 } in
   match f st with
   | v -> Ok v
   | exception Fail (pos, message) ->
@@ -341,13 +403,15 @@ let parse_document st =
   in
   ({ Tree.version; encoding; doctype = declared_root; root }, dtd, system_id)
 
-let parse_with_dtd src =
-  Result.map (fun (doc, dtd, _system) -> (doc, dtd)) (run src parse_document)
+let parse_with_dtd ?limits src =
+  Result.map
+    (fun (doc, dtd, _system) -> (doc, dtd))
+    (run ?limits src parse_document)
 
-let parse src = Result.map fst (parse_with_dtd src)
+let parse ?limits src = Result.map fst (parse_with_dtd ?limits src)
 
-let parse_fragment src =
-  run src (fun st ->
+let parse_fragment ?limits src =
+  run ?limits src (fun st ->
       let nodes = content st in
       if not (eof st) then fail st "unexpected closing tag";
       nodes)
@@ -373,10 +437,10 @@ let resolve_external_dtd ~document_path ~system_id =
     | Error _ | (exception Sys_error _) -> None
   end
 
-let parse_file_with_dtd path =
+let parse_file_with_dtd ?limits path =
   match read_file path with
   | src -> (
-      match run src parse_document with
+      match run ?limits src parse_document with
       | Error _ as e -> e
       | Ok (doc, dtd, system_id) ->
           (* The internal subset wins; otherwise try the external one. *)
@@ -393,4 +457,4 @@ let parse_file_with_dtd path =
           Ok (doc, dtd))
   | exception Sys_error msg -> Error { line = 0; column = 0; message = msg }
 
-let parse_file path = Result.map fst (parse_file_with_dtd path)
+let parse_file ?limits path = Result.map fst (parse_file_with_dtd ?limits path)

@@ -15,19 +15,39 @@ type error = { line : int; column : int; message : string }
 
 val pp_error : Format.formatter -> error -> unit
 
-val parse : string -> (Tree.document, error) result
+(** {1 Hostile-input limits}
+
+    The parser recurses on element nesting, so depth is native stack; node
+    count, attribute and text lengths are heap. All four are bounded so a
+    crafted input produces a typed {!error} instead of [Stack_overflow] or
+    [Out_of_memory]. *)
+
+type limits = {
+  max_depth : int;  (** element nesting levels (recursion depth) *)
+  max_nodes : int;  (** total tree nodes (elements, texts, comments, PIs) *)
+  max_attr_len : int;  (** bytes in one attribute value *)
+  max_text_len : int;  (** bytes in one text node / CDATA section *)
+}
+
+val default_limits : limits
+(** 10k depth, 50M nodes, 1MB attributes, 50MB text nodes — far beyond any
+    legitimate workload, well short of resource exhaustion. *)
+
+val parse : ?limits:limits -> string -> (Tree.document, error) result
 (** Parse a complete document. *)
 
-val parse_with_dtd : string -> (Tree.document * Dtd.t option, error) result
+val parse_with_dtd :
+  ?limits:limits -> string -> (Tree.document * Dtd.t option, error) result
 (** Like {!parse}, also returning the parsed internal DTD subset when the
     document carries one. *)
 
-val parse_fragment : string -> (Tree.node list, error) result
+val parse_fragment : ?limits:limits -> string -> (Tree.node list, error) result
 (** Parse mixed content without requiring a single root element — handy in
     tests and for building documents from snippets. *)
 
-val parse_file : string -> (Tree.document, error) result
+val parse_file : ?limits:limits -> string -> (Tree.document, error) result
 (** [parse_file path] reads and parses [path]. I/O errors are reported as a
     parse error at line 0. *)
 
-val parse_file_with_dtd : string -> (Tree.document * Dtd.t option, error) result
+val parse_file_with_dtd :
+  ?limits:limits -> string -> (Tree.document * Dtd.t option, error) result

@@ -1223,6 +1223,193 @@ let test_seen_compaction () =
   Alcotest.(check bool) "repeat key reported seen" false
     (Group_key.Seen.add seen scratch)
 
+(* --- resource governor (PR 4) --------------------------------------------- *)
+
+let csv result = Export.csv_string ~func:Aggregate.Count result
+
+(* Eviction victim selection at the record-budget boundary: budget 1 makes
+   every block boundary an eviction storm, yet the keep-at-least-one rule
+   guarantees each pass completes something and the cube is unchanged. *)
+let test_counter_eviction_budget_one () =
+  let p = prepared () in
+  let reference = csv (fst (Engine.run p Engine.Naive)) in
+  let config = { Engine.counter_budget = 1; sort_budget = 1000 } in
+  let result, instr = Engine.run ~config p Engine.Counter in
+  Alcotest.(check string) "budget 1 still correct" reference (csv result);
+  Alcotest.(check bool) "eviction forced extra passes" true
+    (instr.Instrument.passes > 1);
+  Alcotest.(check bool) "every pass completed at least one cuboid" true
+    (instr.Instrument.passes <= X3_lattice.Lattice.size (Engine.lattice p))
+
+let test_counter_single_cuboid_keep_rule () =
+  (* One axis, no relaxations: a single-cuboid lattice. Its counters exceed
+     the budget but it can never be evicted — the run must complete in one
+     pass rather than loop or stop. *)
+  let axes =
+    [| Axis.make_exn ~name:"$y" ~steps:[ step c "year" ] ~allowed:[] |]
+  in
+  let p =
+    Engine.prepare ~pool:(small_pool ()) ~store:(figure1_store ())
+      (Engine.count_spec ~fact_path ~axes)
+  in
+  let reference = csv (fst (Engine.run p Engine.Naive)) in
+  let config = { Engine.counter_budget = 1; sort_budget = 1000 } in
+  let result, instr = Engine.run ~config p Engine.Counter in
+  Alcotest.(check string) "correct" reference (csv result);
+  Alcotest.(check int) "single pass" 1 instr.Instrument.passes;
+  Alcotest.(check bool) "the budget really was exceeded" true
+    (instr.Instrument.peak_counters > 1)
+
+let test_counter_eviction_tie_deterministic () =
+  (* Query 1 produces several equally-fat cuboids, so victim selection hits
+     ties; the choice must be deterministic run to run. *)
+  let p = prepared () in
+  let reference = csv (fst (Engine.run p Engine.Naive)) in
+  let config = { Engine.counter_budget = 2; sort_budget = 1000 } in
+  let r1, i1 = Engine.run ~config p Engine.Counter in
+  let r2, i2 = Engine.run ~config p Engine.Counter in
+  Alcotest.(check bool) "ties forced multiple passes" true
+    (i1.Instrument.passes > 1);
+  Alcotest.(check string) "correct under ties" reference (csv r1);
+  Alcotest.(check string) "victim choice deterministic" (csv r1) (csv r2);
+  Alcotest.(check int) "same pass count" i1.Instrument.passes
+    i2.Instrument.passes
+
+(* The acceptance boundary of the byte governor: binary-search the minimal
+   completing budget. At that budget the run completes through the spill
+   paths byte-identical to the unbudgeted cube; one byte below, it returns
+   the typed Over_budget partial. *)
+let check_spill_boundary ~name ~prepared:p algorithm workers =
+  let reference, _ = Engine.run ~workers p algorithm in
+  let ref_csv = csv reference in
+  let gov = Governor.create () in
+  (match Engine.run_safe ~workers ~governor:gov p algorithm with
+  | Engine.Complete (r, _) ->
+      Alcotest.(check string)
+        (name ^ ": governed run on an unlimited pool is byte-identical")
+        ref_csv (csv r)
+  | _ -> Alcotest.failf "%s: unlimited governed run must complete" name);
+  let completes b =
+    match Engine.run_safe ~workers ~max_bytes:b p algorithm with
+    | Engine.Complete (r, _) -> Some r
+    | Engine.Partial (Context.Over_budget, partial, _) ->
+        Alcotest.(check bool)
+          (name ^ ": partial never exceeds the full cube")
+          true
+          (Cube_result.total_cells partial <= Cube_result.total_cells reference);
+        None
+    | _ -> Alcotest.failf "%s: unexpected outcome under a byte budget" name
+  in
+  (match completes 0 with
+  | None -> ()
+  | Some _ -> Alcotest.failf "%s: a zero budget must stop the run" name);
+  (* The pool peak of the unlimited run bounds the search from above (with
+     doubling slack: a capped account can shift reservation order). *)
+  let hi = ref (max 1 (Governor.peak gov)) in
+  let rec settle_hi tries =
+    match completes !hi with
+    | Some _ -> ()
+    | None when tries > 0 ->
+        hi := !hi * 2;
+        settle_hi (tries - 1)
+    | None ->
+        Alcotest.failf "%s: %d bytes (above the measured peak) still over"
+          name !hi
+  in
+  settle_hi 4;
+  let lo = ref 0 in
+  while !hi - !lo > 1 do
+    let mid = !lo + ((!hi - !lo) / 2) in
+    match completes mid with Some _ -> hi := mid | None -> lo := mid
+  done;
+  (match completes !hi with
+  | Some r ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s: minimal budget (%d bytes) byte-identical" name
+           !hi)
+        ref_csv (csv r)
+  | None -> Alcotest.failf "%s: the boundary budget must complete" name);
+  match Engine.run_safe ~workers ~max_bytes:!lo p algorithm with
+  | Engine.Partial (Context.Over_budget, _, _) -> ()
+  | _ ->
+      Alcotest.failf "%s: %d bytes (below the floor) must be Over_budget"
+        name !lo
+
+let spill_algorithms = Engine.[ Counter; Td ]
+
+let test_governed_spill_figure1 () =
+  let p = prepared () in
+  List.iter
+    (fun algorithm ->
+      List.iter
+        (fun workers ->
+          check_spill_boundary
+            ~name:
+              (Printf.sprintf "%s/%dw"
+                 (Engine.algorithm_to_string algorithm)
+                 workers)
+            ~prepared:p algorithm workers)
+        [ 1; 2 ])
+    spill_algorithms
+
+let test_governed_spill_treebank () =
+  (* Enough rows that the squeezed budget genuinely drives the spill
+     machinery: TD's sort allowance drops toward its 64-record floor and
+     parallel COUNTER's byte-derived pass budget forces eviction. *)
+  let config = { X3_workload.Treebank.default with num_trees = 30; axes = 2 } in
+  let store = X3_xdb.Store.of_document (X3_workload.Treebank.generate config) in
+  let p =
+    Engine.prepare ~pool:(small_pool ()) ~store
+      (X3_workload.Treebank.spec config)
+  in
+  List.iter
+    (fun algorithm ->
+      List.iter
+        (fun workers ->
+          check_spill_boundary
+            ~name:
+              (Printf.sprintf "treebank %s/%dw"
+                 (Engine.algorithm_to_string algorithm)
+                 workers)
+            ~prepared:p algorithm workers)
+        [ 1; 2 ])
+    spill_algorithms
+
+let test_over_budget_below_witness () =
+  (* 64 bytes cannot even hold the witness table: every algorithm family
+     must stop at its first check with the typed reason, at any worker
+     count. *)
+  let p = prepared () in
+  List.iter
+    (fun algorithm ->
+      List.iter
+        (fun workers ->
+          match Engine.run_safe ~workers ~max_bytes:64 p algorithm with
+          | Engine.Partial (Context.Over_budget, _, _) -> ()
+          | _ ->
+              Alcotest.failf "%s/%d workers: expected Over_budget partial"
+                (Engine.algorithm_to_string algorithm)
+                workers)
+        [ 1; 2 ])
+    Engine.[ Naive; Counter; Buc; Td ]
+
+let test_governor_pool_drained () =
+  (* Accounts are per-attempt and closed on every exit path, so the shared
+     pool returns to zero after complete and over-budget runs alike. *)
+  let p = prepared () in
+  let gov = Governor.create ~max_bytes:(1 lsl 30) () in
+  (match Engine.run_safe ~governor:gov p Engine.Counter with
+  | Engine.Complete _ -> ()
+  | _ -> Alcotest.fail "expected completion under a roomy pool");
+  Alcotest.(check int) "pool drained after completion" 0 (Governor.used gov);
+  (match Engine.run_safe ~governor:gov ~max_bytes:64 p Engine.Td with
+  | Engine.Partial (Context.Over_budget, _, _) -> ()
+  | _ -> Alcotest.fail "expected Over_budget under a 64-byte cap");
+  Alcotest.(check int) "pool drained after a stopped run" 0
+    (Governor.used gov);
+  Alcotest.(check bool) "the pool saw real traffic" true
+    (Governor.peak gov > 0)
+
 let () =
   let qcheck = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "x3_core"
@@ -1325,6 +1512,23 @@ let () =
           Alcotest.test_case "counter under worker-split budget" `Quick
             test_parallel_counter_tiny_budget;
           Alcotest.test_case "worker resolution" `Quick test_parallel_resolve;
+        ] );
+      ( "governor",
+        [
+          Alcotest.test_case "counter eviction at budget 1" `Quick
+            test_counter_eviction_budget_one;
+          Alcotest.test_case "single cuboid survives eviction" `Quick
+            test_counter_single_cuboid_keep_rule;
+          Alcotest.test_case "tie-broken eviction is deterministic" `Quick
+            test_counter_eviction_tie_deterministic;
+          Alcotest.test_case "spill boundary (figure 1)" `Quick
+            test_governed_spill_figure1;
+          Alcotest.test_case "spill boundary (treebank)" `Quick
+            test_governed_spill_treebank;
+          Alcotest.test_case "budget below the witness table" `Quick
+            test_over_budget_below_witness;
+          Alcotest.test_case "pool drains on every exit path" `Quick
+            test_governor_pool_drained;
         ] );
       ( "randomised",
         qcheck

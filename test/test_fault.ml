@@ -21,6 +21,21 @@ module Materialized = X3_core.Materialized
 module Witness = X3_pattern.Witness
 module Lattice = X3_lattice.Lattice
 
+(* Track every installed fault plan so the suite can report how many
+   faults were actually injected across the whole run. *)
+module Fault = struct
+  include Fault
+
+  let tracked : t list ref = ref []
+
+  let install plan disk =
+    tracked := plan :: !tracked;
+    install plan disk
+
+  let total_injected () =
+    List.fold_left (fun acc p -> acc + injected_faults p) 0 !tracked
+end
+
 let page_size = 256
 
 let backend_disk = function
@@ -401,7 +416,8 @@ let test_engine_retry backend workers () =
       Alcotest.(check int) "cube identical after retried fault" expected
         (Cube_result.total_cells r)
   | Engine.Partial _ -> Alcotest.fail "unexpected partial result"
-  | Engine.Failed _ -> Alcotest.fail "retry should have absorbed the fault");
+  | Engine.Failed _ -> Alcotest.fail "retry should have absorbed the fault"
+  | Engine.Rejected _ -> Alcotest.fail "no admission door was installed");
   Alcotest.(check bool) "the fault really fired" true
     (Fault.injected_faults plan > 0);
   Fault.clear disk;
@@ -502,7 +518,7 @@ let () =
       [ `Memory; `File ]
   in
   let qcheck = List.map QCheck_alcotest.to_alcotest in
-  Alcotest.run "x3_fault"
+  let suites =
     [
       ( "fault matrix",
         List.concat
@@ -564,3 +580,15 @@ let () =
             test_engine_partial_progress;
         ] );
     ]
+  in
+  let total =
+    List.fold_left (fun acc (_, cases) -> acc + List.length cases) 0 suites
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Printf.printf
+        "fault-matrix: %d tests run, %d faults injected across %d plans\n%!"
+        total
+        (Fault.total_injected ())
+        (List.length !Fault.tracked))
+    (fun () -> Alcotest.run ~and_exit:false "x3_fault" suites)
