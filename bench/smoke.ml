@@ -5,15 +5,21 @@
    over the domain-parallel engine, and the V0-vs-V1 page checksum
    overhead comparison, and the PR 4 resource-governor overhead
    comparison (governed vs ungoverned grouping with a non-binding
-   budget, plus per-run `Gc.quick_stat` peak-heap records).  Writes the
-   results as JSON (BENCH_PR2.json, BENCH_PR3.json and BENCH_PR4.json by
-   default, or argv.(1)/argv.(2)/argv.(3)).  Exits non-zero if
-   any algorithm disagrees with NAIVE, if any parallel run's cube is not
-   byte-identical to the sequential one, if any run leaks disk pages, if
-   checksummed pages slow the grouping workload by more than 15%, if
-   the governed path slows grouping by more than 20% when the budget is
-   not binding, or —
-   on hardware with at least 4 cores — if 4 workers fail to reach a 2x
+   budget, plus per-run `Gc.quick_stat` peak-heap records), and the PR 5
+   tracing overhead comparison (the same grouping workload with tracing
+   compiled in but disabled, then with tracing enabled).  Writes the
+   results as JSON through the shared `X3_obs.Json` encoder
+   (BENCH_PR2.json .. BENCH_PR5.json by default, or
+   argv.(1)..argv.(4)); BENCH_PR5.json is an x3-metrics/1 document —
+   the same schema `x3 cube --metrics` emits — carrying the per-phase
+   latency breakdown of one instrumented grouping run.  Exits non-zero
+   if any algorithm disagrees with NAIVE, if any parallel run's cube is
+   not byte-identical to the sequential one, if any run leaks disk
+   pages, if checksummed pages slow the grouping workload by more than
+   15%, if the governed path slows grouping by more than 20% when the
+   budget is not binding, if disabled tracing costs more than 2% or
+   enabled tracing more than 10% on the grouping workload, or — on
+   hardware with at least 4 cores — if 4 workers fail to reach a 2x
    NAIVE speedup, so `dune runtest` gates on all of it. *)
 
 module Engine = X3_core.Engine
@@ -24,6 +30,11 @@ module Parallel = X3_core.Parallel
 module Buffer_pool = X3_storage.Buffer_pool
 module Disk = X3_storage.Disk
 module Treebank = X3_workload.Treebank
+module Json = X3_obs.Json
+module Trace = X3_obs.Trace
+module Obs_metrics = X3_obs.Metrics
+module Obs_export = X3_obs.Export
+module Report = X3_core.Report
 
 let trees = 200
 let axes = 3
@@ -166,6 +177,9 @@ let () =
   let out_path4 =
     if Array.length Sys.argv > 3 then Sys.argv.(3) else "BENCH_PR4.json"
   in
+  let out_path5 =
+    if Array.length Sys.argv > 4 then Sys.argv.(4) else "BENCH_PR5.json"
+  in
   let config = { Treebank.default with num_trees = trees; axes } in
   let store = X3_xdb.Store.of_document (Treebank.generate config) in
   let spec = Treebank.spec config in
@@ -278,119 +292,248 @@ let () =
     ungoverned_group governed_group
     (100. *. governed_overhead)
     top_heap_after_grouping;
+  (* --- tracing overhead (PR 5) ----------------------------------------- *)
+  (* Tracing is always compiled in, so the disabled path — one atomic load
+     per instrumentation point — is measured against the governor
+     section's ungoverned baseline; then the same workload runs with the
+     rings live. *)
+  let traced_off_group =
+    grouping_seconds_run ~store ~spec ~run:(fun prepared ->
+        ignore (Engine.run ~config:run_config prepared Engine.Counter))
+  in
+  Trace.enable ~ring_size:65536 ();
+  let traced_on_group =
+    grouping_seconds_run ~store ~spec ~run:(fun prepared ->
+        ignore (Engine.run ~config:run_config prepared Engine.Counter))
+  in
+  Trace.disable ();
+  Trace.reset ();
+  let traced_off_overhead = (traced_off_group /. ungoverned_group) -. 1.0 in
+  let traced_on_overhead = (traced_on_group /. ungoverned_group) -. 1.0 in
+  Printf.printf
+    "  tracing overhead (grouping workload, baseline %8.4fs):\n\
+    \    traced off  %8.4fs  (%+.1f%%, gate 2%%)\n\
+    \    traced on   %8.4fs  (%+.1f%%, gate 10%%)\n"
+    ungoverned_group traced_off_group
+    (100. *. traced_off_overhead)
+    traced_on_group
+    (100. *. traced_on_overhead);
+  (* One instrumented pass feeds the PR 5 metrics document: phase
+     latencies plus the unified-registry view of the run. *)
+  let pr5_pool =
+    Buffer_pool.create ~capacity_pages:256
+      (Disk.in_memory ~page_size:1024 ())
+  in
+  let mat_t0 = Unix.gettimeofday () in
+  let pr5_prepared = Engine.prepare ~pool:pr5_pool ~store spec in
+  let mat_seconds = Unix.gettimeofday () -. mat_t0 in
+  let pr5_stats = Engine.fresh_run_stats () in
+  let compute_t0 = Unix.gettimeofday () in
+  let pr5_result, pr5_instr =
+    match
+      Engine.run_safe ~config:run_config ~max_bytes:governor_budget
+        ~stats:pr5_stats pr5_prepared Engine.Counter
+    with
+    | Engine.Complete (r, i) -> (r, i)
+    | _ ->
+        prerr_endline
+          "smoke: instrumented metrics run did not complete under a \
+           non-binding budget";
+        exit 1
+  in
+  let compute_seconds = Unix.gettimeofday () -. compute_t0 in
   (* --- JSON ------------------------------------------------------------ *)
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf
-    "  \"bench\": \"PR2: domain-parallel cube engine over packed keys\",\n";
-  Printf.bprintf buf
-    "  \"smoke\": {\n    \"workload\": \"treebank trees=%d axes=%d\",\n\
-    \    \"reference\": \"NAIVE\",\n    \"algorithms\": [\n"
-    trees axes;
-  List.iteri
-    (fun i o ->
-      Printf.bprintf buf
-        "      { \"name\": %S, \"seconds\": %.6f, \"cells\": %d, \
-         \"correct\": %b, \"keys_built\": %d, \"dict_size\": %d, \
-         \"minor_words\": %.0f }%s\n"
-        (Engine.algorithm_to_string o.Harness.algorithm)
-        o.Harness.seconds o.Harness.cells o.Harness.correct
-        o.Harness.instr.Instrument.keys_built
-        o.Harness.instr.Instrument.dict_size o.Harness.minor_words
-        (if i = List.length outcomes - 1 then "" else ","))
-    outcomes;
-  Buffer.add_string buf "    ]\n  },\n";
-  Printf.bprintf buf
-    "  \"key_comparison\": {\n\
-    \    \"rows\": %d,\n\
-    \    \"groups\": %d,\n\
-    \    \"legacy_string_hashtbl\": { \"seconds_per_pass\": %.6f, \
-     \"minor_words_per_pass\": %.0f },\n\
-    \    \"packed_int_tbl\": { \"seconds_per_pass\": %.6f, \
-     \"minor_words_per_pass\": %.0f },\n\
-    \    \"speedup\": %.2f\n\
-    \  },\n"
-    kc.Micro.kc_rows kc.Micro.kc_groups kc.Micro.legacy_seconds
-    kc.Micro.legacy_minor_words kc.Micro.packed_seconds
-    kc.Micro.packed_minor_words speedup;
-  Printf.bprintf buf
-    "  \"parallel\": {\n    \"workload\": \"treebank trees=%d axes=%d\",\n\
-    \    \"cores\": %d,\n    \"reference\": \"sequential NAIVE export\",\n\
-    \    \"runs\": [\n"
-    sweep_trees axes cores;
-  List.iteri
-    (fun i r ->
-      Printf.bprintf buf
-        "      { \"name\": %S, \"workers\": %d, \"seconds\": %.6f, \
-         \"identical\": %b, \"leaked_pages\": %d }%s\n"
-        (Engine.algorithm_to_string r.pr_algorithm)
-        r.pr_workers r.pr_seconds r.pr_identical r.pr_leaked_pages
-        (if i = List.length runs - 1 then "" else ","))
-    runs;
-  Printf.bprintf buf
-    "    ],\n    \"naive_speedup_4_workers\": %.2f\n  }\n"
-    naive_speedup_4w;
-  Buffer.add_string buf "}\n";
-  let oc = open_out out_path in
-  output_string oc (Buffer.contents buf);
-  close_out oc;
+  let pr2 =
+    Json.Obj
+      [
+        ( "bench",
+          Json.Str "PR2: domain-parallel cube engine over packed keys" );
+        ( "smoke",
+          Json.Obj
+            [
+              ( "workload",
+                Json.Str
+                  (Printf.sprintf "treebank trees=%d axes=%d" trees axes) );
+              ("reference", Json.Str "NAIVE");
+              ( "algorithms",
+                Json.Arr
+                  (List.map
+                     (fun o ->
+                       Json.Obj
+                         [
+                           ( "name",
+                             Json.Str
+                               (Engine.algorithm_to_string
+                                  o.Harness.algorithm) );
+                           ("seconds", Json.Float o.Harness.seconds);
+                           ("cells", Json.Int o.Harness.cells);
+                           ("correct", Json.Bool o.Harness.correct);
+                           ( "keys_built",
+                             Json.Int
+                               o.Harness.instr.Instrument.keys_built );
+                           ( "dict_size",
+                             Json.Int o.Harness.instr.Instrument.dict_size );
+                           ("minor_words", Json.Float o.Harness.minor_words);
+                         ])
+                     outcomes) );
+            ] );
+        ( "key_comparison",
+          Json.Obj
+            [
+              ("rows", Json.Int kc.Micro.kc_rows);
+              ("groups", Json.Int kc.Micro.kc_groups);
+              ( "legacy_string_hashtbl",
+                Json.Obj
+                  [
+                    ("seconds_per_pass", Json.Float kc.Micro.legacy_seconds);
+                    ( "minor_words_per_pass",
+                      Json.Float kc.Micro.legacy_minor_words );
+                  ] );
+              ( "packed_int_tbl",
+                Json.Obj
+                  [
+                    ("seconds_per_pass", Json.Float kc.Micro.packed_seconds);
+                    ( "minor_words_per_pass",
+                      Json.Float kc.Micro.packed_minor_words );
+                  ] );
+              ("speedup", Json.Float speedup);
+            ] );
+        ( "parallel",
+          Json.Obj
+            [
+              ( "workload",
+                Json.Str
+                  (Printf.sprintf "treebank trees=%d axes=%d" sweep_trees
+                     axes) );
+              ("cores", Json.Int cores);
+              ("reference", Json.Str "sequential NAIVE export");
+              ( "runs",
+                Json.Arr
+                  (List.map
+                     (fun r ->
+                       Json.Obj
+                         [
+                           ( "name",
+                             Json.Str
+                               (Engine.algorithm_to_string r.pr_algorithm) );
+                           ("workers", Json.Int r.pr_workers);
+                           ("seconds", Json.Float r.pr_seconds);
+                           ("identical", Json.Bool r.pr_identical);
+                           ("leaked_pages", Json.Int r.pr_leaked_pages);
+                         ])
+                     runs) );
+              ("naive_speedup_4_workers", Json.Float naive_speedup_4w);
+            ] );
+      ]
+  in
+  Json.to_file out_path pr2;
   Printf.printf "  wrote %s\n" out_path;
-  let buf3 = Buffer.create 1024 in
-  Buffer.add_string buf3 "{\n";
-  Buffer.add_string buf3
-    "  \"bench\": \"PR3: checksummed crash-safe storage\",\n";
-  Printf.bprintf buf3
-    "  \"checksum_overhead\": {\n\
-    \    \"page_io\": { \"v0_pages_per_sec\": %.0f, \"v1_pages_per_sec\": \
-     %.0f, \"overhead\": %.4f },\n\
-    \    \"grouping\": { \"workload\": \"treebank trees=%d axes=%d \
-     prepare+COUNTER\",\n\
-    \      \"v0_seconds\": %.6f, \"v1_seconds\": %.6f, \"overhead\": %.4f, \
-     \"gate\": 0.15 }\n\
-    \  }\n"
-    v0_rate v1_rate io_overhead trees axes v0_group v1_group group_overhead;
-  Buffer.add_string buf3 "}\n";
-  let oc3 = open_out out_path3 in
-  output_string oc3 (Buffer.contents buf3);
-  close_out oc3;
+  let grouping_workload =
+    Printf.sprintf "treebank trees=%d axes=%d prepare+COUNTER" trees axes
+  in
+  let pr3 =
+    Json.Obj
+      [
+        ("bench", Json.Str "PR3: checksummed crash-safe storage");
+        ( "checksum_overhead",
+          Json.Obj
+            [
+              ( "page_io",
+                Json.Obj
+                  [
+                    ("v0_pages_per_sec", Json.Float v0_rate);
+                    ("v1_pages_per_sec", Json.Float v1_rate);
+                    ("overhead", Json.Float io_overhead);
+                  ] );
+              ( "grouping",
+                Json.Obj
+                  [
+                    ("workload", Json.Str grouping_workload);
+                    ("v0_seconds", Json.Float v0_group);
+                    ("v1_seconds", Json.Float v1_group);
+                    ("overhead", Json.Float group_overhead);
+                    ("gate", Json.Float 0.15);
+                  ] );
+            ] );
+      ]
+  in
+  Json.to_file out_path3 pr3;
   Printf.printf "  wrote %s\n" out_path3;
-  let buf4 = Buffer.create 2048 in
-  Buffer.add_string buf4 "{\n";
-  Buffer.add_string buf4
-    "  \"bench\": \"PR4: resource governor, admission control and hostile \
-     input hardening\",\n";
-  Printf.bprintf buf4
-    "  \"governed_overhead\": {\n\
-    \    \"workload\": \"treebank trees=%d axes=%d prepare+COUNTER\",\n\
-    \    \"max_bytes\": %d,\n\
-    \    \"ungoverned_seconds\": %.6f,\n\
-    \    \"governed_seconds\": %.6f,\n\
-    \    \"overhead\": %.4f,\n\
-    \    \"gate\": 0.20\n\
-    \  },\n"
-    trees axes governor_budget ungoverned_group governed_group
-    governed_overhead;
-  Printf.bprintf buf4
-    "  \"peak_heap\": {\n\
-    \    \"unit\": \"words\",\n\
-    \    \"note\": \"Gc.quick_stat top_heap_words observed after each run \
-     (the calling domain's heap high-water mark at that point)\",\n\
-    \    \"after_grouping\": %d,\n\
-    \    \"parallel_runs\": [\n"
-    top_heap_after_grouping;
-  List.iteri
-    (fun i r ->
-      Printf.bprintf buf4
-        "      { \"name\": %S, \"workers\": %d, \"top_heap_words\": %d }%s\n"
-        (Engine.algorithm_to_string r.pr_algorithm)
-        r.pr_workers r.pr_top_heap_words
-        (if i = List.length runs - 1 then "" else ","))
-    runs;
-  Buffer.add_string buf4 "    ]\n  }\n}\n";
-  let oc4 = open_out out_path4 in
-  output_string oc4 (Buffer.contents buf4);
-  close_out oc4;
+  let pr4 =
+    Json.Obj
+      [
+        ( "bench",
+          Json.Str
+            "PR4: resource governor, admission control and hostile input \
+             hardening" );
+        ( "governed_overhead",
+          Json.Obj
+            [
+              ("workload", Json.Str grouping_workload);
+              ("max_bytes", Json.Int governor_budget);
+              ("ungoverned_seconds", Json.Float ungoverned_group);
+              ("governed_seconds", Json.Float governed_group);
+              ("overhead", Json.Float governed_overhead);
+              ("gate", Json.Float 0.20);
+            ] );
+        ( "peak_heap",
+          Json.Obj
+            [
+              ("unit", Json.Str "words");
+              ( "note",
+                Json.Str
+                  "Gc.quick_stat top_heap_words observed after each run \
+                   (the calling domain's heap high-water mark at that \
+                   point)" );
+              ("after_grouping", Json.Int top_heap_after_grouping);
+              ( "parallel_runs",
+                Json.Arr
+                  (List.map
+                     (fun r ->
+                       Json.Obj
+                         [
+                           ( "name",
+                             Json.Str
+                               (Engine.algorithm_to_string r.pr_algorithm) );
+                           ("workers", Json.Int r.pr_workers);
+                           ("top_heap_words", Json.Int r.pr_top_heap_words);
+                         ])
+                     runs) );
+            ] );
+      ]
+  in
+  Json.to_file out_path4 pr4;
   Printf.printf "  wrote %s\n" out_path4;
+  let pr5_metrics =
+    Report.build ~instr:pr5_instr ~result:pr5_result ~run:pr5_stats
+      ~workers:1
+      ~phases:
+        [ ("materialise", mat_seconds); ("compute", compute_seconds) ]
+      ~algorithm:"COUNTER" ()
+  in
+  let pr5_meta =
+    [
+      ("bench", Json.Str "PR5: query-scoped tracing and unified metrics");
+      ("workload", Json.Str grouping_workload);
+      ("algorithm", Json.Str "COUNTER");
+      ("workers", Json.Int 1);
+      ( "tracing_overhead",
+        Json.Obj
+          [
+            ("baseline_seconds", Json.Float ungoverned_group);
+            ("traced_off_seconds", Json.Float traced_off_group);
+            ("traced_off_overhead", Json.Float traced_off_overhead);
+            ("traced_off_gate", Json.Float 0.02);
+            ("traced_on_seconds", Json.Float traced_on_group);
+            ("traced_on_overhead", Json.Float traced_on_overhead);
+            ("traced_on_gate", Json.Float 0.10);
+          ] );
+    ]
+  in
+  Json.to_file out_path5
+    (Obs_export.metrics_json ~meta:pr5_meta
+       (Obs_metrics.snapshot pr5_metrics));
+  Printf.printf "  wrote %s\n" out_path5;
   let fail = ref false in
   if not all_correct then begin
     prerr_endline "smoke: some algorithm disagrees with NAIVE";
@@ -415,6 +558,20 @@ let () =
       "smoke: governor overhead on the grouping workload is %.1f%% (> 20%%) \
        with a non-binding budget\n"
       (100. *. governed_overhead);
+    fail := true
+  end;
+  if traced_off_overhead > 0.02 then begin
+    Printf.eprintf
+      "smoke: disabled tracing costs %.1f%% (> 2%%) on the grouping \
+       workload\n"
+      (100. *. traced_off_overhead);
+    fail := true
+  end;
+  if traced_on_overhead > 0.10 then begin
+    Printf.eprintf
+      "smoke: enabled tracing costs %.1f%% (> 10%%) on the grouping \
+       workload\n"
+      (100. *. traced_on_overhead);
     fail := true
   end;
   (* The speedup gate only makes a claim the hardware can support: on a

@@ -3,6 +3,10 @@
    Subcommands:
      x3 cube <query.x3> [--doc file.xml] [--algorithm NAME] ...
          Parse an X^3 query, run it against an XML document, print the cube.
+         --trace FILE writes a Chrome trace_event JSON of the run;
+         --metrics FILE writes an x3-metrics/1 JSON document.
+     x3 explain <query.x3> [--doc file.xml] [--algorithm NAME] ...
+         Run the query traced and print a per-phase / per-cuboid cost report.
      x3 lattice <query.x3>
          Print the relaxed-cube lattice and the MRFI pattern of a query.
      x3 analyze <query.x3> --doc file.xml [--dtd file.dtd]
@@ -15,6 +19,8 @@
 module Engine = X3_core.Engine
 module Lattice = X3_lattice.Lattice
 module Properties = X3_lattice.Properties
+module Trace = X3_obs.Trace
+module Json = X3_obs.Json
 
 let read_file path =
   let ic = open_in_bin path in
@@ -78,36 +84,88 @@ let prepare_from_query ?max_input_bytes query_path doc_override =
 
 (* --- cube --------------------------------------------------------------- *)
 
-let run_cube query_path doc algorithm_name use_schema workers deadline
-    retries max_bytes max_concurrent max_input_bytes max_groups format =
-  let spec, prepared, document, inline_dtd =
-    prepare_from_query ?max_input_bytes query_path doc
-  in
-  let algorithm =
-    match Engine.algorithm_of_string algorithm_name with
-    | Some a -> a
+(* Phase clock shared by cube and explain: wall time per named phase, in
+   declaration order, feeding both the metrics document and the explain
+   report. *)
+type phased = {
+  mutable phase_list : (string * float) list;  (* reversed *)
+}
+
+let timed ph name f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  ph.phase_list <- (name, Unix.gettimeofday () -. t0) :: ph.phase_list;
+  v
+
+let phases ph = List.rev ph.phase_list
+
+let parse_algorithm algorithm_name =
+  match Engine.algorithm_of_string algorithm_name with
+  | Some a -> a
+  | None ->
+      prerr_endline
+        ("x3: unknown algorithm " ^ algorithm_name
+       ^ " (expected NAIVE, COUNTER, BUC, BUCOPT, BUCCUST, TD, TDOPT, \
+          TDOPTALL or TDCUST)");
+      exit 1
+
+let props_for prepared spec ~use_schema inline_dtd =
+  if use_schema then
+    match inline_dtd with
+    | Some dtd ->
+        Some
+          (Properties.infer
+             ~schema:(X3_xml.Schema.of_dtd dtd)
+             ~fact_tag:(Engine.fact_tag spec)
+             (Engine.lattice prepared))
     | None ->
-        prerr_endline
-          ("x3: unknown algorithm " ^ algorithm_name
-         ^ " (expected NAIVE, COUNTER, BUC, BUCOPT, BUCCUST, TD, TDOPT, \
-            TDOPTALL or TDCUST)");
-        exit 1
+        (* No DTD: observe the instance, the "customised" fallback. *)
+        Some (Properties.observe (Engine.table prepared) (Engine.lattice prepared))
+  else None
+
+(* Parse + load + materialise with per-phase timing (the traced sibling of
+   [prepare_from_query], which analyze/pivot keep using untimed). *)
+let prepare_phased ?max_input_bytes ph query_path doc_override =
+  let { X3_ql.Compile.document; spec } =
+    timed ph "parse" (fun () -> parse_query query_path)
   in
+  let doc_path = Option.value doc_override ~default:document in
+  let store, inline_dtd =
+    timed ph "load" (fun () ->
+        Trace.with_span "doc.load"
+          ~attrs:[ ("path", Trace.Str doc_path) ]
+          (fun () ->
+            let doc, dtd = load_document ?max_input_bytes doc_path in
+            (X3_xdb.Store.of_document doc, dtd)))
+  in
+  let prepared =
+    timed ph "materialise" (fun () ->
+        Engine.prepare ~pool:(make_pool ()) ~store spec)
+  in
+  (spec, prepared, doc_path, inline_dtd)
+
+let write_trace_file path =
+  Json.to_file path (X3_obs.Export.chrome_trace (Trace.dump ()))
+
+let write_metrics_file path ~meta ?instr ?result ~run ~workers ~phases
+    ~algorithm () =
+  let m =
+    X3_core.Report.build ?instr ?result ~run ~workers ~phases ~algorithm ()
+  in
+  Json.to_file path
+    (X3_obs.Export.metrics_json ~meta (X3_obs.Metrics.snapshot m))
+
+let run_cube query_path doc algorithm_name use_schema workers deadline
+    retries max_bytes max_concurrent max_input_bytes max_groups format
+    trace_file metrics_file =
+  if trace_file <> None then Trace.enable ();
+  let ph = { phase_list = [] } in
+  let spec, prepared, doc_path, inline_dtd =
+    prepare_phased ?max_input_bytes ph query_path doc
+  in
+  let algorithm = parse_algorithm algorithm_name in
   let lattice = Engine.lattice prepared in
-  let props =
-    if use_schema then
-      match inline_dtd with
-      | Some dtd ->
-          Some
-            (Properties.infer
-               ~schema:(X3_xml.Schema.of_dtd dtd)
-               ~fact_tag:(Engine.fact_tag spec) lattice)
-      | None ->
-          (* No DTD: observe the instance, the "customised" fallback. *)
-          Some (Properties.observe (Engine.table prepared) lattice)
-    else None
-  in
-  ignore document;
+  let props = props_for prepared spec ~use_schema inline_dtd in
   (* A single CLI query is its own admission population: --max-concurrent 0
      sheds it outright, anything else admits it — the flag exists so the
      same contract holds when the binary fronts a query queue. *)
@@ -117,10 +175,12 @@ let run_cube query_path doc algorithm_name use_schema workers deadline
         X3_core.Governor.Admission.create ~max_in_flight:n ~max_waiting:0 ())
       max_concurrent
   in
+  let run_stats = Engine.fresh_run_stats () in
   let t0 = Unix.gettimeofday () in
   let outcome =
-    Engine.run_safe ?props ~workers ?deadline ~retries ?max_bytes ?admission
-      ~admission_timeout:0. prepared algorithm
+    timed ph "compute" (fun () ->
+        Engine.run_safe ?props ~workers ?deadline ~retries ?max_bytes
+          ?admission ~admission_timeout:0. ~stats:run_stats prepared algorithm)
   in
   let dt = Unix.gettimeofday () -. t0 in
   let print_result result instr =
@@ -143,10 +203,44 @@ let run_cube query_path doc algorithm_name use_schema workers deadline
           ("x3: unknown format " ^ other ^ " (expected table, csv or json)");
         exit 1
   in
+  (* Artefacts must be written before any [exit] below. *)
+  let finish ~label result_instr =
+    (match result_instr with
+    | Some (result, instr) ->
+        timed ph "export" (fun () ->
+            Trace.with_span "cube.export" (fun () -> print_result result instr))
+    | None -> ());
+    Option.iter write_trace_file trace_file;
+    Option.iter
+      (fun path ->
+        let meta =
+          [
+            ("query", Json.Str query_path);
+            ("document", Json.Str doc_path);
+            ("algorithm", Json.Str (Engine.algorithm_to_string algorithm));
+            ("workers", Json.Int (X3_core.Parallel.resolve workers));
+            ("outcome", Json.Str label);
+          ]
+        in
+        let instr = Option.map snd result_instr in
+        let result = Option.map fst result_instr in
+        write_metrics_file path ~meta ?instr ?result ~run:run_stats
+          ~workers:(X3_core.Parallel.resolve workers)
+          ~phases:(phases ph)
+          ~algorithm:(Engine.algorithm_to_string algorithm)
+          ())
+      metrics_file
+  in
   match outcome with
-  | Engine.Complete (result, instr) -> print_result result instr
+  | Engine.Complete (result, instr) -> finish ~label:"complete" (Some (result, instr))
   | Engine.Partial (reason, result, instr) ->
-      print_result result instr;
+      let reason_name =
+        match reason with
+        | X3_core.Context.Deadline_exceeded -> "deadline_exceeded"
+        | X3_core.Context.Cancelled -> "cancelled"
+        | X3_core.Context.Over_budget -> "over_budget"
+      in
+      finish ~label:("partial:" ^ reason_name) (Some (result, instr));
       (match reason with
       | X3_core.Context.Deadline_exceeded ->
           prerr_endline "x3: deadline exceeded — the cube above is partial";
@@ -160,16 +254,207 @@ let run_cube query_path doc algorithm_name use_schema workers deadline
              above is partial";
           exit exit_over_budget)
   | Engine.Failed (Engine.Corrupt msg) ->
+      finish ~label:"failed:corrupt" None;
       prerr_endline ("x3: corrupt input: " ^ msg);
       exit exit_corrupt
   | Engine.Failed (Engine.Io_fault msg) ->
+      finish ~label:"failed:io_fault" None;
       prerr_endline ("x3: aborted by I/O faults: " ^ msg);
       exit exit_fault
   | Engine.Rejected rejection ->
+      finish ~label:"rejected" None;
       prerr_endline
         (Format.asprintf "x3: query rejected: %a"
            X3_core.Governor.Admission.pp_rejection rejection);
       exit exit_over_budget
+
+(* --- explain ------------------------------------------------------------- *)
+
+let attr_int attrs name =
+  match List.assoc_opt name attrs with
+  | Some (Trace.Int i) -> Some i
+  | _ -> None
+
+let attr_str attrs name =
+  match List.assoc_opt name attrs with
+  | Some (Trace.Str s) -> Some s
+  | _ -> None
+
+type cuboid_report = {
+  mutable cr_cells : int;
+  mutable cr_label : string;
+  mutable cr_sorts : int;
+  mutable cr_rollups : int;
+  mutable cr_provenance : string;
+}
+
+let run_explain query_path doc algorithm_name use_schema workers trace_file
+    metrics_file =
+  (* explain is the traced view by definition: tracing is always on, and
+     the per-cuboid table below is assembled from the run's own events. *)
+  Trace.enable ();
+  let ph = { phase_list = [] } in
+  let spec, prepared, doc_path, inline_dtd =
+    prepare_phased ph query_path doc
+  in
+  let algorithm = parse_algorithm algorithm_name in
+  let props = props_for prepared spec ~use_schema inline_dtd in
+  let run_stats = Engine.fresh_run_stats () in
+  let outcome =
+    timed ph "compute" (fun () ->
+        Engine.run_safe ?props ~workers ~stats:run_stats prepared algorithm)
+  in
+  let result, instr =
+    match outcome with
+    | Engine.Complete (result, instr) -> (result, instr)
+    | Engine.Partial (reason, result, instr) ->
+        prerr_endline
+          (Printf.sprintf "x3: note — run stopped early (%s); costs below are partial"
+             (match reason with
+             | X3_core.Context.Deadline_exceeded -> "deadline"
+             | X3_core.Context.Cancelled -> "cancelled"
+             | X3_core.Context.Over_budget -> "over budget"));
+        (result, instr)
+    | Engine.Failed (Engine.Corrupt msg) ->
+        prerr_endline ("x3: corrupt input: " ^ msg);
+        exit exit_corrupt
+    | Engine.Failed (Engine.Io_fault msg) ->
+        prerr_endline ("x3: aborted by I/O faults: " ^ msg);
+        exit exit_fault
+    | Engine.Rejected rejection ->
+        prerr_endline
+          (Format.asprintf "x3: query rejected: %a"
+             X3_core.Governor.Admission.pp_rejection rejection);
+        exit exit_over_budget
+  in
+  let rings = Trace.dump () in
+  (* Join the trace back into a per-cuboid cost table. *)
+  let lattice = Engine.lattice prepared in
+  let by_cuboid : (int, cuboid_report) Hashtbl.t = Hashtbl.create 64 in
+  let report cid =
+    match Hashtbl.find_opt by_cuboid cid with
+    | Some r -> r
+    | None ->
+        let r =
+          {
+            cr_cells = 0;
+            cr_label = "";
+            cr_sorts = 0;
+            cr_rollups = 0;
+            cr_provenance = "scan";
+          }
+        in
+        Hashtbl.replace by_cuboid cid r;
+        r
+  in
+  List.iter
+    (fun ring ->
+      List.iter
+        (fun (e : Trace.event) ->
+          match e.Trace.name with
+          | "cuboid.cells" ->
+              Option.iter
+                (fun cid ->
+                  let r = report cid in
+                  Option.iter (fun c -> r.cr_cells <- c)
+                    (attr_int e.Trace.attrs "cells");
+                  Option.iter (fun l -> r.cr_label <- l)
+                    (attr_str e.Trace.attrs "label"))
+                (attr_int e.Trace.attrs "cuboid")
+          | "td.base" when e.Trace.phase = Trace.Begin ->
+              Option.iter
+                (fun cid ->
+                  let r = report cid in
+                  r.cr_sorts <- r.cr_sorts + 1;
+                  r.cr_provenance <-
+                    Printf.sprintf "base(%s)"
+                      (Option.value ~default:"?"
+                         (attr_str e.Trace.attrs "mode")))
+                (attr_int e.Trace.attrs "cuboid")
+          | "td.rollup" when e.Trace.phase = Trace.Begin ->
+              Option.iter
+                (fun cid ->
+                  let r = report cid in
+                  r.cr_rollups <- r.cr_rollups + 1;
+                  r.cr_provenance <-
+                    (match attr_int e.Trace.attrs "from" with
+                    | Some finer -> Printf.sprintf "rollup(from %d)" finer
+                    | None -> "rollup"))
+                (attr_int e.Trace.attrs "cuboid")
+          | "cuboid.compute" ->
+              Option.iter
+                (fun cid ->
+                  let r = report cid in
+                  match attr_int e.Trace.attrs "pass" with
+                  | Some pass -> r.cr_provenance <- Printf.sprintf "pass %d" pass
+                  | None -> ())
+                (attr_int e.Trace.attrs "cuboid")
+          | _ -> ())
+        ring.Trace.events)
+    rings;
+  (* The report. *)
+  Printf.printf "query:     %s\n" query_path;
+  Printf.printf "document:  %s\n" doc_path;
+  Printf.printf "algorithm: %s   workers: %d\n\n"
+    (Engine.algorithm_to_string algorithm)
+    (X3_core.Parallel.resolve workers);
+  Printf.printf "phase breakdown:\n";
+  List.iter
+    (fun (name, seconds) ->
+      Printf.printf "  %-12s %9.3f ms\n" name (seconds *. 1000.))
+    (phases ph);
+  Printf.printf "\nper-cuboid costs:\n";
+  Printf.printf "  %-4s %9s %-6s %-18s %s\n" "id" "cells" "sorts"
+    "provenance" "pattern";
+  Array.iter
+    (fun cid ->
+      let r = report cid in
+      let label =
+        if r.cr_label <> "" then r.cr_label else Engine.cuboid_label prepared cid
+      in
+      Printf.printf "  %-4d %9d %-6d %-18s %s\n" cid
+        (if r.cr_cells > 0 then r.cr_cells
+         else X3_core.Cube_result.cuboid_size result cid)
+        r.cr_sorts r.cr_provenance label)
+    (Lattice.by_degree lattice);
+  let io = run_stats.Engine.io in
+  let pool_lookups = io.X3_storage.Stats.pool_hits + io.X3_storage.Stats.pool_misses in
+  let hit_rate =
+    if pool_lookups = 0 then 100.
+    else 100. *. float_of_int io.X3_storage.Stats.pool_hits /. float_of_int pool_lookups
+  in
+  Printf.printf "\ntotals:\n";
+  Printf.printf "  cells %d   scans %d   sorts %d   rollups %d   keys %d\n"
+    (X3_core.Cube_result.total_cells result)
+    instr.X3_core.Instrument.table_scans instr.X3_core.Instrument.sort_ops
+    instr.X3_core.Instrument.rollups instr.X3_core.Instrument.keys_built;
+  Printf.printf
+    "  peak counters %d (largest worker %d)   pool hit rate %.1f%% (%d lookups)\n"
+    instr.X3_core.Instrument.peak_counters
+    instr.X3_core.Instrument.peak_counters_worker_max hit_rate pool_lookups;
+  Printf.printf "  sort runs %d   merge passes %d   records sorted %d\n"
+    io.X3_storage.Stats.sort_runs io.X3_storage.Stats.merge_passes
+    io.X3_storage.Stats.records_sorted;
+  Printf.printf "  bytes reserved peak %d   attempts %d\n"
+    run_stats.Engine.peak_bytes run_stats.Engine.attempts;
+  Option.iter write_trace_file trace_file;
+  Option.iter
+    (fun path ->
+      let meta =
+        [
+          ("query", Json.Str query_path);
+          ("document", Json.Str doc_path);
+          ("algorithm", Json.Str (Engine.algorithm_to_string algorithm));
+          ("workers", Json.Int (X3_core.Parallel.resolve workers));
+          ("outcome", Json.Str "explain");
+        ]
+      in
+      write_metrics_file path ~meta ~instr ~result ~run:run_stats
+        ~workers:(X3_core.Parallel.resolve workers)
+        ~phases:(phases ph)
+        ~algorithm:(Engine.algorithm_to_string algorithm)
+        ())
+    metrics_file
 
 (* --- lattice ------------------------------------------------------------ *)
 
@@ -419,6 +704,27 @@ let cube_cmd =
       value & opt string "table"
       & info [ "format"; "f" ] ~docv:"FMT" ~doc:"Output: table, csv or json.")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event JSON of the run (load it in \
+             chrome://tracing or ui.perfetto.dev): one track per worker \
+             domain, spans for parse/compile/materialise/per-cuboid \
+             compute/export plus governor and admission events.")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write an x3-metrics/1 JSON document (the same schema the \
+             bench harness emits): counters, gauges and per-phase latency \
+             histograms.")
+  in
   let man =
     [
       `S Manpage.s_exit_status;
@@ -443,7 +749,52 @@ let cube_cmd =
     Term.(
       const run_cube $ query_arg $ doc_arg $ algorithm $ use_schema
       $ workers $ deadline $ retries $ max_bytes $ max_concurrent
-      $ max_input_bytes $ max_groups $ format)
+      $ max_input_bytes $ max_groups $ format $ trace $ metrics)
+
+let explain_cmd =
+  let algorithm =
+    Arg.(
+      value & opt string "COUNTER"
+      & info [ "algorithm"; "a" ] ~docv:"NAME"
+          ~doc:
+            "Cube algorithm: NAIVE, COUNTER, BUC, BUCOPT, BUCCUST, TD, \
+             TDOPT, TDOPTALL, TDCUST.")
+  in
+  let use_schema =
+    Arg.(
+      value & flag
+      & info [ "schema" ]
+          ~doc:"Give the customised variants schema knowledge.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "workers"; "j" ] ~docv:"N"
+          ~doc:"Worker domains (default 1; 0 = one per hardware core).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Also write the Chrome trace_event JSON of the traced run.")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Also write the x3-metrics/1 JSON document.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Run an X^3 query traced and print a per-phase, per-cuboid cost \
+          report (scans, sorts, rollups, pool hit rate, peak counters, \
+          bytes reserved)")
+    Term.(
+      const run_explain $ query_arg $ doc_arg $ algorithm $ use_schema
+      $ workers $ trace $ metrics)
 
 let lattice_cmd =
   let dot =
@@ -559,4 +910,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "x3" ~doc)
-          [ cube_cmd; lattice_cmd; analyze_cmd; pivot_cmd; gen_cmd; info_cmd ]))
+          [
+            cube_cmd;
+            explain_cmd;
+            lattice_cmd;
+            analyze_cmd;
+            pivot_cmd;
+            gen_cmd;
+            info_cmd;
+          ]))

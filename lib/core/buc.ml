@@ -209,7 +209,9 @@ let compute ~variant (ctx : Context.t) =
         Array.of_list (List.rev !acc)
       in
       let env = fresh_env ~instr:ctx.instr ~measure:ctx.measure in
-      refine env rows 0 (Array.length rows - 1) 0
+      X3_obs.Trace.with_span "buc.recursion"
+        ~attrs:[ ("rows", X3_obs.Trace.Int (Array.length rows)) ]
+        (fun () -> refine env rows 0 (Array.length rows - 1) 0)
     with Context.Stop _ -> ()
   end
   else begin
@@ -239,7 +241,9 @@ let compute ~variant (ctx : Context.t) =
         ~init:(fun _ -> fresh_env ~instr:(Instrument.create ()) ~measure)
         ~body:(fun env t ->
           let ai, mask = tasks.(t) in
-          branch env rows 0 (n - 1) ai mask)
+          X3_obs.Trace.with_span "buc.branch"
+            ~attrs:[ ("axis", X3_obs.Trace.Int ai) ]
+            (fun () -> branch env rows 0 (n - 1) ai mask))
     in
       Array.iter (fun env -> Instrument.merge ~into:ctx.instr env.instr) states;
       book_result ()

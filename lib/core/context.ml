@@ -1,5 +1,6 @@
 module Witness = X3_pattern.Witness
 module State = X3_lattice.State
+module Trace = X3_obs.Trace
 
 type stop_reason = Cancelled | Deadline_exceeded | Over_budget
 
@@ -73,8 +74,14 @@ let set_cancel_hook t hook = t.control.cancel_hook <- Some hook
 let cancel t = Atomic.set t.control.cancel_flag true
 let stopped t = t.control.stopped
 
+let reason_name = function
+  | Cancelled -> "cancelled"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Over_budget -> "over_budget"
+
 let stop t reason =
   t.control.stopped <- Some reason;
+  Trace.instant "context.stop" ~attrs:[ ("reason", Trace.Str (reason_name reason)) ];
   raise (Stop reason)
 
 (* --- byte accounting ----------------------------------------------------- *)
@@ -83,7 +90,17 @@ let account t = t.account
 let budget_remaining t = Governor.remaining t.account
 let try_reserve t n = Governor.reserve t.account n
 let release t n = Governor.release t.account n
-let reserve t n = if not (Governor.reserve t.account n) then stop t Over_budget
+(* Reservations come in very different grains — a whole witness table down
+   to one decoded row. Only the coarse ones become trace events, or a
+   per-row booking loop would flood the ring with noise. *)
+let trace_reserve_floor = 4096
+
+let reserve t n =
+  if Governor.reserve t.account n then begin
+    if n >= trace_reserve_floor then
+      Trace.instant "governor.reserve" ~attrs:[ ("bytes", Trace.Int n) ]
+  end
+  else stop t Over_budget
 
 let check t =
   let c = t.control in
@@ -109,26 +126,40 @@ let checkpoint t =
   c.tick <- c.tick + 1;
   if c.tick land 63 = 0 then check t
 
+(* Wrap one table scan in a span that reports how many rows it visited;
+   a Stop (or any exception) escaping the scan still closes the span. *)
+let traced_scan t body =
+  let sp = Trace.start "witness.scan" in
+  let before = t.instr.Instrument.rows_scanned in
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.finish sp
+        ~attrs:
+          [ ("rows", Trace.Int (t.instr.Instrument.rows_scanned - before)) ])
+    body
+
 let scan t f =
   t.instr.Instrument.table_scans <- t.instr.Instrument.table_scans + 1;
-  Witness.iter
-    (fun row ->
-      checkpoint t;
-      t.instr.Instrument.rows_scanned <- t.instr.Instrument.rows_scanned + 1;
-      f row)
-    t.table
+  traced_scan t (fun () ->
+      Witness.iter
+        (fun row ->
+          checkpoint t;
+          t.instr.Instrument.rows_scanned <- t.instr.Instrument.rows_scanned + 1;
+          f row)
+        t.table)
 
 let scan_blocks t f =
   t.instr.Instrument.table_scans <- t.instr.Instrument.table_scans + 1;
-  Witness.iter_fact_blocks
-    (fun block ->
-      (* Fact blocks are coarse enough for the unamortised check — and it
-         keeps stops deterministic on small tables. *)
-      check t;
-      t.instr.Instrument.rows_scanned <-
-        t.instr.Instrument.rows_scanned + List.length block;
-      f block)
-    t.table
+  traced_scan t (fun () ->
+      Witness.iter_fact_blocks
+        (fun block ->
+          (* Fact blocks are coarse enough for the unamortised check — and it
+             keeps stops deterministic on small tables. *)
+          check t;
+          t.instr.Instrument.rows_scanned <-
+            t.instr.Instrument.rows_scanned + List.length block;
+          f block)
+        t.table)
 
 (* --- snapshots for the parallel paths ----------------------------------- *)
 (* Workers must not share the buffer pool (its frame table and clock hand

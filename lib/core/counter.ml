@@ -1,5 +1,6 @@
 module Lattice = X3_lattice.Lattice
 module Witness = X3_pattern.Witness
+module Trace = X3_obs.Trace
 
 let compute_sequential (ctx : Context.t) =
   let result = Cube_result.create ~table:ctx.table ctx.lattice in
@@ -33,6 +34,7 @@ let compute_sequential (ctx : Context.t) =
   (try
      while !remaining <> [] do
        Context.check ctx;
+    let pass_t0 = Trace.now () in
     instr.Instrument.passes <- instr.Instrument.passes + 1;
     let active : (int, Aggregate.cell Group_key.Tbl.t) Hashtbl.t =
       Hashtbl.create 64
@@ -54,7 +56,10 @@ let compute_sequential (ctx : Context.t) =
         active;
       Hashtbl.remove active !victim;
       live := !live - !victim_size;
-      evicted := !victim :: !evicted
+      evicted := !victim :: !evicted;
+      Trace.instant "governor.evict"
+        ~attrs:
+          [ ("cuboid", Trace.Int !victim); ("counters", Trace.Int !victim_size) ]
     in
     (* Evict the fattest cuboid until we fit (but keep at least one: a
        single cuboid larger than memory has nowhere to go — the paper hits
@@ -107,10 +112,24 @@ let compute_sequential (ctx : Context.t) =
        completed counters become result cells, keeping their reservation. *)
     Hashtbl.iter
       (fun cid counters ->
+        Trace.complete "cuboid.compute" ~start:pass_t0
+          ~attrs:
+            [
+              ("cuboid", Trace.Int cid);
+              ("cells", Trace.Int (Group_key.Tbl.length counters));
+              ("pass", Trace.Int instr.Instrument.passes);
+            ];
         Group_key.Tbl.iter
           (fun key cell -> Cube_result.set_cell result ~cuboid:cid ~key cell)
           counters)
       active;
+    Trace.complete "counter.pass" ~start:pass_t0
+      ~attrs:
+        [
+          ("pass", Trace.Int instr.Instrument.passes);
+          ("completed", Trace.Int (Hashtbl.length active));
+          ("evicted", Trace.Int (List.length !evicted));
+        ];
     result_cells := !result_cells + !live;
     settle !result_cells;
     remaining := List.rev !evicted
@@ -166,6 +185,7 @@ let compute_parallel (ctx : Context.t) =
   let first_pass = ref true in
   while !remaining <> [] do
     Context.check ctx;
+    let pass_t0 = Trace.now () in
     let pass_budget =
       let rem = Context.budget_remaining ctx in
       if rem = max_int then budget
@@ -246,7 +266,13 @@ let compute_parallel (ctx : Context.t) =
               cids;
             Hashtbl.remove w.active !victim;
             w.live <- w.live - !victim_size;
-            w.evicted <- !victim :: w.evicted
+            w.evicted <- !victim :: w.evicted;
+            Trace.instant "governor.evict"
+              ~attrs:
+                [
+                  ("cuboid", Trace.Int !victim);
+                  ("counters", Trace.Int !victim_size);
+                ]
           done)
     in
     (* A cuboid completed iff no worker evicted it; merge those partials in
@@ -260,10 +286,14 @@ let compute_parallel (ctx : Context.t) =
     Array.iter
       (fun w ->
         pass_peak := !pass_peak + w.peak;
+        if w.peak > instr.Instrument.peak_counters_worker_max then
+          instr.Instrument.peak_counters_worker_max <- w.peak;
         Instrument.merge ~into:instr w.instr)
       states;
     (* Concurrent workers' peaks coexist, so the pass's simultaneous-counter
-       bound is their sum; the run's peak is the max over passes. *)
+       bound is their sum; the run's peak is the max over passes. The
+       largest single worker's peak is kept separately so reports can show
+       the per-worker footprint next to the session bound. *)
     if !pass_peak > instr.Instrument.peak_counters then
       instr.Instrument.peak_counters <- !pass_peak;
     (* Pay for each completed cuboid (upper bound: summed worker partials,
@@ -290,6 +320,13 @@ let compute_parallel (ctx : Context.t) =
           else begin
             result_cells := !result_cells + cells;
             merged_any := true;
+            Trace.complete "cuboid.compute" ~start:pass_t0
+              ~attrs:
+                [
+                  ("cuboid", Trace.Int cid);
+                  ("cells", Trace.Int cells);
+                  ("pass", Trace.Int instr.Instrument.passes);
+                ];
             Array.iter
               (fun w ->
                 match Hashtbl.find_opt w.active cid with
@@ -305,6 +342,12 @@ let compute_parallel (ctx : Context.t) =
           end
         end)
       cids;
+    Trace.complete "counter.pass" ~start:pass_t0
+      ~attrs:
+        [
+          ("pass", Trace.Int instr.Instrument.passes);
+          ("workers", Trace.Int ctx.workers);
+        ];
     remaining :=
       List.filter
         (fun cid -> Hashtbl.mem evicted_any cid)

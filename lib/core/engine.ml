@@ -3,6 +3,9 @@ module Eval = X3_pattern.Eval
 module Witness = X3_pattern.Witness
 module Lattice = X3_lattice.Lattice
 module Store = X3_xdb.Store
+module Trace = X3_obs.Trace
+module Stats = X3_storage.Stats
+module Buffer_pool = X3_storage.Buffer_pool
 
 type comparison = Eq | Neq | Lt | Le | Gt | Ge
 
@@ -86,20 +89,23 @@ let measure_fn store spec =
             v)
 
 let prepare ~pool ~store spec =
-  let lattice = Lattice.build spec.axes in
-  let keep =
-    match spec.filters with
-    | [] -> None
-    | filters ->
-        Some
-          (fun fact ->
-            List.for_all (fun f -> filter_holds store f ~fact) filters)
-  in
-  let table =
-    Eval.build_table ?keep pool store ~fact_path:spec.fact_path
-      ~axes:spec.axes
-  in
-  { spec; table; lattice; measure = measure_fn store spec }
+  Trace.with_span "cube.materialise"
+    ~attrs:[ ("axes", Trace.Int (Array.length spec.axes)) ]
+    (fun () ->
+      let lattice = Lattice.build spec.axes in
+      let keep =
+        match spec.filters with
+        | [] -> None
+        | filters ->
+            Some
+              (fun fact ->
+                List.for_all (fun f -> filter_holds store f ~fact) filters)
+      in
+      let table =
+        Eval.build_table ?keep pool store ~fact_path:spec.fact_path
+          ~axes:spec.axes
+      in
+      { spec; table; lattice; measure = measure_fn store spec })
 
 let spec_of p = p.spec
 let table p = p.table
@@ -176,9 +182,39 @@ let dispatch ?props prepared ctx algorithm =
   | Tdoptall -> Topdown.compute ~variant:`OptAll ctx
   | Tdcust -> Topdown.compute ~variant:(`Custom props) ctx
 
+let cuboid_label prepared cid =
+  X3_lattice.Render.cuboid_pattern ~fact_tag:(fact_tag prepared.spec)
+    (Lattice.axes prepared.lattice)
+    (Lattice.cuboid prepared.lattice cid)
+
+(* One instant per cuboid after the compute finishes, labelling each with
+   its relaxation pattern and final cell count — the trace-side companion
+   of the per-cuboid compute spans, and what `x3 explain` joins against. *)
+let trace_cuboid_cells prepared result =
+  if Trace.enabled () then
+    Array.iter
+      (fun cid ->
+        Trace.instant "cuboid.cells"
+          ~attrs:
+            [
+              ("cuboid", Trace.Int cid);
+              ("cells", Trace.Int (Cube_result.cuboid_size result cid));
+              ("label", Trace.Str (cuboid_label prepared cid));
+            ])
+      (Lattice.by_degree prepared.lattice)
+
 let run ?props ?config ?workers prepared algorithm =
   let ctx = make_context ?config ?workers prepared in
-  let result = dispatch ?props prepared ctx algorithm in
+  let result =
+    Trace.with_span "cube.compute"
+      ~attrs:
+        [
+          ("algorithm", Trace.Str (algorithm_to_string algorithm));
+          ("workers", Trace.Int (Context.workers ctx));
+        ]
+      (fun () -> dispatch ?props prepared ctx algorithm)
+  in
+  trace_cuboid_cells prepared result;
   (result, ctx.Context.instr)
 
 (* --- graceful degradation ----------------------------------------------- *)
@@ -215,15 +251,42 @@ let classify = function
   | Sys_error msg -> Some (`Transient msg)
   | _ -> None
 
+type run_stats = {
+  io : Stats.t;
+  mutable peak_bytes : int;
+  mutable attempts : int;
+}
+
+let fresh_run_stats () =
+  { io = Stats.create (); peak_bytes = 0; attempts = 0 }
+
+(* Pool and disk counters live in separate Stats records; a query-scoped
+   view wants both, summed. *)
+let substrate_snapshot pool =
+  let s = Stats.create () in
+  Stats.add s (Buffer_pool.stats pool);
+  Stats.add s (X3_storage.Disk.stats (Buffer_pool.disk pool));
+  s
+
 let run_safe ?props ?config ?workers ?deadline ?cancel ?(retries = 2)
     ?(backoff = 0.01) ?governor ?max_bytes ?admission ?admission_timeout
-    prepared algorithm =
+    ?stats prepared algorithm =
   if retries < 0 then invalid_arg "Engine.run_safe: negative retries";
   (* One absolute deadline across all attempts — retrying must not extend
      the caller's budget. *)
   let deadline_at = Option.map (fun s -> Unix.gettimeofday () +. s) deadline in
   let governed = governor <> None || max_bytes <> None in
+  let record_attempt () =
+    Option.iter (fun st -> st.attempts <- st.attempts + 1) stats
+  in
+  let record_peak account =
+    match (stats, account) with
+    | Some st, Some acc ->
+        st.peak_bytes <- max st.peak_bytes (Governor.account_peak acc)
+    | _ -> ()
+  in
   let rec attempt n =
+    record_attempt ();
     (* Fresh account per attempt: a failed attempt's reservations must not
        starve its own retry. *)
     let account =
@@ -231,19 +294,32 @@ let run_safe ?props ?config ?workers ?deadline ?cancel ?(retries = 2)
       else None
     in
     let finish outcome =
+      record_peak account;
       Option.iter Governor.close account;
       outcome
     in
     let ctx = make_context ?config ?workers ?account prepared in
     Option.iter (Context.set_deadline_at ctx) deadline_at;
     Option.iter (Context.set_cancel_hook ctx) cancel;
-    match dispatch ?props prepared ctx algorithm with
+    let compute () =
+      Trace.with_span "cube.compute"
+        ~attrs:
+          [
+            ("algorithm", Trace.Str (algorithm_to_string algorithm));
+            ("workers", Trace.Int (Context.workers ctx));
+            ("attempt", Trace.Int n);
+          ]
+        (fun () -> dispatch ?props prepared ctx algorithm)
+    in
+    match compute () with
     | result ->
+        trace_cuboid_cells prepared result;
         finish
           (match Context.stopped ctx with
           | Some reason -> Partial (reason, result, ctx.Context.instr)
           | None -> Complete (result, ctx.Context.instr))
     | exception e -> (
+        record_peak account;
         Option.iter Governor.close account;
         match classify e with
         | None -> raise e
@@ -256,16 +332,36 @@ let run_safe ?props ?config ?workers ?deadline ?cancel ?(retries = 2)
             in
             if n >= retries || out_of_time then Failed (Io_fault msg)
             else begin
+              Trace.instant "engine.retry"
+                ~attrs:
+                  [
+                    ("attempt", Trace.Int (n + 1));
+                    ("reason", Trace.Str msg);
+                    ("backoff", Trace.Float (backoff *. Float.of_int (1 lsl n)));
+                  ];
               Unix.sleepf (backoff *. Float.of_int (1 lsl n));
               attempt (n + 1)
             end)
   in
-  match admission with
-  | None -> attempt 0
-  | Some door -> (
-      match Governor.Admission.admit ?max_wait:admission_timeout door with
-      | Error rejection -> Rejected rejection
-      | Ok () ->
-          Fun.protect
-            ~finally:(fun () -> Governor.Admission.release door)
-            (fun () -> attempt 0))
+  let io_before =
+    match stats with
+    | None -> None
+    | Some _ -> Some (substrate_snapshot (Witness.pool prepared.table))
+  in
+  let outcome =
+    match admission with
+    | None -> attempt 0
+    | Some door -> (
+        match Governor.Admission.admit ?max_wait:admission_timeout door with
+        | Error rejection -> Rejected rejection
+        | Ok () ->
+            Fun.protect
+              ~finally:(fun () -> Governor.Admission.release door)
+              (fun () -> attempt 0))
+  in
+  (match (stats, io_before) with
+  | Some st, Some before ->
+      let after = substrate_snapshot (Witness.pool prepared.table) in
+      Stats.add st.io (Stats.diff ~later:after ~earlier:before)
+  | _ -> ());
+  outcome

@@ -121,6 +121,27 @@ type outcome =
   | Rejected of Governor.Admission.rejection
       (** shed at the admission door — the query never started *)
 
+type run_stats = {
+  io : X3_storage.Stats.t;
+      (** pool + disk counter deltas attributable to this call (both the
+          witness table's buffer pool and its backing disk, summed) *)
+  mutable peak_bytes : int;
+      (** highest byte reservation across all attempts; 0 when ungoverned *)
+  mutable attempts : int;  (** attempts made, including the successful one *)
+}
+(** Query-attributed substrate counters: pass one to {!run_safe} and it is
+    filled with the {!X3_storage.Stats} delta the call produced — the
+    global counters are monotonic and shared, so attribution works by
+    snapshot/diff around the run. Reusable across calls (deltas
+    accumulate). *)
+
+val fresh_run_stats : unit -> run_stats
+
+val cuboid_label : prepared -> int -> string
+(** The cuboid's relaxed tree pattern (Fig. 3 style), e.g.
+    [publication[.//author[./name]][./year]] — used to label per-cuboid
+    trace events and [x3 explain] rows. *)
+
 val run_safe :
   ?props:X3_lattice.Properties.t ->
   ?config:config ->
@@ -133,6 +154,7 @@ val run_safe :
   ?max_bytes:int ->
   ?admission:Governor.Admission.t ->
   ?admission_timeout:float ->
+  ?stats:run_stats ->
   prepared ->
   algorithm ->
   outcome

@@ -219,9 +219,25 @@ module Admission = struct
             end)
       in
       match decision with
-      | `Admitted -> Ok ()
-      | `Rejected r -> Error r
+      | `Admitted ->
+          X3_obs.Trace.instant "admission.admit"
+            ~attrs:
+              [ ("waited", X3_obs.Trace.Float (Unix.gettimeofday () -. started)) ];
+          Ok ()
+      | `Rejected r ->
+          X3_obs.Trace.instant "admission.reject"
+            ~attrs:
+              [
+                ( "reason",
+                  X3_obs.Trace.Str
+                    (match r with
+                    | Saturated _ -> "saturated"
+                    | Timed_out _ -> "timed_out") );
+                ("waited", X3_obs.Trace.Float (Unix.gettimeofday () -. started));
+              ];
+          Error r
       | `Wait ->
+          if not registered then X3_obs.Trace.instant "admission.wait";
           Unix.sleepf poll_interval;
           loop ~registered:true
     in

@@ -5,6 +5,7 @@ type t = {
   mutable rows_sorted : int;
   mutable passes : int;
   mutable peak_counters : int;
+  mutable peak_counters_worker_max : int;
   mutable rollups : int;
   mutable base_computations : int;
   mutable dedup_tracked : int;
@@ -20,6 +21,7 @@ let create () =
     rows_sorted = 0;
     passes = 0;
     peak_counters = 0;
+    peak_counters_worker_max = 0;
     rollups = 0;
     base_computations = 0;
     dedup_tracked = 0;
@@ -34,8 +36,13 @@ let merge ~into t =
   into.rows_sorted <- into.rows_sorted + t.rows_sorted;
   into.passes <- into.passes + t.passes;
   (* Workers run concurrently, so their peaks coexist: the session peak is
-     the sum of per-worker peaks (an upper bound on the true instant). *)
+     the sum of per-worker peaks (an upper bound on the true instant). The
+     largest single worker's peak survives separately so a report can show
+     both the session bound and the per-worker footprint. *)
   into.peak_counters <- into.peak_counters + t.peak_counters;
+  into.peak_counters_worker_max <-
+    max into.peak_counters_worker_max
+      (max t.peak_counters_worker_max t.peak_counters);
   into.rollups <- into.rollups + t.rollups;
   into.base_computations <- into.base_computations + t.base_computations;
   into.dedup_tracked <- into.dedup_tracked + t.dedup_tracked;
@@ -48,4 +55,6 @@ let pp ppf t =
      rollups=%d base=%d dedup=%d keys=%d dict=%d@]"
     t.table_scans t.rows_scanned t.sort_ops t.rows_sorted t.passes
     t.peak_counters t.rollups t.base_computations t.dedup_tracked t.keys_built
-    t.dict_size
+    t.dict_size;
+  if t.peak_counters_worker_max > 0 then
+    Format.fprintf ppf "@ @[<h>peak-per-worker=%d@]" t.peak_counters_worker_max

@@ -13,6 +13,10 @@ type t = {
   mutable rows_sorted : int;
   mutable passes : int;  (** COUNTER memory passes *)
   mutable peak_counters : int;  (** max simultaneously-live group counters *)
+  mutable peak_counters_worker_max : int;
+      (** after a parallel merge: the largest single worker's peak (while
+          [peak_counters] holds the sum of per-worker peaks); [0] until a
+          merge happens *)
   mutable rollups : int;  (** cuboids computed from a finer cuboid's cells *)
   mutable base_computations : int;  (** cuboids computed from base data *)
   mutable dedup_tracked : int;  (** fact ids tracked for duplicate removal *)
@@ -26,6 +30,8 @@ val merge : into:t -> t -> unit
 (** Fold one worker's counters into the session counters: everything sums
     except [dict_size] (a property of the table, merged by [max]).
     [peak_counters] also sums — concurrent workers' peaks coexist, so the
-    sum is the session's simultaneous-counter bound. *)
+    sum is the session's simultaneous-counter bound — while
+    [peak_counters_worker_max] keeps the largest single contribution so
+    reports can show both. *)
 
 val pp : Format.formatter -> t -> unit

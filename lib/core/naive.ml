@@ -24,6 +24,7 @@ let compute_sequential (ctx : Context.t) =
   (* A requested stop surfaces here, between blocks: completed blocks'
      cells stand, and the engine reports the result partial. *)
   try
+    X3_obs.Trace.with_span "naive.aggregate" (fun () ->
     Context.scan_blocks ctx (fun block ->
       match block with
       | [] -> ()
@@ -47,7 +48,7 @@ let compute_sequential (ctx : Context.t) =
                   end)
                 block)
             cuboids;
-          book_result ());
+          book_result ()));
     result
   with Context.Stop _ -> result
 
@@ -106,26 +107,29 @@ let compute_parallel (ctx : Context.t) =
      booking stops the merge at a cuboid boundary, so the partial result
      holds only complete cuboids. *)
   let governed = not (Governor.is_unbounded (Context.account ctx)) in
-  Array.iteri
-    (fun i cid ->
-      if governed then begin
-        let cells =
-          Array.fold_left
-            (fun acc w -> acc + Group_key.Tbl.length w.partials.(i))
-            0 states
-        in
-        Context.reserve ctx (cells * Governor.counter_cost)
-      end;
-      Array.iter
-        (fun w ->
-          Group_key.Tbl.iter
-            (fun key cell ->
-              Aggregate.merge
-                ~into:(Cube_result.cell result ~cuboid:cid ~key)
-                cell)
-            w.partials.(i))
-        states)
-    ids;
+  X3_obs.Trace.with_span "naive.merge"
+    ~attrs:[ ("workers", X3_obs.Trace.Int (Array.length states)) ]
+    (fun () ->
+      Array.iteri
+        (fun i cid ->
+          if governed then begin
+            let cells =
+              Array.fold_left
+                (fun acc w -> acc + Group_key.Tbl.length w.partials.(i))
+                0 states
+            in
+            Context.reserve ctx (cells * Governor.counter_cost)
+          end;
+          Array.iter
+            (fun w ->
+              Group_key.Tbl.iter
+                (fun key cell ->
+                  Aggregate.merge
+                    ~into:(Cube_result.cell result ~cuboid:cid ~key)
+                    cell)
+                w.partials.(i))
+            states)
+        ids);
     result
   with Context.Stop _ -> result
 

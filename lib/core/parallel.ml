@@ -31,12 +31,19 @@ let run ~workers ~tasks ~init ~body =
   end
   else begin
     let work w () =
-      let state = init w in
       let lo, hi = chunk ~workers ~tasks w in
-      for i = lo to hi do
-        body state i
-      done;
-      state
+      X3_obs.Trace.with_span "worker"
+        ~attrs:
+          [
+            ("worker", X3_obs.Trace.Int w);
+            ("tasks", X3_obs.Trace.Int (hi - lo + 1));
+          ]
+        (fun () ->
+          let state = init w in
+          for i = lo to hi do
+            body state i
+          done;
+          state)
     in
     let domains =
       Array.init (workers - 1) (fun w -> Domain.spawn (work (w + 1)))

@@ -1,0 +1,75 @@
+module Metrics = X3_obs.Metrics
+module Stats = X3_storage.Stats
+
+(* Name scheme — the partition matters for determinism tests and bench
+   gates, not just taste:
+   - cube.*     algorithm-semantic counters, identical for a fixed
+                (query, algorithm, budget) at any worker count;
+   - profile.*  concurrency-shaped values (peaks, workers, attempts) that
+                legitimately vary with the worker count;
+   - io.*       substrate counters (pool + disk);
+   - latency.*  wall-clock histograms — never deterministic. *)
+
+let count m name v = Metrics.inc (Metrics.counter m name) ~by:v
+let set m name v = Metrics.set (Metrics.gauge m name) v
+
+let add_instr m (i : Instrument.t) =
+  count m "cube.table_scans" i.Instrument.table_scans;
+  count m "cube.rows_scanned" i.Instrument.rows_scanned;
+  count m "cube.sort_ops" i.Instrument.sort_ops;
+  count m "cube.rows_sorted" i.Instrument.rows_sorted;
+  count m "cube.passes" i.Instrument.passes;
+  count m "cube.rollups" i.Instrument.rollups;
+  count m "cube.base_computations" i.Instrument.base_computations;
+  count m "cube.dedup_tracked" i.Instrument.dedup_tracked;
+  count m "cube.keys_built" i.Instrument.keys_built;
+  set m "cube.dict_size" i.Instrument.dict_size;
+  set m "profile.peak_counters_sum" i.Instrument.peak_counters;
+  set m "profile.peak_counters_worker_max" i.Instrument.peak_counters_worker_max
+
+let add_io m (s : Stats.t) =
+  count m "io.page_reads" s.Stats.page_reads;
+  count m "io.page_writes" s.Stats.page_writes;
+  count m "io.pages_allocated" s.Stats.pages_allocated;
+  count m "io.pages_freed" s.Stats.pages_freed;
+  count m "io.pool_hits" s.Stats.pool_hits;
+  count m "io.pool_misses" s.Stats.pool_misses;
+  count m "io.evictions" s.Stats.evictions;
+  count m "io.syncs" s.Stats.syncs;
+  count m "io.sort_runs" s.Stats.sort_runs;
+  count m "io.merge_passes" s.Stats.merge_passes;
+  count m "io.records_sorted" s.Stats.records_sorted
+
+let add_result m result =
+  set m "cube.cells" (Cube_result.total_cells result);
+  set m "cube.cuboids"
+    (X3_lattice.Lattice.size (Cube_result.lattice result))
+
+let add_run m (rs : Engine.run_stats) =
+  add_io m rs.Engine.io;
+  set m "profile.peak_bytes" rs.Engine.peak_bytes;
+  count m "profile.attempts" rs.Engine.attempts
+
+let observe_phase m name seconds =
+  Metrics.observe (Metrics.histogram m ("latency.phase." ^ name)) seconds
+
+let observe_algorithm m algorithm seconds =
+  Metrics.observe
+    (Metrics.histogram m ("latency.algorithm." ^ algorithm))
+    seconds
+
+let build ?instr ?io ?result ?run ?workers ?(phases = []) ?algorithm () =
+  let m = Metrics.create () in
+  Option.iter (add_instr m) instr;
+  Option.iter (add_io m) io;
+  Option.iter (add_result m) result;
+  Option.iter (add_run m) run;
+  Option.iter (fun w -> set m "profile.workers" w) workers;
+  List.iter (fun (name, seconds) -> observe_phase m name seconds) phases;
+  Option.iter
+    (fun a ->
+      match List.assoc_opt "compute" phases with
+      | Some seconds -> observe_algorithm m a seconds
+      | None -> ())
+    algorithm;
+  m

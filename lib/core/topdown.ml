@@ -7,6 +7,7 @@ module Disk = X3_storage.Disk
 module External_sort = X3_storage.External_sort
 module Heap_file = X3_storage.Heap_file
 module Stats = X3_storage.Stats
+module Trace = X3_obs.Trace
 
 type variant = [ `Plain | `Opt | `OptAll | `Custom of X3_lattice.Properties.t ]
 
@@ -39,8 +40,23 @@ let row_qualifies cuboid row =
    worker-private pool and counters). The sorted run is freed once swept —
    it is a temporary, and leaving it allocated leaked its pages once per
    cuboid per run. *)
+let mode_name = function
+  | `Dedup -> "dedup"
+  | `Raw -> "raw"
+  | `Representative -> "representative"
+
 let compute_from_base (ctx : Context.t) ~instr ~pool ~measure ~iter_rows
     ~budget_records result cid ~mode =
+  let sp =
+    Trace.start "td.base"
+      ~attrs:
+        [ ("cuboid", Trace.Int cid); ("mode", Trace.Str (mode_name mode)) ]
+  in
+  let fed_total = ref 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.finish sp ~attrs:[ ("rows", Trace.Int !fed_total) ])
+  @@ fun () ->
   let cuboid = Lattice.cuboid ctx.lattice cid in
   instr.Instrument.base_computations <- instr.Instrument.base_computations + 1;
   instr.Instrument.sort_ops <- instr.Instrument.sort_ops + 1;
@@ -71,6 +87,7 @@ let compute_from_base (ctx : Context.t) ~instr ~pool ~measure ~iter_rows
             end))
   in
   instr.Instrument.rows_sorted <- instr.Instrument.rows_sorted + !fed;
+  fed_total := !fed;
   (* One sweep: group boundaries on key change (the run is key-sorted, so
      the group's cell is carried across records rather than looked up per
      record); duplicate facts are consecutive within a group. *)
@@ -106,14 +123,17 @@ let compute_from_base (ctx : Context.t) ~instr ~pool ~measure ~iter_rows
    sound when the (finer -> coarser) edge is covered and the finer cuboid
    is disjoint — the caller is responsible for that judgement. *)
 let rollup (ctx : Context.t) result ~finer ~coarser =
-  let instr = ctx.instr in
-  instr.Instrument.rollups <- instr.Instrument.rollups + 1;
-  let coarse = Lattice.cuboid ctx.lattice coarser in
-  Cube_result.iter_cuboid result finer (fun key cell ->
-      let key' = Group_key.project ctx.layout ~to_:coarse key in
-      Aggregate.merge
-        ~into:(Cube_result.cell result ~cuboid:coarser ~key:key')
-        cell)
+  Trace.with_span "td.rollup"
+    ~attrs:[ ("cuboid", Trace.Int coarser); ("from", Trace.Int finer) ]
+    (fun () ->
+      let instr = ctx.instr in
+      instr.Instrument.rollups <- instr.Instrument.rollups + 1;
+      let coarse = Lattice.cuboid ctx.lattice coarser in
+      Cube_result.iter_cuboid result finer (fun key cell ->
+          let key' = Group_key.project ctx.layout ~to_:coarse key in
+          Aggregate.merge
+            ~into:(Cube_result.cell result ~cuboid:coarser ~key:key')
+            cell))
 
 type worker = { instr : Instrument.t; pool : Buffer_pool.t }
 

@@ -1,0 +1,184 @@
+(* Exporters: Chrome trace_event JSON, Prometheus text exposition, and the
+   x3-metrics/1 JSON document shared by `x3 cube --metrics` and the bench
+   harness. All output funnels through {!Json} so equal inputs produce
+   byte-equal artefacts. *)
+
+let value_to_json : Trace.value -> Json.t = function
+  | Trace.Int i -> Json.Int i
+  | Trace.Float f -> Json.Float f
+  | Trace.Str s -> Json.Str s
+  | Trace.Bool b -> Json.Bool b
+
+let args_of_attrs attrs =
+  Json.Obj (List.map (fun (k, v) -> (k, value_to_json v)) attrs)
+
+(* Chrome's trace viewer wants integer-ish microsecond timestamps; rebase
+   on the earliest event so a trace taken hours into a process still loads
+   with sensible numbers. *)
+let chrome_trace rings =
+  let t0 =
+    List.fold_left
+      (fun acc (r : Trace.ring) ->
+        List.fold_left
+          (fun acc (e : Trace.event) ->
+            let acc = Float.min acc e.ts in
+            match e.phase with
+            | Trace.Complete start -> Float.min acc start
+            | _ -> acc)
+          acc r.events)
+      Float.infinity rings
+  in
+  let t0 = if Float.is_finite t0 then t0 else 0. in
+  let us t = Json.Float (Float.round ((t -. t0) *. 1e7) /. 10.) in
+  let common name ph tid ts rest =
+    Json.Obj
+      ([
+         ("name", Json.Str name);
+         ("ph", Json.Str ph);
+         ("pid", Json.Int 1);
+         ("tid", Json.Int tid);
+         ("ts", us ts);
+       ]
+      @ rest)
+  in
+  let event_json tid (e : Trace.event) =
+    let args =
+      args_of_attrs
+        (e.attrs
+        @ (if e.span <> 0 then [ ("span_id", Trace.Int e.span) ] else [])
+        @ if e.parent <> 0 then [ ("parent_id", Trace.Int e.parent) ] else [])
+    in
+    match e.phase with
+    | Trace.Begin -> common e.name "B" tid e.ts [ ("args", args) ]
+    | Trace.End -> common e.name "E" tid e.ts [ ("args", args) ]
+    | Trace.Complete start ->
+        common e.name "X" tid start
+          [
+            ( "dur",
+              Json.Float (Float.round ((e.ts -. start) *. 1e7) /. 10.) );
+            ("args", args);
+          ]
+    | Trace.Instant ->
+        common e.name "i" tid e.ts [ ("s", Json.Str "t"); ("args", args) ]
+  in
+  let track (r : Trace.ring) =
+    let meta =
+      Json.Obj
+        [
+          ("name", Json.Str "thread_name");
+          ("ph", Json.Str "M");
+          ("pid", Json.Int 1);
+          ("tid", Json.Int r.ring_domain);
+          ( "args",
+            Json.Obj
+              [
+                ( "name",
+                  Json.Str
+                    (if r.ring_domain = 0 then "domain 0 (coordinator)"
+                     else Printf.sprintf "domain %d" r.ring_domain) );
+              ] );
+        ]
+    in
+    meta :: List.map (event_json r.ring_domain) r.events
+  in
+  let dropped =
+    List.filter_map
+      (fun (r : Trace.ring) ->
+        if r.ring_dropped > 0 then
+          Some (string_of_int r.ring_domain, Json.Int r.ring_dropped)
+        else None)
+      rings
+  in
+  Json.Obj
+    ([
+       ("traceEvents", Json.Arr (List.concat_map track rings));
+       ("displayTimeUnit", Json.Str "ms");
+     ]
+    @
+    if dropped = [] then []
+    else [ ("x3_dropped_events", Json.Obj dropped) ])
+
+(* ---- Prometheus text exposition ---- *)
+
+let sanitize name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> ()
+      | _ -> Bytes.set b i '_')
+    b;
+  "x3_" ^ Bytes.to_string b
+
+let prom_float f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.12g" f
+
+let prometheus snapshot =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let n = sanitize name in
+      match (v : Metrics.value) with
+      | Metrics.Counter c ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" n);
+          Buffer.add_string buf (Printf.sprintf "%s %d\n" n c)
+      | Metrics.Gauge g ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" n);
+          Buffer.add_string buf (Printf.sprintf "%s %d\n" n g)
+      | Metrics.Histogram { bounds; counts; count; sum } ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" n);
+          let cum = ref 0 in
+          Array.iteri
+            (fun i c ->
+              cum := !cum + c;
+              if i < Array.length bounds then
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n
+                     (prom_float bounds.(i)) !cum)
+              else
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n !cum))
+            counts;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum %s\n" n (prom_float sum));
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n count))
+    snapshot;
+  Buffer.contents buf
+
+(* ---- x3-metrics/1: the one schema for --metrics and BENCH_*.json ---- *)
+
+let schema_version = "x3-metrics/1"
+
+let metric_json (v : Metrics.value) =
+  match v with
+  | Metrics.Counter c ->
+      Json.Obj [ ("type", Json.Str "counter"); ("value", Json.Int c) ]
+  | Metrics.Gauge g ->
+      Json.Obj [ ("type", Json.Str "gauge"); ("value", Json.Int g) ]
+  | Metrics.Histogram { bounds; counts; count; sum } ->
+      Json.Obj
+        [
+          ("type", Json.Str "histogram");
+          ( "bounds",
+            Json.Arr (Array.to_list (Array.map (fun b -> Json.Float b) bounds))
+          );
+          ( "counts",
+            Json.Arr (Array.to_list (Array.map (fun c -> Json.Int c) counts))
+          );
+          ("count", Json.Int count);
+          ("sum", Json.Float sum);
+        ]
+
+let metrics_json ?(meta = []) snapshot =
+  Json.Obj
+    [
+      ("schema", Json.Str schema_version);
+      ("meta", Json.Obj meta);
+      ( "metrics",
+        Json.Obj (List.map (fun (name, v) -> (name, metric_json v)) snapshot)
+      );
+    ]

@@ -1,0 +1,27 @@
+(** Exporters for traces and metric snapshots.
+
+    Everything funnels through {!Json}, so equal inputs produce byte-equal
+    output — the property the bench harness and the determinism tests rely
+    on. *)
+
+val chrome_trace : Trace.ring list -> Json.t
+(** A Chrome [trace_event]-format document (load in [chrome://tracing] or
+    [ui.perfetto.dev]). One track per domain ([tid] = domain id, named via
+    [thread_name] metadata); timestamps are microseconds rebased on the
+    earliest event; dropped-event counts, if any, appear under a top-level
+    ["x3_dropped_events"] object. *)
+
+val prometheus : (string * Metrics.value) list -> string
+(** Prometheus text exposition of a {!Metrics.snapshot}. Metric names are
+    sanitized ([.] → [_]) and prefixed with [x3_]; histograms emit
+    cumulative [_bucket{le=...}] series plus [_sum] and [_count]. *)
+
+val schema_version : string
+(** ["x3-metrics/1"] — stamped into every metrics document. *)
+
+val metrics_json :
+  ?meta:(string * Json.t) list -> (string * Metrics.value) list -> Json.t
+(** The shared metrics document:
+    [{"schema": "x3-metrics/1", "meta": {...}, "metrics": {name: ...}}].
+    Both [x3 cube --metrics FILE] and the bench harness's [BENCH_*.json]
+    emit this shape. *)

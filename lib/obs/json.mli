@@ -1,0 +1,22 @@
+(** A minimal JSON document builder.
+
+    One encoder for every machine-readable artefact the engine emits —
+    Chrome traces, metrics documents, bench results — so they all share
+    escaping, float formatting and layout instead of each hand-rolling
+    [Printf] into a [Buffer]. Field order is preserved as given;
+    deterministic inputs produce byte-identical documents. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** NaN/infinity render as [null] *)
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Render the document; [pretty] (default [true]) uses 2-space indent and
+    one field per line. A trailing newline is appended when pretty. *)
+
+val to_file : ?pretty:bool -> string -> t -> unit

@@ -1,0 +1,234 @@
+(* Query-scoped tracing over per-domain ring buffers.
+
+   Design constraints, in order:
+   - off must be free: every probe is guarded by one atomic load, and the
+     off path allocates nothing;
+   - on must be cheap from worker domains: each domain writes its own ring
+     (created lazily through DLS, registered once under a mutex), so the
+     hot path takes no lock and shares no cache line with other writers;
+   - overflow must be survivable: a full ring drops its oldest event and
+     counts the drop, so a verbose run degrades to a truncated trace
+     instead of unbounded memory.
+
+   Rings are read by {!dump} on the coordinating domain after workers have
+   joined (the engine's parallel paths join every domain before returning),
+   so reads never race writes. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+type attr = string * value
+
+type phase = Begin | End | Complete of float | Instant
+
+type event = {
+  name : string;
+  phase : phase;
+  ts : float;
+  span : int;
+  parent : int;
+  domain : int;
+  attrs : attr list;
+}
+
+let null_event =
+  { name = ""; phase = Instant; ts = 0.; span = 0; parent = 0; domain = 0; attrs = [] }
+
+type rb = {
+  rb_domain : int;
+  mutable buf : event array;
+  mutable cap : int;
+  mutable next : int;  (* write cursor *)
+  mutable count : int;
+  mutable dropped : int;
+  mutable stack : (int * string) list;  (* open spans, innermost first *)
+  mutable rb_gen : int;
+}
+
+let enabled_flag = Atomic.make false
+let generation = Atomic.make 0
+let configured_ring = Atomic.make 65536
+let span_ids = Atomic.make 0
+let registry_lock = Mutex.create ()
+let registry : rb list ref = ref []
+
+let enabled () = Atomic.get enabled_flag
+
+let dls_key : rb Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        rb_domain = (Domain.self () :> int);
+        buf = [||];
+        cap = 0;
+        next = 0;
+        count = 0;
+        dropped = 0;
+        stack = [];
+        rb_gen = -1;
+      })
+
+(* The current domain's ring, (re)initialised and registered when the
+   global generation has moved on (enable/reset). *)
+let get_rb () =
+  let rb = Domain.DLS.get dls_key in
+  let gen = Atomic.get generation in
+  if rb.rb_gen <> gen then begin
+    rb.cap <- Atomic.get configured_ring;
+    rb.buf <- Array.make rb.cap null_event;
+    rb.next <- 0;
+    rb.count <- 0;
+    rb.dropped <- 0;
+    rb.stack <- [];
+    rb.rb_gen <- gen;
+    Mutex.lock registry_lock;
+    registry := rb :: !registry;
+    Mutex.unlock registry_lock
+  end;
+  rb
+
+let push rb e =
+  if rb.count = rb.cap then begin
+    (* Full: overwrite the oldest event (at [next]) and count the drop. *)
+    rb.dropped <- rb.dropped + 1;
+    rb.buf.(rb.next) <- e;
+    rb.next <- (rb.next + 1) mod rb.cap
+  end
+  else begin
+    rb.buf.(rb.next) <- e;
+    rb.next <- (rb.next + 1) mod rb.cap;
+    rb.count <- rb.count + 1
+  end
+
+let now () = Unix.gettimeofday ()
+
+type span = int
+
+let null_span = 0
+
+let parent_of rb = match rb.stack with (p, _) :: _ -> p | [] -> 0
+
+let instant ?(attrs = []) name =
+  if enabled () then begin
+    let rb = get_rb () in
+    push rb
+      {
+        name;
+        phase = Instant;
+        ts = now ();
+        span = 0;
+        parent = parent_of rb;
+        domain = rb.rb_domain;
+        attrs;
+      }
+  end
+
+let start ?(attrs = []) name =
+  if not (enabled ()) then null_span
+  else begin
+    let rb = get_rb () in
+    let id = 1 + Atomic.fetch_and_add span_ids 1 in
+    push rb
+      {
+        name;
+        phase = Begin;
+        ts = now ();
+        span = id;
+        parent = parent_of rb;
+        domain = rb.rb_domain;
+        attrs;
+      };
+    rb.stack <- (id, name) :: rb.stack;
+    id
+  end
+
+let finish ?(attrs = []) span =
+  if span <> null_span && enabled () then begin
+    let rb = get_rb () in
+    let name = ref "" in
+    (match rb.stack with
+    | (s, n) :: rest when s = span ->
+        name := n;
+        rb.stack <- rest
+    | stack ->
+        (* Tolerate out-of-order closes (an exception skipped a finish):
+           drop the span wherever it sits so the stack stays sane. *)
+        rb.stack <-
+          List.filter
+            (fun (s, n) ->
+              if s = span then name := n;
+              s <> span)
+            stack);
+    push rb
+      {
+        name = !name;
+        phase = End;
+        ts = now ();
+        span;
+        parent = 0;
+        domain = rb.rb_domain;
+        attrs;
+      }
+  end
+
+let with_span ?attrs name f =
+  if not (enabled ()) then f ()
+  else begin
+    let s = start ?attrs name in
+    match f () with
+    | v ->
+        finish s;
+        v
+    | exception e ->
+        finish s ~attrs:[ ("error", Bool true) ];
+        raise e
+  end
+
+let complete ?(attrs = []) ~start:ts0 name =
+  if enabled () then begin
+    let rb = get_rb () in
+    let id = 1 + Atomic.fetch_and_add span_ids 1 in
+    push rb
+      {
+        name;
+        phase = Complete ts0;
+        ts = now ();
+        span = id;
+        parent = parent_of rb;
+        domain = rb.rb_domain;
+        attrs;
+      }
+  end
+
+let reset () =
+  Mutex.lock registry_lock;
+  registry := [];
+  Mutex.unlock registry_lock;
+  Atomic.incr generation
+
+let enable ?ring_size () =
+  (match ring_size with
+  | Some n ->
+      if n < 2 then invalid_arg "Trace.enable: ring must hold at least 2 events";
+      Atomic.set configured_ring n
+  | None -> ());
+  reset ();
+  Atomic.set enabled_flag true
+
+let disable () = Atomic.set enabled_flag false
+
+type ring = { ring_domain : int; events : event list; ring_dropped : int }
+
+let dump () =
+  Mutex.lock registry_lock;
+  let rbs = !registry in
+  Mutex.unlock registry_lock;
+  List.sort
+    (fun a b -> compare a.ring_domain b.ring_domain)
+    (List.map
+       (fun rb ->
+         let oldest = if rb.count = rb.cap then rb.next else 0 in
+         {
+           ring_domain = rb.rb_domain;
+           events =
+             List.init rb.count (fun i -> rb.buf.((oldest + i) mod rb.cap));
+           ring_dropped = rb.dropped;
+         })
+       rbs)

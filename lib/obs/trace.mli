@@ -1,0 +1,79 @@
+(** Query-scoped tracing: per-domain ring buffers of span events.
+
+    Probes are sprinkled through the engine at its natural seams (parse,
+    compile, materialise, per-cuboid compute, sort runs, governor and
+    admission decisions). With tracing {e disabled} — the default — every
+    probe is one atomic load and no allocation; {!with_span} simply calls
+    its thunk. With tracing enabled, each domain appends events to its own
+    fixed-size ring (no locks, no shared cache lines on the hot path); a
+    full ring drops its oldest event and counts the drop.
+
+    {!dump} must only be called when no worker domain is mid-write — the
+    engine's parallel paths join every worker before returning, so dumping
+    between queries is safe. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+type attr = string * value
+
+type phase =
+  | Begin
+  | End
+  | Complete of float  (** a span emitted at once; payload = start time *)
+  | Instant
+
+type event = {
+  name : string;  (** empty on [End] events whose span was force-closed *)
+  phase : phase;
+  ts : float;  (** [Unix.gettimeofday] at emission *)
+  span : int;  (** span id; 0 for instants *)
+  parent : int;  (** enclosing open span in the same domain; 0 = root *)
+  domain : int;  (** the emitting domain's id — one trace track each *)
+  attrs : attr list;
+}
+
+val enabled : unit -> bool
+
+val enable : ?ring_size:int -> unit -> unit
+(** Turn tracing on, clearing previous rings. [ring_size] (default 65536
+    events, min 2) bounds each domain's memory. *)
+
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Drop all buffered events and forget every ring (they re-register on
+    next use); the enabled flag is untouched. Call between queries to scope
+    a trace to one run. *)
+
+val now : unit -> float
+
+type span
+
+val null_span : span
+
+val start : ?attrs:attr list -> string -> span
+(** Open a span on the calling domain. Returns {!null_span} when tracing is
+    off; {!finish} on {!null_span} is a no-op. *)
+
+val finish : ?attrs:attr list -> span -> unit
+
+val with_span : ?attrs:attr list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span; an escaping exception closes
+    the span with an [error] attribute and re-raises. *)
+
+val instant : ?attrs:attr list -> string -> unit
+(** A point event (admission decision, eviction, retry, ...). *)
+
+val complete : ?attrs:attr list -> start:float -> string -> unit
+(** Emit a whole span at once, for work whose begin time is only known to
+    be interesting in hindsight (e.g. "this cuboid completed during the
+    pass that started at [start]"). *)
+
+type ring = {
+  ring_domain : int;
+  events : event list;  (** oldest first *)
+  ring_dropped : int;  (** events overwritten after the ring filled *)
+}
+
+val dump : unit -> ring list
+(** Snapshot every ring, sorted by domain id. Caller must ensure no worker
+    domain is concurrently writing (join workers first). *)

@@ -147,5 +147,9 @@ let compile_exn ast =
   match compile ast with Ok c -> c | Error msg -> failwith msg
 
 let parse_and_compile src =
-  let* ast = Parser.parse src in
-  compile ast
+  let* ast =
+    X3_obs.Trace.with_span "query.parse"
+      ~attrs:[ ("bytes", X3_obs.Trace.Int (String.length src)) ]
+      (fun () -> Parser.parse src)
+  in
+  X3_obs.Trace.with_span "query.compile" (fun () -> compile ast)

@@ -1,15 +1,18 @@
+module Trace = X3_obs.Trace
+
 let default_fanout = 64
 
 let stats_of pool = Buffer_pool.stats pool
 
 let spill_run ~pool ~compare buffer size =
-  Quicksort.sort_sub ~compare buffer ~pos:0 ~len:size;
-  let run = Heap_file.create pool in
-  for i = 0 to size - 1 do
-    Heap_file.append run buffer.(i)
-  done;
-  (stats_of pool).sort_runs <- (stats_of pool).sort_runs + 1;
-  run
+  Trace.with_span "sort.run" ~attrs:[ ("records", Trace.Int size) ] (fun () ->
+      Quicksort.sort_sub ~compare buffer ~pos:0 ~len:size;
+      let run = Heap_file.create pool in
+      for i = 0 to size - 1 do
+        Heap_file.append run buffer.(i)
+      done;
+      (stats_of pool).sort_runs <- (stats_of pool).sort_runs + 1;
+      run)
 
 (* Merge a batch of sorted runs into one sorted run. *)
 let merge_runs ~pool ~compare runs =
@@ -50,18 +53,25 @@ let rec merge_all ~pool ~compare ~fanout runs =
   | [ only ] -> only
   | _ ->
       (stats_of pool).merge_passes <- (stats_of pool).merge_passes + 1;
-      let rec batches acc current n = function
-        | [] -> List.rev (merge_runs ~pool ~compare (List.rev current) :: acc)
-        | run :: rest ->
-            if n = fanout then
-              batches
-                (merge_runs ~pool ~compare (List.rev current) :: acc)
-                [ run ] 1 rest
-            else batches acc (run :: current) (n + 1) rest
+      let merged =
+        Trace.with_span "sort.merge_pass"
+          ~attrs:[ ("runs", Trace.Int (List.length runs)) ]
+          (fun () ->
+            let rec batches acc current n = function
+              | [] ->
+                  List.rev (merge_runs ~pool ~compare (List.rev current) :: acc)
+              | run :: rest ->
+                  if n = fanout then
+                    batches
+                      (merge_runs ~pool ~compare (List.rev current) :: acc)
+                      [ run ] 1 rest
+                  else batches acc (run :: current) (n + 1) rest
+            in
+            match runs with
+            | first :: rest -> batches [] [ first ] 1 rest
+            | [] -> assert false)
       in
-      (match runs with
-      | first :: rest -> merge_all ~pool ~compare ~fanout (batches [] [ first ] 1 rest)
-      | [] -> assert false)
+      merge_all ~pool ~compare ~fanout merged
 
 let sort_records ~pool ~budget_records ?(fanout = default_fanout) ~compare
     producer =

@@ -53,6 +53,21 @@ let add acc x =
   acc.merge_passes <- acc.merge_passes + x.merge_passes;
   acc.records_sorted <- acc.records_sorted + x.records_sorted
 
+let diff ~later ~earlier =
+  {
+    page_reads = later.page_reads - earlier.page_reads;
+    page_writes = later.page_writes - earlier.page_writes;
+    pages_allocated = later.pages_allocated - earlier.pages_allocated;
+    pages_freed = later.pages_freed - earlier.pages_freed;
+    pool_hits = later.pool_hits - earlier.pool_hits;
+    pool_misses = later.pool_misses - earlier.pool_misses;
+    evictions = later.evictions - earlier.evictions;
+    syncs = later.syncs - earlier.syncs;
+    sort_runs = later.sort_runs - earlier.sort_runs;
+    merge_passes = later.merge_passes - earlier.merge_passes;
+    records_sorted = later.records_sorted - earlier.records_sorted;
+  }
+
 let copy t =
   let c = create () in
   add c t;

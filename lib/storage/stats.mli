@@ -25,4 +25,10 @@ val add : t -> t -> unit
 (** [add acc x] accumulates [x] into [acc]. *)
 
 val copy : t -> t
+
+val diff : later:t -> earlier:t -> t
+(** [diff ~later ~earlier] is the per-field delta — use with two {!copy}
+    snapshots of a live counter to attribute substrate work to the query
+    that ran between them. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,312 @@
+(* The observability layer: the shared JSON encoder, per-domain trace
+   rings (overflow, span nesting over real engine runs), the metrics
+   registry's determinism contract (cube.* byte-identical at 1 vs 2
+   workers for the partition/merge algorithms), the Instrument.merge
+   peak-counter semantics, and the Prometheus / Chrome-trace exporters. *)
+
+open Fixtures
+module Json = X3_obs.Json
+module Trace = X3_obs.Trace
+module Metrics = X3_obs.Metrics
+module Obs_export = X3_obs.Export
+module Engine = X3_core.Engine
+module Instrument = X3_core.Instrument
+module Report = X3_core.Report
+module Treebank = X3_workload.Treebank
+
+(* --- Json --------------------------------------------------------------- *)
+
+let test_json_escaping () =
+  Alcotest.(check string)
+    "quotes, backslashes, control characters"
+    "\"a\\\"b\\\\c\\nd\\te\\u0001f\""
+    (Json.to_string ~pretty:false (Json.Str "a\"b\\c\nd\te\x01f"))
+
+let test_json_floats () =
+  let s v = Json.to_string ~pretty:false (Json.Float v) in
+  Alcotest.(check string) "integral floats keep a decimal point" "2.0" (s 2.0);
+  Alcotest.(check string) "fractions use %.12g" "0.25" (s 0.25);
+  Alcotest.(check string) "nan is null" "null" (s Float.nan);
+  Alcotest.(check string) "infinity is null" "null" (s Float.infinity)
+
+let test_json_deterministic () =
+  let doc =
+    Json.Obj
+      [
+        ("b", Json.Int 1);
+        ("a", Json.Arr [ Json.Bool true; Json.Null; Json.Float 0.5 ]);
+      ]
+  in
+  Alcotest.(check string)
+    "compact form is stable"
+    {|{"b":1,"a":[true,null,0.5]}|}
+    (Json.to_string ~pretty:false doc);
+  Alcotest.(check string)
+    "equal inputs, byte-equal output"
+    (Json.to_string doc) (Json.to_string doc)
+
+(* --- trace rings --------------------------------------------------------- *)
+
+let attr_int e name =
+  match List.assoc_opt name e.Trace.attrs with
+  | Some (Trace.Int i) -> i
+  | _ -> Alcotest.failf "event %s has no int attr %s" e.Trace.name name
+
+let test_ring_overflow_drops_oldest () =
+  Trace.enable ~ring_size:4 ();
+  for i = 1 to 10 do
+    Trace.instant ~attrs:[ ("i", Trace.Int i) ] "tick"
+  done;
+  let rings = Trace.dump () in
+  Trace.disable ();
+  Trace.reset ();
+  let ring =
+    match rings with
+    | [ r ] -> r
+    | rs -> Alcotest.failf "expected one ring, got %d" (List.length rs)
+  in
+  Alcotest.(check int) "ring keeps its capacity" 4
+    (List.length ring.Trace.events);
+  Alcotest.(check int) "drops are counted" 6 ring.Trace.ring_dropped;
+  Alcotest.(check (list int))
+    "oldest events dropped first" [ 7; 8; 9; 10 ]
+    (List.map (fun e -> attr_int e "i") ring.Trace.events)
+
+(* Replay one ring against a span stack: Begin pushes, End must close the
+   innermost open span, and every Begin/Instant/Complete must cite the
+   current innermost span as its parent (0 at the root). A trace that
+   passes loads as properly nested slices in chrome://tracing. *)
+let check_well_formed ring =
+  let stack = ref [] in
+  let top () = match !stack with s :: _ -> s | [] -> 0 in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.phase with
+      | Trace.Begin ->
+          Alcotest.(check int)
+            (Printf.sprintf "parent of span %s" e.Trace.name)
+            (top ()) e.Trace.parent;
+          stack := e.Trace.span :: !stack
+      | Trace.End -> (
+          match !stack with
+          | [] ->
+              Alcotest.failf "End of %s with no open span on domain %d"
+                e.Trace.name e.Trace.domain
+          | s :: rest ->
+              Alcotest.(check int)
+                (Printf.sprintf "End of %s closes the innermost span"
+                   e.Trace.name)
+                s e.Trace.span;
+              stack := rest)
+      | Trace.Instant | Trace.Complete _ ->
+          Alcotest.(check int)
+            (Printf.sprintf "parent of %s" e.Trace.name)
+            (top ()) e.Trace.parent)
+    ring.Trace.events;
+  Alcotest.(check (list int))
+    (Printf.sprintf "every span on domain %d closed" ring.Trace.ring_domain)
+    [] !stack
+
+(* The configured ring size is sticky across [enable] calls, so always
+   state it — the overflow test above shrank it to 4. *)
+let traced_run ~workers algorithm =
+  Trace.enable ~ring_size:65536 ();
+  let p =
+    Engine.prepare ~pool:(small_pool ()) ~store:(figure1_store ())
+      (Engine.count_spec ~fact_path ~axes:(query1_axes ()))
+  in
+  ignore (Engine.run ~workers p algorithm);
+  let rings = Trace.dump () in
+  Trace.disable ();
+  Trace.reset ();
+  rings
+
+let test_span_nesting () =
+  List.iter
+    (fun (algorithm, workers) ->
+      let rings = traced_run ~workers algorithm in
+      Alcotest.(check bool)
+        "the run produced trace events" true
+        (List.exists (fun r -> r.Trace.events <> []) rings);
+      List.iter check_well_formed rings)
+    Engine.[ (Counter, 1); (Counter, 2); (Td, 1); (Td, 2) ]
+
+let test_disabled_tracing_is_silent () =
+  Trace.reset ();
+  Trace.instant "ignored";
+  ignore (Trace.start "ignored");
+  Trace.complete ~start:(Trace.now ()) "ignored";
+  Alcotest.(check (list pass)) "no rings registered while disabled" []
+    (Trace.dump ())
+
+(* --- metrics determinism ------------------------------------------------- *)
+
+let cube_metrics ~store ~spec ~workers algorithm =
+  let p = Engine.prepare ~pool:(small_pool ()) ~store spec in
+  let result, instr = Engine.run ~workers p algorithm in
+  let m = Report.build ~instr ~result ~workers () in
+  List.filter
+    (fun (name, _) -> String.starts_with ~prefix:"cube." name)
+    (Metrics.snapshot m)
+
+(* The determinism contract from the report layer: cube.* is identical for
+   a fixed (query, algorithm) at any worker count for the partition/merge
+   algorithms — worker-shaped values live under profile.* instead. Checked
+   as bytes of the shared metrics document, the same comparison the bench
+   harness relies on. *)
+let check_cube_determinism ~store ~spec =
+  List.iter
+    (fun algorithm ->
+      let doc workers =
+        Json.to_string
+          (Obs_export.metrics_json
+             (cube_metrics ~store ~spec ~workers algorithm))
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "cube.* for %s at 1 vs 2 workers"
+           (Engine.algorithm_to_string algorithm))
+        (doc 1) (doc 2))
+    Engine.[ Naive; Counter ]
+
+let test_cube_metrics_deterministic_figure1 () =
+  check_cube_determinism ~store:(figure1_store ())
+    ~spec:(Engine.count_spec ~fact_path ~axes:(query1_axes ()))
+
+let test_cube_metrics_deterministic_treebank () =
+  let config = { Treebank.default with num_trees = 60; axes = 3 } in
+  check_cube_determinism
+    ~store:(X3_xdb.Store.of_document (Treebank.generate config))
+    ~spec:(Treebank.spec config)
+
+(* --- Instrument.merge peak counters -------------------------------------- *)
+
+let test_merge_peak_counters () =
+  let into = Instrument.create () in
+  let w1 = Instrument.create () and w2 = Instrument.create () in
+  w1.Instrument.peak_counters <- 70;
+  w2.Instrument.peak_counters <- 50;
+  Instrument.merge ~into w1;
+  Instrument.merge ~into w2;
+  Alcotest.(check int)
+    "peak_counters sums coexisting per-worker peaks" 120
+    into.Instrument.peak_counters;
+  Alcotest.(check int)
+    "peak_counters_worker_max keeps the largest single worker" 70
+    into.Instrument.peak_counters_worker_max
+
+let test_merge_peak_zero_before_merge () =
+  let t = Instrument.create () in
+  t.Instrument.peak_counters <- 9;
+  Alcotest.(check int)
+    "worker max stays 0 on an unmerged (sequential) run" 0
+    t.Instrument.peak_counters_worker_max
+
+(* --- exporters ------------------------------------------------------------ *)
+
+let test_prometheus_exposition () =
+  let m = Metrics.create () in
+  Metrics.inc ~by:3 (Metrics.counter m "cube.table_scans");
+  Metrics.set (Metrics.gauge m "profile.workers") 2;
+  let h = Metrics.histogram ~buckets:[| 0.1; 1.0 |] m "latency.phase.parse" in
+  Metrics.observe h 0.05;
+  Metrics.observe h 0.5;
+  Metrics.observe h 5.0;
+  let text = Obs_export.prometheus (Metrics.snapshot m) in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool)
+        (Printf.sprintf "exposition contains %S" line)
+        true
+        (List.mem line (String.split_on_char '\n' text)))
+    [
+      "# TYPE x3_cube_table_scans counter";
+      "x3_cube_table_scans 3";
+      "# TYPE x3_profile_workers gauge";
+      "x3_profile_workers 2";
+      "# TYPE x3_latency_phase_parse histogram";
+      "x3_latency_phase_parse_bucket{le=\"0.1\"} 1";
+      "x3_latency_phase_parse_bucket{le=\"1.0\"} 2";
+      "x3_latency_phase_parse_bucket{le=\"+Inf\"} 3";
+      "x3_latency_phase_parse_sum 5.55";
+      "x3_latency_phase_parse_count 3";
+    ]
+
+let test_chrome_trace_structure () =
+  let rings = traced_run ~workers:2 Engine.Counter in
+  Alcotest.(check bool)
+    "a 2-worker run uses more than one domain" true
+    (List.length rings > 1);
+  let doc = Obs_export.chrome_trace rings in
+  let events =
+    match doc with
+    | Json.Obj fields -> (
+        match List.assoc "traceEvents" fields with
+        | Json.Arr events -> events
+        | _ -> Alcotest.fail "traceEvents is not an array")
+    | _ -> Alcotest.fail "chrome trace is not an object"
+  in
+  let field name = function
+    | Json.Obj fields -> List.assoc_opt name fields
+    | _ -> None
+  in
+  let thread_names =
+    List.filter
+      (fun e -> field "name" e = Some (Json.Str "thread_name"))
+      events
+  in
+  Alcotest.(check int)
+    "one thread_name metadata record per domain"
+    (List.length rings) (List.length thread_names);
+  List.iter
+    (fun e ->
+      (match field "ph" e with
+      | Some (Json.Str ("B" | "E" | "X" | "i" | "M")) -> ()
+      | _ -> Alcotest.fail "unexpected ph");
+      Alcotest.(check bool)
+        "every event carries pid 1" true
+        (field "pid" e = Some (Json.Int 1));
+      (* Metadata records ("M") carry no timestamp; every real event must. *)
+      if field "ph" e <> Some (Json.Str "M") then
+        match field "ts" e with
+        | Some (Json.Float ts) ->
+            Alcotest.(check bool) "timestamps rebased to >= 0" true (ts >= 0.)
+        | _ -> Alcotest.fail "event without a numeric ts")
+    events
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "floats" `Quick test_json_floats;
+          Alcotest.test_case "deterministic" `Quick test_json_deterministic;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring overflow drops oldest" `Quick
+            test_ring_overflow_drops_oldest;
+          Alcotest.test_case "span nesting well-formed" `Quick
+            test_span_nesting;
+          Alcotest.test_case "disabled tracing is silent" `Quick
+            test_disabled_tracing_is_silent;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "cube.* deterministic on figure 1" `Quick
+            test_cube_metrics_deterministic_figure1;
+          Alcotest.test_case "cube.* deterministic on treebank" `Quick
+            test_cube_metrics_deterministic_treebank;
+          Alcotest.test_case "merge sums peaks, keeps worker max" `Quick
+            test_merge_peak_counters;
+          Alcotest.test_case "worker max is 0 before any merge" `Quick
+            test_merge_peak_zero_before_merge;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_prometheus_exposition;
+          Alcotest.test_case "chrome trace structure" `Quick
+            test_chrome_trace_structure;
+        ] );
+    ]
