@@ -41,7 +41,7 @@ let run ppf ~scale =
       let t0 = Unix.gettimeofday () in
       let _, instr =
         Engine.run
-          ~config:{ Engine.counter_budget = budget; sort_budget = 100_000 }
+          ~config:{ Engine.default_config with counter_budget = budget; sort_budget = 100_000 }
           prepared Engine.Counter
       in
       Format.fprintf ppf "  %-16d %10.3f %8d %8d@." budget
@@ -66,7 +66,7 @@ let run ppf ~scale =
       let t0 = Unix.gettimeofday () in
       let _, _ =
         Engine.run
-          ~config:{ Engine.counter_budget = 1_000_000; sort_budget = budget }
+          ~config:{ Engine.default_config with counter_budget = 1_000_000; sort_budget = budget }
           prepared Engine.Td
       in
       let stats = X3_storage.Buffer_pool.stats pool in

@@ -53,7 +53,8 @@ let treebank_sweep ~name ~title ~trees ~coverage ~disjoint ~density
     config_for =
       (fun _ ->
         {
-          Engine.counter_budget = counter_budget ~trees;
+          Engine.default_config with
+          counter_budget = counter_budget ~trees;
           sort_budget = sort_budget ~trees;
         });
   }
@@ -154,7 +155,8 @@ let fig10 ~scale ~cutoff =
     config_for =
       (fun _ ->
         {
-          Engine.counter_budget = counter_budget ~trees:articles;
+          Engine.default_config with
+          counter_budget = counter_budget ~trees:articles;
           sort_budget = sort_budget ~trees:articles;
         });
   }

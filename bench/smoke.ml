@@ -185,7 +185,7 @@ let () =
   let spec = Treebank.spec config in
   let schema = Some (X3_xml.Schema.of_dtd (Treebank.dtd config)) in
   let run_config =
-    { Engine.counter_budget = 40 * trees; sort_budget = 500 }
+    { Engine.default_config with counter_budget = 40 * trees; sort_budget = 500 }
   in
   let algorithms = Engine.[ Counter; Buc; Buccust; Td; Tdcust ] in
   let outcomes =
@@ -222,7 +222,7 @@ let () =
   in
   let runs =
     parallel_sweep ~store:sweep_store ~spec:(Treebank.spec sweep_config)
-      ~config:{ Engine.counter_budget = 40 * sweep_trees; sort_budget = 500 }
+      ~config:{ Engine.default_config with counter_budget = 40 * sweep_trees; sort_budget = 500 }
   in
   let seconds_of algorithm workers =
     match

@@ -155,9 +155,12 @@ let write_metrics_file path ~meta ?instr ?result ~run ~workers ~phases
   Json.to_file path
     (X3_obs.Export.metrics_json ~meta (X3_obs.Metrics.snapshot m))
 
-let run_cube query_path doc algorithm_name use_schema workers deadline
-    retries max_bytes max_concurrent max_input_bytes max_groups format
-    trace_file metrics_file =
+let config_with_radix_bits radix_bits =
+  { Engine.default_config with Engine.radix_bits }
+
+let run_cube query_path doc algorithm_name use_schema workers radix_bits
+    deadline retries max_bytes max_concurrent max_input_bytes max_groups
+    format trace_file metrics_file =
   if trace_file <> None then Trace.enable ();
   let ph = { phase_list = [] } in
   let spec, prepared, doc_path, inline_dtd =
@@ -179,8 +182,10 @@ let run_cube query_path doc algorithm_name use_schema workers deadline
   let t0 = Unix.gettimeofday () in
   let outcome =
     timed ph "compute" (fun () ->
-        Engine.run_safe ?props ~workers ?deadline ~retries ?max_bytes
-          ?admission ~admission_timeout:0. ~stats:run_stats prepared algorithm)
+        Engine.run_safe ?props
+          ~config:(config_with_radix_bits radix_bits)
+          ~workers ?deadline ~retries ?max_bytes ?admission
+          ~admission_timeout:0. ~stats:run_stats prepared algorithm)
   in
   let dt = Unix.gettimeofday () -. t0 in
   let print_result result instr =
@@ -286,10 +291,11 @@ type cuboid_report = {
   mutable cr_sorts : int;
   mutable cr_rollups : int;
   mutable cr_provenance : string;
+  mutable cr_strategy : string;
 }
 
-let run_explain query_path doc algorithm_name use_schema workers trace_file
-    metrics_file =
+let run_explain query_path doc algorithm_name use_schema workers radix_bits
+    trace_file metrics_file =
   (* explain is the traced view by definition: tracing is always on, and
      the per-cuboid table below is assembled from the run's own events. *)
   Trace.enable ();
@@ -302,7 +308,9 @@ let run_explain query_path doc algorithm_name use_schema workers trace_file
   let run_stats = Engine.fresh_run_stats () in
   let outcome =
     timed ph "compute" (fun () ->
-        Engine.run_safe ?props ~workers ~stats:run_stats prepared algorithm)
+        Engine.run_safe ?props
+          ~config:(config_with_radix_bits radix_bits)
+          ~workers ~stats:run_stats prepared algorithm)
   in
   let result, instr =
     match outcome with
@@ -342,6 +350,7 @@ let run_explain query_path doc algorithm_name use_schema workers trace_file
             cr_sorts = 0;
             cr_rollups = 0;
             cr_provenance = "scan";
+            cr_strategy = "-";
           }
         in
         Hashtbl.replace by_cuboid cid r;
@@ -381,6 +390,19 @@ let run_explain query_path doc algorithm_name use_schema workers trace_file
                     | Some finer -> Printf.sprintf "rollup(from %d)" finer
                     | None -> "rollup"))
                 (attr_int e.Trace.attrs "cuboid")
+          | "cuboid.strategy" ->
+              Option.iter
+                (fun cid ->
+                  let r = report cid in
+                  match
+                    ( attr_str e.Trace.attrs "strategy",
+                      attr_int e.Trace.attrs "bits" )
+                  with
+                  | Some s, Some bits ->
+                      r.cr_strategy <- Printf.sprintf "%s(%d)" s bits
+                  | Some s, None -> r.cr_strategy <- s
+                  | None, _ -> ())
+                (attr_int e.Trace.attrs "cuboid")
           | "cuboid.compute" ->
               Option.iter
                 (fun cid ->
@@ -404,18 +426,18 @@ let run_explain query_path doc algorithm_name use_schema workers trace_file
       Printf.printf "  %-12s %9.3f ms\n" name (seconds *. 1000.))
     (phases ph);
   Printf.printf "\nper-cuboid costs:\n";
-  Printf.printf "  %-4s %9s %-6s %-18s %s\n" "id" "cells" "sorts"
-    "provenance" "pattern";
+  Printf.printf "  %-4s %9s %-6s %-18s %-16s %s\n" "id" "cells" "sorts"
+    "provenance" "grouping" "pattern";
   Array.iter
     (fun cid ->
       let r = report cid in
       let label =
         if r.cr_label <> "" then r.cr_label else Engine.cuboid_label prepared cid
       in
-      Printf.printf "  %-4d %9d %-6d %-18s %s\n" cid
+      Printf.printf "  %-4d %9d %-6d %-18s %-16s %s\n" cid
         (if r.cr_cells > 0 then r.cr_cells
          else X3_core.Cube_result.cuboid_size result cid)
-        r.cr_sorts r.cr_provenance label)
+        r.cr_sorts r.cr_provenance r.cr_strategy label)
     (Lattice.by_degree lattice);
   let io = run_stats.Engine.io in
   let pool_lookups = io.X3_storage.Stats.pool_hits + io.X3_storage.Stats.pool_misses in
@@ -432,6 +454,13 @@ let run_explain query_path doc algorithm_name use_schema workers trace_file
     "  peak counters %d (largest worker %d)   pool hit rate %.1f%% (%d lookups)\n"
     instr.X3_core.Instrument.peak_counters
     instr.X3_core.Instrument.peak_counters_worker_max hit_rate pool_lookups;
+  Printf.printf
+    "  groupings radix %d / hash %d   radix scratch peak %d bytes (largest \
+     worker %d)\n"
+    instr.X3_core.Instrument.radix_groupings
+    instr.X3_core.Instrument.hash_groupings
+    instr.X3_core.Instrument.radix_scratch_bytes
+    instr.X3_core.Instrument.radix_scratch_bytes_worker_max;
   Printf.printf "  sort runs %d   merge passes %d   records sorted %d\n"
     io.X3_storage.Stats.sort_runs io.X3_storage.Stats.merge_passes
     io.X3_storage.Stats.records_sorted;
@@ -620,6 +649,17 @@ let doc_arg =
     & info [ "doc" ] ~docv:"FILE"
         ~doc:"XML document to run against (overrides the query's doc(...)).")
 
+let radix_bits_arg =
+  Arg.(
+    value
+    & opt int Engine.default_config.Engine.radix_bits
+    & info [ "radix-bits" ] ~docv:"BITS"
+        ~doc:
+          "Grouping-strategy threshold: cuboids whose compact key domain \
+           fits this many bits group through a radix kernel instead of a \
+           hash table ($(b,0) disables the radix tiers — every cuboid \
+           groups through the hash path).")
+
 let cube_cmd =
   let algorithm =
     Arg.(
@@ -748,8 +788,9 @@ let cube_cmd =
     (Cmd.info "cube" ~doc:"Run an X^3 query and print the cube" ~man)
     Term.(
       const run_cube $ query_arg $ doc_arg $ algorithm $ use_schema
-      $ workers $ deadline $ retries $ max_bytes $ max_concurrent
-      $ max_input_bytes $ max_groups $ format $ trace $ metrics)
+      $ workers $ radix_bits_arg $ deadline $ retries $ max_bytes
+      $ max_concurrent $ max_input_bytes $ max_groups $ format $ trace
+      $ metrics)
 
 let explain_cmd =
   let algorithm =
@@ -794,7 +835,7 @@ let explain_cmd =
           bytes reserved)")
     Term.(
       const run_explain $ query_arg $ doc_arg $ algorithm $ use_schema
-      $ workers $ trace $ metrics)
+      $ workers $ radix_bits_arg $ trace $ metrics)
 
 let lattice_cmd =
   let dot =

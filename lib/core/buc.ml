@@ -2,18 +2,20 @@ module Lattice = X3_lattice.Lattice
 module State = X3_lattice.State
 module Axis = X3_pattern.Axis
 module Witness = X3_pattern.Witness
+module Columnar = Witness.Columnar
 module Quicksort = X3_storage.Quicksort
 
 type variant = [ `Plain | `Opt | `Custom of X3_lattice.Properties.t ]
 
 (* The recursion's per-worker state: the current restriction (states/ids)
    is mutated in place down the recursion, so every worker needs its own
-   copy, along with private counters and a domain-safe measure function. *)
+   copy, along with private counters. The rows themselves are indices into
+   the shared immutable columns — partitions copy and reorder 8-byte ints,
+   never boxed rows. *)
 type env = {
   states : State.t array;
   ids : int array;  (* current partition's dictionary id per present axis *)
   instr : Instrument.t;
-  measure : int -> float;
 }
 
 let compute ~variant (ctx : Context.t) =
@@ -21,232 +23,249 @@ let compute ~variant (ctx : Context.t) =
   let axes = Lattice.axes lattice in
   let k = Array.length axes in
   let result = Cube_result.create ~table:ctx.table lattice in
-  let cell_id row ai = row.Witness.cells.(ai).Witness.id in
-  (* Only rows holding the fact's first binding on every removed axis
-     represent their fact here (see Context.row_represents); the partition
-     keeps the others because deeper refinements may make those axes
-     present. *)
-  let represents env row =
-    let rec go ai =
-      ai >= k
-      || ((match env.states.(ai) with
-          | State.Removed -> row.Witness.cells.(ai).Witness.first
-          | State.Present _ -> true)
-         && go (ai + 1))
+  try
+    let cols = Context.cols ctx in
+    let bm = Context.block_measures ctx cols in
+    let nrows = Columnar.rows cols in
+    let measure_row r = bm.(Columnar.block_of_row cols r) in
+    let cell_id r ai = Columnar.id cols ~axis:ai ~row:r in
+    let dict_sizes = Witness.dict_sizes ctx.table in
+    (* Only rows holding the fact's first binding on every removed axis
+       represent their fact here (see Context.row_represents); the
+       partition keeps the others because deeper refinements may make
+       those axes present. *)
+    let represents env r =
+      let rec go ai =
+        ai >= k
+        || ((match env.states.(ai) with
+            | State.Removed -> Columnar.first cols ~axis:ai ~row:r
+            | State.Present _ -> true)
+           && go (ai + 1))
+      in
+      go 0
     in
-    go 0
-  in
-  let aggregate_into env cid key rows_lo rows_hi part =
-    (* Three aggregation modes (§3.4):
-       - BUC: representative rows, deduplicated by fact id — always correct;
-       - BUCOPT: raw row counts, assuming strict disjointness globally —
-         cheap, and silently wrong when the assumption fails (a fact's
-         cartesian duplicates all get counted);
-       - BUCCUST: where the property oracle proves the cuboid disjoint,
-         count representative rows without identity tracking; elsewhere run
-         the full BUC aggregation. *)
-    let mode =
-      match variant with
-      | `Plain -> `Dedup
-      | `Opt -> `Raw
-      | `Custom props ->
-          if X3_lattice.Properties.cuboid_disjoint props cid then
-            `Representative
-          else `Dedup
-    in
-    let cell = lazy (Cube_result.cell result ~cuboid:cid ~key) in
-    match mode with
-    | `Raw ->
-        for i = rows_lo to rows_hi do
-          Aggregate.add (Lazy.force cell) (env.measure part.(i).Witness.fact)
-        done
-    | `Representative ->
-        for i = rows_lo to rows_hi do
-          if represents env part.(i) then
-            Aggregate.add (Lazy.force cell) (env.measure part.(i).Witness.fact)
-        done
-    | `Dedup ->
-        let seen = Hashtbl.create 16 in
-        for i = rows_lo to rows_hi do
-          if represents env part.(i) then begin
-            let fact = part.(i).Witness.fact in
-            if not (Hashtbl.mem seen fact) then begin
-              Hashtbl.add seen fact ();
-              Aggregate.add (Lazy.force cell) (env.measure fact)
+    let aggregate_into env cid key rows_lo rows_hi part =
+      (* Three aggregation modes (§3.4):
+         - BUC: representative rows, deduplicated by fact id — always
+           correct;
+         - BUCOPT: raw row counts, assuming strict disjointness globally —
+           cheap, and silently wrong when the assumption fails (a fact's
+           cartesian duplicates all get counted);
+         - BUCCUST: where the property oracle proves the cuboid disjoint,
+           count representative rows without identity tracking; elsewhere
+           run the full BUC aggregation. *)
+      let mode =
+        match variant with
+        | `Plain -> `Dedup
+        | `Opt -> `Raw
+        | `Custom props ->
+            if X3_lattice.Properties.cuboid_disjoint props cid then
+              `Representative
+            else `Dedup
+      in
+      let cell = lazy (Cube_result.cell result ~cuboid:cid ~key) in
+      match mode with
+      | `Raw ->
+          for i = rows_lo to rows_hi do
+            Aggregate.add (Lazy.force cell) (measure_row part.(i))
+          done
+      | `Representative ->
+          for i = rows_lo to rows_hi do
+            if represents env part.(i) then
+              Aggregate.add (Lazy.force cell) (measure_row part.(i))
+          done
+      | `Dedup ->
+          let seen = Hashtbl.create 16 in
+          for i = rows_lo to rows_hi do
+            if represents env part.(i) then begin
+              let fact = Columnar.fact cols part.(i) in
+              if not (Hashtbl.mem seen fact) then begin
+                Hashtbl.add seen fact ();
+                Aggregate.add (Lazy.force cell) (measure_row part.(i))
+              end
             end
-          end
-        done;
-        env.instr.Instrument.dedup_tracked <-
-          env.instr.Instrument.dedup_tracked + Hashtbl.length seen
-  in
-  (* Is the current state vector a cuboid of the lattice?  Any axis left
-     Removed — skipped by the recursion or not yet reached — must actually
-     allow LND; otherwise this restriction is only an intermediate step
-     and must not be emitted. *)
-  let emittable env =
-    let rec go i =
-      i >= k
-      || ((match env.states.(i) with
-          | State.Removed -> Axis.allows_lnd axes.(i)
-          | State.Present _ -> true)
-         && go (i + 1))
+          done;
+          env.instr.Instrument.dedup_tracked <-
+            env.instr.Instrument.dedup_tracked + Hashtbl.length seen
     in
-    go 0
-  in
-  (* Byte accounting runs only on the domain owning the shared context —
-     workers' recursion is unaccounted (their branches are bounded by the
-     snapshot the calling domain already booked). Result cells are booked
-     at refine boundaries; partition sub-arrays transiently per branch. *)
-  let governed = not (Governor.is_unbounded (Context.account ctx)) in
-  let booked_cells = ref 0 in
-  let book_result () =
-    if governed then begin
-      let cells = Cube_result.total_cells result in
-      if cells > !booked_cells then begin
-        Context.reserve ctx ((cells - !booked_cells) * Governor.counter_cost);
-        booked_cells := cells
-      end
-    end
-  in
-  let rec refine env part lo hi next =
-    (* Stop check at partition boundaries — but only on the domain that
-       owns the shared context (workers carry a private [instr]); a stop
-       abandons the recursion with already-emitted cells intact. *)
-    if env.instr == ctx.instr then begin
-      Context.check ctx;
-      book_result ()
-    end;
-    (* Empty restrictions produce no groups (a group exists only if some
-       fact is in it), matching the reference semantics. *)
-    if hi >= lo && emittable env then begin
-      let cid = Lattice.id lattice (Array.copy env.states) in
-      env.instr.Instrument.keys_built <- env.instr.Instrument.keys_built + 1;
-      aggregate_into env cid
-        (Group_key.of_axis_ids ctx.layout env.states env.ids)
-        lo hi part
-    end;
-    for ai = next to k - 1 do
-      List.iter (fun mask -> branch env part lo hi ai mask) (Axis.states axes.(ai))
-    done
-  and branch env part lo hi ai mask =
-    (* Restrict to rows whose axis-[ai] binding is valid at [mask]:
-       count, then fill, to avoid intermediate lists. *)
-    let n = ref 0 in
-    for i = lo to hi do
-      if Witness.qualifies part.(i) ~axis_index:ai ~state:mask then incr n
-    done;
-    let sub =
-      if !n = 0 then [||]
-      else begin
-        let sub = Array.make !n part.(lo) in
-        let j = ref 0 in
-        for i = lo to hi do
-          let row = part.(i) in
-          if Witness.qualifies row ~axis_index:ai ~state:mask then begin
-            sub.(!j) <- row;
-            incr j
-          end
-        done;
-        sub
-      end
-    in
-    let n = Array.length sub in
-    if n > 0 then begin
-      (* The sub-array is live for the whole branch (and under it, the
-         deeper sub-arrays of the recursion): book its pointer words,
-         releasing on the way back up. *)
-      let sub_bytes =
-        if governed && env.instr == ctx.instr then 8 * (n + 2) else 0
+    (* Is the current state vector a cuboid of the lattice?  Any axis left
+       Removed — skipped by the recursion or not yet reached — must
+       actually allow LND; otherwise this restriction is only an
+       intermediate step and must not be emitted. *)
+    let emittable env =
+      let rec go i =
+        i >= k
+        || ((match env.states.(i) with
+            | State.Removed -> Axis.allows_lnd axes.(i)
+            | State.Present _ -> true)
+           && go (i + 1))
       in
-      Context.reserve ctx sub_bytes;
-      Fun.protect ~finally:(fun () -> Context.release ctx sub_bytes)
-      @@ fun () ->
-      (* Partition on the grouping id: quicksort then sweep.
-         Dictionary ids compare as plain ints — no string walks. *)
-      env.instr.Instrument.sort_ops <- env.instr.Instrument.sort_ops + 1;
-      env.instr.Instrument.rows_sorted <- env.instr.Instrument.rows_sorted + n;
-      Quicksort.sort
-        ~compare:(fun a b -> Int.compare (cell_id a ai) (cell_id b ai))
-        sub;
-      env.states.(ai) <- State.Present mask;
-      let run_start = ref 0 in
-      for i = 1 to n do
-        let boundary =
-          i = n || cell_id sub.(i) ai <> cell_id sub.(!run_start) ai
-        in
-        if boundary then begin
-          env.ids.(ai) <- cell_id sub.(!run_start) ai;
-          refine env sub !run_start (i - 1) (ai + 1);
-          run_start := i
+      go 0
+    in
+    (* Byte accounting runs only on the domain owning the shared context —
+       workers' recursion is unaccounted (their branches are bounded by the
+       index array the calling domain already booked). Result cells are
+       booked at refine boundaries; partition sub-arrays transiently per
+       branch. *)
+    let governed = not (Governor.is_unbounded (Context.account ctx)) in
+    let booked_cells = ref 0 in
+    let book_result () =
+      if governed then begin
+        let cells = Cube_result.total_cells result in
+        if cells > !booked_cells then begin
+          Context.reserve ctx ((cells - !booked_cells) * Governor.counter_cost);
+          booked_cells := cells
         end
+      end
+    in
+    let rec refine env part lo hi next =
+      (* Stop check at partition boundaries — but only on the domain that
+         owns the shared context (workers carry a private [instr]); a stop
+         abandons the recursion with already-emitted cells intact. *)
+      if env.instr == ctx.instr then begin
+        Context.check ctx;
+        book_result ()
+      end;
+      (* Empty restrictions produce no groups (a group exists only if some
+         fact is in it), matching the reference semantics. *)
+      if hi >= lo && emittable env then begin
+        let cid = Lattice.id lattice (Array.copy env.states) in
+        env.instr.Instrument.keys_built <- env.instr.Instrument.keys_built + 1;
+        aggregate_into env cid
+          (Group_key.of_axis_ids ctx.layout env.states env.ids)
+          lo hi part
+      end;
+      for ai = next to k - 1 do
+        List.iter
+          (fun mask -> branch env part lo hi ai mask)
+          (Axis.states axes.(ai))
+      done
+    and branch env part lo hi ai mask =
+      (* Restrict to rows whose axis-[ai] binding is valid at [mask]:
+         count, then fill, to avoid intermediate lists. *)
+      let n = ref 0 in
+      for i = lo to hi do
+        if Columnar.qualifies cols ~axis:ai ~row:part.(i) ~state:mask then
+          incr n
       done;
-      env.states.(ai) <- State.Removed
-    end
-  in
-  let fresh_env ~instr ~measure =
-    {
-      states = Array.make k State.Removed;
-      ids = Array.make k 0;
-      instr;
-      measure;
-    }
-  in
-  if Context.workers ctx <= 1 then begin
-    (* The base witness set is read once from the materialised table; the
-       recursion then partitions in memory, as BUC does when the input fits
-       (our scaled inputs do; the I/O cost of the initial read is counted). *)
-    try
-      let rows =
-        (* The base set is resident for the whole recursion — book it row
-           by row as it materialises, exactly like the parallel snapshot. *)
-        let per_row =
-          if governed then Witness.approx_row_bytes ctx.table else 0
-        in
-        let acc = ref [] in
-        Context.scan ctx (fun row ->
-            Context.reserve ctx per_row;
-            acc := row :: !acc);
-        Array.of_list (List.rev !acc)
+      let sub =
+        if !n = 0 then [||]
+        else begin
+          let sub = Array.make !n 0 in
+          let j = ref 0 in
+          for i = lo to hi do
+            let r = part.(i) in
+            if Columnar.qualifies cols ~axis:ai ~row:r ~state:mask then begin
+              sub.(!j) <- r;
+              incr j
+            end
+          done;
+          sub
+        end
       in
-      let env = fresh_env ~instr:ctx.instr ~measure:ctx.measure in
-      X3_obs.Trace.with_span "buc.recursion"
-        ~attrs:[ ("rows", X3_obs.Trace.Int (Array.length rows)) ]
-        (fun () -> refine env rows 0 (Array.length rows - 1) 0)
-    with Context.Stop _ -> ()
-  end
-  else begin
-    try
-    (* Parallel BUC splits at the recursion's first level. Branch (ai, mask)
-       emits exactly the cuboids whose first present axis is [ai] with state
-       [mask] (axes below [ai] stay Removed inside the branch), so distinct
-       tasks write to disjoint cuboids — and Cube_result preallocates one
-       table per cuboid, so workers aggregate straight into the shared
-       result with no partial-merge step. Within a branch the partitioning,
-       sort and recursion are byte-for-byte the sequential ones. *)
-    let rows = Context.snapshot_rows ctx in
-    let measure = Context.frozen_measure ctx rows in
-    let n = Array.length rows in
-    (* The apex (everything Removed) belongs to no branch; [next = k] emits
-       just it, on the calling domain. *)
-    refine (fresh_env ~instr:ctx.instr ~measure) rows 0 (n - 1) k;
-    let tasks =
-      Array.of_list
-        (List.concat_map
-           (fun ai ->
-             List.map (fun mask -> (ai, mask)) (Axis.states axes.(ai)))
-           (List.init k Fun.id))
+      let n = Array.length sub in
+      if n > 0 then begin
+        (* The sub-array is live for the whole branch (and under it, the
+           deeper sub-arrays of the recursion): book its words, releasing
+           on the way back up. *)
+        let sub_bytes =
+          if governed && env.instr == ctx.instr then 8 * (n + 2) else 0
+        in
+        Context.reserve ctx sub_bytes;
+        Fun.protect ~finally:(fun () -> Context.release ctx sub_bytes)
+        @@ fun () ->
+        (* Partition on the grouping id. A small dictionary gets a stable
+           O(n) counting sort on the ids (the radix tier of this family);
+           otherwise quicksort. Dictionary ids compare as plain ints
+           either way — no string walks. *)
+        env.instr.Instrument.sort_ops <- env.instr.Instrument.sort_ops + 1;
+        env.instr.Instrument.rows_sorted <-
+          env.instr.Instrument.rows_sorted + n;
+        let size = dict_sizes.(ai) in
+        if
+          ctx.radix_bits > 0
+          && Group_key.bits_for size <= Radix.counting_sort_bits_cap
+        then begin
+          env.instr.Instrument.radix_groupings <-
+            env.instr.Instrument.radix_groupings + 1;
+          Radix.counting_sort ~id:(fun r -> cell_id r ai) ~size sub
+        end
+        else begin
+          env.instr.Instrument.hash_groupings <-
+            env.instr.Instrument.hash_groupings + 1;
+          Quicksort.sort
+            ~compare:(fun a b -> Int.compare (cell_id a ai) (cell_id b ai))
+            sub
+        end;
+        env.states.(ai) <- State.Present mask;
+        let run_start = ref 0 in
+        for i = 1 to n do
+          let boundary =
+            i = n || cell_id sub.(i) ai <> cell_id sub.(!run_start) ai
+          in
+          if boundary then begin
+            env.ids.(ai) <- cell_id sub.(!run_start) ai;
+            refine env sub !run_start (i - 1) (ai + 1);
+            run_start := i
+          end
+        done;
+        env.states.(ai) <- State.Removed
+      end
     in
-    let states =
-      Parallel.run ~workers:ctx.workers ~tasks:(Array.length tasks)
-        ~init:(fun _ -> fresh_env ~instr:(Instrument.create ()) ~measure)
-        ~body:(fun env t ->
-          let ai, mask = tasks.(t) in
-          X3_obs.Trace.with_span "buc.branch"
-            ~attrs:[ ("axis", X3_obs.Trace.Int ai) ]
-            (fun () -> branch env rows 0 (n - 1) ai mask))
+    let fresh_env ~instr =
+      { states = Array.make k State.Removed; ids = Array.make k 0; instr }
     in
-      Array.iter (fun env -> Instrument.merge ~into:ctx.instr env.instr) states;
-      book_result ()
-    with Context.Stop _ -> ()
-  end;
-  result
+    let root = Array.init nrows Fun.id in
+    if Context.workers ctx <= 1 then begin
+      (* The base witness set is the full row-index range; the recursion
+         partitions index arrays in memory, as BUC does when the input fits
+         (our scaled inputs do; the I/O cost of the initial columnarising
+         read is counted by [Context.cols]). *)
+      try
+        (* The root index array is resident for the whole recursion. *)
+        if governed then Context.reserve ctx (8 * (nrows + 2));
+        let env = fresh_env ~instr:ctx.instr in
+        X3_obs.Trace.with_span "buc.recursion"
+          ~attrs:[ ("rows", X3_obs.Trace.Int nrows) ]
+          (fun () -> refine env root 0 (nrows - 1) 0)
+      with Context.Stop _ -> ()
+    end
+    else begin
+      try
+        (* Parallel BUC splits at the recursion's first level. Branch
+           (ai, mask) emits exactly the cuboids whose first present axis is
+           [ai] with state [mask] (axes below [ai] stay Removed inside the
+           branch), so distinct tasks write to disjoint cuboids — and
+           Cube_result preallocates one table per cuboid, so workers
+           aggregate straight into the shared result with no partial-merge
+           step. Within a branch the partitioning, sort and recursion are
+           byte-for-byte the sequential ones; the columns and block
+           measures are immutable and shared. *)
+        if governed then Context.reserve ctx (8 * (nrows + 2));
+        (* The apex (everything Removed) belongs to no branch; [next = k]
+           emits just it, on the calling domain. *)
+        refine (fresh_env ~instr:ctx.instr) root 0 (nrows - 1) k;
+        let tasks =
+          Array.of_list
+            (List.concat_map
+               (fun ai ->
+                 List.map (fun mask -> (ai, mask)) (Axis.states axes.(ai)))
+               (List.init k Fun.id))
+        in
+        let states =
+          Parallel.run ~workers:ctx.workers ~tasks:(Array.length tasks)
+            ~init:(fun _ -> fresh_env ~instr:(Instrument.create ()))
+            ~body:(fun env t ->
+              let ai, mask = tasks.(t) in
+              X3_obs.Trace.with_span "buc.branch"
+                ~attrs:[ ("axis", X3_obs.Trace.Int ai) ]
+                (fun () -> branch env root 0 (nrows - 1) ai mask))
+        in
+        Array.iter
+          (fun env -> Instrument.merge ~into:ctx.instr env.instr)
+          states;
+        book_result ()
+      with Context.Stop _ -> ()
+    end;
+    result
+  with Context.Stop _ -> result

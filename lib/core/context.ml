@@ -29,13 +29,16 @@ type t = {
   counter_budget : int;
   sort_budget : int;
   workers : int;
+  radix_bits : int;
   account : Governor.account;
   control : control;
+  mutable cols_cache : Witness.Columnar.t option;
+  mutable block_measures_cache : float array option;
 }
 
 let create ?(counter_budget = 1_000_000) ?(sort_budget = 200_000)
-    ?(workers = 1) ?(account = Governor.unbounded) ~table ~lattice ~measure
-    () =
+    ?(workers = 1) ?(radix_bits = Radix.default_radix_bits)
+    ?(account = Governor.unbounded) ~table ~lattice ~measure () =
   let instr = Instrument.create () in
   instr.Instrument.dict_size <- Witness.total_dict_size table;
   (* The witness table is the query's floor: it is resident (through the
@@ -54,6 +57,7 @@ let create ?(counter_budget = 1_000_000) ?(sort_budget = 200_000)
     counter_budget;
     sort_budget;
     workers = Parallel.resolve workers;
+    radix_bits;
     account;
     control =
       {
@@ -64,6 +68,8 @@ let create ?(counter_budget = 1_000_000) ?(sort_budget = 200_000)
         pending;
         tick = 0;
       };
+    cols_cache = None;
+    block_measures_cache = None;
   }
 
 let workers t = t.workers
@@ -161,6 +167,61 @@ let scan_blocks t f =
           f block)
         t.table)
 
+(* --- columnar view ------------------------------------------------------- *)
+(* The column build is itself an instrumented table scan: it reads every
+   page through the buffer pool (so injected faults and corruption surface
+   exactly as on any other scan), counts one table scan plus its rows, and
+   uses the amortised checkpoint so a cancel lands between blocks, not
+   after an arbitrary prefix. Once built the columns are immutable and
+   cached for the rest of the run — and, being unboxed Bigarrays and plain
+   int arrays, safe to share across domains without snapshotting. *)
+
+let cols t =
+  match t.cols_cache with
+  | Some cols -> cols
+  | None ->
+      let axes = Array.length (Witness.axes t.table) in
+      let rows = Witness.row_count t.table in
+      let blocks = Witness.fact_count t.table in
+      (* The columns stay resident until the query ends; book them before
+         allocating so governed runs see the footprint up front. *)
+      reserve t (Witness.Columnar.approx_bytes ~axes ~rows ~blocks);
+      let b = Witness.Columnar.Builder.create ~axes ~rows in
+      t.instr.Instrument.table_scans <- t.instr.Instrument.table_scans + 1;
+      let sp = Trace.start "witness.columnar" in
+      let cols =
+        Fun.protect
+          ~finally:(fun () ->
+            Trace.finish sp ~attrs:[ ("rows", Trace.Int rows) ])
+          (fun () ->
+            Witness.iter
+              (fun row ->
+                checkpoint t;
+                t.instr.Instrument.rows_scanned <-
+                  t.instr.Instrument.rows_scanned + 1;
+                Witness.Columnar.Builder.add b row)
+              t.table;
+            Witness.Columnar.Builder.finish b)
+      in
+      t.cols_cache <- Some cols;
+      cols
+
+let block_measures t cols =
+  match t.block_measures_cache with
+  | Some m -> m
+  | None ->
+      (* [t.measure] may memoise into a private Hashtbl (Engine.measure_fn),
+         so force it sequentially, once per fact block; the array is then
+         read-only and domain-safe. *)
+      let blocks = Witness.Columnar.blocks cols in
+      reserve t ((8 * blocks) + 16);
+      let m =
+        Array.init blocks (fun b ->
+            t.measure (Witness.Columnar.fact cols (Witness.Columnar.block_lo cols b)))
+      in
+      t.block_measures_cache <- Some m;
+      m
+
 (* --- snapshots for the parallel paths ----------------------------------- *)
 (* Workers must not share the buffer pool (its frame table and clock hand
    are unsynchronised), so the parallel algorithms take one instrumented
@@ -211,6 +272,19 @@ let frozen_measure t rows =
     match Hashtbl.find_opt memo fact with
     | Some v -> v
     | None -> t.measure fact
+
+let cols_represents cuboid cols ~row =
+  let n = Array.length cuboid in
+  let rec go ai =
+    ai >= n
+    ||
+    match cuboid.(ai) with
+    | State.Removed ->
+        Witness.Columnar.first cols ~axis:ai ~row && go (ai + 1)
+    | State.Present m ->
+        Witness.Columnar.qualifies cols ~axis:ai ~row ~state:m && go (ai + 1)
+  in
+  go 0
 
 let row_represents cuboid row =
   let n = Array.length cuboid in

@@ -22,14 +22,21 @@ type t = {
       (** max rows resident in one sort — beyond it sorts go external *)
   workers : int;
       (** resolved domain count the algorithms may use; 1 = sequential *)
+  radix_bits : int;
+      (** grouping-strategy threshold: cuboids whose compact key domain
+          fits this many bits group through a radix kernel; 0 disables the
+          radix tiers (every cuboid takes the hash path) *)
   account : Governor.account;  (** byte-budget account — see {!reserve} *)
   control : control;  (** cooperative stop state — see {!check} *)
+  mutable cols_cache : X3_pattern.Witness.Columnar.t option;
+  mutable block_measures_cache : float array option;
 }
 
 val create :
   ?counter_budget:int ->
   ?sort_budget:int ->
   ?workers:int ->
+  ?radix_bits:int ->
   ?account:Governor.account ->
   table:X3_pattern.Witness.t ->
   lattice:X3_lattice.Lattice.t ->
@@ -38,7 +45,8 @@ val create :
   t
 (** Budgets default to 1_000_000 counters and 200_000 rows. [workers]
     defaults to 1 (today's sequential path); {!Parallel.auto_workers} (0)
-    resolves to [Domain.recommended_domain_count]. [account] defaults to
+    resolves to [Domain.recommended_domain_count]. [radix_bits] defaults
+    to {!Radix.default_radix_bits}. [account] defaults to
     {!Governor.unbounded}; a governed account immediately books the
     witness table's resident footprint ({!X3_pattern.Witness.approx_bytes})
     — if even that fails, the first {!check} stops with [Over_budget]. *)
@@ -113,6 +121,24 @@ val scan : t -> (X3_pattern.Witness.row -> unit) -> unit
 val scan_blocks : t -> (X3_pattern.Witness.row list -> unit) -> unit
 (** Instrumented pass grouped by fact. *)
 
+(** {1 Columnar view}
+
+    The algorithms' hot loops read the witness table through an unboxed
+    column-major view ({!X3_pattern.Witness.Columnar}): one Bigarray id
+    column and one tag column per axis. Building it is one instrumented
+    table scan through the buffer pool — faults and corruption surface
+    exactly as on a row scan — after which the columns are immutable,
+    cached on the context, and safe to share across domains. *)
+
+val cols : t -> X3_pattern.Witness.Columnar.t
+(** The table's columnar view, built (and byte-booked) on first use.
+    Counts as one table scan. *)
+
+val block_measures : t -> X3_pattern.Witness.Columnar.t -> float array
+(** Measure per fact block, forced sequentially on first use (the measure
+    function may memoise and must not run concurrently) — the parallel
+    paths' domain-safe replacement for calling [measure] per row. *)
+
 (** {1 Snapshots — the parallel algorithms' input}
 
     The buffer pool underneath the witness table is unsynchronised, so
@@ -138,6 +164,12 @@ val frozen_measure : t -> X3_pattern.Witness.row array -> int -> float
 (** A domain-safe measure function: forces [measure] sequentially for every
     fact appearing in the rows, then serves lookups from the read-only
     memo. *)
+
+val cols_represents :
+  X3_lattice.Cuboid.t -> X3_pattern.Witness.Columnar.t -> row:int -> bool
+(** {!row_represents} over the columnar view — the hash fallback's
+    qualification check (the radix kernels fuse the same predicate into
+    their cursors). *)
 
 val row_represents : X3_lattice.Cuboid.t -> X3_pattern.Witness.row -> bool
 (** Is this row the fact's canonical representative in the cuboid: every

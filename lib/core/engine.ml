@@ -156,14 +156,20 @@ let correct_under algorithm ~disjoint ~coverage =
   | Bucopt | Tdopt -> disjoint
   | Tdoptall -> disjoint && coverage
 
-type config = { counter_budget : int; sort_budget : int }
+type config = { counter_budget : int; sort_budget : int; radix_bits : int }
 
-let default_config = { counter_budget = 1_000_000; sort_budget = 200_000 }
+let default_config =
+  {
+    counter_budget = 1_000_000;
+    sort_budget = 200_000;
+    radix_bits = Radix.default_radix_bits;
+  }
 
 let make_context ?(config = default_config) ?(workers = 1) ?account prepared =
   Context.create ~counter_budget:config.counter_budget
-    ~sort_budget:config.sort_budget ~workers ?account ~table:prepared.table
-    ~lattice:prepared.lattice ~measure:prepared.measure ()
+    ~sort_budget:config.sort_budget ~workers ~radix_bits:config.radix_bits
+    ?account ~table:prepared.table ~lattice:prepared.lattice
+    ~measure:prepared.measure ()
 
 let dispatch ?props prepared ctx algorithm =
   let props =
@@ -203,6 +209,29 @@ let trace_cuboid_cells prepared result =
             ])
       (Lattice.by_degree prepared.lattice)
 
+(* One instant per cuboid naming its grouping strategy. [Radix.plan] is a
+   pure function of (layout, cuboid, radix_bits), so this is exactly what
+   the compute used (modulo families that only implement a subset of the
+   tiers) — and what `x3 explain` joins against. *)
+let trace_cuboid_strategies prepared (ctx : Context.t) =
+  if Trace.enabled () then
+    Array.iter
+      (fun cid ->
+        let p =
+          Radix.plan ~layout:ctx.Context.layout
+            ~radix_bits:ctx.Context.radix_bits
+            (Lattice.cuboid prepared.lattice cid)
+        in
+        Trace.instant "cuboid.strategy"
+          ~attrs:
+            [
+              ("cuboid", Trace.Int cid);
+              ( "strategy",
+                Trace.Str (Radix.strategy_name p.Radix.p_strategy) );
+              ("bits", Trace.Int p.Radix.p_bits);
+            ])
+      (Lattice.by_degree prepared.lattice)
+
 let run ?props ?config ?workers prepared algorithm =
   let ctx = make_context ?config ?workers prepared in
   let result =
@@ -215,6 +244,7 @@ let run ?props ?config ?workers prepared algorithm =
       (fun () -> dispatch ?props prepared ctx algorithm)
   in
   trace_cuboid_cells prepared result;
+  trace_cuboid_strategies prepared ctx;
   (result, ctx.Context.instr)
 
 (* --- graceful degradation ----------------------------------------------- *)
@@ -314,6 +344,7 @@ let run_safe ?props ?config ?workers ?deadline ?cancel ?(retries = 2)
     match compute () with
     | result ->
         trace_cuboid_cells prepared result;
+        trace_cuboid_strategies prepared ctx;
         finish
           (match Context.stopped ctx with
           | Some reason -> Partial (reason, result, ctx.Context.instr)

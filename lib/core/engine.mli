@@ -76,7 +76,14 @@ val correct_under :
 (** §3's correctness conditions: BUCOPT and TDOPT need disjointness,
     TDOPTALL needs both; everything else is unconditionally correct. *)
 
-type config = { counter_budget : int; sort_budget : int }
+type config = {
+  counter_budget : int;  (** COUNTER's max simultaneously-live counters *)
+  sort_budget : int;  (** max rows resident in one sort *)
+  radix_bits : int;
+      (** grouping-strategy threshold (see {!Radix.plan}): cuboids whose
+          compact key domain fits this many bits group through a radix
+          kernel; 0 disables the radix tiers entirely *)
+}
 
 val default_config : config
 

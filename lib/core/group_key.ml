@@ -148,6 +148,36 @@ let load scratch cuboid (row : Witness.row) =
       cuboid
   end
 
+(* The columnar twin of [load]: ids come straight from the id columns. *)
+let load_cols scratch cuboid cols ~row =
+  let layout = scratch.s_layout in
+  if layout.packed_fits then begin
+    let k = Array.length cuboid in
+    let rec go ai acc =
+      if ai >= k then acc
+      else
+        match cuboid.(ai) with
+        | State.Removed -> go (ai + 1) acc
+        | State.Present _ ->
+            let id = Witness.Columnar.id cols ~axis:ai ~row in
+            if id < 0 then bad_row ();
+            go (ai + 1) (acc lor (id lsl layout.offsets.(ai)))
+    in
+    scratch.s_packed <- go 0 0
+  end
+  else begin
+    let wide = scratch.s_wide in
+    Array.iteri
+      (fun ai state ->
+        match state with
+        | State.Removed -> wide.(ai) <- 0
+        | State.Present _ ->
+            let id = Witness.Columnar.id cols ~axis:ai ~row in
+            if id < 0 then bad_row ();
+            wide.(ai) <- id)
+      cuboid
+  end
+
 let freeze scratch =
   if scratch.s_layout.packed_fits then Packed scratch.s_packed
   else Wide (Array.copy scratch.s_wide)

@@ -65,6 +65,15 @@ val load : scratch -> X3_lattice.Cuboid.t -> X3_pattern.Witness.row -> unit
     [Invalid_argument] if a present axis is unbound (the row does not
     qualify). *)
 
+val load_cols :
+  scratch ->
+  X3_lattice.Cuboid.t ->
+  X3_pattern.Witness.Columnar.t ->
+  row:int ->
+  unit
+(** {!load} over the columnar view: assemble the key of row index [row]
+    from the id columns. Same qualification contract as {!load}. *)
+
 val freeze : scratch -> t
 (** An immutable key from the scratch's current contents (copies the id
     array in the wide case). *)

@@ -11,6 +11,10 @@ type t = {
   mutable dedup_tracked : int;
   mutable keys_built : int;
   mutable dict_size : int;
+  mutable radix_groupings : int;
+  mutable hash_groupings : int;
+  mutable radix_scratch_bytes : int;
+  mutable radix_scratch_bytes_worker_max : int;
 }
 
 let create () =
@@ -27,7 +31,20 @@ let create () =
     dedup_tracked = 0;
     keys_built = 0;
     dict_size = 0;
+    radix_groupings = 0;
+    hash_groupings = 0;
+    radix_scratch_bytes = 0;
+    radix_scratch_bytes_worker_max = 0;
   }
+
+(* Workers run concurrently, so their peaks coexist: the session peak is
+   the sum of per-worker peaks (an upper bound on the true instant), while
+   the largest single worker's peak survives separately so a report can
+   show the per-worker footprint next to the session bound. One helper for
+   every (sum, worker-max) peak pair — counters and radix scratch bytes
+   alike — so a new peak counter cannot accidentally sum its worker-max. *)
+let merge_peak ~sum ~worker_max (t_sum, t_worker_max) =
+  (sum + t_sum, max worker_max (max t_worker_max t_sum))
 
 let merge ~into t =
   into.table_scans <- into.table_scans + t.table_scans;
@@ -35,19 +52,29 @@ let merge ~into t =
   into.sort_ops <- into.sort_ops + t.sort_ops;
   into.rows_sorted <- into.rows_sorted + t.rows_sorted;
   into.passes <- into.passes + t.passes;
-  (* Workers run concurrently, so their peaks coexist: the session peak is
-     the sum of per-worker peaks (an upper bound on the true instant). The
-     largest single worker's peak survives separately so a report can show
-     both the session bound and the per-worker footprint. *)
-  into.peak_counters <- into.peak_counters + t.peak_counters;
-  into.peak_counters_worker_max <-
-    max into.peak_counters_worker_max
-      (max t.peak_counters_worker_max t.peak_counters);
+  let pc_sum, pc_max =
+    merge_peak ~sum:into.peak_counters ~worker_max:into.peak_counters_worker_max
+      (t.peak_counters, t.peak_counters_worker_max)
+  in
+  into.peak_counters <- pc_sum;
+  into.peak_counters_worker_max <- pc_max;
+  let rs_sum, rs_max =
+    merge_peak ~sum:into.radix_scratch_bytes
+      ~worker_max:into.radix_scratch_bytes_worker_max
+      (t.radix_scratch_bytes, t.radix_scratch_bytes_worker_max)
+  in
+  into.radix_scratch_bytes <- rs_sum;
+  into.radix_scratch_bytes_worker_max <- rs_max;
   into.rollups <- into.rollups + t.rollups;
   into.base_computations <- into.base_computations + t.base_computations;
   into.dedup_tracked <- into.dedup_tracked + t.dedup_tracked;
   into.keys_built <- into.keys_built + t.keys_built;
+  into.radix_groupings <- into.radix_groupings + t.radix_groupings;
+  into.hash_groupings <- into.hash_groupings + t.hash_groupings;
   into.dict_size <- max into.dict_size t.dict_size
+
+let bump_radix_scratch t bytes =
+  if bytes > t.radix_scratch_bytes then t.radix_scratch_bytes <- bytes
 
 let pp ppf t =
   Format.fprintf ppf
@@ -56,5 +83,8 @@ let pp ppf t =
     t.table_scans t.rows_scanned t.sort_ops t.rows_sorted t.passes
     t.peak_counters t.rollups t.base_computations t.dedup_tracked t.keys_built
     t.dict_size;
+  if t.radix_groupings > 0 || t.hash_groupings > 0 then
+    Format.fprintf ppf "@ @[<h>grouping=radix:%d/hash:%d scratch=%dB@]"
+      t.radix_groupings t.hash_groupings t.radix_scratch_bytes;
   if t.peak_counters_worker_max > 0 then
     Format.fprintf ppf "@ @[<h>peak-per-worker=%d@]" t.peak_counters_worker_max

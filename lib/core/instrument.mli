@@ -22,16 +22,31 @@ type t = {
   mutable dedup_tracked : int;  (** fact ids tracked for duplicate removal *)
   mutable keys_built : int;  (** group keys assembled from rows *)
   mutable dict_size : int;  (** distinct dictionary values across axes *)
+  mutable radix_groupings : int;
+      (** cuboid groupings served by a radix kernel (direct or partitioned) *)
+  mutable hash_groupings : int;
+      (** cuboid groupings served by the hash / external-sort fallback *)
+  mutable radix_scratch_bytes : int;
+      (** peak bytes of radix scratch (slot arrays, partition buffers) live
+          at once *)
+  mutable radix_scratch_bytes_worker_max : int;
+      (** after a parallel merge: the largest single worker's scratch peak
+          (while [radix_scratch_bytes] holds the sum); [0] until a merge *)
 }
 
 val create : unit -> t
 
 val merge : into:t -> t -> unit
 (** Fold one worker's counters into the session counters: everything sums
-    except [dict_size] (a property of the table, merged by [max]).
-    [peak_counters] also sums — concurrent workers' peaks coexist, so the
-    sum is the session's simultaneous-counter bound — while
-    [peak_counters_worker_max] keeps the largest single contribution so
-    reports can show both. *)
+    except [dict_size] (a property of the table, merged by [max]). The two
+    peak pairs — [(peak_counters, peak_counters_worker_max)] and
+    [(radix_scratch_bytes, radix_scratch_bytes_worker_max)] — merge
+    alike: the peak sums (concurrent workers' peaks coexist, so the sum is
+    the session's simultaneous bound) while the worker-max keeps the
+    largest single contribution so reports can show both. *)
+
+val bump_radix_scratch : t -> int -> unit
+(** Record a radix-scratch high-water mark: raises [radix_scratch_bytes]
+    to [bytes] when it is the new peak. *)
 
 val pp : Format.formatter -> t -> unit

@@ -23,9 +23,14 @@ let add_instr m (i : Instrument.t) =
   count m "cube.base_computations" i.Instrument.base_computations;
   count m "cube.dedup_tracked" i.Instrument.dedup_tracked;
   count m "cube.keys_built" i.Instrument.keys_built;
+  count m "cube.grouping_strategy.radix" i.Instrument.radix_groupings;
+  count m "cube.grouping_strategy.hash" i.Instrument.hash_groupings;
   set m "cube.dict_size" i.Instrument.dict_size;
   set m "profile.peak_counters_sum" i.Instrument.peak_counters;
-  set m "profile.peak_counters_worker_max" i.Instrument.peak_counters_worker_max
+  set m "profile.peak_counters_worker_max" i.Instrument.peak_counters_worker_max;
+  set m "profile.radix_scratch_bytes_sum" i.Instrument.radix_scratch_bytes;
+  set m "profile.radix_scratch_bytes_worker_max"
+    i.Instrument.radix_scratch_bytes_worker_max
 
 let add_io m (s : Stats.t) =
   count m "io.page_reads" s.Stats.page_reads;

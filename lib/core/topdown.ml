@@ -2,6 +2,7 @@ module Lattice = X3_lattice.Lattice
 module State = X3_lattice.State
 module Properties = X3_lattice.Properties
 module Witness = X3_pattern.Witness
+module Columnar = Witness.Columnar
 module Buffer_pool = X3_storage.Buffer_pool
 module Disk = X3_storage.Disk
 module External_sort = X3_storage.External_sort
@@ -13,7 +14,7 @@ type variant = [ `Plain | `Opt | `OptAll | `Custom of X3_lattice.Properties.t ]
 
 (* Qualification without the representative collapse: what a top-down pass
    over the materialised (cartesian) table sees. *)
-let row_qualifies cuboid row =
+let cols_qualifies cuboid cols ~row =
   let n = Array.length cuboid in
   let rec go ai =
     ai >= n
@@ -21,103 +22,176 @@ let row_qualifies cuboid row =
     match cuboid.(ai) with
     | State.Removed -> go (ai + 1)
     | State.Present m ->
-        Witness.qualifies row ~axis_index:ai ~state:m && go (ai + 1)
+        Columnar.qualifies cols ~axis:ai ~row ~state:m && go (ai + 1)
   in
   go 0
 
-(* Compute one cuboid by sorting its base rows (§3.5). Modes:
-   - [`Dedup] (TD): every qualifying row is sorted together with its fact
-     id and consecutive duplicates are skipped — "the identifier of the
-     data must be retained (to eliminate duplicates)". Correct always.
-   - [`Raw] (TDOPT/TDOPTALL's base step): qualifying rows without ids,
-     counted blindly; assumes strict disjointness.
-   - [`Representative] (TDCUST where the oracle proves the cuboid
-     disjoint): only representative rows, no ids — correct and cheaper.
-
-   The caller chooses where the sort spills ([pool]) and which counters and
-   measure it uses, so the same code serves the sequential path (the
-   table's pool, the context's instrumentation) and the parallel one (a
-   worker-private pool and counters). The sorted run is freed once swept —
-   it is a temporary, and leaving it allocated leaked its pages once per
-   cuboid per run. *)
 let mode_name = function
   | `Dedup -> "dedup"
   | `Raw -> "raw"
   | `Representative -> "representative"
 
-let compute_from_base (ctx : Context.t) ~instr ~pool ~measure ~iter_rows
+(* Compute one cuboid from the base columns (§3.5). Modes:
+   - [`Dedup] (TD): duplicate facts within a group contribute once —
+     "the identifier of the data must be retained (to eliminate
+     duplicates)". Correct always.
+   - [`Raw] (TDOPT/TDOPTALL's base step): qualifying rows counted blindly;
+     assumes strict disjointness.
+   - [`Representative] (TDCUST where the oracle proves the cuboid
+     disjoint): only representative rows, no ids — correct and cheaper.
+
+   The grouping strategy comes from [Radix.plan]: a direct slot array or a
+   radix-partitioned pass aggregates in place with no sort at all (a
+   fact's rows are contiguous, so a per-slot mark stamp removes duplicates
+   exactly as the sorted sweep's consecutive-fact skip does, and in the
+   same row order); the hash fallback keeps the paper's sort — emit
+   (sortable key, fact, measure) records, external-sort them, sweep. The
+   caller chooses where sorts spill ([pool]), which counters it bumps and
+   whether to poll for stops, so the same code serves the sequential path
+   and worker lanes. *)
+let compute_from_base (ctx : Context.t) ~instr ~pool ~cols ~bm ~checkpoint
     ~budget_records result cid ~mode =
+  let cuboid = Lattice.cuboid ctx.lattice cid in
+  let p = Radix.plan ~layout:ctx.layout ~radix_bits:ctx.radix_bits cuboid in
   let sp =
     Trace.start "td.base"
       ~attrs:
-        [ ("cuboid", Trace.Int cid); ("mode", Trace.Str (mode_name mode)) ]
+        [
+          ("cuboid", Trace.Int cid);
+          ("mode", Trace.Str (mode_name mode));
+          ("strategy", Trace.Str (Radix.strategy_name p.Radix.p_strategy));
+        ]
   in
   let fed_total = ref 0 in
   Fun.protect
     ~finally:(fun () ->
       Trace.finish sp ~attrs:[ ("rows", Trace.Int !fed_total) ])
   @@ fun () ->
-  let cuboid = Lattice.cuboid ctx.lattice cid in
   instr.Instrument.base_computations <- instr.Instrument.base_computations + 1;
-  instr.Instrument.sort_ops <- instr.Instrument.sort_ops + 1;
+  (* Every base computation walks all the rows once, whatever the
+     strategy — the columnar stand-in for the row path's table scan. *)
+  let rows = Columnar.rows cols in
+  instr.Instrument.table_scans <- instr.Instrument.table_scans + 1;
+  instr.Instrument.rows_scanned <- instr.Instrument.rows_scanned + rows;
   let dedup = mode = `Dedup in
-  let keep =
-    match mode with
-    | `Dedup | `Raw -> row_qualifies
-    | `Representative -> Context.row_represents
-  in
-  let scratch = Group_key.make_scratch ctx.layout in
-  let fed = ref 0 in
-  let sorted =
-    External_sort.sort_records ~pool ~budget_records
-      ~compare:Sort_record.compare (fun emit ->
-        iter_rows (fun row ->
-            if keep cuboid row then begin
-              incr fed;
-              (* Sort on the order-preserving byte form of the coded key:
-                 String.compare groups equal keys just as well, and the
-                 record stays a flat string for the external sorter. *)
-              Group_key.load scratch cuboid row;
-              instr.Instrument.keys_built <- instr.Instrument.keys_built + 1;
-              let key = Group_key.to_sortable (Group_key.freeze scratch) in
-              emit
-                (Sort_record.encode ~key
-                   ~fact:(if dedup then row.Witness.fact else 0)
-                   ~measure:(measure row.Witness.fact))
-            end))
-  in
-  instr.Instrument.rows_sorted <- instr.Instrument.rows_sorted + !fed;
-  fed_total := !fed;
-  (* One sweep: group boundaries on key change (the run is key-sorted, so
-     the group's cell is carried across records rather than looked up per
-     record); duplicate facts are consecutive within a group. *)
-  let layout = Cube_result.layout result in
-  let current_key = ref None and current_cell = ref None in
-  let prev_fact = ref (-1) in
-  Heap_file.iter
-    (fun record ->
-      let key, fact, measure = Sort_record.decode record in
-      let same_group =
-        match !current_key with Some k -> String.equal k key | None -> false
+  let representative = mode = `Representative in
+  let measure_row r = bm.(Columnar.block_of_row cols r) in
+  match p.Radix.p_strategy with
+  | Radix.Direct ->
+      instr.Instrument.radix_groupings <-
+        instr.Instrument.radix_groupings + 1;
+      let acc = Radix.acc_create p in
+      let cur = Radix.cursor p cols in
+      for r = 0 to rows - 1 do
+        checkpoint ();
+        let k = Radix.key cur r in
+        if k >= 0 && ((not representative) || Radix.first_on_removed cur r)
+        then begin
+          instr.Instrument.keys_built <- instr.Instrument.keys_built + 1;
+          incr fed_total;
+          if dedup then begin
+            instr.Instrument.dedup_tracked <-
+              instr.Instrument.dedup_tracked + 1;
+            ignore
+              (Radix.acc_add acc ~slot:k ~mark:(Columnar.fact cols r)
+                 (measure_row r))
+          end
+          else ignore (Radix.acc_add_raw acc ~slot:k (measure_row r))
+        end
+      done;
+      Radix.acc_flush acc ~f:(fun compact cell ->
+          Cube_result.set_cell result ~cuboid:cid
+            ~key:(Radix.key_of_compact p ctx.Context.layout compact)
+            cell)
+  | Radix.Partitioned ->
+      instr.Instrument.radix_groupings <-
+        instr.Instrument.radix_groupings + 1;
+      let cur = Radix.cursor p cols in
+      Radix.partitioned p ~rows
+        ~key:(fun r ->
+          checkpoint ();
+          let k = Radix.key cur r in
+          if k >= 0 && ((not representative) || Radix.first_on_removed cur r)
+          then begin
+            instr.Instrument.keys_built <- instr.Instrument.keys_built + 1;
+            incr fed_total;
+            if dedup then
+              instr.Instrument.dedup_tracked <-
+                instr.Instrument.dedup_tracked + 1;
+            k
+          end
+          else -1)
+        ~fact:(fun r -> Columnar.fact cols r)
+        ~measure:measure_row ~dedup
+        ~emit:(fun compact cell ->
+          Cube_result.set_cell result ~cuboid:cid
+            ~key:(Radix.key_of_compact p ctx.Context.layout compact)
+            cell)
+  | Radix.Hash ->
+      instr.Instrument.hash_groupings <- instr.Instrument.hash_groupings + 1;
+      instr.Instrument.sort_ops <- instr.Instrument.sort_ops + 1;
+      let keep =
+        if representative then Context.cols_represents cuboid cols
+        else cols_qualifies cuboid cols
       in
-      if not same_group then begin
-        current_key := Some key;
-        current_cell :=
-          Some
-            (Cube_result.cell result ~cuboid:cid
-               ~key:(Group_key.of_sortable layout key))
-      end;
-      let duplicate = dedup && same_group && fact = !prev_fact in
-      if not duplicate then begin
-        match !current_cell with
-        | Some cell -> Aggregate.add cell measure
-        | None -> assert false
-      end;
-      if dedup then
-        instr.Instrument.dedup_tracked <- instr.Instrument.dedup_tracked + 1;
-      prev_fact := fact)
-    sorted;
-  Heap_file.free sorted
+      let scratch = Group_key.make_scratch ctx.layout in
+      let fed = ref 0 in
+      let sorted =
+        External_sort.sort_records ~pool ~budget_records
+          ~compare:Sort_record.compare (fun emit ->
+            for r = 0 to rows - 1 do
+              checkpoint ();
+              if keep ~row:r then begin
+                incr fed;
+                (* Sort on the order-preserving byte form of the coded key:
+                   String.compare groups equal keys just as well, and the
+                   record stays a flat string for the external sorter. *)
+                Group_key.load_cols scratch cuboid cols ~row:r;
+                instr.Instrument.keys_built <-
+                  instr.Instrument.keys_built + 1;
+                emit
+                  (Sort_record.encode ~key:(Group_key.to_sortable
+                                              (Group_key.freeze scratch))
+                     ~fact:(if dedup then Columnar.fact cols r else 0)
+                     ~measure:(measure_row r))
+              end
+            done)
+      in
+      instr.Instrument.rows_sorted <- instr.Instrument.rows_sorted + !fed;
+      fed_total := !fed;
+      (* One sweep: group boundaries on key change (the run is key-sorted,
+         so the group's cell is carried across records rather than looked
+         up per record); duplicate facts are consecutive within a group. *)
+      let layout = Cube_result.layout result in
+      let current_key = ref None and current_cell = ref None in
+      let prev_fact = ref (-1) in
+      Heap_file.iter
+        (fun record ->
+          let key, fact, measure = Sort_record.decode record in
+          let same_group =
+            match !current_key with
+            | Some k -> String.equal k key
+            | None -> false
+          in
+          if not same_group then begin
+            current_key := Some key;
+            current_cell :=
+              Some
+                (Cube_result.cell result ~cuboid:cid
+                   ~key:(Group_key.of_sortable layout key))
+          end;
+          let duplicate = dedup && same_group && fact = !prev_fact in
+          if not duplicate then begin
+            match !current_cell with
+            | Some cell -> Aggregate.add cell measure
+            | None -> assert false
+          end;
+          if dedup then
+            instr.Instrument.dedup_tracked <-
+              instr.Instrument.dedup_tracked + 1;
+          prev_fact := fact)
+        sorted;
+      Heap_file.free sorted
 
 (* Roll a cuboid up from a finer, already computed cuboid's cells.  Only
    sound when the (finer -> coarser) edge is covered and the finer cuboid
@@ -153,6 +227,19 @@ let sort_allowance (ctx : Context.t) ~lanes =
       Context.stop ctx Context.Over_budget;
     (records, records * Governor.sort_record_cost * lanes)
   end
+
+(* Transient radix scratch a base computation pins while it runs — what
+   the governor books around the computation. 0 on the hash path, whose
+   footprint is the sort budget instead. *)
+let base_scratch_bytes (ctx : Context.t) ~rows cid =
+  let p =
+    Radix.plan ~layout:ctx.layout ~radix_bits:ctx.radix_bits
+      (Lattice.cuboid ctx.lattice cid)
+  in
+  match p.Radix.p_strategy with
+  | Radix.Direct -> Radix.acc_bytes p
+  | Radix.Partitioned -> Radix.partitioned_bytes p ~rows
+  | Radix.Hash -> 0
 
 let compute ~variant (ctx : Context.t) =
   let lattice = ctx.lattice in
@@ -201,22 +288,31 @@ let compute ~variant (ctx : Context.t) =
   in
   if Context.workers ctx <= 1 then begin
     (* Stop checks sit between cuboids (and inside the scans feeding each
-       sort): a stopped run keeps every fully computed cuboid. *)
+       computation): a stopped run keeps every fully computed cuboid. *)
     try
+      let cols = Context.cols ctx in
+      let bm = Context.block_measures ctx cols in
+      let rows = Columnar.rows cols in
       Array.iteri
         (fun i cid ->
           Context.check ctx;
           (match plans.(i) with
           | `Base mode ->
-              let budget_records, sort_bytes = sort_allowance ctx ~lanes:1 in
-              Context.reserve ctx sort_bytes;
+              let scratch_bytes = base_scratch_bytes ctx ~rows cid in
+              let budget_records, sort_bytes =
+                if scratch_bytes > 0 then (ctx.sort_budget, 0)
+                else sort_allowance ctx ~lanes:1
+              in
+              Context.reserve ctx (sort_bytes + scratch_bytes);
+              Instrument.bump_radix_scratch ctx.instr scratch_bytes;
               Fun.protect
-                ~finally:(fun () -> Context.release ctx sort_bytes)
+                ~finally:(fun () ->
+                  Context.release ctx (sort_bytes + scratch_bytes))
                 (fun () ->
                   compute_from_base ctx ~instr:ctx.instr
-                    ~pool:(Witness.pool ctx.table) ~measure:ctx.measure
-                    ~iter_rows:(Context.scan ctx) ~budget_records result cid
-                    ~mode)
+                    ~pool:(Witness.pool ctx.table) ~cols ~bm
+                    ~checkpoint:(fun () -> Context.checkpoint ctx)
+                    ~budget_records result cid ~mode)
           | `Rollup finer -> rollup ctx result ~finer ~coarser:cid);
           book_result ())
         order
@@ -224,67 +320,77 @@ let compute ~variant (ctx : Context.t) =
   end
   else begin
     try
-    (* Base computations write to disjoint cuboids (one task = one cuboid),
-       so workers aggregate into the shared result directly; each worker
-       spills its external sorts into a private in-memory scratch pool —
-       the shared buffer pool is unsynchronised. Roll-ups run afterwards on
-       the calling domain in coarsening order, exactly as the sequential
-       sweep interleaves them, since a roll-up may read a cuboid that
-       another roll-up produced. *)
-    Context.check ctx;
-    let rows = Context.snapshot_rows ctx in
-    let measure = Context.frozen_measure ctx rows in
-    let iter_rows instr f =
-      instr.Instrument.table_scans <- instr.Instrument.table_scans + 1;
-      instr.Instrument.rows_scanned <-
-        instr.Instrument.rows_scanned + Array.length rows;
-      Array.iter f rows
-    in
-    let base =
-      Array.of_list
-        (List.filteri
-           (fun i _ -> match plans.(i) with `Base _ -> true | _ -> false)
-           (Array.to_list order))
-    in
-    let base_modes =
-      Array.of_list
-        (List.filter_map
-           (function `Base mode -> Some mode | `Rollup _ -> None)
-           (Array.to_list plans))
-    in
-    (* One byte-derived sort budget for every worker lane, computed and
-       reserved here on the calling domain before fan-out: workers never
-       touch the account, so spill thresholds are deterministic for a
-       fixed budget regardless of worker interleaving. *)
-    let budget_records, sort_bytes =
-      sort_allowance ctx ~lanes:ctx.workers
-    in
-    Context.reserve ctx sort_bytes;
-    let states =
-      Fun.protect
-        ~finally:(fun () -> Context.release ctx sort_bytes)
-        (fun () ->
-          Parallel.run ~workers:ctx.workers ~tasks:(Array.length base)
-            ~init:(fun _ ->
-              {
-                instr = Instrument.create ();
-                pool = Buffer_pool.create (Disk.in_memory ());
-              })
-            ~body:(fun w t ->
-              compute_from_base ctx ~instr:w.instr ~pool:w.pool ~measure
-                ~iter_rows:(iter_rows w.instr) ~budget_records result
-                base.(t) ~mode:base_modes.(t)))
-    in
-    Array.iter
-      (fun w ->
-        Instrument.merge ~into:ctx.instr w.instr;
-        (* Fold the scratch pools' spill traffic into the shared pool's
-           counters so a parallel run reports its I/O like a sequential
-           one. *)
-        Stats.add
-          (Buffer_pool.stats (Witness.pool ctx.table))
-          (Buffer_pool.stats w.pool))
-      states;
+      (* Base computations write to disjoint cuboids (one task = one
+         cuboid), so workers aggregate into the shared result directly;
+         each worker spills its external sorts into a private in-memory
+         scratch pool — the shared buffer pool is unsynchronised. The
+         columns and block measures are immutable and shared. Roll-ups run
+         afterwards on the calling domain in coarsening order, exactly as
+         the sequential sweep interleaves them, since a roll-up may read a
+         cuboid that another roll-up produced. *)
+      Context.check ctx;
+      let cols = Context.cols ctx in
+      let bm = Context.block_measures ctx cols in
+      let rows = Columnar.rows cols in
+      let base =
+        Array.of_list
+          (List.filteri
+             (fun i _ -> match plans.(i) with `Base _ -> true | _ -> false)
+             (Array.to_list order))
+      in
+      let base_modes =
+        Array.of_list
+          (List.filter_map
+             (function `Base mode -> Some mode | `Rollup _ -> None)
+             (Array.to_list plans))
+      in
+      (* One byte-derived sort budget for every worker lane, computed and
+         reserved here on the calling domain before fan-out: workers never
+         touch the account, so spill thresholds are deterministic for a
+         fixed budget regardless of worker interleaving. Radix scratch is
+         likewise booked up front: each lane runs one base computation at
+         a time, so [workers × max-per-cuboid] bounds the concurrent
+         footprint. *)
+      let any_hash =
+        Array.exists (fun cid -> base_scratch_bytes ctx ~rows cid = 0) base
+      in
+      let budget_records, sort_bytes =
+        if any_hash then sort_allowance ctx ~lanes:ctx.workers
+        else (ctx.sort_budget, 0)
+      in
+      let scratch_bytes =
+        ctx.workers
+        * Array.fold_left
+            (fun m cid -> max m (base_scratch_bytes ctx ~rows cid))
+            0 base
+      in
+      Context.reserve ctx (sort_bytes + scratch_bytes);
+      Instrument.bump_radix_scratch ctx.instr scratch_bytes;
+      let states =
+        Fun.protect
+          ~finally:(fun () -> Context.release ctx (sort_bytes + scratch_bytes))
+          (fun () ->
+            Parallel.run ~workers:ctx.workers ~tasks:(Array.length base)
+              ~init:(fun _ ->
+                {
+                  instr = Instrument.create ();
+                  pool = Buffer_pool.create (Disk.in_memory ());
+                })
+              ~body:(fun w t ->
+                compute_from_base ctx ~instr:w.instr ~pool:w.pool ~cols ~bm
+                  ~checkpoint:(fun () -> ())
+                  ~budget_records result base.(t) ~mode:base_modes.(t)))
+      in
+      Array.iter
+        (fun w ->
+          Instrument.merge ~into:ctx.instr w.instr;
+          (* Fold the scratch pools' spill traffic into the shared pool's
+             counters so a parallel run reports its I/O like a sequential
+             one. *)
+          Stats.add
+            (Buffer_pool.stats (Witness.pool ctx.table))
+            (Buffer_pool.stats w.pool))
+        states;
       book_result ();
       Array.iteri
         (fun i cid ->

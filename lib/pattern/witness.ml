@@ -357,6 +357,216 @@ let to_list t =
   iter (fun r -> acc := r :: !acc) t;
   List.rev !acc
 
+(* --- column-major view -------------------------------------------------- *)
+(* The same table, transposed into unboxed Bigarray columns: one int32 id
+   column and one byte tag column per axis (the tag byte is exactly the row
+   codec's cell tag: validity bits 0-6, first-binding flag in bit 7), plus
+   plain int arrays for the fact ids and the fact-block geometry. Columns
+   are immutable after [Builder.finish], so they can be shared across
+   domains without the boxed-row snapshots the parallel paths used to
+   copy. *)
+
+module Columnar = struct
+  type int32_col = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+  type tag_col = (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  type t = {
+    c_axes : int;
+    c_rows : int;
+    c_ids : int32_col array;  (** per axis; [null_id] for unbound cells *)
+    c_tags : tag_col array;  (** per axis; validity lor (first ? 0x80 : 0) *)
+    c_facts : int array;  (** per row *)
+    c_row_block : int array;  (** per row: index of its fact block *)
+    c_block_start : int array;  (** blocks + 1 row offsets, fenced *)
+  }
+
+  let axes t = t.c_axes
+  let rows t = t.c_rows
+  let blocks t = Array.length t.c_block_start - 1
+  let fact t i = t.c_facts.(i)
+  let block_of_row t i = t.c_row_block.(i)
+  let block_lo t b = t.c_block_start.(b)
+  let block_hi t b = t.c_block_start.(b + 1) - 1
+
+  (* Raw columns, for kernels that hoist the array out of their row loop. *)
+  let ids t ai = t.c_ids.(ai)
+  let tags t ai = t.c_tags.(ai)
+
+  let id t ~axis ~row = Int32.to_int (Bigarray.Array1.get t.c_ids.(axis) row)
+  let tag t ~axis ~row = Bigarray.Array1.get t.c_tags.(axis) row
+  let validity t ~axis ~row = tag t ~axis ~row land 0x7F
+  let first t ~axis ~row = tag t ~axis ~row land 0x80 <> 0
+
+  let qualifies t ~axis ~row ~state =
+    id t ~axis ~row >= 0 && tag t ~axis ~row land (1 lsl state) <> 0
+
+  (* Resident footprint of the columns: 4 id bytes + 1 tag byte per axis
+     per row, two int words per row (fact + block index), the block fence,
+     and a small fixed overhead per Bigarray header. *)
+  let approx_bytes ~axes ~rows ~blocks =
+    (rows * ((5 * axes) + 16)) + (8 * (blocks + 2)) + (128 * ((2 * axes) + 1))
+
+  let row t i =
+    {
+      fact = t.c_facts.(i);
+      cells =
+        Array.init t.c_axes (fun ai ->
+            let tag = tag t ~axis:ai ~row:i in
+            { id = id t ~axis:ai ~row:i; validity = tag land 0x7F;
+              first = tag land 0x80 <> 0 });
+    }
+
+  module Builder = struct
+    type cols = t
+
+    type t = {
+      mutable next : int;
+      mutable last_fact : int;
+      mutable nblocks : int;
+      ids : int32_col array;
+      tags : tag_col array;
+      facts : int array;
+      row_block : int array;
+      block_start : int array;  (* capacity rows + 1, trimmed on finish *)
+      k : int;
+      capacity : int;
+    }
+
+    let create ~axes ~rows =
+      {
+        next = 0;
+        last_fact = min_int;
+        nblocks = 0;
+        ids =
+          Array.init axes (fun _ ->
+              Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout rows);
+        tags =
+          Array.init axes (fun _ ->
+              Bigarray.Array1.create Bigarray.int8_unsigned Bigarray.c_layout
+                rows);
+        facts = Array.make rows 0;
+        row_block = Array.make rows 0;
+        block_start = Array.make (rows + 1) 0;
+        k = axes;
+        capacity = rows;
+      }
+
+    let add b (row : row) =
+      if b.next >= b.capacity then
+        invalid_arg "Witness.Columnar.Builder.add: capacity exceeded";
+      if Array.length row.cells <> b.k then
+        invalid_arg "Witness.Columnar.Builder.add: axis count mismatch";
+      let i = b.next in
+      if row.fact <> b.last_fact then begin
+        b.block_start.(b.nblocks) <- i;
+        b.nblocks <- b.nblocks + 1;
+        b.last_fact <- row.fact
+      end;
+      b.facts.(i) <- row.fact;
+      b.row_block.(i) <- b.nblocks - 1;
+      for ai = 0 to b.k - 1 do
+        let cell = row.cells.(ai) in
+        Bigarray.Array1.set b.ids.(ai) i (Int32.of_int cell.id);
+        Bigarray.Array1.set b.tags.(ai) i
+          ((cell.validity land 0x7F) lor if cell.first then 0x80 else 0)
+      done;
+      b.next <- i + 1
+
+    let finish b =
+      if b.next <> b.capacity then
+        invalid_arg "Witness.Columnar.Builder.finish: rows missing";
+      let block_start = Array.sub b.block_start 0 (b.nblocks + 1) in
+      block_start.(b.nblocks) <- b.next;
+      {
+        c_axes = b.k;
+        c_rows = b.next;
+        c_ids = b.ids;
+        c_tags = b.tags;
+        c_facts = b.facts;
+        c_row_block = b.row_block;
+        c_block_start = block_start;
+      }
+  end
+
+  (* --- snapshot codec ---------------------------------------------------- *)
+  (* One column chunk per record: 'C' | kind u8 | axis u16 | start u32 |
+     count u32 | payload. Kinds: 0 = facts (u32 LE per row), 1 = axis ids
+     (u32 LE of id + 1, so the null cell encodes as 0), 2 = axis tag bytes.
+     The block geometry is not stored — it is a pure function of the fact
+     column. *)
+
+  let chunk_rows = 4096
+  let chunk_header = 12
+
+  let encode_chunk ~kind ~axis ~start cols n =
+    let width = if kind = 2 then 1 else 4 in
+    let buf = Buffer.create (chunk_header + (n * width)) in
+    let add_u8 v = Buffer.add_char buf (Char.chr (v land 0xFF)) in
+    let add_u16 v =
+      add_u8 (v land 0xFF);
+      add_u8 ((v lsr 8) land 0xFF)
+    in
+    let add_u32 v =
+      add_u16 (v land 0xFFFF);
+      add_u16 ((v lsr 16) land 0xFFFF)
+    in
+    Buffer.add_char buf 'C';
+    add_u8 kind;
+    add_u16 axis;
+    add_u32 start;
+    add_u32 n;
+    for i = start to start + n - 1 do
+      match kind with
+      | 0 -> add_u32 cols.c_facts.(i)
+      | 1 -> add_u32 (Int32.to_int (Bigarray.Array1.get cols.c_ids.(axis) i) + 1)
+      | _ -> add_u8 (Bigarray.Array1.get cols.c_tags.(axis) i)
+    done;
+    Buffer.contents buf
+
+  let records cols =
+    let acc = ref [] in
+    let emit ~kind ~axis =
+      let n = cols.c_rows in
+      let start = ref 0 in
+      while !start < n do
+        let count = min chunk_rows (n - !start) in
+        acc := encode_chunk ~kind ~axis ~start:!start cols count :: !acc;
+        start := !start + count
+      done
+    in
+    emit ~kind:0 ~axis:0;
+    for ai = 0 to cols.c_axes - 1 do
+      emit ~kind:1 ~axis:ai;
+      emit ~kind:2 ~axis:ai
+    done;
+    List.rev !acc
+
+  (* [record] is the chunk body without its leading 'C' tag. *)
+  let decode_chunk record =
+    if String.length record < chunk_header - 1 then
+      invalid_arg "witness snapshot: truncated column chunk";
+    let u8 pos = Char.code record.[pos] in
+    let u16 pos = u8 pos lor (u8 (pos + 1) lsl 8) in
+    let u32 pos = u16 pos lor (u16 (pos + 2) lsl 16) in
+    let kind = u8 0 in
+    let axis = u16 1 in
+    let start = u32 3 in
+    let count = u32 7 in
+    if kind > 2 then
+      invalid_arg (Printf.sprintf "witness snapshot: column kind %d" kind);
+    let width = if kind = 2 then 1 else 4 in
+    if String.length record <> chunk_header - 1 + (count * width) then
+      invalid_arg "witness snapshot: column chunk length mismatch";
+    (kind, axis, start, count, record)
+end
+
+let columnar_of_table t =
+  let b =
+    Columnar.Builder.create ~axes:(Array.length t.axes) ~rows:(row_count t)
+  in
+  iter (Columnar.Builder.add b) t;
+  Columnar.Builder.finish b
+
 (* --- snapshot persistence ---------------------------------------------- *)
 (* A witness table as one atomic snapshot: a header record, then the heap
    records verbatim ('R' rows, 'D' dictionary chunks) — the row and dict
@@ -389,16 +599,20 @@ let parse_snapshot_header record =
     Ok (u8 1, u32 2, u32 6)
 
 let save t store =
-  let records = ref [] in
-  X3_storage.Heap_file.iter (fun r -> records := ("R" ^ r) :: !records) t.heap;
+  (* Since the columnar refactor the snapshot's row payload is the
+     column-major layout ('C' chunks); the legacy 'R' row records are still
+     accepted by [load] so old snapshots keep working. *)
+  let cols = columnar_of_table t in
+  let dict_records = ref [] in
   X3_storage.Heap_file.iter
-    (fun r -> records := ("D" ^ r) :: !records)
+    (fun r -> dict_records := ("D" ^ r) :: !dict_records)
     t.dict_heap;
   let header =
     snapshot_header (Array.length t.axes) ~facts:t.facts
       ~rows:(X3_storage.Heap_file.record_count t.heap)
   in
-  X3_storage.Snapshot_store.commit store (header :: List.rev !records)
+  X3_storage.Snapshot_store.commit store
+    ((header :: Columnar.records cols) @ List.rev !dict_records)
 
 let load store pool ~axes =
   match X3_storage.Snapshot_store.read store with
@@ -415,6 +629,56 @@ let load store pool ~axes =
           else begin
             let heap = X3_storage.Heap_file.create pool in
             let dict_heap = X3_storage.Heap_file.create pool in
+            (* Columnar staging: one cursor per column ('C' chunks must
+               arrive in row order per column, which is how [save] emits
+               them); the boxed rows are synthesised once every column is
+               complete, so the rebuilt heap is identical to one loaded
+               from legacy 'R' records. *)
+            let legacy_rows = ref false in
+            let cols = Columnar.Builder.create ~axes:k ~rows in
+            let col_index ~kind ~axis =
+              match kind with
+              | 0 -> 0
+              | 1 -> 1 + axis
+              | _ -> 1 + k + axis
+            in
+            let cursor = Array.make (1 + (2 * k)) 0 in
+            let columnar_seen = ref false in
+            let apply_chunk body =
+              let kind, axis, start, count, payload =
+                Columnar.decode_chunk body
+              in
+              if kind > 0 && axis >= k then
+                invalid_arg "witness snapshot: column axis out of range";
+              let ci = col_index ~kind ~axis in
+              if cursor.(ci) <> start then
+                invalid_arg "witness snapshot: column chunk out of order";
+              if start + count > rows then
+                invalid_arg "witness snapshot: column chunk past row count";
+              let u32 pos =
+                Char.code payload.[pos]
+                lor (Char.code payload.[pos + 1] lsl 8)
+                lor (Char.code payload.[pos + 2] lsl 16)
+                lor (Char.code payload.[pos + 3] lsl 24)
+              in
+              let base = Columnar.chunk_header - 1 in
+              for i = 0 to count - 1 do
+                match kind with
+                | 0 -> cols.Columnar.Builder.facts.(start + i) <- u32 (base + (4 * i))
+                | 1 ->
+                    Bigarray.Array1.set
+                      cols.Columnar.Builder.ids.(axis)
+                      (start + i)
+                      (Int32.of_int (u32 (base + (4 * i)) - 1))
+                | _ ->
+                    Bigarray.Array1.set
+                      cols.Columnar.Builder.tags.(axis)
+                      (start + i)
+                      (Char.code payload.[base + i])
+              done;
+              cursor.(ci) <- start + count;
+              columnar_seen := true
+            in
             match
               List.iter
                 (fun record ->
@@ -425,14 +689,44 @@ let load store pool ~axes =
                   | 'R' ->
                       (* Decode to validate before trusting the record. *)
                       ignore (decode body);
+                      legacy_rows := true;
                       X3_storage.Heap_file.append heap body
+                  | 'C' -> apply_chunk body
                   | 'D' ->
                       ignore (decode_dict_chunk body);
                       X3_storage.Heap_file.append dict_heap body
                   | c ->
                       invalid_arg
                         (Printf.sprintf "witness snapshot: unknown tag %C" c))
-                rest
+                rest;
+              if !columnar_seen || rows = 0 then begin
+                if !legacy_rows && !columnar_seen then
+                  invalid_arg "witness snapshot: mixed row and column records";
+                Array.iter
+                  (fun filled ->
+                    if filled <> rows then
+                      invalid_arg "witness snapshot: incomplete column")
+                  cursor;
+                for i = 0 to rows - 1 do
+                  let cells =
+                    Array.init k (fun ai ->
+                        let id =
+                          Int32.to_int
+                            (Bigarray.Array1.get
+                               cols.Columnar.Builder.ids.(ai) i)
+                        in
+                        let tag =
+                          Bigarray.Array1.get cols.Columnar.Builder.tags.(ai) i
+                        in
+                        if id < null_id then
+                          invalid_arg "witness snapshot: column id underflow";
+                        { id; validity = tag land 0x7F;
+                          first = tag land 0x80 <> 0 })
+                  in
+                  X3_storage.Heap_file.append heap
+                    (encode { fact = cols.Columnar.Builder.facts.(i); cells })
+                done
+              end
             with
             | exception Invalid_argument msg -> Error msg
             | () ->

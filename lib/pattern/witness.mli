@@ -141,6 +141,72 @@ val iter_fact_blocks : (row list -> unit) -> t -> unit
 val to_list : t -> row list
 val pp_row : Format.formatter -> row -> unit
 
+(** {1 Column-major view}
+
+    The same table transposed into unboxed columns: per axis one [int32]
+    id column and one byte tag column (the row codec's cell tag byte —
+    validity in bits 0-6, the first-binding flag in bit 7), plus plain int
+    arrays for fact ids and fact-block geometry. Columns are immutable
+    once built, so the parallel algorithms share them across domains
+    instead of snapshotting boxed rows; the radix grouping kernels read
+    the raw columns directly. *)
+
+module Columnar : sig
+  type int32_col =
+    (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  type tag_col =
+    (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  type t
+
+  val axes : t -> int
+  val rows : t -> int
+  val blocks : t -> int
+  (** Fact blocks (rows of one fact are contiguous). *)
+
+  val fact : t -> int -> int
+  val block_of_row : t -> int -> int
+  val block_lo : t -> int -> int
+  val block_hi : t -> int -> int
+  (** Inclusive row range of one fact block. *)
+
+  val ids : t -> int -> int32_col
+  val tags : t -> int -> tag_col
+  (** The raw column of one axis — for kernels that hoist the array out of
+      their row loop. Ids are {!null_id} for unbound cells. *)
+
+  val id : t -> axis:int -> row:int -> int
+  val tag : t -> axis:int -> row:int -> int
+  val validity : t -> axis:int -> row:int -> int
+  val first : t -> axis:int -> row:int -> bool
+  val qualifies : t -> axis:int -> row:int -> state:int -> bool
+
+  val approx_bytes : axes:int -> rows:int -> blocks:int -> int
+  (** Resident footprint of the columns — what the governor books when a
+      context columnarises its table. *)
+
+  val row : t -> int -> row
+  (** Rebuild the boxed row at one index — the compatibility view. *)
+
+  module Builder : sig
+    type cols = t
+    type t
+
+    val create : axes:int -> rows:int -> t
+    val add : t -> row -> unit
+    (** Rows must arrive in table order (same-fact rows contiguous). *)
+
+    val finish : t -> cols
+    (** Raises [Invalid_argument] unless exactly [rows] rows were added. *)
+  end
+end
+
+val columnar_of_table : t -> Columnar.t
+(** One decode pass over the heap pages. The caller owns instrumentation
+    and fault handling of the scan; see [X3_core.Context.cols] for the
+    instrumented form the algorithms use. *)
+
 (** {1 Crash-safe persistence}
 
     A witness table can be committed into a {!X3_storage.Snapshot_store}

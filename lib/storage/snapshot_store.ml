@@ -91,18 +91,26 @@ let walk_chain pool meta =
          recursion must not nest page accesses, or a chain longer than the
          pool's capacity pins every frame. *)
       let step =
-        Buffer_pool.with_page pool page (fun buf ->
-            let next = u32_get buf 0 in
-            let next = if next = no_page then -1 else next in
-            let used = Bytes.get_uint16_le buf 4 in
-            if used = 0 || used > remaining then
-              Error
-                (Printf.sprintf "chain page %d carries %d bytes, expected <= %d"
-                   page used remaining)
-            else begin
-              Buffer.add_subbytes stream buf chain_header used;
-              Ok (next, used)
-            end)
+        match
+          Buffer_pool.with_page pool page (fun buf ->
+              let next = u32_get buf 0 in
+              let next = if next = no_page then -1 else next in
+              let used = Bytes.get_uint16_le buf 4 in
+              if used = 0 || used > remaining then
+                Error
+                  (Printf.sprintf
+                     "chain page %d carries %d bytes, expected <= %d" page
+                     used remaining)
+              else begin
+                Buffer.add_subbytes stream buf chain_header used;
+                Ok (next, used)
+              end)
+        with
+        | result -> result
+        | exception Disk.Corruption { reason; _ } ->
+            Error (Printf.sprintf "chain page %d corrupt: %s" page reason)
+        | exception Disk.Short_read _ ->
+            Error (Printf.sprintf "short read on chain page %d" page)
       in
       match step with
       | Error _ as e -> e

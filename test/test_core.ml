@@ -236,7 +236,7 @@ let test_all_algorithms_agree_on_clean_data () =
 
 let test_counter_multipass () =
   let p = prepared () in
-  let config = { Engine.counter_budget = 3; sort_budget = 1000 } in
+  let config = { Engine.default_config with counter_budget = 3; sort_budget = 1000 } in
   let result, instr = Engine.run ~config p Engine.Counter in
   let reference, _ = Engine.run p Engine.Naive in
   Alcotest.(check bool) "still correct" true
@@ -246,7 +246,7 @@ let test_counter_multipass () =
 
 let test_td_external_sort () =
   let p = prepared () in
-  let config = { Engine.counter_budget = 1_000_000; sort_budget = 2 } in
+  let config = { Engine.default_config with counter_budget = 1_000_000; sort_budget = 2 } in
   let result, _ = Engine.run ~config p Engine.Td in
   let reference, _ = Engine.run p Engine.Naive in
   Alcotest.(check bool) "external sorting stays correct" true
@@ -257,8 +257,18 @@ let test_instrumentation_sanity () =
   let _, instr_naive = Engine.run p Engine.Naive in
   Alcotest.(check int) "naive scans once" 1 instr_naive.Instrument.table_scans;
   let _, instr_td = Engine.run p Engine.Td in
-  Alcotest.(check int) "td scans per cuboid" 30 instr_td.Instrument.table_scans;
-  Alcotest.(check int) "td sorts per cuboid" 30 instr_td.Instrument.sort_ops;
+  (* One columnarising scan plus one emulated scan per base cuboid. *)
+  Alcotest.(check int) "td scans per cuboid" 31 instr_td.Instrument.table_scans;
+  Alcotest.(check int) "td radix grouping covers every cuboid" 30
+    (instr_td.Instrument.radix_groupings + instr_td.Instrument.hash_groupings);
+  let hash_config = { Engine.default_config with radix_bits = 0 } in
+  let _, instr_td_hash = Engine.run ~config:hash_config p Engine.Td in
+  Alcotest.(check int) "td sorts per cuboid with radix off" 30
+    instr_td_hash.Instrument.sort_ops;
+  Alcotest.(check int) "td hash groupings with radix off" 30
+    instr_td_hash.Instrument.hash_groupings;
+  Alcotest.(check int) "td no radix groupings with radix off" 0
+    instr_td_hash.Instrument.radix_groupings;
   let _, instr_tdoptall = Engine.run p Engine.Tdoptall in
   Alcotest.(check int) "tdoptall touches base once" 1
     instr_tdoptall.Instrument.base_computations;
@@ -508,7 +518,7 @@ let test_counter_budget_one () =
   (* One counter at a time: maximal eviction pressure, still correct. *)
   let p = prepared () in
   let reference, _ = Engine.run p Engine.Naive in
-  let config = { Engine.counter_budget = 1; sort_budget = 1000 } in
+  let config = { Engine.default_config with counter_budget = 1; sort_budget = 1000 } in
   let result, instr = Engine.run ~config p Engine.Counter in
   Alcotest.(check bool) "correct under extreme pressure" true
     (Cube_result.equal ~func:Aggregate.Count reference result);
@@ -716,7 +726,7 @@ let test_td_with_file_backed_disk () =
   let store = figure1_store () in
   let spec = Engine.count_spec ~fact_path ~axes:(query1_axes ()) in
   let p = Engine.prepare ~pool ~store spec in
-  let config = { Engine.counter_budget = 1_000_000; sort_budget = 2 } in
+  let config = { Engine.default_config with counter_budget = 1_000_000; sort_budget = 2 } in
   let result, _ = Engine.run ~config p Engine.Td in
   let reference, _ = Engine.run p Engine.Naive in
   Alcotest.(check bool) "file-backed external sorts stay correct" true
@@ -1120,7 +1130,7 @@ let prop_counter_budget_independent =
       let spec = Engine.count_spec ~fact_path:[ step d "r" ] ~axes:(random_axes ()) in
       let p = Engine.prepare ~pool:(small_pool ()) ~store spec in
       let reference, _ = Engine.run p Engine.Naive in
-      let config = { Engine.counter_budget = budget; sort_budget = 1000 } in
+      let config = { Engine.default_config with counter_budget = budget; sort_budget = 1000 } in
       let result, _ = Engine.run ~config p Engine.Counter in
       Cube_result.equal ~func:Aggregate.Count reference result)
 
@@ -1154,7 +1164,7 @@ let test_parallel_counter_tiny_budget () =
   let reference =
     Export.csv_string ~func:Aggregate.Count (fst (Engine.run p Engine.Naive))
   in
-  let config = { Engine.counter_budget = 3; sort_budget = 1000 } in
+  let config = { Engine.default_config with counter_budget = 3; sort_budget = 1000 } in
   List.iter
     (fun workers ->
       let result, instr = Engine.run ~config ~workers p Engine.Counter in
@@ -1192,6 +1202,63 @@ let prop_parallel_matches_sequential =
           in
           String.equal seq par)
         parallel_algorithms)
+
+(* --- radix vs hash grouping identity --------------------------------------- *)
+
+(* The grouping strategy is an execution detail: for every family, the
+   radix kernels (default config) and the hash path (radix_bits = 0) must
+   produce byte-identical exports, sequentially and under domain
+   parallelism — and the strategy counters must show both paths really
+   ran. *)
+let check_radix_hash_identity label p =
+  let hash_config = { Engine.default_config with Engine.radix_bits = 0 } in
+  List.iter
+    (fun algorithm ->
+      let name = Engine.algorithm_to_string algorithm in
+      let reference =
+        Export.csv_string ~func:Aggregate.Count
+          (fst (Engine.run ~config:hash_config p algorithm))
+      in
+      List.iter
+        (fun (cname, config) ->
+          List.iter
+            (fun workers ->
+              let result, instr = Engine.run ~config ~workers p algorithm in
+              (if config.Engine.radix_bits = 0 then
+                 Alcotest.(check int)
+                   (Printf.sprintf "%s %s/%dw: no radix groupings at bits 0"
+                      label name workers)
+                   0 instr.Instrument.radix_groupings
+               else
+                 Alcotest.(check bool)
+                   (Printf.sprintf "%s %s/%dw: radix kernels engaged" label
+                      name workers)
+                   true
+                   (instr.Instrument.radix_groupings > 0));
+              Alcotest.(check string)
+                (Printf.sprintf "%s %s: %s grouping at %d workers" label name
+                   cname workers)
+                reference
+                (Export.csv_string ~func:Aggregate.Count result))
+            [ 1; 2 ])
+        [ ("radix", Engine.default_config); ("hash", hash_config) ])
+    Engine.[ Naive; Counter; Buc; Td ]
+
+let test_radix_hash_identity_figure1 () =
+  check_radix_hash_identity "figure1" (prepared ())
+
+let test_radix_hash_identity_treebank () =
+  let config =
+    { X3_workload.Treebank.default with num_trees = 40; axes = 3 }
+  in
+  let store =
+    X3_xdb.Store.of_document (X3_workload.Treebank.generate config)
+  in
+  let p =
+    Engine.prepare ~pool:(small_pool ()) ~store
+      (X3_workload.Treebank.spec config)
+  in
+  check_radix_hash_identity "treebank" p
 
 (* --- Seen compaction ------------------------------------------------------- *)
 
@@ -1233,7 +1300,7 @@ let csv result = Export.csv_string ~func:Aggregate.Count result
 let test_counter_eviction_budget_one () =
   let p = prepared () in
   let reference = csv (fst (Engine.run p Engine.Naive)) in
-  let config = { Engine.counter_budget = 1; sort_budget = 1000 } in
+  let config = { Engine.default_config with counter_budget = 1; sort_budget = 1000 } in
   let result, instr = Engine.run ~config p Engine.Counter in
   Alcotest.(check string) "budget 1 still correct" reference (csv result);
   Alcotest.(check bool) "eviction forced extra passes" true
@@ -1253,7 +1320,7 @@ let test_counter_single_cuboid_keep_rule () =
       (Engine.count_spec ~fact_path ~axes)
   in
   let reference = csv (fst (Engine.run p Engine.Naive)) in
-  let config = { Engine.counter_budget = 1; sort_budget = 1000 } in
+  let config = { Engine.default_config with counter_budget = 1; sort_budget = 1000 } in
   let result, instr = Engine.run ~config p Engine.Counter in
   Alcotest.(check string) "correct" reference (csv result);
   Alcotest.(check int) "single pass" 1 instr.Instrument.passes;
@@ -1265,7 +1332,7 @@ let test_counter_eviction_tie_deterministic () =
      ties; the choice must be deterministic run to run. *)
   let p = prepared () in
   let reference = csv (fst (Engine.run p Engine.Naive)) in
-  let config = { Engine.counter_budget = 2; sort_budget = 1000 } in
+  let config = { Engine.default_config with counter_budget = 2; sort_budget = 1000 } in
   let r1, i1 = Engine.run ~config p Engine.Counter in
   let r2, i2 = Engine.run ~config p Engine.Counter in
   Alcotest.(check bool) "ties forced multiple passes" true
@@ -1512,6 +1579,13 @@ let () =
           Alcotest.test_case "counter under worker-split budget" `Quick
             test_parallel_counter_tiny_budget;
           Alcotest.test_case "worker resolution" `Quick test_parallel_resolve;
+        ] );
+      ( "radix grouping",
+        [
+          Alcotest.test_case "radix = hash on figure 1" `Quick
+            test_radix_hash_identity_figure1;
+          Alcotest.test_case "radix = hash on treebank" `Quick
+            test_radix_hash_identity_treebank;
         ] );
       ( "governor",
         [

@@ -315,6 +315,155 @@ let test_witness_snapshot_roundtrip () =
         (Witness.dicts table));
   Disk.close disk
 
+(* --- columnar snapshot records ------------------------------------------- *)
+
+(* Since the columnar refactor a saved table's row payload is 'C' column
+   chunks. The properties: a torn column page is a typed error and
+   recovery falls back to the previous epoch; malformed chunks are
+   rejected by the loader's own validation; hand-built legacy 'R'
+   snapshots still load; and a crash at any write boundary of the save
+   leaves one of the two tables, never a torn mix. *)
+
+let is_tag t r = String.length r > 0 && r.[0] = t
+
+(* A committed table's records, split by tag, for snapshots assembled by
+   hand below. *)
+let saved_records table =
+  let disk, _, store = fresh_store () in
+  Witness.save table store;
+  let records = Snapshot_store.read store in
+  Disk.close disk;
+  (List.hd records,
+   List.filter (is_tag 'C') records,
+   List.filter (is_tag 'D') records)
+
+let test_columnar_torn_column_page () =
+  let table = Fixtures.query1_table () in
+  let disk, pool, store = fresh_store () in
+  Witness.save table store;
+  (* Pages 0-1 are the header slots; the committed chain starts at page 2.
+     Tear a rewrite of a chain page so it fails checksum verification. *)
+  Fault.install (Fault.crash_after_writes ~torn:true 0) disk;
+  Buffer_pool.with_page_mut pool 2 (fun b -> Bytes.set b 8 '\xff');
+  (match Buffer_pool.flush pool with
+  | () -> Alcotest.fail "torn write did not crash"
+  | exception Fault.Crashed -> ());
+  Fault.clear disk;
+  Buffer_pool.invalidate pool;
+  (match Snapshot_store.verify store with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "torn column page passed verification");
+  (match Snapshot_store.recover pool with
+  | Error msg -> Alcotest.failf "recovery must fall back, not fail: %s" msg
+  | Ok store' ->
+      Alcotest.(check int) "fell back to the pre-save epoch" 0
+        (Snapshot_store.committed_epoch store');
+      (match
+         Witness.load store' (Fixtures.small_pool ())
+           ~axes:(Witness.axes table)
+       with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "empty fallback snapshot loaded as a table"));
+  Disk.close disk
+
+let test_columnar_chunk_rejected () =
+  let table = Fixtures.query1_table () in
+  let header, chunks, dicts = saved_records table in
+  let c0 = List.hd chunks in
+  let attempt name records =
+    let disk, _, store = fresh_store () in
+    Snapshot_store.commit store records;
+    (match Witness.load store (Fixtures.small_pool ()) ~axes:(Witness.axes table) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: malformed snapshot loaded" name);
+    Disk.close disk
+  in
+  attempt "truncated chunk" (header :: String.sub c0 0 6 :: dicts);
+  attempt "unknown record tag" ((header :: "Zjunk" :: chunks) @ dicts);
+  attempt "missing columns" (header :: dicts);
+  attempt "chunk out of order" ((header :: c0 :: chunks) @ dicts);
+  attempt "mixed row and column records"
+    ((header :: chunks)
+    @ [ "R" ^ Witness.encode (List.hd (Witness.to_list table)) ]
+    @ dicts)
+
+let test_legacy_row_snapshot_loads () =
+  let table = Fixtures.query1_table () in
+  let header, _, dicts = saved_records table in
+  let rows =
+    List.map (fun row -> "R" ^ Witness.encode row) (Witness.to_list table)
+  in
+  let disk, _, store = fresh_store () in
+  Snapshot_store.commit store ((header :: rows) @ dicts);
+  (match Witness.load store (Fixtures.small_pool ()) ~axes:(Witness.axes table) with
+  | Error msg -> Alcotest.fail msg
+  | Ok loaded ->
+      let show t =
+        List.map (Format.asprintf "%a" Witness.pp_row) (Witness.to_list t)
+      in
+      Alcotest.(check (list string)) "legacy rows load identically"
+        (show table) (show loaded));
+  Disk.close disk
+
+(* Crash the (columnar) witness save at every write boundary: recovery
+   yields either the first table or the second, both loadable. *)
+let test_witness_save_crash_sweep () =
+  let table = Fixtures.query1_table () in
+  let small =
+    X3_pattern.Eval.build_table (Fixtures.small_pool ())
+      (Fixtures.figure1_store ()) ~fact_path:Fixtures.fact_path
+      ~axes:[| Fixtures.axis_y () |]
+  in
+  let n_writes =
+    let disk, _, store = fresh_store () in
+    Witness.save small store;
+    let counter = Fault.combine [] in
+    Fault.install counter disk;
+    Witness.save table store;
+    Fault.clear disk;
+    Disk.close disk;
+    Fault.writes_seen counter
+  in
+  Alcotest.(check bool) "save performs writes" true (n_writes > 0);
+  for crash_at = 0 to n_writes + 1 do
+    let disk, pool, store = fresh_store () in
+    Witness.save small store;
+    Fault.install
+      (Fault.crash_after_writes ~torn:(crash_at mod 2 = 1) crash_at)
+      disk;
+    let committed =
+      match Witness.save table store with
+      | () -> true
+      | exception Fault.Crashed -> false
+    in
+    Fault.clear disk;
+    (match Snapshot_store.recover pool with
+    | Error msg -> Alcotest.failf "crash at write %d: %s" crash_at msg
+    | Ok store' -> (
+        let epoch = Snapshot_store.committed_epoch store' in
+        if committed && epoch <> 2 then
+          Alcotest.failf "crash at write %d: completed save lost" crash_at;
+        let expected =
+          match epoch with
+          | 2 -> table
+          | 1 -> small
+          | e ->
+              Alcotest.failf "crash at write %d: unexpected epoch %d" crash_at
+                e
+        in
+        match
+          Witness.load store' (Fixtures.small_pool ())
+            ~axes:(Witness.axes expected)
+        with
+        | Error msg -> Alcotest.failf "load after crash %d: %s" crash_at msg
+        | Ok loaded ->
+            Alcotest.(check int)
+              (Printf.sprintf "rows after crash %d" crash_at)
+              (Witness.row_count expected)
+              (Witness.row_count loaded)));
+    Disk.close disk
+  done
+
 let test_materialized_snapshot_roundtrip () =
   let ctx = make_ctx () in
   let view = Materialized.materialize ctx ~cuboid:0 in
@@ -556,6 +705,14 @@ let () =
             test_materialized_snapshot_roundtrip;
           quick "cube+materialize workload: crash at every write" `Quick
             test_workload_crash_sweep;
+          quick "torn column page: typed error + epoch fallback" `Quick
+            test_columnar_torn_column_page;
+          quick "malformed column chunks rejected" `Quick
+            test_columnar_chunk_rejected;
+          quick "legacy row snapshot still loads" `Quick
+            test_legacy_row_snapshot_loads;
+          quick "columnar save: crash at every write" `Quick
+            test_witness_save_crash_sweep;
         ] );
       ( "engine degradation",
         [

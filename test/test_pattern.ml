@@ -365,6 +365,60 @@ let prop_join_eval_equals_nav =
       in
       rows nav = rows join)
 
+(* --- columnar view ------------------------------------------------------- *)
+
+(* The column-major view is a pure re-encoding: every accessor must agree
+   with the boxed rows it was built from, and the rebuilt compatibility
+   rows must be structurally identical. *)
+let columnar_equals_rows table =
+  let cols = Witness.columnar_of_table table in
+  let rows = Array.of_list (Witness.to_list table) in
+  Witness.Columnar.rows cols = Array.length rows
+  && Witness.Columnar.blocks cols = Witness.fact_count table
+  && Witness.Columnar.axes cols
+     = Array.length (Witness.axes table)
+  && Array.for_all Fun.id
+       (Array.mapi
+          (fun r row ->
+            let k = Array.length row.Witness.cells in
+            Witness.Columnar.fact cols r = row.Witness.fact
+            && Array.for_all Fun.id
+                 (Array.init k (fun ai ->
+                      let c = row.Witness.cells.(ai) in
+                      Witness.Columnar.id cols ~axis:ai ~row:r = c.Witness.id
+                      && Witness.Columnar.validity cols ~axis:ai ~row:r
+                         = c.Witness.validity
+                      && Witness.Columnar.first cols ~axis:ai ~row:r
+                         = c.Witness.first))
+            && Witness.Columnar.row cols r = row)
+          rows)
+  && (* block ranges partition [0, rows) in order *)
+  (let ok = ref true and expect = ref 0 in
+   for b = 0 to Witness.Columnar.blocks cols - 1 do
+     if Witness.Columnar.block_lo cols b <> !expect then ok := false;
+     expect := Witness.Columnar.block_hi cols b + 1
+   done;
+   !ok && !expect = Array.length rows)
+
+let test_columnar_figure1 () =
+  Alcotest.(check bool) "columnar = rows on figure 1" true
+    (columnar_equals_rows (query1_table ()))
+
+let prop_columnar_equals_rows =
+  QCheck2.Test.make ~name:"columnar view = row view" ~count:100
+    gen_join_eval_doc (fun doc ->
+      let store = X3_xdb.Store.of_document doc in
+      let axes =
+        [|
+          Axis.make_exn ~name:"$q"
+            ~steps:[ step c "p"; step c "q" ]
+            ~allowed:[ Relax.Lnd; Relax.Sp; Relax.Pc_ad ];
+        |]
+      in
+      let fact_path = [ step d "r" ] in
+      let table = Eval.build_table (small_pool ()) store ~fact_path ~axes in
+      columnar_equals_rows table)
+
 (* --- mrfi --------------------------------------------------------------- *)
 
 let test_mrfi_query1 () =
@@ -425,6 +479,8 @@ let () =
           Alcotest.test_case "dict pages roundtrip" `Quick
             test_dict_pages_roundtrip;
           Alcotest.test_case "dict huge value" `Quick test_dict_huge_value;
+          Alcotest.test_case "columnar view on figure 1" `Quick
+            test_columnar_figure1;
         ] );
       ( "join eval",
         [
@@ -439,5 +495,10 @@ let () =
           Alcotest.test_case "no relaxations" `Quick test_mrfi_no_relaxations;
         ] );
       ( "properties",
-        qcheck [ prop_codec_roundtrip; prop_join_eval_equals_nav ] );
+        qcheck
+          [
+            prop_codec_roundtrip;
+            prop_join_eval_equals_nav;
+            prop_columnar_equals_rows;
+          ] );
     ]
