@@ -1,0 +1,182 @@
+(* The PR 7 serve smoke benchmark: the resident daemon against cold
+   per-query recompute, end-to-end through a real unix socket.
+
+   One daemon is started in-process on a temp socket and fed the dense
+   treebank workload.  The cold baseline is the daemon's own no_cache
+   path — a fresh document load, prepare and full cube per request,
+   exactly what a one-shot `x3 cube` pays.  The warm path is a repeat of
+   the same query against the populated cuboid cache.  Gates:
+
+   - byte identity: the warm answer must equal the cold answer exactly;
+   - provenance: the warm repeat must be fully served from the cache
+     (no base scans), after a first pass that exercised the rollup path;
+   - latency: best-of-N warm must be >= 5x faster than best-of-N cold.
+
+   Writes BENCH_PR7.json, an x3-metrics/1 document whose meta block
+   carries the latency table and gate verdicts and whose registry
+   snapshot is the daemon's own serve.* registry (cache hit/miss/eviction
+   counters and request/compute latency histograms).  Exits non-zero if
+   any gate fails, so `dune runtest` gates on all of it. *)
+
+module Server = X3_serve.Server
+module Protocol = X3_serve.Protocol
+module Treebank = X3_workload.Treebank
+module Json = X3_obs.Json
+module Obs_metrics = X3_obs.Metrics
+module Obs_export = X3_obs.Export
+
+let trees = 1500
+let axes = 3
+let rounds = 5
+let latency_gate = 5.0
+
+(* Matches the generated workload: axes [$dj in $s/wj/dj], structural
+   relaxations on the first two axes. *)
+let query =
+  {|for $s in doc("bank.xml")//s,
+    $d1 in $s/w1/d1,
+    $d2 in $s/w2/d2,
+    $d3 in $s/w3/d3
+X^3 $s by $d1 (LND, PC-AD), $d2 (LND, PC-AD), $d3 (LND)
+return COUNT($s).|}
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let cube_exn conn ~doc ~no_cache =
+  match
+    Server.Client.request conn
+      (Protocol.Cube
+         { query; doc = Some doc; algorithm = None; format = "csv"; no_cache })
+  with
+  | Ok (Protocol.Cube_ok { payload; provenance; _ }) -> (payload, provenance)
+  | Ok (Protocol.Failed { code; message }) ->
+      die "serve-smoke: cube failed: %s: %s" code message
+  | Ok _ -> die "serve-smoke: unexpected response to cube"
+  | Error msg -> die "serve-smoke: transport error: %s" msg
+
+(* Best-of-N wall time of one request shape, measured at the client —
+   the daemon's whole round trip, not just the compute. *)
+let measure conn ~doc ~no_cache =
+  let best = ref infinity in
+  for _ = 1 to rounds do
+    let t0 = Unix.gettimeofday () in
+    ignore (cube_exn conn ~doc ~no_cache : string * Protocol.provenance);
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let () =
+  let out_path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_PR7.json"
+  in
+  let config =
+    { Treebank.default with num_trees = trees; axes; density = Treebank.Dense }
+  in
+  let doc_path = Filename.temp_file "x3serve_bench" ".xml" in
+  let oc = open_out doc_path in
+  output_string oc (X3_xml.Serialize.to_string (Treebank.generate config));
+  close_out oc;
+  let sock_path = Filename.temp_file "x3serve_bench" ".sock" in
+  Sys.remove sock_path;
+  let address = Server.Unix_sock sock_path in
+  let server =
+    match Server.create (Server.default_config address) with
+    | Ok s -> s
+    | Error msg -> die "serve-smoke: %s" msg
+  in
+  let server_thread = Thread.create Server.run server in
+  let finally () =
+    Server.stop server;
+    Thread.join server_thread;
+    try Sys.remove doc_path with Sys_error _ -> ()
+  in
+  Fun.protect ~finally @@ fun () ->
+  let conn =
+    match Server.Client.connect address with
+    | Ok c -> c
+    | Error msg -> die "serve-smoke: connect: %s" msg
+  in
+  Printf.printf
+    "  serve warm-vs-cold (dense treebank trees=%d axes=%d, %d rounds \
+     each):\n"
+    trees axes rounds;
+  (* Cold reference first: the no_cache path neither reads nor writes the
+     cache, so the warm measurements below are not polluted. *)
+  let cold_payload, _ = cube_exn conn ~doc:doc_path ~no_cache:true in
+  let cold_seconds = measure conn ~doc:doc_path ~no_cache:true in
+  (* First warm-path pass populates the cache and must exercise rollups. *)
+  let warm1_payload, warm1_prov = cube_exn conn ~doc:doc_path ~no_cache:false in
+  (* Warm repeats: everything answered from resident cuboid views. *)
+  let warm_seconds = measure conn ~doc:doc_path ~no_cache:false in
+  let warm2_payload, warm2_prov = cube_exn conn ~doc:doc_path ~no_cache:false in
+  Server.Client.close conn;
+  let speedup = cold_seconds /. warm_seconds in
+  let identical =
+    String.equal cold_payload warm1_payload
+    && String.equal cold_payload warm2_payload
+  in
+  Printf.printf
+    "    cold %8.4fs   warm %8.4fs   %5.1fx (gate %.1fx)   first pass \
+     base=%d rollup=%d   repeat cached=%d   %s\n"
+    cold_seconds warm_seconds speedup latency_gate warm1_prov.Protocol.p_base
+    warm1_prov.Protocol.p_rollup warm2_prov.Protocol.p_cached
+    (if identical then "identical" else "DIVERGED");
+  let meta =
+    [
+      ("bench", Json.Str "PR7: resident serve daemon, warm cache vs cold");
+      ( "workload",
+        Json.Str (Printf.sprintf "dense treebank trees=%d axes=%d" trees axes)
+      );
+      ("rounds", Json.Int rounds);
+      ("cold_seconds", Json.Float cold_seconds);
+      ("warm_seconds", Json.Float warm_seconds);
+      ("identical", Json.Bool identical);
+      ( "first_pass_provenance",
+        Json.Obj
+          [
+            ("base", Json.Int warm1_prov.Protocol.p_base);
+            ("rollup", Json.Int warm1_prov.Protocol.p_rollup);
+            ("cached", Json.Int warm1_prov.Protocol.p_cached);
+          ] );
+      ( "warm_repeat_provenance",
+        Json.Obj
+          [
+            ("base", Json.Int warm2_prov.Protocol.p_base);
+            ("rollup", Json.Int warm2_prov.Protocol.p_rollup);
+            ("cached", Json.Int warm2_prov.Protocol.p_cached);
+          ] );
+      ( "gates",
+        Json.Obj
+          [
+            ("warm_speedup", Json.Float speedup);
+            ("warm_speedup_gate", Json.Float latency_gate);
+          ] );
+    ]
+  in
+  Json.to_file out_path
+    (Obs_export.metrics_json ~meta
+       (Obs_metrics.snapshot (Server.registry server)));
+  Printf.printf "  wrote %s\n" out_path;
+  let fail = ref false in
+  if not identical then begin
+    prerr_endline "serve-smoke: warm answers diverged from the cold run";
+    fail := true
+  end;
+  if warm1_prov.Protocol.p_rollup = 0 then begin
+    prerr_endline "serve-smoke: the first warm pass never rolled up a cuboid";
+    fail := true
+  end;
+  if warm2_prov.Protocol.p_base > 0 || warm2_prov.Protocol.p_rollup > 0
+  then begin
+    prerr_endline "serve-smoke: the warm repeat was not fully cache-served";
+    fail := true
+  end;
+  if speedup < latency_gate then begin
+    Printf.eprintf
+      "serve-smoke: warm cache is %.1fx faster than cold recompute (< \
+       %.1fx)\n"
+      speedup latency_gate;
+    fail := true
+  end;
+  if !fail then exit 1

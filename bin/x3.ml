@@ -338,6 +338,20 @@ let run_explain query_path doc algorithm_name use_schema workers radix_bits
   let rings = Trace.dump () in
   (* Join the trace back into a per-cuboid cost table. *)
   let lattice = Engine.lattice prepared in
+  (* The grouping strategy is a pure function of (layout, cuboid,
+     radix_bits) — compute it from the plan rather than joining trace
+     instants, which a saturated ring can drop. The traced value, when
+     present, is kept as a cross-check below. *)
+  let planned_strategy =
+    let layout = X3_core.Group_key.layout_of_table (Engine.table prepared) in
+    fun cid ->
+      let p =
+        X3_core.Radix.plan ~layout ~radix_bits (Lattice.cuboid lattice cid)
+      in
+      Printf.sprintf "%s(%d)"
+        (X3_core.Radix.strategy_name p.X3_core.Radix.p_strategy)
+        p.X3_core.Radix.p_bits
+  in
   let by_cuboid : (int, cuboid_report) Hashtbl.t = Hashtbl.create 64 in
   let report cid =
     match Hashtbl.find_opt by_cuboid cid with
@@ -434,10 +448,19 @@ let run_explain query_path doc algorithm_name use_schema workers radix_bits
       let label =
         if r.cr_label <> "" then r.cr_label else Engine.cuboid_label prepared cid
       in
+      let strategy = planned_strategy cid in
+      (* The ring may have dropped the instant ("-"); when it survived it
+         must agree with the plan — a mismatch would mean the compute and
+         the explain column diverged, which is worth shouting about. *)
+      if r.cr_strategy <> "-" && r.cr_strategy <> strategy then
+        Printf.eprintf
+          "x3: warning — cuboid %d traced strategy %s disagrees with the \
+           planned %s\n"
+          cid r.cr_strategy strategy;
       Printf.printf "  %-4d %9d %-6d %-18s %-16s %s\n" cid
         (if r.cr_cells > 0 then r.cr_cells
          else X3_core.Cube_result.cuboid_size result cid)
-        r.cr_sorts r.cr_provenance r.cr_strategy label)
+        r.cr_sorts r.cr_provenance strategy label)
     (Lattice.by_degree lattice);
   let io = run_stats.Engine.io in
   let pool_lookups = io.X3_storage.Stats.pool_hits + io.X3_storage.Stats.pool_misses in
@@ -612,6 +635,79 @@ let run_gen kind out trees axes coverage disjoint dense seed =
   | Some path ->
       X3_xml.Serialize.to_file ~indent:true path doc;
       Printf.printf "wrote %s\n" path
+
+(* --- serve -------------------------------------------------------------- *)
+
+module Server = X3_serve.Server
+module Serve_protocol = X3_serve.Protocol
+
+let serve_address socket port =
+  match (socket, port) with
+  | Some path, None -> Server.Unix_sock path
+  | None, Some p -> Server.Tcp ("127.0.0.1", p)
+  | Some _, Some _ ->
+      prerr_endline "x3: give either --socket or --port, not both";
+      exit 1
+  | None, None ->
+      prerr_endline "x3: serve needs --socket PATH or --port N";
+      exit 1
+
+let serve_client_request address req =
+  match Server.Client.connect address with
+  | Error msg ->
+      prerr_endline ("x3: cannot connect: " ^ msg);
+      exit 1
+  | Ok conn ->
+      Fun.protect
+        ~finally:(fun () -> Server.Client.close conn)
+        (fun () ->
+          match Server.Client.request conn req with
+          | Error msg ->
+              prerr_endline ("x3: " ^ msg);
+              exit 1
+          | Ok resp -> resp)
+
+let run_serve socket port cache_bytes max_concurrent max_waiting
+    admission_timeout workers max_input_bytes max_frame_bytes stats shutdown =
+  let address = serve_address socket port in
+  if stats then
+    match serve_client_request address Serve_protocol.Stats with
+    | Serve_protocol.Stats_ok doc -> print_string (Json.to_string doc)
+    | Serve_protocol.Failed { code; message } ->
+        prerr_endline (Printf.sprintf "x3: %s: %s" code message);
+        exit 1
+    | _ ->
+        prerr_endline "x3: unexpected response to STATS";
+        exit 1
+  else if shutdown then
+    match serve_client_request address Serve_protocol.Shutdown with
+    | Serve_protocol.Bye -> print_endline "x3: server shut down"
+    | _ ->
+        prerr_endline "x3: unexpected response to SHUTDOWN";
+        exit 1
+  else begin
+    let config =
+      {
+        Server.address;
+        cache_bytes;
+        max_in_flight = max_concurrent;
+        max_waiting;
+        admission_timeout;
+        workers;
+        max_input_bytes;
+        max_frame_bytes;
+      }
+    in
+    let server = or_die (Server.create config) in
+    (match address with
+    | Server.Unix_sock path ->
+        Printf.printf "x3 serve: listening on %s (cache %d bytes)\n%!" path
+          cache_bytes
+    | Server.Tcp (host, p) ->
+        Printf.printf "x3 serve: listening on %s:%d (cache %d bytes)\n%!" host
+          p cache_bytes);
+    Server.run server
+  end
 
 (* --- info --------------------------------------------------------------- *)
 
@@ -935,6 +1031,94 @@ let pivot_cmd =
       const run_pivot $ query_arg $ doc_arg $ rows $ cols $ row_state
       $ col_state)
 
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket to listen on.")
+  in
+  let port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"N" ~doc:"TCP port to listen on (127.0.0.1).")
+  in
+  let cache_bytes =
+    Arg.(
+      value
+      & opt int (64 * 1024 * 1024)
+      & info [ "cache-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Byte budget of the LRU cuboid cache (documents, witness \
+             tables and materialised cuboid views all charge it).")
+  in
+  let max_concurrent =
+    Arg.(
+      value & opt int 4
+      & info [ "max-concurrent" ] ~docv:"N"
+          ~doc:"Admission cap on in-flight cube requests.")
+  in
+  let max_waiting =
+    Arg.(
+      value & opt int 16
+      & info [ "max-waiting" ] ~docv:"N"
+          ~doc:"Requests allowed to wait for a slot; beyond it, shed.")
+  in
+  let admission_timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "admission-timeout" ] ~docv:"SECONDS"
+          ~doc:"Patience of a waiting request (default: wait forever).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "workers"; "j" ] ~docv:"N"
+          ~doc:"Worker domains per cube computation.")
+  in
+  let max_input_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-input-bytes" ] ~docv:"BYTES"
+          ~doc:"Refuse to load an XML document larger than this.")
+  in
+  let max_frame_bytes =
+    Arg.(
+      value
+      & opt int X3_serve.Protocol.default_max_frame_bytes
+      & info [ "max-frame-bytes" ] ~docv:"BYTES"
+          ~doc:"Wire-frame payload cap (hostile-input guard).")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Client mode: connect to a running daemon, print its \
+             x3-metrics/1 document (the STATS verb) and exit.")
+  in
+  let shutdown =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ]
+          ~doc:"Client mode: ask a running daemon to shut down and exit.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident query daemon: a length-prefixed JSON protocol \
+          over a Unix/TCP socket, concurrent queries through admission \
+          control, and a byte-budgeted LRU cuboid cache that answers a \
+          requested cuboid from any cached lattice ancestor when the \
+          observed coverage properties prove the rollup sound")
+    Term.(
+      const run_serve $ socket $ port $ cache_bytes $ max_concurrent
+      $ max_waiting $ admission_timeout $ workers $ max_input_bytes
+      $ max_frame_bytes $ stats $ shutdown)
+
 let info_cmd =
   let path =
     Arg.(
@@ -954,6 +1138,7 @@ let () =
           [
             cube_cmd;
             explain_cmd;
+            serve_cmd;
             lattice_cmd;
             analyze_cmd;
             pivot_cmd;

@@ -247,6 +247,47 @@ let run ?props ?config ?workers prepared algorithm =
   trace_cuboid_strategies prepared ctx;
   (result, ctx.Context.instr)
 
+(* --- resident sessions --------------------------------------------------- *)
+
+(* A session is the resident-daemon view of one prepared query: a context
+   whose columnar layout and byte bookings persist across requests, plus
+   the observed summarizability properties — the ground truth the serve
+   layer's cache consults before answering a cuboid by rolling up a
+   cached finer one. Sessions are NOT thread-safe (the buffer pool and
+   the context scratch are unsynchronised); callers serialize. *)
+module Session = struct
+  type t = {
+    s_prepared : prepared;
+    s_ctx : Context.t;
+    s_props : X3_lattice.Properties.t;
+  }
+
+  let create ?config ?workers ?account prepared =
+    let ctx = make_context ?config ?workers ?account prepared in
+    let props =
+      X3_lattice.Properties.observe prepared.table prepared.lattice
+    in
+    { s_prepared = prepared; s_ctx = ctx; s_props = props }
+
+  let prepared t = t.s_prepared
+  let context t = t.s_ctx
+  let props t = t.s_props
+
+  let materialize t ~cuboid = Materialized.materialize t.s_ctx ~cuboid
+
+  let rollup t view ~coarser =
+    Materialized.rollup t.s_ctx ~props:t.s_props view ~coarser
+
+  let result_of_views t views =
+    let result =
+      Cube_result.create ~table:t.s_prepared.table t.s_prepared.lattice
+    in
+    List.iter (fun view -> Materialized.to_result view result) views;
+    result
+
+  let table_bytes t = Witness.approx_bytes t.s_prepared.table
+end
+
 (* --- graceful degradation ----------------------------------------------- *)
 
 module Fault = X3_storage.Fault
@@ -356,22 +397,41 @@ let run_safe ?props ?config ?workers ?deadline ?cancel ?(retries = 2)
         | None -> raise e
         | Some (`Fatal err) -> Failed err
         | Some (`Transient msg) ->
+            let now = Unix.gettimeofday () in
             let out_of_time =
-              match deadline_at with
-              | Some d -> Unix.gettimeofday () >= d
-              | None -> false
+              match deadline_at with Some d -> now >= d | None -> false
             in
             if n >= retries || out_of_time then Failed (Io_fault msg)
             else begin
+              (* The backoff must never sleep past the caller's deadline:
+                 clamp it to the time remaining, and if nothing remains
+                 after the nap, report the deadline rather than burning it
+                 on a sleep the retry could only inherit expired. *)
+              let want = backoff *. Float.of_int (1 lsl n) in
+              let nap =
+                match deadline_at with
+                | Some d -> Float.min want (Float.max 0. (d -. now))
+                | None -> want
+              in
               Trace.instant "engine.retry"
                 ~attrs:
                   [
                     ("attempt", Trace.Int (n + 1));
                     ("reason", Trace.Str msg);
-                    ("backoff", Trace.Float (backoff *. Float.of_int (1 lsl n)));
+                    ("backoff", Trace.Float nap);
                   ];
-              Unix.sleepf (backoff *. Float.of_int (1 lsl n));
-              attempt (n + 1)
+              if nap > 0. then Unix.sleepf nap;
+              let expired =
+                match deadline_at with
+                | Some d -> Unix.gettimeofday () >= d
+                | None -> false
+              in
+              if expired then
+                Partial
+                  ( Context.Deadline_exceeded,
+                    Cube_result.create ~table:prepared.table prepared.lattice,
+                    ctx.Context.instr )
+              else attempt (n + 1)
             end)
   in
   let io_before =

@@ -103,6 +103,56 @@ val run :
     can differ in the last bits of the addition order across worker
     counts). *)
 
+(** {1 Resident sessions}
+
+    The serve daemon's entry point into the engine: a {!Session.t} wraps
+    one prepared query with a persistent context (columnar layout and
+    byte bookings survive across requests) and the {e observed}
+    summarizability properties of its witness table — the soundness
+    oracle a cuboid cache consults before answering a requested cuboid
+    by rolling up a cached finer one instead of rescanning base data. *)
+
+module Session : sig
+  type t
+
+  val create :
+    ?config:config ->
+    ?workers:int ->
+    ?account:Governor.account ->
+    prepared ->
+    t
+  (** Builds the context and measures ground-truth properties with
+      {!X3_lattice.Properties.observe} (one table scan). Sessions are
+      {e not} thread-safe — the buffer pool underneath is unsynchronised,
+      so callers must serialize access. *)
+
+  val prepared : t -> prepared
+  val context : t -> Context.t
+
+  val props : t -> X3_lattice.Properties.t
+  (** Observed disjointness/coverage — what {!rollup} checks against. *)
+
+  val materialize : t -> cuboid:int -> Materialized.t
+  (** Base computation: one witness-table scan collecting the cuboid's
+      groups with fact sets. *)
+
+  val rollup :
+    t -> Materialized.t -> coarser:int -> (Materialized.t, string) result
+  (** Answer [coarser] from a materialised finer view without touching
+      base data; [Error] when no covered lattice path exists (the view
+      may be missing facts — §3.6's failure mode). *)
+
+  val result_of_views : t -> Materialized.t list -> Cube_result.t
+  (** Assemble a cube result from per-cuboid views (one per lattice
+      cuboid for a full cube; exports are then byte-identical to a cold
+      {!run} for COUNT). *)
+
+  val table_bytes : t -> int
+  (** Resident footprint of the witness table
+      ({!X3_pattern.Witness.approx_bytes}) — what a cache charges for
+      keeping the session loaded. *)
+end
+
 (** {1 Graceful degradation}
 
     {!run_safe} is {!run} with a failure model: typed outcomes instead of

@@ -1,9 +1,13 @@
 (* Byte-budgeted execution and admission control.
 
    The pool and the accounts are plain atomics so worker domains can
-   reserve concurrently; admission is a mutex-protected counter pair with
-   poll-based waiting (stdlib Condition has no timed wait, and the waits
-   here are long relative to a millisecond poll). *)
+   reserve concurrently; admission is a mutex-protected FIFO waiter queue
+   over a Condition — waiters block (zero CPU between wakeups) instead of
+   polling, which matters once a resident daemon parks many of them.
+   stdlib Condition has no timed wait, so deadlines are enforced by one
+   lazily started watchdog thread per door that broadcasts around the
+   earliest pending deadline and exits as soon as no timed waiter
+   remains. *)
 
 (* --- cost model --------------------------------------------------------- *)
 
@@ -147,14 +151,21 @@ let close a =
 (* --- admission control --------------------------------------------------- *)
 
 module Admission = struct
+  type waiter = {
+    w_deadline : float option;  (** absolute, [None] = infinite patience *)
+    mutable w_state : [ `Waiting | `Admitted | `Abandoned ];
+  }
+
   type t = {
     max_in_flight : int;
     max_waiting : int;
     lock : Mutex.t;
+    slot_freed : Condition.t;
     mutable in_flight : int;
-    mutable waiting : int;
+    mutable queue : waiter list;  (** FIFO: head is next to admit *)
     mutable admitted_total : int;
     mutable rejected_total : int;
+    mutable watchdog_running : bool;
   }
 
   let create ?(max_in_flight = 4) ?(max_waiting = 16) () =
@@ -164,10 +175,12 @@ module Admission = struct
       max_in_flight;
       max_waiting;
       lock = Mutex.create ();
+      slot_freed = Condition.create ();
       in_flight = 0;
-      waiting = 0;
+      queue = [];
       admitted_total = 0;
       rejected_total = 0;
+      watchdog_running = false;
     }
 
   type rejection =
@@ -186,71 +199,167 @@ module Admission = struct
     Mutex.lock t.lock;
     Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-  (* The poll interval bounds how stale a waiter's view can be; a freed
-     slot is picked up within ~1 ms, far below any realistic cube run. *)
-  let poll_interval = 0.001
+  (* Stdlib [Condition] has no timed wait, so timed waiters are woken by a
+     watchdog: one thread per door, started lazily when a timed waiter
+     blocks, broadcasting at (or slightly before) the earliest pending
+     deadline and exiting once no timed waiter remains. The chunk cap
+     bounds how late a newly arrived, earlier deadline can be noticed. *)
+  let watchdog_chunk = 0.005
+
+  let earliest_deadline t =
+    List.fold_left
+      (fun acc w ->
+        match (w.w_state, w.w_deadline) with
+        | `Waiting, Some d -> (
+            match acc with Some e -> Some (Float.min e d) | None -> Some d)
+        | _ -> acc)
+      None t.queue
+
+  let rec watchdog t =
+    let next = locked t (fun () -> earliest_deadline t) in
+    match next with
+    | None ->
+        locked t (fun () ->
+            (* Re-check under the lock: a timed waiter may have arrived
+               between the read and here; if so keep running. *)
+            match earliest_deadline t with
+            | Some _ -> true
+            | None ->
+                t.watchdog_running <- false;
+                false)
+        |> fun keep_going -> if keep_going then watchdog t
+    | Some d ->
+        let now = Unix.gettimeofday () in
+        if d > now then Thread.delay (Float.min (d -. now) watchdog_chunk)
+        else begin
+          locked t (fun () ->
+              (* Deadline reached: wake everyone so expired waiters can
+                 deregister themselves. *)
+              Condition.broadcast t.slot_freed);
+          (* Give the woken waiter a beat to deregister before re-checking,
+             so this loop never spins hot against the scheduler. *)
+          Thread.delay 0.0002
+        end;
+        watchdog t
+
+  let ensure_watchdog t =
+    (* Called with the lock held. *)
+    if not t.watchdog_running then begin
+      t.watchdog_running <- true;
+      ignore (Thread.create watchdog t)
+    end
+
+  (* Head-of-line check. Admission is strictly FIFO: a freed slot goes to
+     the longest waiter, and a newcomer may only take a slot directly when
+     nobody is queued ahead of it. *)
+  let first_live_waiter t =
+    List.find_opt (fun w -> w.w_state = `Waiting) t.queue
+
+  let waiting_count t =
+    List.length (List.filter (fun w -> w.w_state = `Waiting) t.queue)
+
+  let compact_queue t =
+    if List.exists (fun w -> w.w_state <> `Waiting) t.queue then
+      t.queue <- List.filter (fun w -> w.w_state = `Waiting) t.queue
 
   let admit ?max_wait t =
     let started = Unix.gettimeofday () in
     let deadline = Option.map (fun w -> started +. w) max_wait in
-    let rec loop ~registered =
-      let decision =
-        locked t (fun () ->
-            if t.in_flight < t.max_in_flight then begin
-              t.in_flight <- t.in_flight + 1;
-              t.admitted_total <- t.admitted_total + 1;
-              if registered then t.waiting <- t.waiting - 1;
-              `Admitted
-            end
-            else if (not registered) && t.waiting >= t.max_waiting then begin
-              t.rejected_total <- t.rejected_total + 1;
-              `Rejected
-                (Saturated { in_flight = t.in_flight; waiting = t.waiting })
-            end
-            else begin
-              if not registered then t.waiting <- t.waiting + 1;
-              match deadline with
-              | Some d when Unix.gettimeofday () >= d ->
-                  t.waiting <- t.waiting - 1;
-                  t.rejected_total <- t.rejected_total + 1;
-                  `Rejected
-                    (Timed_out { waited = Unix.gettimeofday () -. started })
-              | _ -> `Wait
-            end)
-      in
-      match decision with
-      | `Admitted ->
-          X3_obs.Trace.instant "admission.admit"
-            ~attrs:
-              [ ("waited", X3_obs.Trace.Float (Unix.gettimeofday () -. started)) ];
-          Ok ()
-      | `Rejected r ->
-          X3_obs.Trace.instant "admission.reject"
-            ~attrs:
-              [
-                ( "reason",
-                  X3_obs.Trace.Str
-                    (match r with
-                    | Saturated _ -> "saturated"
-                    | Timed_out _ -> "timed_out") );
-                ("waited", X3_obs.Trace.Float (Unix.gettimeofday () -. started));
-              ];
-          Error r
-      | `Wait ->
-          if not registered then X3_obs.Trace.instant "admission.wait";
-          Unix.sleepf poll_interval;
-          loop ~registered:true
+    let trace_admit () =
+      X3_obs.Trace.instant "admission.admit"
+        ~attrs:
+          [ ("waited", X3_obs.Trace.Float (Unix.gettimeofday () -. started)) ]
     in
-    loop ~registered:false
+    let trace_reject r =
+      X3_obs.Trace.instant "admission.reject"
+        ~attrs:
+          [
+            ( "reason",
+              X3_obs.Trace.Str
+                (match r with
+                | Saturated _ -> "saturated"
+                | Timed_out _ -> "timed_out") );
+            ("waited", X3_obs.Trace.Float (Unix.gettimeofday () -. started));
+          ];
+      Error r
+    in
+    let decision =
+      locked t (fun () ->
+          if t.in_flight < t.max_in_flight && first_live_waiter t = None then begin
+            t.in_flight <- t.in_flight + 1;
+            t.admitted_total <- t.admitted_total + 1;
+            `Admitted
+          end
+          else if waiting_count t >= t.max_waiting then begin
+            t.rejected_total <- t.rejected_total + 1;
+            `Rejected
+              (Saturated { in_flight = t.in_flight; waiting = waiting_count t })
+          end
+          else begin
+            match deadline with
+            | Some d when Unix.gettimeofday () >= d ->
+                (* Zero patience and no free slot: a registration would
+                   expire before it could ever block. *)
+                t.rejected_total <- t.rejected_total + 1;
+                `Rejected
+                  (Timed_out { waited = Unix.gettimeofday () -. started })
+            | _ ->
+                let w = { w_deadline = deadline; w_state = `Waiting } in
+                t.queue <- t.queue @ [ w ];
+                if deadline <> None then ensure_watchdog t;
+                X3_obs.Trace.instant "admission.wait";
+                let rec wait_loop () =
+                  if
+                    t.in_flight < t.max_in_flight
+                    &&
+                    match first_live_waiter t with
+                    | Some head -> head == w
+                    | None -> false
+                  then begin
+                    w.w_state <- `Admitted;
+                    compact_queue t;
+                    t.in_flight <- t.in_flight + 1;
+                    t.admitted_total <- t.admitted_total + 1;
+                    (* The next queued waiter may also be admissible (several
+                       releases can land before the head wakes). *)
+                    Condition.broadcast t.slot_freed;
+                    `Admitted
+                  end
+                  else begin
+                    match w.w_deadline with
+                    | Some d when Unix.gettimeofday () >= d ->
+                        w.w_state <- `Abandoned;
+                        compact_queue t;
+                        t.rejected_total <- t.rejected_total + 1;
+                        (* Abandoning the head seat can unblock the waiter
+                           behind it. *)
+                        Condition.broadcast t.slot_freed;
+                        `Rejected
+                          (Timed_out
+                             { waited = Unix.gettimeofday () -. started })
+                    | _ ->
+                        Condition.wait t.slot_freed t.lock;
+                        wait_loop ()
+                  end
+                in
+                wait_loop ()
+          end)
+    in
+    match decision with
+    | `Admitted ->
+        trace_admit ();
+        Ok ()
+    | `Rejected r -> trace_reject r
 
   let release t =
     locked t (fun () ->
         if t.in_flight <= 0 then
           invalid_arg "Admission.release: nothing in flight";
-        t.in_flight <- t.in_flight - 1)
+        t.in_flight <- t.in_flight - 1;
+        Condition.broadcast t.slot_freed)
 
   let in_flight t = locked t (fun () -> t.in_flight)
-  let waiting t = locked t (fun () -> t.waiting)
+  let waiting t = locked t (fun () -> waiting_count t)
   let admitted_total t = locked t (fun () -> t.admitted_total)
   let rejected_total t = locked t (fun () -> t.rejected_total)
 end

@@ -111,9 +111,12 @@ module Admission : sig
   val admit : ?max_wait:float -> t -> (unit, rejection) result
   (** Take a slot, waiting up to [max_wait] seconds (default: as long as
       it takes) while the queue has room. [Error] is the typed shed
-      decision. Domain-safe; waiting polls rather than blocks, so a
-      waiter never deadlocks on a slot-holder running on the same
-      domain pool. *)
+      decision. Domain-safe; waiters block on a condition variable (zero
+      CPU between wakeups) and are admitted strictly FIFO — a freed slot
+      always goes to the longest waiter. Timed waits are enforced by a
+      per-door watchdog thread started lazily on the first timed waiter,
+      so deadlines hold even though stdlib [Condition] has no timed
+      wait. *)
 
   val release : t -> unit
   (** Give the slot back (must pair with a successful {!admit}). *)

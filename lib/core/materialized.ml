@@ -56,6 +56,18 @@ let materialize (ctx : Context.t) ~cuboid =
     groups;
   }
 
+(* Estimated resident bytes, in the spirit of the Governor cost model:
+   per group one Tbl slot + boxed key + the ref cell (~96 bytes, like
+   counter_cost), plus one balanced-set node per fact id (4 fields +
+   header = 5 words). The fixed tail covers the record itself. *)
+let group_cost = 96
+let fact_cost = 40
+
+let approx_bytes t =
+  Group_key.Tbl.fold
+    (fun _ facts acc -> acc + group_cost + (fact_cost * Int_set.cardinal !facts))
+    t.groups 128
+
 let cell_of_facts t facts =
   let cell = Aggregate.create () in
   Int_set.iter (fun fact -> Aggregate.add cell (t.measure fact)) facts;

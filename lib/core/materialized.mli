@@ -26,6 +26,11 @@ val fact_items : t -> key:string -> int list
 val materialize : Context.t -> cuboid:int -> t
 (** One scan of the witness table, collecting groups with fact sets. *)
 
+val approx_bytes : t -> int
+(** Estimated resident bytes of the view (groups, keys and fact sets),
+    following the {!Governor} cost-model conventions — what a byte-budgeted
+    cuboid cache charges per entry. *)
+
 val cells : t -> (string * Aggregate.cell) list
 (** The group aggregates, sorted by key. *)
 

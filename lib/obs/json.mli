@@ -20,3 +20,20 @@ val to_string : ?pretty:bool -> t -> string
     one field per line. A trailing newline is appended when pretty. *)
 
 val to_file : ?pretty:bool -> string -> t -> unit
+
+val parse : string -> (t, string) result
+(** Decode one JSON document — the inverse of {!to_string} for everything
+    the encoder emits. Numbers without a fraction or exponent decode as
+    [Int], others as [Float]; [\uXXXX] escapes decode to UTF-8. Nesting
+    deeper than 512 levels, trailing bytes and malformed input are typed
+    errors (never an exception) — this is the front door for untrusted
+    protocol frames. *)
+
+(** {2 Accessors — conveniences for protocol decoding} *)
+
+val member : string -> t -> t option
+(** Field of an [Obj] ([None] on anything else or a missing key). *)
+
+val string_member : string -> t -> string option
+val int_member : string -> t -> int option
+val bool_member : string -> t -> bool option

@@ -1,0 +1,110 @@
+module Governor = X3_core.Governor
+
+type 'a entry = {
+  e_key : string;
+  e_value : 'a;
+  e_bytes : int;
+  mutable e_stamp : int;  (* LRU clock: larger = more recently used *)
+}
+
+type 'a t = {
+  account : Governor.account;
+  on_evict : string -> 'a -> unit;
+  lock : Mutex.t;
+  table : (string, 'a entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(on_evict = fun _ _ -> ()) ~account () =
+  {
+    account;
+    on_evict;
+    lock = Mutex.create ();
+    table = Hashtbl.create 64;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some e ->
+          t.hits <- t.hits + 1;
+          e.e_stamp <- tick t;
+          Some e.e_value
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let mem t key = locked t (fun () -> Hashtbl.mem t.table key)
+
+(* Detach one entry under the lock, releasing its bytes; the [on_evict]
+   callback is deferred to after unlock so it may re-enter the cache
+   (a document eviction removes its cuboid views). *)
+let detach t e =
+  Hashtbl.remove t.table e.e_key;
+  Governor.release t.account e.e_bytes;
+  t.evictions <- t.evictions + 1;
+  fun () -> t.on_evict e.e_key e.e_value
+
+let lru t =
+  Hashtbl.fold
+    (fun _ e acc ->
+      match acc with
+      | Some best when best.e_stamp <= e.e_stamp -> acc
+      | _ -> Some e)
+    t.table None
+
+let insert t ~key ~bytes value =
+  let deferred = ref [] in
+  let stored =
+    locked t (fun () ->
+        (match Hashtbl.find_opt t.table key with
+        | Some old -> deferred := detach t old :: !deferred
+        | None -> ());
+        let rec make_room () =
+          if Governor.reserve t.account bytes then true
+          else
+            match lru t with
+            | Some victim ->
+                deferred := detach t victim :: !deferred;
+                make_room ()
+            | None -> false
+        in
+        if make_room () then begin
+          Hashtbl.replace t.table key
+            { e_key = key; e_value = value; e_bytes = bytes; e_stamp = tick t };
+          true
+        end
+        else false)
+  in
+  List.iter (fun f -> f ()) (List.rev !deferred);
+  stored
+
+let remove t key =
+  let deferred =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some e -> Some (detach t e)
+        | None -> None)
+  in
+  Option.iter (fun f -> f ()) deferred
+
+let entries t = locked t (fun () -> Hashtbl.length t.table)
+let resident_bytes t = Governor.account_used t.account
+let hits t = locked t (fun () -> t.hits)
+let misses t = locked t (fun () -> t.misses)
+let evictions t = locked t (fun () -> t.evictions)

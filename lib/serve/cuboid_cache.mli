@@ -1,0 +1,47 @@
+(** A byte-budgeted LRU cache charged to a {!X3_core.Governor.account}.
+
+    Every entry carries its estimated resident bytes (the caller costs it
+    via the relevant [approx_bytes]); insertion reserves those bytes on
+    the cache's dedicated account and evicts least-recently-used entries
+    until the reservation fits — so the cache's footprint is bounded by
+    the account's budget and visible in the governor's pool like any
+    query's. Eviction calls [on_evict] so the owner can unlink dependent
+    entries (a cached document's cuboid views die with it).
+
+    Not thread-safe by itself at the value level, but every operation is
+    internally mutex-protected, so concurrent [find]/[insert] from
+    connection threads are safe. *)
+
+type 'a t
+
+val create :
+  ?on_evict:(string -> 'a -> unit) ->
+  account:X3_core.Governor.account ->
+  unit ->
+  'a t
+(** [account] should be dedicated to this cache — {!resident_bytes} reads
+    it, and eviction releases into it. [on_evict key value] runs after
+    the entry has been removed and its bytes released (do not re-insert
+    from inside it). *)
+
+val find : 'a t -> string -> 'a option
+(** Bumps the entry's recency on hit; counts a hit or a miss. *)
+
+val mem : 'a t -> string -> bool
+(** No recency bump, no hit/miss accounting — an existence probe. *)
+
+val insert : 'a t -> key:string -> bytes:int -> 'a -> bool
+(** Reserve [bytes] (evicting LRU entries as needed) and store the value;
+    replaces an existing entry under the same key (releasing its bytes).
+    [false] when the value cannot fit even in an empty cache — the entry
+    is simply not cached, which is degraded service, not an error. *)
+
+val remove : 'a t -> string -> unit
+(** Drop one entry (releasing its bytes, firing [on_evict]); no-op when
+    absent. Counted as an eviction. *)
+
+val entries : 'a t -> int
+val resident_bytes : 'a t -> int
+val hits : 'a t -> int
+val misses : 'a t -> int
+val evictions : 'a t -> int

@@ -1,0 +1,200 @@
+module Json = X3_obs.Json
+
+let default_max_frame_bytes = 16 * 1024 * 1024
+
+(* --- framing ------------------------------------------------------------- *)
+
+type frame_error = Closed | Too_large of int | Frame_fault of string
+
+(* EINTR/EAGAIN are retried; a peer that vanished (EPIPE, ECONNRESET,
+   plain EOF) is an orderly [Closed] — the daemon's accept loop must shrug
+   at dead clients, not crash on them. *)
+let rec read_exact fd buf ofs len =
+  if len = 0 then Ok ()
+  else
+    match Unix.read fd buf ofs len with
+    | 0 -> Error Closed
+    | n -> read_exact fd buf (ofs + n) (len - n)
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) ->
+        read_exact fd buf ofs len
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        Error Closed
+    | exception Unix.Unix_error (e, _, _) ->
+        Error (Frame_fault (Unix.error_message e))
+
+let rec write_exact fd buf ofs len =
+  if len = 0 then Ok ()
+  else
+    match Unix.write fd buf ofs len with
+    | n -> write_exact fd buf (ofs + n) (len - n)
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) ->
+        write_exact fd buf ofs len
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        Error Closed
+    | exception Unix.Unix_error (e, _, _) ->
+        Error (Frame_fault (Unix.error_message e))
+
+let read_frame ?(max_bytes = default_max_frame_bytes) fd =
+  let header = Bytes.create 4 in
+  match read_exact fd header 0 4 with
+  | Error _ as e -> e
+  | Ok () ->
+      let b i = Char.code (Bytes.get header i) in
+      let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+      if len > max_bytes then Error (Too_large len)
+      else begin
+        let payload = Bytes.create len in
+        match read_exact fd payload 0 len with
+        | Error _ as e -> e
+        | Ok () -> Ok (Bytes.unsafe_to_string payload)
+      end
+
+let write_frame fd payload =
+  let len = String.length payload in
+  let frame = Bytes.create (4 + len) in
+  Bytes.set frame 0 (Char.chr ((len lsr 24) land 0xFF));
+  Bytes.set frame 1 (Char.chr ((len lsr 16) land 0xFF));
+  Bytes.set frame 2 (Char.chr ((len lsr 8) land 0xFF));
+  Bytes.set frame 3 (Char.chr (len land 0xFF));
+  Bytes.blit_string payload 0 frame 4 len;
+  write_exact fd frame 0 (4 + len)
+
+(* --- requests ------------------------------------------------------------ *)
+
+type request =
+  | Cube of {
+      query : string;
+      doc : string option;
+      algorithm : string option;
+      format : string;
+      no_cache : bool;
+    }
+  | Stats
+  | Ping
+  | Shutdown
+
+type provenance = { p_base : int; p_rollup : int; p_cached : int }
+
+type response =
+  | Cube_ok of { payload : string; provenance : provenance; seconds : float }
+  | Stats_ok of Json.t
+  | Pong
+  | Bye
+  | Failed of { code : string; message : string }
+
+let opt_field name v = match v with None -> [] | Some s -> [ (name, Json.Str s) ]
+
+let request_to_json = function
+  | Cube { query; doc; algorithm; format; no_cache } ->
+      Json.Obj
+        ([ ("verb", Json.Str "cube"); ("query", Json.Str query) ]
+        @ opt_field "doc" doc
+        @ opt_field "algorithm" algorithm
+        @ [ ("format", Json.Str format); ("no_cache", Json.Bool no_cache) ])
+  | Stats -> Json.Obj [ ("verb", Json.Str "stats") ]
+  | Ping -> Json.Obj [ ("verb", Json.Str "ping") ]
+  | Shutdown -> Json.Obj [ ("verb", Json.Str "shutdown") ]
+
+let request_of_json j =
+  match Json.string_member "verb" j with
+  | Some "cube" -> (
+      match Json.string_member "query" j with
+      | None -> Error "cube request: missing \"query\""
+      | Some query ->
+          Ok
+            (Cube
+               {
+                 query;
+                 doc = Json.string_member "doc" j;
+                 algorithm = Json.string_member "algorithm" j;
+                 format =
+                   Option.value ~default:"csv" (Json.string_member "format" j);
+                 no_cache =
+                   Option.value ~default:false
+                     (Json.bool_member "no_cache" j);
+               }))
+  | Some "stats" -> Ok Stats
+  | Some "ping" -> Ok Ping
+  | Some "shutdown" -> Ok Shutdown
+  | Some other -> Error (Printf.sprintf "unknown verb %S" other)
+  | None -> Error "request: missing \"verb\""
+
+let provenance_to_json p =
+  Json.Obj
+    [
+      ("base", Json.Int p.p_base);
+      ("rollup", Json.Int p.p_rollup);
+      ("cached", Json.Int p.p_cached);
+    ]
+
+let provenance_of_json j =
+  {
+    p_base = Option.value ~default:0 (Json.int_member "base" j);
+    p_rollup = Option.value ~default:0 (Json.int_member "rollup" j);
+    p_cached = Option.value ~default:0 (Json.int_member "cached" j);
+  }
+
+let response_to_json = function
+  | Cube_ok { payload; provenance; seconds } ->
+      Json.Obj
+        [
+          ("status", Json.Str "ok");
+          ("payload", Json.Str payload);
+          ("provenance", provenance_to_json provenance);
+          ("seconds", Json.Float seconds);
+        ]
+  | Stats_ok doc ->
+      Json.Obj [ ("status", Json.Str "stats"); ("payload", doc) ]
+  | Pong -> Json.Obj [ ("status", Json.Str "pong") ]
+  | Bye -> Json.Obj [ ("status", Json.Str "bye") ]
+  | Failed { code; message } ->
+      Json.Obj
+        [
+          ("status", Json.Str "error");
+          ("code", Json.Str code);
+          ("message", Json.Str message);
+        ]
+
+let response_of_json j =
+  match Json.string_member "status" j with
+  | Some "ok" -> (
+      match Json.string_member "payload" j with
+      | None -> Error "ok response: missing \"payload\""
+      | Some payload ->
+          let provenance =
+            match Json.member "provenance" j with
+            | Some p -> provenance_of_json p
+            | None -> { p_base = 0; p_rollup = 0; p_cached = 0 }
+          in
+          let seconds =
+            match Json.member "seconds" j with
+            | Some (Json.Float f) -> f
+            | Some (Json.Int i) -> float_of_int i
+            | _ -> 0.
+          in
+          Ok (Cube_ok { payload; provenance; seconds }))
+  | Some "stats" -> (
+      match Json.member "payload" j with
+      | Some doc -> Ok (Stats_ok doc)
+      | None -> Error "stats response: missing \"payload\"")
+  | Some "pong" -> Ok Pong
+  | Some "bye" -> Ok Bye
+  | Some "error" ->
+      Ok
+        (Failed
+           {
+             code = Option.value ~default:"error" (Json.string_member "code" j);
+             message =
+               Option.value ~default:"" (Json.string_member "message" j);
+           })
+  | Some other -> Error (Printf.sprintf "unknown status %S" other)
+  | None -> Error "response: missing \"status\""
+
+let encode_request r = Json.to_string ~pretty:false (request_to_json r)
+let encode_response r = Json.to_string ~pretty:false (response_to_json r)
+
+let decode s of_json =
+  match Json.parse s with Error e -> Error e | Ok j -> of_json j
+
+let decode_request s = decode s request_of_json
+let decode_response s = decode s response_of_json

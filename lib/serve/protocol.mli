@@ -1,0 +1,80 @@
+(** The serve wire protocol: length-prefixed JSON frames.
+
+    One frame is a 4-byte big-endian payload length followed by that many
+    bytes of JSON (one {!X3_obs.Json} document). Both sides speak the
+    same framing; payloads are capped so a hostile peer cannot ask the
+    daemon to buffer gigabytes ({!default_max_frame_bytes}).
+
+    Requests:
+    {v
+    {"verb": "cube", "query": "<X^3 text>", "doc": "path.xml",
+     "algorithm": "COUNTER", "format": "csv", "no_cache": false}
+    {"verb": "stats"}   {"verb": "ping"}   {"verb": "shutdown"}
+    v}
+
+    Responses:
+    {v
+    {"status": "ok", "payload": "...", "provenance":
+       {"base": 1, "rollup": 6, "cached": 0}, "seconds": 0.01}
+    {"status": "stats", "payload": { ...x3-metrics/1 document... }}
+    {"status": "pong"}  {"status": "bye"}
+    {"status": "error", "code": "...", "message": "..."}
+    v} *)
+
+val default_max_frame_bytes : int
+(** 16 MiB — generous for any cube export the tests produce, small
+    enough that a hostile length prefix cannot exhaust memory. *)
+
+(** {1 Framing} *)
+
+type frame_error =
+  | Closed  (** orderly EOF before or inside a frame *)
+  | Too_large of int  (** announced payload length over the cap *)
+  | Frame_fault of string  (** an I/O error other than EPIPE/EINTR retry *)
+
+val read_frame :
+  ?max_bytes:int -> Unix.file_descr -> (string, frame_error) result
+(** Blocking read of one frame; retries [EINTR]/[EAGAIN]. *)
+
+val write_frame : Unix.file_descr -> string -> (unit, frame_error) result
+(** Blocking write of one frame; [EPIPE]/[ECONNRESET] surface as
+    [Closed], not an exception (the daemon must survive a client that
+    died mid-response). *)
+
+(** {1 Requests and responses} *)
+
+type request =
+  | Cube of {
+      query : string;  (** X^3 query text, compiled server-side *)
+      doc : string option;  (** overrides the query's [doc(...)] path *)
+      algorithm : string option;  (** cold-path algorithm, default COUNTER *)
+      format : string;  (** ["csv"] or ["json"] *)
+      no_cache : bool;  (** bypass the cuboid cache (cold reference run) *)
+    }
+  | Stats  (** dump the daemon's x3-metrics/1 document *)
+  | Ping
+  | Shutdown
+
+type provenance = {
+  p_base : int;  (** cuboids answered by a base witness-table scan *)
+  p_rollup : int;  (** cuboids rolled up from a cached/finer view *)
+  p_cached : int;  (** cuboids served directly from the cache *)
+}
+
+type response =
+  | Cube_ok of { payload : string; provenance : provenance; seconds : float }
+  | Stats_ok of X3_obs.Json.t
+  | Pong
+  | Bye
+  | Failed of { code : string; message : string }
+
+val request_to_json : request -> X3_obs.Json.t
+val request_of_json : X3_obs.Json.t -> (request, string) result
+val response_to_json : response -> X3_obs.Json.t
+val response_of_json : X3_obs.Json.t -> (response, string) result
+
+val encode_request : request -> string
+val encode_response : response -> string
+
+val decode_request : string -> (request, string) result
+val decode_response : string -> (response, string) result

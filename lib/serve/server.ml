@@ -1,0 +1,561 @@
+module Engine = X3_core.Engine
+module Governor = X3_core.Governor
+module Export = X3_core.Export
+module Materialized = X3_core.Materialized
+module Lattice = X3_lattice.Lattice
+module Json = X3_obs.Json
+module Metrics = X3_obs.Metrics
+module Obs_export = X3_obs.Export
+module Trace = X3_obs.Trace
+
+type address = Unix_sock of string | Tcp of string * int
+
+type config = {
+  address : address;
+  cache_bytes : int;
+  max_in_flight : int;
+  max_waiting : int;
+  admission_timeout : float option;
+  workers : int;
+  max_input_bytes : int option;
+  max_frame_bytes : int;
+}
+
+let default_config address =
+  {
+    address;
+    cache_bytes = 64 * 1024 * 1024;
+    max_in_flight = 4;
+    max_waiting = 16;
+    admission_timeout = None;
+    workers = 1;
+    max_input_bytes = None;
+    max_frame_bytes = Protocol.default_max_frame_bytes;
+  }
+
+(* One cache holds both granularities: a [Doc] is a prepared query's
+   session (document + witness table + layout, charged at its resident
+   table bytes) and a [View] is one materialised cuboid (charged via
+   [Materialized.approx_bytes]). Evicting a document takes its views
+   with it — they reference its dictionaries, and serving them without
+   their session would silently decouple cache content from cache
+   accounting. *)
+type cached = Doc of doc_entry | View of Materialized.t
+
+and doc_entry = {
+  de_key : string;
+  de_session : Engine.Session.t;
+  mutable de_views : string list;  (* cache keys of this doc's views *)
+}
+
+type t = {
+  cfg : config;
+  registry : Metrics.t;
+  door : Governor.Admission.t;
+  cache_pool : Governor.t;
+  cache_account : Governor.account;
+  cache : cached Cuboid_cache.t;
+  compute_lock : Mutex.t;
+  listen_fd : Unix.file_descr;
+  mutable running : bool;
+  state_lock : Mutex.t;
+  (* metric handles, interned once *)
+  m_requests : Metrics.counter;
+  m_errors : Metrics.counter;
+  m_rejected : Metrics.counter;
+  m_cache_hits : Metrics.counter;
+  m_cache_misses : Metrics.counter;
+  m_cache_evictions : Metrics.counter;
+  m_cuboids_base : Metrics.counter;
+  m_cuboids_rollup : Metrics.counter;
+  m_cuboids_cached : Metrics.counter;
+  m_docs_loaded : Metrics.counter;
+  m_resident : Metrics.gauge;
+  m_entries : Metrics.gauge;
+  m_lat_request : Metrics.histogram;
+  m_lat_compute : Metrics.histogram;
+}
+
+(* --- socket plumbing ----------------------------------------------------- *)
+
+let bind_listen address =
+  match address with
+  | Unix_sock path ->
+      (match Unix.lstat path with
+      | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+      | _ -> ()
+      | exception Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try
+         Unix.bind fd (Unix.ADDR_UNIX path);
+         Unix.listen fd 64;
+         Ok fd
+       with Unix.Unix_error (e, _, _) ->
+         Unix.close fd;
+         Error
+           (Printf.sprintf "cannot listen on %s: %s" path
+              (Unix.error_message e)))
+  | Tcp (host, port) -> (
+      match Unix.inet_addr_of_string host with
+      | exception Failure _ -> Error ("bad listen address: " ^ host)
+      | addr -> (
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          try
+            Unix.setsockopt fd Unix.SO_REUSEADDR true;
+            Unix.bind fd (Unix.ADDR_INET (addr, port));
+            Unix.listen fd 64;
+            Ok fd
+          with Unix.Unix_error (e, _, _) ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            Error
+              (Printf.sprintf "cannot listen on %s:%d: %s" host port
+                 (Unix.error_message e))))
+
+let create cfg =
+  (* A client that dies mid-response turns writes into EPIPE errors we
+     handle; without this it would be a process-killing signal. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  match bind_listen cfg.address with
+  | Error _ as e -> e
+  | Ok listen_fd ->
+      let registry = Metrics.create () in
+      let cache_pool = Governor.create ~max_bytes:cfg.cache_bytes () in
+      let cache_account = Governor.open_account (Some cache_pool) in
+      (* The eviction hook needs the cache itself (a document takes its
+         views down with it), so tie the knot through a ref. *)
+      let cache_ref = ref None in
+      let on_evict _key = function
+        | Doc d -> (
+            match !cache_ref with
+            | Some cache ->
+                List.iter (fun vk -> Cuboid_cache.remove cache vk) d.de_views
+            | None -> ())
+        | View _ -> ()
+      in
+      let cache = Cuboid_cache.create ~on_evict ~account:cache_account () in
+      cache_ref := Some cache;
+      let t =
+        {
+          cfg;
+          registry;
+          door =
+            Governor.Admission.create ~max_in_flight:cfg.max_in_flight
+              ~max_waiting:cfg.max_waiting ();
+          cache_pool;
+          cache_account;
+          cache;
+          compute_lock = Mutex.create ();
+          listen_fd;
+          running = true;
+          state_lock = Mutex.create ();
+          m_requests = Metrics.counter registry "serve.requests.total";
+          m_errors = Metrics.counter registry "serve.requests.errors";
+          m_rejected = Metrics.counter registry "serve.requests.rejected";
+          m_cache_hits = Metrics.counter registry "serve.cache.hits";
+          m_cache_misses = Metrics.counter registry "serve.cache.misses";
+          m_cache_evictions = Metrics.counter registry "serve.cache.evictions";
+          m_cuboids_base = Metrics.counter registry "serve.cuboids.base";
+          m_cuboids_rollup = Metrics.counter registry "serve.cuboids.rollup";
+          m_cuboids_cached = Metrics.counter registry "serve.cuboids.cached";
+          m_docs_loaded = Metrics.counter registry "serve.docs.loaded";
+          m_resident = Metrics.gauge registry "serve.cache.resident_bytes";
+          m_entries = Metrics.gauge registry "serve.cache.entries";
+          m_lat_request = Metrics.histogram registry "serve.latency.request";
+          m_lat_compute = Metrics.histogram registry "serve.latency.compute";
+        }
+      in
+      Ok t
+
+let registry t = t.registry
+
+let refresh_gauges t =
+  Metrics.set t.m_resident (Cuboid_cache.resident_bytes t.cache);
+  Metrics.set t.m_entries (Cuboid_cache.entries t.cache)
+
+let stats_document t =
+  refresh_gauges t;
+  let meta =
+    [
+      ("server", Json.Str "x3 serve");
+      ("cache_bytes", Json.Int t.cfg.cache_bytes);
+      ("cache_used_bytes", Json.Int (Cuboid_cache.resident_bytes t.cache));
+      ("max_in_flight", Json.Int t.cfg.max_in_flight);
+      ("admitted_total", Json.Int (Governor.Admission.admitted_total t.door));
+      ("rejected_total", Json.Int (Governor.Admission.rejected_total t.door));
+    ]
+  in
+  Obs_export.metrics_json ~meta (Metrics.snapshot t.registry)
+
+(* --- loading and serving ------------------------------------------------- *)
+
+let make_pool () =
+  X3_storage.Buffer_pool.create ~capacity_pages:65536
+    (X3_storage.Disk.in_memory ~page_size:8192 ())
+
+let session_key ~doc_path ~query =
+  Digest.to_hex (Digest.string (doc_path ^ "\x00" ^ query))
+
+let view_key skey cid = Printf.sprintf "view:%s:%d" skey cid
+let doc_key skey = "doc:" ^ skey
+
+exception Reply of Protocol.response
+
+let fail code fmt =
+  Printf.ksprintf (fun message -> raise (Reply (Protocol.Failed { code; message }))) fmt
+
+let check_input_cap t doc_path =
+  match t.cfg.max_input_bytes with
+  | None -> ()
+  | Some cap -> (
+      match (Unix.stat doc_path).Unix.st_size with
+      | size when size > cap ->
+          fail "input_too_large" "%s is %d bytes, over the %d-byte cap"
+            doc_path size cap
+      | _ -> ()
+      | exception Unix.Unix_error _ -> ())
+
+let load_session t ~doc_path ~spec =
+  check_input_cap t doc_path;
+  match X3_xml.Parser.parse_file_with_dtd doc_path with
+  | Error e ->
+      fail "bad_document" "%s" (Format.asprintf "%a" X3_xml.Parser.pp_error e)
+  | Ok (doc, _dtd) ->
+      let store = X3_xdb.Store.of_document doc in
+      let prepared = Engine.prepare ~pool:(make_pool ()) ~store spec in
+      Metrics.inc t.m_docs_loaded;
+      Engine.Session.create ~workers:t.cfg.workers prepared
+
+(* The resident session for (doc, query): served from the cache when
+   possible, loaded (and offered to the cache) otherwise. Runs under the
+   compute lock. *)
+let acquire_session t ~skey ~doc_path ~spec =
+  let dkey = doc_key skey in
+  match Cuboid_cache.find t.cache dkey with
+  | Some (Doc d) ->
+      Metrics.inc t.m_cache_hits;
+      d
+  | Some (View _) ->
+      (* Impossible by key construction; treat as a miss. *)
+      Cuboid_cache.remove t.cache dkey;
+      Metrics.inc t.m_cache_misses;
+      let session = load_session t ~doc_path ~spec in
+      { de_key = skey; de_session = session; de_views = [] }
+  | None ->
+      Metrics.inc t.m_cache_misses;
+      let session = load_session t ~doc_path ~spec in
+      let entry = { de_key = skey; de_session = session; de_views = [] } in
+      let bytes = Engine.Session.table_bytes session in
+      (* [false] = too big for the whole budget: serve this request from
+         the transient session and cache nothing — degraded, not an
+         error. *)
+      ignore (Cuboid_cache.insert t.cache ~key:dkey ~bytes (Doc entry) : bool);
+      entry
+
+(* Answer every cuboid of the lattice, finest first, preferring cached
+   views, then rollup from a view this request already holds (soundness
+   checked against the observed properties by [Session.rollup]), then a
+   base scan. Returns the views in lattice order plus provenance. *)
+let serve_cuboids t entry =
+  let session = entry.de_session in
+  let lattice = Engine.lattice (Engine.Session.prepared session) in
+  let order = Lattice.by_degree lattice in
+  let obtained = Hashtbl.create (Array.length order) in
+  let obtained_order = ref [] in
+  let base = ref 0 and rolled = ref 0 and cached = ref 0 in
+  let doc_cached = Cuboid_cache.mem t.cache (doc_key entry.de_key) in
+  Array.iter
+    (fun cid ->
+      let vkey = view_key entry.de_key cid in
+      let view =
+        match Cuboid_cache.find t.cache vkey with
+        | Some (View v) ->
+            Metrics.inc t.m_cache_hits;
+            Metrics.inc t.m_cuboids_cached;
+            incr cached;
+            v
+        | Some (Doc _) | None ->
+            Metrics.inc t.m_cache_misses;
+            (* Nearest finer view first: the most recently obtained views
+               are the highest-degree (most relaxed) ones that are still
+               finer than [cid], so the rollup merges the fewest groups. *)
+            let from_rollup =
+              List.find_map
+                (fun finer_cid ->
+                  match
+                    Engine.Session.rollup session
+                      (Hashtbl.find obtained finer_cid)
+                      ~coarser:cid
+                  with
+                  | Ok v -> Some v
+                  | Error _ -> None)
+                !obtained_order
+            in
+            let v =
+              match from_rollup with
+              | Some v ->
+                  Metrics.inc t.m_cuboids_rollup;
+                  incr rolled;
+                  Trace.instant "serve.rollup"
+                    ~attrs:[ ("cuboid", Trace.Int cid) ];
+                  v
+              | None ->
+                  Metrics.inc t.m_cuboids_base;
+                  incr base;
+                  Engine.Session.materialize session ~cuboid:cid
+            in
+            (* Offer the fresh view to the cache — only while its document
+               is resident, so view bytes never outlive their session's
+               accounting. *)
+            if doc_cached then begin
+              let bytes = Materialized.approx_bytes v in
+              if Cuboid_cache.insert t.cache ~key:vkey ~bytes (View v) then
+                entry.de_views <- vkey :: entry.de_views
+            end;
+            v
+      in
+      Hashtbl.replace obtained cid view;
+      obtained_order := cid :: !obtained_order)
+    order;
+  let views =
+    Array.to_list (Array.map (fun cid -> Hashtbl.find obtained cid) order)
+  in
+  ( views,
+    { Protocol.p_base = !base; p_rollup = !rolled; p_cached = !cached } )
+
+let export_string ~func ~format result =
+  match format with
+  | "csv" -> Export.csv_string ~func result
+  | "json" -> Export.json_string ~func result
+  | other -> fail "bad_format" "unknown format %S (expected csv or json)" other
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let handle_cube t ~query ~doc ~algorithm ~format ~no_cache =
+  let compiled =
+    match X3_ql.Compile.parse_and_compile query with
+    | Ok c -> c
+    | Error msg -> fail "bad_query" "%s" msg
+  in
+  let doc_path = Option.value doc ~default:compiled.X3_ql.Compile.document in
+  let spec = compiled.X3_ql.Compile.spec in
+  match
+    Governor.Admission.admit ?max_wait:t.cfg.admission_timeout t.door
+  with
+  | Error rejection ->
+      Metrics.inc t.m_rejected;
+      fail "rejected" "%s"
+        (Format.asprintf "%a" Governor.Admission.pp_rejection rejection)
+  | Ok () ->
+      Fun.protect
+        ~finally:(fun () -> Governor.Admission.release t.door)
+        (fun () ->
+          (* The substrate under a session (buffer pool, context scratch)
+             is unsynchronised, so all engine work is serialized; cache
+             lookups stay concurrent. *)
+          locked t.compute_lock (fun () ->
+              let t0 = Unix.gettimeofday () in
+              let payload, provenance =
+                if no_cache then begin
+                  (* The cold reference path: fresh load, fresh compute,
+                     no cache reads or writes. *)
+                  let alg =
+                    match algorithm with
+                    | None -> Engine.Counter
+                    | Some name -> (
+                        match Engine.algorithm_of_string name with
+                        | Some a -> a
+                        | None -> fail "bad_algorithm" "unknown algorithm %s" name)
+                  in
+                  let session = load_session t ~doc_path ~spec in
+                  let result, _instr =
+                    Engine.run ~workers:t.cfg.workers
+                      (Engine.Session.prepared session)
+                      alg
+                  in
+                  ( export_string ~func:spec.Engine.func ~format result,
+                    { Protocol.p_base = 0; p_rollup = 0; p_cached = 0 } )
+                end
+                else begin
+                  let skey = session_key ~doc_path ~query in
+                  let entry = acquire_session t ~skey ~doc_path ~spec in
+                  let views, provenance = serve_cuboids t entry in
+                  let result =
+                    Engine.Session.result_of_views entry.de_session views
+                  in
+                  (export_string ~func:spec.Engine.func ~format result, provenance)
+                end
+              in
+              let seconds = Unix.gettimeofday () -. t0 in
+              Metrics.observe t.m_lat_compute seconds;
+              Protocol.Cube_ok { payload; provenance; seconds }))
+
+(* forward declaration pattern: [stop] is defined below but Shutdown
+   needs it; thread through a ref to keep the file in reading order. *)
+let stop_hook : (t -> unit) ref = ref (fun _ -> ())
+
+let handle_request t = function
+  | Protocol.Ping -> Protocol.Pong
+  | Protocol.Stats -> Protocol.Stats_ok (stats_document t)
+  | Protocol.Shutdown ->
+      (* [serve_connection] stops the daemon *after* flushing this
+         response — stopping here would race process exit against the
+         client reading its Bye. *)
+      Protocol.Bye
+  | Protocol.Cube { query; doc; algorithm; format; no_cache } -> (
+      try handle_cube t ~query ~doc ~algorithm ~format ~no_cache
+      with Reply r -> r)
+
+(* --- the accept loop ----------------------------------------------------- *)
+
+let sync_cache_counters t =
+  (* Hit/miss counters are bumped at their use sites; evictions happen
+     behind the server's back (inside cache inserts), so mirror them into
+     the registry by delta after each request. *)
+  let evictions = ref 0 in
+  fun () ->
+    locked t.state_lock (fun () ->
+        let current = Cuboid_cache.evictions t.cache in
+        let delta = current - !evictions in
+        if delta > 0 then Metrics.inc ~by:delta t.m_cache_evictions;
+        evictions := current;
+        refresh_gauges t)
+
+let serve_connection t sync fd =
+  let rec loop () =
+    match Protocol.read_frame ~max_bytes:t.cfg.max_frame_bytes fd with
+    | Error Protocol.Closed -> ()
+    | Error (Protocol.Too_large len) ->
+        (* Tell the peer, then hang up — the stream is unrecoverable (we
+           have not consumed the oversized payload). *)
+        ignore
+          (Protocol.write_frame fd
+             (Protocol.encode_response
+                (Protocol.Failed
+                   {
+                     code = "frame_too_large";
+                     message = Printf.sprintf "%d-byte frame over the cap" len;
+                   })))
+    | Error (Protocol.Frame_fault _) -> ()
+    | Ok payload ->
+        Metrics.inc t.m_requests;
+        let t0 = Unix.gettimeofday () in
+        let response =
+          match Protocol.decode_request payload with
+          | Error msg ->
+              Metrics.inc t.m_errors;
+              Protocol.Failed { code = "bad_request"; message = msg }
+          | Ok req -> (
+              match handle_request t req with
+              | Protocol.Failed _ as r ->
+                  Metrics.inc t.m_errors;
+                  r
+              | r -> r
+              | exception e ->
+                  Metrics.inc t.m_errors;
+                  Protocol.Failed
+                    { code = "internal"; message = Printexc.to_string e })
+        in
+        Metrics.observe t.m_lat_request (Unix.gettimeofday () -. t0);
+        sync ();
+        let wrote =
+          Protocol.write_frame fd (Protocol.encode_response response)
+        in
+        (match response with
+        | Protocol.Bye ->
+            (* Stop only once the client has its answer (or is provably
+               gone): closing the listening socket wakes the accept loop
+               and the daemon exits. *)
+            !stop_hook t
+        | _ -> ());
+        (match (wrote, response) with
+        | Ok (), Protocol.Bye -> ()
+        | Ok (), _ -> loop ()
+        | Error _, _ -> (* dead client; drop the connection *) ())
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    loop
+
+let stop t =
+  let was_running =
+    locked t.state_lock (fun () ->
+        let r = t.running in
+        t.running <- false;
+        r)
+  in
+  if was_running then begin
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    match t.cfg.address with
+    | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Tcp _ -> ()
+  end
+
+let () = stop_hook := stop
+
+let run t =
+  let sync = sync_cache_counters t in
+  let rec accept_loop () =
+    let keep_going = locked t.state_lock (fun () -> t.running) in
+    if keep_going then begin
+      match Unix.accept t.listen_fd with
+      | client_fd, _addr ->
+          ignore
+            (Thread.create
+               (fun () ->
+                 try serve_connection t sync client_fd
+                 with _ -> ( try Unix.close client_fd with _ -> ()))
+               ());
+          accept_loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+          (* the listening socket was closed by [stop] *)
+          ()
+      | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> accept_loop ()
+    end
+  in
+  Fun.protect ~finally:(fun () -> stop t) accept_loop
+
+(* --- client -------------------------------------------------------------- *)
+
+module Client = struct
+  type conn = { fd : Unix.file_descr; max_frame : int }
+
+  let connect ?(max_frame_bytes = Protocol.default_max_frame_bytes) address =
+    let domain, sockaddr =
+      match address with
+      | Unix_sock path -> (Unix.PF_UNIX, Ok (Unix.ADDR_UNIX path))
+      | Tcp (host, port) -> (
+          ( Unix.PF_INET,
+            match Unix.inet_addr_of_string host with
+            | addr -> Ok (Unix.ADDR_INET (addr, port))
+            | exception Failure _ -> Error ("bad address: " ^ host) ))
+    in
+    match sockaddr with
+    | Error _ as e -> e
+    | Ok sockaddr -> (
+        let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+        match Unix.connect fd sockaddr with
+        | () -> Ok { fd; max_frame = max_frame_bytes }
+        | exception Unix.Unix_error (e, _, _) ->
+            (try Unix.close fd with _ -> ());
+            Error (Unix.error_message e))
+
+  let request conn req =
+    match Protocol.write_frame conn.fd (Protocol.encode_request req) with
+    | Error Protocol.Closed -> Error "connection closed"
+    | Error (Protocol.Too_large _) -> Error "request over the frame cap"
+    | Error (Protocol.Frame_fault msg) -> Error msg
+    | Ok () -> (
+        match Protocol.read_frame ~max_bytes:conn.max_frame conn.fd with
+        | Error Protocol.Closed -> Error "connection closed"
+        | Error (Protocol.Too_large n) ->
+            Error (Printf.sprintf "%d-byte response over the frame cap" n)
+        | Error (Protocol.Frame_fault msg) -> Error msg
+        | Ok payload -> Protocol.decode_response payload)
+
+  let close conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()
+end

@@ -1,0 +1,68 @@
+(** The resident [x3 serve] daemon.
+
+    A long-lived process keeping prepared queries (document, witness
+    table, columnar layout) and computed cuboid views in a byte-budgeted
+    LRU cache ({!Cuboid_cache}) charged to a dedicated
+    {!X3_core.Governor} account. A requested cuboid is answered, in
+    order of preference: directly from the cache; by rolling up a
+    cached/finer materialised view when the observed coverage properties
+    prove it sound (the lattice-ancestor reuse of §3.6); by a base
+    witness-table scan otherwise. Answers are byte-identical to a cold
+    [Engine.run] export for COUNT queries — the cache changes latency,
+    never bytes.
+
+    Concurrency model: every connection gets a thread; cube requests are
+    gated by a {!X3_core.Governor.Admission} door and the engine work is
+    serialized under one compute lock (the storage substrate beneath a
+    session is unsynchronised). Cache bookkeeping is internally locked,
+    so STATS/PING never wait on a running cube. *)
+
+type address = Unix_sock of string | Tcp of string * int
+
+type config = {
+  address : address;
+  cache_bytes : int;  (** LRU budget for documents + cuboid views *)
+  max_in_flight : int;  (** admission door width *)
+  max_waiting : int;
+  admission_timeout : float option;  (** [None] = wait forever *)
+  workers : int;  (** worker domains per cube computation *)
+  max_input_bytes : int option;  (** refuse larger XML documents *)
+  max_frame_bytes : int;  (** wire-frame payload cap *)
+}
+
+val default_config : address -> config
+(** 64 MiB cache, 4 in flight, 16 waiting, no admission timeout,
+    1 worker, no input cap, {!Protocol.default_max_frame_bytes}. *)
+
+type t
+
+val create : config -> (t, string) result
+(** Bind and listen (unlinking a stale unix-socket path); [Error] on
+    bind/listen failure. SIGPIPE is ignored process-wide — a client
+    dying mid-response must not kill the daemon. *)
+
+val registry : t -> X3_obs.Metrics.t
+(** The daemon's metrics registry ([serve.cache.*], [serve.latency.*],
+    [serve.cuboids.*], [serve.requests.*]). *)
+
+val stats_document : t -> X3_obs.Json.t
+(** The x3-metrics/1 document the STATS verb returns (gauges refreshed
+    at call time). *)
+
+val run : t -> unit
+(** The accept loop: blocks until {!stop} or a SHUTDOWN frame. Each
+    connection is served on its own thread; dead clients (EOF, EPIPE,
+    oversized or malformed frames) terminate their connection only. *)
+
+val stop : t -> unit
+(** Idempotent; wakes the accept loop and closes the listening socket. *)
+
+(** {1 Client} *)
+
+module Client : sig
+  type conn
+
+  val connect : ?max_frame_bytes:int -> address -> (conn, string) result
+  val request : conn -> Protocol.request -> (Protocol.response, string) result
+  val close : conn -> unit
+end

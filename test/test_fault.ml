@@ -582,6 +582,32 @@ let test_engine_fault_exhausts_retries () =
   Fault.clear disk;
   Disk.close disk
 
+let test_engine_backoff_clamped_to_deadline () =
+  (* Regression: a huge exponential backoff must not sleep past the
+     query's deadline. With a persistent transient fault, a 0.2s deadline
+     and a 5s nominal backoff, run_safe must come back quickly with the
+     typed deadline Partial — not oversleep seconds and report Io_fault
+     long after the budget expired. *)
+  let prepared, disk, pool = make_prepared `Memory in
+  Buffer_pool.drop_cache pool;
+  Fault.install (Fault.seeded ~seed:7 ~rate:1.0 [ Fault.Read_error ]) disk;
+  let t0 = Unix.gettimeofday () in
+  (match
+     Engine.run_safe ~deadline:0.2 ~retries:3 ~backoff:5.0 prepared
+       Engine.Naive
+   with
+  | Engine.Partial (Context.Deadline_exceeded, _, _) -> ()
+  | Engine.Failed (Engine.Io_fault _) ->
+      Alcotest.fail
+        "backoff burned the deadline: expected the typed deadline Partial"
+  | _ -> Alcotest.fail "expected a deadline partial under clamped backoff");
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "returned within ~deadline (%.3fs elapsed)" elapsed)
+    true (elapsed < 1.0);
+  Fault.clear disk;
+  Disk.close disk
+
 let test_engine_corrupt backend () =
   let prepared, disk, pool = make_prepared backend in
   Buffer_pool.flush pool;
@@ -726,6 +752,8 @@ let () =
             (test_engine_retry `File 2);
           quick "persistent faults exhaust retries" `Quick
             test_engine_fault_exhausts_retries;
+          quick "retry backoff clamped to the deadline" `Quick
+            test_engine_backoff_clamped_to_deadline;
           quick "corruption is fatal (memory)" `Quick
             (test_engine_corrupt `Memory);
           quick "corruption is fatal (file)" `Quick (test_engine_corrupt `File);

@@ -320,6 +320,57 @@ let test_admission_timeout () =
   Alcotest.(check int) "waiter deregistered" 0 (Governor.Admission.waiting door);
   Governor.Admission.release door
 
+let test_admission_fifo () =
+  (* Four waiters queue behind one slot-holder in a known order; as the
+     slot cycles they must be admitted strictly in arrival order. *)
+  let door = Governor.Admission.create ~max_in_flight:1 ~max_waiting:8 () in
+  (match Governor.Admission.admit door with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "an empty door must admit");
+  let order = ref [] in
+  let order_lock = Mutex.create () in
+  let n = 4 in
+  let threads =
+    List.init n (fun i ->
+        let th =
+          Thread.create
+            (fun () ->
+              match Governor.Admission.admit ~max_wait:10.0 door with
+              | Ok () ->
+                  Mutex.lock order_lock;
+                  order := i :: !order;
+                  Mutex.unlock order_lock;
+                  Governor.Admission.release door
+              | Error r ->
+                  Alcotest.failf "waiter %d shed: %a" i
+                    Governor.Admission.pp_rejection r)
+            ()
+        in
+        (* Wait until this waiter is registered before spawning the next,
+           so the arrival order is deterministic. *)
+        let deadline = Unix.gettimeofday () +. 5.0 in
+        while
+          Governor.Admission.waiting door < i + 1
+          && Unix.gettimeofday () < deadline
+        do
+          Thread.delay 0.001
+        done;
+        Alcotest.(check int)
+          (Printf.sprintf "waiter %d registered" i)
+          (i + 1)
+          (Governor.Admission.waiting door);
+        th)
+  in
+  Governor.Admission.release door;
+  List.iter Thread.join threads;
+  Alcotest.(check (list int)) "admitted in arrival order" [ 0; 1; 2; 3 ]
+    (List.rev !order);
+  Alcotest.(check int) "queue drained" 0 (Governor.Admission.waiting door);
+  Alcotest.(check int) "nothing left in flight" 0
+    (Governor.Admission.in_flight door);
+  Alcotest.(check int) "all five admitted" (n + 1)
+    (Governor.Admission.admitted_total door)
+
 let test_admission_release_unbalanced () =
   let door = Governor.Admission.create () in
   Alcotest.check_raises "release without admit"
@@ -387,6 +438,7 @@ let () =
           quick "saturated door sheds immediately" `Quick
             test_admission_saturated;
           quick "bounded patience times out" `Quick test_admission_timeout;
+          quick "waiters admitted in FIFO order" `Quick test_admission_fifo;
           quick "unbalanced release is a bug" `Quick
             test_admission_release_unbalanced;
           quick "engine returns typed Rejected" `Quick test_engine_rejected;

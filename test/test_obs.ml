@@ -45,6 +45,60 @@ let test_json_deterministic () =
     "equal inputs, byte-equal output"
     (Json.to_string doc) (Json.to_string doc)
 
+(* [Json.parse] is the front door for serve-protocol frames: it must
+   round-trip everything the encoder emits and turn malformed input into
+   typed errors, never exceptions. *)
+
+let rec json_equal a b =
+  match (a, b) with
+  | Json.Null, Json.Null -> true
+  | Json.Bool x, Json.Bool y -> x = y
+  | Json.Int x, Json.Int y -> x = y
+  | Json.Float x, Json.Float y -> Float.equal x y
+  | Json.Str x, Json.Str y -> String.equal x y
+  | Json.Arr x, Json.Arr y ->
+      List.length x = List.length y && List.for_all2 json_equal x y
+  | Json.Obj x, Json.Obj y ->
+      List.length x = List.length y
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && json_equal v1 v2)
+           x y
+  | _ -> false
+
+let test_json_parse_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("verb", Json.Str "cube");
+        ("query", Json.Str "X^3 $b by $n \"quoted\"\n\ttab\xe2\x82\xac");
+        ("flags", Json.Arr [ Json.Bool true; Json.Bool false; Json.Null ]);
+        ("n", Json.Int (-42));
+        ("ratio", Json.Float 0.125);
+        ("nested", Json.Obj [ ("empty_arr", Json.Arr []); ("o", Json.Obj []) ]);
+      ]
+  in
+  List.iter
+    (fun pretty ->
+      match Json.parse (Json.to_string ~pretty doc) with
+      | Ok doc' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "parse inverts to_string (pretty=%b)" pretty)
+            true (json_equal doc doc')
+      | Error e -> Alcotest.failf "round-trip failed: %s" e)
+    [ false; true ]
+
+let test_json_parse_rejects_malformed () =
+  List.iter
+    (fun src ->
+      match Json.parse src with
+      | Ok _ -> Alcotest.failf "expected a parse error for %S" src
+      | Error msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "error for %S is non-empty" src)
+            true
+            (String.length msg > 0))
+    [ ""; "{"; "{\"a\":}"; "[1,]"; "nul"; "\"unterminated"; "{} trailing" ]
+
 (* --- trace rings --------------------------------------------------------- *)
 
 let attr_int e name =
@@ -281,6 +335,10 @@ let () =
           Alcotest.test_case "escaping" `Quick test_json_escaping;
           Alcotest.test_case "floats" `Quick test_json_floats;
           Alcotest.test_case "deterministic" `Quick test_json_deterministic;
+          Alcotest.test_case "parse inverts to_string" `Quick
+            test_json_parse_roundtrip;
+          Alcotest.test_case "parse rejects malformed input" `Quick
+            test_json_parse_rejects_malformed;
         ] );
       ( "trace",
         [

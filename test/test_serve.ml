@@ -1,0 +1,341 @@
+(* The resident daemon: end-to-end over a real unix socket. The
+   load-bearing contract is byte-identity — whatever mix of cache hits,
+   lattice rollups and base scans answers a request, the exported bytes
+   must equal a cold [Engine.run]'s. The rest is survival: tight cache
+   budgets must evict rather than overflow, dead clients must not wedge
+   the accept loop, and malformed or oversized frames must be typed
+   errors, not crashes. *)
+
+module Server = X3_serve.Server
+module Protocol = X3_serve.Protocol
+module Json = X3_obs.Json
+module Engine = X3_core.Engine
+module Export = X3_core.Export
+module Compile = X3_ql.Compile
+
+(* --- harness ------------------------------------------------------------- *)
+
+type harness = {
+  server : Server.t;
+  thread : Thread.t;
+  address : Server.address;
+  sock_path : string;
+}
+
+let start_server ?(tune = fun c -> c) () =
+  let sock_path = Filename.temp_file "x3serve" ".sock" in
+  Sys.remove sock_path;
+  let address = Server.Unix_sock sock_path in
+  let cfg = tune (Server.default_config address) in
+  match Server.create cfg with
+  | Error msg -> Alcotest.failf "server create: %s" msg
+  | Ok server ->
+      let thread = Thread.create Server.run server in
+      { server; thread; address; sock_path }
+
+let stop_server h =
+  Server.stop h.server;
+  Thread.join h.thread
+
+let with_server ?tune f =
+  let h = start_server ?tune () in
+  Fun.protect ~finally:(fun () -> stop_server h) (fun () -> f h)
+
+let with_client h f =
+  match Server.Client.connect h.address with
+  | Error msg -> Alcotest.failf "connect: %s" msg
+  | Ok conn ->
+      Fun.protect ~finally:(fun () -> Server.Client.close conn) (fun () ->
+          f conn)
+
+(* A cube request that must succeed: payload and provenance, or failf. *)
+let cube_exn ?(no_cache = false) conn ~doc query =
+  match
+    Server.Client.request conn
+      (Protocol.Cube
+         { query; doc = Some doc; algorithm = None; format = "csv"; no_cache })
+  with
+  | Ok (Protocol.Cube_ok { payload; provenance; _ }) -> (payload, provenance)
+  | Ok (Protocol.Failed { code; message }) ->
+      Alcotest.failf "cube failed: %s: %s" code message
+  | Ok _ -> Alcotest.fail "unexpected response to cube"
+  | Error msg -> Alcotest.failf "cube transport error: %s" msg
+
+let metric_value stats name =
+  match Json.member "metrics" stats with
+  | Some metrics -> (
+      match Json.member name metrics with
+      | Some entry -> Json.int_member "value" entry
+      | None -> None)
+  | None -> None
+
+let stats_metric conn name =
+  match Server.Client.request conn Protocol.Stats with
+  | Ok (Protocol.Stats_ok doc) -> (
+      match metric_value doc name with
+      | Some v -> v
+      | None -> Alcotest.failf "stats document missing %s" name)
+  | Ok _ | Error _ -> Alcotest.fail "STATS verb failed"
+
+(* --- data on disk -------------------------------------------------------- *)
+
+let write_temp_doc ~prefix contents f =
+  let path = Filename.temp_file prefix ".xml" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      f path)
+
+let with_figure1 f = write_temp_doc ~prefix:"x3fig1" Fixtures.figure1_source f
+let figure1_query = X3_workload.Publications.query1
+
+let treebank_config =
+  {
+    X3_workload.Treebank.default with
+    num_trees = 120;
+    coverage = false;
+    disjoint = false;
+  }
+
+let with_treebank f =
+  let doc = X3_workload.Treebank.generate treebank_config in
+  write_temp_doc ~prefix:"x3bank" (X3_xml.Serialize.to_string doc) f
+
+(* Matches [treebank_config]: axes [$dj in $s/wj/dj], structural
+   relaxations on the first two axes only. *)
+let treebank_query =
+  {|for $s in doc("bank.xml")//s,
+    $d1 in $s/w1/d1,
+    $d2 in $s/w2/d2,
+    $d3 in $s/w3/d3
+X^3 $s by $d1 (LND, PC-AD), $d2 (LND, PC-AD), $d3 (LND)
+return COUNT($s).|}
+
+(* The reference: a cold, cache-free, in-process [Engine.run] over the
+   same query text the daemon compiles. *)
+let cold_export ~doc_path ~query =
+  let compiled =
+    match Compile.parse_and_compile query with
+    | Ok c -> c
+    | Error msg -> Alcotest.failf "compile: %s" msg
+  in
+  let doc =
+    match X3_xml.Parser.parse_file_with_dtd doc_path with
+    | Ok (doc, _dtd) -> doc
+    | Error e -> Alcotest.failf "parse: %a" X3_xml.Parser.pp_error e
+  in
+  let pool =
+    X3_storage.Buffer_pool.create ~capacity_pages:65536
+      (X3_storage.Disk.in_memory ~page_size:8192 ())
+  in
+  let store = X3_xdb.Store.of_document doc in
+  let prepared = Engine.prepare ~pool ~store compiled.Compile.spec in
+  let result, _instr = Engine.run ~workers:1 prepared Engine.Counter in
+  Export.csv_string ~func:compiled.Compile.spec.Engine.func result
+
+(* --- byte identity under concurrency ------------------------------------- *)
+
+let test_concurrent_byte_identity () =
+  with_figure1 @@ fun doc_path ->
+  with_server @@ fun h ->
+  let expected = cold_export ~doc_path ~query:figure1_query in
+  let n_clients = 4 and per_client = 2 in
+  let payloads = Array.make (n_clients * per_client) "" in
+  let errors = ref [] in
+  let err_lock = Mutex.create () in
+  let client i =
+    try
+      with_client h (fun conn ->
+          for k = 0 to per_client - 1 do
+            let payload, _ = cube_exn conn ~doc:doc_path figure1_query in
+            payloads.((i * per_client) + k) <- payload
+          done)
+    with e ->
+      Mutex.lock err_lock;
+      errors := Printexc.to_string e :: !errors;
+      Mutex.unlock err_lock
+  in
+  let threads = List.init n_clients (Thread.create client) in
+  List.iter Thread.join threads;
+  Alcotest.(check (list string)) "no client errors" [] !errors;
+  Array.iteri
+    (fun i payload ->
+      Alcotest.(check string)
+        (Printf.sprintf "request %d byte-identical to cold Engine.run" i)
+        expected payload)
+    payloads
+
+(* --- rollup soundness and provenance ------------------------------------- *)
+
+let test_rollup_matches_base_figure1 () =
+  with_figure1 @@ fun doc_path ->
+  with_server @@ fun h ->
+  with_client h @@ fun conn ->
+  let cold, cold_prov = cube_exn ~no_cache:true conn ~doc:doc_path figure1_query in
+  Alcotest.(check int) "cold path bypasses the cache" 0
+    (cold_prov.Protocol.p_base + cold_prov.p_rollup + cold_prov.p_cached);
+  let warm1, prov1 = cube_exn conn ~doc:doc_path figure1_query in
+  Alcotest.(check string) "first warm-path answer equals cold run" cold warm1;
+  Alcotest.(check bool) "figure 1 rolls up most cuboids" true
+    (prov1.Protocol.p_rollup > 0);
+  Alcotest.(check bool) "the finest cuboid comes from base" true
+    (prov1.Protocol.p_base >= 1);
+  let warm2, prov2 = cube_exn conn ~doc:doc_path figure1_query in
+  Alcotest.(check string) "warm repeat byte-identical" cold warm2;
+  let total =
+    prov1.Protocol.p_base + prov1.Protocol.p_rollup + prov1.Protocol.p_cached
+  in
+  Alcotest.(check int) "warm repeat fully served from cache" total
+    prov2.Protocol.p_cached;
+  Alcotest.(check int) "no base scans on the warm repeat" 0
+    prov2.Protocol.p_base
+
+let test_rollup_matches_base_treebank () =
+  with_treebank @@ fun doc_path ->
+  with_server @@ fun h ->
+  with_client h @@ fun conn ->
+  let expected = cold_export ~doc_path ~query:treebank_query in
+  let warm, prov = cube_exn conn ~doc:doc_path treebank_query in
+  Alcotest.(check string)
+    "uncovered/non-disjoint treebank served byte-identical" expected warm;
+  (* coverage=false / disjoint=false: some lattice edges are uncovered,
+     so serving must fall back to base scans for them — and the mixed
+     rollup/base answer above still matched the cold run byte-for-byte. *)
+  Alcotest.(check bool) "base fallback exercised" true
+    (prov.Protocol.p_base >= 1);
+  let warm2, _ = cube_exn ~no_cache:true conn ~doc:doc_path treebank_query in
+  Alcotest.(check string) "no_cache reference agrees" expected warm2
+
+(* --- eviction under a tight budget --------------------------------------- *)
+
+let test_eviction_stays_within_budget () =
+  with_figure1 @@ fun doc_path ->
+  (* Big enough for the document and a handful of views, far too small
+     for all of figure 1's ~31 cache entries: inserts must evict. *)
+  let budget = 24 * 1024 in
+  with_server ~tune:(fun c -> { c with Server.cache_bytes = budget })
+  @@ fun h ->
+  with_client h @@ fun conn ->
+  let expected = cold_export ~doc_path ~query:figure1_query in
+  for i = 1 to 3 do
+    let payload, _ = cube_exn conn ~doc:doc_path figure1_query in
+    Alcotest.(check string)
+      (Printf.sprintf "request %d still byte-identical under pressure" i)
+      expected payload;
+    let resident = stats_metric conn "serve.cache.resident_bytes" in
+    Alcotest.(check bool)
+      (Printf.sprintf "resident %d <= budget %d after request %d" resident
+         budget i)
+      true (resident <= budget)
+  done;
+  let evictions = stats_metric conn "serve.cache.evictions" in
+  Alcotest.(check bool) "the tight budget forced evictions" true
+    (evictions >= 1)
+
+(* --- hostile and dying clients ------------------------------------------- *)
+
+let raw_connect h =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX h.sock_path);
+  fd
+
+let test_dead_client_does_not_wedge () =
+  with_figure1 @@ fun doc_path ->
+  with_server @@ fun h ->
+  (* A client that sends 3 bytes of a 4-byte header and vanishes. *)
+  let fd = raw_connect h in
+  ignore (Unix.write fd (Bytes.of_string "\x00\x00\x01") 0 3 : int);
+  Unix.close fd;
+  (* A client that sends a full cube request and hangs up before the
+     response: the worker's reply hits EPIPE, not the accept loop. *)
+  let fd = raw_connect h in
+  let req =
+    Protocol.encode_request
+      (Protocol.Cube
+         {
+           query = figure1_query;
+           doc = Some doc_path;
+           algorithm = None;
+           format = "csv";
+           no_cache = false;
+         })
+  in
+  (match Protocol.write_frame fd req with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "could not send the doomed request");
+  Unix.close fd;
+  (* The daemon must still answer new connections. *)
+  with_client h (fun conn ->
+      match Server.Client.request conn Protocol.Ping with
+      | Ok Protocol.Pong -> ()
+      | Ok _ | Error _ -> Alcotest.fail "daemon wedged after dead clients");
+  (* And still serve full cube requests, byte-identically. *)
+  let expected = cold_export ~doc_path ~query:figure1_query in
+  with_client h (fun conn ->
+      let payload, _ = cube_exn conn ~doc:doc_path figure1_query in
+      Alcotest.(check string) "cube after dead clients" expected payload)
+
+let test_protocol_rejects_malformed_and_oversized () =
+  with_server ~tune:(fun c -> { c with Server.max_frame_bytes = 1024 })
+  @@ fun h ->
+  let expect_failed fd code =
+    match Protocol.read_frame fd with
+    | Ok payload -> (
+        match Protocol.decode_response payload with
+        | Ok (Protocol.Failed f) ->
+            Alcotest.(check string) "error code" code f.code
+        | Ok _ -> Alcotest.failf "expected a %s error" code
+        | Error msg -> Alcotest.failf "undecodable response: %s" msg)
+    | Error _ -> Alcotest.failf "no response before hangup (wanted %s)" code
+  in
+  (* Malformed JSON in a well-formed frame: typed bad_request, and the
+     connection survives for the next request. *)
+  let fd = raw_connect h in
+  (match Protocol.write_frame fd "{this is not json" with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "write failed");
+  expect_failed fd "bad_request";
+  (match Protocol.write_frame fd {|{"verb":"florb"}|} with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "write failed");
+  expect_failed fd "bad_request";
+  Unix.close fd;
+  (* A frame header promising more than the cap: typed frame_too_large,
+     then the server hangs up (the stream is unrecoverable). *)
+  let fd = raw_connect h in
+  let header = Bytes.of_string "\x00\x00\x08\x00" (* 2048 > 1024 *) in
+  ignore (Unix.write fd header 0 4 : int);
+  expect_failed fd "frame_too_large";
+  (match Protocol.read_frame fd with
+  | Error Protocol.Closed -> ()
+  | Ok _ -> Alcotest.fail "server kept an unrecoverable stream open"
+  | Error _ -> ());
+  Unix.close fd;
+  (* The daemon is unharmed. *)
+  with_client h (fun conn ->
+      match Server.Client.request conn Protocol.Ping with
+      | Ok Protocol.Pong -> ()
+      | Ok _ | Error _ -> Alcotest.fail "daemon wedged after hostile frames")
+
+let () =
+  Alcotest.run "x3 serve"
+    [
+      ( "serve",
+        [
+          Alcotest.test_case "concurrent clients byte-identical to cold run"
+            `Quick test_concurrent_byte_identity;
+          Alcotest.test_case "rollup provenance and identity on figure 1"
+            `Quick test_rollup_matches_base_figure1;
+          Alcotest.test_case "rollup==base on uncovered treebank" `Quick
+            test_rollup_matches_base_treebank;
+          Alcotest.test_case "eviction stays within the byte budget" `Quick
+            test_eviction_stays_within_budget;
+          Alcotest.test_case "dead clients do not wedge the accept loop"
+            `Quick test_dead_client_does_not_wedge;
+          Alcotest.test_case "malformed and oversized frames are typed errors"
+            `Quick test_protocol_rejects_malformed_and_oversized;
+        ] );
+    ]
