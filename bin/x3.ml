@@ -667,8 +667,44 @@ let serve_client_request address req =
               exit 1
           | Ok resp -> resp)
 
+(* Client cube mode: one query against a running daemon, with the same
+   retry machinery tests use, and the daemon's typed error codes mapped
+   onto the x3 exit-code contract (partial answers exit 4 like any other
+   deadline outcome — the payload still goes to stdout). *)
+let serve_client_cube address ~query ~deadline_ms ~retries =
+  match
+    Server.Client.request_with_retry ~retries address
+      (Serve_protocol.Cube
+         {
+           query;
+           doc = None;
+           algorithm = None;
+           format = "csv";
+           no_cache = false;
+           deadline_ms;
+           retries = None;
+         })
+  with
+  | Error msg ->
+      prerr_endline ("x3: " ^ msg);
+      exit (Serve_protocol.exit_code_of_error "io_fault")
+  | Ok (Serve_protocol.Failed { code; message }) ->
+      prerr_endline (Printf.sprintf "x3: %s: %s" code message);
+      exit (Serve_protocol.exit_code_of_error code)
+  | Ok (Serve_protocol.Cube_ok { payload; partial; _ }) -> (
+      print_string payload;
+      match partial with
+      | None -> ()
+      | Some reason ->
+          prerr_endline ("x3: partial result (" ^ reason ^ ")");
+          exit 4)
+  | Ok _ ->
+      prerr_endline "x3: unexpected response to CUBE";
+      exit 1
+
 let run_serve socket port cache_bytes max_concurrent max_waiting
-    admission_timeout workers max_input_bytes max_frame_bytes stats shutdown =
+    admission_timeout workers max_input_bytes max_frame_bytes io_deadline
+    drain_deadline snapshot stats shutdown query deadline_ms retries =
   let address = serve_address socket port in
   if stats then
     match serve_client_request address Serve_protocol.Stats with
@@ -685,29 +721,43 @@ let run_serve socket port cache_bytes max_concurrent max_waiting
     | _ ->
         prerr_endline "x3: unexpected response to SHUTDOWN";
         exit 1
-  else begin
-    let config =
-      {
-        Server.address;
-        cache_bytes;
-        max_in_flight = max_concurrent;
-        max_waiting;
-        admission_timeout;
-        workers;
-        max_input_bytes;
-        max_frame_bytes;
-      }
-    in
-    let server = or_die (Server.create config) in
-    (match address with
-    | Server.Unix_sock path ->
-        Printf.printf "x3 serve: listening on %s (cache %d bytes)\n%!" path
-          cache_bytes
-    | Server.Tcp (host, p) ->
-        Printf.printf "x3 serve: listening on %s:%d (cache %d bytes)\n%!" host
-          p cache_bytes);
-    Server.run server
-  end
+  else
+    match query with
+    | Some query -> serve_client_cube address ~query ~deadline_ms ~retries
+    | None ->
+        let config =
+          {
+            Server.address;
+            cache_bytes;
+            max_in_flight = max_concurrent;
+            max_waiting;
+            admission_timeout;
+            workers;
+            max_input_bytes;
+            max_frame_bytes;
+            io_deadline = (if io_deadline <= 0. then None else Some io_deadline);
+            drain_deadline;
+            snapshot_path = snapshot;
+            fault = None;
+          }
+        in
+        let server = or_die (Server.create config) in
+        (* SIGTERM/SIGINT begin a drained shutdown: [Server.stop] is
+           async-signal-safe, and [Server.run] drains in-flight requests
+           and persists the cache snapshot on its way out. *)
+        let graceful = Sys.Signal_handle (fun _ -> Server.stop server) in
+        (try Sys.set_signal Sys.sigterm graceful
+         with Invalid_argument _ -> ());
+        (try Sys.set_signal Sys.sigint graceful
+         with Invalid_argument _ -> ());
+        (match address with
+        | Server.Unix_sock path ->
+            Printf.printf "x3 serve: listening on %s (cache %d bytes)\n%!" path
+              cache_bytes
+        | Server.Tcp (host, p) ->
+            Printf.printf "x3 serve: listening on %s:%d (cache %d bytes)\n%!"
+              host p cache_bytes);
+        Server.run server
 
 (* --- info --------------------------------------------------------------- *)
 
@@ -1092,6 +1142,34 @@ let serve_cmd =
       & info [ "max-frame-bytes" ] ~docv:"BYTES"
           ~doc:"Wire-frame payload cap (hostile-input guard).")
   in
+  let io_deadline =
+    Arg.(
+      value & opt float 30.0
+      & info [ "io-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-frame socket deadline; a peer that cannot deliver or \
+             accept one frame within it is disconnected (slow-loris \
+             defense). 0 disables.")
+  in
+  let drain_deadline =
+    Arg.(
+      value & opt float 5.0
+      & info [ "drain-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "On shutdown, how long to let in-flight requests finish \
+             before cancelling the active computation (its client gets \
+             a typed response).")
+  in
+  let snapshot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"PATH"
+          ~doc:
+            "Persist the cuboid cache here on drained shutdown and \
+             warm-restart from it (verify-on-load; a corrupt or stale \
+             snapshot cold-starts, never fails).")
+  in
   let stats =
     Arg.(
       value & flag
@@ -1106,6 +1184,35 @@ let serve_cmd =
       & info [ "shutdown" ]
           ~doc:"Client mode: ask a running daemon to shut down and exit.")
   in
+  let query =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "query" ] ~docv:"X3QL"
+          ~doc:
+            "Client mode: send one cube query to a running daemon, print \
+             the CSV answer, and exit with the standard x3 code for any \
+             typed failure (2 corrupt, 3 I/O fault, 4 timeout/partial, \
+             5 rejected/over budget).")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "With --query: server-side compute deadline; past it the \
+             daemon answers with a typed timeout or partial cube.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 3
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "With --query: client-side retry budget for transient \
+             transport failures and retryable typed errors (jittered \
+             exponential backoff, reconnecting per attempt).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1117,7 +1224,8 @@ let serve_cmd =
     Term.(
       const run_serve $ socket $ port $ cache_bytes $ max_concurrent
       $ max_waiting $ admission_timeout $ workers $ max_input_bytes
-      $ max_frame_bytes $ stats $ shutdown)
+      $ max_frame_bytes $ io_deadline $ drain_deadline $ snapshot $ stats
+      $ shutdown $ query $ deadline_ms $ retries)
 
 let info_cmd =
   let path =

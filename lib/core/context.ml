@@ -79,6 +79,17 @@ let set_deadline t ~seconds = set_deadline_at t (Unix.gettimeofday () +. seconds
 let set_cancel_hook t hook = t.control.cancel_hook <- Some hook
 let cancel t = Atomic.set t.control.cancel_flag true
 let stopped t = t.control.stopped
+let clear_deadline t = t.control.deadline <- None
+
+(* A long-lived context (one serve session answers many requests) must be
+   able to shed the stop state one request left behind: the next request
+   starts with its own deadline and no latent cancel. The cancel hook is
+   kept — it is installed once per session (drain polling). *)
+let clear_stop t =
+  let c = t.control in
+  c.stopped <- None;
+  c.pending <- None;
+  Atomic.set c.cancel_flag false
 
 let reason_name = function
   | Cancelled -> "cancelled"

@@ -75,9 +75,22 @@ val set_cancel_hook : t -> (unit -> bool) -> unit
 val cancel : t -> unit
 (** Request cancellation (domain-safe; takes effect at the next check). *)
 
+val clear_deadline : t -> unit
+(** Drop the deadline — a long-lived context (a serve session) clears the
+    previous request's budget before the next one starts. *)
+
+val clear_stop : t -> unit
+(** Reset the stop state (recorded reason, pending stop, cancel flag) so
+    a context that stopped one request can run the next.  The cancel
+    hook stays installed. *)
+
 val stopped : t -> stop_reason option
 (** Why the run stopped early, if it did — the engine turns [Some] into a
     [Partial] outcome. *)
+
+val reason_name : stop_reason -> string
+(** ["cancelled"], ["deadline_exceeded"], ["over_budget"] — the stable
+    names traces, wire responses and exit-code mapping share. *)
 
 val check : t -> unit
 (** Raise {!Stop} if a stop is pending; record the reason for {!stopped}. *)

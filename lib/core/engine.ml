@@ -286,6 +286,23 @@ module Session = struct
     result
 
   let table_bytes t = Witness.approx_bytes t.s_prepared.table
+
+  (* One request's compute budget on a long-lived session: arm the
+     context's deadline, run, and always disarm — clearing any stop the
+     request left behind so the session's next request starts clean.  A
+     [Context.Stop] escaping [f] (deadline, cancel hook, budget) becomes
+     [Error reason]; the views built before the stop are complete and
+     stay valid (stops land at scan boundaries, never mid-view). *)
+  let with_deadline t ?deadline_at f =
+    Option.iter (Context.set_deadline_at t.s_ctx) deadline_at;
+    Fun.protect
+      ~finally:(fun () ->
+        Context.clear_deadline t.s_ctx;
+        Context.clear_stop t.s_ctx)
+      (fun () ->
+        match f () with
+        | v -> Ok v
+        | exception Context.Stop reason -> Error reason)
 end
 
 (* --- graceful degradation ----------------------------------------------- *)

@@ -151,6 +151,18 @@ module Session : sig
   (** Resident footprint of the witness table
       ({!X3_pattern.Witness.approx_bytes}) — what a cache charges for
       keeping the session loaded. *)
+
+  val with_deadline :
+    t ->
+    ?deadline_at:float ->
+    (unit -> 'a) ->
+    ('a, Context.stop_reason) result
+  (** Run [f] under one request's compute budget: arm the session
+      context's deadline at the absolute time [deadline_at] (none =
+      unbounded), and always disarm and clear the stop state afterwards
+      so the long-lived session can serve its next request.  [Error
+      reason] when the run stopped (deadline, cancel hook, byte budget);
+      views completed before the stop remain valid. *)
 end
 
 (** {1 Graceful degradation}

@@ -161,7 +161,7 @@ let read_u32 record pos =
   u8 pos lor (u8 (pos + 1) lsl 8) lor (u8 (pos + 2) lsl 16)
   lor (u8 (pos + 3) lsl 24)
 
-let save t store =
+let to_records t =
   let header = Buffer.create 9 in
   Buffer.add_char header 'M';
   add_u32 header t.cuboid_id;
@@ -179,7 +179,9 @@ let save t store =
         Buffer.contents buf :: acc)
       t.groups []
   in
-  X3_storage.Snapshot_store.commit store (Buffer.contents header :: records)
+  Buffer.contents header :: records
+
+let save t store = X3_storage.Snapshot_store.commit store (to_records t)
 
 let parse_group record =
   let len = String.length record in
@@ -200,8 +202,8 @@ let parse_group record =
         Ok (key, !facts)
       end
 
-let load (ctx : Context.t) store =
-  match X3_storage.Snapshot_store.read store with
+let of_records (ctx : Context.t) records =
+  match records with
   | [] -> Error "view snapshot: empty store"
   | header :: rest ->
       if String.length header <> 9 || header.[0] <> 'M' then
@@ -254,6 +256,9 @@ let load (ctx : Context.t) store =
           go rest
         end
       end
+
+let load (ctx : Context.t) store =
+  of_records ctx (X3_storage.Snapshot_store.read store)
 
 let to_result t result =
   let cuboid = states t in

@@ -64,3 +64,13 @@ val load : Context.t -> X3_storage.Snapshot_store.t -> (t, string) result
 (** Rebuild a view from the store's committed snapshot against [ctx]'s
     table; [Error] when a record is malformed or names values the table
     does not contain. *)
+
+val to_records : t -> string list
+(** The view's portable record stream (one ['M'] header carrying the
+    cuboid id and group count, then one ['G'] record per group) — the
+    unit {!save} commits, exposed so several views can share one store
+    (the serve daemon's warm-restart snapshot packs a whole cache). *)
+
+val of_records : Context.t -> string list -> (t, string) result
+(** Inverse of {!to_records} against [ctx]'s table — {!load} on an
+    already-read record stream. *)

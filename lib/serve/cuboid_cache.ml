@@ -103,6 +103,14 @@ let remove t key =
   in
   Option.iter (fun f -> f ()) deferred
 
+(* Oldest-first so a consumer that replays the list (the warm-restart
+   snapshot) reconstructs the same recency order by inserting in turn. *)
+let snapshot t =
+  locked t (fun () ->
+      Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
+      |> List.sort (fun a b -> compare a.e_stamp b.e_stamp)
+      |> List.map (fun e -> (e.e_key, e.e_value, e.e_bytes)))
+
 let entries t = locked t (fun () -> Hashtbl.length t.table)
 let resident_bytes t = Governor.account_used t.account
 let hits t = locked t (fun () -> t.hits)

@@ -40,6 +40,12 @@ val remove : 'a t -> string -> unit
 (** Drop one entry (releasing its bytes, firing [on_evict]); no-op when
     absent. Counted as an eviction. *)
 
+val snapshot : 'a t -> (string * 'a * int) list
+(** Every resident entry as [(key, value, bytes)], least recently used
+    first — replaying the list through {!insert} reconstructs the same
+    recency order.  No recency bump, no hit/miss accounting; the
+    warm-restart snapshot reads the cache without disturbing it. *)
+
 val entries : 'a t -> int
 val resident_bytes : 'a t -> int
 val hits : 'a t -> int

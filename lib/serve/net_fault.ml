@@ -1,0 +1,166 @@
+(* Deterministic fault injection over socket operations.
+
+   The PR 3 storage injector made every disk failure a replayable test
+   input; this is the same design one layer up, at the transport.  A plan
+   is a set of rules consulted before every socket syscall the protocol
+   layer issues (read, write, accept): fail the Nth op with a chosen
+   errno, truncate the Nth op to a short read/write, delay the Nth op,
+   inject seeded pseudo-random delays, or "crash" — after the Nth write
+   every subsequent operation on the plan raises [ECONNRESET], modelling
+   a connection (or NIC) that died mid-stream.
+
+   Injected failures are raised as ordinary [Unix.Unix_error]s so they
+   flow through exactly the same classification as real socket errors:
+   an injected ECONNRESET becomes [Protocol.Closed], an injected EIO
+   becomes [Frame_fault], an injected EMFILE exercises the accept loop's
+   backoff path.  Plans carry their own op counters (guarded by a mutex —
+   the daemon consults one plan from many connection threads), so a
+   fresh plan replays identically. *)
+
+type op = Read | Write | Accept
+
+let op_name = function Read -> "read" | Write -> "write" | Accept -> "accept"
+
+type rule =
+  | Fail_nth of { op : op; n : int; error : Unix.error }
+  | Short_nth of { op : op; n : int; bytes : int }
+  | Delay_nth of { op : op; n : int; seconds : float }
+  | Seeded_delay of {
+      ops : op list;
+      rate : float;
+      seconds : float;
+      mutable state : int64;
+    }
+  | Crash_after_writes of { n : int }
+
+type t = {
+  rules : rule list;
+  lock : Mutex.t;
+  mutable reads : int;
+  mutable writes : int;
+  mutable accepts : int;
+  mutable crashed : bool;
+  mutable injected : int;
+}
+
+let of_rules rules =
+  {
+    rules;
+    lock = Mutex.create ();
+    reads = 0;
+    writes = 0;
+    accepts = 0;
+    crashed = false;
+    injected = 0;
+  }
+
+let fail_nth ?(error = Unix.EIO) op n =
+  if n < 1 then invalid_arg "Net_fault.fail_nth: n must be >= 1";
+  of_rules [ Fail_nth { op; n; error } ]
+
+let drop_nth op n = fail_nth ~error:Unix.ECONNRESET op n
+
+let short_nth ?(bytes = 1) op n =
+  if n < 1 then invalid_arg "Net_fault.short_nth: n must be >= 1";
+  if bytes < 1 then invalid_arg "Net_fault.short_nth: bytes must be >= 1";
+  if op = Accept then invalid_arg "Net_fault.short_nth: accept cannot be short";
+  of_rules [ Short_nth { op; n; bytes } ]
+
+let delay_nth op n ~seconds =
+  if n < 1 then invalid_arg "Net_fault.delay_nth: n must be >= 1";
+  of_rules [ Delay_nth { op; n; seconds } ]
+
+let seeded_delays ~seed ~rate ~seconds ops =
+  if rate < 0. || rate > 1. then
+    invalid_arg "Net_fault.seeded_delays: rate in [0,1]";
+  of_rules
+    [
+      Seeded_delay
+        { ops; rate; seconds; state = Int64.of_int (seed lxor 0x9E3779B9) };
+    ]
+
+let crash_after_writes n =
+  if n < 0 then invalid_arg "Net_fault.crash_after_writes: n must be >= 0";
+  of_rules [ Crash_after_writes { n } ]
+
+let combine plans = of_rules (List.concat_map (fun p -> p.rules) plans)
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let crashed t = locked t (fun () -> t.crashed)
+let injected_faults t = locked t (fun () -> t.injected)
+let writes_seen t = locked t (fun () -> t.writes)
+
+(* splitmix64, as in Fault.draw: one draw per matching event, fully
+   determined by the seed and the event sequence. *)
+let draw st =
+  let z = Int64.add st.contents 0x9E3779B97F4A7C15L in
+  st := z;
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.
+
+let inject t error op =
+  t.injected <- t.injected + 1;
+  raise (Unix.Unix_error (error, "x3-net-fault", op_name op))
+
+(* Consult the plan for one imminent syscall.  Sleeps any injected delay
+   (outside the plan lock), raises [Unix.Unix_error] for injected
+   failures, and returns the byte allowance for the op: [bytes] to
+   proceed untouched, less to force a short read/write.  [bytes = 0]
+   (accept) always returns 0. *)
+let consult t op ~bytes =
+  let delay = ref 0. in
+  let allow =
+    locked t @@ fun () ->
+    if t.crashed then inject t Unix.ECONNRESET op;
+    let count =
+      match op with
+      | Read ->
+          t.reads <- t.reads + 1;
+          t.reads
+      | Write ->
+          t.writes <- t.writes + 1;
+          t.writes
+      | Accept ->
+          t.accepts <- t.accepts + 1;
+          t.accepts
+    in
+    let allow = ref bytes in
+    List.iter
+      (fun rule ->
+        match rule with
+        | Fail_nth { op = o; n; error } ->
+            if o = op && count = n then inject t error op
+        | Short_nth { op = o; n; bytes = b } ->
+            if o = op && count = n then allow := min !allow (max 1 b)
+        | Delay_nth { op = o; n; seconds } ->
+            if o = op && count = n then delay := !delay +. seconds
+        | Seeded_delay s ->
+            if List.mem op s.ops then begin
+              let st = ref s.state in
+              let x = draw st in
+              s.state <- !st;
+              if x < s.rate then delay := !delay +. s.seconds
+            end
+        | Crash_after_writes { n } ->
+            if op = Write && t.writes = n + 1 then begin
+              (* The crashing write: the connection dies under it and
+                 under everything after it. *)
+              t.crashed <- true;
+              inject t Unix.ECONNRESET op
+            end)
+      t.rules;
+    !allow
+  in
+  if !delay > 0. then Unix.sleepf !delay;
+  allow

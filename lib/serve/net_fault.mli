@@ -1,0 +1,63 @@
+(** Deterministic fault injection over socket operations.
+
+    The transport-level sibling of {!X3_storage.Fault}: a plan is a set
+    of rules consulted before every socket syscall the protocol layer
+    issues, carrying its own op counters so a fresh plan replays
+    identically — fault schedules are part of a test's inputs, not its
+    environment.
+
+    Injected failures are raised as ordinary [Unix.Unix_error]s, so they
+    flow through the same classification as real socket errors: an
+    injected [ECONNRESET] surfaces as {!Protocol.frame_error.Closed}, an
+    injected [EIO] as [Frame_fault], an injected [EMFILE] on accept
+    exercises the server's backoff path.
+
+    Plans are thread-safe: the daemon consults one plan from many
+    connection threads and the counters stay globally ordered. *)
+
+type op = Read | Write | Accept
+
+type t
+
+(** {1 Plans} *)
+
+val fail_nth : ?error:Unix.error -> op -> int -> t
+(** [fail_nth op n] fails the [n]th occurrence of [op] (1-based) with
+    [error] (default [EIO]). *)
+
+val drop_nth : op -> int -> t
+(** [fail_nth ~error:ECONNRESET] — the peer vanishing mid-frame. *)
+
+val short_nth : ?bytes:int -> op -> int -> t
+(** Truncate the [n]th read/write syscall to [bytes] (default 1),
+    forcing the framing layer's partial-op loop to resume. *)
+
+val delay_nth : op -> int -> seconds:float -> t
+(** Stall the [n]th occurrence of [op] by [seconds] before it runs. *)
+
+val seeded_delays : seed:int -> rate:float -> seconds:float -> op list -> t
+(** Delay each matching op with probability [rate], drawn from a
+    splitmix64 stream over [seed] — a deterministic slow network. *)
+
+val crash_after_writes : int -> t
+(** After [n] write syscalls have completed, the [n+1]th write and every
+    subsequent operation on this plan raise [ECONNRESET] — a connection
+    that died mid-stream.  With no short-write rule in force one frame is
+    one write syscall, so this is crash-after-N-frames. *)
+
+val combine : t list -> t
+(** Merge rules into one plan with fresh counters. *)
+
+(** {1 Consultation} *)
+
+val consult : t -> op -> bytes:int -> int
+(** [consult t op ~bytes] registers one imminent syscall: sleeps any
+    injected delay, raises [Unix.Unix_error] for an injected failure,
+    and returns the byte allowance — [bytes] to proceed untouched, less
+    (but at least 1) to force a short op. *)
+
+(** {1 Introspection} *)
+
+val crashed : t -> bool
+val injected_faults : t -> int
+val writes_seen : t -> int

@@ -4,39 +4,105 @@ let default_max_frame_bytes = 16 * 1024 * 1024
 
 (* --- framing ------------------------------------------------------------- *)
 
-type frame_error = Closed | Too_large of int | Frame_fault of string
+type frame_error =
+  | Closed
+  | Too_large of int
+  | Timed_out
+  | Frame_fault of string
 
-(* EINTR/EAGAIN are retried; a peer that vanished (EPIPE, ECONNRESET,
-   plain EOF) is an orderly [Closed] — the daemon's accept loop must shrug
-   at dead clients, not crash on them. *)
-let rec read_exact fd buf ofs len =
+let frame_error_message = function
+  | Closed -> "connection closed"
+  | Too_large n -> Printf.sprintf "frame of %d bytes over the cap" n
+  | Timed_out -> "socket deadline exceeded"
+  | Frame_fault m -> m
+
+(* Wait until [fd] is ready, bounded by the absolute [deadline] when one
+   is set (select with a negative timeout blocks indefinitely).  EINTR
+   restarts the wait against the same absolute deadline. *)
+let rec wait_ready fd ~for_read ~deadline =
+  let timeout =
+    match deadline with None -> -1. | Some d -> d -. Unix.gettimeofday ()
+  in
+  if deadline <> None && timeout <= 0. then Error Timed_out
+  else
+    let r, w = if for_read then ([ fd ], []) else ([], [ fd ]) in
+    match Unix.select r w [] timeout with
+    | [], [], [] -> Error Timed_out
+    | _ -> Ok ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        wait_ready fd ~for_read ~deadline
+
+let allowance fault op len =
+  match fault with None -> len | Some f -> Net_fault.consult f op ~bytes:len
+
+(* EINTR restarts the op; EAGAIN/EWOULDBLOCK (non-blocking fd with an
+   empty buffer) waits for readiness — bounded by the deadline — instead
+   of the old blind busy-retry; a peer that vanished (EPIPE, ECONNRESET,
+   plain EOF) is an orderly [Closed] — the daemon's accept loop must
+   shrug at dead clients, not crash on them.  With a deadline set the
+   wait happens before the syscall so a blocking fd cannot stall past
+   it.  Partial reads and writes resume where they left off, so a slow
+   TCP socket (or an injected short op) never corrupts the stream. *)
+let rec read_exact ?deadline ?fault fd buf ofs len =
   if len = 0 then Ok ()
   else
-    match Unix.read fd buf ofs len with
-    | 0 -> Error Closed
-    | n -> read_exact fd buf (ofs + n) (len - n)
-    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) ->
-        read_exact fd buf ofs len
-    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
-        Error Closed
-    | exception Unix.Unix_error (e, _, _) ->
-        Error (Frame_fault (Unix.error_message e))
+    let ready =
+      match deadline with
+      | None -> Ok ()
+      | Some _ -> wait_ready fd ~for_read:true ~deadline
+    in
+    match ready with
+    | Error _ as e -> e
+    | Ok () -> (
+        match
+          let req = allowance fault Net_fault.Read len in
+          Unix.read fd buf ofs req
+        with
+        | 0 -> Error Closed
+        | n -> read_exact ?deadline ?fault fd buf (ofs + n) (len - n)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+            read_exact ?deadline ?fault fd buf ofs len
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          -> (
+            match wait_ready fd ~for_read:true ~deadline with
+            | Error _ as e -> e
+            | Ok () -> read_exact ?deadline ?fault fd buf ofs len)
+        | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+            Error Closed
+        | exception Unix.Unix_error (e, _, _) ->
+            Error (Frame_fault (Unix.error_message e)))
 
-let rec write_exact fd buf ofs len =
+let rec write_exact ?deadline ?fault fd buf ofs len =
   if len = 0 then Ok ()
   else
-    match Unix.write fd buf ofs len with
-    | n -> write_exact fd buf (ofs + n) (len - n)
-    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) ->
-        write_exact fd buf ofs len
-    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
-        Error Closed
-    | exception Unix.Unix_error (e, _, _) ->
-        Error (Frame_fault (Unix.error_message e))
+    let ready =
+      match deadline with
+      | None -> Ok ()
+      | Some _ -> wait_ready fd ~for_read:false ~deadline
+    in
+    match ready with
+    | Error _ as e -> e
+    | Ok () -> (
+        match
+          let req = allowance fault Net_fault.Write len in
+          Unix.write fd buf ofs req
+        with
+        | n -> write_exact ?deadline ?fault fd buf (ofs + n) (len - n)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+            write_exact ?deadline ?fault fd buf ofs len
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          -> (
+            match wait_ready fd ~for_read:false ~deadline with
+            | Error _ as e -> e
+            | Ok () -> write_exact ?deadline ?fault fd buf ofs len)
+        | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+            Error Closed
+        | exception Unix.Unix_error (e, _, _) ->
+            Error (Frame_fault (Unix.error_message e)))
 
-let read_frame ?(max_bytes = default_max_frame_bytes) fd =
+let read_frame ?(max_bytes = default_max_frame_bytes) ?deadline ?fault fd =
   let header = Bytes.create 4 in
-  match read_exact fd header 0 4 with
+  match read_exact ?deadline ?fault fd header 0 4 with
   | Error _ as e -> e
   | Ok () ->
       let b i = Char.code (Bytes.get header i) in
@@ -44,12 +110,12 @@ let read_frame ?(max_bytes = default_max_frame_bytes) fd =
       if len > max_bytes then Error (Too_large len)
       else begin
         let payload = Bytes.create len in
-        match read_exact fd payload 0 len with
+        match read_exact ?deadline ?fault fd payload 0 len with
         | Error _ as e -> e
         | Ok () -> Ok (Bytes.unsafe_to_string payload)
       end
 
-let write_frame fd payload =
+let write_frame ?deadline ?fault fd payload =
   let len = String.length payload in
   let frame = Bytes.create (4 + len) in
   Bytes.set frame 0 (Char.chr ((len lsr 24) land 0xFF));
@@ -57,7 +123,7 @@ let write_frame fd payload =
   Bytes.set frame 2 (Char.chr ((len lsr 8) land 0xFF));
   Bytes.set frame 3 (Char.chr (len land 0xFF));
   Bytes.blit_string payload 0 frame 4 len;
-  write_exact fd frame 0 (4 + len)
+  write_exact ?deadline ?fault fd frame 0 (4 + len)
 
 (* --- requests ------------------------------------------------------------ *)
 
@@ -68,6 +134,8 @@ type request =
       algorithm : string option;
       format : string;
       no_cache : bool;
+      deadline_ms : int option;
+      retries : int option;
     }
   | Stats
   | Ping
@@ -76,21 +144,55 @@ type request =
 type provenance = { p_base : int; p_rollup : int; p_cached : int }
 
 type response =
-  | Cube_ok of { payload : string; provenance : provenance; seconds : float }
+  | Cube_ok of {
+      payload : string;
+      provenance : provenance;
+      seconds : float;
+      partial : string option;
+    }
   | Stats_ok of Json.t
   | Pong
   | Bye
   | Failed of { code : string; message : string }
 
+(* --- error taxonomy ------------------------------------------------------ *)
+
+(* Wire error codes mirror the CLI's exit codes, so a scripted client
+   can treat `x3 serve --query` exactly like `x3 cube`:
+     2 = corrupt page/checksum  3 = I/O fault  4 = deadline/cancel
+     5 = budget/admission/input caps  1 = everything else. *)
+let exit_code_of_error = function
+  | "corrupt" -> 2
+  | "io_fault" -> 3
+  | "timeout" | "cancelled" -> 4
+  | "over_budget" | "rejected" | "input_too_large" | "frame_too_large" -> 5
+  | _ -> 1
+
+(* Retryable = the same request may succeed on a fresh attempt without
+   anything changing on the client side: transient I/O, admission
+   overload, a drain that cancelled us, a daemon mid-restart.  A timeout
+   against the client's own deadline_ms, a corrupt store, or a budget
+   the query simply exceeds will fail identically next time. *)
+let retryable_error = function
+  | "io_fault" | "rejected" | "cancelled" | "shutting_down" -> true
+  | _ -> false
+
+(* --- json ---------------------------------------------------------------- *)
+
 let opt_field name v = match v with None -> [] | Some s -> [ (name, Json.Str s) ]
 
+let opt_int_field name v =
+  match v with None -> [] | Some i -> [ (name, Json.Int i) ]
+
 let request_to_json = function
-  | Cube { query; doc; algorithm; format; no_cache } ->
+  | Cube { query; doc; algorithm; format; no_cache; deadline_ms; retries } ->
       Json.Obj
         ([ ("verb", Json.Str "cube"); ("query", Json.Str query) ]
         @ opt_field "doc" doc
         @ opt_field "algorithm" algorithm
-        @ [ ("format", Json.Str format); ("no_cache", Json.Bool no_cache) ])
+        @ [ ("format", Json.Str format); ("no_cache", Json.Bool no_cache) ]
+        @ opt_int_field "deadline_ms" deadline_ms
+        @ opt_int_field "retries" retries)
   | Stats -> Json.Obj [ ("verb", Json.Str "stats") ]
   | Ping -> Json.Obj [ ("verb", Json.Str "ping") ]
   | Shutdown -> Json.Obj [ ("verb", Json.Str "shutdown") ]
@@ -112,6 +214,8 @@ let request_of_json j =
                  no_cache =
                    Option.value ~default:false
                      (Json.bool_member "no_cache" j);
+                 deadline_ms = Json.int_member "deadline_ms" j;
+                 retries = Json.int_member "retries" j;
                }))
   | Some "stats" -> Ok Stats
   | Some "ping" -> Ok Ping
@@ -135,14 +239,15 @@ let provenance_of_json j =
   }
 
 let response_to_json = function
-  | Cube_ok { payload; provenance; seconds } ->
+  | Cube_ok { payload; provenance; seconds; partial } ->
       Json.Obj
-        [
-          ("status", Json.Str "ok");
-          ("payload", Json.Str payload);
-          ("provenance", provenance_to_json provenance);
-          ("seconds", Json.Float seconds);
-        ]
+        ([
+           ("status", Json.Str "ok");
+           ("payload", Json.Str payload);
+           ("provenance", provenance_to_json provenance);
+           ("seconds", Json.Float seconds);
+         ]
+        @ opt_field "partial" partial)
   | Stats_ok doc ->
       Json.Obj [ ("status", Json.Str "stats"); ("payload", doc) ]
   | Pong -> Json.Obj [ ("status", Json.Str "pong") ]
@@ -172,7 +277,14 @@ let response_of_json j =
             | Some (Json.Int i) -> float_of_int i
             | _ -> 0.
           in
-          Ok (Cube_ok { payload; provenance; seconds }))
+          Ok
+            (Cube_ok
+               {
+                 payload;
+                 provenance;
+                 seconds;
+                 partial = Json.string_member "partial" j;
+               }))
   | Some "stats" -> (
       match Json.member "payload" j with
       | Some doc -> Ok (Stats_ok doc)

@@ -8,14 +8,16 @@
     Requests:
     {v
     {"verb": "cube", "query": "<X^3 text>", "doc": "path.xml",
-     "algorithm": "COUNTER", "format": "csv", "no_cache": false}
+     "algorithm": "COUNTER", "format": "csv", "no_cache": false,
+     "deadline_ms": 5000, "retries": 2}
     {"verb": "stats"}   {"verb": "ping"}   {"verb": "shutdown"}
     v}
 
     Responses:
     {v
     {"status": "ok", "payload": "...", "provenance":
-       {"base": 1, "rollup": 6, "cached": 0}, "seconds": 0.01}
+       {"base": 1, "rollup": 6, "cached": 0}, "seconds": 0.01,
+     "partial": "deadline"}
     {"status": "stats", "payload": { ...x3-metrics/1 document... }}
     {"status": "pong"}  {"status": "bye"}
     {"status": "error", "code": "...", "message": "..."}
@@ -30,16 +32,35 @@ val default_max_frame_bytes : int
 type frame_error =
   | Closed  (** orderly EOF before or inside a frame *)
   | Too_large of int  (** announced payload length over the cap *)
+  | Timed_out  (** the socket deadline passed mid-frame or while idle *)
   | Frame_fault of string  (** an I/O error other than EPIPE/EINTR retry *)
 
-val read_frame :
-  ?max_bytes:int -> Unix.file_descr -> (string, frame_error) result
-(** Blocking read of one frame; retries [EINTR]/[EAGAIN]. *)
+val frame_error_message : frame_error -> string
 
-val write_frame : Unix.file_descr -> string -> (unit, frame_error) result
-(** Blocking write of one frame; [EPIPE]/[ECONNRESET] surface as
-    [Closed], not an exception (the daemon must survive a client that
-    died mid-response). *)
+val read_frame :
+  ?max_bytes:int ->
+  ?deadline:float ->
+  ?fault:Net_fault.t ->
+  Unix.file_descr ->
+  (string, frame_error) result
+(** Read one frame.  Partial reads resume; [EINTR] restarts the op and
+    [EAGAIN] waits for readiness instead of busy-retrying.  [deadline]
+    is an absolute [Unix.gettimeofday] instant bounding the whole frame
+    (including the idle wait for its first byte) — the slow-loris
+    defense; past it the result is [Error Timed_out].  [fault] consults
+    a {!Net_fault} plan before every syscall. *)
+
+val write_frame :
+  ?deadline:float ->
+  ?fault:Net_fault.t ->
+  Unix.file_descr ->
+  string ->
+  (unit, frame_error) result
+(** Write one frame.  Loops on partial writes so a slow TCP socket never
+    corrupts the frame stream; [EPIPE]/[ECONNRESET] surface as [Closed],
+    not an exception (the daemon must survive a client that died
+    mid-response).  [deadline] bounds the whole frame — a reader that
+    never drains us is timed out, not waited on forever. *)
 
 (** {1 Requests and responses} *)
 
@@ -50,6 +71,12 @@ type request =
       algorithm : string option;  (** cold-path algorithm, default COUNTER *)
       format : string;  (** ["csv"] or ["json"] *)
       no_cache : bool;  (** bypass the cuboid cache (cold reference run) *)
+      deadline_ms : int option;
+          (** compute budget in milliseconds, enforced server-side
+              through the engine's Context deadline *)
+      retries : int option;
+          (** transient-fault retry budget for the cold path, forwarded
+              to [Engine.run_safe] *)
     }
   | Stats  (** dump the daemon's x3-metrics/1 document *)
   | Ping
@@ -62,11 +89,41 @@ type provenance = {
 }
 
 type response =
-  | Cube_ok of { payload : string; provenance : provenance; seconds : float }
+  | Cube_ok of {
+      payload : string;
+      provenance : provenance;
+      seconds : float;
+      partial : string option;
+          (** [Some reason] when the answer is a typed partial cube —
+              the engine stopped at its deadline or budget but exported
+              what it had (mirrors CLI exit code 4) *)
+    }
   | Stats_ok of X3_obs.Json.t
   | Pong
   | Bye
   | Failed of { code : string; message : string }
+
+(** {1 Error taxonomy}
+
+    Wire error codes mirror the CLI's exit codes so scripted clients can
+    treat a served query exactly like a local [x3 cube] run:
+
+    {t | code | exit | retryable |
+       |------|------|-----------|
+       | [corrupt] | 2 | no |
+       | [io_fault] | 3 | yes |
+       | [timeout], [cancelled] | 4 | [cancelled] only |
+       | [over_budget], [rejected], [input_too_large], [frame_too_large] | 5 | [rejected] only |
+       | [shutting_down] | 1 | yes |
+       | anything else ([bad_query], ...) | 1 | no |} *)
+
+val exit_code_of_error : string -> int
+(** Map a [Failed.code] to the CLI exit code (0–5 taxonomy). *)
+
+val retryable_error : string -> bool
+(** Whether a fresh attempt at the same request may succeed with no
+    client-side change: transient I/O, admission overload, a drain that
+    cancelled us, a daemon mid-restart. *)
 
 val request_to_json : request -> X3_obs.Json.t
 val request_of_json : X3_obs.Json.t -> (request, string) result

@@ -1,4 +1,5 @@
 module Engine = X3_core.Engine
+module Context = X3_core.Context
 module Governor = X3_core.Governor
 module Export = X3_core.Export
 module Materialized = X3_core.Materialized
@@ -19,6 +20,10 @@ type config = {
   workers : int;
   max_input_bytes : int option;
   max_frame_bytes : int;
+  io_deadline : float option;
+  drain_deadline : float;
+  snapshot_path : string option;
+  fault : Net_fault.t option;
 }
 
 let default_config address =
@@ -31,6 +36,10 @@ let default_config address =
     workers = 1;
     max_input_bytes = None;
     max_frame_bytes = Protocol.default_max_frame_bytes;
+    io_deadline = Some 30.0;
+    drain_deadline = 5.0;
+    snapshot_path = None;
+    fault = None;
   }
 
 (* One cache holds both granularities: a [Doc] is a prepared query's
@@ -45,8 +54,15 @@ type cached = Doc of doc_entry | View of Materialized.t
 and doc_entry = {
   de_key : string;
   de_session : Engine.Session.t;
+  de_query : string;  (* the snapshot needs the original request text *)
+  de_doc_path : string;
   mutable de_views : string list;  (* cache keys of this doc's views *)
 }
+
+(* Per-connection state, registered so shutdown can tell idle
+   connections (parked in read_frame) from busy ones (a request in
+   flight whose response the drain should wait for). *)
+type conn_state = { c_fd : Unix.file_descr; mutable c_busy : bool }
 
 type t = {
   cfg : config;
@@ -57,7 +73,14 @@ type t = {
   cache : cached Cuboid_cache.t;
   compute_lock : Mutex.t;
   listen_fd : Unix.file_descr;
-  mutable running : bool;
+  (* Atomics, not a mutex-guarded bool: [stop] must be callable from a
+     signal handler, where taking a lock the interrupted thread holds
+     would deadlock. *)
+  running : bool Atomic.t;
+  shutdown_cancel : bool Atomic.t;
+  conn_lock : Mutex.t;
+  conns : (Unix.file_descr, conn_state) Hashtbl.t;
+  mutable fault : Net_fault.t option;
   state_lock : Mutex.t;
   (* metric handles, interned once *)
   m_requests : Metrics.counter;
@@ -70,6 +93,10 @@ type t = {
   m_cuboids_rollup : Metrics.counter;
   m_cuboids_cached : Metrics.counter;
   m_docs_loaded : Metrics.counter;
+  m_net_timeouts : Metrics.counter;
+  m_accept_retries : Metrics.counter;
+  m_restored_docs : Metrics.counter;
+  m_restored_views : Metrics.counter;
   m_resident : Metrics.gauge;
   m_entries : Metrics.gauge;
   m_lat_request : Metrics.histogram;
@@ -111,6 +138,11 @@ let bind_listen address =
               (Printf.sprintf "cannot listen on %s:%d: %s" host port
                  (Unix.error_message e))))
 
+(* forward declaration pattern: the snapshot restore runs inside [create]
+   but needs the session-loading helpers defined below; thread through a
+   ref to keep the file in reading order. *)
+let restore_hook : (t -> unit) ref = ref (fun _ -> ())
+
 let create cfg =
   (* A client that dies mid-response turns writes into EPIPE errors we
      handle; without this it would be a process-killing signal. *)
@@ -146,7 +178,11 @@ let create cfg =
           cache;
           compute_lock = Mutex.create ();
           listen_fd;
-          running = true;
+          running = Atomic.make true;
+          shutdown_cancel = Atomic.make false;
+          conn_lock = Mutex.create ();
+          conns = Hashtbl.create 16;
+          fault = cfg.fault;
           state_lock = Mutex.create ();
           m_requests = Metrics.counter registry "serve.requests.total";
           m_errors = Metrics.counter registry "serve.requests.errors";
@@ -158,15 +194,28 @@ let create cfg =
           m_cuboids_rollup = Metrics.counter registry "serve.cuboids.rollup";
           m_cuboids_cached = Metrics.counter registry "serve.cuboids.cached";
           m_docs_loaded = Metrics.counter registry "serve.docs.loaded";
+          m_net_timeouts = Metrics.counter registry "serve.net.timeouts";
+          m_accept_retries = Metrics.counter registry "serve.net.accept_retries";
+          m_restored_docs = Metrics.counter registry "serve.cache.restored_docs";
+          m_restored_views =
+            Metrics.counter registry "serve.cache.restored_views";
           m_resident = Metrics.gauge registry "serve.cache.resident_bytes";
           m_entries = Metrics.gauge registry "serve.cache.entries";
           m_lat_request = Metrics.histogram registry "serve.latency.request";
           m_lat_compute = Metrics.histogram registry "serve.latency.compute";
         }
       in
+      !restore_hook t;
       Ok t
 
 let registry t = t.registry
+let set_fault t fault = t.fault <- fault
+
+let live_connections t =
+  Mutex.lock t.conn_lock;
+  let n = Hashtbl.length t.conns in
+  Mutex.unlock t.conn_lock;
+  n
 
 let refresh_gauges t =
   Metrics.set t.m_resident (Cuboid_cache.resident_bytes t.cache);
@@ -182,6 +231,7 @@ let stats_document t =
       ("max_in_flight", Json.Int t.cfg.max_in_flight);
       ("admitted_total", Json.Int (Governor.Admission.admitted_total t.door));
       ("rejected_total", Json.Int (Governor.Admission.rejected_total t.door));
+      ("live_connections", Json.Int (live_connections t));
     ]
   in
   Obs_export.metrics_json ~meta (Metrics.snapshot t.registry)
@@ -223,13 +273,30 @@ let load_session t ~doc_path ~spec =
       let store = X3_xdb.Store.of_document doc in
       let prepared = Engine.prepare ~pool:(make_pool ()) ~store spec in
       Metrics.inc t.m_docs_loaded;
-      Engine.Session.create ~workers:t.cfg.workers prepared
+      let session = Engine.Session.create ~workers:t.cfg.workers prepared in
+      (* Every session cooperates with drain: once the drain deadline
+         passes, the next checkpoint in any compute on this session
+         stops it with a typed Cancelled. *)
+      Context.set_cancel_hook
+        (Engine.Session.context session)
+        (fun () -> Atomic.get t.shutdown_cancel);
+      session
 
 (* The resident session for (doc, query): served from the cache when
    possible, loaded (and offered to the cache) otherwise. Runs under the
    compute lock. *)
-let acquire_session t ~skey ~doc_path ~spec =
+let acquire_session t ~skey ~doc_path ~query ~spec =
   let dkey = doc_key skey in
+  let fresh () =
+    let session = load_session t ~doc_path ~spec in
+    {
+      de_key = skey;
+      de_session = session;
+      de_query = query;
+      de_doc_path = doc_path;
+      de_views = [];
+    }
+  in
   match Cuboid_cache.find t.cache dkey with
   | Some (Doc d) ->
       Metrics.inc t.m_cache_hits;
@@ -238,13 +305,11 @@ let acquire_session t ~skey ~doc_path ~spec =
       (* Impossible by key construction; treat as a miss. *)
       Cuboid_cache.remove t.cache dkey;
       Metrics.inc t.m_cache_misses;
-      let session = load_session t ~doc_path ~spec in
-      { de_key = skey; de_session = session; de_views = [] }
+      fresh ()
   | None ->
       Metrics.inc t.m_cache_misses;
-      let session = load_session t ~doc_path ~spec in
-      let entry = { de_key = skey; de_session = session; de_views = [] } in
-      let bytes = Engine.Session.table_bytes session in
+      let entry = fresh () in
+      let bytes = Engine.Session.table_bytes entry.de_session in
       (* [false] = too big for the whole budget: serve this request from
          the transient session and cache nothing — degraded, not an
          error. *)
@@ -332,7 +397,10 @@ let locked m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
-let handle_cube t ~query ~doc ~algorithm ~format ~no_cache =
+let no_provenance = { Protocol.p_base = 0; p_rollup = 0; p_cached = 0 }
+
+let handle_cube t ~query ~doc ~algorithm ~format ~no_cache ~deadline_ms
+    ~retries =
   let compiled =
     match X3_ql.Compile.parse_and_compile query with
     | Ok c -> c
@@ -340,6 +408,13 @@ let handle_cube t ~query ~doc ~algorithm ~format ~no_cache =
   in
   let doc_path = Option.value doc ~default:compiled.X3_ql.Compile.document in
   let spec = compiled.X3_ql.Compile.spec in
+  let deadline_at =
+    Option.map
+      (fun ms ->
+        if ms <= 0 then fail "bad_request" "deadline_ms must be positive"
+        else Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+      deadline_ms
+  in
   match
     Governor.Admission.admit ?max_wait:t.cfg.admission_timeout t.door
   with
@@ -355,11 +430,16 @@ let handle_cube t ~query ~doc ~algorithm ~format ~no_cache =
              is unsynchronised, so all engine work is serialized; cache
              lookups stay concurrent. *)
           locked t.compute_lock (fun () ->
+              (* Admission may have parked us across the start of a
+                 drain; computing now would outlive the drain's census. *)
+              if not (Atomic.get t.running) then
+                fail "shutting_down" "server is draining";
               let t0 = Unix.gettimeofday () in
-              let payload, provenance =
+              let payload, provenance, partial =
                 if no_cache then begin
                   (* The cold reference path: fresh load, fresh compute,
-                     no cache reads or writes. *)
+                     no cache reads or writes. The wire deadline/retry
+                     budget rides the engine's own machinery. *)
                   let alg =
                     match algorithm with
                     | None -> Engine.Counter
@@ -369,31 +449,189 @@ let handle_cube t ~query ~doc ~algorithm ~format ~no_cache =
                         | None -> fail "bad_algorithm" "unknown algorithm %s" name)
                   in
                   let session = load_session t ~doc_path ~spec in
-                  let result, _instr =
-                    Engine.run ~workers:t.cfg.workers
+                  let deadline =
+                    Option.map (fun at -> at -. Unix.gettimeofday ()) deadline_at
+                  in
+                  match
+                    Engine.run_safe ~workers:t.cfg.workers ?deadline ?retries
+                      ~cancel:(fun () -> Atomic.get t.shutdown_cancel)
                       (Engine.Session.prepared session)
                       alg
-                  in
-                  ( export_string ~func:spec.Engine.func ~format result,
-                    { Protocol.p_base = 0; p_rollup = 0; p_cached = 0 } )
+                  with
+                  | Engine.Complete (result, _instr) ->
+                      ( export_string ~func:spec.Engine.func ~format result,
+                        no_provenance,
+                        None )
+                  | Engine.Partial (reason, result, _instr) ->
+                      (* A typed partial cube: what the engine had when
+                         the deadline/cancel landed, clearly marked. *)
+                      ( export_string ~func:spec.Engine.func ~format result,
+                        no_provenance,
+                        Some (Context.reason_name reason) )
+                  | Engine.Failed (Engine.Corrupt msg) ->
+                      fail "corrupt" "%s" msg
+                  | Engine.Failed (Engine.Io_fault msg) ->
+                      fail "io_fault" "%s" msg
+                  | Engine.Rejected rejection ->
+                      Metrics.inc t.m_rejected;
+                      fail "rejected" "%s"
+                        (Format.asprintf "%a" Governor.Admission.pp_rejection
+                           rejection)
                 end
                 else begin
                   let skey = session_key ~doc_path ~query in
-                  let entry = acquire_session t ~skey ~doc_path ~spec in
-                  let views, provenance = serve_cuboids t entry in
-                  let result =
-                    Engine.Session.result_of_views entry.de_session views
+                  let entry =
+                    acquire_session t ~skey ~doc_path ~query ~spec
                   in
-                  (export_string ~func:spec.Engine.func ~format result, provenance)
+                  match
+                    Engine.Session.with_deadline entry.de_session ?deadline_at
+                      (fun () ->
+                        let views, provenance = serve_cuboids t entry in
+                        let result =
+                          Engine.Session.result_of_views entry.de_session views
+                        in
+                        ( export_string ~func:spec.Engine.func ~format result,
+                          provenance ))
+                  with
+                  | Ok (payload, provenance) -> (payload, provenance, None)
+                  | Error Context.Deadline_exceeded ->
+                      fail "timeout" "deadline of %d ms exceeded"
+                        (Option.value ~default:0 deadline_ms)
+                  | Error Context.Cancelled ->
+                      fail "cancelled" "%s"
+                        (if Atomic.get t.shutdown_cancel then
+                           "server drained before completion"
+                         else "request cancelled")
+                  | Error Context.Over_budget ->
+                      fail "over_budget" "cache-path compute over byte budget"
                 end
               in
               let seconds = Unix.gettimeofday () -. t0 in
               Metrics.observe t.m_lat_compute seconds;
-              Protocol.Cube_ok { payload; provenance; seconds }))
+              Protocol.Cube_ok { payload; provenance; seconds; partial }))
 
-(* forward declaration pattern: [stop] is defined below but Shutdown
-   needs it; thread through a ref to keep the file in reading order. *)
-let stop_hook : (t -> unit) ref = ref (fun _ -> ())
+(* --- warm restart -------------------------------------------------------- *)
+
+(* Persist the cache index + views at drained shutdown. Runs under the
+   compute lock (no session mutation while views are read); any
+   per-document failure just drops that document from the snapshot. *)
+let persist_snapshot t =
+  match t.cfg.snapshot_path with
+  | None -> ()
+  | Some path ->
+      locked t.compute_lock (fun () ->
+          let docs =
+            List.filter_map
+              (fun (_key, value, _bytes) ->
+                match value with Doc d -> Some d | View _ -> None)
+              (Cuboid_cache.snapshot t.cache)
+          in
+          let snaps =
+            List.filter_map
+              (fun d ->
+                match Digest.file d.de_doc_path with
+                | exception _ -> None (* document gone; nothing to bind to *)
+                | digest ->
+                    let views =
+                      List.filter_map
+                        (fun vk ->
+                          match Cuboid_cache.find t.cache vk with
+                          | Some (View v) -> Some (Materialized.to_records v)
+                          | Some (Doc _) | None -> None)
+                        (List.rev d.de_views)
+                    in
+                    Some
+                      {
+                        Warm_store.ws_query = d.de_query;
+                        ws_doc_path = d.de_doc_path;
+                        ws_digest = digest;
+                        ws_views = views;
+                      })
+              docs
+          in
+          match Warm_store.save ~path snaps with
+          | Ok () -> ()
+          | Error msg ->
+              (* Snapshot loss is degraded service, never an error. *)
+              Printf.eprintf "x3 serve: cache snapshot not saved: %s\n%!" msg)
+
+(* Restore at startup: verify-on-load, then per document re-compile the
+   query, re-check the document digest, re-parse, and re-intern each
+   view against the fresh table. Any failure — checksum, digest drift,
+   missing file, unknown group values — is a cold start for that
+   document (or the whole cache), reported to stderr and the
+   restored_docs/restored_views counters, never an error. *)
+let restore_snapshot t =
+  match t.cfg.snapshot_path with
+  | None -> ()
+  | Some path ->
+      if Sys.file_exists path then begin
+        match Warm_store.load ~path with
+        | Error msg ->
+            Printf.eprintf "x3 serve: cold start (snapshot rejected): %s\n%!"
+              msg
+        | Ok docs ->
+            List.iter
+              (fun ds ->
+                let doc_path = ds.Warm_store.ws_doc_path in
+                let query = ds.Warm_store.ws_query in
+                match
+                  let digest = Digest.file doc_path in
+                  if digest <> ds.Warm_store.ws_digest then
+                    failwith "document bytes changed since snapshot";
+                  let spec =
+                    match X3_ql.Compile.parse_and_compile query with
+                    | Ok c -> c.X3_ql.Compile.spec
+                    | Error msg -> failwith msg
+                  in
+                  let session = load_session t ~doc_path ~spec in
+                  let skey = session_key ~doc_path ~query in
+                  let entry =
+                    {
+                      de_key = skey;
+                      de_session = session;
+                      de_query = query;
+                      de_doc_path = doc_path;
+                      de_views = [];
+                    }
+                  in
+                  let bytes = Engine.Session.table_bytes session in
+                  if
+                    Cuboid_cache.insert t.cache ~key:(doc_key skey) ~bytes
+                      (Doc entry)
+                  then begin
+                    Metrics.inc t.m_restored_docs;
+                    let ctx = Engine.Session.context session in
+                    List.iter
+                      (fun records ->
+                        match Materialized.of_records ctx records with
+                        | Error msg -> failwith msg
+                        | Ok v ->
+                            let vk = view_key skey (Materialized.cuboid_id v) in
+                            let vbytes = Materialized.approx_bytes v in
+                            if Cuboid_cache.insert t.cache ~key:vk ~bytes:vbytes (View v)
+                            then begin
+                              entry.de_views <- vk :: entry.de_views;
+                              Metrics.inc t.m_restored_views
+                            end)
+                      ds.Warm_store.ws_views
+                  end
+                with
+                | () -> ()
+                | exception e ->
+                    (* Drop whatever half of this document made it in. *)
+                    Cuboid_cache.remove t.cache
+                      (doc_key (session_key ~doc_path ~query));
+                    Printf.eprintf "x3 serve: cold start for %s: %s\n%!"
+                      doc_path
+                      (match e with
+                      | Failure msg -> msg
+                      | Reply (Protocol.Failed { message; _ }) -> message
+                      | e -> Printexc.to_string e))
+              docs
+      end
+
+let () = restore_hook := restore_snapshot
 
 let handle_request t = function
   | Protocol.Ping -> Protocol.Pong
@@ -403,8 +641,11 @@ let handle_request t = function
          response — stopping here would race process exit against the
          client reading its Bye. *)
       Protocol.Bye
-  | Protocol.Cube { query; doc; algorithm; format; no_cache } -> (
-      try handle_cube t ~query ~doc ~algorithm ~format ~no_cache
+  | Protocol.Cube
+      { query; doc; algorithm; format; no_cache; deadline_ms; retries } -> (
+      try
+        handle_cube t ~query ~doc ~algorithm ~format ~no_cache ~deadline_ms
+          ~retries
       with Reply r -> r)
 
 (* --- the accept loop ----------------------------------------------------- *)
@@ -422,23 +663,50 @@ let sync_cache_counters t =
         evictions := current;
         refresh_gauges t)
 
-let serve_connection t sync fd =
+(* Idempotent, signal-handler safe (no locks): flip the running flag and
+   close the listening socket — shutdown first, which reliably wakes a
+   thread blocked in accept. The drain and cleanup happen on the [run]
+   thread's way out. *)
+let stop t =
+  if Atomic.compare_and_set t.running true false then begin
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+  end
+
+let io_deadline t =
+  Option.map (fun s -> Unix.gettimeofday () +. s) t.cfg.io_deadline
+
+let serve_connection t sync st fd =
+  let reply response =
+    Protocol.write_frame ?deadline:(io_deadline t) ?fault:t.fault fd
+      (Protocol.encode_response response)
+  in
   let rec loop () =
-    match Protocol.read_frame ~max_bytes:t.cfg.max_frame_bytes fd with
+    match
+      Protocol.read_frame ~max_bytes:t.cfg.max_frame_bytes
+        ?deadline:(io_deadline t) ?fault:t.fault fd
+    with
     | Error Protocol.Closed -> ()
+    | Error Protocol.Timed_out ->
+        (* The slow-loris reap: a peer that cannot deliver one frame
+           within the socket deadline is cut loose. No response — the
+           stream may be mid-frame, so there is no frame boundary to
+           speak at. *)
+        Metrics.inc t.m_net_timeouts
     | Error (Protocol.Too_large len) ->
         (* Tell the peer, then hang up — the stream is unrecoverable (we
            have not consumed the oversized payload). *)
         ignore
-          (Protocol.write_frame fd
-             (Protocol.encode_response
-                (Protocol.Failed
-                   {
-                     code = "frame_too_large";
-                     message = Printf.sprintf "%d-byte frame over the cap" len;
-                   })))
+          (reply
+             (Protocol.Failed
+                {
+                  code = "frame_too_large";
+                  message = Printf.sprintf "%d-byte frame over the cap" len;
+                }))
     | Error (Protocol.Frame_fault _) -> ()
     | Ok payload ->
+        st.c_busy <- true;
         Metrics.inc t.m_requests;
         let t0 = Unix.gettimeofday () in
         let response =
@@ -459,72 +727,147 @@ let serve_connection t sync fd =
         in
         Metrics.observe t.m_lat_request (Unix.gettimeofday () -. t0);
         sync ();
-        let wrote =
-          Protocol.write_frame fd (Protocol.encode_response response)
-        in
+        let wrote = reply response in
+        st.c_busy <- false;
         (match response with
         | Protocol.Bye ->
             (* Stop only once the client has its answer (or is provably
                gone): closing the listening socket wakes the accept loop
-               and the daemon exits. *)
-            !stop_hook t
+               and the daemon drains. *)
+            stop t
         | _ -> ());
         (match (wrote, response) with
         | Ok (), Protocol.Bye -> ()
-        | Ok (), _ -> loop ()
+        | Ok (), _ ->
+            (* A drain in progress wants idle connections gone, not
+               re-parked in read_frame. *)
+            if Atomic.get t.running then loop ()
+        | Error Protocol.Timed_out, _ ->
+            (* Slow reader: it asked, but never drained the answer. *)
+            Metrics.inc t.m_net_timeouts
         | Error _, _ -> (* dead client; drop the connection *) ())
   in
   Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Mutex.lock t.conn_lock;
+      Hashtbl.remove t.conns fd;
+      Mutex.unlock t.conn_lock)
     loop
 
-let stop t =
-  let was_running =
-    locked t.state_lock (fun () ->
-        let r = t.running in
-        t.running <- false;
-        r)
-  in
-  if was_running then begin
-    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
-     with Unix.Unix_error _ -> ());
-    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-    match t.cfg.address with
-    | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
-    | Tcp _ -> ()
-  end
+(* --- drained shutdown ----------------------------------------------------- *)
 
-let () = stop_hook := stop
+let shutdown_noerr ?(mode = Unix.SHUTDOWN_RECEIVE) fd =
+  try Unix.shutdown fd mode with Unix.Unix_error _ -> ()
+
+(* Nudge idle connections: closing their read side makes the parked
+   read_frame see EOF, so the thread exits cleanly. Busy connections are
+   left alone — their response is what the drain waits for. *)
+let shutdown_idle t =
+  locked t.conn_lock (fun () ->
+      Hashtbl.iter
+        (fun _fd st -> if not st.c_busy then shutdown_noerr st.c_fd)
+        t.conns)
+
+(* Drain protocol: wait for in-flight requests up to the drain deadline;
+   past it, cancel the active compute (its client gets a typed
+   cancelled/partial response); past a further grace, sever whatever is
+   left so the daemon never hangs on a stuck peer. *)
+let drain t =
+  let deadline = Unix.gettimeofday () +. t.cfg.drain_deadline in
+  let hard = deadline +. 2.0 in
+  let abandon = hard +. 3.0 in
+  shutdown_idle t;
+  let rec wait cancelled severed =
+    if live_connections t > 0 then begin
+      let now = Unix.gettimeofday () in
+      if now > abandon then ()
+      else begin
+        if now > deadline && not cancelled then begin
+          Atomic.set t.shutdown_cancel true;
+          shutdown_idle t
+        end;
+        if now > hard && not severed then
+          locked t.conn_lock (fun () ->
+              Hashtbl.iter
+                (fun _fd st -> shutdown_noerr ~mode:Unix.SHUTDOWN_ALL st.c_fd)
+                t.conns);
+        Thread.delay 0.005;
+        wait (cancelled || now > deadline) (severed || now > hard)
+      end
+    end
+  in
+  wait false false
 
 let run t =
   let sync = sync_cache_counters t in
-  let rec accept_loop () =
-    let keep_going = locked t.state_lock (fun () -> t.running) in
-    if keep_going then begin
-      match Unix.accept t.listen_fd with
+  let rec accept_loop backoff =
+    if Atomic.get t.running then begin
+      match
+        (match t.fault with
+        | Some f -> ignore (Net_fault.consult f Net_fault.Accept ~bytes:0 : int)
+        | None -> ());
+        Unix.accept t.listen_fd
+      with
       | client_fd, _addr ->
+          (* Non-blocking, so reads and writes can honour the socket
+             deadline through select instead of stalling in a syscall. *)
+          (try Unix.set_nonblock client_fd with Unix.Unix_error _ -> ());
+          let st = { c_fd = client_fd; c_busy = false } in
+          locked t.conn_lock (fun () -> Hashtbl.replace t.conns client_fd st);
           ignore
             (Thread.create
                (fun () ->
-                 try serve_connection t sync client_fd
-                 with _ -> ( try Unix.close client_fd with _ -> ()))
+                 try serve_connection t sync st client_fd
+                 with _ -> (
+                   (try Unix.close client_fd with _ -> ());
+                   Mutex.lock t.conn_lock;
+                   Hashtbl.remove t.conns client_fd;
+                   Mutex.unlock t.conn_lock))
                ());
-          accept_loop ()
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+          accept_loop 0.05
+      | exception
+          Unix.Unix_error
+            ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        ->
+          accept_loop backoff
       | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
           (* the listening socket was closed by [stop] *)
           ()
-      | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> accept_loop ()
+      | exception Unix.Unix_error (e, _, _) ->
+          (* Transient accept failure (EMFILE, ENFILE, ENOBUFS, ...):
+             shedding the daemon over it would turn a full fd table into
+             an outage. Log, back off exponentially, try again. *)
+          if Atomic.get t.running then begin
+            Metrics.inc t.m_accept_retries;
+            Printf.eprintf "x3 serve: accept: %s; retrying in %.2fs\n%!"
+              (Unix.error_message e) backoff;
+            Thread.delay backoff;
+            accept_loop (Float.min 1.0 (backoff *. 2.))
+          end
     end
   in
-  Fun.protect ~finally:(fun () -> stop t) accept_loop
+  let finalize () =
+    stop t;
+    drain t;
+    persist_snapshot t;
+    match t.cfg.address with
+    | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Tcp _ -> ()
+  in
+  Fun.protect ~finally:finalize (fun () -> accept_loop 0.05)
 
 (* --- client -------------------------------------------------------------- *)
 
 module Client = struct
-  type conn = { fd : Unix.file_descr; max_frame : int }
+  type conn = {
+    fd : Unix.file_descr;
+    max_frame : int;
+    fault : Net_fault.t option;
+  }
 
-  let connect ?(max_frame_bytes = Protocol.default_max_frame_bytes) address =
+  let connect ?(max_frame_bytes = Protocol.default_max_frame_bytes) ?fault
+      address =
     let domain, sockaddr =
       match address with
       | Unix_sock path -> (Unix.PF_UNIX, Ok (Unix.ADDR_UNIX path))
@@ -539,23 +882,73 @@ module Client = struct
     | Ok sockaddr -> (
         let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
         match Unix.connect fd sockaddr with
-        | () -> Ok { fd; max_frame = max_frame_bytes }
+        | () -> Ok { fd; max_frame = max_frame_bytes; fault }
         | exception Unix.Unix_error (e, _, _) ->
             (try Unix.close fd with _ -> ());
             Error (Unix.error_message e))
 
-  let request conn req =
-    match Protocol.write_frame conn.fd (Protocol.encode_request req) with
-    | Error Protocol.Closed -> Error "connection closed"
-    | Error (Protocol.Too_large _) -> Error "request over the frame cap"
-    | Error (Protocol.Frame_fault msg) -> Error msg
+  let request ?deadline conn req =
+    let abs = Option.map (fun s -> Unix.gettimeofday () +. s) deadline in
+    match
+      Protocol.write_frame ?deadline:abs ?fault:conn.fault conn.fd
+        (Protocol.encode_request req)
+    with
+    | Error e -> Error (Protocol.frame_error_message e)
     | Ok () -> (
-        match Protocol.read_frame ~max_bytes:conn.max_frame conn.fd with
-        | Error Protocol.Closed -> Error "connection closed"
-        | Error (Protocol.Too_large n) ->
-            Error (Printf.sprintf "%d-byte response over the frame cap" n)
-        | Error (Protocol.Frame_fault msg) -> Error msg
+        match
+          Protocol.read_frame ~max_bytes:conn.max_frame ?deadline:abs
+            ?fault:conn.fault conn.fd
+        with
+        | Error e -> Error (Protocol.frame_error_message e)
         | Ok payload -> Protocol.decode_response payload)
 
   let close conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+  (* splitmix64 jitter, seeded: retry schedules are test inputs too. *)
+  let draw state =
+    let z = Int64.add !state 0x9E3779B97F4A7C15L in
+    state := z;
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.
+
+  (* One connection per attempt: the failures worth retrying (connection
+     refused while the daemon restarts, Closed from a dropped connection,
+     a typed retryable error like "rejected" or "shutting_down") all
+     leave the old connection useless. Backoff doubles per attempt with
+     jitter in [0.5, 1.5) so a thundering herd of retrying clients
+     spreads out. *)
+  let request_with_retry ?(retries = 3) ?(backoff = 0.05) ?(seed = 0)
+      ?max_frame_bytes ?fault ?deadline address req =
+    let state = ref (Int64.of_int (seed lxor 0x9E3779B9)) in
+    let attempt_once () =
+      match connect ?max_frame_bytes ?fault address with
+      | Error _ as e -> e
+      | Ok conn ->
+          Fun.protect
+            ~finally:(fun () -> close conn)
+            (fun () -> request ?deadline conn req)
+    in
+    let rec go n delay =
+      let result = attempt_once () in
+      let retryable =
+        match result with
+        | Ok (Protocol.Failed { code; _ }) -> Protocol.retryable_error code
+        | Ok _ -> false
+        | Error _ -> true
+      in
+      if retryable && n < retries then begin
+        Unix.sleepf (delay *. (0.5 +. draw state));
+        go (n + 1) (delay *. 2.)
+      end
+      else result
+    in
+    go 0 backoff
 end

@@ -15,7 +15,18 @@
     gated by a {!X3_core.Governor.Admission} door and the engine work is
     serialized under one compute lock (the storage substrate beneath a
     session is unsynchronised). Cache bookkeeping is internally locked,
-    so STATS/PING never wait on a running cube. *)
+    so STATS/PING never wait on a running cube.
+
+    Robustness model: accepted sockets are non-blocking and every frame
+    read/write runs under [io_deadline] (slow or silent peers are reaped
+    without disturbing other connections); the accept loop survives
+    transient errors (EMFILE, ENFILE, ...) with logged backoff; {!stop}
+    triggers a drained shutdown — stop accepting, let in-flight requests
+    finish under [drain_deadline], then cancel the active compute (its
+    client gets a typed response) and finally sever stragglers; with
+    [snapshot_path] set, the drained daemon persists its cache through
+    {!Warm_store} and a restarted daemon warm-starts from whatever still
+    verifies. *)
 
 type address = Unix_sock of string | Tcp of string * int
 
@@ -28,41 +39,107 @@ type config = {
   workers : int;  (** worker domains per cube computation *)
   max_input_bytes : int option;  (** refuse larger XML documents *)
   max_frame_bytes : int;  (** wire-frame payload cap *)
+  io_deadline : float option;
+      (** per-frame socket deadline in seconds; a peer that cannot
+          deliver (or accept) one frame within it is disconnected —
+          the slow-loris defense. [None] = wait forever. *)
+  drain_deadline : float;
+      (** seconds {!stop} waits for in-flight requests before cancelling
+          the active compute *)
+  snapshot_path : string option;
+      (** where the drained daemon persists its cache for warm restart;
+          [None] = no snapshot. Corrupt/stale snapshots cold-start,
+          never fail. *)
+  fault : Net_fault.t option;
+      (** deterministic socket-fault plan installed on every accepted
+          connection's reads/writes and on accept itself — tests only *)
 }
 
 val default_config : address -> config
 (** 64 MiB cache, 4 in flight, 16 waiting, no admission timeout,
-    1 worker, no input cap, {!Protocol.default_max_frame_bytes}. *)
+    1 worker, no input cap, {!Protocol.default_max_frame_bytes},
+    30 s io deadline, 5 s drain deadline, no snapshot, no faults. *)
 
 type t
 
 val create : config -> (t, string) result
 (** Bind and listen (unlinking a stale unix-socket path); [Error] on
     bind/listen failure. SIGPIPE is ignored process-wide — a client
-    dying mid-response must not kill the daemon. *)
+    dying mid-response must not kill the daemon. With [snapshot_path]
+    set, attempts a warm restore before returning: every document whose
+    bytes still match the snapshot's digest is re-parsed and its views
+    re-interned; anything that fails verification cold-starts with a
+    note to stderr. *)
 
 val registry : t -> X3_obs.Metrics.t
 (** The daemon's metrics registry ([serve.cache.*], [serve.latency.*],
-    [serve.cuboids.*], [serve.requests.*]). *)
+    [serve.cuboids.*], [serve.requests.*], [serve.net.*]). *)
 
 val stats_document : t -> X3_obs.Json.t
 (** The x3-metrics/1 document the STATS verb returns (gauges refreshed
     at call time). *)
 
 val run : t -> unit
-(** The accept loop: blocks until {!stop} or a SHUTDOWN frame. Each
-    connection is served on its own thread; dead clients (EOF, EPIPE,
-    oversized or malformed frames) terminate their connection only. *)
+(** The accept loop: blocks until {!stop} or a SHUTDOWN frame, then
+    drains in-flight connections, persists the cache snapshot (when
+    configured) and removes the unix socket path. Each connection is
+    served on its own thread; dead clients (EOF, EPIPE, oversized or
+    malformed frames) terminate their connection only. *)
 
 val stop : t -> unit
-(** Idempotent; wakes the accept loop and closes the listening socket. *)
+(** Begin drained shutdown: stop accepting and wake the accept loop.
+    Idempotent, lock-free and async-signal-safe — a SIGTERM/SIGINT
+    handler may call it directly. The drain itself runs on the {!run}
+    thread's way out. *)
+
+val live_connections : t -> int
+(** Currently-registered connection threads — 0 once fully drained. *)
+
+val set_fault : t -> Net_fault.t option -> unit
+(** Swap the daemon's socket-fault plan at runtime (tests clear a
+    crash-mode plan to prove the daemon recovered). Applies to frames
+    and accepts that consult the plan after the swap. *)
 
 (** {1 Client} *)
 
 module Client : sig
   type conn
 
-  val connect : ?max_frame_bytes:int -> address -> (conn, string) result
-  val request : conn -> Protocol.request -> (Protocol.response, string) result
+  val connect :
+    ?max_frame_bytes:int ->
+    ?fault:Net_fault.t ->
+    address ->
+    (conn, string) result
+  (** [fault] installs a deterministic fault plan on this connection's
+      own reads/writes (tests of client-side retry). *)
+
+  val request :
+    ?deadline:float ->
+    conn ->
+    Protocol.request ->
+    (Protocol.response, string) result
+  (** One request/response exchange. [deadline] (seconds, spanning the
+      write and the read) turns a stalled server into
+      [Error "frame timed out..."] instead of blocking forever. *)
+
   val close : conn -> unit
+
+  val request_with_retry :
+    ?retries:int ->
+    ?backoff:float ->
+    ?seed:int ->
+    ?max_frame_bytes:int ->
+    ?fault:Net_fault.t ->
+    ?deadline:float ->
+    address ->
+    Protocol.request ->
+    (Protocol.response, string) result
+  (** Connect-per-attempt request with jittered exponential backoff:
+      retries transport failures (connect refused, dropped connections,
+      frame faults) and typed responses whose code satisfies
+      {!Protocol.retryable_error} — up to [retries] (default 3) extra
+      attempts, sleeping [backoff * 2^attempt * jitter] seconds between
+      them (default base 0.05 s, jitter in [0.5, 1.5) drawn from a
+      splitmix64 stream seeded by [seed], so schedules are
+      reproducible). Non-retryable failures return immediately. *)
 end

@@ -296,3 +296,41 @@ let recover pool =
         | Error _ -> first_good rest)
   in
   first_good candidates
+
+(* --- one-shot file snapshots -------------------------------------------- *)
+(* The serve daemon's warm-restart path wants "commit these records to a
+   file" / "read them back, or say why not" without owning a disk and pool
+   for the store's whole life.  Save writes a fresh store beside the target
+   and renames it into place, so a crash mid-save leaves either the old
+   snapshot or the new one — never a torn file; load goes through [recover]
+   so every checksum (page, slot, stream) is verified before a record is
+   believed. *)
+
+let save_file ?page_size path records =
+  let tmp = path ^ ".tmp" in
+  match
+    let disk = Disk.on_file ?page_size ~temp:false tmp in
+    Fun.protect
+      ~finally:(fun () -> Disk.close disk)
+      (fun () -> commit (create (Buffer_pool.create disk)) records);
+    Sys.rename tmp path
+  with
+  | () -> Ok ()
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Error (Printexc.to_string e)
+
+let load_file ?page_size path =
+  if not (Sys.file_exists path) then Error (path ^ ": no snapshot file")
+  else
+    match
+      let disk = Disk.reopen ?page_size path in
+      Fun.protect
+        ~finally:(fun () -> Disk.close disk)
+        (fun () ->
+          match recover (Buffer_pool.create disk) with
+          | Ok t -> Ok (read t)
+          | Error _ as e -> e)
+    with
+    | result -> result
+    | exception e -> Error (Printexc.to_string e)

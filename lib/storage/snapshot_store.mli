@@ -47,6 +47,18 @@ val verify : t -> (unit, string) result
 (** Re-walk the committed chain from the pool and check every checksum —
     a cheap audit that the committed snapshot is still readable. *)
 
+val save_file : ?page_size:int -> string -> string list -> (unit, string) result
+(** Commit [records] to a standalone snapshot file: a fresh store is
+    written beside [path] and renamed into place, so a crash mid-save
+    leaves either the previous file or the new one, never a torn mix —
+    the serve daemon's warm-restart snapshot. *)
+
+val load_file : ?page_size:int -> string -> (string list, string) result
+(** Read back a {!save_file} snapshot, verifying every checksum through
+    {!recover} first.  Any failure — missing file, truncation, page or
+    stream corruption — is an [Error], never an exception: callers treat
+    snapshot loss as a cold start, not a fault. *)
+
 val recover : Buffer_pool.t -> (t, string) result
 (** Recover the store after a crash (or plain restart): invalidates the
     pool's volatile frames, parses both header slots from media, and

@@ -53,7 +53,15 @@ let cube_exn ?(no_cache = false) conn ~doc query =
   match
     Server.Client.request conn
       (Protocol.Cube
-         { query; doc = Some doc; algorithm = None; format = "csv"; no_cache })
+         {
+           query;
+           doc = Some doc;
+           algorithm = None;
+           format = "csv";
+           no_cache;
+           deadline_ms = None;
+           retries = None;
+         })
   with
   | Ok (Protocol.Cube_ok { payload; provenance; _ }) -> (payload, provenance)
   | Ok (Protocol.Failed { code; message }) ->
@@ -261,6 +269,8 @@ let test_dead_client_does_not_wedge () =
            algorithm = None;
            format = "csv";
            no_cache = false;
+           deadline_ms = None;
+           retries = None;
          })
   in
   (match Protocol.write_frame fd req with
