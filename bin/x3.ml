@@ -704,7 +704,7 @@ let serve_client_cube address ~query ~deadline_ms ~retries =
 
 let run_serve socket port cache_bytes max_concurrent max_waiting
     admission_timeout workers max_input_bytes max_frame_bytes io_deadline
-    drain_deadline snapshot stats shutdown query deadline_ms retries =
+    drain_deadline snapshot wal stats shutdown query deadline_ms retries =
   let address = serve_address socket port in
   if stats then
     match serve_client_request address Serve_protocol.Stats with
@@ -738,6 +738,7 @@ let run_serve socket port cache_bytes max_concurrent max_waiting
             io_deadline = (if io_deadline <= 0. then None else Some io_deadline);
             drain_deadline;
             snapshot_path = snapshot;
+            wal_path = wal;
             fault = None;
           }
         in
@@ -758,6 +759,35 @@ let run_serve socket port cache_bytes max_concurrent max_waiting
             Printf.printf "x3 serve: listening on %s:%d (cache %d bytes)\n%!"
               host p cache_bytes);
         Server.run server
+
+(* --- ingest -------------------------------------------------------------- *)
+
+let run_ingest socket port doc fragment =
+  let address = serve_address socket port in
+  let fragment =
+    if fragment = "-" then In_channel.input_all In_channel.stdin
+    else if String.length fragment > 0 && fragment.[0] = '<' then fragment
+    else read_file fragment
+  in
+  match
+    serve_client_request address (Serve_protocol.Ingest { doc; fragment })
+  with
+  | Serve_protocol.Ingest_ok { lsn; sessions; cells; fallbacks } ->
+      Printf.printf
+        "x3 ingest: lsn %d durable; %d resident session%s patched (%d \
+         cells)%s\n"
+        lsn sessions
+        (if sessions = 1 then "" else "s")
+        cells
+        (if fallbacks > 0 then
+           Printf.sprintf "; %d flushed for cold rebuild" fallbacks
+         else "")
+  | Serve_protocol.Failed { code; message } ->
+      prerr_endline (Printf.sprintf "x3: %s: %s" code message);
+      exit (Serve_protocol.exit_code_of_error code)
+  | _ ->
+      prerr_endline "x3: unexpected response to INGEST";
+      exit 1
 
 (* --- info --------------------------------------------------------------- *)
 
@@ -1170,6 +1200,18 @@ let serve_cmd =
              warm-restart from it (verify-on-load; a corrupt or stale \
              snapshot cold-starts, never fails).")
   in
+  let wal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"PATH"
+          ~doc:
+            "Write-ahead log for the $(b,ingest) verb: every accepted \
+             fragment is checksummed and fsynced here before any state \
+             changes, and a restarted daemon replays the log (truncating \
+             any torn tail) so an acknowledged ingest survives a crash. \
+             Without it, ingest is disabled.")
+  in
   let stats =
     Arg.(
       value & flag
@@ -1224,8 +1266,49 @@ let serve_cmd =
     Term.(
       const run_serve $ socket $ port $ cache_bytes $ max_concurrent
       $ max_waiting $ admission_timeout $ workers $ max_input_bytes
-      $ max_frame_bytes $ io_deadline $ drain_deadline $ snapshot $ stats
-      $ shutdown $ query $ deadline_ms $ retries)
+      $ max_frame_bytes $ io_deadline $ drain_deadline $ snapshot $ wal
+      $ stats $ shutdown $ query $ deadline_ms $ retries)
+
+let ingest_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon's Unix-domain socket.")
+  in
+  let port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"N" ~doc:"Daemon's TCP port (127.0.0.1).")
+  in
+  let doc =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "doc" ] ~docv:"FILE"
+          ~doc:
+            "Document path the fragment belongs to — the same path cube \
+             queries name in $(b,doc(...)).")
+  in
+  let fragment =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FRAGMENT"
+          ~doc:
+            "The fragment: inline XML (anything starting with '<'), a \
+             file path, or '-' for stdin. One element, appended as a new \
+             child of the document root.")
+  in
+  Cmd.v
+    (Cmd.info "ingest"
+       ~doc:
+         "Append one XML fragment to a served document: the daemon logs \
+          it durably to its write-ahead log (the command returns only \
+          after the fsync), then patches every resident session's cached \
+          cuboid views cell-by-cell instead of recomputing them")
+    Term.(const run_ingest $ socket $ port $ doc $ fragment)
 
 let info_cmd =
   let path =
@@ -1247,6 +1330,7 @@ let () =
             cube_cmd;
             explain_cmd;
             serve_cmd;
+            ingest_cmd;
             lattice_cmd;
             analyze_cmd;
             pivot_cmd;

@@ -233,6 +233,55 @@ let block_measures t cols =
       t.block_measures_cache <- Some m;
       m
 
+(* The ingest path appended [rows] (coded, fresh facts) to [t.table];
+   bring the derived caches along so the next request sees the new tail
+   without a rebuild. The columnar view grows by a blit-extended tail
+   chunk and the block-measure array by one entry per appended fact block
+   — both booked against the account; when a booking is refused the cache
+   is dropped (releasing its old booking) and rebuilt lazily under the
+   normal reserve path instead of failing the append. *)
+let note_append t rows =
+  (match t.cols_cache with
+  | None -> ()
+  | Some cols ->
+      let axes = Witness.Columnar.axes cols in
+      let old_bytes =
+        Witness.Columnar.approx_bytes ~axes
+          ~rows:(Witness.Columnar.rows cols)
+          ~blocks:(Witness.Columnar.blocks cols)
+      in
+      let extended = Witness.Columnar.extend cols rows in
+      let new_bytes =
+        Witness.Columnar.approx_bytes ~axes
+          ~rows:(Witness.Columnar.rows extended)
+          ~blocks:(Witness.Columnar.blocks extended)
+      in
+      if try_reserve t (max 0 (new_bytes - old_bytes)) then
+        t.cols_cache <- Some extended
+      else begin
+        release t old_bytes;
+        t.cols_cache <- None
+      end);
+  match t.block_measures_cache with
+  | None -> ()
+  | Some m -> (
+      let old = Array.length m in
+      match t.cols_cache with
+      | Some cols
+        when try_reserve t (8 * (Witness.Columnar.blocks cols - old)) ->
+          let blocks = Witness.Columnar.blocks cols in
+          t.block_measures_cache <-
+            Some
+              (Array.init blocks (fun b ->
+                   if b < old then m.(b)
+                   else
+                     t.measure
+                       (Witness.Columnar.fact cols
+                          (Witness.Columnar.block_lo cols b))))
+      | _ ->
+          release t ((8 * old) + 16);
+          t.block_measures_cache <- None)
+
 (* --- snapshots for the parallel paths ----------------------------------- *)
 (* Workers must not share the buffer pool (its frame table and clock hand
    are unsynchronised), so the parallel algorithms take one instrumented

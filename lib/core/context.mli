@@ -152,6 +152,14 @@ val block_measures : t -> X3_pattern.Witness.Columnar.t -> float array
     function may memoise and must not run concurrently) — the parallel
     paths' domain-safe replacement for calling [measure] per row. *)
 
+val note_append : t -> X3_pattern.Witness.row list -> unit
+(** The ingest path appended [rows] (fresh facts, already interned into
+    [table]) — extend the cached columnar view and block-measure array in
+    place rather than rebuilding them on the next request. The growth is
+    booked against the account; a refused booking drops the cache (its old
+    booking released) so it rebuilds lazily under the normal reserve path
+    instead of failing the append. *)
+
 (** {1 Snapshots — the parallel algorithms' input}
 
     The buffer pool underneath the witness table is unsynchronised, so

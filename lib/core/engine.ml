@@ -247,6 +247,95 @@ let run ?props ?config ?workers prepared algorithm =
   trace_cuboid_strategies prepared ctx;
   (result, ctx.Context.instr)
 
+(* --- ingest deltas ------------------------------------------------------- *)
+
+(* Facts appended through the WAL get synthetic ids derived from their log
+   sequence number: deterministic (warm restore replaying the same records
+   reproduces the same ids, so snapshotted fact sets stay consistent) and
+   disjoint from real store node ids at any realistic document size, while
+   still fitting the row codec's u32 fact field. *)
+let synthetic_fact_base = 1 lsl 30
+let synthetic_fact_id ~lsn = synthetic_fact_base + lsn
+
+type staged_fragment =
+  | Staged of Witness.Staged.row list
+  | Not_a_fact
+  | Unsupported of string
+
+(* Evaluate the cube pattern over an ingested fragment alone, without the
+   host document. Sound exactly when the fragment subtree is the fact's
+   whole match context: a single-step fact path whose unique match is the
+   fragment root (grouping axes, filters and SP relaxations all evaluate
+   strictly below the fact node, so a store of just the fragment sees the
+   same bindings the grafted document would). Anything else — multi-step
+   fact paths, fact tags nested inside the fragment — is refused with a
+   reason, and the caller falls back to a cold rebuild of the grafted
+   document, which is always exact. *)
+let stage_fragment spec ~fragment ~fact_id =
+  let module Tree = X3_xml.Tree in
+  let module Sj = X3_xdb.Structural_join in
+  match spec.fact_path with
+  | [] -> invalid_arg "Engine.stage_fragment: empty fact path"
+  | _ :: _ :: _ ->
+      Unsupported "multi-step fact path: fragment cannot prove the match"
+  | [ step ] -> (
+      let tag = step.Axis.tag in
+      let nested_facts =
+        (* fact-tag elements strictly below the fragment root *)
+        List.fold_left
+          (fun acc child ->
+            Tree.fold
+              (fun acc node ->
+                match node with
+                | Tree.Element e when String.equal e.Tree.name tag -> acc + 1
+                | _ -> acc)
+              acc child)
+          0 fragment.Tree.children
+      in
+      let root_is_fact = String.equal fragment.Tree.name tag in
+      let stage () =
+        let ministore = Store.of_document (Tree.document fragment) in
+        let fact = Store.root ministore in
+        if
+          not
+            (List.for_all
+               (fun f -> filter_holds ministore f ~fact)
+               spec.filters)
+        then Staged [] (* the document grows; the witness table does not *)
+        else
+          Staged
+            (List.map
+               (fun (r : Witness.Staged.row) -> { r with fact = fact_id })
+               (Eval.rows_for_fact ministore spec.axes ~fact))
+      in
+      match (step.Axis.axis, root_is_fact, nested_facts) with
+      | _, false, 0 -> Not_a_fact
+      | Sj.Child, false, _ -> Not_a_fact (* nested tags are not root children *)
+      | Sj.Child, true, _ -> stage ()
+      | Sj.Descendant, true, 0 -> stage ()
+      | Sj.Descendant, _, _ ->
+          Unsupported "fact nodes nested inside the fragment")
+
+type delta_fallback =
+  | Layout_overflow of string
+  | Measure_unsupported
+  | Fragment_unsupported of string
+
+let fallback_reason_name = function
+  | Layout_overflow _ -> "layout_overflow"
+  | Measure_unsupported -> "measure_unsupported"
+  | Fragment_unsupported _ -> "fragment_unsupported"
+
+let pp_fallback ppf = function
+  | Layout_overflow axis ->
+      Format.fprintf ppf
+        "axis %s: new values outgrow the session's packed key layout" axis
+  | Measure_unsupported ->
+      Format.fprintf ppf
+        "measured cubes bind measures to store nodes; ingested facts have \
+         none"
+  | Fragment_unsupported reason -> Format.pp_print_string ppf reason
+
 (* --- resident sessions --------------------------------------------------- *)
 
 (* A session is the resident-daemon view of one prepared query: a context
@@ -259,7 +348,7 @@ module Session = struct
   type t = {
     s_prepared : prepared;
     s_ctx : Context.t;
-    s_props : X3_lattice.Properties.t;
+    mutable s_props : X3_lattice.Properties.t;
   }
 
   let create ?config ?workers ?account prepared =
@@ -286,6 +375,78 @@ module Session = struct
     result
 
   let table_bytes t = Witness.approx_bytes t.s_prepared.table
+
+  (* Split appended coded rows back into per-fact blocks (append order,
+     same-fact rows contiguous) — the unit [Properties.restrict] ANDs in. *)
+  let fact_blocks rows =
+    List.fold_left
+      (fun acc (row : Witness.row) ->
+        match acc with
+        | (f, block) :: rest when f = row.Witness.fact ->
+            (f, row :: block) :: rest
+        | _ -> (row.Witness.fact, [ row ]) :: acc)
+      [] rows
+    |> List.rev_map (fun (_, block) -> List.rev block)
+
+  (* Is the delta provably sound before anything mutates?  Two edges are
+     not: a measured cube's measure function resolves fact ids against the
+     host store (synthetic ingest facts have no node there), and a batch
+     whose new dictionary values need more bits than the session's frozen
+     packed-key layout allocated per axis would make [Group_key.load]
+     fold distinct values onto one packed key. Both return a typed reason
+     and leave the session untouched — the caller rebuilds cold, which is
+     always exact. *)
+  let delta_check t staged =
+    if t.s_prepared.spec.measure_path <> None then Error Measure_unsupported
+    else begin
+      let layout = t.s_ctx.Context.layout in
+      let dicts = Witness.dicts t.s_prepared.table in
+      let news =
+        Array.init (Array.length dicts) (fun _ -> Hashtbl.create 8)
+      in
+      List.iter
+        (fun (r : Witness.Staged.row) ->
+          Array.iteri
+            (fun ai (c : Witness.Staged.cell) ->
+              match c.Witness.Staged.value with
+              | None -> ()
+              | Some v ->
+                  if Witness.Dict.find dicts.(ai) v = None then
+                    Hashtbl.replace news.(ai) v ())
+            r.Witness.Staged.cells)
+        staged;
+      let overflow = ref None in
+      Array.iteri
+        (fun ai fresh ->
+          if !overflow = None then begin
+            let needed =
+              Group_key.bits_for
+                (Witness.Dict.size dicts.(ai) + Hashtbl.length fresh)
+            in
+            if needed > layout.Group_key.widths.(ai) then
+              overflow := Some t.s_prepared.spec.axes.(ai).Axis.name
+          end)
+        news;
+      match !overflow with
+      | Some axis -> Error (Layout_overflow axis)
+      | None -> Ok ()
+    end
+
+  let apply_delta t staged ~views =
+    match delta_check t staged with
+    | Error _ as e -> e
+    | Ok () ->
+        let rows = Witness.append t.s_prepared.table staged in
+        Context.note_append t.s_ctx rows;
+        let patched =
+          List.fold_left
+            (fun acc view -> acc + Materialized.apply_rows t.s_ctx view rows)
+            0 views
+        in
+        t.s_props <-
+          X3_lattice.Properties.restrict t.s_props t.s_prepared.lattice
+            (fact_blocks rows);
+        Ok (rows, patched)
 
   (* One request's compute budget on a long-lived session: arm the
      context's deadline, run, and always disarm — clearing any stop the

@@ -103,6 +103,59 @@ val run :
     can differ in the last bits of the addition order across worker
     counts). *)
 
+(** {1 Ingest deltas}
+
+    The crash-safe ingest path appends facts to a live session without
+    rebuilding anything: a fragment is staged into witness rows against
+    the fragment alone ({!stage_fragment}), appended to the table's tail,
+    and propagated into cached views cell-by-cell
+    ({!Session.apply_delta}). Every step either proves its own soundness
+    or refuses with a typed reason, in which case the caller falls back
+    to a cold rebuild of the grafted document — exact by construction. *)
+
+val synthetic_fact_base : int
+
+val synthetic_fact_id : lsn:int -> int
+(** Fact id of the fragment ingested at WAL sequence number [lsn]:
+    deterministic, so replay after a crash or a warm restore reproduces
+    the ids inside snapshotted fact sets, and disjoint from real store
+    node ids. *)
+
+type staged_fragment =
+  | Staged of X3_pattern.Witness.Staged.row list
+      (** the fragment's witness rows, ready for
+          {!Session.apply_delta} — empty when a WHERE filter excludes
+          the fact (the document grows, the table does not) *)
+  | Not_a_fact
+      (** the fragment contributes no fact match — graft it and move on *)
+  | Unsupported of string
+      (** the fragment-only evaluation cannot prove it sees the same
+          bindings the grafted document would; rebuild cold *)
+
+val stage_fragment :
+  spec -> fragment:X3_xml.Tree.element -> fact_id:int -> staged_fragment
+(** Evaluate the cube pattern over [fragment] alone. Sound exactly when
+    the fragment subtree is the fact's whole match context: a single-step
+    fact path whose unique match is the fragment root (grouping axes,
+    WHERE filters and SP relaxations all evaluate strictly below the
+    fact node). The staged rows carry [fact_id]
+    (see {!synthetic_fact_id}). *)
+
+type delta_fallback =
+  | Layout_overflow of string
+      (** this axis's dictionary would outgrow the bits the session's
+          frozen packed-key layout allocated for it *)
+  | Measure_unsupported
+      (** measured cubes resolve fact ids against the host store;
+          synthetic ingest facts have no node there *)
+  | Fragment_unsupported of string  (** {!stage_fragment} refused *)
+
+val fallback_reason_name : delta_fallback -> string
+(** Stable snake_case names ("layout_overflow", ...) for metrics and wire
+    responses. *)
+
+val pp_fallback : Format.formatter -> delta_fallback -> unit
+
 (** {1 Resident sessions}
 
     The serve daemon's entry point into the engine: a {!Session.t} wraps
@@ -130,7 +183,27 @@ module Session : sig
   val context : t -> Context.t
 
   val props : t -> X3_lattice.Properties.t
-  (** Observed disjointness/coverage — what {!rollup} checks against. *)
+  (** Observed disjointness/coverage — what {!rollup} checks against.
+      {!apply_delta} refreshes it ({!X3_lattice.Properties.restrict}), so
+      rollups stay sound after ingests. *)
+
+  val apply_delta :
+    t ->
+    X3_pattern.Witness.Staged.row list ->
+    views:Materialized.t list ->
+    (X3_pattern.Witness.row list * int, delta_fallback) result
+  (** Append one staged fact batch to the session's witness table and
+      patch [views] cell-by-cell — only the cells whose packed group
+      keys the new facts touch change, nothing is rebuilt. On success
+      the table, the context's columnar caches, every given view and
+      the observed properties are all consistent with a cold rebuild of
+      the extended table; [Ok (rows, patched)] returns the coded rows
+      and how many view cells were touched. A typed [Error] means the
+      delta could not be proven sound ({!delta_fallback}) and {e
+      nothing was mutated} — the caller must rebuild cold. Soundness of
+      the patch itself needs no disjointness or coverage: group fact
+      sets make repeats idempotent (§3.6's discipline), and the
+      property refresh keeps {e future} rollup decisions honest. *)
 
   val materialize : t -> cuboid:int -> Materialized.t
   (** Base computation: one witness-table scan collecting the cuboid's

@@ -56,6 +56,32 @@ let materialize (ctx : Context.t) ~cuboid =
     groups;
   }
 
+(* The ingest delta patch: [materialize]'s per-row step over only the
+   appended rows. Adding facts to group fact-sets is duplicate-safe (set
+   union semantics), so non-disjoint repeats across the new rows cost
+   memory, never correctness — the same §3.6 discipline as rollup
+   merging. The rows must be coded against the same table (and layout)
+   the view was built on. *)
+let apply_rows (ctx : Context.t) t rows =
+  let c = Lattice.cuboid t.lattice t.cuboid_id in
+  let scratch = Group_key.make_scratch t.layout in
+  let touched = ref 0 in
+  List.iter
+    (fun row ->
+      if Context.row_represents c row then begin
+        Group_key.load scratch c row;
+        ctx.Context.instr.Instrument.keys_built <-
+          ctx.Context.instr.Instrument.keys_built + 1;
+        let facts =
+          Group_key.Tbl.find_or_add t.groups scratch ~default:(fun () ->
+              ref Int_set.empty)
+        in
+        facts := Int_set.add row.Witness.fact !facts;
+        incr touched
+      end)
+    rows;
+  !touched
+
 (* Estimated resident bytes, in the spirit of the Governor cost model:
    per group one Tbl slot + boxed key + the ref cell (~96 bytes, like
    counter_cost), plus one balanced-set node per fact id (4 fields +

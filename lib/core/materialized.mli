@@ -26,6 +26,14 @@ val fact_items : t -> key:string -> int list
 val materialize : Context.t -> cuboid:int -> t
 (** One scan of the witness table, collecting groups with fact sets. *)
 
+val apply_rows : Context.t -> t -> X3_pattern.Witness.row list -> int
+(** Patch the view with freshly appended witness rows — [materialize]'s
+    per-row step over only the delta. Returns how many of the rows
+    represent their fact in this view's cuboid (and were therefore
+    added). Group fact-sets make the patch duplicate-safe, so it is
+    unconditionally sound for any delta of fresh facts; the rows must be
+    coded against the same table and layout the view was built on. *)
+
 val approx_bytes : t -> int
 (** Estimated resident bytes of the view (groups, keys and fact sets),
     following the {!Governor} cost-model conventions — what a byte-budgeted

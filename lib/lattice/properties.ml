@@ -288,22 +288,23 @@ let row_qualifies cuboid row =
     cuboid;
   !ok
 
-let observe table lattice =
+(* The observed properties are all monotone per-fact-block ANDs: one more
+   fact block can only falsify disjointness, strictness or coverage, never
+   restore them. [observe_blocks] folds any block source into a property
+   record, so a delta-maintenance path can observe just the appended
+   blocks and AND them into the previously observed truth ({!restrict})
+   instead of rescanning the table. *)
+let observe_blocks iter_blocks lattice ~disjoint ~strict ~covered =
   let size = Lattice.size lattice in
-  let disjoint = Array.make size true in
-  let strict = Array.make size true in
-  let covered = Hashtbl.create 64 in
   let edges = ref [] in
   Array.iter
     (fun ci ->
       List.iter
-        (fun pi ->
-          Hashtbl.replace covered (ci, pi) true;
-          edges := (ci, pi) :: !edges)
+        (fun pi -> edges := (ci, pi) :: !edges)
         (Lattice.parents lattice ci))
     (Lattice.by_degree lattice);
   let cuboids = Array.init size (Lattice.cuboid lattice) in
-  Witness.iter_fact_blocks
+  iter_blocks
     (fun block ->
       (* Paper disjointness: at most one representative row per fact and
          cuboid. Strict disjointness: at most one qualifying row. *)
@@ -351,9 +352,32 @@ let observe table lattice =
               if missing then Hashtbl.replace covered (ci, pi) false
             end
           end)
-        !edges)
-    table;
+        !edges);
   { disjoint; strict; covered }
+
+let observe table lattice =
+  let size = Lattice.size lattice in
+  let covered = Hashtbl.create 64 in
+  Array.iter
+    (fun ci ->
+      List.iter
+        (fun pi -> Hashtbl.replace covered (ci, pi) true)
+        (Lattice.parents lattice ci))
+    (Lattice.by_degree lattice);
+  observe_blocks
+    (fun f -> Witness.iter_fact_blocks f table)
+    lattice
+    ~disjoint:(Array.make size true)
+    ~strict:(Array.make size true)
+    ~covered
+
+let restrict t lattice blocks =
+  let disjoint = Array.copy t.disjoint in
+  let strict = Array.copy t.strict in
+  let covered = Hashtbl.copy t.covered in
+  observe_blocks
+    (fun f -> List.iter f blocks)
+    lattice ~disjoint ~strict ~covered
 
 let pp_report lattice ppf t =
   let axes = Lattice.axes lattice in

@@ -37,6 +37,15 @@ val exact : Lattice.t -> disjoint:bool -> covered:bool -> t
 val observe : X3_pattern.Witness.t -> Lattice.t -> t
 (** Ground truth measured on a materialised witness table. *)
 
+val restrict : t -> Lattice.t -> X3_pattern.Witness.row list list -> t
+(** AND newly appended fact blocks into previously observed truth. Every
+    observed property is a monotone per-fact-block conjunction (one more
+    block can falsify disjointness or coverage, never restore it), so
+    [restrict (observe table l) l blocks] equals observing the table with
+    the blocks appended — the delta-maintenance path's property refresh
+    without a rescan. Each element of [blocks] must be the complete,
+    contiguous row list of one appended fact. *)
+
 val cuboid_disjoint : t -> int -> bool
 (** The paper's notion: no fact occurs in more than one group of the
     cuboid, i.e. no {e present} axis repeats (repeats on LND-removed axes

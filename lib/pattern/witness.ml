@@ -199,29 +199,29 @@ type t = {
   mutable facts : int;
 }
 
-let write_dicts dict_heap dicts =
+let write_dict_value dict_heap ~axis ~id value =
   let capacity =
     X3_storage.Heap_file.capacity_bytes dict_heap - dict_chunk_header
   in
+  let total = String.length value in
+  if total = 0 then
+    X3_storage.Heap_file.append dict_heap
+      (encode_dict_chunk ~axis ~id ~total ~offset:0 "")
+  else begin
+    let offset = ref 0 in
+    while !offset < total do
+      let n = min capacity (total - !offset) in
+      X3_storage.Heap_file.append dict_heap
+        (encode_dict_chunk ~axis ~id ~total ~offset:!offset
+           (String.sub value !offset n));
+      offset := !offset + n
+    done
+  end
+
+let write_dicts dict_heap dicts =
   Array.iteri
     (fun axis dict ->
-      Dict.iter
-        (fun id value ->
-          let total = String.length value in
-          if total = 0 then
-            X3_storage.Heap_file.append dict_heap
-              (encode_dict_chunk ~axis ~id ~total ~offset:0 "")
-          else begin
-            let offset = ref 0 in
-            while !offset < total do
-              let n = min capacity (total - !offset) in
-              X3_storage.Heap_file.append dict_heap
-                (encode_dict_chunk ~axis ~id ~total ~offset:!offset
-                   (String.sub value !offset n));
-              offset := !offset + n
-            done
-          end)
-        dict)
+      Dict.iter (fun id value -> write_dict_value dict_heap ~axis ~id value) dict)
     dicts
 
 (* Rebuild the dictionaries from their on-disk pages; chunks of one value
@@ -288,6 +288,52 @@ let materialize pool ~axes rows =
     rows;
   write_dicts dict_heap dicts;
   { axes; dicts; heap; dict_heap; facts = !facts }
+
+(* The ingest append path: intern one batch of staged rows at the table's
+   tail, growing the dictionaries in place, and flush only the dictionary
+   tail this batch interned (ids below the pre-append sizes are already on
+   their heap pages). The batch's fact ids must be fresh — rows of one
+   fact contiguous, no fact already in the table — so the fact count and
+   block geometry stay consistent without a rescan. *)
+let append t staged =
+  let sizes_before = Array.map Dict.size t.dicts in
+  let last_fact = ref min_int in
+  let coded =
+    List.fold_left
+      (fun acc (row : Staged.row) ->
+        if Array.length row.Staged.cells <> Array.length t.axes then
+          invalid_arg "Witness.append: axis count mismatch";
+        if row.Staged.fact <> !last_fact then begin
+          t.facts <- t.facts + 1;
+          last_fact := row.Staged.fact
+        end;
+        let cells =
+          Array.mapi
+            (fun ai (cell : Staged.cell) ->
+              let id =
+                match cell.Staged.value with
+                | None -> null_id
+                | Some v -> Dict.intern t.dicts.(ai) v
+              in
+              {
+                id;
+                validity = cell.Staged.validity;
+                first = cell.Staged.first;
+              })
+            row.Staged.cells
+        in
+        let r = { fact = row.Staged.fact; cells } in
+        X3_storage.Heap_file.append t.heap (encode r);
+        r :: acc)
+      [] staged
+  in
+  Array.iteri
+    (fun ai dict ->
+      for id = sizes_before.(ai) to Dict.size dict - 1 do
+        write_dict_value t.dict_heap ~axis:ai ~id (Dict.value dict id)
+      done)
+    t.dicts;
+  List.rev coded
 
 let axes t = t.axes
 let dicts t = t.dicts
@@ -487,6 +533,83 @@ module Columnar = struct
         c_block_start = block_start;
       }
   end
+
+  (* Grow an existing column set with a tail of appended rows: a bulk blit
+     of the old columns into wider arrays plus a scalar pass over the new
+     tail, extending the fenced block offsets — no rebuild of the old
+     rows. The tail's facts must be fresh (no block may straddle the
+     seam). *)
+  let extend cols added =
+    match added with
+    | [] -> cols
+    | first :: _ ->
+        let k = cols.c_axes in
+        let old = cols.c_rows in
+        let n = List.length added in
+        let rows = old + n in
+        if old > 0 && first.fact = cols.c_facts.(old - 1) then
+          invalid_arg "Witness.Columnar.extend: fact straddles the seam";
+        let ids =
+          Array.init k (fun ai ->
+              let col =
+                Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout rows
+              in
+              Bigarray.Array1.blit cols.c_ids.(ai)
+                (Bigarray.Array1.sub col 0 old);
+              col)
+        in
+        let tags =
+          Array.init k (fun ai ->
+              let col =
+                Bigarray.Array1.create Bigarray.int8_unsigned Bigarray.c_layout
+                  rows
+              in
+              Bigarray.Array1.blit cols.c_tags.(ai)
+                (Bigarray.Array1.sub col 0 old);
+              col)
+        in
+        let facts = Array.make rows 0 in
+        Array.blit cols.c_facts 0 facts 0 old;
+        let row_block = Array.make rows 0 in
+        Array.blit cols.c_row_block 0 row_block 0 old;
+        let old_blocks = Array.length cols.c_block_start - 1 in
+        let last_fact = ref min_int in
+        let starts = ref [] in
+        let nb = ref 0 in
+        List.iteri
+          (fun i (r : row) ->
+            if Array.length r.cells <> k then
+              invalid_arg "Witness.Columnar.extend: axis count mismatch";
+            let idx = old + i in
+            if r.fact <> !last_fact then begin
+              starts := idx :: !starts;
+              incr nb;
+              last_fact := r.fact
+            end;
+            facts.(idx) <- r.fact;
+            row_block.(idx) <- old_blocks + !nb - 1;
+            for ai = 0 to k - 1 do
+              let cell = r.cells.(ai) in
+              Bigarray.Array1.set ids.(ai) idx (Int32.of_int cell.id);
+              Bigarray.Array1.set tags.(ai) idx
+                ((cell.validity land 0x7F) lor if cell.first then 0x80 else 0)
+            done)
+          added;
+        let block_start = Array.make (old_blocks + !nb + 1) 0 in
+        Array.blit cols.c_block_start 0 block_start 0 old_blocks;
+        List.iteri
+          (fun j s -> block_start.(old_blocks + j) <- s)
+          (List.rev !starts);
+        block_start.(old_blocks + !nb) <- rows;
+        {
+          c_axes = k;
+          c_rows = rows;
+          c_ids = ids;
+          c_tags = tags;
+          c_facts = facts;
+          c_row_block = row_block;
+          c_block_start = block_start;
+        }
 
   (* --- snapshot codec ---------------------------------------------------- *)
   (* One column chunk per record: 'C' | kind u8 | axis u16 | start u32 |

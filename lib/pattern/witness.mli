@@ -99,6 +99,15 @@ val materialize :
 (** Intern every staged row and append the coded rows; the dictionaries are
     flushed to their heap pages once all rows are in. *)
 
+val append : t -> Staged.row list -> row list
+(** The ingest path: intern one batch of staged rows and append them at
+    the table's tail, growing the dictionaries in place — no rebuild. Only
+    the dictionary tail interned by this batch is flushed to the dictionary
+    heap (earlier ids are already on their pages), and the coded rows are
+    returned in append order so a delta-maintenance layer can patch views
+    without rescanning. The batch's fact ids must be {e fresh} (no fact
+    already in the table) and rows of one fact contiguous. *)
+
 val axes : t -> Axis.t array
 val dicts : t -> Dict.t array
 val dict : t -> int -> Dict.t
@@ -200,6 +209,13 @@ module Columnar : sig
     val finish : t -> cols
     (** Raises [Invalid_argument] unless exactly [rows] rows were added. *)
   end
+
+  val extend : t -> row list -> t
+  (** A new column set holding the old rows (bulk-copied) plus [added] as
+      a tail chunk with extended fenced block offsets — the ingest path's
+      alternative to a full rebuild. The tail's facts must be fresh;
+      raises [Invalid_argument] when the first added row continues the
+      table's last fact block. *)
 end
 
 val columnar_of_table : t -> Columnar.t

@@ -137,6 +137,7 @@ type request =
       deadline_ms : int option;
       retries : int option;
     }
+  | Ingest of { doc : string; fragment : string }
   | Stats
   | Ping
   | Shutdown
@@ -149,6 +150,12 @@ type response =
       provenance : provenance;
       seconds : float;
       partial : string option;
+    }
+  | Ingest_ok of {
+      lsn : int;  (** the fragment's WAL sequence number, now durable *)
+      sessions : int;  (** resident sessions patched cell-by-cell *)
+      cells : int;  (** view cells touched across those sessions *)
+      fallbacks : int;  (** sessions flushed for a cold rebuild instead *)
     }
   | Stats_ok of Json.t
   | Pong
@@ -193,6 +200,13 @@ let request_to_json = function
         @ [ ("format", Json.Str format); ("no_cache", Json.Bool no_cache) ]
         @ opt_int_field "deadline_ms" deadline_ms
         @ opt_int_field "retries" retries)
+  | Ingest { doc; fragment } ->
+      Json.Obj
+        [
+          ("verb", Json.Str "ingest");
+          ("doc", Json.Str doc);
+          ("fragment", Json.Str fragment);
+        ]
   | Stats -> Json.Obj [ ("verb", Json.Str "stats") ]
   | Ping -> Json.Obj [ ("verb", Json.Str "ping") ]
   | Shutdown -> Json.Obj [ ("verb", Json.Str "shutdown") ]
@@ -217,6 +231,13 @@ let request_of_json j =
                  deadline_ms = Json.int_member "deadline_ms" j;
                  retries = Json.int_member "retries" j;
                }))
+  | Some "ingest" -> (
+      match
+        (Json.string_member "doc" j, Json.string_member "fragment" j)
+      with
+      | Some doc, Some fragment -> Ok (Ingest { doc; fragment })
+      | None, _ -> Error "ingest request: missing \"doc\""
+      | _, None -> Error "ingest request: missing \"fragment\"")
   | Some "stats" -> Ok Stats
   | Some "ping" -> Ok Ping
   | Some "shutdown" -> Ok Shutdown
@@ -248,6 +269,15 @@ let response_to_json = function
            ("seconds", Json.Float seconds);
          ]
         @ opt_field "partial" partial)
+  | Ingest_ok { lsn; sessions; cells; fallbacks } ->
+      Json.Obj
+        [
+          ("status", Json.Str "ingested");
+          ("lsn", Json.Int lsn);
+          ("sessions", Json.Int sessions);
+          ("cells", Json.Int cells);
+          ("fallbacks", Json.Int fallbacks);
+        ]
   | Stats_ok doc ->
       Json.Obj [ ("status", Json.Str "stats"); ("payload", doc) ]
   | Pong -> Json.Obj [ ("status", Json.Str "pong") ]
@@ -285,6 +315,16 @@ let response_of_json j =
                  seconds;
                  partial = Json.string_member "partial" j;
                }))
+  | Some "ingested" ->
+      let int_of name = Option.value ~default:0 (Json.int_member name j) in
+      Ok
+        (Ingest_ok
+           {
+             lsn = int_of "lsn";
+             sessions = int_of "sessions";
+             cells = int_of "cells";
+             fallbacks = int_of "fallbacks";
+           })
   | Some "stats" -> (
       match Json.member "payload" j with
       | Some doc -> Ok (Stats_ok doc)

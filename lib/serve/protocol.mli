@@ -10,6 +10,7 @@
     {"verb": "cube", "query": "<X^3 text>", "doc": "path.xml",
      "algorithm": "COUNTER", "format": "csv", "no_cache": false,
      "deadline_ms": 5000, "retries": 2}
+    {"verb": "ingest", "doc": "path.xml", "fragment": "<pub>...</pub>"}
     {"verb": "stats"}   {"verb": "ping"}   {"verb": "shutdown"}
     v}
 
@@ -78,6 +79,13 @@ type request =
           (** transient-fault retry budget for the cold path, forwarded
               to [Engine.run_safe] *)
     }
+  | Ingest of {
+      doc : string;  (** document path the fragment belongs to *)
+      fragment : string;
+          (** one XML element, appended as a new child of the document
+              root; durably logged to the ingest WAL before any state
+              changes, then folded into resident sessions cell-by-cell *)
+    }
   | Stats  (** dump the daemon's x3-metrics/1 document *)
   | Ping
   | Shutdown
@@ -97,6 +105,15 @@ type response =
           (** [Some reason] when the answer is a typed partial cube —
               the engine stopped at its deadline or budget but exported
               what it had (mirrors CLI exit code 4) *)
+    }
+  | Ingest_ok of {
+      lsn : int;  (** the fragment's WAL sequence number, now durable *)
+      sessions : int;  (** resident sessions patched cell-by-cell *)
+      cells : int;  (** view cells touched across those sessions *)
+      fallbacks : int;
+          (** sessions whose delta could not be proven sound and were
+              flushed for a lazy cold rebuild instead (see the
+              [serve.ingest.fallbacks.*] counters for reasons) *)
     }
   | Stats_ok of X3_obs.Json.t
   | Pong

@@ -8,6 +8,8 @@ module Json = X3_obs.Json
 module Metrics = X3_obs.Metrics
 module Obs_export = X3_obs.Export
 module Trace = X3_obs.Trace
+module Wal = X3_storage.Wal
+module Tree = X3_xml.Tree
 
 type address = Unix_sock of string | Tcp of string * int
 
@@ -23,6 +25,7 @@ type config = {
   io_deadline : float option;
   drain_deadline : float;
   snapshot_path : string option;
+  wal_path : string option;
   fault : Net_fault.t option;
 }
 
@@ -39,6 +42,7 @@ let default_config address =
     io_deadline = Some 30.0;
     drain_deadline = 5.0;
     snapshot_path = None;
+    wal_path = None;
     fault = None;
   }
 
@@ -57,6 +61,8 @@ and doc_entry = {
   de_query : string;  (* the snapshot needs the original request text *)
   de_doc_path : string;
   mutable de_views : string list;  (* cache keys of this doc's views *)
+  mutable de_wal_lsn : int;
+      (* ingest-WAL high-water already folded into this session *)
 }
 
 (* Per-connection state, registered so shutdown can tell idle
@@ -82,6 +88,11 @@ type t = {
   conns : (Unix.file_descr, conn_state) Hashtbl.t;
   mutable fault : Net_fault.t option;
   state_lock : Mutex.t;
+  wal : Wal.t option;
+  (* Per document, its ingested fragments (LSN ascending) — replayed from
+     the WAL at startup, extended on each ingest. Guarded by
+     [compute_lock], like all session mutation. *)
+  wal_frags : (string, (int * Tree.element) list ref) Hashtbl.t;
   (* metric handles, interned once *)
   m_requests : Metrics.counter;
   m_errors : Metrics.counter;
@@ -97,6 +108,9 @@ type t = {
   m_accept_retries : Metrics.counter;
   m_restored_docs : Metrics.counter;
   m_restored_views : Metrics.counter;
+  m_ingests : Metrics.counter;
+  m_ingest_cells : Metrics.counter;
+  m_ingest_fallbacks : Metrics.counter;
   m_resident : Metrics.gauge;
   m_entries : Metrics.gauge;
   m_lat_request : Metrics.histogram;
@@ -143,13 +157,100 @@ let bind_listen address =
    ref to keep the file in reading order. *)
 let restore_hook : (t -> unit) ref = ref (fun _ -> ())
 
+(* --- ingest WAL plumbing ------------------------------------------------- *)
+
+(* WAL record payload: [u32 LE doc-path length | doc path | fragment XML].
+   The fragment is logged as the raw text the client sent; replay
+   re-parses it. *)
+let encode_ingest_payload ~doc_path ~fragment =
+  let b =
+    Buffer.create (4 + String.length doc_path + String.length fragment)
+  in
+  let len = String.length doc_path in
+  for shift = 0 to 3 do
+    Buffer.add_char b (Char.chr ((len lsr (8 * shift)) land 0xFF))
+  done;
+  Buffer.add_string b doc_path;
+  Buffer.add_string b fragment;
+  Buffer.contents b
+
+let decode_ingest_payload payload =
+  if String.length payload < 4 then Error "ingest record: truncated header"
+  else begin
+    let u8 p = Char.code payload.[p] in
+    let len = u8 0 lor (u8 1 lsl 8) lor (u8 2 lsl 16) lor (u8 3 lsl 24) in
+    if len < 0 || 4 + len > String.length payload then
+      Error "ingest record: truncated path"
+    else
+      Ok
+        ( String.sub payload 4 len,
+          String.sub payload (4 + len) (String.length payload - 4 - len) )
+  end
+
+let doc_frags wal_frags doc_path =
+  match Hashtbl.find_opt wal_frags doc_path with Some l -> !l | None -> []
+
+let doc_high_water wal_frags doc_path =
+  List.fold_left (fun acc (lsn, _) -> max acc lsn) 0
+    (doc_frags wal_frags doc_path)
+
+let record_frag wal_frags ~doc_path ~lsn fragment =
+  match Hashtbl.find_opt wal_frags doc_path with
+  | Some l -> l := !l @ [ (lsn, fragment) ]
+  | None -> Hashtbl.replace wal_frags doc_path (ref [ (lsn, fragment) ])
+
+(* Rebuild the per-document fragment index from a recovered log. A record
+   that no longer decodes or parses is skipped with a warning — it can
+   only patch nothing, never corrupt (the cold path simply won't graft
+   it either). *)
+let replay_wal_index wal =
+  let wal_frags = Hashtbl.create 8 in
+  let skip lsn msg =
+    Printf.eprintf "x3 serve: wal record %d skipped: %s\n%!" lsn msg
+  in
+  List.iter
+    (fun { Wal.lsn; payload } ->
+      match decode_ingest_payload payload with
+      | Error msg -> skip lsn msg
+      | Ok (doc_path, fragment) -> (
+          match X3_xml.Parser.parse fragment with
+          | Error e -> skip lsn (Format.asprintf "%a" X3_xml.Parser.pp_error e)
+          | Ok d -> record_frag wal_frags ~doc_path ~lsn d.Tree.root))
+    (Wal.records wal);
+  wal_frags
+
 let create cfg =
   (* A client that dies mid-response turns writes into EPIPE errors we
      handle; without this it would be a process-killing signal. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   match bind_listen cfg.address with
   | Error _ as e -> e
-  | Ok listen_fd ->
+  | Ok listen_fd -> (
+      match
+        match cfg.wal_path with
+        | None -> Ok None
+        | Some path -> (
+            match Wal.open_file path with
+            | wal -> Ok (Some wal)
+            | exception e ->
+                Error
+                  (Printf.sprintf "cannot open ingest WAL %s: %s" path
+                     (Printexc.to_string e)))
+      with
+      | Error msg ->
+          (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+          Error msg
+      | Ok wal ->
+      let wal_frags =
+        match wal with
+        | None -> Hashtbl.create 1
+        | Some wal ->
+            if Wal.dropped_bytes wal > 0 then
+              Printf.eprintf
+                "x3 serve: wal recovery dropped %d torn bytes\n%!"
+                (Wal.dropped_bytes wal);
+            replay_wal_index wal
+      in
       let registry = Metrics.create () in
       let cache_pool = Governor.create ~max_bytes:cfg.cache_bytes () in
       let cache_account = Governor.open_account (Some cache_pool) in
@@ -184,6 +285,8 @@ let create cfg =
           conns = Hashtbl.create 16;
           fault = cfg.fault;
           state_lock = Mutex.create ();
+          wal;
+          wal_frags;
           m_requests = Metrics.counter registry "serve.requests.total";
           m_errors = Metrics.counter registry "serve.requests.errors";
           m_rejected = Metrics.counter registry "serve.requests.rejected";
@@ -199,6 +302,10 @@ let create cfg =
           m_restored_docs = Metrics.counter registry "serve.cache.restored_docs";
           m_restored_views =
             Metrics.counter registry "serve.cache.restored_views";
+          m_ingests = Metrics.counter registry "serve.ingest.total";
+          m_ingest_cells = Metrics.counter registry "serve.ingest.cells";
+          m_ingest_fallbacks =
+            Metrics.counter registry "serve.ingest.fallbacks";
           m_resident = Metrics.gauge registry "serve.cache.resident_bytes";
           m_entries = Metrics.gauge registry "serve.cache.entries";
           m_lat_request = Metrics.histogram registry "serve.latency.request";
@@ -206,7 +313,7 @@ let create cfg =
         }
       in
       !restore_hook t;
-      Ok t
+      Ok t)
 
 let registry t = t.registry
 let set_fault t fault = t.fault <- fault
@@ -264,12 +371,29 @@ let check_input_cap t doc_path =
       | _ -> ()
       | exception Unix.Unix_error _ -> ())
 
-let load_session t ~doc_path ~spec =
+(* Functionally rebuild the document with its ingested fragments grafted
+   as trailing children of the root, LSN order — the cold path's view of
+   every durably ingested fact. [upto] bounds the graft for warm restore,
+   which replays later fragments as deltas instead. *)
+let graft_fragments t doc ~doc_path ~upto =
+  let frags =
+    List.filter_map
+      (fun (lsn, el) -> if lsn <= upto then Some (Tree.Element el) else None)
+      (doc_frags t.wal_frags doc_path)
+  in
+  if frags = [] then doc
+  else begin
+    let root = doc.Tree.root in
+    { doc with Tree.root = { root with Tree.children = root.Tree.children @ frags } }
+  end
+
+let load_session ?(graft_upto = max_int) t ~doc_path ~spec =
   check_input_cap t doc_path;
   match X3_xml.Parser.parse_file_with_dtd doc_path with
   | Error e ->
       fail "bad_document" "%s" (Format.asprintf "%a" X3_xml.Parser.pp_error e)
   | Ok (doc, _dtd) ->
+      let doc = graft_fragments t doc ~doc_path ~upto:graft_upto in
       let store = X3_xdb.Store.of_document doc in
       let prepared = Engine.prepare ~pool:(make_pool ()) ~store spec in
       Metrics.inc t.m_docs_loaded;
@@ -295,6 +419,8 @@ let acquire_session t ~skey ~doc_path ~query ~spec =
       de_query = query;
       de_doc_path = doc_path;
       de_views = [];
+      (* every durable fragment was just grafted into the document *)
+      de_wal_lsn = doc_high_water t.wal_frags doc_path;
     }
   in
   match Cuboid_cache.find t.cache dkey with
@@ -510,6 +636,134 @@ let handle_cube t ~query ~doc ~algorithm ~format ~no_cache ~deadline_ms
               Metrics.observe t.m_lat_compute seconds;
               Protocol.Cube_ok { payload; provenance; seconds; partial }))
 
+(* --- ingest -------------------------------------------------------------- *)
+
+(* A session whose delta could not be proven sound is flushed: its next
+   request rebuilds it cold from the grafted document, which is always
+   exact. The typed reason lands on a per-reason counter and stderr. *)
+let ingest_fallback t d reason message =
+  Metrics.inc t.m_ingest_fallbacks;
+  Metrics.inc (Metrics.counter t.registry ("serve.ingest.fallbacks." ^ reason));
+  Printf.eprintf
+    "x3 serve: ingest fallback (%s) for %s: %s; session flushed for cold \
+     rebuild\n\
+     %!"
+    reason d.de_doc_path message;
+  (* the eviction hook takes the views down with the document *)
+  Cuboid_cache.remove t.cache (doc_key d.de_key)
+
+(* Re-book a patched document and its views: the witness table and every
+   patched view grew, and the cache account must stay honest, so the
+   entries are removed and re-inserted at their new costs. An insert may
+   refuse (budget) — the entry degrades to uncached, never an error. *)
+let rebook_entry t d views =
+  List.iter (fun (vk, _) -> Cuboid_cache.remove t.cache vk) views;
+  d.de_views <- [];
+  Cuboid_cache.remove t.cache (doc_key d.de_key);
+  let bytes = Engine.Session.table_bytes d.de_session in
+  if Cuboid_cache.insert t.cache ~key:(doc_key d.de_key) ~bytes (Doc d) then
+    List.iter
+      (fun (vk, v) ->
+        if
+          Cuboid_cache.insert t.cache ~key:vk
+            ~bytes:(Materialized.approx_bytes v) (View v)
+        then d.de_views <- vk :: d.de_views)
+      views
+
+(* Fold one durable fragment into one resident session: stage it against
+   the fragment alone, append to the witness table, patch every cached
+   view cell-by-cell. Runs under the compute lock. *)
+let patch_entry t d ~lsn ~fragment =
+  if lsn <= d.de_wal_lsn then `Patched 0 (* already folded in *)
+  else begin
+    let session = d.de_session in
+    let spec = Engine.spec_of (Engine.Session.prepared session) in
+    match
+      Engine.stage_fragment spec ~fragment
+        ~fact_id:(Engine.synthetic_fact_id ~lsn)
+    with
+    | Engine.Not_a_fact ->
+        d.de_wal_lsn <- lsn;
+        `Patched 0
+    | Engine.Unsupported reason ->
+        ingest_fallback t d "fragment_unsupported" reason;
+        `Fallback
+    | Engine.Staged staged -> (
+        let views =
+          List.filter_map
+            (fun vk ->
+              match Cuboid_cache.find t.cache vk with
+              | Some (View v) -> Some (vk, v)
+              | Some (Doc _) | None -> None)
+            d.de_views
+        in
+        match
+          Engine.Session.apply_delta session staged ~views:(List.map snd views)
+        with
+        | Error fb ->
+            ingest_fallback t d
+              (Engine.fallback_reason_name fb)
+              (Format.asprintf "%a" Engine.pp_fallback fb);
+            `Fallback
+        | Ok (_rows, patched) ->
+            d.de_wal_lsn <- lsn;
+            rebook_entry t d views;
+            `Patched patched)
+  end
+
+let handle_ingest t ~doc ~fragment =
+  let frag_el =
+    match X3_xml.Parser.parse fragment with
+    | Ok d -> d.Tree.root
+    | Error e ->
+        (* refused before the WAL sees it: a malformed fragment must not
+           become a durable record every restart re-reports *)
+        fail "bad_fragment" "%s" (Format.asprintf "%a" X3_xml.Parser.pp_error e)
+  in
+  locked t.compute_lock (fun () ->
+      if not (Atomic.get t.running) then
+        fail "shutting_down" "server is draining";
+      let wal =
+        match t.wal with
+        | Some w -> w
+        | None -> fail "no_wal" "daemon started without --wal; ingest disabled"
+      in
+      (* Durability first: the fragment is logged and fsynced before any
+         in-memory state changes, so a crash at any later point replays
+         it from the log. *)
+      let lsn =
+        try
+          let lsn =
+            Wal.append wal (encode_ingest_payload ~doc_path:doc ~fragment)
+          in
+          Wal.commit wal;
+          lsn
+        with e ->
+          fail "io_fault" "ingest WAL append failed: %s" (Printexc.to_string e)
+      in
+      Metrics.inc t.m_ingests;
+      record_frag t.wal_frags ~doc_path:doc ~lsn frag_el;
+      let sessions = ref 0 and cells = ref 0 and fallbacks = ref 0 in
+      List.iter
+        (fun (_key, value, _bytes) ->
+          match value with
+          | Doc d when String.equal d.de_doc_path doc -> (
+              match patch_entry t d ~lsn ~fragment:frag_el with
+              | `Patched n ->
+                  incr sessions;
+                  cells := !cells + n
+              | `Fallback -> incr fallbacks)
+          | Doc _ | View _ -> ())
+        (Cuboid_cache.snapshot t.cache);
+      Metrics.inc ~by:!cells t.m_ingest_cells;
+      Protocol.Ingest_ok
+        {
+          lsn;
+          sessions = !sessions;
+          cells = !cells;
+          fallbacks = !fallbacks;
+        })
+
 (* --- warm restart -------------------------------------------------------- *)
 
 (* Persist the cache index + views at drained shutdown. Runs under the
@@ -545,6 +799,7 @@ let persist_snapshot t =
                         Warm_store.ws_query = d.de_query;
                         ws_doc_path = d.de_doc_path;
                         ws_digest = digest;
+                        ws_wal_lsn = d.de_wal_lsn;
                         ws_views = views;
                       })
               docs
@@ -556,11 +811,25 @@ let persist_snapshot t =
               Printf.eprintf "x3 serve: cache snapshot not saved: %s\n%!" msg)
 
 (* Restore at startup: verify-on-load, then per document re-compile the
-   query, re-check the document digest, re-parse, and re-intern each
-   view against the fresh table. Any failure — checksum, digest drift,
-   missing file, unknown group values — is a cold start for that
-   document (or the whole cache), reported to stderr and the
-   restored_docs/restored_views counters, never an error. *)
+   query, re-check the document digest, re-parse with the WAL fragments
+   up to the snapshot's LSN grafted in, re-intern each view against the
+   fresh table, and replay any WAL records past the snapshot's high
+   water on top. Any failure — checksum, digest drift, missing file,
+   unknown group values, an unreplayable fragment — is a cold start for
+   that document (or the whole cache), never an error. Each fallback
+   records {e why} on a per-reason counter
+   ([serve.cache.restore_failures.<reason>]) and one stderr line, so a
+   fleet of daemons that quietly stopped restoring is diagnosable. *)
+exception Restore_failure of string * string (* reason slug, detail *)
+
+let restore_fail reason fmt =
+  Printf.ksprintf (fun detail -> raise (Restore_failure (reason, detail))) fmt
+
+let note_restore_failure t ~what (reason, detail) =
+  Metrics.inc
+    (Metrics.counter t.registry ("serve.cache.restore_failures." ^ reason));
+  Printf.eprintf "x3 serve: cold start for %s (%s): %s\n%!" what reason detail
+
 let restore_snapshot t =
   match t.cfg.snapshot_path with
   | None -> ()
@@ -568,23 +837,38 @@ let restore_snapshot t =
       if Sys.file_exists path then begin
         match Warm_store.load ~path with
         | Error msg ->
-            Printf.eprintf "x3 serve: cold start (snapshot rejected): %s\n%!"
-              msg
+            note_restore_failure t ~what:"cache" ("snapshot_corrupt", msg)
         | Ok docs ->
             List.iter
               (fun ds ->
                 let doc_path = ds.Warm_store.ws_doc_path in
                 let query = ds.Warm_store.ws_query in
                 match
-                  let digest = Digest.file doc_path in
-                  if digest <> ds.Warm_store.ws_digest then
-                    failwith "document bytes changed since snapshot";
+                  (match Digest.file doc_path with
+                  | digest ->
+                      if digest <> ds.Warm_store.ws_digest then
+                        restore_fail "digest_mismatch"
+                          "document bytes changed since snapshot"
+                  | exception e ->
+                      restore_fail "digest_mismatch" "cannot digest %s: %s"
+                        doc_path (Printexc.to_string e));
                   let spec =
                     match X3_ql.Compile.parse_and_compile query with
                     | Ok c -> c.X3_ql.Compile.spec
-                    | Error msg -> failwith msg
+                    | Error msg -> restore_fail "recompile_failed" "%s" msg
                   in
-                  let session = load_session t ~doc_path ~spec in
+                  (* Facts up to the snapshot's high water are grafted into
+                     the parsed document (they get real node ids, exactly
+                     as at save time); later WAL records are replayed on
+                     top with synthetic ids, so every fact lands in the
+                     table exactly once. *)
+                  let session =
+                    try
+                      load_session t ~doc_path ~spec
+                        ~graft_upto:ds.Warm_store.ws_wal_lsn
+                    with Reply (Protocol.Failed { message; _ }) ->
+                      restore_fail "doc_load_failed" "%s" message
+                  in
                   let skey = session_key ~doc_path ~query in
                   let entry =
                     {
@@ -592,42 +876,73 @@ let restore_snapshot t =
                       de_session = session;
                       de_query = query;
                       de_doc_path = doc_path;
+                      de_wal_lsn = ds.Warm_store.ws_wal_lsn;
                       de_views = [];
                     }
                   in
+                  let ctx = Engine.Session.context session in
+                  let views =
+                    List.map
+                      (fun records ->
+                        match Materialized.of_records ctx records with
+                        | Error msg ->
+                            restore_fail "view_decode_failed" "%s" msg
+                        | Ok v -> v)
+                      ds.Warm_store.ws_views
+                  in
+                  (* Replay ingests the snapshot never saw. *)
+                  List.iter
+                    (fun (lsn, fragment) ->
+                      if lsn > entry.de_wal_lsn then begin
+                        (match
+                           Engine.stage_fragment spec ~fragment
+                             ~fact_id:(Engine.synthetic_fact_id ~lsn)
+                         with
+                        | Engine.Not_a_fact -> ()
+                        | Engine.Unsupported reason ->
+                            restore_fail "replay_failed" "lsn %d: %s" lsn
+                              reason
+                        | Engine.Staged staged -> (
+                            match
+                              Engine.Session.apply_delta session staged ~views
+                            with
+                            | Error fb ->
+                                restore_fail "replay_failed" "lsn %d: %s" lsn
+                                  (Format.asprintf "%a" Engine.pp_fallback fb)
+                            | Ok _ -> ()));
+                        entry.de_wal_lsn <- lsn
+                      end)
+                    (List.rev (doc_frags t.wal_frags doc_path));
                   let bytes = Engine.Session.table_bytes session in
                   if
                     Cuboid_cache.insert t.cache ~key:(doc_key skey) ~bytes
                       (Doc entry)
                   then begin
                     Metrics.inc t.m_restored_docs;
-                    let ctx = Engine.Session.context session in
                     List.iter
-                      (fun records ->
-                        match Materialized.of_records ctx records with
-                        | Error msg -> failwith msg
-                        | Ok v ->
-                            let vk = view_key skey (Materialized.cuboid_id v) in
-                            let vbytes = Materialized.approx_bytes v in
-                            if Cuboid_cache.insert t.cache ~key:vk ~bytes:vbytes (View v)
-                            then begin
-                              entry.de_views <- vk :: entry.de_views;
-                              Metrics.inc t.m_restored_views
-                            end)
-                      ds.Warm_store.ws_views
+                      (fun v ->
+                        let vk = view_key skey (Materialized.cuboid_id v) in
+                        let vbytes = Materialized.approx_bytes v in
+                        if
+                          Cuboid_cache.insert t.cache ~key:vk ~bytes:vbytes
+                            (View v)
+                        then begin
+                          entry.de_views <- vk :: entry.de_views;
+                          Metrics.inc t.m_restored_views
+                        end)
+                      views
                   end
                 with
                 | () -> ()
-                | exception e ->
-                    (* Drop whatever half of this document made it in. *)
+                | exception Restore_failure (reason, detail) ->
                     Cuboid_cache.remove t.cache
                       (doc_key (session_key ~doc_path ~query));
-                    Printf.eprintf "x3 serve: cold start for %s: %s\n%!"
-                      doc_path
-                      (match e with
-                      | Failure msg -> msg
-                      | Reply (Protocol.Failed { message; _ }) -> message
-                      | e -> Printexc.to_string e))
+                    note_restore_failure t ~what:doc_path (reason, detail)
+                | exception e ->
+                    Cuboid_cache.remove t.cache
+                      (doc_key (session_key ~doc_path ~query));
+                    note_restore_failure t ~what:doc_path
+                      ("doc_load_failed", Printexc.to_string e))
               docs
       end
 
@@ -647,6 +962,8 @@ let handle_request t = function
         handle_cube t ~query ~doc ~algorithm ~format ~no_cache ~deadline_ms
           ~retries
       with Reply r -> r)
+  | Protocol.Ingest { doc; fragment } -> (
+      try handle_ingest t ~doc ~fragment with Reply r -> r)
 
 (* --- the accept loop ----------------------------------------------------- *)
 
@@ -851,6 +1168,7 @@ let run t =
     stop t;
     drain t;
     persist_snapshot t;
+    Option.iter Wal.close t.wal;
     match t.cfg.address with
     | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
     | Tcp _ -> ()

@@ -50,6 +50,12 @@ type config = {
       (** where the drained daemon persists its cache for warm restart;
           [None] = no snapshot. Corrupt/stale snapshots cold-start,
           never fail. *)
+  wal_path : string option;
+      (** where ingested fragments are durably logged
+          ({!X3_storage.Wal}); [None] disables the [ingest] verb. On
+          startup the log is recovered (torn tail truncated) and its
+          fragments are grafted into every later document load, so an
+          ingest survives any crash after its [Ingest_ok]. *)
   fault : Net_fault.t option;
       (** deterministic socket-fault plan installed on every accepted
           connection's reads/writes and on accept itself — tests only *)
@@ -58,7 +64,8 @@ type config = {
 val default_config : address -> config
 (** 64 MiB cache, 4 in flight, 16 waiting, no admission timeout,
     1 worker, no input cap, {!Protocol.default_max_frame_bytes},
-    30 s io deadline, 5 s drain deadline, no snapshot, no faults. *)
+    30 s io deadline, 5 s drain deadline, no snapshot, no WAL, no
+    faults. *)
 
 type t
 

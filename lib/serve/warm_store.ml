@@ -24,6 +24,7 @@ type doc_snapshot = {
   ws_query : string;
   ws_doc_path : string;
   ws_digest : string;
+  ws_wal_lsn : int;
   ws_views : string list list;
 }
 
@@ -59,15 +60,31 @@ let doc_record d =
   add_lstring buf d.ws_query;
   add_lstring buf d.ws_doc_path;
   add_lstring buf d.ws_digest;
+  (* trailing 8-byte LE WAL high-water: the LSN up to which this
+     document's ingested fragments are already folded into the views *)
+  for shift = 0 to 7 do
+    Buffer.add_char buf (Char.chr ((d.ws_wal_lsn lsr (8 * shift)) land 0xFF))
+  done;
   Buffer.contents buf
 
 let parse_doc_record record =
   let query, pos = read_lstring record 1 in
   let doc_path, pos = read_lstring record pos in
   let digest, pos = read_lstring record pos in
-  if pos <> String.length record then failwith "warm snapshot: doc trailer"
-  else { ws_query = query; ws_doc_path = doc_path; ws_digest = digest;
-         ws_views = [] }
+  let wal_lsn =
+    (* pre-WAL snapshots end at the digest; read them as LSN 0 *)
+    if pos = String.length record then 0
+    else if pos + 8 = String.length record then begin
+      let v = ref 0 in
+      for shift = 7 downto 0 do
+        v := (!v lsl 8) lor Char.code record.[pos + shift]
+      done;
+      !v
+    end
+    else failwith "warm snapshot: doc trailer"
+  in
+  { ws_query = query; ws_doc_path = doc_path; ws_digest = digest;
+    ws_wal_lsn = wal_lsn; ws_views = [] }
 
 let encode docs =
   ("W" ^ magic)

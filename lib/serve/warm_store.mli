@@ -17,6 +17,10 @@ type doc_snapshot = {
   ws_query : string;  (** X^3 query text, compiled again on restore *)
   ws_doc_path : string;  (** resolved document path at save time *)
   ws_digest : string;  (** [Digest.file ws_doc_path] at save time *)
+  ws_wal_lsn : int;
+      (** ingest-WAL high-water folded into the views at save time; the
+          restorer replays WAL records with greater LSNs on top
+          (pre-WAL snapshot files decode as 0) *)
   ws_views : string list list;
       (** per cached view, its {!X3_core.Materialized.to_records}
           stream, in cache LRU order *)

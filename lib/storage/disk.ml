@@ -356,3 +356,30 @@ let close t =
         Unix.close fd;
         if temp then try Sys.remove path with Sys_error _ -> ()
   end
+
+(* --- directory durability ----------------------------------------------- *)
+
+(* A rename is only durable once the parent directory's entry table is on
+   media; fsyncing the renamed file alone leaves the {e name} at the mercy
+   of power loss. The hook is the fault-injection seam: tests install one
+   to observe or fail the directory sync (it runs before the syscall and
+   its exceptions propagate). *)
+
+let dir_sync_hook : (string -> unit) option ref = ref None
+let set_dir_sync_hook h = dir_sync_hook := h
+let dir_syncs = ref 0
+
+let sync_dir path =
+  (match !dir_sync_hook with None -> () | Some f -> f path);
+  incr dir_syncs;
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* Some filesystems refuse fsync on a directory fd (EINVAL);
+             there is nothing further to do there. *)
+          try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+let dir_sync_count () = !dir_syncs

@@ -123,3 +123,23 @@ val sync : t -> unit
 
 val stats : t -> Stats.t
 val close : t -> unit
+
+(** {1 Directory durability}
+
+    A rename (or file creation) is only durable once the parent
+    directory itself is fsynced — the file's own fsync does not cover
+    its {e name}. *)
+
+val sync_dir : string -> unit
+(** Open [path] (a directory) read-only and fsync it; soft-fails on
+    filesystems that refuse directory fsync. Consults the
+    {!set_dir_sync_hook} seam first. *)
+
+val set_dir_sync_hook : (string -> unit) option -> unit
+(** Install (or clear, with [None]) the fault-injection seam: the hook
+    runs before each directory fsync and its exceptions propagate to the
+    caller of {!sync_dir}. *)
+
+val dir_sync_count : unit -> int
+(** Process-wide count of {!sync_dir} calls — what the fault matrix
+    asserts against. *)

@@ -313,7 +313,10 @@ let save_file ?page_size path records =
     Fun.protect
       ~finally:(fun () -> Disk.close disk)
       (fun () -> commit (create (Buffer_pool.create disk)) records);
-    Sys.rename tmp path
+    Sys.rename tmp path;
+    (* The rename is only durable once the parent directory's entry table
+       is on media — fsyncing the file alone does not cover its name. *)
+    Disk.sync_dir (Filename.dirname path)
   with
   | () -> Ok ()
   | exception e ->

@@ -1477,6 +1477,202 @@ let test_governor_pool_drained () =
   Alcotest.(check bool) "the pool saw real traffic" true
     (Governor.peak gov > 0)
 
+(* --- ingest deltas ------------------------------------------------------- *)
+
+module Tree = X3_xml.Tree
+
+(* Cold reference for an ingest: the grafted document rebuilt from
+   scratch. The delta path must be byte-identical to it. *)
+let graft doc frags =
+  let root = doc.Tree.root in
+  {
+    doc with
+    Tree.root =
+      {
+        root with
+        Tree.children =
+          root.Tree.children @ List.map (fun el -> Tree.Element el) frags;
+      };
+  }
+
+let frag_of_source src = (parse_ok src).Tree.root
+
+let delta_vs_cold ~name ~doc ~frags ~spec =
+  (* Delta path: a session over the base document, every cuboid
+     materialised, each fragment staged and applied cell-by-cell. *)
+  let session =
+    Engine.Session.create
+      (Engine.prepare ~pool:(small_pool ())
+         ~store:(X3_xdb.Store.of_document doc)
+         spec)
+  in
+  let lattice = Engine.lattice (Engine.Session.prepared session) in
+  let views =
+    List.init (X3_lattice.Lattice.size lattice) (fun c ->
+        Engine.Session.materialize session ~cuboid:c)
+  in
+  List.iteri
+    (fun i fragment ->
+      match
+        Engine.stage_fragment spec ~fragment
+          ~fact_id:(Engine.synthetic_fact_id ~lsn:(i + 1))
+      with
+      | Engine.Not_a_fact ->
+          Alcotest.failf "%s: fragment %d is not a fact" name i
+      | Engine.Unsupported reason ->
+          Alcotest.failf "%s: fragment %d unsupported: %s" name i reason
+      | Engine.Staged staged -> (
+          match Engine.Session.apply_delta session staged ~views with
+          | Ok _ -> ()
+          | Error fb ->
+              Alcotest.failf "%s: fragment %d refused: %s" name i
+                (Engine.fallback_reason_name fb)))
+    frags;
+  let delta_csv =
+    Export.csv_string ~func:spec.Engine.func
+      (Engine.Session.result_of_views session views)
+  in
+  (* Cold reference: a full rebuild of the grafted document, across the
+     four algorithm families and both worker counts. *)
+  let cold_prepared =
+    Engine.prepare ~pool:(small_pool ())
+      ~store:(X3_xdb.Store.of_document (graft doc frags))
+      spec
+  in
+  List.iter
+    (fun alg ->
+      List.iter
+        (fun workers ->
+          let cold, _ = Engine.run ~workers cold_prepared alg in
+          Alcotest.(check string)
+            (Printf.sprintf "%s: delta == cold rebuild (%s, %d workers)" name
+               (Engine.algorithm_to_string alg)
+               workers)
+            (Export.csv_string ~func:spec.Engine.func cold)
+            delta_csv)
+        [ 1; 2 ])
+    Engine.[ Naive; Counter; Buc; Td ];
+  (* The refreshed properties must equal a cold re-observe — they gate
+     future rollup decisions, so drift here silently unsounds the cache. *)
+  let report props =
+    Format.asprintf "%a" (X3_lattice.Properties.pp_report lattice) props
+  in
+  Alcotest.(check string)
+    (name ^ ": restricted properties == cold re-observe")
+    (report (Engine.Session.props (Engine.Session.create cold_prepared)))
+    (report (Engine.Session.props session))
+
+let pub5 =
+  {|<publication id="5">
+      <author id="a1"><name>John</name></author>
+      <publisher id="p2"/>
+      <year>2003</year>
+    </publication>|}
+
+(* Year 2006 is a fresh dictionary value that still fits the frozen
+   packed-key width (3 committed years, 2 bits): the delta path must
+   dictionary-code it in place. *)
+let pub6 =
+  {|<publication id="6">
+      <author id="a2"><name>Jane</name></author>
+      <publisher id="p1"/>
+      <year>2006</year>
+    </publication>|}
+
+let test_delta_identity_figure1 () =
+  delta_vs_cold ~name:"figure-1" ~doc:(figure1 ())
+    ~frags:[ frag_of_source pub5; frag_of_source pub6 ]
+    ~spec:(Engine.count_spec ~fact_path ~axes:(query1_axes ()))
+
+let test_delta_identity_treebank () =
+  (* coverage and disjointness both off: repeats, missing bindings and
+     nested dimensions all flow through the delta path. *)
+  let config =
+    {
+      X3_workload.Treebank.default with
+      num_trees = 120;
+      axes = 3;
+      coverage = false;
+      disjoint = false;
+      seed = 11;
+    }
+  in
+  let doc = X3_workload.Treebank.generate config in
+  let frags =
+    List.filteri
+      (fun i _ -> i < 6)
+      (List.filter_map Tree.element_of_node doc.Tree.root.Tree.children)
+  in
+  Alcotest.(check int) "six fragments" 6 (List.length frags);
+  delta_vs_cold ~name:"treebank" ~doc ~frags
+    ~spec:(X3_workload.Treebank.spec config)
+
+let test_delta_layout_overflow_refused () =
+  let spec = Engine.count_spec ~fact_path ~axes:(query1_axes ()) in
+  let session =
+    Engine.Session.create
+      (Engine.prepare ~pool:(small_pool ()) ~store:(figure1_store ()) spec)
+  in
+  let prepared = Engine.Session.prepared session in
+  let rows_before = Witness.row_count (Engine.table prepared) in
+  let view =
+    Engine.Session.materialize session
+      ~cuboid:(X3_lattice.Lattice.rigid_id (Engine.lattice prepared))
+  in
+  let cells_before = Materialized.group_count view in
+  (* Four committed author names fill 2 bits exactly: a fifth cannot be
+     coded into the frozen layout, so the delta must refuse — and leave
+     everything untouched for the caller's cold rebuild. *)
+  let frag =
+    frag_of_source
+      {|<publication id="7">
+          <author id="a9"><name>Zoe</name></author>
+          <publisher id="p1"/>
+          <year>2003</year>
+        </publication>|}
+  in
+  match
+    Engine.stage_fragment spec ~fragment:frag
+      ~fact_id:(Engine.synthetic_fact_id ~lsn:1)
+  with
+  | Engine.Staged staged -> (
+      match Engine.Session.apply_delta session staged ~views:[ view ] with
+      | Error (Engine.Layout_overflow _) ->
+          Alcotest.(check int) "table untouched by the refused delta"
+            rows_before
+            (Witness.row_count (Engine.table prepared));
+          Alcotest.(check int) "view untouched by the refused delta"
+            cells_before
+            (Materialized.group_count view)
+      | Ok _ -> Alcotest.fail "a full author dictionary cannot be sound"
+      | Error fb ->
+          Alcotest.failf "wrong fallback: %s" (Engine.fallback_reason_name fb))
+  | _ -> Alcotest.fail "fragment should stage"
+
+let test_stage_fragment_classification () =
+  let spec = Engine.count_spec ~fact_path ~axes:(query1_axes ()) in
+  (match
+     Engine.stage_fragment spec
+       ~fragment:
+         (frag_of_source {|<author id="a9"><name>Zoe</name></author>|})
+       ~fact_id:1
+   with
+  | Engine.Not_a_fact -> ()
+  | _ -> Alcotest.fail "a non-fact fragment must classify Not_a_fact");
+  match
+    Engine.stage_fragment spec
+      ~fragment:
+        (frag_of_source
+           {|<publication id="8">
+               <publication id="9"><year>2003</year></publication>
+             </publication>|})
+      ~fact_id:1
+  with
+  | Engine.Unsupported _ -> ()
+  | _ ->
+      Alcotest.fail
+        "a fragment nesting further facts must be refused (descendant path)"
+
 let () =
   let qcheck = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "x3_core"
@@ -1558,6 +1754,17 @@ let () =
             test_materialized_rollup_refuses_uncovered;
           Alcotest.test_case "rollup rejects non-relaxation" `Quick
             test_materialized_rollup_rejects_non_relaxation;
+        ] );
+      ( "ingest deltas",
+        [
+          Alcotest.test_case "figure-1: delta == cold rebuild, 4 families x 2 \
+                              worker counts" `Quick test_delta_identity_figure1;
+          Alcotest.test_case "treebank: delta == cold rebuild, 4 families x 2 \
+                              worker counts" `Quick test_delta_identity_treebank;
+          Alcotest.test_case "layout overflow refused, nothing mutated" `Quick
+            test_delta_layout_overflow_refused;
+          Alcotest.test_case "fragment classification" `Quick
+            test_stage_fragment_classification;
         ] );
       ( "export",
         [

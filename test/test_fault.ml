@@ -540,6 +540,194 @@ let test_workload_crash_sweep () =
     Disk.close disk
   done
 
+(* --- crash-at-every-write: the ingest WAL -------------------------------- *)
+
+(* Two committed batches with payloads sized to span pages; the sweep
+   crashes the second batch's commit at every write boundary. The log
+   invariant is prefix durability: recovery yields a dense-LSN prefix of
+   everything appended that contains every acknowledged commit in full —
+   and if the crashed commit reported success, all of it. (A crashed
+   commit's durable prefix of records is legal: the client never got its
+   acknowledgement, and replay-by-LSN makes re-ingesting it idempotent.) *)
+let wal_batch_a = [ "alpha"; String.make 300 'b' ]
+let wal_batch_b = [ "gamma"; String.make 400 'd'; "epsilon" ]
+
+let wal_payloads t = List.map (fun r -> r.Wal.payload) (Wal.records t)
+let wal_lsns t = List.map (fun r -> r.Wal.lsn) (Wal.records t)
+
+let append_batch wal payloads =
+  List.iter (fun p -> ignore (Wal.append wal p : int)) payloads;
+  Wal.commit wal
+
+let rec is_prefix xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | x :: xs', y :: ys' -> x = y && is_prefix xs' ys'
+  | _ :: _, [] -> false
+
+let wal_writes_of_batch mk_disk =
+  let disk, path = mk_disk () in
+  let wal = Wal.open_disk disk in
+  append_batch wal wal_batch_a;
+  let counter = Fault.combine [] in
+  Fault.install counter disk;
+  append_batch wal wal_batch_b;
+  Fault.clear disk;
+  Disk.close disk;
+  Option.iter (fun p -> if Sys.file_exists p then Sys.remove p) path;
+  Fault.writes_seen counter
+
+let wal_crash_sweep mk_disk ~torn () =
+  let n_writes = wal_writes_of_batch mk_disk in
+  Alcotest.(check bool) "commit performs several writes" true (n_writes > 1);
+  let all = wal_batch_a @ wal_batch_b in
+  for crash_at = 0 to n_writes + 1 do
+    let disk, path = mk_disk () in
+    let wal = Wal.open_disk disk in
+    append_batch wal wal_batch_a;
+    Fault.install (Fault.crash_after_writes ~torn crash_at) disk;
+    let committed =
+      match append_batch wal wal_batch_b with
+      | () -> true
+      | exception Fault.Crashed -> false
+    in
+    Fault.clear disk;
+    (* Restart: recover the surviving media image in place. *)
+    let wal' = Wal.open_disk disk in
+    let got = wal_payloads wal' in
+    if committed && got <> all then
+      Alcotest.failf "crash at write %d: acknowledged batch lost" crash_at;
+    if not (is_prefix wal_batch_a got) then
+      Alcotest.failf "crash at write %d: acknowledged records lost" crash_at;
+    if not (is_prefix got all) then
+      Alcotest.failf "crash at write %d: recovered a third state" crash_at;
+    Alcotest.(check (list int))
+      (Printf.sprintf "dense LSNs from 1 (crash at %d)" crash_at)
+      (List.init (List.length got) (fun i -> i + 1))
+      (wal_lsns wal');
+    (* The cleaned log must accept appends without resurrecting any stale
+       tail bytes the dead batch left behind the truncation point. *)
+    ignore (Wal.append wal' "post-crash" : int);
+    Wal.commit wal';
+    (match Wal.rescan wal' with
+    | Error msg ->
+        Alcotest.failf "crash at write %d: dirty after recovery+append: %s"
+          crash_at msg
+    | Ok recs ->
+        Alcotest.(check (list string))
+          (Printf.sprintf "append after recovery (crash at %d)" crash_at)
+          (got @ [ "post-crash" ])
+          (List.map (fun r -> r.Wal.payload) recs));
+    (* For file disks, also play a real restart: reopen the image from
+       scratch with no volatile state at all. *)
+    (match path with
+    | None -> Disk.close disk
+    | Some p ->
+        Disk.close disk;
+        let wal2 = Wal.open_file ~page_size p in
+        Alcotest.(check (list string))
+          (Printf.sprintf "reopened image agrees (crash at %d)" crash_at)
+          (got @ [ "post-crash" ])
+          (wal_payloads wal2);
+        Alcotest.(check int)
+          (Printf.sprintf "clean reopen drops nothing (crash at %d)" crash_at)
+          0 (Wal.dropped_bytes wal2);
+        Wal.close wal2;
+        if Sys.file_exists p then Sys.remove p)
+  done
+
+let test_wal_failed_commit_retries () =
+  let disk = Disk.in_memory ~page_size () in
+  let wal = Wal.open_disk disk in
+  append_batch wal wal_batch_a;
+  ignore (Wal.append wal "retry-me" : int);
+  Fault.install (Fault.fail_nth_sync 1) disk;
+  (match Wal.commit wal with
+  | () -> Alcotest.fail "sync fault did not fire"
+  | exception Fault.Injected { cls = Fault.Sync_error; _ } -> ());
+  Fault.clear disk;
+  Alcotest.(check int) "durable lsn unchanged by the failed commit" 2
+    (Wal.durable_lsn wal);
+  (* The batch stayed pending: the retried commit rewrites the same bytes
+     at the same offset and the stream stays dense. *)
+  Wal.commit wal;
+  Alcotest.(check int) "retried commit lands" 3 (Wal.durable_lsn wal);
+  (match Wal.rescan wal with
+  | Ok recs ->
+      Alcotest.(check (list string))
+        "stream parses densely after the retry"
+        (wal_batch_a @ [ "retry-me" ])
+        (List.map (fun r -> r.Wal.payload) recs)
+  | Error msg -> Alcotest.fail msg);
+  Disk.close disk
+
+let test_wal_replay_idempotent () =
+  let disk = Disk.in_memory ~page_size () in
+  let wal = Wal.open_disk disk in
+  append_batch wal wal_batch_a;
+  append_batch wal wal_batch_b;
+  let lsns after =
+    let seen = ref [] in
+    Wal.replay wal ~after (fun r -> seen := r.Wal.lsn :: !seen);
+    List.rev !seen
+  in
+  Alcotest.(check (list int)) "replay from zero sees everything" [ 1; 2; 3; 4; 5 ]
+    (lsns 0);
+  Alcotest.(check (list int)) "replay is deterministic" (lsns 2) (lsns 2);
+  Alcotest.(check (list int)) "replay skips the applied prefix" [ 3; 4; 5 ]
+    (lsns 2);
+  Alcotest.(check (list int)) "replay past the high water reapplies nothing" []
+    (lsns (Wal.durable_lsn wal));
+  Disk.close disk
+
+(* Satellite: [Snapshot_store.save_file]'s tmp+rename is only durable
+   once the parent directory's entry table is on media, so the save must
+   fsync the directory — and a directory-fsync failure must degrade, not
+   tear: the file on disk is the old or the new snapshot, never a mix. *)
+let test_save_file_syncs_directory () =
+  let dir = Filename.temp_file "x3_dirsync" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "snap.pages" in
+  let cleanup () =
+    List.iter
+      (fun p -> if Sys.file_exists p then Sys.remove p)
+      [ path; path ^ ".tmp" ];
+    (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+    Disk.set_dir_sync_hook None
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      let synced = ref [] in
+      Disk.set_dir_sync_hook (Some (fun d -> synced := d :: !synced));
+      (match Snapshot_store.save_file path records_a with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg);
+      Alcotest.(check bool) "parent directory fsynced after the rename" true
+        (List.mem dir !synced);
+      (* Fault matrix: the directory fsync fails after the rename. The
+         caller sees a typed Error (the name may not survive a power
+         cut), and whatever is on disk still verifies. *)
+      Disk.set_dir_sync_hook
+        (Some (fun d -> raise (Unix.Unix_error (Unix.EIO, "fsync", d))));
+      (match Snapshot_store.save_file path records_b with
+      | Ok () -> Alcotest.fail "dir-fsync fault did not surface"
+      | Error _ -> ());
+      (match Snapshot_store.load_file path with
+      | Error msg -> Alcotest.failf "snapshot torn by dir-fsync fault: %s" msg
+      | Ok got ->
+          Alcotest.(check bool) "old or new snapshot, never a third state"
+            true
+            (got = records_a || got = records_b));
+      (* And the retry with a healthy directory completes the save. *)
+      Disk.set_dir_sync_hook None;
+      (match Snapshot_store.save_file path records_b with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "retried save failed: %s" msg);
+      match Snapshot_store.load_file path with
+      | Ok got ->
+          Alcotest.(check (list string)) "retried save read back" records_b got
+      | Error msg -> Alcotest.fail msg)
+
 (* --- engine-level degradation ------------------------------------------- *)
 
 let make_prepared backend =
@@ -739,6 +927,23 @@ let () =
             test_legacy_row_snapshot_loads;
           quick "columnar save: crash at every write" `Quick
             test_witness_save_crash_sweep;
+        ] );
+      ( "wal crash safety",
+        [
+          quick "wal commit: crash at every write (memory, dropped)" `Quick
+            (wal_crash_sweep mem_v1 ~torn:false);
+          quick "wal commit: crash at every write (memory, torn)" `Quick
+            (wal_crash_sweep mem_v1 ~torn:true);
+          quick "wal commit: crash at every write (file, dropped)" `Quick
+            (wal_crash_sweep file_v1 ~torn:false);
+          quick "wal commit: crash at every write (file, torn)" `Quick
+            (wal_crash_sweep file_v1 ~torn:true);
+          quick "failed group commit retries the same batch" `Quick
+            test_wal_failed_commit_retries;
+          quick "replay is idempotent by LSN" `Quick
+            test_wal_replay_idempotent;
+          quick "save_file fsyncs the parent directory" `Quick
+            test_save_file_syncs_directory;
         ] );
       ( "engine degradation",
         [

@@ -330,6 +330,130 @@ let test_protocol_rejects_malformed_and_oversized () =
       | Ok Protocol.Pong -> ()
       | Ok _ | Error _ -> Alcotest.fail "daemon wedged after hostile frames")
 
+(* --- ingest: WAL-backed delta maintenance over the wire ------------------ *)
+
+let with_wal f =
+  let path = Filename.temp_file "x3wal" ".wal" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let ingest_exn conn ~doc fragment =
+  match Server.Client.request conn (Protocol.Ingest { doc; fragment }) with
+  | Ok (Protocol.Ingest_ok { lsn; sessions; cells; fallbacks }) ->
+      (lsn, sessions, cells, fallbacks)
+  | Ok (Protocol.Failed { code; message }) ->
+      Alcotest.failf "ingest failed: %s: %s" code message
+  | Ok _ -> Alcotest.fail "unexpected response to ingest"
+  | Error msg -> Alcotest.failf "ingest transport error: %s" msg
+
+let ingest_err conn ~doc fragment =
+  match Server.Client.request conn (Protocol.Ingest { doc; fragment }) with
+  | Ok (Protocol.Failed { code; _ }) -> code
+  | Ok _ -> Alcotest.fail "expected a typed ingest failure"
+  | Error msg -> Alcotest.failf "ingest transport error: %s" msg
+
+(* All axis values (John, p2, 2003) already live in figure 1's
+   dictionaries, so the delta is provably sound in-place. *)
+let pub_fragment =
+  {|<publication id="90"><author id="a9"><name>John</name></author><publisher id="p2"/><year>2003</year></publication>|}
+
+(* A fifth author name: figure 1's name dictionary holds 4 values in
+   2 bits — full — so this must take the typed layout-overflow
+   fallback, not a wrong answer. *)
+let zoe_fragment =
+  {|<publication id="91"><author id="a10"><name>Zoe</name></author><publisher id="p1"/><year>2004</year></publication>|}
+
+let test_ingest_requires_wal () =
+  with_figure1 @@ fun doc_path ->
+  with_server @@ fun h ->
+  with_client h @@ fun conn ->
+  Alcotest.(check string)
+    "typed refusal" "no_wal"
+    (ingest_err conn ~doc:doc_path pub_fragment)
+
+let test_ingest_patches_resident_views () =
+  with_figure1 @@ fun doc_path ->
+  with_wal @@ fun wal ->
+  with_server ~tune:(fun c -> { c with Server.wal_path = Some wal })
+  @@ fun h ->
+  with_client h @@ fun conn ->
+  let before, _ = cube_exn conn ~doc:doc_path figure1_query in
+  let lsn, sessions, cells, fallbacks =
+    ingest_exn conn ~doc:doc_path pub_fragment
+  in
+  Alcotest.(check int) "first lsn" 1 lsn;
+  Alcotest.(check int) "one resident session" 1 sessions;
+  Alcotest.(check int) "no fallbacks" 0 fallbacks;
+  Alcotest.(check bool) "cells patched" true (cells > 0);
+  let after, prov = cube_exn conn ~doc:doc_path figure1_query in
+  Alcotest.(check bool) "payload changed" true (not (String.equal before after));
+  Alcotest.(check bool)
+    "served from patched cache" true
+    (prov.Protocol.p_cached > 0);
+  (* The reference: a cache-free load re-parses the document and grafts
+     the WAL fragments — the patched views must match it byte for byte. *)
+  let reference, _ = cube_exn ~no_cache:true conn ~doc:doc_path figure1_query in
+  Alcotest.(check string) "patched == cold graft" reference after
+
+let test_ingest_survives_restart () =
+  with_figure1 @@ fun doc_path ->
+  with_wal @@ fun wal ->
+  let tune c = { c with Server.wal_path = Some wal } in
+  let before_stop =
+    let h = start_server ~tune () in
+    Fun.protect
+      ~finally:(fun () -> stop_server h)
+      (fun () ->
+        with_client h @@ fun conn ->
+        let _ = cube_exn conn ~doc:doc_path figure1_query in
+        let lsn, _, _, _ = ingest_exn conn ~doc:doc_path pub_fragment in
+        Alcotest.(check int) "lsn" 1 lsn;
+        fst (cube_exn conn ~doc:doc_path figure1_query))
+  in
+  (* A fresh daemon, no snapshot: the WAL alone must carry the ingest. *)
+  with_server ~tune @@ fun h ->
+  with_client h @@ fun conn ->
+  let after_restart, _ = cube_exn conn ~doc:doc_path figure1_query in
+  Alcotest.(check string) "ingest durable across restart" before_stop
+    after_restart;
+  (* And the log keeps growing from where it left off. *)
+  let lsn, _, _, _ = ingest_exn conn ~doc:doc_path pub_fragment in
+  Alcotest.(check int) "lsn continues" 2 lsn
+
+let test_ingest_fallback_flushes_session () =
+  with_figure1 @@ fun doc_path ->
+  with_wal @@ fun wal ->
+  with_server ~tune:(fun c -> { c with Server.wal_path = Some wal })
+  @@ fun h ->
+  with_client h @@ fun conn ->
+  let _ = cube_exn conn ~doc:doc_path figure1_query in
+  let lsn, _, _, fallbacks = ingest_exn conn ~doc:doc_path zoe_fragment in
+  Alcotest.(check int) "durable even on fallback" 1 lsn;
+  Alcotest.(check int) "one session flushed" 1 fallbacks;
+  Alcotest.(check int) "typed fallback counter" 1
+    (stats_metric conn "serve.ingest.fallbacks.layout_overflow");
+  (* The flushed session rebuilds cold — with the fragment grafted — so
+     the answer still matches the cache-free reference. *)
+  let reference, _ = cube_exn ~no_cache:true conn ~doc:doc_path figure1_query in
+  let rebuilt, _ = cube_exn conn ~doc:doc_path figure1_query in
+  Alcotest.(check string) "rebuilt == cold graft" reference rebuilt
+
+let test_ingest_rejects_bad_fragment () =
+  with_figure1 @@ fun doc_path ->
+  with_wal @@ fun wal ->
+  with_server ~tune:(fun c -> { c with Server.wal_path = Some wal })
+  @@ fun h ->
+  with_client h @@ fun conn ->
+  Alcotest.(check string)
+    "typed parse failure" "bad_fragment"
+    (ingest_err conn ~doc:doc_path "<unclosed");
+  (* The malformed fragment was refused before touching the log: the
+     next good ingest still gets the first sequence number. *)
+  let lsn, _, _, _ = ingest_exn conn ~doc:doc_path pub_fragment in
+  Alcotest.(check int) "log untouched by refusal" 1 lsn
+
 let () =
   Alcotest.run "x3 serve"
     [
@@ -347,5 +471,18 @@ let () =
             `Quick test_dead_client_does_not_wedge;
           Alcotest.test_case "malformed and oversized frames are typed errors"
             `Quick test_protocol_rejects_malformed_and_oversized;
+        ] );
+      ( "ingest",
+        [
+          Alcotest.test_case "refused without a WAL" `Quick
+            test_ingest_requires_wal;
+          Alcotest.test_case "patches resident views byte-identically" `Quick
+            test_ingest_patches_resident_views;
+          Alcotest.test_case "survives a daemon restart via WAL replay" `Quick
+            test_ingest_survives_restart;
+          Alcotest.test_case "layout overflow flushes for cold rebuild" `Quick
+            test_ingest_fallback_flushes_session;
+          Alcotest.test_case "malformed fragments never reach the log" `Quick
+            test_ingest_rejects_bad_fragment;
         ] );
     ]

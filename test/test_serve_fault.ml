@@ -744,6 +744,9 @@ let test_corrupt_snapshot_cold_starts () =
       with_server ~tune (fun h2 ->
           Alcotest.(check int) "nothing restored from a corrupt snapshot" 0
             (stats_metric h2 "serve.cache.restored_docs");
+          Alcotest.(check bool) "reason counter names the corruption" true
+            (stats_metric h2 "serve.cache.restore_failures.snapshot_corrupt"
+            >= 1);
           with_client h2 (fun conn ->
               match
                 Server.Client.request ~deadline:30.0 conn
@@ -777,6 +780,8 @@ let test_changed_document_cold_starts () =
       with_server ~tune (fun h2 ->
           Alcotest.(check int) "changed document is not restored" 0
             (stats_metric h2 "serve.cache.restored_docs");
+          Alcotest.(check int) "reason counter names the digest mismatch" 1
+            (stats_metric h2 "serve.cache.restore_failures.digest_mismatch");
           let expected = cold_export ~doc_path ~query:figure1_query in
           with_client h2 (fun conn ->
               match
@@ -788,6 +793,51 @@ let test_changed_document_cold_starts () =
                     expected payload
               | _ -> Alcotest.fail "request after document change failed")))
 
+(* A snapshot whose container verifies but whose per-document content
+   cannot be restored: each failure must land in its own typed
+   [serve.cache.restore_failures.<reason>] counter, cold-start that
+   document, and leave the daemon serving correctly. *)
+let crafted_snapshot_cold_starts ~name ~reason ~ws_query ~tune2 =
+  with_figure1 @@ fun doc_path ->
+  let snap = Filename.temp_file "x3snap" ".bin" in
+  Sys.remove snap;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove snap with Sys_error _ -> ())
+    (fun () ->
+      (match
+         Warm_store.save ~path:snap
+           [
+             {
+               Warm_store.ws_query;
+               ws_doc_path = doc_path;
+               ws_digest = Digest.file doc_path;
+               ws_wal_lsn = 0;
+               ws_views = [];
+             };
+           ]
+       with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "crafted snapshot save: %s" msg);
+      let tune c = tune2 { c with Server.snapshot_path = Some snap } in
+      with_server ~tune (fun h2 ->
+          Alcotest.(check int) (name ^ ": nothing restored") 0
+            (stats_metric h2 "serve.cache.restored_docs");
+          Alcotest.(check int)
+            (name ^ ": typed reason counter")
+            1
+            (stats_metric h2 ("serve.cache.restore_failures." ^ reason))))
+
+let test_recompile_failure_cold_starts () =
+  crafted_snapshot_cold_starts ~name:"recompile" ~reason:"recompile_failed"
+    ~ws_query:"this is not an x3 query" ~tune2:Fun.id
+
+let test_doc_load_failure_cold_starts () =
+  (* The query and digest verify, but the restart's input cap refuses the
+     document itself — the load failure gets its own reason. *)
+  crafted_snapshot_cold_starts ~name:"doc load" ~reason:"doc_load_failed"
+    ~ws_query:figure1_query
+    ~tune2:(fun c -> { c with Server.max_input_bytes = Some 16 })
+
 (* --- warm-store and cache units ------------------------------------------ *)
 
 let test_warm_store_roundtrip_and_rejects_garbage () =
@@ -797,12 +847,14 @@ let test_warm_store_roundtrip_and_rejects_garbage () =
         Warm_store.ws_query = "q1";
         ws_doc_path = "/tmp/a.xml";
         ws_digest = String.make 16 'a';
+        ws_wal_lsn = 0;
         ws_views = [];
       };
       {
         Warm_store.ws_query = "q2 with\nnewlines";
         ws_doc_path = "/tmp/b.xml";
         ws_digest = String.make 16 'b';
+        ws_wal_lsn = 42;
         ws_views = [];
       };
     ]
@@ -815,7 +867,9 @@ let test_warm_store_roundtrip_and_rejects_garbage () =
           Alcotest.(check string) "query" a.Warm_store.ws_query
             b.Warm_store.ws_query;
           Alcotest.(check string) "digest" a.Warm_store.ws_digest
-            b.Warm_store.ws_digest)
+            b.Warm_store.ws_digest;
+          Alcotest.(check int) "wal lsn" a.Warm_store.ws_wal_lsn
+            b.Warm_store.ws_wal_lsn)
         docs round
   | Error msg -> Alcotest.failf "roundtrip failed: %s" msg);
   (match Warm_store.decode [ "not the magic" ] with
@@ -891,5 +945,9 @@ let () =
             `Quick test_corrupt_snapshot_cold_starts;
           Alcotest.test_case "changed document bytes refuse the snapshot"
             `Quick test_changed_document_cold_starts;
+          Alcotest.test_case "recompile failure cold-starts with its reason"
+            `Quick test_recompile_failure_cold_starts;
+          Alcotest.test_case "document load failure cold-starts with its reason"
+            `Quick test_doc_load_failure_cold_starts;
         ] );
     ]
