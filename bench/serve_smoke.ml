@@ -75,6 +75,7 @@ let cube_exn conn ~doc ~no_cache =
            no_cache;
            deadline_ms = None;
            retries = None;
+           request_id = None;
          })
   with
   | Ok (Protocol.Cube_ok { payload; provenance; _ }) -> (payload, provenance)

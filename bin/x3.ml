@@ -683,6 +683,7 @@ let serve_client_cube address ~query ~deadline_ms ~retries =
            no_cache = false;
            deadline_ms;
            retries = None;
+           request_id = None;
          })
   with
   | Error msg ->
@@ -704,7 +705,8 @@ let serve_client_cube address ~query ~deadline_ms ~retries =
 
 let run_serve socket port cache_bytes max_concurrent max_waiting
     admission_timeout workers max_input_bytes max_frame_bytes io_deadline
-    drain_deadline snapshot wal stats shutdown query deadline_ms retries =
+    drain_deadline snapshot wal access_log access_log_max_bytes prom_port
+    slow_ms trace_dir trace_cap stats shutdown query deadline_ms retries =
   let address = serve_address socket port in
   if stats then
     match serve_client_request address Serve_protocol.Stats with
@@ -740,6 +742,18 @@ let run_serve socket port cache_bytes max_concurrent max_waiting
             snapshot_path = snapshot;
             wal_path = wal;
             fault = None;
+            access_log_path = access_log;
+            access_log_max_bytes;
+            prom_port;
+            slow_ms;
+            (* slow-query capture needs somewhere to spool; arming
+               --slow-ms without --trace-dir gets a sensible default *)
+            trace_dir =
+              (match (trace_dir, slow_ms) with
+              | (Some _ as d), _ -> d
+              | None, Some _ -> Some "x3-traces"
+              | None, None -> None);
+            trace_cap;
           }
         in
         let server = or_die (Server.create config) in
@@ -1212,6 +1226,63 @@ let serve_cmd =
              any torn tail) so an acknowledged ingest survives a crash. \
              Without it, ingest is disabled.")
   in
+  let access_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:
+            "Structured JSONL access log: one record per request (ts, \
+             request id, verb, document digest, provenance mix, cells, \
+             bytes, outcome, duration). Written off the hot path through \
+             a bounded queue that drops-with-counter rather than blocks; \
+             rotates once to FILE.1 at the size cap.")
+  in
+  let access_log_max_bytes =
+    Arg.(
+      value
+      & opt int X3_serve.Access_log.default_max_bytes
+      & info [ "access-log-max-bytes" ] ~docv:"BYTES"
+          ~doc:"Access-log size cap before rotation.")
+  in
+  let prom_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "prom-port" ] ~docv:"N"
+          ~doc:
+            "Loopback HTTP port serving GET /metrics (Prometheus text \
+             exposition of the daemon registry), /healthz (liveness) and \
+             /readyz (false until warm restore and WAL replay finish, \
+             and again during drain). 0 picks an ephemeral port.")
+  in
+  let slow_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Slow-query capture threshold: each request runs under its \
+             own trace scope, and one slower than this gets its span \
+             tree spooled as a Chrome-trace file (fetch with the trace \
+             verb or straight from the spool directory).")
+  in
+  let trace_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-dir" ] ~docv:"DIR"
+          ~doc:
+            "Spool directory for slow-query captures (default x3-traces \
+             when --slow-ms is set); holds the most recent captures up \
+             to the cap.")
+  in
+  let trace_cap =
+    Arg.(
+      value & opt int 32
+      & info [ "trace-cap" ] ~docv:"N"
+          ~doc:"Max spooled slow-query captures; oldest deleted beyond it.")
+  in
   let stats =
     Arg.(
       value & flag
@@ -1267,7 +1338,8 @@ let serve_cmd =
       const run_serve $ socket $ port $ cache_bytes $ max_concurrent
       $ max_waiting $ admission_timeout $ workers $ max_input_bytes
       $ max_frame_bytes $ io_deadline $ drain_deadline $ snapshot $ wal
-      $ stats $ shutdown $ query $ deadline_ms $ retries)
+      $ access_log $ access_log_max_bytes $ prom_port $ slow_ms $ trace_dir
+      $ trace_cap $ stats $ shutdown $ query $ deadline_ms $ retries)
 
 let ingest_cmd =
   let socket =

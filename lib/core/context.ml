@@ -18,6 +18,10 @@ type control = {
   mutable stopped : stop_reason option;
   mutable pending : stop_reason option;
   mutable tick : int;
+  mutable trace_scope : Trace.scope option;
+      (** the request's trace capture, carried alongside the request's
+          other per-run state (deadline, cancel); the serve layer binds
+          it around the compute and dumps it afterwards *)
 }
 
 type t = {
@@ -67,6 +71,7 @@ let create ?(counter_budget = 1_000_000) ?(sort_budget = 200_000)
         stopped = None;
         pending;
         tick = 0;
+        trace_scope = None;
       };
     cols_cache = None;
     block_measures_cache = None;
@@ -80,6 +85,8 @@ let set_cancel_hook t hook = t.control.cancel_hook <- Some hook
 let cancel t = Atomic.set t.control.cancel_flag true
 let stopped t = t.control.stopped
 let clear_deadline t = t.control.deadline <- None
+let set_trace_scope t scope = t.control.trace_scope <- scope
+let trace_scope t = t.control.trace_scope
 
 (* A long-lived context (one serve session answers many requests) must be
    able to shed the stop state one request left behind: the next request

@@ -84,6 +84,14 @@ val clear_stop : t -> unit
     a context that stopped one request can run the next.  The cancel
     hook stays installed. *)
 
+val set_trace_scope : t -> X3_obs.Trace.scope option -> unit
+(** Attach (or clear) the request's trace capture. The scope rides the
+    context like the deadline does — per-request state on a long-lived
+    session — and {!Engine.Session.with_request} binds it around the
+    compute so every probe the request emits lands in its own scope. *)
+
+val trace_scope : t -> X3_obs.Trace.scope option
+
 val stopped : t -> stop_reason option
 (** Why the run stopped early, if it did — the engine turns [Some] into a
     [Partial] outcome. *)

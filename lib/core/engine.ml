@@ -464,6 +464,18 @@ module Session = struct
         match f () with
         | v -> Ok v
         | exception Context.Stop reason -> Error reason)
+
+  (* One request's whole envelope: the deadline armed as in
+     [with_deadline], plus the request's trace scope attached to the
+     context and bound to the calling thread for the duration — every
+     probe the compute emits (including worker domains, which re-bind the
+     scope at spawn) lands in the request's own capture. *)
+  let with_request t ?scope ?deadline_at f =
+    Context.set_trace_scope t.s_ctx scope;
+    Fun.protect
+      ~finally:(fun () -> Context.set_trace_scope t.s_ctx None)
+      (fun () ->
+        Trace.with_scope_opt scope (fun () -> with_deadline t ?deadline_at f))
 end
 
 (* --- graceful degradation ----------------------------------------------- *)

@@ -236,6 +236,18 @@ module Session : sig
       so the long-lived session can serve its next request.  [Error
       reason] when the run stopped (deadline, cancel hook, byte budget);
       views completed before the stop remain valid. *)
+
+  val with_request :
+    t ->
+    ?scope:X3_obs.Trace.scope ->
+    ?deadline_at:float ->
+    (unit -> 'a) ->
+    ('a, Context.stop_reason) result
+  (** {!with_deadline} plus request-scoped tracing: [scope] is attached
+      to the session context ({!Context.set_trace_scope}) and bound to
+      the calling thread for the duration, so every probe this request's
+      compute emits — worker domains included — lands in the request's
+      own capture instead of the global scope. Detached afterwards. *)
 end
 
 (** {1 Graceful degradation}

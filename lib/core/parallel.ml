@@ -30,8 +30,14 @@ let run ~workers ~tasks ~init ~body =
     [| state |]
   end
   else begin
+    (* Spawned domains start unbound: capture the forking thread's trace
+       scope here and re-bind it inside each worker, so a request-scoped
+       trace keeps its worker spans (and an unscoped run stays on the
+       global scope exactly as before). *)
+    let scope = X3_obs.Trace.current_scope () in
     let work w () =
       let lo, hi = chunk ~workers ~tasks w in
+      X3_obs.Trace.with_scope_opt scope @@ fun () ->
       X3_obs.Trace.with_span "worker"
         ~attrs:
           [

@@ -117,35 +117,85 @@ let prom_float f =
   else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
   else Printf.sprintf "%.12g" f
 
+(* A registry name may carry labels in canonical [base{k="v",...}] form
+   (see {!Metrics.labeled}); only the base is sanitized — the label block
+   was escaped at construction. Splitting here keeps the registry flat
+   while letting the exposition group label sets under one family: the
+   snapshot is sorted by full name, so every series of [base{] is
+   adjacent and the [# TYPE] header is emitted once per family. *)
+let split_labels name =
+  match String.index_opt name '{' with
+  | Some i when String.length name > 0 && name.[String.length name - 1] = '}'
+    ->
+      ( String.sub name 0 i,
+        Some (String.sub name (i + 1) (String.length name - i - 2)) )
+  | _ -> (name, None)
+
+let series base labels = match labels with
+  | None -> base
+  | Some l -> Printf.sprintf "%s{%s}" base l
+
+(* [suffix] lands on the base name, before the label block — what the
+   exposition format requires of histogram [_bucket]/[_sum]/[_count]
+   series. [extra] appends a label (the bucket's [le]). *)
+let series_sfx base ~suffix ?extra labels =
+  let labels =
+    match (labels, extra) with
+    | None, None -> None
+    | Some l, None -> Some l
+    | None, Some e -> Some e
+    | Some l, Some e -> Some (l ^ "," ^ e)
+  in
+  series (base ^ suffix) labels
+
 let prometheus snapshot =
   let buf = Buffer.create 1024 in
+  let last_type = ref "" in
+  let type_line base kind =
+    let header = Printf.sprintf "# TYPE %s %s\n" base kind in
+    if !last_type <> header then begin
+      last_type := header;
+      Buffer.add_string buf header
+    end
+  in
   List.iter
     (fun (name, v) ->
-      let n = sanitize name in
+      let raw_base, labels = split_labels name in
+      let base = sanitize raw_base in
       match (v : Metrics.value) with
       | Metrics.Counter c ->
-          Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" n);
-          Buffer.add_string buf (Printf.sprintf "%s %d\n" n c)
+          type_line base "counter";
+          Buffer.add_string buf
+            (Printf.sprintf "%s %d\n" (series base labels) c)
       | Metrics.Gauge g ->
-          Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" n);
-          Buffer.add_string buf (Printf.sprintf "%s %d\n" n g)
+          type_line base "gauge";
+          Buffer.add_string buf
+            (Printf.sprintf "%s %d\n" (series base labels) g)
       | Metrics.Histogram { bounds; counts; count; sum } ->
-          Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" n);
+          type_line base "histogram";
           let cum = ref 0 in
           Array.iteri
             (fun i c ->
               cum := !cum + c;
-              if i < Array.length bounds then
-                Buffer.add_string buf
-                  (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n
-                     (prom_float bounds.(i)) !cum)
-              else
-                Buffer.add_string buf
-                  (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n !cum))
+              let le =
+                if i < Array.length bounds then prom_float bounds.(i)
+                else "+Inf"
+              in
+              Buffer.add_string buf
+                (Printf.sprintf "%s %d\n"
+                   (series_sfx base ~suffix:"_bucket"
+                      ~extra:(Printf.sprintf "le=\"%s\"" le)
+                      labels)
+                   !cum))
             counts;
           Buffer.add_string buf
-            (Printf.sprintf "%s_sum %s\n" n (prom_float sum));
-          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n count))
+            (Printf.sprintf "%s %s\n"
+               (series_sfx base ~suffix:"_sum" labels)
+               (prom_float sum));
+          Buffer.add_string buf
+            (Printf.sprintf "%s %d\n"
+               (series_sfx base ~suffix:"_count" labels)
+               count))
     snapshot;
   Buffer.contents buf
 

@@ -13,8 +13,12 @@ val chrome_trace : Trace.ring list -> Json.t
 
 val prometheus : (string * Metrics.value) list -> string
 (** Prometheus text exposition of a {!Metrics.snapshot}. Metric names are
-    sanitized ([.] → [_]) and prefixed with [x3_]; histograms emit
-    cumulative [_bucket{le=...}] series plus [_sum] and [_count]. *)
+    sanitized ([.] → [_]) and prefixed with [x3_]; a name carrying a
+    {!Metrics.labeled} block renders as one series of the shared base
+    family, with a single [# TYPE] header per family (the snapshot's
+    name order keeps label sets adjacent). Histograms emit cumulative
+    [_bucket{le=...}] series plus [_sum] and [_count]; a labelled
+    histogram merges its labels with [le]. *)
 
 val schema_version : string
 (** ["x3-metrics/1"] — stamped into every metrics document. *)

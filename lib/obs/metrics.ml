@@ -101,6 +101,35 @@ let observe h x =
   ignore (Atomic.fetch_and_add h.h_count 1);
   fadd h.h_sum x
 
+(* Labels are encoded into the interned name in canonical Prometheus
+   form — [name{k="v",...}] — so the registry, snapshot and JSON export
+   stay a flat (string * value) association and only the Prometheus
+   encoder needs to understand the structure. Label values are escaped
+   here, once, per the exposition format (backslash, quote, newline). *)
+
+let escape_label_value v =
+  let b = Buffer.create (String.length v + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let labeled name labels =
+  match labels with
+  | [] -> name
+  | _ ->
+      Printf.sprintf "%s{%s}" name
+        (String.concat ","
+           (List.map
+              (fun (k, v) ->
+                Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+              labels))
+
 type value =
   | Counter of int
   | Gauge of int

@@ -26,6 +26,18 @@ val histogram : ?buckets:float array -> t -> string -> histogram
 
 val default_buckets : float array
 
+val labeled : string -> (string * string) list -> string
+(** [labeled name [(k, v); ...]] is the canonical labelled metric name
+    [name{k="v",...}], with values escaped per the Prometheus text format
+    (backslash, double quote, newline). Intern the result like any other
+    name: each label combination is its own metric, and the Prometheus
+    encoder renders the series under the shared base name. [labeled name
+    [] = name]. *)
+
+val escape_label_value : string -> string
+(** The Prometheus label-value escape (backslash, double quote, newline)
+    — exposed for encoders that assemble label sets by hand. *)
+
 val inc : ?by:int -> counter -> unit
 val set : gauge -> int -> unit
 val observe : histogram -> float -> unit

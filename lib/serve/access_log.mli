@@ -1,0 +1,32 @@
+(** Structured access log: one JSONL record per served request.
+
+    Writes happen off the hot path: {!write} only serialises the record
+    and pushes it onto a bounded in-memory queue; a dedicated writer
+    thread drains the queue to the file. A full queue {e drops} the
+    record and bumps [serve.access_log.dropped] — the log backing up can
+    never block a request thread. When the file reaches its size cap it
+    rotates once to [FILE.1] (clobbering the previous [FILE.1]), so the
+    log occupies bounded disk.
+
+    Counters (on the registry passed to {!create}):
+    [serve.access_log.records] (enqueued), [serve.access_log.dropped]
+    (queue full or file unwritable), [serve.access_log.rotations]. *)
+
+type t
+
+val default_max_bytes : int
+(** 16 MiB per file before rotation. *)
+
+val create :
+  ?max_bytes:int -> ?queue_cap:int -> metrics:X3_obs.Metrics.t -> string -> t
+(** Start the writer thread appending to the given path (created if
+    missing; an existing file's size counts toward the rotation cap). *)
+
+val write : t -> X3_obs.Json.t -> unit
+(** Enqueue one record (never blocks; drops with a counter when the
+    queue is full or the log already closed). *)
+
+val close : t -> unit
+(** Drain the queue and stop the writer (idempotent). *)
+
+val path : t -> string

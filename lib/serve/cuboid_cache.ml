@@ -10,6 +10,7 @@ type 'a entry = {
 type 'a t = {
   account : Governor.account;
   on_evict : string -> 'a -> unit;
+  observe_walk : seconds:float -> victims:int -> unit;
   lock : Mutex.t;
   table : (string, 'a entry) Hashtbl.t;
   mutable clock : int;
@@ -18,10 +19,12 @@ type 'a t = {
   mutable evictions : int;
 }
 
-let create ?(on_evict = fun _ _ -> ()) ~account () =
+let create ?(on_evict = fun _ _ -> ())
+    ?(observe_walk = fun ~seconds:_ ~victims:_ -> ()) ~account () =
   {
     account;
     on_evict;
+    observe_walk;
     lock = Mutex.create ();
     table = Hashtbl.create 64;
     clock = 0;
@@ -70,6 +73,8 @@ let lru t =
 
 let insert t ~key ~bytes value =
   let deferred = ref [] in
+  let victims = ref 0 in
+  let walk_seconds = ref 0. in
   let stored =
     locked t (fun () ->
         (match Hashtbl.find_opt t.table key with
@@ -81,10 +86,24 @@ let insert t ~key ~bytes value =
             match lru t with
             | Some victim ->
                 deferred := detach t victim :: !deferred;
+                incr victims;
                 make_room ()
             | None -> false
         in
-        if make_room () then begin
+        let fits =
+          if Governor.reserve t.account bytes then true
+          else begin
+            (* A reservation that needs evictions is the walk worth
+               timing: each round scans the whole table for the LRU
+               victim, so a hot cache under churn pays O(entries) per
+               freed entry. *)
+            let t0 = Unix.gettimeofday () in
+            let fits = make_room () in
+            walk_seconds := Unix.gettimeofday () -. t0;
+            fits
+          end
+        in
+        if fits then begin
           Hashtbl.replace t.table key
             { e_key = key; e_value = value; e_bytes = bytes; e_stamp = tick t };
           true
@@ -92,6 +111,8 @@ let insert t ~key ~bytes value =
         else false)
   in
   List.iter (fun f -> f ()) (List.rev !deferred);
+  if !victims > 0 then
+    t.observe_walk ~seconds:!walk_seconds ~victims:!victims;
   stored
 
 let remove t key =

@@ -16,13 +16,18 @@ type 'a t
 
 val create :
   ?on_evict:(string -> 'a -> unit) ->
+  ?observe_walk:(seconds:float -> victims:int -> unit) ->
   account:X3_core.Governor.account ->
   unit ->
   'a t
 (** [account] should be dedicated to this cache — {!resident_bytes} reads
     it, and eviction releases into it. [on_evict key value] runs after
     the entry has been removed and its bytes released (do not re-insert
-    from inside it). *)
+    from inside it). [observe_walk] fires after an {!insert} that had to
+    evict, with the time spent selecting and detaching victims and their
+    count — the owner's hook for an eviction-walk latency histogram.
+    Called outside the cache lock, after the deferred [on_evict]
+    callbacks have run. *)
 
 val find : 'a t -> string -> 'a option
 (** Bumps the entry's recency on hit; counts a hit or a miss. *)

@@ -1,0 +1,166 @@
+(* Minimal HTTP/1.0 listener for scrapes and probes. Three routes:
+
+     GET /metrics  -> Prometheus text exposition of the daemon registry
+     GET /healthz  -> 200 while the process is alive
+     GET /readyz   -> 200 once warm restore / WAL replay finished and the
+                      daemon is not draining; 503 otherwise
+
+   One thread accepts and serves connections sequentially — a scrape
+   endpoint sees one Prometheus poll every few seconds, not a workload.
+   Request parsing is deliberately crude (first line only, headers
+   ignored, bounded read with a socket timeout) because nothing beyond
+   `GET <path>` matters and a hostile peer must not pin the thread. *)
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  ready : bool Atomic.t;
+  mutable closed : bool;
+  lock : Mutex.t;
+  mutable thread : Thread.t option;
+}
+
+let http_status = function
+  | 200 -> "200 OK"
+  | 404 -> "404 Not Found"
+  | 503 -> "503 Service Unavailable"
+  | 405 -> "405 Method Not Allowed"
+  | _ -> "400 Bad Request"
+
+let respond fd ~code ~content_type body =
+  let msg =
+    Printf.sprintf
+      "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+       close\r\n\r\n%s"
+      (http_status code) content_type (String.length body) body
+  in
+  let buf = Bytes.of_string msg in
+  let len = Bytes.length buf in
+  let pos = ref 0 in
+  try
+    while !pos < len do
+      pos := !pos + Unix.write fd buf !pos (len - !pos)
+    done
+  with Unix.Unix_error _ -> ()
+
+(* Read until the end of the request head (or 4 KiB, or the socket
+   timeout) and return the request line. *)
+let read_request_line fd =
+  let buf = Bytes.create 4096 in
+  let total = ref 0 in
+  let fin = ref false in
+  (try
+     while (not !fin) && !total < Bytes.length buf do
+       match Unix.read fd buf !total (Bytes.length buf - !total) with
+       | 0 -> fin := true
+       | n ->
+           total := !total + n;
+           let s = Bytes.sub_string buf 0 !total in
+           if
+             String.length s >= 4
+             && (String.index_opt s '\n' <> None)
+           then fin := true
+     done
+   with Unix.Unix_error _ -> ());
+  let s = Bytes.sub_string buf 0 !total in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+      let line = String.sub s 0 i in
+      let line =
+        if String.length line > 0 && line.[String.length line - 1] = '\r'
+        then String.sub line 0 (String.length line - 1)
+        else line
+      in
+      Some line
+
+let handle t ~snapshot fd =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO 2.;
+  (match read_request_line fd with
+  | None -> ()
+  | Some line -> (
+      match String.split_on_char ' ' line with
+      | meth :: path :: _ when meth <> "GET" ->
+          ignore path;
+          respond fd ~code:405 ~content_type:"text/plain" "GET only\n"
+      | _ :: path :: _ -> (
+          match path with
+          | "/metrics" ->
+              let body = X3_obs.Export.prometheus (snapshot ()) in
+              respond fd ~code:200
+                ~content_type:"text/plain; version=0.0.4" body
+          | "/healthz" ->
+              respond fd ~code:200 ~content_type:"text/plain" "ok\n"
+          | "/readyz" ->
+              if Atomic.get t.ready then
+                respond fd ~code:200 ~content_type:"text/plain" "ok\n"
+              else
+                respond fd ~code:503 ~content_type:"text/plain"
+                  "not ready\n"
+          | _ ->
+              respond fd ~code:404 ~content_type:"text/plain" "not found\n")
+      | _ -> respond fd ~code:400 ~content_type:"text/plain" "bad request\n"));
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t ~snapshot =
+  let running = ref true in
+  while !running do
+    match Unix.accept t.sock with
+    | fd, _ -> (
+        try handle t ~snapshot fd
+        with _ -> ( try Unix.close fd with Unix.Unix_error _ -> ()))
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ ->
+        (* The listening socket was closed under us: orderly stop. *)
+        running := false
+    | exception _ -> running := false
+  done
+
+let start ?(port = 0) ~snapshot () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.listen sock 16
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let t =
+    {
+      sock;
+      port;
+      ready = Atomic.make false;
+      closed = false;
+      lock = Mutex.create ();
+      thread = None;
+    }
+  in
+  t.thread <- Some (Thread.create (fun () -> accept_loop t ~snapshot) ());
+  t
+
+let port t = t.port
+let set_ready t v = Atomic.set t.ready v
+let ready t = Atomic.get t.ready
+
+let stop t =
+  let th =
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        if t.closed then None
+        else begin
+          t.closed <- true;
+          (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL
+           with Unix.Unix_error _ -> ());
+          (try Unix.close t.sock with Unix.Unix_error _ -> ());
+          t.thread
+        end)
+  in
+  match th with None -> () | Some th -> Thread.join th

@@ -1,0 +1,35 @@
+(** Loopback HTTP listener for Prometheus scrapes and health probes.
+
+    Serves three routes over HTTP/1.0, one connection at a time on its
+    own thread (a scrape endpoint, not a workload):
+
+    - [GET /metrics] — Prometheus text exposition of the snapshot the
+      daemon provides (content type [text/plain; version=0.0.4]);
+    - [GET /healthz] — always [200] while the process lives;
+    - [GET /readyz] — [200] once {!set_ready}[ true] (warm restore and
+      WAL replay done), [503] before that and again during drain.
+
+    Binds 127.0.0.1 only: the observability plane is host-local and is
+    never exposed on the daemon's serving address. *)
+
+type t
+
+val start :
+  ?port:int ->
+  snapshot:(unit -> (string * X3_obs.Metrics.value) list) ->
+  unit ->
+  t
+(** Bind and start the accept thread. [port] defaults to 0 (kernel picks
+    an ephemeral port — see {!port}); [snapshot] is called per scrape.
+    Raises [Unix.Unix_error] when the bind fails. *)
+
+val port : t -> int
+(** The bound port (useful with [~port:0] in tests). *)
+
+val set_ready : t -> bool -> unit
+(** Flip the [/readyz] answer. Starts [false]. *)
+
+val ready : t -> bool
+
+val stop : t -> unit
+(** Close the listener and join the accept thread (idempotent). *)

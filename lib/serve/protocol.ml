@@ -32,6 +32,8 @@ let rec wait_ready fd ~for_read ~deadline =
     | exception Unix.Unix_error (Unix.EINTR, _, _) ->
         wait_ready fd ~for_read ~deadline
 
+let wait_readable ?deadline fd = wait_ready fd ~for_read:true ~deadline
+
 let allowance fault op len =
   match fault with None -> len | Some f -> Net_fault.consult f op ~bytes:len
 
@@ -136,9 +138,11 @@ type request =
       no_cache : bool;
       deadline_ms : int option;
       retries : int option;
+      request_id : string option;
     }
   | Ingest of { doc : string; fragment : string }
   | Stats
+  | Trace of { name : string option }
   | Ping
   | Shutdown
 
@@ -150,6 +154,7 @@ type response =
       provenance : provenance;
       seconds : float;
       partial : string option;
+      request_id : string option;
     }
   | Ingest_ok of {
       lsn : int;  (** the fragment's WAL sequence number, now durable *)
@@ -158,6 +163,7 @@ type response =
       fallbacks : int;  (** sessions flushed for a cold rebuild instead *)
     }
   | Stats_ok of Json.t
+  | Trace_ok of Json.t
   | Pong
   | Bye
   | Failed of { code : string; message : string }
@@ -192,14 +198,25 @@ let opt_int_field name v =
   match v with None -> [] | Some i -> [ (name, Json.Int i) ]
 
 let request_to_json = function
-  | Cube { query; doc; algorithm; format; no_cache; deadline_ms; retries } ->
+  | Cube
+      {
+        query;
+        doc;
+        algorithm;
+        format;
+        no_cache;
+        deadline_ms;
+        retries;
+        request_id;
+      } ->
       Json.Obj
         ([ ("verb", Json.Str "cube"); ("query", Json.Str query) ]
         @ opt_field "doc" doc
         @ opt_field "algorithm" algorithm
         @ [ ("format", Json.Str format); ("no_cache", Json.Bool no_cache) ]
         @ opt_int_field "deadline_ms" deadline_ms
-        @ opt_int_field "retries" retries)
+        @ opt_int_field "retries" retries
+        @ opt_field "request_id" request_id)
   | Ingest { doc; fragment } ->
       Json.Obj
         [
@@ -208,6 +225,8 @@ let request_to_json = function
           ("fragment", Json.Str fragment);
         ]
   | Stats -> Json.Obj [ ("verb", Json.Str "stats") ]
+  | Trace { name } ->
+      Json.Obj ([ ("verb", Json.Str "trace") ] @ opt_field "name" name)
   | Ping -> Json.Obj [ ("verb", Json.Str "ping") ]
   | Shutdown -> Json.Obj [ ("verb", Json.Str "shutdown") ]
 
@@ -230,6 +249,7 @@ let request_of_json j =
                      (Json.bool_member "no_cache" j);
                  deadline_ms = Json.int_member "deadline_ms" j;
                  retries = Json.int_member "retries" j;
+                 request_id = Json.string_member "request_id" j;
                }))
   | Some "ingest" -> (
       match
@@ -239,6 +259,7 @@ let request_of_json j =
       | None, _ -> Error "ingest request: missing \"doc\""
       | _, None -> Error "ingest request: missing \"fragment\"")
   | Some "stats" -> Ok Stats
+  | Some "trace" -> Ok (Trace { name = Json.string_member "name" j })
   | Some "ping" -> Ok Ping
   | Some "shutdown" -> Ok Shutdown
   | Some other -> Error (Printf.sprintf "unknown verb %S" other)
@@ -260,7 +281,7 @@ let provenance_of_json j =
   }
 
 let response_to_json = function
-  | Cube_ok { payload; provenance; seconds; partial } ->
+  | Cube_ok { payload; provenance; seconds; partial; request_id } ->
       Json.Obj
         ([
            ("status", Json.Str "ok");
@@ -268,7 +289,8 @@ let response_to_json = function
            ("provenance", provenance_to_json provenance);
            ("seconds", Json.Float seconds);
          ]
-        @ opt_field "partial" partial)
+        @ opt_field "partial" partial
+        @ opt_field "request_id" request_id)
   | Ingest_ok { lsn; sessions; cells; fallbacks } ->
       Json.Obj
         [
@@ -280,6 +302,8 @@ let response_to_json = function
         ]
   | Stats_ok doc ->
       Json.Obj [ ("status", Json.Str "stats"); ("payload", doc) ]
+  | Trace_ok doc ->
+      Json.Obj [ ("status", Json.Str "trace"); ("payload", doc) ]
   | Pong -> Json.Obj [ ("status", Json.Str "pong") ]
   | Bye -> Json.Obj [ ("status", Json.Str "bye") ]
   | Failed { code; message } ->
@@ -314,6 +338,7 @@ let response_of_json j =
                  provenance;
                  seconds;
                  partial = Json.string_member "partial" j;
+                 request_id = Json.string_member "request_id" j;
                }))
   | Some "ingested" ->
       let int_of name = Option.value ~default:0 (Json.int_member name j) in
@@ -329,6 +354,10 @@ let response_of_json j =
       match Json.member "payload" j with
       | Some doc -> Ok (Stats_ok doc)
       | None -> Error "stats response: missing \"payload\"")
+  | Some "trace" -> (
+      match Json.member "payload" j with
+      | Some doc -> Ok (Trace_ok doc)
+      | None -> Error "trace response: missing \"payload\"")
   | Some "pong" -> Ok Pong
   | Some "bye" -> Ok Bye
   | Some "error" ->

@@ -11,14 +11,15 @@
      "algorithm": "COUNTER", "format": "csv", "no_cache": false,
      "deadline_ms": 5000, "retries": 2}
     {"verb": "ingest", "doc": "path.xml", "fragment": "<pub>...</pub>"}
-    {"verb": "stats"}   {"verb": "ping"}   {"verb": "shutdown"}
+    {"verb": "stats"}   {"verb": "trace", "name": "r-000042"}
+    {"verb": "ping"}    {"verb": "shutdown"}
     v}
 
     Responses:
     {v
     {"status": "ok", "payload": "...", "provenance":
        {"base": 1, "rollup": 6, "cached": 0}, "seconds": 0.01,
-     "partial": "deadline"}
+     "partial": "deadline", "request_id": "r-000042"}
     {"status": "stats", "payload": { ...x3-metrics/1 document... }}
     {"status": "pong"}  {"status": "bye"}
     {"status": "error", "code": "...", "message": "..."}
@@ -37,6 +38,13 @@ type frame_error =
   | Frame_fault of string  (** an I/O error other than EPIPE/EINTR retry *)
 
 val frame_error_message : frame_error -> string
+
+val wait_readable :
+  ?deadline:float -> Unix.file_descr -> (unit, frame_error) result
+(** Block until [fd] has bytes to read (or [deadline] passes). Lets the
+    server wait out a connection's idle gap {e before} starting the
+    per-frame clock, so frame-read latency histograms measure the wire,
+    not the client's think time. *)
 
 val read_frame :
   ?max_bytes:int ->
@@ -78,6 +86,11 @@ type request =
       retries : int option;
           (** transient-fault retry budget for the cold path, forwarded
               to [Engine.run_safe] *)
+      request_id : string option;
+          (** client-chosen correlation id; the server echoes it in
+              [Cube_ok] and tags the request's trace/access-log records
+              with it (a server-assigned ["r-%06d"] id is used when the
+              client sends none) *)
     }
   | Ingest of {
       doc : string;  (** document path the fragment belongs to *)
@@ -87,6 +100,10 @@ type request =
               changes, then folded into resident sessions cell-by-cell *)
     }
   | Stats  (** dump the daemon's x3-metrics/1 document *)
+  | Trace of { name : string option }
+      (** fetch recent slow-query captures: the spool listing when [name]
+          is [None], one capture's Chrome-trace JSON when it names a
+          spooled request id *)
   | Ping
   | Shutdown
 
@@ -105,6 +122,9 @@ type response =
           (** [Some reason] when the answer is a typed partial cube —
               the engine stopped at its deadline or budget but exported
               what it had (mirrors CLI exit code 4) *)
+      request_id : string option;
+          (** the id this request ran under — the client's own id echoed
+              back, or the server-assigned one *)
     }
   | Ingest_ok of {
       lsn : int;  (** the fragment's WAL sequence number, now durable *)
@@ -116,6 +136,7 @@ type response =
               [serve.ingest.fallbacks.*] counters for reasons) *)
     }
   | Stats_ok of X3_obs.Json.t
+  | Trace_ok of X3_obs.Json.t
   | Pong
   | Bye
   | Failed of { code : string; message : string }

@@ -3,6 +3,7 @@ module Context = X3_core.Context
 module Governor = X3_core.Governor
 module Export = X3_core.Export
 module Materialized = X3_core.Materialized
+module Cube_result = X3_core.Cube_result
 module Lattice = X3_lattice.Lattice
 module Json = X3_obs.Json
 module Metrics = X3_obs.Metrics
@@ -27,6 +28,12 @@ type config = {
   snapshot_path : string option;
   wal_path : string option;
   fault : Net_fault.t option;
+  access_log_path : string option;
+  access_log_max_bytes : int;
+  prom_port : int option;
+  slow_ms : float option;
+  trace_dir : string option;
+  trace_cap : int;
 }
 
 let default_config address =
@@ -44,7 +51,15 @@ let default_config address =
     snapshot_path = None;
     wal_path = None;
     fault = None;
+    access_log_path = None;
+    access_log_max_bytes = Access_log.default_max_bytes;
+    prom_port = None;
+    slow_ms = None;
+    trace_dir = None;
+    trace_cap = 32;
   }
+
+let build_version = "0.1.0"
 
 (* One cache holds both granularities: a [Doc] is a prepared query's
    session (document + witness table + layout, charged at its resident
@@ -69,6 +84,26 @@ and doc_entry = {
    connections (parked in read_frame) from busy ones (a request in
    flight whose response the drain should wait for). *)
 type conn_state = { c_fd : Unix.file_descr; mutable c_busy : bool }
+
+(* Per-request observability record, filled in by the handlers as the
+   request progresses and consumed by the access log and the per-verb /
+   per-provenance histograms once the response is known. *)
+type req_info = {
+  mutable ri_verb : string;
+  mutable ri_doc : string option;  (* document path, digested for the log *)
+  mutable ri_cells : int;
+  mutable ri_provenance : Protocol.provenance option;
+  mutable ri_admission_wait : float;
+}
+
+let new_req_info () =
+  {
+    ri_verb = "unknown";
+    ri_doc = None;
+    ri_cells = 0;
+    ri_provenance = None;
+    ri_admission_wait = 0.;
+  }
 
 type t = {
   cfg : config;
@@ -115,6 +150,16 @@ type t = {
   m_entries : Metrics.gauge;
   m_lat_request : Metrics.histogram;
   m_lat_compute : Metrics.histogram;
+  m_lat_admission : Metrics.histogram;
+  m_lat_frame_read : Metrics.histogram;
+  m_lat_frame_write : Metrics.histogram;
+  m_slow_captured : Metrics.counter;
+  started_at : float;
+  req_ids : int Atomic.t;
+  access_log : Access_log.t option;
+  mutable http : Http_endpoint.t option;
+  (* slow-query capture spool, newest first; guarded by [state_lock] *)
+  mutable trace_spool : (string * string) list;
 }
 
 (* --- socket plumbing ----------------------------------------------------- *)
@@ -252,6 +297,12 @@ let create cfg =
             replay_wal_index wal
       in
       let registry = Metrics.create () in
+      Option.iter (fun w -> Wal.attach_metrics w registry) wal;
+      Metrics.set
+        (Metrics.gauge registry
+           (Metrics.labeled "build_info"
+              [ ("version", build_version); ("ocaml", Sys.ocaml_version) ]))
+        1;
       let cache_pool = Governor.create ~max_bytes:cfg.cache_bytes () in
       let cache_account = Governor.open_account (Some cache_pool) in
       (* The eviction hook needs the cache itself (a document takes its
@@ -265,7 +316,15 @@ let create cfg =
             | None -> ())
         | View _ -> ()
       in
-      let cache = Cuboid_cache.create ~on_evict ~account:cache_account () in
+      let m_evict_walk =
+        Metrics.histogram registry "serve.latency.cache_evict_walk"
+      in
+      let observe_walk ~seconds ~victims:_ =
+        Metrics.observe m_evict_walk seconds
+      in
+      let cache =
+        Cuboid_cache.create ~on_evict ~observe_walk ~account:cache_account ()
+      in
       cache_ref := Some cache;
       let t =
         {
@@ -310,13 +369,56 @@ let create cfg =
           m_entries = Metrics.gauge registry "serve.cache.entries";
           m_lat_request = Metrics.histogram registry "serve.latency.request";
           m_lat_compute = Metrics.histogram registry "serve.latency.compute";
+          m_lat_admission =
+            Metrics.histogram registry "serve.latency.admission_wait";
+          m_lat_frame_read =
+            Metrics.histogram registry "serve.latency.frame_read";
+          m_lat_frame_write =
+            Metrics.histogram registry "serve.latency.frame_write";
+          m_slow_captured =
+            Metrics.counter registry "serve.slow_traces.captured";
+          started_at = Unix.gettimeofday ();
+          req_ids = Atomic.make 1;
+          access_log =
+            Option.map
+              (fun p ->
+                Access_log.create ~max_bytes:cfg.access_log_max_bytes
+                  ~metrics:registry p)
+              cfg.access_log_path;
+          http = None;
+          trace_spool = [];
         }
       in
-      !restore_hook t;
-      Ok t)
+      (* The scrape endpoint comes up before warm restore so /readyz
+         truthfully answers "not yet" while the restore and WAL replay
+         run; it flips ready only once the daemon can serve. *)
+      match
+        match cfg.prom_port with
+        | None -> Ok None
+        | Some port -> (
+            match Http_endpoint.start ~port ~snapshot:(fun () ->
+                Metrics.snapshot registry) ()
+            with
+            | ep -> Ok (Some ep)
+            | exception Unix.Unix_error (e, _, _) ->
+                Error
+                  (Printf.sprintf "cannot bind prometheus endpoint on %d: %s"
+                     port (Unix.error_message e)))
+      with
+      | Error msg ->
+          Option.iter Access_log.close t.access_log;
+          Option.iter Wal.close wal;
+          (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+          Error msg
+      | Ok ep ->
+          t.http <- ep;
+          !restore_hook t;
+          Option.iter (fun ep -> Http_endpoint.set_ready ep true) t.http;
+          Ok t)
 
 let registry t = t.registry
 let set_fault t fault = t.fault <- fault
+let prom_port t = Option.map Http_endpoint.port t.http
 
 let live_connections t =
   Mutex.lock t.conn_lock;
@@ -330,9 +432,13 @@ let refresh_gauges t =
 
 let stats_document t =
   refresh_gauges t;
+  let now = Unix.gettimeofday () in
   let meta =
     [
       ("server", Json.Str "x3 serve");
+      ("version", Json.Str build_version);
+      ("started_at", Json.Float t.started_at);
+      ("serve.uptime_ms", Json.Int (int_of_float ((now -. t.started_at) *. 1000.)));
       ("cache_bytes", Json.Int t.cfg.cache_bytes);
       ("cache_used_bytes", Json.Int (Cuboid_cache.resident_bytes t.cache));
       ("max_in_flight", Json.Int t.cfg.max_in_flight);
@@ -525,14 +631,15 @@ let locked m f =
 
 let no_provenance = { Protocol.p_base = 0; p_rollup = 0; p_cached = 0 }
 
-let handle_cube t ~query ~doc ~algorithm ~format ~no_cache ~deadline_ms
-    ~retries =
+let handle_cube t ~rid ~scope ~info ~query ~doc ~algorithm ~format ~no_cache
+    ~deadline_ms ~retries =
   let compiled =
     match X3_ql.Compile.parse_and_compile query with
     | Ok c -> c
     | Error msg -> fail "bad_query" "%s" msg
   in
   let doc_path = Option.value doc ~default:compiled.X3_ql.Compile.document in
+  info.ri_doc <- Some doc_path;
   let spec = compiled.X3_ql.Compile.spec in
   let deadline_at =
     Option.map
@@ -541,6 +648,7 @@ let handle_cube t ~query ~doc ~algorithm ~format ~no_cache ~deadline_ms
         else Unix.gettimeofday () +. (float_of_int ms /. 1000.))
       deadline_ms
   in
+  let admit0 = Unix.gettimeofday () in
   match
     Governor.Admission.admit ?max_wait:t.cfg.admission_timeout t.door
   with
@@ -549,6 +657,9 @@ let handle_cube t ~query ~doc ~algorithm ~format ~no_cache ~deadline_ms
       fail "rejected" "%s"
         (Format.asprintf "%a" Governor.Admission.pp_rejection rejection)
   | Ok () ->
+      let wait = Unix.gettimeofday () -. admit0 in
+      info.ri_admission_wait <- wait;
+      Metrics.observe t.m_lat_admission wait;
       Fun.protect
         ~finally:(fun () -> Governor.Admission.release t.door)
         (fun () ->
@@ -585,12 +696,14 @@ let handle_cube t ~query ~doc ~algorithm ~format ~no_cache ~deadline_ms
                       alg
                   with
                   | Engine.Complete (result, _instr) ->
+                      info.ri_cells <- Cube_result.total_cells result;
                       ( export_string ~func:spec.Engine.func ~format result,
                         no_provenance,
                         None )
                   | Engine.Partial (reason, result, _instr) ->
                       (* A typed partial cube: what the engine had when
                          the deadline/cancel landed, clearly marked. *)
+                      info.ri_cells <- Cube_result.total_cells result;
                       ( export_string ~func:spec.Engine.func ~format result,
                         no_provenance,
                         Some (Context.reason_name reason) )
@@ -610,12 +723,16 @@ let handle_cube t ~query ~doc ~algorithm ~format ~no_cache ~deadline_ms
                     acquire_session t ~skey ~doc_path ~query ~spec
                   in
                   match
-                    Engine.Session.with_deadline entry.de_session ?deadline_at
-                      (fun () ->
+                    (* [with_request] binds the request's trace scope to
+                       the session context around the compute, so the
+                       span tree this request emits is its own. *)
+                    Engine.Session.with_request entry.de_session ?scope
+                      ?deadline_at (fun () ->
                         let views, provenance = serve_cuboids t entry in
                         let result =
                           Engine.Session.result_of_views entry.de_session views
                         in
+                        info.ri_cells <- Cube_result.total_cells result;
                         ( export_string ~func:spec.Engine.func ~format result,
                           provenance ))
                   with
@@ -634,7 +751,9 @@ let handle_cube t ~query ~doc ~algorithm ~format ~no_cache ~deadline_ms
               in
               let seconds = Unix.gettimeofday () -. t0 in
               Metrics.observe t.m_lat_compute seconds;
-              Protocol.Cube_ok { payload; provenance; seconds; partial }))
+              info.ri_provenance <- Some provenance;
+              Protocol.Cube_ok
+                { payload; provenance; seconds; partial; request_id = Some rid }))
 
 (* --- ingest -------------------------------------------------------------- *)
 
@@ -763,6 +882,86 @@ let handle_ingest t ~doc ~fragment =
           cells = !cells;
           fallbacks = !fallbacks;
         })
+
+(* --- slow-query capture --------------------------------------------------- *)
+
+(* Request ids are either server-assigned ("r-%06d") or client-chosen;
+   a client-chosen id becomes a spool file name, so it is flattened to a
+   safe charset first. *)
+let sanitize_rid rid =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '_')
+    (if rid = "" then "anonymous" else rid)
+
+let capture_slow t ~rid ~scope ~seconds =
+  match t.cfg.trace_dir with
+  | None -> ()
+  | Some dir -> (
+      try
+        (try Unix.mkdir dir 0o755
+         with Unix.Unix_error ((Unix.EEXIST | Unix.EISDIR), _, _) -> ());
+        let rid = sanitize_rid rid in
+        let path = Filename.concat dir (rid ^ ".trace.json") in
+        Json.to_file path (Obs_export.chrome_trace (Trace.scope_dump scope));
+        Metrics.inc t.m_slow_captured;
+        Trace.instant "serve.slow_capture"
+          ~attrs:
+            [ ("request_id", Trace.Str rid); ("seconds", Trace.Float seconds) ];
+        let evicted =
+          locked t.state_lock (fun () ->
+              let spool =
+                (rid, path)
+                :: List.filter (fun (r, _) -> r <> rid) t.trace_spool
+              in
+              let rec split n = function
+                | [] -> ([], [])
+                | l when n = 0 -> ([], l)
+                | x :: rest ->
+                    let keep, drop = split (n - 1) rest in
+                    (x :: keep, drop)
+              in
+              let keep, drop = split (max 1 t.cfg.trace_cap) spool in
+              t.trace_spool <- keep;
+              drop)
+        in
+        List.iter
+          (fun (_r, p) -> try Sys.remove p with Sys_error _ -> ())
+          evicted
+      with e ->
+        (* Losing a capture is degraded observability, never a failed
+           request. *)
+        Printf.eprintf "x3 serve: slow-trace capture for %s failed: %s\n%!"
+          rid (Printexc.to_string e))
+
+let handle_trace t ~name =
+  let spool = locked t.state_lock (fun () -> t.trace_spool) in
+  match name with
+  | None ->
+      Protocol.Trace_ok
+        (Json.Obj
+           [
+             ( "captures",
+               Json.Arr (List.map (fun (r, _) -> Json.Str r) spool) );
+           ])
+  | Some rid -> (
+      let rid = sanitize_rid rid in
+      match List.assoc_opt rid spool with
+      | None -> fail "not_found" "no spooled trace for %S" rid
+      | Some path -> (
+          match
+            let ic = open_in_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          with
+          | exception Sys_error msg -> fail "io_fault" "%s" msg
+          | contents -> (
+              match Json.parse contents with
+              | Error msg -> fail "io_fault" "spooled trace unreadable: %s" msg
+              | Ok doc -> Protocol.Trace_ok doc)))
 
 (* --- warm restart -------------------------------------------------------- *)
 
@@ -948,21 +1147,41 @@ let restore_snapshot t =
 
 let () = restore_hook := restore_snapshot
 
-let handle_request t = function
-  | Protocol.Ping -> Protocol.Pong
-  | Protocol.Stats -> Protocol.Stats_ok (stats_document t)
+let handle_request t ~rid ~scope ~info = function
+  | Protocol.Ping ->
+      info.ri_verb <- "ping";
+      Protocol.Pong
+  | Protocol.Stats ->
+      info.ri_verb <- "stats";
+      Protocol.Stats_ok (stats_document t)
+  | Protocol.Trace { name } -> (
+      info.ri_verb <- "trace";
+      try handle_trace t ~name with Reply r -> r)
   | Protocol.Shutdown ->
+      info.ri_verb <- "shutdown";
       (* [serve_connection] stops the daemon *after* flushing this
          response — stopping here would race process exit against the
          client reading its Bye. *)
       Protocol.Bye
   | Protocol.Cube
-      { query; doc; algorithm; format; no_cache; deadline_ms; retries } -> (
+      {
+        query;
+        doc;
+        algorithm;
+        format;
+        no_cache;
+        deadline_ms;
+        retries;
+        request_id = _;
+      } -> (
+      info.ri_verb <- "cube";
       try
-        handle_cube t ~query ~doc ~algorithm ~format ~no_cache ~deadline_ms
-          ~retries
+        handle_cube t ~rid ~scope ~info ~query ~doc ~algorithm ~format
+          ~no_cache ~deadline_ms ~retries
       with Reply r -> r)
   | Protocol.Ingest { doc; fragment } -> (
+      info.ri_verb <- "ingest";
+      info.ri_doc <- Some doc;
       try handle_ingest t ~doc ~fragment with Reply r -> r)
 
 (* --- the accept loop ----------------------------------------------------- *)
@@ -983,56 +1202,161 @@ let sync_cache_counters t =
 (* Idempotent, signal-handler safe (no locks): flip the running flag and
    close the listening socket — shutdown first, which reliably wakes a
    thread blocked in accept. The drain and cleanup happen on the [run]
-   thread's way out. *)
+   thread's way out. [/readyz] goes false here (one atomic store), so a
+   load balancer stops routing to a draining daemon immediately. *)
 let stop t =
   if Atomic.compare_and_set t.running true false then begin
+    (match t.http with
+    | Some ep -> Http_endpoint.set_ready ep false
+    | None -> ());
     (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
      with Unix.Unix_error _ -> ());
     try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
   end
 
+(* --- per-request accounting ----------------------------------------------- *)
+
+(* How the cuboids were answered, collapsed to the dominant class: any
+   base scan makes it a base request; otherwise any rollup; otherwise it
+   was served entirely from cache. *)
+let provenance_class (p : Protocol.provenance) =
+  if p.p_base > 0 then "base"
+  else if p.p_rollup > 0 then "rollup"
+  else if p.p_cached > 0 then "cached"
+  else "base"
+
+let observe_request_latency t ~info ~response seconds =
+  Metrics.observe t.m_lat_request seconds;
+  Metrics.observe
+    (Metrics.histogram t.registry
+       (Metrics.labeled "serve.latency.request" [ ("verb", info.ri_verb) ]))
+    seconds;
+  match response with
+  | Protocol.Cube_ok { provenance; _ } ->
+      Metrics.observe
+        (Metrics.histogram t.registry
+           (Metrics.labeled "serve.latency.cube"
+              [ ("provenance", provenance_class provenance) ]))
+        seconds
+  | _ -> ()
+
+let access_record t ~rid ~info ~response ~ts ~seconds ~bytes =
+  let outcome, code =
+    match response with
+    | Protocol.Failed { code; _ } -> ("error", Some code)
+    | Protocol.Cube_ok { partial = Some reason; _ } -> ("partial", Some reason)
+    | _ -> ("ok", None)
+  in
+  Json.Obj
+    ([
+       ("ts", Json.Float ts);
+       ("request_id", Json.Str rid);
+       ("verb", Json.Str info.ri_verb);
+     ]
+    @ (match info.ri_doc with
+      | None -> []
+      | Some doc ->
+          [ ("doc_digest", Json.Str (Digest.to_hex (Digest.string doc))) ])
+    @ (match info.ri_provenance with
+      | None -> []
+      | Some p ->
+          [
+            ("base", Json.Int p.Protocol.p_base);
+            ("rollup", Json.Int p.Protocol.p_rollup);
+            ("cached", Json.Int p.Protocol.p_cached);
+            ("cells", Json.Int info.ri_cells);
+          ])
+    @ [
+        ("bytes", Json.Int bytes);
+        ("reserved_bytes", Json.Int (Cuboid_cache.resident_bytes t.cache));
+        ("admission_wait_ms", Json.Float (info.ri_admission_wait *. 1000.));
+        ("outcome", Json.Str outcome);
+      ]
+    @ (match code with None -> [] | Some c -> [ ("code", Json.Str c) ])
+    @ [ ("duration_ms", Json.Float (seconds *. 1000.)) ])
+
 let io_deadline t =
   Option.map (fun s -> Unix.gettimeofday () +. s) t.cfg.io_deadline
 
 let serve_connection t sync st fd =
-  let reply response =
-    Protocol.write_frame ?deadline:(io_deadline t) ?fault:t.fault fd
-      (Protocol.encode_response response)
+  let reply encoded =
+    let w0 = Unix.gettimeofday () in
+    match
+      Protocol.write_frame ?deadline:(io_deadline t) ?fault:t.fault fd encoded
+    with
+    | Ok () as ok ->
+        Metrics.observe t.m_lat_frame_write (Unix.gettimeofday () -. w0);
+        ok
+    | Error _ as e -> e
   in
   let rec loop () =
-    match
-      Protocol.read_frame ~max_bytes:t.cfg.max_frame_bytes
-        ?deadline:(io_deadline t) ?fault:t.fault fd
-    with
-    | Error Protocol.Closed -> ()
-    | Error Protocol.Timed_out ->
-        (* The slow-loris reap: a peer that cannot deliver one frame
-           within the socket deadline is cut loose. No response — the
-           stream may be mid-frame, so there is no frame boundary to
-           speak at. *)
-        Metrics.inc t.m_net_timeouts
-    | Error (Protocol.Too_large len) ->
-        (* Tell the peer, then hang up — the stream is unrecoverable (we
-           have not consumed the oversized payload). *)
-        ignore
-          (reply
-             (Protocol.Failed
-                {
-                  code = "frame_too_large";
-                  message = Printf.sprintf "%d-byte frame over the cap" len;
-                }))
-    | Error (Protocol.Frame_fault _) -> ()
-    | Ok payload ->
+    (* Wait out the connection's idle gap before starting the frame
+       clock: the frame-read histogram measures the wire, not the
+       client's think time between requests. *)
+    match Protocol.wait_readable ?deadline:(io_deadline t) fd with
+    | Error Protocol.Timed_out -> Metrics.inc t.m_net_timeouts
+    | Error _ -> ()
+    | Ok () -> (
+        let r0 = Unix.gettimeofday () in
+        match
+          Protocol.read_frame ~max_bytes:t.cfg.max_frame_bytes
+            ?deadline:(io_deadline t) ?fault:t.fault fd
+        with
+        | Error Protocol.Closed -> ()
+        | Error Protocol.Timed_out ->
+            (* The slow-loris reap: a peer that cannot deliver one frame
+               within the socket deadline is cut loose. No response — the
+               stream may be mid-frame, so there is no frame boundary to
+               speak at. *)
+            Metrics.inc t.m_net_timeouts
+        | Error (Protocol.Too_large len) ->
+            (* Tell the peer, then hang up — the stream is unrecoverable
+               (we have not consumed the oversized payload). *)
+            ignore
+              (reply
+                 (Protocol.encode_response
+                    (Protocol.Failed
+                       {
+                         code = "frame_too_large";
+                         message =
+                           Printf.sprintf "%d-byte frame over the cap" len;
+                       })))
+        | Error (Protocol.Frame_fault _) -> ()
+        | Ok payload ->
+        Metrics.observe t.m_lat_frame_read (Unix.gettimeofday () -. r0);
         st.c_busy <- true;
         Metrics.inc t.m_requests;
         let t0 = Unix.gettimeofday () in
+        let decoded = Protocol.decode_request payload in
+        (* A client-chosen correlation id wins; otherwise the daemon
+           assigns one, so every request's trace and log lines share a
+           name either way. *)
+        let rid =
+          match decoded with
+          | Ok (Protocol.Cube { request_id = Some id; _ }) -> id
+          | _ ->
+              Printf.sprintf "r-%06d" (Atomic.fetch_and_add t.req_ids 1)
+        in
+        (* A scope per request only when slow-query capture is armed:
+           scopes cost ring memory, and without a consumer the spans
+           would be dropped unread. *)
+        let scope =
+          match t.cfg.slow_ms with
+          | Some _ -> Some (Trace.make_scope ~ring_size:8192 ~id:rid ())
+          | None -> None
+        in
+        let info = new_req_info () in
         let response =
-          match Protocol.decode_request payload with
+          match decoded with
           | Error msg ->
               Metrics.inc t.m_errors;
               Protocol.Failed { code = "bad_request"; message = msg }
           | Ok req -> (
-              match handle_request t req with
+              Trace.with_scope_opt scope @@ fun () ->
+              Trace.with_span "serve.request"
+                ~attrs:[ ("request_id", Trace.Str rid) ]
+              @@ fun () ->
+              match handle_request t ~rid ~scope ~info req with
               | Protocol.Failed _ as r ->
                   Metrics.inc t.m_errors;
                   r
@@ -1042,9 +1366,23 @@ let serve_connection t sync st fd =
                   Protocol.Failed
                     { code = "internal"; message = Printexc.to_string e })
         in
-        Metrics.observe t.m_lat_request (Unix.gettimeofday () -. t0);
+        let seconds = Unix.gettimeofday () -. t0 in
+        observe_request_latency t ~info ~response seconds;
+        (* The scope is unbound and every worker joined by now, so the
+           dump reads quiescent rings. *)
+        (match (scope, t.cfg.slow_ms) with
+        | Some scope, Some ms when seconds *. 1000. >= ms ->
+            capture_slow t ~rid ~scope ~seconds
+        | _ -> ());
+        let encoded = Protocol.encode_response response in
+        Option.iter
+          (fun log ->
+            Access_log.write log
+              (access_record t ~rid ~info ~response ~ts:t0 ~seconds
+                 ~bytes:(String.length encoded)))
+          t.access_log;
         sync ();
-        let wrote = reply response in
+        let wrote = reply encoded in
         st.c_busy <- false;
         (match response with
         | Protocol.Bye ->
@@ -1062,7 +1400,7 @@ let serve_connection t sync st fd =
         | Error Protocol.Timed_out, _ ->
             (* Slow reader: it asked, but never drained the answer. *)
             Metrics.inc t.m_net_timeouts
-        | Error _, _ -> (* dead client; drop the connection *) ())
+        | Error _, _ -> (* dead client; drop the connection *) ()))
   in
   Fun.protect
     ~finally:(fun () ->
@@ -1168,6 +1506,8 @@ let run t =
     stop t;
     drain t;
     persist_snapshot t;
+    Option.iter Http_endpoint.stop t.http;
+    Option.iter Access_log.close t.access_log;
     Option.iter Wal.close t.wal;
     match t.cfg.address with
     | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())

@@ -59,13 +59,35 @@ type config = {
   fault : Net_fault.t option;
       (** deterministic socket-fault plan installed on every accepted
           connection's reads/writes and on accept itself — tests only *)
+  access_log_path : string option;
+      (** JSONL access log, one record per request ({!Access_log});
+          [None] disables it *)
+  access_log_max_bytes : int;
+      (** access-log size cap before single-level rotation to [FILE.1] *)
+  prom_port : int option;
+      (** loopback HTTP port for [GET /metrics] (Prometheus text),
+          [/healthz] and [/readyz] ({!Http_endpoint}); 0 = ephemeral,
+          [None] = no endpoint *)
+  slow_ms : float option;
+      (** requests slower than this run under their own trace scope and,
+          past the threshold, have their span tree spooled as a
+          Chrome-trace file; [None] disables per-request tracing *)
+  trace_dir : string option;
+      (** the slow-query capture spool directory (created on first
+          capture); [None] disables capture even with [slow_ms] set *)
+  trace_cap : int;  (** max spooled captures; oldest deleted beyond it *)
 }
 
 val default_config : address -> config
 (** 64 MiB cache, 4 in flight, 16 waiting, no admission timeout,
     1 worker, no input cap, {!Protocol.default_max_frame_bytes},
     30 s io deadline, 5 s drain deadline, no snapshot, no WAL, no
-    faults. *)
+    faults, no access log, no scrape endpoint, no slow-query capture
+    (16 MiB access-log cap and 32-capture spool when enabled). *)
+
+val build_version : string
+(** The version string stamped into [stats_document] meta and the
+    [x3_build_info] Prometheus gauge. *)
 
 type t
 
@@ -80,7 +102,11 @@ val create : config -> (t, string) result
 
 val registry : t -> X3_obs.Metrics.t
 (** The daemon's metrics registry ([serve.cache.*], [serve.latency.*],
-    [serve.cuboids.*], [serve.requests.*], [serve.net.*]). *)
+    [serve.cuboids.*], [serve.requests.*], [serve.net.*], [wal.*]). *)
+
+val prom_port : t -> int option
+(** The bound scrape-endpoint port, when [prom_port] was configured
+    (resolves an ephemeral [~port:0] to the kernel's pick). *)
 
 val stats_document : t -> X3_obs.Json.t
 (** The x3-metrics/1 document the STATS verb returns (gauges refreshed

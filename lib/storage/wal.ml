@@ -28,6 +28,16 @@ let max_record_bytes = 1 lsl 28
 
 type record = { lsn : int; payload : string }
 
+(* Optional instrumentation, attached by the owner after recovery (the
+   serve daemon wires its registry in). Updates are unconditional counter
+   bumps on the append/commit path — negligible beside the fsync. *)
+type meters = {
+  mm_appends : X3_obs.Metrics.counter;
+  mm_commits : X3_obs.Metrics.counter;
+  mm_commit_bytes : X3_obs.Metrics.counter;
+  mm_fsync : X3_obs.Metrics.histogram;
+}
+
 type t = {
   disk : Disk.t;
   owns_disk : bool;
@@ -40,7 +50,9 @@ type t = {
   mutable committed : record list;  (** newest first *)
   mutable batches : int;
   mutable dropped_bytes : int;  (** torn bytes discarded by recovery *)
+  mutable recovered : int;  (** records recovered from disk at open *)
   mutable closed : bool;
+  mutable meters : meters option;
 }
 
 let check_open t = if t.closed then invalid_arg "Wal: already closed"
@@ -189,7 +201,9 @@ let recover_disk ~owns_disk disk =
     committed = List.rev records;
     batches = 0;
     dropped_bytes = (if dirty then dropped else 0);
+    recovered = List.length records;
     closed = false;
+    meters = None;
   }
 
 let open_disk disk = recover_disk ~owns_disk:false disk
@@ -211,6 +225,29 @@ let close t =
     if t.owns_disk then Disk.close t.disk
   end
 
+(* --- instrumentation ---------------------------------------------------- *)
+
+module Metrics = X3_obs.Metrics
+
+let attach_metrics t registry =
+  (* The recovery story is history by now, so it lands as one-time bumps:
+     how many durable records the open found, and whether it had to
+     truncate a torn tail. *)
+  Metrics.inc ~by:t.recovered (Metrics.counter registry "wal.recovered_records");
+  if t.dropped_bytes > 0 then begin
+    Metrics.inc (Metrics.counter registry "wal.torn_tail_truncations");
+    Metrics.inc ~by:t.dropped_bytes
+      (Metrics.counter registry "wal.torn_bytes_dropped")
+  end;
+  t.meters <-
+    Some
+      {
+        mm_appends = Metrics.counter registry "wal.appends";
+        mm_commits = Metrics.counter registry "wal.commits";
+        mm_commit_bytes = Metrics.counter registry "wal.commit_bytes";
+        mm_fsync = Metrics.histogram registry "wal.latency.commit_fsync";
+      }
+
 (* --- appends ------------------------------------------------------------ *)
 
 let append t payload =
@@ -225,6 +262,9 @@ let append t payload =
   add_u32 t.pending (record_crc ~lsn payload ~pos:0 ~len);
   Buffer.add_string t.pending payload;
   t.pending_records <- { lsn; payload } :: t.pending_records;
+  (match t.meters with
+  | Some m -> Metrics.inc m.mm_appends
+  | None -> ());
   lsn
 
 let commit t =
@@ -243,7 +283,14 @@ let commit t =
       Bytes.blit_string data off page 0 k;
       Disk.write t.disk (first + i) page
     done;
-    Disk.sync t.disk;
+    (match t.meters with
+    | Some m ->
+        let t0 = Unix.gettimeofday () in
+        Disk.sync t.disk;
+        Metrics.observe m.mm_fsync (Unix.gettimeofday () -. t0);
+        Metrics.inc m.mm_commits;
+        Metrics.inc ~by:n m.mm_commit_bytes
+    | None -> Disk.sync t.disk);
     (* One fsync made the whole batch durable — group commit. The batch
        is only drained now: a commit that faulted mid-write keeps its
        records (and their LSNs) pending, so a retried commit rewrites

@@ -67,3 +67,13 @@ val record_count : t -> int
 
 val dropped_bytes : t -> int
 (** Torn bytes discarded by recovery at open (0 for a clean log). *)
+
+val attach_metrics : t -> X3_obs.Metrics.t -> unit
+(** Wire the log into a metrics registry. From now on [append] bumps
+    [wal.appends] and [commit] bumps [wal.commits] / [wal.commit_bytes]
+    (logical batch bytes, before page padding) and observes the
+    [Disk.sync] latency on the [wal.latency.commit_fsync] histogram
+    (seconds). Attaching also records the recovery story once:
+    [wal.recovered_records] is bumped by the records found at open, and
+    a torn-tail truncation bumps [wal.torn_tail_truncations] (plus
+    [wal.torn_bytes_dropped] by the discarded byte count). *)

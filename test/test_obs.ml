@@ -327,6 +327,131 @@ let test_chrome_trace_structure () =
         | _ -> Alcotest.fail "event without a numeric ts")
     events
 
+(* --- request scopes ------------------------------------------------------- *)
+
+let scope_events scope =
+  List.concat_map (fun r -> r.Trace.events) (Trace.scope_dump scope)
+
+(* Two threads, two scopes: every probe a bound thread emits must land
+   in its own scope's rings and nowhere else — the isolation the serve
+   daemon relies on for per-request traces. *)
+let test_scope_disjoint_across_threads () =
+  Trace.reset ();
+  let scope_a = Trace.make_scope ~id:"req-a" () in
+  let scope_b = Trace.make_scope ~id:"req-b" () in
+  Alcotest.(check string) "scopes keep their ids" "req-a"
+    (Trace.scope_id scope_a);
+  let worker scope tag =
+    Trace.with_scope scope @@ fun () ->
+    for i = 1 to 50 do
+      Trace.with_span tag (fun () ->
+          Trace.instant ~attrs:[ ("i", Trace.Int i) ] (tag ^ ".tick"))
+    done
+  in
+  let ta = Thread.create (fun () -> worker scope_a "alpha") () in
+  let tb = Thread.create (fun () -> worker scope_b "bravo") () in
+  Thread.join ta;
+  Thread.join tb;
+  let names scope =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (e : Trace.event) ->
+           if e.Trace.name = "" then None else Some e.Trace.name)
+         (scope_events scope))
+  in
+  Alcotest.(check (list string))
+    "scope a saw exactly its own spans"
+    [ "alpha"; "alpha.tick" ] (names scope_a);
+  Alcotest.(check (list string))
+    "scope b saw exactly its own spans"
+    [ "bravo"; "bravo.tick" ] (names scope_b);
+  List.iter check_well_formed (Trace.scope_dump scope_a);
+  List.iter check_well_formed (Trace.scope_dump scope_b);
+  Alcotest.(check int) "scope a captured every event" 150
+    (List.length (scope_events scope_a));
+  (* Bound threads never leak into the (disabled) global scope. *)
+  Alcotest.(check (list pass)) "global scope untouched" [] (Trace.dump ())
+
+(* --- labelled series ------------------------------------------------------ *)
+
+let test_label_escaping () =
+  Alcotest.(check string)
+    "no labels is the bare name" "serve.latency.request"
+    (Metrics.labeled "serve.latency.request" []);
+  (* value holds a backslash, a double quote and a newline *)
+  let hostile = "a\\b\"c\nd" in
+  let name = Metrics.labeled "verb_stats" [ ("v", hostile) ] in
+  Alcotest.(check string)
+    "backslash, quote and newline escaped in the canonical name"
+    "verb_stats{v=\"a\\\\b\\\"c\\nd\"}" name;
+  let m = Metrics.create () in
+  Metrics.inc (Metrics.counter m name);
+  let text = Obs_export.prometheus (Metrics.snapshot m) in
+  Alcotest.(check bool)
+    "exposition renders the escaped series on a single line" true
+    (List.mem "x3_verb_stats{v=\"a\\\\b\\\"c\\nd\"} 1"
+       (String.split_on_char '\n' text))
+
+let string_contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* Cumulative bucket series must never decrease down the exposition —
+   checked over every _bucket line (the snapshot sorts series, so one
+   series' buckets are consecutive, closed by its +Inf line). *)
+let check_bucket_monotonicity text =
+  let prev = ref 0 in
+  List.iter
+    (fun line ->
+      if string_contains ~needle:"_bucket{" line then begin
+        let v =
+          match String.rindex_opt line ' ' with
+          | Some i ->
+              int_of_string
+                (String.sub line (i + 1) (String.length line - i - 1))
+          | None -> Alcotest.failf "malformed bucket line %S" line
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "cumulative buckets non-decreasing at %S" line)
+          true (v >= !prev);
+        prev := v;
+        if string_contains ~needle:"le=\"+Inf\"" line then prev := 0
+      end)
+    (String.split_on_char '\n' text)
+
+let test_prometheus_under_concurrency () =
+  let m = Metrics.create () in
+  let name = Metrics.labeled "serve.latency.request" [ ("verb", "cube") ] in
+  let buckets = [| 0.001; 0.01; 0.1; 1.0 |] in
+  let h = Metrics.histogram ~buckets m name in
+  let per_thread = 1000 and threads = 4 in
+  let hammer () =
+    for i = 1 to per_thread do
+      Metrics.observe h (float_of_int (i mod 7) /. 5.)
+    done
+  in
+  let ts = List.init threads (fun _ -> Thread.create hammer ()) in
+  (* Snapshots taken mid-hammer must still render well-formed text, and
+     rendering the same snapshot twice must be byte-identical. *)
+  for _ = 1 to 5 do
+    let snap = Metrics.snapshot m in
+    let text = Obs_export.prometheus snap in
+    Alcotest.(check string) "rendering a snapshot is deterministic" text
+      (Obs_export.prometheus snap);
+    check_bucket_monotonicity text
+  done;
+  List.iter Thread.join ts;
+  match List.assoc name (Metrics.snapshot m) with
+  | Metrics.Histogram { count; counts; _ } ->
+      Alcotest.(check int) "every observation counted once"
+        (per_thread * threads) count;
+      Alcotest.(check int) "bucket counts account for every observation"
+        (per_thread * threads)
+        (Array.fold_left ( + ) 0 counts);
+      check_bucket_monotonicity (Obs_export.prometheus (Metrics.snapshot m))
+  | _ | (exception Not_found) -> Alcotest.fail "labelled histogram vanished"
+
 let () =
   Alcotest.run "obs"
     [
@@ -348,6 +473,8 @@ let () =
             test_span_nesting;
           Alcotest.test_case "disabled tracing is silent" `Quick
             test_disabled_tracing_is_silent;
+          Alcotest.test_case "scopes disjoint across threads" `Quick
+            test_scope_disjoint_across_threads;
         ] );
       ( "metrics",
         [
@@ -366,5 +493,8 @@ let () =
             test_prometheus_exposition;
           Alcotest.test_case "chrome trace structure" `Quick
             test_chrome_trace_structure;
+          Alcotest.test_case "label escaping" `Quick test_label_escaping;
+          Alcotest.test_case "exposition sound under concurrent writers"
+            `Quick test_prometheus_under_concurrency;
         ] );
     ]

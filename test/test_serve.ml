@@ -61,6 +61,7 @@ let cube_exn ?(no_cache = false) conn ~doc query =
            no_cache;
            deadline_ms = None;
            retries = None;
+           request_id = None;
          })
   with
   | Ok (Protocol.Cube_ok { payload; provenance; _ }) -> (payload, provenance)
@@ -271,6 +272,7 @@ let test_dead_client_does_not_wedge () =
            no_cache = false;
            deadline_ms = None;
            retries = None;
+           request_id = None;
          })
   in
   (match Protocol.write_frame fd req with
@@ -454,6 +456,277 @@ let test_ingest_rejects_bad_fragment () =
   let lsn, _, _, _ = ingest_exn conn ~doc:doc_path pub_fragment in
   Alcotest.(check int) "log untouched by refusal" 1 lsn
 
+(* --- request-scoped observability ---------------------------------------- *)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* A cube request returning the echoed request id (client-chosen when
+   [rid] is given, server-assigned otherwise). *)
+let cube_rid ?rid conn ~doc query =
+  match
+    Server.Client.request conn
+      (Protocol.Cube
+         {
+           query;
+           doc = Some doc;
+           algorithm = None;
+           format = "csv";
+           no_cache = false;
+           deadline_ms = None;
+           retries = None;
+           request_id = rid;
+         })
+  with
+  | Ok (Protocol.Cube_ok { request_id; _ }) -> request_id
+  | Ok (Protocol.Failed { code; message }) ->
+      Alcotest.failf "cube failed: %s: %s" code message
+  | Ok _ -> Alcotest.fail "unexpected response to cube"
+  | Error msg -> Alcotest.failf "cube transport error: %s" msg
+
+let trace_fetch conn name =
+  match Server.Client.request conn (Protocol.Trace { name }) with
+  | Ok (Protocol.Trace_ok doc) -> Ok doc
+  | Ok (Protocol.Failed { code; _ }) -> Error code
+  | Ok _ -> Alcotest.fail "unexpected response to trace"
+  | Error msg -> Alcotest.failf "trace transport error: %s" msg
+
+let with_temp_dir ~prefix f =
+  let dir = Filename.temp_file prefix "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         Array.iter
+           (fun n -> try Sys.remove (Filename.concat dir n) with _ -> ())
+           (Sys.readdir dir)
+       with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let test_request_id_echo () =
+  with_figure1 @@ fun doc_path ->
+  with_server @@ fun h ->
+  with_client h @@ fun conn ->
+  (match cube_rid ~rid:"my-req-7" conn ~doc:doc_path figure1_query with
+  | Some id -> Alcotest.(check string) "client-chosen id echoed" "my-req-7" id
+  | None -> Alcotest.fail "Cube_ok dropped the client's request id");
+  match cube_rid conn ~doc:doc_path figure1_query with
+  | Some id ->
+      Alcotest.(check bool)
+        (Printf.sprintf "server-assigned id %S carries the r- prefix" id)
+        true
+        (String.length id > 2 && String.sub id 0 2 = "r-")
+  | None -> Alcotest.fail "no server-assigned request id in Cube_ok"
+
+(* The acceptance pin: two concurrent cube requests on distinct
+   connections each produce a well-formed span tree tagged with their
+   own request id — and nothing from the other request. [slow_ms = 0]
+   makes every request a "slow" capture, so both trees land in the
+   spool where the [trace] verb can fetch them. *)
+let test_concurrent_disjoint_traces () =
+  with_figure1 @@ fun doc_path ->
+  with_temp_dir ~prefix:"x3spool" @@ fun spool ->
+  with_server
+    ~tune:(fun c ->
+      { c with Server.slow_ms = Some 0.; trace_dir = Some spool })
+  @@ fun h ->
+  let rids = [| "req-alpha"; "req-bravo" |] in
+  let errors = ref [] in
+  let err_lock = Mutex.create () in
+  let client i =
+    try
+      with_client h (fun conn ->
+          match cube_rid ~rid:rids.(i) conn ~doc:doc_path figure1_query with
+          | Some id -> Alcotest.(check string) "id echoed" rids.(i) id
+          | None -> Alcotest.fail "missing request id")
+    with e ->
+      Mutex.lock err_lock;
+      errors := Printexc.to_string e :: !errors;
+      Mutex.unlock err_lock
+  in
+  let threads = List.init (Array.length rids) (Thread.create client) in
+  List.iter Thread.join threads;
+  Alcotest.(check (list string)) "no client errors" [] !errors;
+  with_client h @@ fun conn ->
+  (* The listing knows both captures... *)
+  let listing =
+    match trace_fetch conn None with
+    | Ok doc -> Json.to_string doc
+    | Error code -> Alcotest.failf "trace listing failed: %s" code
+  in
+  Array.iter
+    (fun rid ->
+      Alcotest.(check bool)
+        (Printf.sprintf "listing mentions %s" rid)
+        true
+        (contains ~needle:rid listing))
+    rids;
+  (* ...and each capture holds its own request's spans, only. *)
+  let capture rid =
+    match trace_fetch conn (Some rid) with
+    | Ok doc -> Json.to_string doc
+    | Error code -> Alcotest.failf "fetching capture %s failed: %s" rid code
+  in
+  Array.iteri
+    (fun i rid ->
+      let other = rids.(1 - i) in
+      let body = capture rid in
+      Alcotest.(check bool)
+        (Printf.sprintf "capture %s carries its own request id" rid)
+        true
+        (contains ~needle:rid body);
+      Alcotest.(check bool)
+        (Printf.sprintf "capture %s holds the serve.request span" rid)
+        true
+        (contains ~needle:"serve.request" body);
+      Alcotest.(check bool)
+        (Printf.sprintf "capture %s leaks nothing from %s" rid other)
+        false
+        (contains ~needle:other body))
+    rids;
+  (* Unknown captures are typed errors, not crashes. *)
+  match trace_fetch conn (Some "no-such-capture") with
+  | Error "not_found" -> ()
+  | Error code -> Alcotest.failf "expected not_found, got %s" code
+  | Ok _ -> Alcotest.fail "fetched a capture that never existed"
+
+(* --- scrape endpoint ------------------------------------------------------ *)
+
+let http_get port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let req = Printf.sprintf "GET %s HTTP/1.0\r\nHost: localhost\r\n\r\n" path in
+  let _ = Unix.write_substring fd req 0 (String.length req) in
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read fd chunk 0 4096 with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        drain ()
+  in
+  drain ();
+  Buffer.contents buf
+
+let http_status response =
+  match String.index_opt response ' ' with
+  | Some i when String.length response >= i + 4 -> String.sub response (i + 1) 3
+  | _ -> Alcotest.failf "unparseable HTTP response: %S" response
+
+let test_scrape_endpoint () =
+  with_figure1 @@ fun doc_path ->
+  with_server ~tune:(fun c -> { c with Server.prom_port = Some 0 })
+  @@ fun h ->
+  let port =
+    match Server.prom_port h.server with
+    | Some p -> p
+    | None -> Alcotest.fail "daemon did not bind a scrape port"
+  in
+  Alcotest.(check string)
+    "/healthz answers 200" "200"
+    (http_status (http_get port "/healthz"));
+  Alcotest.(check string)
+    "/readyz answers 200 once warm" "200"
+    (http_status (http_get port "/readyz"));
+  Alcotest.(check string)
+    "unknown paths answer 404" "404"
+    (http_status (http_get port "/nope"));
+  (* Two cubes: the first pays base scans, the repeat is pure cache —
+     so the per-provenance latency family carries both label values. *)
+  (with_client h @@ fun conn ->
+   ignore (cube_exn conn ~doc:doc_path figure1_query);
+   ignore (cube_exn conn ~doc:doc_path figure1_query));
+  let body = http_get port "/metrics" in
+  Alcotest.(check string) "/metrics answers 200" "200" (http_status body);
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "/metrics mentions %S" needle)
+        true
+        (contains ~needle body))
+    [
+      "# TYPE x3_serve_requests_total counter";
+      "# TYPE x3_serve_latency_cube histogram";
+      "x3_serve_latency_cube_bucket{provenance=\"base\",le=";
+      "x3_serve_latency_cube_bucket{provenance=\"cached\",le=";
+      "x3_serve_latency_request_bucket{verb=\"cube\",le=";
+      "x3_serve_latency_frame_read_count";
+      Printf.sprintf "x3_build_info{version=%S" Server.build_version;
+    ]
+
+(* --- access log ----------------------------------------------------------- *)
+
+let read_lines path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  let rec go acc =
+    match input_line ic with
+    | line -> go (if line = "" then acc else line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  go []
+
+let test_access_log_records_and_rotation () =
+  with_figure1 @@ fun doc_path ->
+  let log_path = Filename.temp_file "x3access" ".jsonl" in
+  let rotated = log_path ^ ".1" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ log_path; rotated ])
+  @@ fun () ->
+  (* A cap of ~2 records forces rotation well within six requests. *)
+  (with_server
+     ~tune:(fun c ->
+       {
+         c with
+         Server.access_log_path = Some log_path;
+         access_log_max_bytes = 600;
+       })
+  @@ fun h ->
+   with_client h @@ fun conn ->
+   for _ = 1 to 6 do
+     ignore (cube_exn conn ~doc:doc_path figure1_query)
+   done);
+  (* stop_server ran the daemon's finalizer, which closed (and thereby
+     flushed) the access log — every record is on disk now. *)
+  Alcotest.(check bool)
+    "the size cap rotated the log to FILE.1" true
+    (Sys.file_exists rotated);
+  let lines = read_lines rotated @ read_lines log_path in
+  Alcotest.(check int) "one record per request" 6 (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Error msg -> Alcotest.failf "unparseable access record %S: %s" line msg
+      | Ok doc ->
+          Alcotest.(check (option string))
+            "every record is a cube" (Some "cube")
+            (Json.string_member "verb" doc);
+          Alcotest.(check (option string))
+            "every request succeeded" (Some "ok")
+            (Json.string_member "outcome" doc);
+          (match Json.string_member "request_id" doc with
+          | Some id -> Alcotest.(check bool) "request id non-empty" true (id <> "")
+          | None -> Alcotest.fail "record without request_id");
+          (match Json.member "duration_ms" doc with
+          | Some (Json.Float _ | Json.Int _) -> ()
+          | _ -> Alcotest.fail "record without numeric duration_ms");
+          match Json.member "cells" doc with
+          | Some (Json.Int n) ->
+              Alcotest.(check bool) "cube records count their cells" true (n > 0)
+          | _ -> Alcotest.fail "cube record without cells")
+    lines
+
 let () =
   Alcotest.run "x3 serve"
     [
@@ -471,6 +744,17 @@ let () =
             `Quick test_dead_client_does_not_wedge;
           Alcotest.test_case "malformed and oversized frames are typed errors"
             `Quick test_protocol_rejects_malformed_and_oversized;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "request ids echoed and server-assigned" `Quick
+            test_request_id_echo;
+          Alcotest.test_case "concurrent span trees disjoint per request"
+            `Quick test_concurrent_disjoint_traces;
+          Alcotest.test_case "scrape endpoint serves metrics and health"
+            `Quick test_scrape_endpoint;
+          Alcotest.test_case "access log records every request and rotates"
+            `Quick test_access_log_records_and_rotation;
         ] );
       ( "ingest",
         [

@@ -65,6 +65,7 @@ let cube_req ?(no_cache = false) ?deadline_ms ?retries ~doc query =
       no_cache;
       deadline_ms;
       retries;
+      request_id = None;
     }
 
 let metric_value stats name =
